@@ -1,0 +1,417 @@
+//! Runtime and pruning configuration.
+
+use crate::edge_table::DEFAULT_SLOTS;
+use crate::state::State;
+
+/// Which liveness-prediction algorithm SELECT/PRUNE use (§6.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum PredictionPolicy {
+    /// The paper's default algorithm: per-edge-type candidates, a stale
+    /// transitive closure sizing whole data structures, prune the edge type
+    /// with the most reachable-only-from-stale-roots bytes.
+    #[default]
+    LeakPruning,
+    /// "Most stale": prune all references to every object at the highest
+    /// observed staleness level — effectively the policy of the disk-based
+    /// systems (LeakSurvivor, Melt, Panacea).
+    MostStale,
+    /// "Individual references": the default algorithm without the candidate
+    /// queue and stale closure; charges each stale reference its target
+    /// object's own size and prunes individual references, not subtrees.
+    IndividualRefs,
+}
+
+impl PredictionPolicy {
+    /// Short human-readable name matching Table 2's column headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictionPolicy::LeakPruning => "Default",
+            PredictionPolicy::MostStale => "Most stale",
+            PredictionPolicy::IndividualRefs => "Indiv refs",
+        }
+    }
+}
+
+/// Whether the runtime executes the read-barrier bookkeeping.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum BarrierMode {
+    /// The paper's all-the-time conditional read barrier.
+    #[default]
+    Full,
+    /// No barrier work at all — the unmodified-VM "Base" configuration used
+    /// for overhead measurements.
+    None,
+}
+
+/// Pins leak pruning to one observation state forever, for overhead
+/// experiments (Figures 6 and 7 force OBSERVE or SELECT continuously).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ForcedState {
+    /// Maintain staleness and the edge table during every collection.
+    Observe,
+    /// Additionally run the stale closure and edge selection every
+    /// collection, without ever pruning.
+    Select,
+}
+
+impl ForcedState {
+    pub(crate) fn as_state(self) -> State {
+        match self {
+            ForcedState::Observe => State::Observe,
+            ForcedState::Select => State::Select,
+        }
+    }
+}
+
+/// Configuration for a [`Runtime`](crate::Runtime).
+///
+/// Build one with [`PruningConfig::builder`]:
+///
+/// ```
+/// use leak_pruning::{PredictionPolicy, PruningConfig};
+///
+/// let config = PruningConfig::builder(64 * 1024 * 1024)
+///     .policy(PredictionPolicy::LeakPruning)
+///     .nearly_full_threshold(0.9)
+///     .build();
+/// assert!(config.pruning_enabled());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct PruningConfig {
+    heap_capacity: u64,
+    pruning_enabled: bool,
+    policy: PredictionPolicy,
+    barrier_mode: BarrierMode,
+    expected_threshold: f64,
+    nearly_full_threshold: f64,
+    prune_only_when_full: bool,
+    edge_table_slots: usize,
+    forced_state: Option<ForcedState>,
+    nursery_fraction: Option<f64>,
+    decay_max_stale_use_every: Option<u64>,
+    run_finalizers_after_prune: bool,
+    marker_threads: usize,
+    max_gc_attempts_per_alloc: u32,
+}
+
+impl PruningConfig {
+    /// Starts building a configuration for a heap of `heap_capacity`
+    /// simulated bytes.
+    pub fn builder(heap_capacity: u64) -> PruningConfigBuilder {
+        PruningConfigBuilder {
+            config: PruningConfig {
+                heap_capacity,
+                pruning_enabled: true,
+                policy: PredictionPolicy::default(),
+                barrier_mode: BarrierMode::default(),
+                expected_threshold: 0.5,
+                nearly_full_threshold: 0.9,
+                prune_only_when_full: false,
+                edge_table_slots: DEFAULT_SLOTS,
+                forced_state: None,
+                nursery_fraction: None,
+                decay_max_stale_use_every: None,
+                run_finalizers_after_prune: true,
+                marker_threads: 1,
+                max_gc_attempts_per_alloc: 64,
+            },
+        }
+    }
+
+    /// The unmodified-VM configuration: no pruning, no barrier work.
+    /// This is the paper's "Base".
+    pub fn base(heap_capacity: u64) -> PruningConfig {
+        PruningConfig::builder(heap_capacity)
+            .pruning(false)
+            .barrier_mode(BarrierMode::None)
+            .build()
+    }
+
+    /// Heap capacity in simulated bytes.
+    pub fn heap_capacity(&self) -> u64 {
+        self.heap_capacity
+    }
+
+    /// Whether pruning (as opposed to plain collection) is enabled.
+    pub fn pruning_enabled(&self) -> bool {
+        self.pruning_enabled
+    }
+
+    /// The prediction policy.
+    pub fn policy(&self) -> PredictionPolicy {
+        self.policy
+    }
+
+    /// The barrier mode.
+    pub fn barrier_mode(&self) -> BarrierMode {
+        self.barrier_mode
+    }
+
+    /// Occupancy above which INACTIVE transitions to OBSERVE (default 0.5).
+    pub fn expected_threshold(&self) -> f64 {
+        self.expected_threshold
+    }
+
+    /// Occupancy above which OBSERVE transitions to SELECT (default 0.9).
+    pub fn nearly_full_threshold(&self) -> f64 {
+        self.nearly_full_threshold
+    }
+
+    /// §3.1 option (1): prune only after a real out-of-memory event.
+    pub fn prune_only_when_full(&self) -> bool {
+        self.prune_only_when_full
+    }
+
+    /// Edge-table slot count.
+    pub fn edge_table_slots(&self) -> usize {
+        self.edge_table_slots
+    }
+
+    /// Pinned observation state, if any.
+    pub fn forced_state(&self) -> Option<ForcedState> {
+        self.forced_state
+    }
+
+    /// If set, the heap runs generationally (as the paper's substrate
+    /// does): a nursery of this fraction of the heap is collected by cheap
+    /// minor collections, and leak pruning piggybacks only on the
+    /// full-heap collections.
+    pub fn nursery_fraction(&self) -> Option<f64> {
+        self.nursery_fraction
+    }
+
+    /// If set, every N-th SELECT collection decays all `max_stale_use`
+    /// entries by one — the phased-behaviour policy extension §6 sketches.
+    pub fn decay_max_stale_use_every(&self) -> Option<u64> {
+        self.decay_max_stale_use_every
+    }
+
+    /// Whether finalizers keep running once pruning has started (§2; the
+    /// paper's implementation keeps them on).
+    pub fn run_finalizers_after_prune(&self) -> bool {
+        self.run_finalizers_after_prune
+    }
+
+    /// Number of marker threads. With more than one thread, plain
+    /// collections, OBSERVE, the default policy's SELECT closures, and
+    /// PRUNE all run on the parallel work-stealing tracer (§4.5); the
+    /// comparison policies of §6.1 always mark serially.
+    pub fn marker_threads(&self) -> usize {
+        self.marker_threads
+    }
+
+    /// Upper bound on collections attempted to satisfy one allocation
+    /// before giving up with an out-of-memory error.
+    pub fn max_gc_attempts_per_alloc(&self) -> u32 {
+        self.max_gc_attempts_per_alloc
+    }
+}
+
+/// Builder for [`PruningConfig`].
+#[derive(Clone, Debug)]
+pub struct PruningConfigBuilder {
+    config: PruningConfig,
+}
+
+impl PruningConfigBuilder {
+    /// Enables or disables pruning (disabled = plain reachability GC).
+    pub fn pruning(mut self, enabled: bool) -> Self {
+        self.config.pruning_enabled = enabled;
+        self
+    }
+
+    /// Sets the prediction policy.
+    pub fn policy(mut self, policy: PredictionPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the barrier mode.
+    pub fn barrier_mode(mut self, mode: BarrierMode) -> Self {
+        self.config.barrier_mode = mode;
+        self
+    }
+
+    /// Sets the INACTIVE→OBSERVE occupancy threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= threshold <= 1.0`.
+    pub fn expected_threshold(mut self, threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold), "threshold out of range");
+        self.config.expected_threshold = threshold;
+        self
+    }
+
+    /// Sets the OBSERVE→SELECT ("nearly full") occupancy threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= threshold <= 1.0`.
+    pub fn nearly_full_threshold(mut self, threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold), "threshold out of range");
+        self.config.nearly_full_threshold = threshold;
+        self
+    }
+
+    /// Selects §3.1 option (1): wait for true memory exhaustion before the
+    /// first prune.
+    pub fn prune_only_when_full(mut self, value: bool) -> Self {
+        self.config.prune_only_when_full = value;
+        self
+    }
+
+    /// Sets the edge-table slot count.
+    pub fn edge_table_slots(mut self, slots: usize) -> Self {
+        self.config.edge_table_slots = slots;
+        self
+    }
+
+    /// Pins leak pruning to `state` forever (overhead experiments).
+    pub fn force_state(mut self, state: ForcedState) -> Self {
+        self.config.forced_state = Some(state);
+        self
+    }
+
+    /// Enables a generational nursery of `fraction` of the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < fraction < 1.0`.
+    pub fn nursery_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "nursery fraction out of range"
+        );
+        self.config.nursery_fraction = Some(fraction);
+        self
+    }
+
+    /// Enables `max_stale_use` decay every `period` SELECT collections
+    /// (the phased-behaviour extension of §6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn decay_max_stale_use_every(mut self, period: u64) -> Self {
+        assert!(period > 0, "decay period must be positive");
+        self.config.decay_max_stale_use_every = Some(period);
+        self
+    }
+
+    /// Sets whether finalizers keep running after pruning starts.
+    pub fn run_finalizers_after_prune(mut self, value: bool) -> Self {
+        self.config.run_finalizers_after_prune = value;
+        self
+    }
+
+    /// Sets the number of marker threads (see
+    /// [`PruningConfig::marker_threads`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn marker_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one marker thread");
+        self.config.marker_threads = threads;
+        self
+    }
+
+    /// Sets the per-allocation GC attempt bound.
+    pub fn max_gc_attempts_per_alloc(mut self, attempts: u32) -> Self {
+        self.config.max_gc_attempts_per_alloc = attempts.max(1);
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> PruningConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = PruningConfig::builder(1024).build();
+        assert!(c.pruning_enabled());
+        assert_eq!(c.policy(), PredictionPolicy::LeakPruning);
+        assert_eq!(c.expected_threshold(), 0.5);
+        assert_eq!(c.nearly_full_threshold(), 0.9);
+        assert!(!c.prune_only_when_full());
+        assert_eq!(c.edge_table_slots(), DEFAULT_SLOTS);
+        assert!(c.run_finalizers_after_prune());
+        assert_eq!(c.barrier_mode(), BarrierMode::Full);
+        assert_eq!(c.decay_max_stale_use_every(), None);
+    }
+
+    #[test]
+    fn nursery_option_round_trips() {
+        let c = PruningConfig::builder(1024).nursery_fraction(0.25).build();
+        assert_eq!(c.nursery_fraction(), Some(0.25));
+        assert_eq!(PruningConfig::builder(1024).build().nursery_fraction(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "nursery fraction out of range")]
+    fn nursery_rejects_out_of_range() {
+        PruningConfig::builder(1).nursery_fraction(1.0);
+    }
+
+    #[test]
+    fn decay_option_round_trips() {
+        let c = PruningConfig::builder(1024)
+            .decay_max_stale_use_every(16)
+            .build();
+        assert_eq!(c.decay_max_stale_use_every(), Some(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "decay period must be positive")]
+    fn decay_rejects_zero() {
+        PruningConfig::builder(1).decay_max_stale_use_every(0);
+    }
+
+    #[test]
+    fn base_disables_everything() {
+        let c = PruningConfig::base(1024);
+        assert!(!c.pruning_enabled());
+        assert_eq!(c.barrier_mode(), BarrierMode::None);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = PruningConfig::builder(2048)
+            .policy(PredictionPolicy::MostStale)
+            .expected_threshold(0.4)
+            .nearly_full_threshold(0.8)
+            .prune_only_when_full(true)
+            .edge_table_slots(128)
+            .force_state(ForcedState::Select)
+            .marker_threads(4)
+            .build();
+        assert_eq!(c.heap_capacity(), 2048);
+        assert_eq!(c.policy(), PredictionPolicy::MostStale);
+        assert_eq!(c.expected_threshold(), 0.4);
+        assert_eq!(c.nearly_full_threshold(), 0.8);
+        assert!(c.prune_only_when_full());
+        assert_eq!(c.edge_table_slots(), 128);
+        assert_eq!(c.forced_state(), Some(ForcedState::Select));
+        assert_eq!(c.marker_threads(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold out of range")]
+    fn rejects_bad_threshold() {
+        PruningConfig::builder(1).nearly_full_threshold(1.5);
+    }
+
+    #[test]
+    fn policy_names_match_table2() {
+        assert_eq!(PredictionPolicy::LeakPruning.name(), "Default");
+        assert_eq!(PredictionPolicy::MostStale.name(), "Most stale");
+        assert_eq!(PredictionPolicy::IndividualRefs.name(), "Indiv refs");
+    }
+}

@@ -1,0 +1,434 @@
+//! The edge table (§4.1, §6.2).
+//!
+//! For stale heap references `src → tgt`, the table records the *classes* of
+//! the source and target objects. Each entry summarizes an equivalence class
+//! of references and holds:
+//!
+//! * `max_stale_use` — the all-time maximum staleness at which the program
+//!   *used* a reference of this type. Edges that were very stale and then
+//!   used again are not safe to prune; leak pruning only prunes references
+//!   whose target is at least two staleness levels beyond this value.
+//! * `bytes_used` — bytes found reachable from stale roots of this edge type
+//!   during the SELECT state's stale closure; the edge with the most bytes
+//!   is chosen for pruning.
+//!
+//! Following the paper's prototype, the table is a fixed-size,
+//! insertion-only, closed-hashing (open-addressing) table — by default 16K
+//! slots of four words, 256 KB (§6.2). Entries are atomics so read barriers
+//! and parallel collector threads can update them without coarse locking;
+//! like the paper's implementation, racy counter updates are tolerated
+//! because selection is not sensitive to exact values (§4.5).
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+
+use lp_heap::ClassId;
+
+/// Default number of slots (the paper's 16K-slot table).
+pub const DEFAULT_SLOTS: usize = 16 * 1024;
+
+/// A *(source class → target class)* reference type.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeKey {
+    /// Class of the source object.
+    pub src: ClassId,
+    /// Class of the target object.
+    pub tgt: ClassId,
+}
+
+impl EdgeKey {
+    /// Creates an edge key.
+    pub fn new(src: ClassId, tgt: ClassId) -> Self {
+        EdgeKey { src, tgt }
+    }
+
+    /// Packs the key into a nonzero word (0 is reserved for empty slots).
+    fn pack(self) -> u64 {
+        ((u64::from(self.src.index()) + 1) << 32) | u64::from(self.tgt.index())
+    }
+
+    fn unpack(word: u64) -> Self {
+        EdgeKey {
+            src: ClassId::from_index(((word >> 32) - 1) as u32),
+            tgt: ClassId::from_index((word & 0xffff_ffff) as u32),
+        }
+    }
+}
+
+/// A snapshot of one edge entry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EdgeEntry {
+    /// The reference type.
+    pub key: EdgeKey,
+    /// Maximum staleness at which a reference of this type was used.
+    pub max_stale_use: u8,
+    /// Bytes attributed to this edge by the most recent SELECT closure.
+    pub bytes_used: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    key: AtomicU64,
+    max_stale_use: AtomicU8,
+    bytes_used: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            key: AtomicU64::new(0),
+            max_stale_use: AtomicU8::new(0),
+            bytes_used: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The fixed-size, insertion-only edge table.
+///
+/// # Example
+///
+/// ```
+/// use leak_pruning::{EdgeKey, EdgeTable};
+/// use lp_heap::ClassId;
+///
+/// let table = EdgeTable::new(1024);
+/// let edge = EdgeKey::new(ClassId::from_index(0), ClassId::from_index(1));
+/// table.note_stale_use(edge, 3);
+/// assert_eq!(table.max_stale_use(edge), 3);
+/// table.add_bytes(edge, 4096);
+/// assert_eq!(table.select_max_bytes().unwrap().0, edge);
+/// ```
+#[derive(Debug)]
+pub struct EdgeTable {
+    slots: Box<[Slot]>,
+    len: AtomicUsize,
+    mask: usize,
+}
+
+impl EdgeTable {
+    /// Creates a table with `slots` slots, rounded up to a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "edge table needs at least one slot");
+        let capacity = slots.next_power_of_two();
+        EdgeTable {
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            len: AtomicUsize::new(0),
+            mask: capacity - 1,
+        }
+    }
+
+    /// Number of distinct edge types recorded. The table never shrinks
+    /// (entries are never deleted), so at the end of a run this is the
+    /// paper's "leak pruning edge types" census (Table 2, last column).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether no edges have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of slots (the fixed capacity).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Simulated footprint of the table: four words (32 bytes on a 64-bit
+    /// host, 16 on the paper's 32-bit platform) per slot. With the paper's
+    /// 16K slots and 32-bit words this is the 256 KB of §6.2.
+    pub fn footprint_bytes(&self) -> usize {
+        self.capacity() * 4 * 4
+    }
+
+    fn hash(key: u64) -> usize {
+        // Fibonacci hashing; the table size is a power of two.
+        (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize
+    }
+
+    /// Finds the slot for `key`, if present.
+    fn find(&self, key: u64) -> Option<&Slot> {
+        let mut i = Self::hash(key) & self.mask;
+        for _ in 0..self.slots.len() {
+            let slot = &self.slots[i];
+            match slot.key.load(Ordering::Acquire) {
+                0 => return None,
+                k if k == key => return Some(slot),
+                _ => i = (i + 1) & self.mask,
+            }
+        }
+        None
+    }
+
+    /// Finds or inserts the slot for `key`. Returns `None` if the table is
+    /// full (the paper's fixed-size prototype simply stops recording new
+    /// edge types).
+    fn ensure(&self, key: u64) -> Option<&Slot> {
+        let mut i = Self::hash(key) & self.mask;
+        for _ in 0..self.slots.len() {
+            let slot = &self.slots[i];
+            let current = slot.key.load(Ordering::Acquire);
+            if current == key {
+                return Some(slot);
+            }
+            if current == 0 {
+                match slot
+                    .key
+                    .compare_exchange(0, key, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => {
+                        self.len.fetch_add(1, Ordering::Relaxed);
+                        return Some(slot);
+                    }
+                    Err(actual) if actual == key => return Some(slot),
+                    Err(_) => { /* another thread claimed it; probe on */ }
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Records that the program used a reference of type `edge` whose
+    /// target had staleness `stale` — the read barrier's
+    /// `maxstaleuse = max(maxstaleuse, stalecounter)` update (§4.1).
+    pub fn note_stale_use(&self, edge: EdgeKey, stale: u8) {
+        if let Some(slot) = self.ensure(edge.pack()) {
+            slot.max_stale_use.fetch_max(stale, Ordering::Relaxed);
+        }
+    }
+
+    /// The recorded `max_stale_use` for `edge` (0 if the edge is unknown).
+    pub fn max_stale_use(&self, edge: EdgeKey) -> u8 {
+        self.find(edge.pack())
+            .map_or(0, |s| s.max_stale_use.load(Ordering::Relaxed))
+    }
+
+    /// Charges `bytes` to `edge` during the SELECT state's stale closure.
+    pub fn add_bytes(&self, edge: EdgeKey, bytes: u64) {
+        if let Some(slot) = self.ensure(edge.pack()) {
+            slot.bytes_used.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// The `bytes_used` charged to `edge` (0 if unknown).
+    pub fn bytes_used(&self, edge: EdgeKey) -> u64 {
+        self.find(edge.pack())
+            .map_or(0, |s| s.bytes_used.load(Ordering::Relaxed))
+    }
+
+    /// Finds the edge with the greatest `bytes_used`, as the end of a
+    /// SELECT collection does. Returns `None` if no edge has bytes charged.
+    pub fn select_max_bytes(&self) -> Option<(EdgeKey, u64)> {
+        let mut best: Option<(EdgeKey, u64)> = None;
+        for slot in self.slots.iter() {
+            let key = slot.key.load(Ordering::Acquire);
+            if key == 0 {
+                continue;
+            }
+            let bytes = slot.bytes_used.load(Ordering::Relaxed);
+            if bytes > 0 && best.is_none_or(|(_, b)| bytes > b) {
+                best = Some((EdgeKey::unpack(key), bytes));
+            }
+        }
+        best
+    }
+
+    /// Resets every entry's `bytes_used` to zero, as the end of a SELECT
+    /// collection does after choosing an edge.
+    pub fn reset_bytes(&self) {
+        for slot in self.slots.iter() {
+            if slot.key.load(Ordering::Acquire) != 0 {
+                slot.bytes_used.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Decrements every entry's `max_stale_use` by one (saturating at
+    /// zero).
+    ///
+    /// This implements the policy extension §6 sketches for JbbMod:
+    /// "periodically decaying each reference type's maxstaleuse value to
+    /// account for possible phased behavior". Decay lets pruning reclaim
+    /// structures whose heavy use belongs to a finished program phase — at
+    /// the cost of weakening the protection that keeps rarely-used live
+    /// data safe.
+    pub fn decay_max_stale_use(&self) {
+        for slot in self.slots.iter() {
+            if slot.key.load(Ordering::Acquire) != 0 {
+                let _ = slot.max_stale_use.fetch_update(
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                    |v| v.checked_sub(1),
+                );
+            }
+        }
+    }
+
+    /// Snapshots all entries (diagnostics and reporting).
+    pub fn iter(&self) -> impl Iterator<Item = EdgeEntry> + '_ {
+        self.slots.iter().filter_map(|slot| {
+            let key = slot.key.load(Ordering::Acquire);
+            if key == 0 {
+                return None;
+            }
+            Some(EdgeEntry {
+                key: EdgeKey::unpack(key),
+                max_stale_use: slot.max_stale_use.load(Ordering::Relaxed),
+                bytes_used: slot.bytes_used.load(Ordering::Relaxed),
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn edge(src: u32, tgt: u32) -> EdgeKey {
+        EdgeKey::new(ClassId::from_index(src), ClassId::from_index(tgt))
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let e = edge(0, 0);
+        assert_eq!(EdgeKey::unpack(e.pack()), e);
+        let e = edge(123, 456);
+        assert_eq!(EdgeKey::unpack(e.pack()), e);
+        assert_ne!(edge(1, 2).pack(), edge(2, 1).pack());
+    }
+
+    #[test]
+    fn note_stale_use_takes_max() {
+        let t = EdgeTable::new(64);
+        t.note_stale_use(edge(1, 2), 3);
+        t.note_stale_use(edge(1, 2), 2);
+        assert_eq!(t.max_stale_use(edge(1, 2)), 3);
+        t.note_stale_use(edge(1, 2), 5);
+        assert_eq!(t.max_stale_use(edge(1, 2)), 5);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn unknown_edges_read_as_zero() {
+        let t = EdgeTable::new(64);
+        assert_eq!(t.max_stale_use(edge(9, 9)), 0);
+        assert_eq!(t.bytes_used(edge(9, 9)), 0);
+        assert!(t.select_max_bytes().is_none());
+    }
+
+    #[test]
+    fn selection_picks_max_bytes_and_reset_clears() {
+        let t = EdgeTable::new(64);
+        t.add_bytes(edge(1, 2), 100);
+        t.add_bytes(edge(3, 4), 250);
+        t.add_bytes(edge(3, 4), 50);
+        t.add_bytes(edge(5, 6), 10);
+        assert_eq!(t.select_max_bytes(), Some((edge(3, 4), 300)));
+        t.reset_bytes();
+        assert!(t.select_max_bytes().is_none());
+        // max_stale_use survives resets.
+        t.note_stale_use(edge(1, 2), 4);
+        t.reset_bytes();
+        assert_eq!(t.max_stale_use(edge(1, 2)), 4);
+    }
+
+    #[test]
+    fn full_table_drops_new_edges_gracefully() {
+        let t = EdgeTable::new(1); // rounds to capacity 1
+        t.note_stale_use(edge(1, 1), 2);
+        assert_eq!(t.len(), 1);
+        t.note_stale_use(edge(2, 2), 7); // dropped: table full
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.max_stale_use(edge(2, 2)), 0);
+    }
+
+    #[test]
+    fn footprint_matches_paper_shape() {
+        let t = EdgeTable::new(DEFAULT_SLOTS);
+        assert_eq!(t.capacity(), 16 * 1024);
+        assert_eq!(t.footprint_bytes(), 16 * 1024 * 16);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_entries() {
+        let t = EdgeTable::new(1 << 12);
+        std::thread::scope(|scope| {
+            for thread in 0..4u32 {
+                let t = &t;
+                scope.spawn(move || {
+                    for i in 0..256 {
+                        t.note_stale_use(edge(thread, i), (i % 8) as u8);
+                        t.add_bytes(edge(thread, i), 8);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 4 * 256);
+    }
+
+    proptest! {
+        /// Every inserted edge is retrievable with its max stale use, as
+        /// long as the table has room.
+        #[test]
+        fn prop_insert_find(edges in proptest::collection::btree_map(
+            (0u32..64, 0u32..64), 0u8..8, 1..128)) {
+            let t = EdgeTable::new(4096);
+            for ((s, g), stale) in &edges {
+                t.note_stale_use(edge(*s, *g), *stale);
+            }
+            prop_assert_eq!(t.len(), edges.len());
+            for ((s, g), stale) in &edges {
+                prop_assert_eq!(t.max_stale_use(edge(*s, *g)), *stale);
+            }
+        }
+
+        /// select_max_bytes agrees with a reference implementation.
+        #[test]
+        fn prop_selection_is_argmax(charges in proptest::collection::btree_map(
+            (0u32..32, 0u32..32), 1u64..10_000, 1..64)) {
+            let t = EdgeTable::new(4096);
+            for ((s, g), bytes) in &charges {
+                t.add_bytes(edge(*s, *g), *bytes);
+            }
+            let expect_max = charges.values().copied().max().unwrap();
+            let (_, got) = t.select_max_bytes().unwrap();
+            prop_assert_eq!(got, expect_max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod decay_tests {
+    use super::*;
+
+    fn edge(src: u32, tgt: u32) -> EdgeKey {
+        EdgeKey::new(ClassId::from_index(src), ClassId::from_index(tgt))
+    }
+
+    #[test]
+    fn decay_lowers_all_entries_saturating_at_zero() {
+        let t = EdgeTable::new(64);
+        t.note_stale_use(edge(1, 2), 5);
+        t.note_stale_use(edge(3, 4), 1);
+        t.decay_max_stale_use();
+        assert_eq!(t.max_stale_use(edge(1, 2)), 4);
+        assert_eq!(t.max_stale_use(edge(3, 4)), 0);
+        t.decay_max_stale_use();
+        assert_eq!(t.max_stale_use(edge(3, 4)), 0, "saturates at zero");
+    }
+
+    #[test]
+    fn decay_preserves_bytes_and_membership() {
+        let t = EdgeTable::new(64);
+        t.note_stale_use(edge(1, 2), 3);
+        t.add_bytes(edge(1, 2), 100);
+        t.decay_max_stale_use();
+        assert_eq!(t.bytes_used(edge(1, 2)), 100);
+        assert_eq!(t.len(), 1);
+    }
+}

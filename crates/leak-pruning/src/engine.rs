@@ -1,0 +1,510 @@
+//! The pruning engine: drives one collection per call, dispatching on the
+//! state machine, and owns the edge table, the current selection, and the
+//! deferred out-of-memory error.
+
+use std::collections::BTreeMap;
+
+use lp_gc::{trace, CollectionOutcome, Collector, TraceAll};
+use lp_heap::{Heap, RootSet};
+
+use crate::closures::{
+    InUseVisitor, MostStaleVisitor, ObserveVisitor, PruneVisitor, Selection, StaleVisitor,
+};
+use crate::par_closures::{par_select_mark, ParObserveVisitor, ParPruneVisitor};
+use crate::config::{PredictionPolicy, PruningConfig};
+use crate::edge_table::{EdgeKey, EdgeTable};
+use crate::error::OutOfMemoryError;
+use crate::record::{GcRecord, SelectionInfo};
+use crate::state::{next_state, State, TransitionContext};
+
+pub(crate) struct Pruner {
+    state: State,
+    table: EdgeTable,
+    policy: PredictionPolicy,
+    expected_threshold: f64,
+    nearly_full_threshold: f64,
+    prune_only_when_full: bool,
+    forced: Option<State>,
+    pruning_enabled: bool,
+    selection: Option<SelectionInfo>,
+    averted_oom: Option<OutOfMemoryError>,
+    exhausted_once: bool,
+    pruned_census: BTreeMap<EdgeKey, u64>,
+    total_pruned_refs: u64,
+    /// Collections between which the mutator ran — the clock staleness
+    /// counters tick on. Consecutive collections inside one allocation
+    /// stall share a clock value (the program could not have used
+    /// anything in between).
+    stale_clock: u64,
+    decay_period: Option<u64>,
+    select_collections: u64,
+}
+
+impl Pruner {
+    pub fn new(config: &PruningConfig) -> Self {
+        let forced = config.forced_state().map(|f| f.as_state());
+        Pruner {
+            state: forced.unwrap_or(State::Inactive),
+            table: EdgeTable::new(config.edge_table_slots()),
+            policy: config.policy(),
+            expected_threshold: config.expected_threshold(),
+            nearly_full_threshold: config.nearly_full_threshold(),
+            prune_only_when_full: config.prune_only_when_full(),
+            forced,
+            pruning_enabled: config.pruning_enabled(),
+            selection: None,
+            averted_oom: None,
+            exhausted_once: false,
+            pruned_census: BTreeMap::new(),
+            total_pruned_refs: 0,
+            stale_clock: 0,
+            decay_period: config.decay_max_stale_use_every(),
+            select_collections: 0,
+        }
+    }
+
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    pub fn table(&self) -> &EdgeTable {
+        &self.table
+    }
+
+    pub fn averted_oom(&self) -> Option<&OutOfMemoryError> {
+        self.averted_oom.as_ref()
+    }
+
+    pub fn pruned_census(&self) -> &BTreeMap<EdgeKey, u64> {
+        &self.pruned_census
+    }
+
+    pub fn total_pruned_refs(&self) -> u64 {
+        self.total_pruned_refs
+    }
+
+    /// Whether barriers should maintain the edge table (every state but
+    /// INACTIVE).
+    pub fn observing(&self) -> bool {
+        self.state.observes()
+    }
+
+    /// Records that the program truly exhausted memory (an allocation still
+    /// failed after a collection).
+    ///
+    /// Exhaustion is the strongest form of "nearly run out of memory", so
+    /// it forces the state machine into SELECT even when occupancy sits
+    /// below the nearly-full threshold — the case of a program whose
+    /// allocation bursts are larger than the threshold headroom, which §3.1
+    /// frames as "the VM is about to throw an out-of-memory error".
+    pub fn note_exhausted(&mut self, gc_index: u64, used: u64, capacity: u64) {
+        self.exhausted_once = true;
+        if self.averted_oom.is_none() {
+            self.averted_oom = Some(OutOfMemoryError::new(gc_index, used, capacity));
+        }
+        if self.pruning_enabled
+            && self.forced.is_none()
+            && matches!(self.state, State::Inactive | State::Observe)
+        {
+            self.state = State::Select;
+        }
+    }
+
+    /// Performs one full-heap collection appropriate to the current state
+    /// and advances the state machine. Returns the collection record and
+    /// the classes of finalizable objects the sweep reclaimed.
+    pub fn collect(
+        &mut self,
+        heap: &mut Heap,
+        roots: &RootSet,
+        collector: &mut Collector,
+        marker_threads: usize,
+        mutator_ran: bool,
+    ) -> (GcRecord, lp_heap::FinalizeLog) {
+        let state = self.state;
+        let stale_clock = if mutator_ran {
+            self.stale_clock += 1;
+            Some(self.stale_clock)
+        } else {
+            None
+        };
+
+        let (outcome, pruned_refs, selected) = if !self.pruning_enabled {
+            (self.collect_base(heap, roots, collector, marker_threads), 0, None)
+        } else {
+            match state {
+                State::Inactive => (
+                    self.collect_base(heap, roots, collector, marker_threads),
+                    0,
+                    None,
+                ),
+                State::Observe => {
+                    if marker_threads > 1 {
+                        let visitor = ParObserveVisitor { stale_clock };
+                        (
+                            collector.collect_parallel(heap, roots, &visitor, marker_threads),
+                            0,
+                            None,
+                        )
+                    } else {
+                        let mut visitor = ObserveVisitor { stale_clock };
+                        (collector.collect(heap, roots, &mut visitor), 0, None)
+                    }
+                }
+                State::Select => {
+                    let (outcome, info) =
+                        self.collect_select(heap, roots, collector, stale_clock, marker_threads);
+                    self.selection = info;
+                    (outcome, 0, info)
+                }
+                State::Prune => {
+                    let (outcome, pruned) =
+                        self.collect_prune(heap, roots, collector, stale_clock, marker_threads);
+                    (outcome, pruned, None)
+                }
+            }
+        };
+
+        self.advance_state(state, heap, outcome.gc_index);
+
+        let mut outcome = outcome;
+        let finalized = std::mem::take(&mut outcome.swept.finalized);
+        let record = GcRecord {
+            gc_index: outcome.gc_index,
+            state,
+            live_bytes_after: outcome.live_bytes_after,
+            live_objects_after: outcome.live_objects_after,
+            freed_bytes: outcome.swept.freed_bytes,
+            freed_objects: outcome.swept.freed_objects,
+            pruned_refs,
+            selected,
+            mark_time: outcome.mark_time,
+            sweep_time: outcome.sweep_time,
+        };
+        (record, finalized)
+    }
+
+    fn advance_state(&mut self, performed: State, heap: &Heap, gc_index: u64) {
+        if let Some(forced) = self.forced {
+            self.state = forced;
+            return;
+        }
+        if !self.pruning_enabled {
+            return;
+        }
+        let ctx = TransitionContext {
+            occupancy: heap.occupancy(),
+            expected_threshold: self.expected_threshold,
+            nearly_full_threshold: self.nearly_full_threshold,
+            prune_only_when_full: self.prune_only_when_full,
+            exhausted_once: self.exhausted_once,
+        };
+        let next = next_state(performed, &ctx);
+        if next == State::Prune && self.averted_oom.is_none() {
+            // Under option (2) the first PRUNE is entered before a literal
+            // exhaustion; the "nearly full" threshold plays the role of the
+            // maximum heap size (§3.1), so the deferred error is recorded
+            // here.
+            self.averted_oom = Some(OutOfMemoryError::new(
+                gc_index,
+                heap.used_bytes(),
+                heap.capacity(),
+            ));
+        }
+        self.state = next;
+    }
+
+    fn collect_base(
+        &self,
+        heap: &mut Heap,
+        roots: &RootSet,
+        collector: &mut Collector,
+        marker_threads: usize,
+    ) -> CollectionOutcome {
+        if marker_threads > 1 {
+            collector.collect_parallel(heap, roots, &TraceAll, marker_threads)
+        } else {
+            collector.collect(heap, roots, &mut TraceAll)
+        }
+    }
+
+    fn collect_select(
+        &mut self,
+        heap: &mut Heap,
+        roots: &RootSet,
+        collector: &mut Collector,
+        stale_clock: Option<u64>,
+        marker_threads: usize,
+    ) -> (CollectionOutcome, Option<SelectionInfo>) {
+        let policy = self.policy;
+        self.select_collections += 1;
+        if let Some(period) = self.decay_period {
+            if self.select_collections % period == 0 {
+                // The phased-behaviour extension: forget one level of
+                // recorded use so long-finished phases stop protecting
+                // their data structures forever.
+                self.table.decay_max_stale_use();
+            }
+        }
+        let table = &self.table;
+        let mut info = None;
+
+        let root_handles: Vec<lp_heap::Handle> = roots.iter().collect();
+        let outcome = collector.collect_with(heap, |heap| match policy {
+            // The parallel path mirrors MMTk's shared-pool trace (§4.5);
+            // only the default policy is parallelized — the comparison
+            // policies of §6.1 stay serial.
+            PredictionPolicy::LeakPruning if marker_threads > 1 => {
+                let stats = par_select_mark(heap, &root_handles, table, stale_clock, marker_threads);
+                if let Some((edge, bytes)) = table.select_max_bytes() {
+                    info = Some(SelectionInfo::Edge { edge, bytes });
+                }
+                table.reset_bytes();
+                stats
+            }
+            PredictionPolicy::LeakPruning => {
+                // Phase 1: the in-use closure, deferring candidates.
+                let mut in_use = InUseVisitor::new(stale_clock, table);
+                let mut stats = trace(heap, roots.iter(), &mut in_use);
+
+                // Phase 2: the stale closure. Processing candidates in
+                // queue order sizes each stale data structure; subtrees
+                // already marked (in use, or claimed by an earlier
+                // candidate) charge nothing.
+                let mut stale = StaleVisitor { stale_clock };
+                for candidate in &in_use.candidates {
+                    if heap.is_marked(candidate.target.slot()) {
+                        continue;
+                    }
+                    // The root itself may have been deferred twice via two
+                    // different references; `trace` marks it exactly once.
+                    let subtree = trace(heap, [candidate.target], &mut stale);
+                    table.add_bytes(candidate.edge, subtree.bytes_marked);
+                    stats = stats.merged(subtree);
+                }
+
+                if let Some((edge, bytes)) = table.select_max_bytes() {
+                    info = Some(SelectionInfo::Edge { edge, bytes });
+                }
+                table.reset_bytes();
+                stats
+            }
+            PredictionPolicy::IndividualRefs => {
+                let mut visitor = crate::closures::IndividualRefsVisitor { stale_clock, table };
+                let stats = trace(heap, roots.iter(), &mut visitor);
+                if let Some((edge, bytes)) = table.select_max_bytes() {
+                    info = Some(SelectionInfo::Edge { edge, bytes });
+                }
+                table.reset_bytes();
+                stats
+            }
+            PredictionPolicy::MostStale => {
+                let mut visitor = MostStaleVisitor {
+                    stale_clock,
+                    max_stale: 0,
+                };
+                let stats = trace(heap, roots.iter(), &mut visitor);
+                if visitor.max_stale >= 2 {
+                    info = Some(SelectionInfo::StaleLevel(visitor.max_stale));
+                }
+                stats
+            }
+        });
+
+        (outcome, info)
+    }
+
+    fn collect_prune(
+        &mut self,
+        heap: &mut Heap,
+        roots: &RootSet,
+        collector: &mut Collector,
+        stale_clock: Option<u64>,
+        marker_threads: usize,
+    ) -> (CollectionOutcome, u64) {
+        let Some(selected) = self.selection.take() else {
+            // Nothing was selectable; fall back to an observing collection.
+            let mut visitor = ObserveVisitor { stale_clock };
+            return (collector.collect(heap, roots, &mut visitor), 0);
+        };
+
+        let selection: Selection = selected.selection();
+        let table = &self.table;
+
+        let (outcome, pruned_map) = if marker_threads > 1 {
+            let visitor = ParPruneVisitor::new(stale_clock, table, selection);
+            let outcome = collector.collect_parallel(heap, roots, &visitor, marker_threads);
+            (outcome, visitor.into_pruned())
+        } else {
+            let mut visitor = PruneVisitor::new(stale_clock, table, selection);
+            let outcome =
+                collector.collect_with(heap, |heap| trace(heap, roots.iter(), &mut visitor));
+            (outcome, visitor.pruned)
+        };
+
+        let pruned: u64 = pruned_map.values().sum();
+        for (edge, count) in &pruned_map {
+            *self.pruned_census.entry(*edge).or_insert(0) += count;
+        }
+        self.total_pruned_refs += pruned;
+        (outcome, pruned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ForcedState;
+    use lp_heap::{AllocSpec, ClassRegistry, Handle, TaggedRef};
+
+    /// Builds the exact heap of Figures 3-5 and checks that SELECT chooses
+    /// B -> C with the bytes of the two stale subtrees, and that PRUNE then
+    /// poisons b1->c1, b3->c3 and b4->c4 while e1's subtree survives.
+    #[test]
+    fn paper_figure5_worked_example() {
+        let mut classes = ClassRegistry::new();
+        let (a, b, c, d, e) = (
+            classes.register("A"),
+            classes.register("B"),
+            classes.register("C"),
+            classes.register("D"),
+            classes.register("E"),
+        );
+
+        let mut heap = Heap::new(1 << 20);
+        let mut roots = RootSet::new();
+
+        let alloc = |heap: &mut Heap, cls, refs| heap.alloc(cls, &AllocSpec::with_refs(refs)).unwrap();
+        let a1 = alloc(&mut heap, a, 4);
+        let e1 = alloc(&mut heap, e, 1);
+        let bs: Vec<Handle> = (0..4).map(|_| alloc(&mut heap, b, 1)).collect();
+        let c1 = alloc(&mut heap, c, 2);
+        let c2 = alloc(&mut heap, c, 0);
+        let c3 = alloc(&mut heap, c, 2);
+        let c4 = alloc(&mut heap, c, 2);
+        let ds: Vec<Handle> = (0..6).map(|_| alloc(&mut heap, d, 0)).collect();
+
+        // Roots -> a1, e1 (in-use references: no unlogged bit).
+        let ra = roots.add_static();
+        let re = roots.add_static();
+        roots.set_static(ra, Some(a1));
+        roots.set_static(re, Some(e1));
+
+        // a1 -> b1..b4 in use (the program walks them).
+        for (i, bi) in bs.iter().enumerate() {
+            heap.object(a1).store_ref(i, TaggedRef::from_handle(*bi));
+        }
+        // b -> c references are stale (unlogged bit set).
+        let stale_ref = |h: Handle| TaggedRef::from_handle(h).with_unlogged();
+        heap.object(bs[0]).store_ref(0, stale_ref(c1));
+        heap.object(bs[1]).store_ref(0, stale_ref(c2));
+        heap.object(bs[2]).store_ref(0, stale_ref(c3));
+        heap.object(bs[3]).store_ref(0, stale_ref(c4));
+        // e1 -> c4 is also stale, but E->C has maxstaleuse 2.
+        heap.object(e1).store_ref(0, stale_ref(c4));
+        // Subtrees.
+        heap.object(c1).store_ref(0, stale_ref(ds[0]));
+        heap.object(c1).store_ref(1, stale_ref(ds[1]));
+        heap.object(c3).store_ref(0, stale_ref(ds[2]));
+        heap.object(c3).store_ref(1, stale_ref(ds[3]));
+        heap.object(c4).store_ref(0, stale_ref(ds[4]));
+        heap.object(c4).store_ref(1, stale_ref(ds[5]));
+
+        // Stale counters from the figure.
+        heap.object(c1).set_stale(4);
+        heap.object(c2).set_stale(1);
+        heap.object(c3).set_stale(4);
+        heap.object(c4).set_stale(3);
+        for di in &ds {
+            heap.object(*di).set_stale(4);
+        }
+
+        let config = PruningConfig::builder(1 << 20).build();
+        let mut pruner = Pruner::new(&config);
+        // The program once used an E->C reference at staleness 2.
+        pruner.table.note_stale_use(EdgeKey::new(e, c), 2);
+        // Start in SELECT (the heap is "nearly full" by assumption).
+        pruner.state = State::Select;
+
+        let mut collector = Collector::new();
+        let (record, _) = pruner.collect(&mut heap, &roots, &mut collector, 1, true);
+        assert_eq!(record.state, State::Select);
+
+        let expected_bytes: u64 = [c1, ds[0], ds[1], c3, ds[2], ds[3]]
+            .iter()
+            .map(|h| u64::from(heap.object(*h).footprint()))
+            .sum();
+        match record.selected {
+            Some(SelectionInfo::Edge { edge, bytes }) => {
+                assert_eq!(edge, EdgeKey::new(b, c), "B->C has the most stale bytes");
+                assert_eq!(bytes, expected_bytes, "c4's subtree is in use via e1");
+            }
+            other => panic!("expected an edge selection, got {other:?}"),
+        }
+        // SELECT retains everything.
+        assert_eq!(record.freed_objects, 0);
+        assert_eq!(pruner.state(), State::Prune, "option (2): prune next");
+
+        // PRUNE: b1->c1, b3->c3 and b4->c4 are poisoned; c4's subtree
+        // survives through e1 (Figure 4).
+        let (record, _) = pruner.collect(&mut heap, &roots, &mut collector, 1, true);
+        assert_eq!(record.state, State::Prune);
+        assert_eq!(record.pruned_refs, 3);
+        assert!(heap.object(bs[0]).load_ref(0).is_poisoned());
+        assert!(!heap.object(bs[1]).load_ref(0).is_poisoned(), "c2 not stale enough");
+        assert!(heap.object(bs[2]).load_ref(0).is_poisoned());
+        assert!(heap.object(bs[3]).load_ref(0).is_poisoned());
+        assert!(!heap.object(e1).load_ref(0).is_poisoned(), "E->C protected by maxstaleuse");
+
+        assert!(!heap.contains(c1) && !heap.contains(c3), "stale subtrees reclaimed");
+        assert!(!heap.contains(ds[0]) && !heap.contains(ds[3]));
+        assert!(heap.contains(c4) && heap.contains(ds[4]) && heap.contains(ds[5]));
+        assert_eq!(record.freed_objects, 6);
+        assert_eq!(pruner.total_pruned_refs(), 3);
+        assert!(pruner.averted_oom().is_some(), "deferred error recorded at first PRUNE");
+    }
+
+    #[test]
+    fn forced_state_never_advances() {
+        let config = PruningConfig::builder(1024)
+            .force_state(ForcedState::Select)
+            .build();
+        let mut pruner = Pruner::new(&config);
+        let mut heap = Heap::new(1024);
+        let roots = RootSet::new();
+        let mut collector = Collector::new();
+        for _ in 0..3 {
+            let (record, _) = pruner.collect(&mut heap, &roots, &mut collector, 1, true);
+            assert_eq!(record.state, State::Select);
+        }
+        assert_eq!(pruner.state(), State::Select);
+        assert!(pruner.averted_oom().is_none(), "forced SELECT never prunes");
+    }
+
+    #[test]
+    fn disabled_pruning_keeps_state_inactive() {
+        let config = PruningConfig::base(1024);
+        let mut pruner = Pruner::new(&config);
+        let mut heap = Heap::new(64); // tiny: always "full"
+        let roots = RootSet::new();
+        let mut collector = Collector::new();
+        let (record, _) = pruner.collect(&mut heap, &roots, &mut collector, 1, true);
+        assert_eq!(record.state, State::Inactive);
+        assert_eq!(pruner.state(), State::Inactive);
+    }
+
+    #[test]
+    fn prune_without_selection_degrades_to_observe() {
+        let config = PruningConfig::builder(1 << 20).build();
+        let mut pruner = Pruner::new(&config);
+        pruner.state = State::Prune;
+        let mut heap = Heap::new(1 << 20);
+        let roots = RootSet::new();
+        let mut collector = Collector::new();
+        let (record, _) = pruner.collect(&mut heap, &roots, &mut collector, 1, true);
+        assert_eq!(record.pruned_refs, 0);
+        assert_eq!(record.state, State::Prune);
+        // Empty heap: occupancy 0 -> back to OBSERVE.
+        assert_eq!(pruner.state(), State::Observe);
+    }
+}

@@ -1,0 +1,196 @@
+//! Runtime errors: the deferred `OutOfMemoryError` and the `InternalError`
+//! thrown when the program touches a pruned reference.
+
+use std::error::Error;
+use std::fmt;
+
+use lp_heap::ClassId;
+
+/// The out-of-memory condition leak pruning averted (or, with pruning
+/// disabled, surfaced to the program).
+///
+/// When the heap is exhausted and leak pruning starts reclaiming memory
+/// instead of failing, this error is recorded. If the program later reads a
+/// pruned reference, the [`PrunedAccessError`] it receives carries this
+/// error as its cause — mirroring `InternalError.getCause()` returning the
+/// original `OutOfMemoryError` (§3.2 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemoryError {
+    gc_index: u64,
+    used_bytes: u64,
+    capacity: u64,
+}
+
+impl OutOfMemoryError {
+    pub(crate) fn new(gc_index: u64, used_bytes: u64, capacity: u64) -> Self {
+        OutOfMemoryError {
+            gc_index,
+            used_bytes,
+            capacity,
+        }
+    }
+
+    /// Index of the full-heap collection at which memory ran out.
+    pub fn gc_index(&self) -> u64 {
+        self.gc_index
+    }
+
+    /// Bytes in use when memory ran out.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// The heap capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+impl fmt::Display for OutOfMemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of memory at collection {}: {}/{} bytes in use",
+            self.gc_index, self.used_bytes, self.capacity
+        )
+    }
+}
+
+impl Error for OutOfMemoryError {}
+
+/// Thrown when the program reads a poisoned (pruned) reference.
+///
+/// Models the asynchronous `InternalError` of §2: semantics are preserved
+/// because the program had already run out of memory — the original
+/// [`OutOfMemoryError`] is attached as the [`Error::source`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrunedAccessError {
+    cause: OutOfMemoryError,
+    source_class: ClassId,
+    field: usize,
+}
+
+impl PrunedAccessError {
+    pub(crate) fn new(cause: OutOfMemoryError, source_class: ClassId, field: usize) -> Self {
+        PrunedAccessError {
+            cause,
+            source_class,
+            field,
+        }
+    }
+
+    /// The averted out-of-memory error that pruning deferred.
+    pub fn cause(&self) -> &OutOfMemoryError {
+        &self.cause
+    }
+
+    /// Class of the object whose pruned field was read.
+    pub fn source_class(&self) -> ClassId {
+        self.source_class
+    }
+
+    /// Index of the pruned field.
+    pub fn field(&self) -> usize {
+        self.field
+    }
+}
+
+impl fmt::Display for PrunedAccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "internal error: access to pruned reference (field {} of {})",
+            self.field, self.source_class
+        )
+    }
+}
+
+impl Error for PrunedAccessError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.cause)
+    }
+}
+
+/// Any error surfaced to the mutator by the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Memory was exhausted and could not be (further) reclaimed.
+    OutOfMemory(OutOfMemoryError),
+    /// The program read a reference that leak pruning poisoned.
+    PrunedAccess(PrunedAccessError),
+}
+
+impl RuntimeError {
+    /// Whether this is the out-of-memory variant.
+    pub fn is_out_of_memory(&self) -> bool {
+        matches!(self, RuntimeError::OutOfMemory(_))
+    }
+
+    /// Whether this is the pruned-access variant.
+    pub fn is_pruned_access(&self) -> bool {
+        matches!(self, RuntimeError::PrunedAccess(_))
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::OutOfMemory(e) => e.fmt(f),
+            RuntimeError::PrunedAccess(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::OutOfMemory(e) => Some(e),
+            RuntimeError::PrunedAccess(e) => Some(e),
+        }
+    }
+}
+
+impl From<OutOfMemoryError> for RuntimeError {
+    fn from(e: OutOfMemoryError) -> Self {
+        RuntimeError::OutOfMemory(e)
+    }
+}
+
+impl From<PrunedAccessError> for RuntimeError {
+    fn from(e: PrunedAccessError) -> Self {
+        RuntimeError::PrunedAccess(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruned_access_carries_oom_cause() {
+        let oom = OutOfMemoryError::new(7, 1000, 1024);
+        let err = PrunedAccessError::new(oom.clone(), ClassId::from_index(3), 2);
+        assert_eq!(err.cause(), &oom);
+        let source = Error::source(&err).expect("has a source");
+        assert!(source.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn runtime_error_classification() {
+        let oom = OutOfMemoryError::new(1, 10, 10);
+        let e1: RuntimeError = oom.clone().into();
+        assert!(e1.is_out_of_memory() && !e1.is_pruned_access());
+        let e2: RuntimeError =
+            PrunedAccessError::new(oom, ClassId::from_index(0), 0).into();
+        assert!(e2.is_pruned_access());
+        assert!(e2.source().is_some());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let oom = OutOfMemoryError::new(3, 99, 100);
+        assert!(oom.to_string().contains("collection 3"));
+        let pruned = PrunedAccessError::new(oom, ClassId::from_index(5), 1);
+        assert!(pruned.to_string().contains("pruned"));
+    }
+}

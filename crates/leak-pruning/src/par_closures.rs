@@ -1,0 +1,340 @@
+//! Parallel variants of the pruning closures (§4.5).
+//!
+//! The paper piggybacks on MMTk's parallel collector: multiple marker
+//! threads run the in-use closure, sharing the candidate queue and the
+//! edge table; in the stale closure "a single thread processes all objects
+//! reachable from a candidate edge", with distinct candidates processed by
+//! different threads concurrently. Because many objects have multiple
+//! referents, per-object mark words arbitrate ownership — exactly the
+//! mechanism [`lp_heap::Heap::try_mark`] provides.
+//!
+//! These visitors mirror the serial ones in [`crate::closures`]; the
+//! candidate queue and the pruned-census map become mutex-protected, and
+//! everything else (stale counters, reference words, the edge table) was
+//! already atomic. Equivalence with the serial closures is checked by
+//! tests below (up to candidate discovery order, which can differ when
+//! subtrees overlap — the same nondeterminism §4.5 accepts).
+
+use std::collections::BTreeMap;
+
+use lp_gc::{par_trace, trace, EdgeAction, ParEdgeVisitor, TraceStats};
+use lp_heap::{Handle, Heap, Object, TaggedRef};
+use parking_lot::Mutex;
+
+use crate::closures::{Selection, StaleVisitor};
+use crate::edge_table::{EdgeKey, EdgeTable};
+
+fn maybe_tick(object: &Object, stale_clock: Option<u64>) -> u8 {
+    match stale_clock {
+        Some(clock) => object.tick_stale(clock),
+        None => object.stale(),
+    }
+}
+
+fn is_candidate(table: &EdgeTable, edge: EdgeKey, reference: TaggedRef, target_stale: u8) -> bool {
+    reference.is_unlogged()
+        && target_stale >= table.max_stale_use(edge).saturating_add(2)
+        && target_stale >= 2
+}
+
+/// A deferred candidate reference (thread-safe flavour).
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct ParCandidate {
+    pub edge: EdgeKey,
+    pub target: Handle,
+}
+
+/// Parallel OBSERVE closure.
+pub(crate) struct ParObserveVisitor {
+    pub stale_clock: Option<u64>,
+}
+
+impl ParEdgeVisitor for ParObserveVisitor {
+    fn visit_edge(
+        &self,
+        _heap: &Heap,
+        _src_slot: u32,
+        src: &Object,
+        field: usize,
+        reference: TaggedRef,
+    ) -> EdgeAction {
+        if reference.is_poisoned() {
+            return EdgeAction::Skip;
+        }
+        src.store_ref(field, reference.with_unlogged());
+        EdgeAction::Trace
+    }
+
+    fn visit_object(&self, _heap: &Heap, _slot: u32, object: &Object) {
+        maybe_tick(object, self.stale_clock);
+    }
+}
+
+/// Parallel SELECT in-use closure: defers candidates into a shared pool.
+pub(crate) struct ParInUseVisitor<'a> {
+    pub stale_clock: Option<u64>,
+    pub table: &'a EdgeTable,
+    pub candidates: Mutex<Vec<ParCandidate>>,
+}
+
+impl<'a> ParInUseVisitor<'a> {
+    pub fn new(stale_clock: Option<u64>, table: &'a EdgeTable) -> Self {
+        ParInUseVisitor {
+            stale_clock,
+            table,
+            candidates: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl ParEdgeVisitor for ParInUseVisitor<'_> {
+    fn visit_edge(
+        &self,
+        heap: &Heap,
+        _src_slot: u32,
+        src: &Object,
+        field: usize,
+        reference: TaggedRef,
+    ) -> EdgeAction {
+        if reference.is_poisoned() {
+            return EdgeAction::Skip;
+        }
+        let target_slot = reference.slot().expect("non-null");
+        let target = heap.object_by_slot(target_slot).expect("live target");
+        let edge = EdgeKey::new(src.class(), target.class());
+        if is_candidate(self.table, edge, reference, target.stale()) {
+            self.candidates.lock().push(ParCandidate {
+                edge,
+                target: heap.handle_at(target_slot),
+            });
+            return EdgeAction::Skip;
+        }
+        src.store_ref(field, reference.with_unlogged());
+        EdgeAction::Trace
+    }
+
+    fn visit_object(&self, _heap: &Heap, _slot: u32, object: &Object) {
+        maybe_tick(object, self.stale_clock);
+    }
+}
+
+/// Parallel PRUNE closure: poisons matching references, accumulating the
+/// census under a mutex (rare: only pruned references touch it).
+pub(crate) struct ParPruneVisitor<'a> {
+    pub stale_clock: Option<u64>,
+    pub table: &'a EdgeTable,
+    pub selection: Selection,
+    pub pruned: Mutex<BTreeMap<EdgeKey, u64>>,
+}
+
+impl<'a> ParPruneVisitor<'a> {
+    pub fn new(stale_clock: Option<u64>, table: &'a EdgeTable, selection: Selection) -> Self {
+        ParPruneVisitor {
+            stale_clock,
+            table,
+            selection,
+            pruned: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    pub fn into_pruned(self) -> BTreeMap<EdgeKey, u64> {
+        self.pruned.into_inner()
+    }
+}
+
+impl ParEdgeVisitor for ParPruneVisitor<'_> {
+    fn visit_edge(
+        &self,
+        heap: &Heap,
+        _src_slot: u32,
+        src: &Object,
+        field: usize,
+        reference: TaggedRef,
+    ) -> EdgeAction {
+        if reference.is_poisoned() {
+            return EdgeAction::Skip;
+        }
+        let target_slot = reference.slot().expect("non-null");
+        let target = heap.object_by_slot(target_slot).expect("live target");
+        let edge = EdgeKey::new(src.class(), target.class());
+        let matches = match self.selection {
+            Selection::Edge(selected) => {
+                edge == selected && is_candidate(self.table, edge, reference, target.stale())
+            }
+            Selection::StaleLevel(level) => {
+                reference.is_unlogged() && target.stale() >= level.max(2)
+            }
+        };
+        if matches {
+            // The CAS mirrors the collector's fine-grained synchronization:
+            // if another marker thread rewrote the field first, defer to it.
+            if src.cas_ref(field, reference, reference.with_poison()) {
+                *self.pruned.lock().entry(edge).or_insert(0) += 1;
+            }
+            return EdgeAction::Skip;
+        }
+        src.store_ref(field, reference.with_unlogged());
+        EdgeAction::Trace
+    }
+
+    fn visit_object(&self, _heap: &Heap, _slot: u32, object: &Object) {
+        maybe_tick(object, self.stale_clock);
+    }
+}
+
+/// Runs the two-phase SELECT marking in parallel: a parallel in-use
+/// closure, then the stale closures — one thread per chunk of candidates,
+/// each candidate's subtree processed by a single thread (§4.5).
+///
+/// Returns the merged trace statistics; `bytes_used` charges land in the
+/// edge table exactly as in the serial path.
+pub(crate) fn par_select_mark(
+    heap: &Heap,
+    roots: &[Handle],
+    table: &EdgeTable,
+    stale_clock: Option<u64>,
+    threads: usize,
+) -> TraceStats {
+    let in_use = ParInUseVisitor::new(stale_clock, table);
+    let mut stats = par_trace(heap, roots, &in_use, threads);
+    let candidates = in_use.candidates.into_inner();
+
+    // Distribute candidates across threads; each candidate subtree is
+    // traced by exactly one thread (mark words arbitrate overlaps).
+    let chunk = candidates.len().div_ceil(threads.max(1)).max(1);
+    let chunk_stats: Vec<TraceStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut local = TraceStats::default();
+                    let mut visitor = StaleVisitor { stale_clock };
+                    for candidate in chunk {
+                        if heap.is_marked(candidate.target.slot()) {
+                            continue;
+                        }
+                        let subtree = trace(heap, [candidate.target], &mut visitor);
+                        table.add_bytes(candidate.edge, subtree.bytes_marked);
+                        local = local.merged(subtree);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    });
+    for s in chunk_stats {
+        stats = stats.merged(s);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_heap::{AllocSpec, ClassRegistry, Heap};
+
+    /// Builds a heap with `lists` stale chains hanging off one live hub.
+    fn leaky_heap(lists: u32, depth: u32) -> (Heap, ClassRegistry, Vec<Handle>) {
+        let mut classes = ClassRegistry::new();
+        let hub_cls = classes.register("Hub");
+        let node_cls = classes.register("Node");
+        let mut heap = Heap::new(1 << 26);
+        let hub = heap.alloc(hub_cls, &AllocSpec::with_refs(lists)).unwrap();
+        for l in 0..lists {
+            let mut prev: Option<Handle> = None;
+            for _ in 0..depth {
+                let n = heap.alloc(node_cls, &AllocSpec::new(1, 0, 64)).unwrap();
+                if let Some(p) = prev {
+                    heap.object(n)
+                        .store_ref(0, TaggedRef::from_handle(p).with_unlogged());
+                }
+                n_set_stale(&heap, n);
+                prev = Some(n);
+            }
+            heap.object(hub)
+                .store_ref(l as usize, TaggedRef::from_handle(prev.unwrap()).with_unlogged());
+        }
+        (heap, classes, vec![hub])
+    }
+
+    fn n_set_stale(heap: &Heap, h: Handle) {
+        heap.object(h).set_stale(4);
+    }
+
+    #[test]
+    fn parallel_select_matches_serial_charges() {
+        let (mut heap, classes, roots) = leaky_heap(8, 50);
+        let node_cls = classes.lookup("Node").unwrap();
+        let hub_cls = classes.lookup("Hub").unwrap();
+
+        // Serial pass.
+        let serial_table = EdgeTable::new(256);
+        heap.begin_mark_epoch();
+        let mut in_use = crate::closures::InUseVisitor::new(None, &serial_table);
+        let mut serial_stats = lp_gc::trace(&heap, roots.iter().copied(), &mut in_use);
+        let mut stale = StaleVisitor { stale_clock: None };
+        for c in &in_use.candidates {
+            if heap.is_marked(c.target.slot()) {
+                continue;
+            }
+            let sub = lp_gc::trace(&heap, [c.target], &mut stale);
+            serial_table.add_bytes(c.edge, sub.bytes_marked);
+            serial_stats = serial_stats.merged(sub);
+        }
+
+        // Parallel pass on a fresh epoch.
+        let par_table = EdgeTable::new(256);
+        heap.begin_mark_epoch();
+        let par_stats = par_select_mark(&heap, &roots, &par_table, None, 4);
+
+        assert_eq!(serial_stats.objects_marked, par_stats.objects_marked);
+        assert_eq!(serial_stats.bytes_marked, par_stats.bytes_marked);
+        let hub_edge = EdgeKey::new(hub_cls, node_cls);
+        assert_eq!(
+            serial_table.bytes_used(hub_edge),
+            par_table.bytes_used(hub_edge),
+            "disjoint chains charge identically"
+        );
+        assert_eq!(
+            serial_table.select_max_bytes(),
+            par_table.select_max_bytes()
+        );
+    }
+
+    #[test]
+    fn parallel_prune_poisons_selected_edge() {
+        let (mut heap, classes, roots) = leaky_heap(4, 20);
+        let edge = EdgeKey::new(
+            classes.lookup("Hub").unwrap(),
+            classes.lookup("Node").unwrap(),
+        );
+        let table = EdgeTable::new(64);
+        heap.begin_mark_epoch();
+        let visitor = ParPruneVisitor::new(None, &table, Selection::Edge(edge));
+        par_trace(&heap, &roots, &visitor, 4);
+        let pruned = visitor.into_pruned();
+        assert_eq!(pruned.get(&edge).copied(), Some(4), "all four chain heads");
+        heap.sweep();
+        assert_eq!(heap.live_objects(), 1, "only the hub survives");
+    }
+
+    #[test]
+    fn parallel_observe_sets_bits_and_ticks() {
+        let (mut heap, _classes, roots) = leaky_heap(2, 5);
+        // Clear the pre-set staleness to watch the tick.
+        for (_, obj) in heap.iter() {
+            obj.clear_stale();
+        }
+        heap.begin_mark_epoch();
+        par_trace(&heap, &roots, &ParObserveVisitor { stale_clock: Some(1) }, 3);
+        for (_, obj) in heap.iter() {
+            assert_eq!(obj.stale(), 1);
+            for (_, r) in obj.iter_refs() {
+                if !r.is_null() {
+                    assert!(r.is_unlogged());
+                }
+            }
+        }
+    }
+}

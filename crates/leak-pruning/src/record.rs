@@ -1,0 +1,104 @@
+//! Per-collection records — the raw data behind the paper's figures.
+
+use std::time::Duration;
+
+use crate::closures::Selection;
+use crate::edge_table::EdgeKey;
+use crate::state::State;
+
+/// What a SELECT collection chose to prune.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SelectionInfo {
+    /// An edge type, with the `bytes_used` that won the selection.
+    Edge {
+        /// The selected *(source class → target class)* pair.
+        edge: EdgeKey,
+        /// Bytes charged to the edge by the stale closure.
+        bytes: u64,
+    },
+    /// A staleness level (the "most stale" policy).
+    StaleLevel(u8),
+}
+
+impl SelectionInfo {
+    pub(crate) fn selection(&self) -> Selection {
+        match *self {
+            SelectionInfo::Edge { edge, .. } => Selection::Edge(edge),
+            SelectionInfo::StaleLevel(level) => Selection::StaleLevel(level),
+        }
+    }
+}
+
+/// One full-heap collection, as the history the runtime keeps.
+///
+/// `live_bytes_after` is the quantity Figures 1 and 9 plot ("reachable
+/// memory at the end of each full-heap collection").
+#[derive(Clone, Debug)]
+pub struct GcRecord {
+    /// 1-based collection number.
+    pub gc_index: u64,
+    /// The state the collection was performed in.
+    pub state: State,
+    /// Bytes in use after the sweep (reachable memory).
+    pub live_bytes_after: u64,
+    /// Objects in the heap after the sweep.
+    pub live_objects_after: u64,
+    /// Bytes reclaimed by the sweep.
+    pub freed_bytes: u64,
+    /// Objects reclaimed by the sweep.
+    pub freed_objects: u64,
+    /// References poisoned during this collection (PRUNE only).
+    pub pruned_refs: u64,
+    /// What SELECT chose, if this was a SELECT collection that found a
+    /// target.
+    pub selected: Option<SelectionInfo>,
+    /// Wall-clock marking time.
+    pub mark_time: Duration,
+    /// Wall-clock sweep time.
+    pub sweep_time: Duration,
+}
+
+impl GcRecord {
+    /// Total wall-clock collection time.
+    pub fn gc_time(&self) -> Duration {
+        self.mark_time + self.sweep_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_info_converts() {
+        let edge = EdgeKey::new(
+            lp_heap::ClassId::from_index(1),
+            lp_heap::ClassId::from_index(2),
+        );
+        assert_eq!(
+            SelectionInfo::Edge { edge, bytes: 10 }.selection(),
+            Selection::Edge(edge)
+        );
+        assert_eq!(
+            SelectionInfo::StaleLevel(4).selection(),
+            Selection::StaleLevel(4)
+        );
+    }
+
+    #[test]
+    fn gc_time_sums_phases() {
+        let r = GcRecord {
+            gc_index: 1,
+            state: State::Observe,
+            live_bytes_after: 0,
+            live_objects_after: 0,
+            freed_bytes: 0,
+            freed_objects: 0,
+            pruned_refs: 0,
+            selected: None,
+            mark_time: Duration::from_millis(3),
+            sweep_time: Duration::from_millis(2),
+        };
+        assert_eq!(r.gc_time(), Duration::from_millis(5));
+    }
+}

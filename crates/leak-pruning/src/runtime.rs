@@ -1,0 +1,1155 @@
+//! The [`Runtime`] facade: the "virtual machine" mutator programs run on.
+//!
+//! The runtime ties together the heap, the root set, the collector, and the
+//! pruning engine, and implements the two instrumentation points the paper
+//! adds to the VM:
+//!
+//! * **Allocation** ([`Runtime::alloc`]): when an allocation does not fit,
+//!   the runtime collects; if memory stays exhausted it escalates through
+//!   the state machine (OBSERVE → SELECT → PRUNE), reclaiming predicted-dead
+//!   data structures instead of throwing — and only surfaces an
+//!   [`OutOfMemoryError`](crate::OutOfMemoryError) once pruning can make no
+//!   further progress.
+//! * **Reference loads** ([`Runtime::read_field`]): the conditional read
+//!   barrier of §4.1/§4.4 — poisoned reference → error carrying the deferred
+//!   out-of-memory error; unlogged reference → clear the bit, record
+//!   `max_stale_use` if the target was stale, zero the target's stale
+//!   counter.
+
+use lp_gc::{Collector, GcStats};
+use lp_heap::{
+    AllocSpec, ClassId, ClassRegistry, FrameId, Handle, Heap, RootSet, StaticId, TaggedRef,
+};
+
+use crate::config::{BarrierMode, PruningConfig};
+use crate::edge_table::{EdgeKey, EdgeTable};
+use crate::engine::Pruner;
+use crate::error::{OutOfMemoryError, PrunedAccessError, RuntimeError};
+use crate::record::GcRecord;
+use crate::report::{PruneReport, PrunedEdge};
+use crate::state::State;
+
+/// Mutator-side instrumentation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MutatorCounters {
+    /// Reference-field loads executed ([`Runtime::read_field`] calls).
+    pub ref_reads: u64,
+    /// Loads that took the barrier's out-of-line cold path (a tag bit was
+    /// set). The paper's barrier design makes this at most once per
+    /// reference per collection.
+    pub barrier_cold_hits: u64,
+    /// Cold-path hits that updated an edge's `max_stale_use` (target was
+    /// stale when used).
+    pub stale_use_updates: u64,
+    /// Finalizers run.
+    pub finalizers_run: u64,
+    /// Finalizers skipped because pruning had started and
+    /// [`run_finalizers_after_prune`](crate::PruningConfig::run_finalizers_after_prune)
+    /// is off.
+    pub finalizers_skipped: u64,
+    /// Minor (nursery) collections performed (generational configuration
+    /// only).
+    pub minor_collections: u64,
+    /// Old-to-young stores recorded by the generational write barrier.
+    pub remembered_stores: u64,
+}
+
+/// A managed runtime with leak pruning.
+///
+/// # Example
+///
+/// ```
+/// use leak_pruning::{PruningConfig, Runtime};
+/// use lp_heap::AllocSpec;
+///
+/// let mut rt = Runtime::new(PruningConfig::builder(1 << 20).build());
+/// let list = rt.register_class("List");
+/// let node = rt.register_class("Node");
+///
+/// let head = rt.alloc(list, &AllocSpec::with_refs(1))?;
+/// let global = rt.add_static();
+/// rt.set_static(global, Some(head));
+///
+/// let n = rt.alloc(node, &AllocSpec::with_refs(1))?;
+/// rt.write_field(head, 0, Some(n));
+/// assert_eq!(rt.read_field(head, 0)?, Some(n));
+/// # Ok::<(), leak_pruning::RuntimeError>(())
+/// ```
+pub struct Runtime {
+    config: PruningConfig,
+    classes: ClassRegistry,
+    heap: Heap,
+    roots: RootSet,
+    collector: Collector,
+    pruner: Pruner,
+    history: Vec<GcRecord>,
+    counters: MutatorCounters,
+    finalizer_hook: Option<Box<dyn FnMut(ClassId) + Send>>,
+    /// Bytes allocated since the last collection — one measure of mutator
+    /// progress gating the staleness clock.
+    bytes_since_gc: u64,
+    /// Reference loads since the last collection — the other measure.
+    reads_since_gc: u64,
+    /// Heap usage at the end of the last full collection, for the
+    /// generational full-collection trigger.
+    used_at_last_full: u64,
+}
+
+/// Fraction of the heap the mutator must allocate between two collections
+/// for the second to age objects (1/16 of capacity).
+const MUTATOR_PROGRESS_DIVISOR: u64 = 16;
+
+/// Alternatively, reference loads between two collections that count as
+/// mutator progress — programs under memory pressure allocate little but
+/// still *use* their data.
+///
+/// Collections separated by neither signal (allocation stalls, or the §6.3
+/// grind where every allocation collects) give the program no real chance
+/// to use anything, so aging objects across them would turn hot data into
+/// pruning candidates.
+const MUTATOR_PROGRESS_READS: u64 = 32;
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("state", &self.state())
+            .field("used_bytes", &self.heap.used_bytes())
+            .field("capacity", &self.heap.capacity())
+            .field("collections", &self.collector.collections())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runtime {
+    /// Creates a runtime with the given configuration.
+    pub fn new(config: PruningConfig) -> Self {
+        Runtime {
+            heap: Heap::new(config.heap_capacity()),
+            pruner: Pruner::new(&config),
+            classes: ClassRegistry::new(),
+            roots: RootSet::new(),
+            collector: Collector::new(),
+            history: Vec::new(),
+            counters: MutatorCounters::default(),
+            finalizer_hook: None,
+            bytes_since_gc: 0,
+            reads_since_gc: 0,
+            used_at_last_full: 0,
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PruningConfig {
+        &self.config
+    }
+
+    // ----- classes --------------------------------------------------------
+
+    /// Interns a class name.
+    pub fn register_class(&mut self, name: &str) -> ClassId {
+        self.classes.register(name)
+    }
+
+    /// The class registry.
+    pub fn classes(&self) -> &ClassRegistry {
+        &self.classes
+    }
+
+    /// Name of a registered class.
+    pub fn class_name(&self, id: ClassId) -> &str {
+        self.classes.name(id)
+    }
+
+    // ----- roots -----------------------------------------------------------
+
+    /// Adds a static (global) root slot.
+    pub fn add_static(&mut self) -> StaticId {
+        self.roots.add_static()
+    }
+
+    /// Reads a static slot. Statics hold plain handles ("registers"), so no
+    /// read barrier applies.
+    pub fn static_ref(&self, id: StaticId) -> Option<Handle> {
+        self.roots.static_ref(id)
+    }
+
+    /// Writes a static slot.
+    pub fn set_static(&mut self, id: StaticId, value: Option<Handle>) {
+        self.roots.set_static(id, value);
+    }
+
+    /// Pushes a stack frame with `slots` local reference slots (e.g. a
+    /// thread the program spawned).
+    pub fn push_frame(&mut self, slots: usize) -> FrameId {
+        self.roots.push_frame(slots)
+    }
+
+    /// Pops a stack frame.
+    pub fn pop_frame(&mut self, id: FrameId) {
+        self.roots.pop_frame(id);
+    }
+
+    /// Reads a frame slot (no barrier; frames are registers).
+    pub fn frame_ref(&self, id: FrameId, index: usize) -> Option<Handle> {
+        self.roots.frame_ref(id, index)
+    }
+
+    /// Writes a frame slot.
+    pub fn set_frame_ref(&mut self, id: FrameId, index: usize, value: Option<Handle>) {
+        self.roots.set_frame_ref(id, index, value);
+    }
+
+    // ----- allocation ------------------------------------------------------
+
+    /// Allocates an object, collecting — and, when enabled, pruning — as
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::OutOfMemory`] when the heap stays exhausted
+    /// after collection and pruning cannot reclaim enough memory (or is
+    /// disabled).
+    pub fn alloc(&mut self, class: ClassId, spec: &AllocSpec) -> Result<Handle, RuntimeError> {
+        let bytes = u64::from(spec.footprint());
+        // Generational fast path: when the nursery fills, a cheap minor
+        // collection reclaims the short-lived majority without a full
+        // trace. Leak pruning is untouched by minor collections (§5: the
+        // paper's collector is generational; pruning piggybacks on
+        // full-heap collections only).
+        if let Some(fraction) = self.config.nursery_fraction() {
+            let nursery_capacity = (self.heap.capacity() as f64 * fraction) as u64;
+            if self.heap.young_bytes().saturating_add(bytes) > nursery_capacity {
+                self.run_minor_collection();
+                // Old-generation growth triggers full collections (the
+                // standard generational heuristic): without it, minor
+                // collections would defer the first full-heap collection —
+                // and with it all staleness observation — until the heap
+                // is nearly exhausted.
+                let growth_step = self.heap.capacity() / 8;
+                if self.heap.used_bytes() > self.used_at_last_full.saturating_add(growth_step) {
+                    self.run_collection(false);
+                }
+            }
+        }
+        if !self.heap.fits(bytes) {
+            self.collect_until_fits(bytes)?;
+        }
+        let handle = self
+            .heap
+            .alloc(class, spec)
+            .expect("heap has room after collection");
+        self.bytes_since_gc += bytes;
+        // The new object lives in a mutator register until the program
+        // stores it somewhere; the register file keeps it rooted across
+        // collections triggered mid-construction.
+        self.roots.note_allocation(handle);
+        Ok(handle)
+    }
+
+    /// Allocates an object that carries a finalizer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::alloc`].
+    pub fn alloc_finalizable(
+        &mut self,
+        class: ClassId,
+        spec: &AllocSpec,
+    ) -> Result<Handle, RuntimeError> {
+        let handle = self.alloc(class, spec)?;
+        self.heap.set_finalizable(handle);
+        Ok(handle)
+    }
+
+    fn collect_until_fits(&mut self, bytes: u64) -> Result<(), RuntimeError> {
+        let mut no_progress = 0u32;
+        for _ in 0..self.config.max_gc_attempts_per_alloc() {
+            // Whether this collection ages objects is decided by how much
+            // the mutator allocated since the previous one.
+            let record = self.run_collection(false);
+            let progress =
+                record.freed_bytes > 0 || record.pruned_refs > 0 || record.selected.is_some();
+            if self.heap.fits(bytes) {
+                return Ok(());
+            }
+            // The program has genuinely exhausted memory: a full collection
+            // did not make room. Record the (deferred) error.
+            self.pruner.note_exhausted(
+                record.gc_index,
+                self.heap.used_bytes(),
+                self.heap.capacity(),
+            );
+            if !self.config.pruning_enabled() {
+                break;
+            }
+            if progress {
+                no_progress = 0;
+            } else {
+                no_progress += 1;
+                if no_progress >= 3 {
+                    // A full OBSERVE -> SELECT -> PRUNE cycle achieved
+                    // nothing; the remaining memory is live (or at least
+                    // unprunable). Give up.
+                    break;
+                }
+            }
+        }
+        Err(RuntimeError::OutOfMemory(self.current_oom(bytes)))
+    }
+
+    fn current_oom(&self, _requested: u64) -> OutOfMemoryError {
+        OutOfMemoryError::new(
+            self.collector.collections(),
+            self.heap.used_bytes(),
+            self.heap.capacity(),
+        )
+    }
+
+    /// Forces a full-heap collection (driver/test hook). Forced collections
+    /// always advance the staleness clock.
+    pub fn force_gc(&mut self) -> GcRecord {
+        self.run_collection(true)
+    }
+
+    fn run_minor_collection(&mut self) {
+        let outcome = lp_gc::collect_minor(&mut self.heap, &self.roots);
+        self.counters.minor_collections += 1;
+        let mut finalized = outcome.swept.finalized;
+        if !finalized.is_empty() {
+            let pruning_started = self.pruner.averted_oom().is_some();
+            if pruning_started && !self.config.run_finalizers_after_prune() {
+                self.counters.finalizers_skipped += finalized.len() as u64;
+            } else {
+                self.counters.finalizers_run += finalized.len() as u64;
+                if let Some(hook) = self.finalizer_hook.as_mut() {
+                    for class in finalized.drain() {
+                        hook(class);
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_collection(&mut self, force_tick: bool) -> GcRecord {
+        // (used_at_last_full is refreshed after the sweep, below.)
+        let byte_threshold = (self.heap.capacity() / MUTATOR_PROGRESS_DIVISOR).max(1);
+        let mutator_ran = force_tick
+            || self.bytes_since_gc >= byte_threshold
+            || self.reads_since_gc >= MUTATOR_PROGRESS_READS;
+        self.bytes_since_gc = 0;
+        self.reads_since_gc = 0;
+        let (record, mut finalized) = self.pruner.collect(
+            &mut self.heap,
+            &self.roots,
+            &mut self.collector,
+            self.config.marker_threads(),
+            mutator_ran,
+        );
+        if !finalized.is_empty() {
+            let pruning_started = self.pruner.averted_oom().is_some();
+            if pruning_started && !self.config.run_finalizers_after_prune() {
+                self.counters.finalizers_skipped += finalized.len() as u64;
+            } else {
+                self.counters.finalizers_run += finalized.len() as u64;
+                if let Some(hook) = self.finalizer_hook.as_mut() {
+                    for class in finalized.drain() {
+                        hook(class);
+                    }
+                }
+            }
+        }
+        self.history.push(record.clone());
+        self.used_at_last_full = self.heap.used_bytes();
+        record
+    }
+
+    // ----- field access (the read barrier) ---------------------------------
+
+    /// Loads reference field `field` of `src` through the read barrier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::PrunedAccess`] if the reference was pruned;
+    /// the error's cause is the out-of-memory error the pruning deferred.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` is out of bounds for `src`'s class.
+    pub fn read_field(&mut self, src: Handle, field: usize) -> Result<Option<Handle>, RuntimeError> {
+        self.counters.ref_reads += 1;
+        self.reads_since_gc += 1;
+        let Some(src_obj) = self.heap.object_checked(src) else {
+            // The program kept this handle aside (a register alias) while
+            // every heap path to the object was pruned and the object
+            // reclaimed. Reaching it is an access to pruned memory: the
+            // program could only have revalidated the alias by loading one
+            // of the poisoned references.
+            let cause = self
+                .pruner
+                .averted_oom()
+                .cloned()
+                .unwrap_or_else(|| self.current_oom(0));
+            return Err(RuntimeError::PrunedAccess(PrunedAccessError::new(
+                cause,
+                ClassId::from_index(0),
+                field,
+            )));
+        };
+        let reference = src_obj.load_ref(field);
+
+        // Fast path: no tag bits, or barriers compiled out entirely.
+        if matches!(self.config.barrier_mode(), BarrierMode::None) || !reference.is_tagged() {
+            return Ok(self.heap.resolve(reference));
+        }
+
+        // Out-of-line cold path.
+        self.counters.barrier_cold_hits += 1;
+        if reference.is_poisoned() {
+            let cause = self
+                .pruner
+                .averted_oom()
+                .cloned()
+                .unwrap_or_else(|| self.current_oom(0));
+            return Err(RuntimeError::PrunedAccess(PrunedAccessError::new(
+                cause,
+                src_obj.class(),
+                field,
+            )));
+        }
+
+        // Clear the unlogged bit; the store is conditional on the field not
+        // having been overwritten (the paper's `[iff a.f == t]`).
+        src_obj.cas_ref(field, reference, reference.without_unlogged());
+        let src_class = src_obj.class();
+
+        let resolved = self.heap.resolve(reference);
+        if let Some(target) = resolved {
+            let tgt_obj = self.heap.object(target);
+            let stale = tgt_obj.stale();
+            // §4.1: update maxstaleuse only for staleness >= 2 ("a value of
+            // 1 is not very stale").
+            if stale > 1 && self.pruner.observing() {
+                self.counters.stale_use_updates += 1;
+                self.pruner
+                    .table()
+                    .note_stale_use(EdgeKey::new(src_class, tgt_obj.class()), stale);
+            }
+            tgt_obj.clear_stale();
+        }
+        Ok(resolved)
+    }
+
+    /// Stores into reference field `field` of `src`. There is no *read*
+    /// barrier bookkeeping on stores; newly written references start with
+    /// clear tag bits, exactly as newly allocated objects do in the paper.
+    /// In the generational configuration this is also the write barrier:
+    /// old-to-young stores enter the remembered set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` is out of bounds.
+    pub fn write_field(&mut self, src: Handle, field: usize, value: Option<Handle>) {
+        if self.config.nursery_fraction().is_some() {
+            if let Some(target) = value {
+                if self.heap.is_young(target.slot()) && !self.heap.is_young(src.slot()) {
+                    self.heap.note_old_to_young(src.slot());
+                    self.counters.remembered_stores += 1;
+                }
+            }
+        }
+        self.heap
+            .object(src)
+            .store_ref(field, TaggedRef::from_optional(value));
+    }
+
+    /// Loads scalar word `index` of `src` (no barrier: scalar accesses do
+    /// not participate in staleness, matching the paper's reference-load
+    /// barrier placement).
+    pub fn read_word(&self, src: Handle, index: usize) -> u64 {
+        self.heap.object(src).load_word(index)
+    }
+
+    /// Stores scalar word `index` of `src`.
+    pub fn write_word(&mut self, src: Handle, index: usize, value: u64) {
+        self.heap.object(src).store_word(index, value);
+    }
+
+    /// Whether `handle` still designates a live (unreclaimed) object.
+    pub fn is_live(&self, handle: Handle) -> bool {
+        self.heap.contains(handle)
+    }
+
+    /// Drops the register-file roots that keep recent allocations alive —
+    /// call when a unit of work (an iteration) finishes and its
+    /// temporaries go out of scope. Without this, up to
+    /// [`lp_heap::REGISTER_FILE_SIZE`] recent allocations stay rooted.
+    pub fn release_registers(&mut self) {
+        self.roots.clear_registers();
+    }
+
+    /// The class of a live object (diagnostics).
+    pub fn class_of(&self, handle: Handle) -> ClassId {
+        self.heap.object(handle).class()
+    }
+
+    /// The stale counter of a live object (diagnostics).
+    pub fn stale_of(&self, handle: Handle) -> u8 {
+        self.heap.object(handle).stale()
+    }
+
+    // ----- introspection ----------------------------------------------------
+
+    /// Current leak-pruning state.
+    pub fn state(&self) -> State {
+        self.pruner.state()
+    }
+
+    /// Simulated bytes in use.
+    pub fn used_bytes(&self) -> u64 {
+        self.heap.used_bytes()
+    }
+
+    /// Heap capacity in simulated bytes.
+    pub fn capacity(&self) -> u64 {
+        self.heap.capacity()
+    }
+
+    /// Heap occupancy in `0.0..=1.0`.
+    pub fn occupancy(&self) -> f64 {
+        self.heap.occupancy()
+    }
+
+    /// Live object count.
+    pub fn live_objects(&self) -> u64 {
+        self.heap.live_objects()
+    }
+
+    /// Number of full-heap collections performed.
+    pub fn gc_count(&self) -> u64 {
+        self.collector.collections()
+    }
+
+    /// Per-collection history (the data behind the paper's memory plots).
+    pub fn history(&self) -> &[GcRecord] {
+        &self.history
+    }
+
+    /// Collector timing statistics.
+    pub fn gc_stats(&self) -> &GcStats {
+        self.collector.stats()
+    }
+
+    /// The edge table (diagnostics; §6.2's census).
+    pub fn edge_table(&self) -> &EdgeTable {
+        self.pruner.table()
+    }
+
+    /// The deferred out-of-memory error, if pruning has engaged.
+    pub fn averted_oom(&self) -> Option<&OutOfMemoryError> {
+        self.pruner.averted_oom()
+    }
+
+    /// Mutator instrumentation counters.
+    pub fn counters(&self) -> &MutatorCounters {
+        &self.counters
+    }
+
+    /// Registers a callback invoked with the class of each finalizable
+    /// object that is reclaimed.
+    pub fn set_finalizer_hook(&mut self, hook: Box<dyn FnMut(ClassId) + Send>) {
+        self.finalizer_hook = Some(hook);
+    }
+
+    /// Per-class census of *stale* bytes: for every class, the total
+    /// footprint of its objects whose stale counter is at least
+    /// `min_stale`, sorted by bytes descending.
+    ///
+    /// This is the diagnostic view behind leak pruning's heritage in leak
+    /// *detection* (§7): highly stale classes with growing byte counts are
+    /// leak suspects whether or not pruning is enabled.
+    pub fn stale_census(&self, min_stale: u8) -> Vec<(ClassId, u64)> {
+        let mut by_class: std::collections::BTreeMap<ClassId, u64> =
+            std::collections::BTreeMap::new();
+        for (_, object) in self.heap.iter() {
+            if object.stale() >= min_stale {
+                *by_class.entry(object.class()).or_insert(0) += u64::from(object.footprint());
+            }
+        }
+        let mut census: Vec<(ClassId, u64)> = by_class.into_iter().collect();
+        census.sort_by(|a, b| b.1.cmp(&a.1));
+        census
+    }
+
+    /// Builds the end-of-run report (§3.2's optional diagnostics).
+    pub fn prune_report(&self) -> PruneReport {
+        let mut pruned_edges: Vec<PrunedEdge> = self
+            .pruner
+            .pruned_census()
+            .iter()
+            .map(|(edge, refs)| PrunedEdge {
+                src: self.classes.name(edge.src).to_owned(),
+                tgt: self.classes.name(edge.tgt).to_owned(),
+                refs: *refs,
+            })
+            .collect();
+        pruned_edges.sort_by(|a, b| b.refs.cmp(&a.refs));
+        PruneReport {
+            averted_oom: self.pruner.averted_oom().cloned(),
+            pruned_edges,
+            total_pruned_refs: self.pruner.total_pruned_refs(),
+            edge_types_recorded: self.pruner.table().len(),
+            edge_table_footprint: self.pruner.table().footprint_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ForcedState, PredictionPolicy};
+
+    const KB: u64 = 1024;
+
+    /// A linked-list leak: every iteration pushes a node (kept forever via
+    /// a static) and allocates transient scratch. Returns the runtime and
+    /// the number of iterations completed before `limit`.
+    fn run_list_leak(config: PruningConfig, limit: u64) -> (Runtime, u64, Option<RuntimeError>) {
+        let mut rt = Runtime::new(config);
+        let node = rt.register_class("Node");
+        let scratch = rt.register_class("Scratch");
+        let head = rt.add_static();
+        for i in 0..limit {
+            let unit = rt.alloc(node, &AllocSpec::new(1, 0, 512)).and_then(|n| {
+                rt.write_field(n, 0, rt.static_ref(head));
+                rt.set_static(head, Some(n));
+                rt.alloc(scratch, &AllocSpec::leaf(2048))
+            });
+            if let Err(e) = unit {
+                return (rt, i, Some(e));
+            }
+        }
+        (rt, limit, None)
+    }
+
+    #[test]
+    fn base_runs_out_of_memory() {
+        let (rt, iters, err) = run_list_leak(PruningConfig::base(256 * KB), 10_000);
+        assert!(err.expect("base must die").is_out_of_memory());
+        assert!(iters < 1000);
+        assert_eq!(rt.state(), State::Inactive);
+    }
+
+    #[test]
+    fn pruning_runs_list_leak_indefinitely() {
+        let (rt, iters, err) = run_list_leak(
+            PruningConfig::builder(256 * KB).build(),
+            5_000,
+        );
+        assert!(err.is_none(), "leak pruning should keep the program alive: {err:?}");
+        assert_eq!(iters, 5_000);
+        let report = rt.prune_report();
+        assert!(report.total_pruned_refs > 0);
+        assert!(report.averted_oom.is_some());
+        // The pruned reference type is Node -> Node.
+        assert_eq!(report.pruned_edges[0].src, "Node");
+        assert_eq!(report.pruned_edges[0].tgt, "Node");
+    }
+
+    #[test]
+    fn pruning_beats_base_on_iterations() {
+        let (_, base_iters, _) = run_list_leak(PruningConfig::base(256 * KB), 10_000);
+        let (_, prune_iters, _) =
+            run_list_leak(PruningConfig::builder(256 * KB).build(), 10_000);
+        assert!(
+            prune_iters > 10 * base_iters,
+            "pruning {prune_iters} vs base {base_iters}"
+        );
+    }
+
+    #[test]
+    fn accessing_pruned_reference_raises_internal_error_with_cause() {
+        let mut rt = Runtime::new(PruningConfig::builder(128 * KB).build());
+        let holder = rt.register_class("Holder");
+        let blob = rt.register_class("Blob");
+        let scratch = rt.register_class("Scratch");
+
+        // A permanently reachable holder whose blob the program stops
+        // using. The blob fills >90% of the heap, so collections leave the
+        // heap nearly full and the state machine escalates to PRUNE.
+        let root = rt.add_static();
+        let h = rt.alloc(holder, &AllocSpec::with_refs(1)).unwrap();
+        rt.set_static(root, Some(h));
+        let b = rt.alloc(blob, &AllocSpec::leaf(116 * 1024)).unwrap();
+        rt.write_field(h, 0, Some(b));
+
+        // Fill the heap with transient garbage until pruning reclaims the
+        // blob.
+        let mut pruned = false;
+        for _ in 0..10_000 {
+            rt.alloc(scratch, &AllocSpec::leaf(4096)).expect("scratch");
+            rt.release_registers(); // the unit of work returns
+            if rt.prune_report().total_pruned_refs > 0 {
+                pruned = true;
+                break;
+            }
+        }
+        assert!(pruned, "the blob should eventually be pruned");
+
+        let err = rt.read_field(h, 0).expect_err("poisoned access");
+        match err {
+            RuntimeError::PrunedAccess(e) => {
+                assert_eq!(rt.class_name(e.source_class()), "Holder");
+                assert_eq!(e.cause().capacity(), 128 * KB);
+            }
+            other => panic!("expected pruned access, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn used_references_are_not_pruned() {
+        // Same shape as above, but the program reads holder->blob every
+        // iteration; the blob must survive.
+        let mut rt = Runtime::new(PruningConfig::builder(128 * KB).build());
+        let holder = rt.register_class("Holder");
+        let blob = rt.register_class("Blob");
+        let scratch = rt.register_class("Scratch");
+
+        let root = rt.add_static();
+        let h = rt.alloc(holder, &AllocSpec::with_refs(1)).unwrap();
+        rt.set_static(root, Some(h));
+        // Same pressure as the pruned-blob test: the heap stays nearly
+        // full, so SELECT/PRUNE collections run constantly — but the
+        // in-use reference must never be chosen.
+        let b = rt.alloc(blob, &AllocSpec::leaf(116 * 1024)).unwrap();
+        rt.write_field(h, 0, Some(b));
+
+        for _ in 0..2000 {
+            rt.alloc(scratch, &AllocSpec::leaf(4096)).expect("scratch");
+            rt.release_registers();
+            let got = rt.read_field(h, 0).expect("blob is never pruned");
+            assert_eq!(got, Some(b));
+        }
+    }
+
+    #[test]
+    fn state_machine_progresses_through_observe() {
+        let (rt, _, _) = run_list_leak(PruningConfig::builder(512 * KB).build(), 2000);
+        let states: Vec<State> = rt.history().iter().map(|r| r.state).collect();
+        assert!(states.contains(&State::Inactive));
+        assert!(states.contains(&State::Observe));
+        assert!(states.contains(&State::Select));
+        assert!(states.contains(&State::Prune));
+        // INACTIVE never recurs after OBSERVE.
+        let first_observe = states.iter().position(|s| *s == State::Observe).unwrap();
+        assert!(states[first_observe..].iter().all(|s| *s != State::Inactive));
+    }
+
+    #[test]
+    fn option_one_waits_for_exhaustion() {
+        let (rt, iters, err) = run_list_leak(
+            PruningConfig::builder(256 * KB)
+                .prune_only_when_full(true)
+                .build(),
+            3000,
+        );
+        assert!(err.is_none(), "option (1) still tolerates the leak: {err:?}");
+        assert_eq!(iters, 3000);
+        // The first PRUNE happened only after a true exhaustion, i.e. some
+        // SELECT collection was followed by another SELECT.
+        let states: Vec<State> = rt.history().iter().map(|r| r.state).collect();
+        let first_prune = states.iter().position(|s| *s == State::Prune).unwrap();
+        let selects_before = states[..first_prune]
+            .iter()
+            .filter(|s| **s == State::Select)
+            .count();
+        assert!(selects_before >= 1);
+    }
+
+    #[test]
+    fn finalizers_run_for_dead_objects_and_hook_fires() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let mut rt = Runtime::new(PruningConfig::builder(64 * KB).build());
+        let res = rt.register_class("Resource");
+        let count = Arc::new(AtomicU64::new(0));
+        let hook_count = Arc::clone(&count);
+        rt.set_finalizer_hook(Box::new(move |_| {
+            hook_count.fetch_add(1, Ordering::Relaxed);
+        }));
+
+        for _ in 0..200 {
+            rt.alloc_finalizable(res, &AllocSpec::leaf(1024)).unwrap();
+            rt.release_registers();
+        }
+        rt.force_gc();
+        assert!(rt.counters().finalizers_run > 0);
+        assert_eq!(count.load(Ordering::Relaxed), rt.counters().finalizers_run);
+    }
+
+    #[test]
+    fn barrier_counters_track_cold_path() {
+        let mut rt = Runtime::new(
+            PruningConfig::builder(1024 * KB)
+                .force_state(ForcedState::Observe)
+                .build(),
+        );
+        let pair = rt.register_class("Pair");
+        let root = rt.add_static();
+        let a = rt.alloc(pair, &AllocSpec::with_refs(1)).unwrap();
+        let b = rt.alloc(pair, &AllocSpec::default()).unwrap();
+        rt.set_static(root, Some(a));
+        rt.write_field(a, 0, Some(b));
+
+        // Freshly written reference: fast path.
+        rt.read_field(a, 0).unwrap();
+        assert_eq!(rt.counters().barrier_cold_hits, 0);
+
+        // A collection sets the unlogged bit; the next read is cold, the
+        // one after that fast again.
+        rt.force_gc();
+        rt.read_field(a, 0).unwrap();
+        assert_eq!(rt.counters().barrier_cold_hits, 1);
+        rt.read_field(a, 0).unwrap();
+        assert_eq!(rt.counters().barrier_cold_hits, 1);
+        assert_eq!(rt.counters().ref_reads, 3);
+    }
+
+    #[test]
+    fn barrier_mode_none_skips_all_bookkeeping() {
+        let mut rt = Runtime::new(PruningConfig::base(1024 * KB));
+        let pair = rt.register_class("Pair");
+        let root = rt.add_static();
+        let a = rt.alloc(pair, &AllocSpec::with_refs(1)).unwrap();
+        rt.set_static(root, Some(a));
+        rt.write_field(a, 0, Some(a));
+        rt.force_gc();
+        rt.read_field(a, 0).unwrap();
+        assert_eq!(rt.counters().barrier_cold_hits, 0);
+    }
+
+    #[test]
+    fn most_stale_policy_prunes_live_but_stale_data() {
+        // A structure the program uses only rarely: MostStale reclaims it
+        // (and the program later dies), the default policy's maxstaleuse
+        // protects it.
+        fn run(policy: PredictionPolicy) -> Option<RuntimeError> {
+            let mut rt = Runtime::new(
+                PruningConfig::builder(128 * KB).policy(policy).build(),
+            );
+            let holder = rt.register_class("Cache");
+            let val = rt.register_class("Value");
+            let node = rt.register_class("Node");
+            let scratch = rt.register_class("Scratch");
+
+            let root = rt.add_static();
+            let h = rt.alloc(holder, &AllocSpec::with_refs(1)).unwrap();
+            rt.set_static(root, Some(h));
+            let v = rt.alloc(val, &AllocSpec::leaf(256)).unwrap();
+            rt.write_field(h, 0, Some(v));
+
+            // A genuine leak to exercise pruning, plus a rare (every 64
+            // iterations) use of the cache.
+            let head = rt.add_static();
+            for i in 0..4000u64 {
+                let unit = rt.alloc(node, &AllocSpec::new(1, 0, 512)).and_then(|n| {
+                    rt.write_field(n, 0, rt.static_ref(head));
+                    rt.set_static(head, Some(n));
+                    rt.alloc(scratch, &AllocSpec::leaf(2048))
+                });
+                if let Err(e) = unit {
+                    return Some(e);
+                }
+                if i % 64 == 0 {
+                    if let Err(e) = rt.read_field(h, 0) {
+                        return Some(e);
+                    }
+                }
+            }
+            None
+        }
+
+        let default_err = run(PredictionPolicy::LeakPruning);
+        assert!(default_err.is_none(), "default survives: {default_err:?}");
+        let most_stale_err = run(PredictionPolicy::MostStale);
+        assert!(
+            matches!(most_stale_err, Some(RuntimeError::PrunedAccess(_))),
+            "most-stale should eventually prune the rarely-used cache: {most_stale_err:?}"
+        );
+    }
+
+    #[test]
+    fn debug_format_is_nonempty() {
+        let rt = Runtime::new(PruningConfig::builder(KB).build());
+        assert!(format!("{rt:?}").contains("Runtime"));
+    }
+}
+
+#[cfg(test)]
+mod barrier_tests {
+    use super::*;
+    use crate::config::ForcedState;
+
+    fn observing_runtime() -> (Runtime, Handle, Handle) {
+        let mut rt = Runtime::new(
+            PruningConfig::builder(1 << 20)
+                .force_state(ForcedState::Observe)
+                .build(),
+        );
+        let cls = rt.register_class("T");
+        let root = rt.add_static();
+        let a = rt.alloc(cls, &AllocSpec::with_refs(2)).unwrap();
+        let b = rt.alloc(cls, &AllocSpec::default()).unwrap();
+        rt.set_static(root, Some(a));
+        rt.write_field(a, 0, Some(b));
+        (rt, a, b)
+    }
+
+    #[test]
+    fn null_reads_stay_on_fast_path() {
+        let (mut rt, a, _) = observing_runtime();
+        rt.force_gc();
+        // Field 1 is null: a null reference never carries tag bits.
+        assert_eq!(rt.read_field(a, 1).unwrap(), None);
+        assert_eq!(rt.counters().barrier_cold_hits, 0);
+    }
+
+    #[test]
+    fn barrier_clears_target_staleness() {
+        let (mut rt, a, b) = observing_runtime();
+        for _ in 0..8 {
+            rt.force_gc(); // b ages
+        }
+        assert!(rt.stale_of(b) >= 2);
+        rt.read_field(a, 0).unwrap();
+        assert_eq!(rt.stale_of(b), 0, "use zeroes the stale counter");
+    }
+
+    #[test]
+    fn max_stale_use_updated_only_for_stale_targets() {
+        let (mut rt, a, _) = observing_runtime();
+        // One collection: staleness 1 — "not very stale", no edge update.
+        rt.force_gc();
+        rt.read_field(a, 0).unwrap();
+        assert_eq!(rt.counters().stale_use_updates, 0);
+        assert_eq!(rt.edge_table().len(), 0);
+
+        // Several collections: staleness >= 2 — update recorded.
+        for _ in 0..4 {
+            rt.force_gc();
+        }
+        rt.read_field(a, 0).unwrap();
+        assert_eq!(rt.counters().stale_use_updates, 1);
+        assert_eq!(rt.edge_table().len(), 1);
+    }
+
+    #[test]
+    fn overwriting_a_field_resets_its_logging_state() {
+        let (mut rt, a, b) = observing_runtime();
+        rt.force_gc();
+        // The program overwrites the field: the new reference starts with
+        // clear bits, so the next read is a fast-path read.
+        rt.write_field(a, 0, Some(b));
+        rt.read_field(a, 0).unwrap();
+        assert_eq!(rt.counters().barrier_cold_hits, 0);
+    }
+
+    #[test]
+    fn stale_census_ranks_classes_by_stale_bytes() {
+        let mut rt = Runtime::new(
+            PruningConfig::builder(1 << 20)
+                .force_state(ForcedState::Observe)
+                .build(),
+        );
+        let big = rt.register_class("BigStale");
+        let small = rt.register_class("SmallStale");
+        let root = rt.add_static();
+        let holder_cls = rt.register_class("Holder");
+        let holder = rt.alloc(holder_cls, &AllocSpec::with_refs(2)).unwrap();
+        rt.set_static(root, Some(holder));
+        let b = rt.alloc(big, &AllocSpec::leaf(10_000)).unwrap();
+        let s = rt.alloc(small, &AllocSpec::leaf(100)).unwrap();
+        rt.write_field(holder, 0, Some(b));
+        rt.write_field(holder, 1, Some(s));
+        for _ in 0..8 {
+            rt.force_gc();
+        }
+        let census = rt.stale_census(2);
+        assert!(census.len() >= 2);
+        assert_eq!(rt.class_name(census[0].0), "BigStale");
+        assert!(census[0].1 > census[1].1);
+        // A tighter threshold excludes everything fresh.
+        assert!(rt.stale_census(u8::MAX).is_empty() || rt.stale_census(7).len() <= census.len());
+    }
+
+    #[test]
+    fn finalizers_skippable_after_pruning_starts() {
+        let mut rt = Runtime::new(
+            PruningConfig::builder(128 * 1024)
+                .run_finalizers_after_prune(false)
+                .build(),
+        );
+        let node = rt.register_class("Node");
+        let res = rt.register_class("Resource");
+        let head = rt.add_static();
+        // Leak until pruning starts, with finalizable transients.
+        for _ in 0..4000 {
+            let n = rt.alloc(node, &AllocSpec::new(1, 0, 256)).unwrap();
+            rt.write_field(n, 0, rt.static_ref(head));
+            rt.set_static(head, Some(n));
+            rt.alloc_finalizable(res, &AllocSpec::leaf(1024)).unwrap();
+            rt.release_registers();
+            if rt.averted_oom().is_some() {
+                break;
+            }
+        }
+        assert!(rt.averted_oom().is_some(), "pruning engaged");
+        let skipped_at_prune = rt.counters().finalizers_skipped;
+        // Keep going: finalizers must now be skipped, not run.
+        let ran_before = rt.counters().finalizers_run;
+        for _ in 0..500 {
+            rt.alloc_finalizable(res, &AllocSpec::leaf(1024)).unwrap();
+            rt.release_registers();
+        }
+        assert!(rt.counters().finalizers_skipped > skipped_at_prune);
+        assert_eq!(rt.counters().finalizers_run, ran_before);
+    }
+
+    #[test]
+    fn frames_participate_in_rooting() {
+        let mut rt = Runtime::new(PruningConfig::builder(1 << 20).build());
+        let cls = rt.register_class("T");
+        let f = rt.push_frame(2);
+        let a = rt.alloc(cls, &AllocSpec::leaf(64)).unwrap();
+        rt.set_frame_ref(f, 0, Some(a));
+        rt.release_registers();
+        rt.force_gc();
+        assert!(rt.is_live(a), "frame keeps the object alive");
+        assert_eq!(rt.frame_ref(f, 0), Some(a));
+
+        rt.pop_frame(f);
+        rt.force_gc();
+        assert!(!rt.is_live(a), "popping the frame drops the root");
+    }
+
+    #[test]
+    fn scalar_words_roundtrip_through_runtime() {
+        let mut rt = Runtime::new(PruningConfig::builder(1 << 20).build());
+        let cls = rt.register_class("T");
+        let h = rt.alloc(cls, &AllocSpec::new(0, 2, 0)).unwrap();
+        rt.write_word(h, 1, 0xfeed);
+        assert_eq!(rt.read_word(h, 1), 0xfeed);
+        assert_eq!(rt.read_word(h, 0), 0);
+    }
+}
+
+#[cfg(test)]
+mod generational_tests {
+    use super::*;
+
+    /// A transient-heavy program: with a nursery, almost all collection
+    /// work happens in cheap minor collections.
+    #[test]
+    fn nursery_absorbs_transient_garbage() {
+        let mut rt = Runtime::new(
+            PruningConfig::builder(1 << 20)
+                .nursery_fraction(0.25)
+                .build(),
+        );
+        let cls = rt.register_class("Transient");
+        for _ in 0..4000 {
+            rt.alloc(cls, &AllocSpec::leaf(512)).unwrap();
+            rt.release_registers();
+        }
+        assert!(rt.counters().minor_collections > 0, "minor GCs ran");
+        assert_eq!(rt.gc_count(), 0, "no full collection was ever needed");
+    }
+
+    /// Long-lived data survives minor collections via the remembered set
+    /// and stays readable.
+    #[test]
+    fn remembered_set_preserves_old_to_young_stores() {
+        let mut rt = Runtime::new(
+            PruningConfig::builder(1 << 20)
+                .nursery_fraction(0.2)
+                .build(),
+        );
+        let cls = rt.register_class("Holder");
+        let root = rt.add_static();
+        let holder = rt.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+        rt.set_static(root, Some(holder));
+        rt.force_gc(); // promote the holder
+
+        // Repeatedly store fresh young values into the old holder while
+        // churning transients through the nursery.
+        for i in 0..2000u64 {
+            let value = rt.alloc(cls, &AllocSpec::new(0, 1, 64)).unwrap();
+            rt.write_word(value, 0, i);
+            rt.write_field(holder, 0, Some(value));
+            rt.alloc(cls, &AllocSpec::leaf(512)).unwrap(); // transient
+            rt.release_registers();
+            let read_back = rt.read_field(holder, 0).unwrap().expect("kept alive");
+            assert_eq!(rt.read_word(read_back, 0), i);
+        }
+        assert!(rt.counters().minor_collections > 0);
+        assert!(rt.counters().remembered_stores > 0);
+    }
+
+    /// The headline composition: a leak is tolerated identically with the
+    /// generational configuration, with pruning still only acting at
+    /// full-heap collections.
+    #[test]
+    fn pruning_tolerates_leaks_with_a_nursery() {
+        let mut rt = Runtime::new(
+            PruningConfig::builder(256 * 1024)
+                .nursery_fraction(0.2)
+                .build(),
+        );
+        let node = rt.register_class("Node");
+        let scratch = rt.register_class("Scratch");
+        let head = rt.add_static();
+        for _ in 0..5000 {
+            let n = rt.alloc(node, &AllocSpec::new(1, 0, 512)).unwrap();
+            rt.write_field(n, 0, rt.static_ref(head));
+            rt.set_static(head, Some(n));
+            rt.alloc(scratch, &AllocSpec::leaf(2048)).unwrap();
+            rt.release_registers();
+        }
+        assert!(rt.prune_report().total_pruned_refs > 0, "leak pruned");
+        assert!(rt.counters().minor_collections > 0, "nursery active");
+        assert!(rt.gc_count() > 0, "full collections drove the pruning");
+    }
+
+    /// Minor collections are far cheaper than full ones: they mark only
+    /// the nursery.
+    #[test]
+    fn minor_collections_mark_only_the_nursery() {
+        let mut rt = Runtime::new(
+            PruningConfig::builder(4 << 20)
+                .nursery_fraction(0.05)
+                .build(),
+        );
+        let cls = rt.register_class("T");
+        // A large old generation.
+        let root = rt.add_static();
+        let hub = rt.alloc(cls, &AllocSpec::with_refs(4000)).unwrap();
+        rt.set_static(root, Some(hub));
+        for i in 0..4000 {
+            let o = rt.alloc(cls, &AllocSpec::leaf(64)).unwrap();
+            rt.write_field(hub, i, Some(o));
+        }
+        rt.force_gc(); // promote all of it
+        let full_marked = rt.history().last().unwrap().live_objects_after;
+        assert!(full_marked > 4000);
+
+        // Churn transients; minor GCs must not grow with the old gen.
+        let before = rt.counters().minor_collections;
+        for _ in 0..2000 {
+            rt.alloc(cls, &AllocSpec::leaf(256)).unwrap();
+            rt.release_registers();
+        }
+        assert!(rt.counters().minor_collections > before);
+        assert_eq!(rt.gc_count(), 1, "only the forced full collection");
+    }
+}

@@ -1,0 +1,246 @@
+//! The leak-pruning state machine (Figure 2 of the paper).
+//!
+//! Leak pruning performs most of its work during full-heap collections and
+//! changes state depending on how full the heap is at the end of each one:
+//!
+//! ```text
+//! INACTIVE --(used > expected)--> OBSERVE --(nearly full)--> SELECT
+//!     SELECT --(collection finished / memory exhausted)--> PRUNE
+//!     PRUNE --(no longer nearly full)--> OBSERVE
+//!     PRUNE --(still nearly full)--> SELECT
+//! ```
+//!
+//! Once OBSERVE is entered the machine never returns to INACTIVE: the
+//! application is permanently considered to be in an unexpected state.
+
+use std::fmt;
+
+/// The four states of Figure 2.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum State {
+    /// Not observing; the program is not near its expected memory use.
+    Inactive,
+    /// Tracking staleness and reference patterns.
+    Observe,
+    /// Choosing an edge type to prune during collections.
+    Select,
+    /// Poisoning selected references so the sweep reclaims their targets.
+    Prune,
+}
+
+impl State {
+    /// Whether this state maintains staleness and the edge table (everything
+    /// except INACTIVE).
+    pub fn observes(self) -> bool {
+        !matches!(self, State::Inactive)
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            State::Inactive => "INACTIVE",
+            State::Observe => "OBSERVE",
+            State::Select => "SELECT",
+            State::Prune => "PRUNE",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Inputs to a state transition, gathered at the end of a full-heap
+/// collection.
+#[derive(Copy, Clone, Debug)]
+pub struct TransitionContext {
+    /// Heap occupancy (used/capacity) after the collection's sweep.
+    pub occupancy: f64,
+    /// `expected memory use` threshold (default 0.5).
+    pub expected_threshold: f64,
+    /// `nearly run out of memory` threshold (default 0.9).
+    pub nearly_full_threshold: f64,
+    /// Option (1) of §3.1: move from SELECT to PRUNE only once the program
+    /// has truly exhausted memory at least once.
+    pub prune_only_when_full: bool,
+    /// Whether the program has exhausted memory at least once (an
+    /// allocation failed even after collecting). After this, SELECT always
+    /// advances to PRUNE.
+    pub exhausted_once: bool,
+}
+
+/// Computes the state that follows `current` after a collection performed in
+/// `current` finishes with the given context (Figure 2).
+pub fn next_state(current: State, ctx: &TransitionContext) -> State {
+    match current {
+        State::Inactive => {
+            if ctx.occupancy > ctx.expected_threshold {
+                // Enter OBSERVE, and if memory is already nearly gone, move
+                // straight on to SELECT at the next collection.
+                if ctx.occupancy > ctx.nearly_full_threshold {
+                    State::Select
+                } else {
+                    State::Observe
+                }
+            } else {
+                State::Inactive
+            }
+        }
+        State::Observe => {
+            if ctx.occupancy > ctx.nearly_full_threshold {
+                State::Select
+            } else {
+                State::Observe
+            }
+        }
+        State::Select => {
+            if ctx.prune_only_when_full && !ctx.exhausted_once {
+                // Option (1): wait for a real out-of-memory event.
+                State::Select
+            } else {
+                // Option (2), the default: having finished a collection in
+                // SELECT, prune at the next collection.
+                State::Prune
+            }
+        }
+        State::Prune => {
+            if ctx.occupancy > ctx.nearly_full_threshold {
+                State::Select
+            } else {
+                State::Observe
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(occupancy: f64) -> TransitionContext {
+        TransitionContext {
+            occupancy,
+            expected_threshold: 0.5,
+            nearly_full_threshold: 0.9,
+            prune_only_when_full: false,
+            exhausted_once: false,
+        }
+    }
+
+    #[test]
+    fn inactive_stays_until_expected_use_exceeded() {
+        assert_eq!(next_state(State::Inactive, &ctx(0.3)), State::Inactive);
+        assert_eq!(next_state(State::Inactive, &ctx(0.6)), State::Observe);
+    }
+
+    #[test]
+    fn observe_never_returns_to_inactive() {
+        assert_eq!(next_state(State::Observe, &ctx(0.1)), State::Observe);
+    }
+
+    #[test]
+    fn observe_escalates_when_nearly_full() {
+        assert_eq!(next_state(State::Observe, &ctx(0.95)), State::Select);
+        assert_eq!(next_state(State::Observe, &ctx(0.9)), State::Observe);
+    }
+
+    #[test]
+    fn select_advances_to_prune_by_default() {
+        assert_eq!(next_state(State::Select, &ctx(0.95)), State::Prune);
+        // Even if occupancy dropped (allocation burst collected), a SELECT
+        // collection is followed by PRUNE under option (2).
+        assert_eq!(next_state(State::Select, &ctx(0.5)), State::Prune);
+    }
+
+    #[test]
+    fn select_waits_for_exhaustion_under_option_one() {
+        let mut c = ctx(0.99);
+        c.prune_only_when_full = true;
+        assert_eq!(next_state(State::Select, &c), State::Select);
+        c.exhausted_once = true;
+        assert_eq!(next_state(State::Select, &c), State::Prune);
+    }
+
+    #[test]
+    fn prune_returns_to_observe_when_reclaim_succeeds() {
+        assert_eq!(next_state(State::Prune, &ctx(0.5)), State::Observe);
+    }
+
+    #[test]
+    fn prune_retries_select_when_still_nearly_full() {
+        assert_eq!(next_state(State::Prune, &ctx(0.95)), State::Select);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(State::Inactive.to_string(), "INACTIVE");
+        assert_eq!(State::Prune.to_string(), "PRUNE");
+    }
+
+    #[test]
+    fn observes_everywhere_but_inactive() {
+        assert!(!State::Inactive.observes());
+        assert!(State::Observe.observes());
+        assert!(State::Select.observes());
+        assert!(State::Prune.observes());
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Once the machine leaves INACTIVE it never returns, under any
+        /// occupancy trajectory.
+        #[test]
+        fn prop_inactive_never_recurs(
+            occupancies in proptest::collection::vec(0.0f64..1.2, 1..64),
+            option_one: bool,
+        ) {
+            let mut state = State::Inactive;
+            let mut left_inactive = false;
+            let mut exhausted = false;
+            for occ in occupancies {
+                exhausted |= occ >= 1.0;
+                state = next_state(
+                    state,
+                    &TransitionContext {
+                        occupancy: occ,
+                        expected_threshold: 0.5,
+                        nearly_full_threshold: 0.9,
+                        prune_only_when_full: option_one,
+                        exhausted_once: exhausted,
+                    },
+                );
+                if state != State::Inactive {
+                    left_inactive = true;
+                }
+                if left_inactive {
+                    prop_assert_ne!(state, State::Inactive);
+                }
+            }
+        }
+
+        /// Under option (1), PRUNE is unreachable until memory has been
+        /// exhausted at least once.
+        #[test]
+        fn prop_option_one_gates_prune(
+            occupancies in proptest::collection::vec(0.0f64..0.999, 1..64),
+        ) {
+            let mut state = State::Inactive;
+            for occ in occupancies {
+                state = next_state(
+                    state,
+                    &TransitionContext {
+                        occupancy: occ,
+                        expected_threshold: 0.5,
+                        nearly_full_threshold: 0.9,
+                        prune_only_when_full: true,
+                        exhausted_once: false,
+                    },
+                );
+                prop_assert_ne!(state, State::Prune);
+            }
+        }
+    }
+}

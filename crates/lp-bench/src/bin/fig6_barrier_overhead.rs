@@ -1,0 +1,103 @@
+//! **Figure 6**: run-time overhead of leak pruning on the non-leaking
+//! benchmark suite.
+//!
+//! Each benchmark runs in a heap 2× its minimum, once on the unmodified
+//! runtime (Base: no barriers, no observation) and once with all-the-time
+//! barriers and leak pruning forced to stay in the SELECT state — the
+//! paper's worst-case configuration (§5). The bar value is the median
+//! slowdown over several trials.
+//!
+//! Usage: `fig6_barrier_overhead [iterations] [trials]` (defaults 800, 5).
+
+use std::time::{Duration, Instant};
+
+use leak_pruning::{ForcedState, PruningConfig};
+use lp_bench::write_series_csv;
+use lp_metrics::{Series, TextTable};
+use lp_workloads::dacapo::{dacapo_suite, Dacapo, DacapoConfig};
+use lp_workloads::driver::{run_workload, Flavor, RunOptions, Termination};
+
+fn time_run(config: &DacapoConfig, flavor: Flavor, iterations: u64) -> Duration {
+    let mut bench = Dacapo::new(config.clone());
+    let opts = RunOptions::new(flavor).iteration_cap(iterations);
+    let start = Instant::now();
+    let result = run_workload(&mut bench, &opts);
+    assert_eq!(
+        result.termination,
+        Termination::ReachedCap,
+        "{} did not finish",
+        config.name
+    );
+    start.elapsed()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let iterations: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(800);
+    let trials: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    let mut table = TextTable::new(vec![
+        "Benchmark".into(),
+        "Base (ms)".into(),
+        "Select (ms)".into(),
+        "Overhead %".into(),
+    ]);
+    let mut overhead_series = Series::new("overhead %");
+    let mut geo_accum = 0.0f64;
+    let suite = dacapo_suite();
+
+    println!(
+        "Figure 6: run-time overhead with all-the-time barriers, forced SELECT\n\
+         ({iterations} iterations x {trials} trials per benchmark, heap = 2x min)\n"
+    );
+
+    for (i, config) in suite.iter().enumerate() {
+        let heap = config.min_heap() * 2;
+        let select_config = PruningConfig::builder(heap)
+            .force_state(ForcedState::Select)
+            .build();
+
+        let mut base_times = Vec::new();
+        let mut select_times = Vec::new();
+        for _ in 0..trials {
+            base_times.push(time_run(config, Flavor::Base, iterations).as_secs_f64());
+            select_times.push(
+                time_run(
+                    config,
+                    Flavor::Custom(Box::new(select_config.clone())),
+                    iterations,
+                )
+                .as_secs_f64(),
+            );
+        }
+        let base = median(base_times);
+        let select = median(select_times);
+        let overhead = (select / base - 1.0) * 100.0;
+        geo_accum += (select / base).ln();
+        eprintln!("{:>12}: {overhead:+.1}%", config.name);
+        table.row(vec![
+            config.name.to_owned(),
+            format!("{:.2}", base * 1e3),
+            format!("{:.2}", select * 1e3),
+            format!("{overhead:+.1}"),
+        ]);
+        overhead_series.push(i as f64, overhead);
+    }
+
+    let geomean = (geo_accum / suite.len() as f64).exp();
+    println!("{table}");
+    println!("geomean slowdown: {:+.1}%", (geomean - 1.0) * 100.0);
+    println!(
+        "\nPaper: ~5% average on Pentium 4 and ~3% on Core 2, dominated by the\n\
+         read barrier; expected shape here: single-digit overheads, larger for\n\
+         read-heavy benchmarks (jython, pmd, xalan) than allocation- or\n\
+         compute-heavy ones (compress, mpegaudio)."
+    );
+    let path = write_series_csv("fig6_barrier_overhead", "benchmark_index", &[&overhead_series]);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,71 @@
+//! **§6 heap-size sensitivity**: "We evaluate four other heap sizes for
+//! each leak and find leak pruning's effectiveness is generally not
+//! sensitive to maximum heap size, except that it sometimes fails to
+//! identify and prune the right references in tight heaps."
+//!
+//! Runs each leak under default pruning at 0.5×, 0.75×, 1×, 1.5× and 2× of
+//! its standard heap and reports the iteration multiple over the Base run
+//! at the same heap size.
+//!
+//! Usage: `heapsize_sensitivity [cap] [leaks...]` (default cap 8,000; all
+//! leaks with unbounded growth).
+
+use lp_metrics::TextTable;
+use lp_workloads::driver::{run_workload, Flavor, RunOptions};
+use lp_workloads::leaks::leak_by_name;
+
+const SCALES: [f64; 5] = [0.5, 0.75, 1.0, 1.5, 2.0];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cap: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8_000);
+    let mut leaks: Vec<String> = args.collect();
+    if leaks.is_empty() {
+        leaks = ["ListLeak", "SwapLeak", "EclipseDiff", "MySQL", "JbbMod"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+    }
+
+    let mut table = TextTable::new(
+        std::iter::once("Leak".to_owned())
+            .chain(SCALES.iter().map(|s| format!("{s}x heap")))
+            .collect(),
+    );
+
+    println!("Heap-size sensitivity (ratio of pruned to Base iterations, cap {cap})\n");
+    for name in &leaks {
+        let mut cells = vec![name.clone()];
+        for &scale in &SCALES {
+            let default_heap = leak_by_name(name).expect("known").default_heap();
+            let heap = (default_heap as f64 * scale) as u64;
+
+            let mut leak = leak_by_name(name).expect("known");
+            let base = run_workload(
+                leak.as_mut(),
+                &RunOptions::new(Flavor::Base)
+                    .heap_capacity(heap)
+                    .iteration_cap(cap),
+            );
+            let mut leak = leak_by_name(name).expect("known");
+            let pruned = run_workload(
+                leak.as_mut(),
+                &RunOptions::new(Flavor::pruning())
+                    .heap_capacity(heap)
+                    .iteration_cap(cap),
+            );
+            let ratio = pruned.iterations as f64 / base.iterations.max(1) as f64;
+            let capped = pruned.iterations >= cap;
+            eprintln!("{name} @ {scale}x: base {}, pruned {}", base.iterations, pruned.iterations);
+            cells.push(format!("{}{ratio:.1}X", if capped { ">" } else { "" }));
+        }
+        table.row(cells);
+    }
+
+    println!("{table}");
+    println!(
+        "Expected shape: the multiple stays in the same ballpark across heap\n\
+         sizes, degrading mainly at the tightest heaps (fewer collections of\n\
+         observation time before exhaustion, as the paper notes)."
+    );
+}

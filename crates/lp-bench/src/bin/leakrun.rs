@@ -1,0 +1,46 @@
+//! Diagnostic runner: run one leak under one configuration and dump
+//! everything — iterations, outcome, pruned edges, and the GC trace tail.
+//!
+//! Usage: `leakrun <LeakName> <base|default|moststale|indiv> [cap]`
+
+use leak_pruning::PredictionPolicy;
+use lp_workloads::driver::{run_workload, Flavor, RunOptions};
+use lp_workloads::leaks::leak_by_name;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "ListLeak".to_owned());
+    let flavor = match args.next().as_deref() {
+        Some("base") => Flavor::Base,
+        Some("moststale") => Flavor::Pruning(PredictionPolicy::MostStale),
+        Some("indiv") => Flavor::Pruning(PredictionPolicy::IndividualRefs),
+        _ => Flavor::pruning(),
+    };
+    let cap: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5_000);
+
+    let Some(mut leak) = leak_by_name(&name) else {
+        eprintln!("unknown leak {name}");
+        std::process::exit(1);
+    };
+    let opts = RunOptions::new(flavor).iteration_cap(cap);
+    let result = run_workload(leak.as_mut(), &opts);
+
+    println!(
+        "{} under {}: {} iterations, {} ({} GCs, {:.2?})",
+        result.workload,
+        result.flavor,
+        result.iterations,
+        result.termination.describe(),
+        result.gc_count,
+        result.elapsed,
+    );
+    print!("{}", result.report);
+    println!("reachable-memory points: {}", result.reachable_memory.len());
+    if let Some((min, max)) = result.reachable_memory.y_range() {
+        println!(
+            "reachable range: {} .. {}",
+            lp_bench::human_bytes(min as u64),
+            lp_bench::human_bytes(max as u64)
+        );
+    }
+}

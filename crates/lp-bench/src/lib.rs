@@ -1,0 +1,88 @@
+//! Shared plumbing for the experiment binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Each binary under `src/bin/` reproduces one table or figure (see
+//! `DESIGN.md` for the index); this library holds the pieces they share:
+//! output-directory handling, byte/second formatting, and the standard
+//! iteration caps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Where experiment binaries write their CSV artifacts.
+///
+/// Defaults to `bench_out/` in the working directory; override with the
+/// `LP_BENCH_OUT` environment variable. The directory is created on demand.
+pub fn output_dir() -> PathBuf {
+    let dir = std::env::var_os("LP_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("bench_out"));
+    std::fs::create_dir_all(&dir).expect("create bench output directory");
+    dir
+}
+
+/// Writes `series` (sharing `x_label`) as `name.csv` under [`output_dir`],
+/// returning the path.
+pub fn write_series_csv(
+    name: &str,
+    x_label: &str,
+    series: &[&lp_metrics::Series],
+) -> PathBuf {
+    let path = output_dir().join(format!("{name}.csv"));
+    let mut file = std::fs::File::create(&path).expect("create csv");
+    lp_metrics::write_csv(&mut file, x_label, series).expect("write csv");
+    path
+}
+
+/// Formats a byte count as a human-readable string.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KB", "MB", "GB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+/// Formats an iteration multiple the way Table 1 does ("4.7X", ">200X").
+pub fn format_ratio(pruned: u64, base: u64, capped: bool) -> String {
+    if base == 0 {
+        return "n/a".to_owned();
+    }
+    let ratio = pruned as f64 / base as f64;
+    if capped {
+        format!(">{ratio:.0}X")
+    } else if ratio >= 10.0 {
+        format!("{ratio:.0}X")
+    } else {
+        format!("{ratio:.1}X")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_scales() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KB");
+        assert_eq!(human_bytes(200 << 20), "200.0 MB");
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(format_ratio(470, 100, false), "4.7X");
+        assert_eq!(format_ratio(20_000, 100, false), "200X");
+        assert_eq!(format_ratio(20_000, 100, true), ">200X");
+        assert_eq!(format_ratio(5, 0, false), "n/a");
+    }
+}

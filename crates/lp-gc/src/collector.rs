@@ -1,0 +1,222 @@
+//! The mark-sweep collection driver.
+
+use std::time::{Duration, Instant};
+
+use lp_heap::{Heap, RootSet, SweepOutcome};
+
+use crate::parallel::{par_trace, ParEdgeVisitor};
+use crate::stats::GcStats;
+use crate::tracer::{trace, EdgeVisitor, TraceStats};
+
+/// The result of one full-heap collection.
+#[derive(Debug, Clone)]
+pub struct CollectionOutcome {
+    /// 1-based index of this collection — the paper's full-heap collection
+    /// number `i` used by the logarithmic stale-counter increment rule.
+    pub gc_index: u64,
+    /// Marking statistics (reachable objects/bytes).
+    pub trace: TraceStats,
+    /// What the sweep reclaimed.
+    pub swept: SweepOutcome,
+    /// Bytes in use after the sweep — the paper's "reachable memory at the
+    /// end of each full-heap collection".
+    pub live_bytes_after: u64,
+    /// Objects in the heap after the sweep.
+    pub live_objects_after: u64,
+    /// Wall-clock time spent marking.
+    pub mark_time: Duration,
+    /// Wall-clock time spent sweeping.
+    pub sweep_time: Duration,
+}
+
+/// A stop-the-world mark-sweep collector.
+///
+/// The collector numbers collections (leak pruning's staleness clock),
+/// accumulates [`GcStats`], and runs the mark phase through a pluggable
+/// visitor — either the trivial [`TraceAll`](crate::TraceAll) (the paper's
+/// Base configuration) or leak pruning's state-dependent closures.
+///
+/// For custom multi-phase marking (leak pruning's SELECT state runs an
+/// in-use closure *and* a stale closure in one collection), use
+/// [`Collector::collect_with`].
+#[derive(Debug, Default)]
+pub struct Collector {
+    gc_count: u64,
+    stats: GcStats,
+}
+
+impl Collector {
+    /// Creates a collector that has performed no collections.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of collections completed so far.
+    pub fn collections(&self) -> u64 {
+        self.gc_count
+    }
+
+    /// The index the *next* collection will carry (1-based).
+    pub fn next_gc_index(&self) -> u64 {
+        self.gc_count + 1
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &GcStats {
+        &self.stats
+    }
+
+    /// Performs a full-heap collection with a serial mark phase.
+    pub fn collect(
+        &mut self,
+        heap: &mut Heap,
+        roots: &RootSet,
+        visitor: &mut dyn EdgeVisitor,
+    ) -> CollectionOutcome {
+        self.collect_with(heap, |heap| trace(heap, roots.iter(), visitor))
+    }
+
+    /// Performs a full-heap collection with `threads` parallel marker
+    /// threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn collect_parallel<V: ParEdgeVisitor>(
+        &mut self,
+        heap: &mut Heap,
+        roots: &RootSet,
+        visitor: &V,
+        threads: usize,
+    ) -> CollectionOutcome {
+        let root_handles: Vec<_> = roots.iter().collect();
+        self.collect_with(heap, |heap| par_trace(heap, &root_handles, visitor, threads))
+    }
+
+    /// Performs a full-heap collection whose mark phase is supplied by the
+    /// caller. `mark` runs after a fresh mark epoch has begun; everything it
+    /// leaves unmarked is swept.
+    ///
+    /// This is the hook leak pruning uses to run its two-phase SELECT
+    /// closure and its poisoning PRUNE closure while reusing the collector's
+    /// numbering, timing, and sweep.
+    pub fn collect_with(
+        &mut self,
+        heap: &mut Heap,
+        mark: impl FnOnce(&Heap) -> TraceStats,
+    ) -> CollectionOutcome {
+        self.gc_count += 1;
+        heap.begin_mark_epoch();
+
+        let mark_start = Instant::now();
+        let trace_stats = mark(heap);
+        let mark_time = mark_start.elapsed();
+
+        let sweep_start = Instant::now();
+        let swept = heap.sweep();
+        let sweep_time = sweep_start.elapsed();
+
+        self.stats.record(
+            mark_time,
+            sweep_time,
+            trace_stats.objects_marked,
+            trace_stats.bytes_marked,
+            swept.freed_objects,
+            swept.freed_bytes,
+        );
+
+        CollectionOutcome {
+            gc_index: self.gc_count,
+            trace: trace_stats,
+            swept,
+            live_bytes_after: heap.used_bytes(),
+            live_objects_after: heap.live_objects(),
+            mark_time,
+            sweep_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::TraceAll;
+    use lp_heap::{AllocSpec, ClassRegistry, TaggedRef};
+
+    fn setup() -> (Heap, RootSet, lp_heap::ClassId) {
+        let mut reg = ClassRegistry::new();
+        let cls = reg.register("T");
+        (Heap::new(1 << 20), RootSet::new(), cls)
+    }
+
+    #[test]
+    fn collect_reclaims_garbage_and_numbers_collections() {
+        let (mut heap, mut roots, cls) = setup();
+        let live = heap.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+        let child = heap.alloc(cls, &AllocSpec::default()).unwrap();
+        heap.object(live).store_ref(0, TaggedRef::from_handle(child));
+        heap.alloc(cls, &AllocSpec::leaf(100)).unwrap(); // garbage
+        let s = roots.add_static();
+        roots.set_static(s, Some(live));
+
+        let mut collector = Collector::new();
+        assert_eq!(collector.next_gc_index(), 1);
+        let outcome = collector.collect(&mut heap, &roots, &mut TraceAll);
+        assert_eq!(outcome.gc_index, 1);
+        assert_eq!(outcome.swept.freed_objects, 1);
+        assert_eq!(outcome.trace.objects_marked, 2);
+        assert_eq!(outcome.live_objects_after, 2);
+        assert_eq!(collector.collections(), 1);
+        assert_eq!(collector.stats().collections(), 1);
+    }
+
+    #[test]
+    fn parallel_collect_matches_serial_liveness() {
+        let (mut heap, mut roots, cls) = setup();
+        let mut prev = None;
+        for _ in 0..100 {
+            let h = heap.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+            if let Some(p) = prev {
+                heap.object(h).store_ref(0, TaggedRef::from_handle(p));
+            }
+            prev = Some(h);
+        }
+        // 50 garbage objects.
+        for _ in 0..50 {
+            heap.alloc(cls, &AllocSpec::default()).unwrap();
+        }
+        let s = roots.add_static();
+        roots.set_static(s, prev);
+
+        let mut collector = Collector::new();
+        let outcome = collector.collect_parallel(&mut heap, &roots, &TraceAll, 4);
+        assert_eq!(outcome.swept.freed_objects, 50);
+        assert_eq!(outcome.live_objects_after, 100);
+    }
+
+    #[test]
+    fn collect_with_allows_custom_mark_phases() {
+        let (mut heap, _roots, cls) = setup();
+        let a = heap.alloc(cls, &AllocSpec::default()).unwrap();
+        heap.alloc(cls, &AllocSpec::default()).unwrap(); // garbage
+
+        let mut collector = Collector::new();
+        let outcome = collector.collect_with(&mut heap, |heap| {
+            crate::trace(heap, [a], &mut TraceAll)
+        });
+        assert_eq!(outcome.swept.freed_objects, 1);
+        assert!(heap.contains(a));
+    }
+
+    #[test]
+    fn stats_track_multiple_collections() {
+        let (mut heap, roots, cls) = setup();
+        let mut collector = Collector::new();
+        for _ in 0..3 {
+            heap.alloc(cls, &AllocSpec::leaf(10)).unwrap();
+            collector.collect(&mut heap, &roots, &mut TraceAll);
+        }
+        assert_eq!(collector.stats().collections(), 3);
+        assert_eq!(collector.stats().total_freed_objects(), 3);
+    }
+}

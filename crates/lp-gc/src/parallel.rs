@@ -1,0 +1,320 @@
+//! Parallel marking with work-stealing deques.
+//!
+//! Mirrors MMTk's parallel trace (§4.5 of the paper): marker threads share a
+//! pool of work, steal from each other to balance load, and rely on the
+//! heap's atomic mark words so each object is processed exactly once.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use lp_heap::{Handle, Heap, Object, TaggedRef};
+
+use crate::tracer::{EdgeAction, TraceStats};
+
+/// A thread-safe [`EdgeVisitor`](crate::EdgeVisitor) counterpart for
+/// parallel marking. Implementations must be safe to call from multiple
+/// marker threads; the paper's edge-table updates tolerate races the same
+/// way (§4.5).
+pub trait ParEdgeVisitor: Sync {
+    /// Classifies one non-null reference; may rewrite the field through the
+    /// atomic `src` object.
+    fn visit_edge(
+        &self,
+        heap: &Heap,
+        src_slot: u32,
+        src: &Object,
+        field: usize,
+        reference: TaggedRef,
+    ) -> EdgeAction;
+
+    /// Called once per object when it is first marked.
+    fn visit_object(&self, heap: &Heap, slot: u32, object: &Object) {
+        let _ = (heap, slot, object);
+    }
+}
+
+/// Trace everything, in parallel. The parallel analogue of
+/// [`TraceAll`](crate::TraceAll).
+impl ParEdgeVisitor for crate::tracer::TraceAll {
+    fn visit_edge(
+        &self,
+        _heap: &Heap,
+        _src_slot: u32,
+        _src: &Object,
+        _field: usize,
+        _reference: TaggedRef,
+    ) -> EdgeAction {
+        EdgeAction::Trace
+    }
+}
+
+#[derive(Default)]
+struct SharedStats {
+    objects: AtomicU64,
+    bytes: AtomicU64,
+    edges: AtomicU64,
+}
+
+impl SharedStats {
+    fn merge(&self, local: &TraceStats) {
+        self.objects.fetch_add(local.objects_marked, Ordering::Relaxed);
+        self.bytes.fetch_add(local.bytes_marked, Ordering::Relaxed);
+        self.edges.fetch_add(local.edges_visited, Ordering::Relaxed);
+    }
+}
+
+/// Runs a transitive closure from `roots` using `threads` marker threads.
+///
+/// Semantically identical to [`trace`](crate::trace) with the same visitor
+/// logic: every reachable object is marked exactly once and every non-null
+/// edge of a scanned object is visited once. Work distribution (and
+/// therefore edge visit order) is nondeterministic.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn par_trace<V: ParEdgeVisitor>(
+    heap: &Heap,
+    roots: &[Handle],
+    visitor: &V,
+    threads: usize,
+) -> TraceStats {
+    assert!(threads > 0, "need at least one marker thread");
+
+    let injector: Injector<u32> = Injector::new();
+    // Termination protocol: a worker that finds no work anywhere declares
+    // itself idle; the closure is complete when every worker is idle and
+    // every queue is empty (work is only ever produced by non-idle
+    // workers). This costs nothing on the per-object hot path — a shared
+    // in-flight counter would be the dominant contention point on
+    // pointer-chase graphs.
+    let idle_workers = AtomicUsize::new(0);
+    let stats = SharedStats::default();
+
+    let mut root_stats = TraceStats::default();
+    for root in roots {
+        let slot = root.slot();
+        debug_assert!(heap.contains(*root), "root points to reclaimed object");
+        if heap.try_mark(slot) {
+            enter_object(heap, slot, visitor, &mut root_stats);
+            injector.push(slot);
+        }
+    }
+    stats.merge(&root_stats);
+
+    let workers: Vec<Worker<u32>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<u32>> = workers.iter().map(Worker::stealer).collect();
+
+    std::thread::scope(|scope| {
+        for worker in workers {
+            let injector = &injector;
+            let stealers = &stealers;
+            let idle_workers = &idle_workers;
+            let stats = &stats;
+            scope.spawn(move || {
+                run_worker(
+                    heap,
+                    visitor,
+                    worker,
+                    injector,
+                    stealers,
+                    idle_workers,
+                    threads,
+                    stats,
+                );
+            });
+        }
+    });
+
+    TraceStats {
+        objects_marked: stats.objects.load(Ordering::Relaxed),
+        bytes_marked: stats.bytes.load(Ordering::Relaxed),
+        edges_visited: stats.edges.load(Ordering::Relaxed),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_worker<V: ParEdgeVisitor>(
+    heap: &Heap,
+    visitor: &V,
+    worker: Worker<u32>,
+    injector: &Injector<u32>,
+    stealers: &[Stealer<u32>],
+    idle_workers: &AtomicUsize,
+    threads: usize,
+    stats: &SharedStats,
+) {
+    // Statistics accumulate thread-locally and merge once at the end —
+    // per-object shared-counter traffic would dominate pointer-chase
+    // graphs.
+    let mut local = TraceStats::default();
+    'work: loop {
+        if let Some(slot) = find_work(&worker, injector, stealers) {
+            scan_object(heap, slot, visitor, &worker, &mut local);
+            continue;
+        }
+
+        // Nothing anywhere: declare idle and wait for either new work to
+        // appear or everyone to agree the closure is done.
+        idle_workers.fetch_add(1, Ordering::AcqRel);
+        let mut spins = 0u32;
+        loop {
+            let queues_empty = injector.is_empty() && stealers.iter().all(Stealer::is_empty);
+            if !queues_empty {
+                idle_workers.fetch_sub(1, Ordering::AcqRel);
+                continue 'work;
+            }
+            if idle_workers.load(Ordering::Acquire) == threads {
+                // Every worker is idle and every queue is empty: since
+                // only non-idle workers produce work, none can appear.
+                break 'work;
+            }
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+    stats.merge(&local);
+}
+
+fn find_work(worker: &Worker<u32>, injector: &Injector<u32>, stealers: &[Stealer<u32>]) -> Option<u32> {
+    if let Some(slot) = worker.pop() {
+        return Some(slot);
+    }
+    loop {
+        match injector.steal_batch_and_pop(worker) {
+            Steal::Success(slot) => return Some(slot),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    for stealer in stealers {
+        loop {
+            // Steal a batch, not a single item: it halves the victim's
+            // deque once instead of contending on it per object.
+            match stealer.steal_batch_and_pop(worker) {
+                Steal::Success(slot) => return Some(slot),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+fn scan_object<V: ParEdgeVisitor>(
+    heap: &Heap,
+    slot: u32,
+    visitor: &V,
+    worker: &Worker<u32>,
+    local: &mut TraceStats,
+) {
+    let object = heap
+        .object_by_slot(slot)
+        .expect("marked object disappeared during trace");
+    for (field, reference) in object.iter_refs() {
+        if reference.is_null() {
+            continue;
+        }
+        local.edges_visited += 1;
+        match visitor.visit_edge(heap, slot, object, field, reference) {
+            EdgeAction::Skip => {}
+            EdgeAction::Trace => {
+                let target = reference.slot().expect("non-null reference has a slot");
+                if heap.try_mark(target) {
+                    enter_object(heap, target, visitor, local);
+                    worker.push(target);
+                }
+            }
+        }
+    }
+}
+
+fn enter_object<V: ParEdgeVisitor>(heap: &Heap, slot: u32, visitor: &V, local: &mut TraceStats) {
+    let object = heap
+        .object_by_slot(slot)
+        .expect("traced reference points to reclaimed object");
+    local.objects_marked += 1;
+    local.bytes_marked += u64::from(object.footprint());
+    visitor.visit_object(heap, slot, object);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{trace, TraceAll};
+    use lp_heap::{AllocSpec, ClassRegistry, Heap};
+
+    /// Builds a wide tree so multiple threads have real work.
+    fn build_tree(heap: &mut Heap, cls: lp_heap::ClassId, depth: u32, fanout: u32) -> Handle {
+        let root = heap
+            .alloc(cls, &AllocSpec::with_refs(fanout))
+            .expect("alloc");
+        if depth > 0 {
+            for i in 0..fanout {
+                let child = build_tree(heap, cls, depth - 1, fanout);
+                heap.object(root)
+                    .store_ref(i as usize, TaggedRef::from_handle(child));
+            }
+        }
+        root
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut reg = ClassRegistry::new();
+        let cls = reg.register("T");
+        let mut heap = Heap::new(1 << 24);
+        let root = build_tree(&mut heap, cls, 6, 4);
+
+        heap.begin_mark_epoch();
+        let serial = trace(&heap, [root], &mut TraceAll);
+
+        heap.begin_mark_epoch();
+        let parallel = par_trace(&heap, &[root], &TraceAll, 4);
+
+        assert_eq!(serial.objects_marked, parallel.objects_marked);
+        assert_eq!(serial.bytes_marked, parallel.bytes_marked);
+        assert_eq!(serial.edges_visited, parallel.edges_visited);
+    }
+
+    #[test]
+    fn single_thread_parallel_works() {
+        let mut reg = ClassRegistry::new();
+        let cls = reg.register("T");
+        let mut heap = Heap::new(1 << 20);
+        let root = build_tree(&mut heap, cls, 3, 3);
+
+        heap.begin_mark_epoch();
+        let stats = par_trace(&heap, &[root], &TraceAll, 1);
+        assert!(stats.objects_marked > 1);
+    }
+
+    #[test]
+    fn empty_roots_mark_nothing() {
+        let heap = Heap::new(1024);
+        let stats = par_trace(&heap, &[], &TraceAll, 2);
+        assert_eq!(stats.objects_marked, 0);
+    }
+
+    #[test]
+    fn shared_subtrees_marked_once() {
+        let mut reg = ClassRegistry::new();
+        let cls = reg.register("T");
+        let mut heap = Heap::new(1 << 20);
+        let shared = heap.alloc(cls, &AllocSpec::default()).unwrap();
+        let mut roots = Vec::new();
+        for _ in 0..8 {
+            let r = heap.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+            heap.object(r).store_ref(0, TaggedRef::from_handle(shared));
+            roots.push(r);
+        }
+        heap.begin_mark_epoch();
+        let stats = par_trace(&heap, &roots, &TraceAll, 4);
+        assert_eq!(stats.objects_marked, 9);
+        assert_eq!(stats.edges_visited, 8);
+    }
+}

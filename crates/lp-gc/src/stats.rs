@@ -1,0 +1,112 @@
+//! Cumulative collection statistics.
+
+use std::time::Duration;
+
+/// Counters and timings accumulated by a [`Collector`](crate::Collector)
+/// over the life of a program.
+///
+/// Figure 7 of the paper plots normalized GC time for the Base, Observe and
+/// Select configurations across heap sizes — [`GcStats::total_gc_time`] is
+/// the quantity being normalized.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GcStats {
+    collections: u64,
+    mark_time: Duration,
+    sweep_time: Duration,
+    total_marked_objects: u64,
+    total_marked_bytes: u64,
+    total_freed_bytes: u64,
+    total_freed_objects: u64,
+}
+
+impl GcStats {
+    /// Number of collections performed.
+    pub fn collections(&self) -> u64 {
+        self.collections
+    }
+
+    /// Total wall-clock time spent marking.
+    pub fn mark_time(&self) -> Duration {
+        self.mark_time
+    }
+
+    /// Total wall-clock time spent sweeping.
+    pub fn sweep_time(&self) -> Duration {
+        self.sweep_time
+    }
+
+    /// Total wall-clock collection time (mark + sweep).
+    pub fn total_gc_time(&self) -> Duration {
+        self.mark_time + self.sweep_time
+    }
+
+    /// Objects marked across all collections.
+    pub fn total_marked_objects(&self) -> u64 {
+        self.total_marked_objects
+    }
+
+    /// Bytes found reachable across all collections.
+    pub fn total_marked_bytes(&self) -> u64 {
+        self.total_marked_bytes
+    }
+
+    /// Bytes reclaimed across all collections.
+    pub fn total_freed_bytes(&self) -> u64 {
+        self.total_freed_bytes
+    }
+
+    /// Objects reclaimed across all collections.
+    pub fn total_freed_objects(&self) -> u64 {
+        self.total_freed_objects
+    }
+
+    pub(crate) fn record(
+        &mut self,
+        mark_time: Duration,
+        sweep_time: Duration,
+        marked_objects: u64,
+        marked_bytes: u64,
+        freed_objects: u64,
+        freed_bytes: u64,
+    ) {
+        self.collections += 1;
+        self.mark_time += mark_time;
+        self.sweep_time += sweep_time;
+        self.total_marked_objects += marked_objects;
+        self.total_marked_bytes += marked_bytes;
+        self.total_freed_objects += freed_objects;
+        self.total_freed_bytes += freed_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = GcStats::default();
+        s.record(
+            Duration::from_millis(2),
+            Duration::from_millis(1),
+            10,
+            1000,
+            5,
+            500,
+        );
+        s.record(
+            Duration::from_millis(3),
+            Duration::from_millis(1),
+            20,
+            2000,
+            1,
+            100,
+        );
+        assert_eq!(s.collections(), 2);
+        assert_eq!(s.total_gc_time(), Duration::from_millis(7));
+        assert_eq!(s.total_marked_objects(), 30);
+        assert_eq!(s.total_marked_bytes(), 3000);
+        assert_eq!(s.total_freed_objects(), 6);
+        assert_eq!(s.total_freed_bytes(), 600);
+    }
+}

@@ -1,0 +1,168 @@
+//! Class (type) identities.
+//!
+//! Leak pruning's prediction algorithm summarizes heap references by the
+//! *classes* of their source and target objects (§4.1 of the paper), so class
+//! identity is the one piece of type information the substrate must model.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned class identity.
+///
+/// `ClassId`s are cheap copyable indices into a [`ClassRegistry`]. Two
+/// objects have the same type exactly when their `ClassId`s are equal.
+///
+/// # Example
+///
+/// ```
+/// use lp_heap::ClassRegistry;
+///
+/// let mut registry = ClassRegistry::new();
+/// let a = registry.register("java.lang.String");
+/// let b = registry.register("java.lang.String");
+/// assert_eq!(a, b);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(u32);
+
+impl ClassId {
+    /// Returns the raw index of this class within its registry.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a `ClassId` from a raw index.
+    ///
+    /// Intended for data structures (such as the edge table) that pack class
+    /// ids into wider words. The caller is responsible for only using indices
+    /// previously obtained from [`ClassId::index`].
+    pub fn from_index(index: u32) -> Self {
+        ClassId(index)
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// An interning registry of class names.
+///
+/// Mirrors the VM's loaded-class table: registering the same name twice
+/// returns the same [`ClassId`].
+///
+/// # Example
+///
+/// ```
+/// use lp_heap::ClassRegistry;
+///
+/// let mut registry = ClassRegistry::new();
+/// let list = registry.register("List");
+/// assert_eq!(registry.name(list), "List");
+/// assert_eq!(registry.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ClassRegistry {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl ClassRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id. Registering an existing name
+    /// returns the previously assigned id.
+    pub fn register(&mut self, name: &str) -> ClassId {
+        if let Some(&idx) = self.index.get(name) {
+            return ClassId(idx);
+        }
+        let idx = u32::try_from(self.names.len()).expect("class registry overflow");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), idx);
+        ClassId(idx)
+    }
+
+    /// Looks up a class by name without interning it.
+    pub fn lookup(&self, name: &str) -> Option<ClassId> {
+        self.index.get(name).copied().map(ClassId)
+    }
+
+    /// Returns the name of a registered class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this registry.
+    pub fn name(&self, id: ClassId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no classes have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ClassId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_interns() {
+        let mut r = ClassRegistry::new();
+        let a = r.register("A");
+        let b = r.register("B");
+        let a2 = r.register("A");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        let mut r = ClassRegistry::new();
+        let id = r.register("org.example.Widget");
+        assert_eq!(r.name(id), "org.example.Widget");
+        assert_eq!(r.lookup("org.example.Widget"), Some(id));
+        assert_eq!(r.lookup("missing"), None);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mut r = ClassRegistry::new();
+        let id = r.register("X");
+        assert_eq!(ClassId::from_index(id.index()), id);
+    }
+
+    #[test]
+    fn iter_in_registration_order() {
+        let mut r = ClassRegistry::new();
+        r.register("first");
+        r.register("second");
+        let names: Vec<&str> = r.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, ["first", "second"]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut r = ClassRegistry::new();
+        let id = r.register("X");
+        assert!(!format!("{id}").is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Heap-level errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// The heap cannot satisfy an allocation because it is out of space.
+///
+/// This is a *mechanism-level* condition: the runtime decides whether it
+/// leads to a garbage collection, leak pruning, or a semantic
+/// `OutOfMemoryError` surfaced to the program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocError {
+    requested: u64,
+    used: u64,
+    capacity: u64,
+}
+
+impl AllocError {
+    pub(crate) fn new(requested: u64, used: u64, capacity: u64) -> Self {
+        AllocError {
+            requested,
+            used,
+            capacity,
+        }
+    }
+
+    /// Bytes the failed allocation requested.
+    pub fn requested(&self) -> u64 {
+        self.requested
+    }
+
+    /// Bytes in use at the time of the failure.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Total heap capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "heap exhausted: requested {} bytes with {}/{} in use",
+            self.requested, self.used, self.capacity
+        )
+    }
+}
+
+impl Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_sizes() {
+        let e = AllocError::new(128, 1000, 1024);
+        let s = e.to_string();
+        assert!(s.contains("128"));
+        assert!(s.contains("1024"));
+        assert_eq!(e.requested(), 128);
+        assert_eq!(e.used(), 1000);
+        assert_eq!(e.capacity(), 1024);
+    }
+}

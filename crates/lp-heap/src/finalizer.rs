@@ -1,0 +1,86 @@
+//! Finalizer bookkeeping.
+//!
+//! §2 of the paper discusses how pruning interacts with finalizers: pruning
+//! collects objects earlier than a reachability-only collector would, so a
+//! strict implementation could disable finalizers once pruning starts, while
+//! the paper's implementation keeps running them (the option users would
+//! likely pick, to avoid leaking non-memory resources). The substrate
+//! records which finalizable objects died in each sweep; the runtime decides
+//! whether to "run" them.
+
+use crate::class::ClassId;
+
+/// Classes of finalizable objects reclaimed by a sweep, in sweep order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FinalizeLog {
+    entries: Vec<ClassId>,
+}
+
+impl FinalizeLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the class of a reclaimed finalizable object.
+    pub fn push(&mut self, class: ClassId) {
+        self.entries.push(class);
+    }
+
+    /// Number of finalizable objects reclaimed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no finalizable objects were reclaimed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded classes.
+    pub fn as_slice(&self) -> &[ClassId] {
+        &self.entries
+    }
+
+    /// Drains the log, yielding each recorded class once.
+    pub fn drain(&mut self) -> impl Iterator<Item = ClassId> + '_ {
+        self.entries.drain(..)
+    }
+}
+
+impl Extend<ClassId> for FinalizeLog {
+    fn extend<T: IntoIterator<Item = ClassId>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+impl FromIterator<ClassId> for FinalizeLog {
+    fn from_iter<T: IntoIterator<Item = ClassId>>(iter: T) -> Self {
+        FinalizeLog {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_drain() {
+        let mut log = FinalizeLog::new();
+        assert!(log.is_empty());
+        log.push(ClassId::from_index(1));
+        log.push(ClassId::from_index(2));
+        assert_eq!(log.len(), 2);
+        let drained: Vec<_> = log.drain().collect();
+        assert_eq!(drained.len(), 2);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let log: FinalizeLog = (0..3).map(ClassId::from_index).collect();
+        assert_eq!(log.len(), 3);
+    }
+}

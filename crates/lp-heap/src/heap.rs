@@ -1,0 +1,693 @@
+//! The object heap: a slab of objects with mark-epoch support and byte
+//! accounting.
+//!
+//! The heap is storage and accounting only. Collection policy (when to
+//! collect, what to trace, what to poison) lives in `lp-gc` and
+//! `leak-pruning`; they drive the heap through [`Heap::begin_mark_epoch`],
+//! [`Heap::try_mark`] and [`Heap::sweep`].
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::class::ClassId;
+use crate::error::AllocError;
+use crate::finalizer::FinalizeLog;
+use crate::layout::AllocSpec;
+use crate::object::Object;
+use crate::stats::HeapStats;
+use crate::tagged::Handle;
+
+/// Result of a sweep: what was reclaimed and which dead objects had
+/// finalizers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SweepOutcome {
+    /// Number of objects reclaimed.
+    pub freed_objects: u64,
+    /// Simulated bytes reclaimed.
+    pub freed_bytes: u64,
+    /// Classes of reclaimed objects that were registered as finalizable, in
+    /// sweep order. The runtime "runs" these finalizers.
+    pub finalized: FinalizeLog,
+}
+
+/// A bounded managed heap.
+///
+/// Objects live in slab slots addressed by [`Handle`]s. The heap tracks its
+/// simulated byte usage: an allocation that would exceed the configured
+/// capacity fails with [`AllocError`], and it is the runtime's job to react
+/// (collect, prune, or surface an out-of-memory error).
+///
+/// # Example
+///
+/// ```
+/// use lp_heap::{AllocSpec, ClassRegistry, Heap};
+///
+/// let mut classes = ClassRegistry::new();
+/// let cls = classes.register("Widget");
+/// let mut heap = Heap::new(4096);
+/// let h = heap.alloc(cls, &AllocSpec::leaf(100)).unwrap();
+/// assert_eq!(heap.object(h).class(), cls);
+/// assert!(heap.used_bytes() > 0);
+/// ```
+#[derive(Debug)]
+pub struct Heap {
+    slots: Vec<Option<Object>>,
+    free: Vec<u32>,
+    marks: Vec<AtomicU32>,
+    /// Per-slot generation, bumped when a slot's object is reclaimed, so a
+    /// stale mutator [`Handle`] can never alias a recycled slot.
+    generations: Vec<u32>,
+    epoch: u32,
+    used_bytes: u64,
+    live_objects: u64,
+    capacity: u64,
+    stats: HeapStats,
+    /// Slots allocated since the last collection — the nursery of a
+    /// generational configuration. Empty when the heap is run
+    /// non-generationally.
+    young: Vec<u32>,
+    /// Per-slot nursery flag (O(1) for the write barrier's queries).
+    young_flags: Vec<bool>,
+    young_bytes: u64,
+    /// Old objects into which the mutator stored a reference to a young
+    /// object — the remembered set scanned by minor collections.
+    remembered: Vec<u32>,
+}
+
+impl Heap {
+    /// Creates an empty heap bounded at `capacity` simulated bytes.
+    pub fn new(capacity: u64) -> Self {
+        Heap {
+            slots: Vec::new(),
+            free: Vec::new(),
+            marks: Vec::new(),
+            generations: Vec::new(),
+            epoch: 0,
+            used_bytes: 0,
+            live_objects: 0,
+            capacity,
+            stats: HeapStats::default(),
+            young: Vec::new(),
+            young_flags: Vec::new(),
+            young_bytes: 0,
+            remembered: Vec::new(),
+        }
+    }
+
+    /// The heap bound in simulated bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Simulated bytes currently occupied by objects.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Number of objects currently in the heap.
+    pub fn live_objects(&self) -> u64 {
+        self.live_objects
+    }
+
+    /// Fraction of the heap in use, in `0.0..=1.0` (can exceed 1.0 only if
+    /// the capacity is zero).
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            return 1.0;
+        }
+        self.used_bytes as f64 / self.capacity as f64
+    }
+
+    /// Whether an allocation of `bytes` would fit without collection.
+    pub fn fits(&self, bytes: u64) -> bool {
+        self.used_bytes.saturating_add(bytes) <= self.capacity
+    }
+
+    /// Cumulative allocation statistics.
+    pub fn stats(&self) -> &HeapStats {
+        &self.stats
+    }
+
+    /// Allocates an object of class `class` with shape `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the allocation would exceed the heap
+    /// capacity. The heap itself never collects; the caller decides how to
+    /// respond.
+    pub fn alloc(&mut self, class: ClassId, spec: &AllocSpec) -> Result<Handle, AllocError> {
+        let bytes = u64::from(spec.footprint());
+        if !self.fits(bytes) {
+            return Err(AllocError::new(bytes, self.used_bytes, self.capacity));
+        }
+        let object = Object::new(class, spec);
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(object);
+                // A recycled slot keeps a stale mark word; make sure it does
+                // not accidentally equal the current epoch.
+                self.marks[slot as usize].store(0, Ordering::Relaxed);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("heap slot overflow");
+                self.slots.push(Some(object));
+                self.marks.push(AtomicU32::new(0));
+                self.generations.push(0);
+                self.young_flags.push(false);
+                slot
+            }
+        };
+        self.used_bytes += bytes;
+        self.live_objects += 1;
+        self.young.push(slot);
+        self.young_flags[slot as usize] = true;
+        self.young_bytes += bytes;
+        self.stats.record_alloc(bytes, self.used_bytes);
+        Ok(Handle::from_parts(slot, self.generations[slot as usize]))
+    }
+
+    /// Marks an object as carrying a finalizer. When the object later dies
+    /// in a sweep, its class is reported in [`SweepOutcome::finalized`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` does not designate a live object.
+    pub fn set_finalizable(&mut self, handle: Handle) {
+        self.slots[handle.slot() as usize]
+            .as_mut()
+            .expect("finalizable target is live")
+            .set_finalizable(true);
+    }
+
+    /// The object designated by `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object has been reclaimed (including when its slot was
+    /// recycled for a new object). Mutators that honour the read barrier
+    /// can never observe a reclaimed object; reaching one means the runtime
+    /// failed to intercept a poisoned reference.
+    pub fn object(&self, handle: Handle) -> &Object {
+        assert!(
+            self.generations[handle.slot() as usize] == handle.generation(),
+            "access to reclaimed object (recycled slot)"
+        );
+        self.slots[handle.slot() as usize]
+            .as_ref()
+            .expect("access to reclaimed object")
+    }
+
+    /// The object designated by `handle`, or `None` if it was reclaimed
+    /// (even if the slot has since been recycled).
+    pub fn object_checked(&self, handle: Handle) -> Option<&Object> {
+        if self.generations.get(handle.slot() as usize) != Some(&handle.generation()) {
+            return None;
+        }
+        self.object_by_slot(handle.slot())
+    }
+
+    /// The object in `slot`, if the slot is live.
+    pub fn object_by_slot(&self, slot: u32) -> Option<&Object> {
+        self.slots.get(slot as usize).and_then(Option::as_ref)
+    }
+
+    /// A current-generation handle for the live object in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn handle_at(&self, slot: u32) -> Handle {
+        assert!(
+            self.object_by_slot(slot).is_some(),
+            "handle_at on an empty slot"
+        );
+        Handle::from_parts(slot, self.generations[slot as usize])
+    }
+
+    /// Resolves a reference field value to a mutator handle, ignoring tag
+    /// bits. Returns `None` for null.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference designates a reclaimed slot — only possible
+    /// for poisoned references, which callers must check first.
+    pub fn resolve(&self, reference: crate::TaggedRef) -> Option<Handle> {
+        reference.slot().map(|slot| self.handle_at(slot))
+    }
+
+    /// Whether `handle` designates a live object (and not a recycled slot).
+    pub fn contains(&self, handle: Handle) -> bool {
+        self.object_checked(handle).is_some()
+    }
+
+    // ----- generational support ------------------------------------------
+
+    /// Whether `slot` holds an object allocated since the last collection
+    /// (a nursery object).
+    pub fn is_young(&self, slot: u32) -> bool {
+        self.young_flags.get(slot as usize).copied().unwrap_or(false)
+    }
+
+    /// Bytes held by nursery objects.
+    pub fn young_bytes(&self) -> u64 {
+        self.young_bytes
+    }
+
+    /// Number of nursery objects.
+    pub fn young_objects(&self) -> usize {
+        self.young.len()
+    }
+
+    /// The nursery slots, oldest first.
+    pub fn young_slots(&self) -> &[u32] {
+        &self.young
+    }
+
+    /// Records that an old (non-nursery) object in `slot` now references a
+    /// nursery object — the generational write barrier's remembered set.
+    pub fn note_old_to_young(&mut self, slot: u32) {
+        self.remembered.push(slot);
+    }
+
+    /// Old slots recorded by [`Heap::note_old_to_young`] since the last
+    /// collection (may contain duplicates).
+    pub fn remembered_slots(&self) -> &[u32] {
+        &self.remembered
+    }
+
+    /// Reclaims every *nursery* object not marked in the current epoch and
+    /// promotes the survivors to the old generation; the remembered set is
+    /// cleared (no old-to-young references remain once everything young is
+    /// promoted).
+    ///
+    /// Old objects are untouched regardless of mark state: a minor
+    /// collection has not proven anything about them.
+    pub fn sweep_young(&mut self) -> SweepOutcome {
+        let mut outcome = SweepOutcome::default();
+        for i in std::mem::take(&mut self.young) {
+            self.young_flags[i as usize] = false;
+            let dead = match &self.slots[i as usize] {
+                Some(_) => self.marks[i as usize].load(Ordering::Relaxed) != self.epoch,
+                None => false,
+            };
+            if dead {
+                let object = self.slots[i as usize].take().expect("checked live above");
+                outcome.freed_objects += 1;
+                outcome.freed_bytes += u64::from(object.footprint());
+                if object.is_finalizable() {
+                    outcome.finalized.push(object.class());
+                }
+                self.generations[i as usize] = self.generations[i as usize].wrapping_add(1);
+                self.free.push(i);
+            }
+        }
+        self.used_bytes -= outcome.freed_bytes;
+        self.live_objects -= outcome.freed_objects;
+        self.young_bytes = 0;
+        self.remembered.clear();
+        self.stats.record_sweep(&outcome);
+        outcome
+    }
+
+    /// Iterates over `(slot, object)` for all live objects.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Object)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|o| (i as u32, o)))
+    }
+
+    /// Starts a new mark epoch (a new collection) and returns it. All
+    /// objects become unmarked.
+    pub fn begin_mark_epoch(&mut self) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely long-running processes wrap the epoch; reset all
+            // mark words so no object is spuriously marked.
+            for m in &self.marks {
+                m.store(u32::MAX, Ordering::Relaxed);
+            }
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+
+    /// Atomically marks `slot` in the current epoch. Returns `true` iff this
+    /// call performed the marking (i.e. the object was unmarked before),
+    /// which is the "process each object once" handshake parallel marker
+    /// threads rely on.
+    pub fn try_mark(&self, slot: u32) -> bool {
+        let word = &self.marks[slot as usize];
+        word.swap(self.epoch, Ordering::AcqRel) != self.epoch
+    }
+
+    /// Whether `slot` is marked in the current epoch.
+    pub fn is_marked(&self, slot: u32) -> bool {
+        self.marks[slot as usize].load(Ordering::Acquire) == self.epoch
+    }
+
+    /// Reclaims every object not marked in the current epoch.
+    ///
+    /// Returns what was freed, including the classes of finalizable dead
+    /// objects so the runtime can run finalizers.
+    pub fn sweep(&mut self) -> SweepOutcome {
+        let mut outcome = SweepOutcome::default();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let dead = match slot {
+                Some(_) => self.marks[i].load(Ordering::Relaxed) != self.epoch,
+                None => false,
+            };
+            if dead {
+                let object = slot.take().expect("checked live above");
+                outcome.freed_objects += 1;
+                outcome.freed_bytes += u64::from(object.footprint());
+                if object.is_finalizable() {
+                    outcome.finalized.push(object.class());
+                }
+                self.generations[i] = self.generations[i].wrapping_add(1);
+                self.free.push(i as u32);
+            }
+        }
+        self.used_bytes -= outcome.freed_bytes;
+        self.live_objects -= outcome.freed_objects;
+        // A full collection empties the nursery: survivors are old now.
+        for i in self.young.drain(..) {
+            self.young_flags[i as usize] = false;
+        }
+        self.young_bytes = 0;
+        self.remembered.clear();
+        self.stats.record_sweep(&outcome);
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassRegistry;
+    use crate::layout::HEADER_BYTES;
+    use proptest::prelude::*;
+
+    fn heap_with_class(capacity: u64) -> (Heap, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let cls = reg.register("T");
+        (Heap::new(capacity), cls)
+    }
+
+    #[test]
+    fn alloc_accounts_bytes() {
+        let (mut heap, cls) = heap_with_class(10_000);
+        let h = heap.alloc(cls, &AllocSpec::leaf(84)).unwrap();
+        assert_eq!(heap.used_bytes(), u64::from(HEADER_BYTES) + 84);
+        assert_eq!(heap.live_objects(), 1);
+        assert!(heap.contains(h));
+    }
+
+    #[test]
+    fn alloc_fails_when_exhausted() {
+        let (mut heap, cls) = heap_with_class(64);
+        heap.alloc(cls, &AllocSpec::leaf(32)).unwrap();
+        let err = heap.alloc(cls, &AllocSpec::leaf(32)).unwrap_err();
+        assert_eq!(err.capacity(), 64);
+        assert!(err.used() + err.requested() > 64);
+    }
+
+    #[test]
+    fn sweep_reclaims_unmarked_objects() {
+        let (mut heap, cls) = heap_with_class(10_000);
+        let keep = heap.alloc(cls, &AllocSpec::leaf(10)).unwrap();
+        let drop_ = heap.alloc(cls, &AllocSpec::leaf(20)).unwrap();
+        let before = heap.used_bytes();
+
+        heap.begin_mark_epoch();
+        assert!(heap.try_mark(keep.slot()));
+        let outcome = heap.sweep();
+
+        assert_eq!(outcome.freed_objects, 1);
+        assert_eq!(outcome.freed_bytes, u64::from(HEADER_BYTES) + 20);
+        assert_eq!(heap.used_bytes(), before - outcome.freed_bytes);
+        assert!(heap.contains(keep));
+        assert!(!heap.contains(drop_));
+    }
+
+    #[test]
+    fn try_mark_marks_once() {
+        let (mut heap, cls) = heap_with_class(10_000);
+        let h = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        heap.begin_mark_epoch();
+        assert!(heap.try_mark(h.slot()));
+        assert!(!heap.try_mark(h.slot()));
+        assert!(heap.is_marked(h.slot()));
+    }
+
+    #[test]
+    fn recycled_slot_starts_unmarked() {
+        let (mut heap, cls) = heap_with_class(10_000);
+        let h = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        heap.begin_mark_epoch();
+        heap.try_mark(h.slot());
+        heap.begin_mark_epoch();
+        heap.sweep(); // h dies
+        let h2 = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        assert_eq!(h2.slot(), h.slot(), "slot is recycled");
+        assert!(!heap.is_marked(h2.slot()));
+    }
+
+    #[test]
+    fn finalizable_dead_objects_are_reported() {
+        let (mut heap, cls) = heap_with_class(10_000);
+        let h = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        heap.set_finalizable(h);
+        heap.begin_mark_epoch();
+        let outcome = heap.sweep();
+        assert_eq!(outcome.finalized.as_slice(), [cls]);
+    }
+
+    #[test]
+    fn occupancy_tracks_usage() {
+        let (mut heap, cls) = heap_with_class(1000);
+        assert_eq!(heap.occupancy(), 0.0);
+        heap.alloc(cls, &AllocSpec::leaf(484)).unwrap(); // 500 bytes total
+        assert!((heap.occupancy() - 0.5).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// Allocating then sweeping everything returns the heap to its
+        /// starting byte accounting, regardless of the allocation sequence.
+        #[test]
+        fn prop_sweep_all_restores_accounting(sizes in proptest::collection::vec(0u32..2048, 1..64)) {
+            let (mut heap, cls) = heap_with_class(1 << 30);
+            for s in &sizes {
+                heap.alloc(cls, &AllocSpec::leaf(*s)).unwrap();
+            }
+            heap.begin_mark_epoch();
+            let outcome = heap.sweep();
+            prop_assert_eq!(outcome.freed_objects, sizes.len() as u64);
+            prop_assert_eq!(heap.used_bytes(), 0);
+            prop_assert_eq!(heap.live_objects(), 0);
+        }
+
+        /// Marked objects always survive a sweep; unmarked never do.
+        #[test]
+        fn prop_sweep_respects_marks(keep_mask in proptest::collection::vec(any::<bool>(), 1..64)) {
+            let (mut heap, cls) = heap_with_class(1 << 30);
+            let handles: Vec<_> = keep_mask
+                .iter()
+                .map(|_| heap.alloc(cls, &AllocSpec::leaf(8)).unwrap())
+                .collect();
+            heap.begin_mark_epoch();
+            for (h, keep) in handles.iter().zip(&keep_mask) {
+                if *keep {
+                    heap.try_mark(h.slot());
+                }
+            }
+            heap.sweep();
+            for (h, keep) in handles.iter().zip(&keep_mask) {
+                prop_assert_eq!(heap.contains(*h), *keep);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod generation_tests {
+    use super::*;
+    use crate::class::ClassRegistry;
+    use crate::layout::AllocSpec;
+    use proptest::prelude::*;
+
+    fn heap_with_class(capacity: u64) -> (Heap, crate::ClassId) {
+        let mut reg = ClassRegistry::new();
+        let cls = reg.register("T");
+        (Heap::new(capacity), cls)
+    }
+
+    #[test]
+    fn stale_handle_does_not_alias_recycled_slot() {
+        let (mut heap, cls) = heap_with_class(1 << 20);
+        let old = heap.alloc(cls, &AllocSpec::leaf(8)).unwrap();
+        heap.begin_mark_epoch();
+        heap.sweep(); // old dies
+        let new = heap.alloc(cls, &AllocSpec::leaf(8)).unwrap();
+        assert_eq!(old.slot(), new.slot(), "slot is recycled");
+        assert_ne!(old, new, "generation distinguishes the handles");
+        assert!(!heap.contains(old));
+        assert!(heap.contains(new));
+        assert!(heap.object_checked(old).is_none());
+        assert!(heap.object_checked(new).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "access to reclaimed object")]
+    fn object_panics_on_stale_generation() {
+        let (mut heap, cls) = heap_with_class(1 << 20);
+        let old = heap.alloc(cls, &AllocSpec::leaf(8)).unwrap();
+        heap.begin_mark_epoch();
+        heap.sweep();
+        heap.alloc(cls, &AllocSpec::leaf(8)).unwrap(); // recycles the slot
+        let _ = heap.object(old);
+    }
+
+    #[test]
+    fn handle_at_and_resolve_roundtrip() {
+        let (mut heap, cls) = heap_with_class(1 << 20);
+        let h = heap.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+        assert_eq!(heap.handle_at(h.slot()), h);
+        let r = crate::TaggedRef::from_handle(h).with_unlogged();
+        assert_eq!(heap.resolve(r), Some(h));
+        assert_eq!(heap.resolve(crate::TaggedRef::NULL), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "handle_at on an empty slot")]
+    fn handle_at_panics_on_empty_slot() {
+        let (mut heap, cls) = heap_with_class(1 << 20);
+        let h = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        heap.begin_mark_epoch();
+        heap.sweep();
+        heap.handle_at(h.slot());
+    }
+
+    proptest! {
+        /// Random alloc/collect interleavings keep byte accounting equal to
+        /// the sum of live footprints, and recycled slots never resurrect
+        /// old handles.
+        #[test]
+        fn prop_accounting_and_generations(ops in proptest::collection::vec(0u8..3, 1..200)) {
+            let (mut heap, cls) = heap_with_class(1 << 30);
+            let mut live: Vec<Handle> = Vec::new();
+            let mut dead: Vec<Handle> = Vec::new();
+            for op in ops {
+                match op {
+                    0 | 1 => {
+                        live.push(heap.alloc(cls, &AllocSpec::leaf(u32::from(op) * 64)).unwrap());
+                    }
+                    _ => {
+                        // Collect, keeping a prefix of the live set.
+                        let keep = live.len() / 2;
+                        heap.begin_mark_epoch();
+                        for h in &live[..keep] {
+                            heap.try_mark(h.slot());
+                        }
+                        heap.sweep();
+                        dead.extend(live.drain(keep..));
+                    }
+                }
+                let expected: u64 = live
+                    .iter()
+                    .map(|h| u64::from(heap.object(*h).footprint()))
+                    .sum();
+                prop_assert_eq!(heap.used_bytes(), expected);
+                for d in &dead {
+                    prop_assert!(!heap.contains(*d), "dead handle resurrected");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod nursery_tests {
+    use super::*;
+    use crate::class::ClassRegistry;
+    use crate::layout::AllocSpec;
+
+    fn heap_with_class() -> (Heap, crate::ClassId) {
+        let mut reg = ClassRegistry::new();
+        let cls = reg.register("T");
+        (Heap::new(1 << 20), cls)
+    }
+
+    #[test]
+    fn allocations_enter_the_nursery() {
+        let (mut heap, cls) = heap_with_class();
+        let a = heap.alloc(cls, &AllocSpec::leaf(100)).unwrap();
+        assert!(heap.is_young(a.slot()));
+        assert_eq!(heap.young_objects(), 1);
+        assert_eq!(heap.young_bytes(), u64::from(heap.object(a).footprint()));
+    }
+
+    #[test]
+    fn full_sweep_promotes_survivors() {
+        let (mut heap, cls) = heap_with_class();
+        let a = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        heap.begin_mark_epoch();
+        heap.try_mark(a.slot());
+        heap.sweep();
+        assert!(!heap.is_young(a.slot()), "survivor promoted");
+        assert_eq!(heap.young_bytes(), 0);
+    }
+
+    #[test]
+    fn sweep_young_frees_unmarked_and_promotes_marked() {
+        let (mut heap, cls) = heap_with_class();
+        let keep = heap.alloc(cls, &AllocSpec::leaf(10)).unwrap();
+        let drop_ = heap.alloc(cls, &AllocSpec::leaf(20)).unwrap();
+        heap.begin_mark_epoch();
+        heap.try_mark(keep.slot());
+        let outcome = heap.sweep_young();
+        assert_eq!(outcome.freed_objects, 1);
+        assert!(heap.contains(keep));
+        assert!(!heap.contains(drop_));
+        assert!(!heap.is_young(keep.slot()));
+        assert_eq!(heap.young_objects(), 0);
+    }
+
+    #[test]
+    fn sweep_young_never_touches_old_objects() {
+        let (mut heap, cls) = heap_with_class();
+        let old = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        heap.begin_mark_epoch();
+        heap.try_mark(old.slot());
+        heap.sweep(); // promote
+
+        heap.alloc(cls, &AllocSpec::leaf(0)).unwrap(); // young garbage
+        heap.begin_mark_epoch();
+        // Nothing marked — but `old` must survive a *young* sweep.
+        heap.sweep_young();
+        assert!(heap.contains(old));
+    }
+
+    #[test]
+    fn remembered_set_accumulates_and_clears() {
+        let (mut heap, cls) = heap_with_class();
+        let a = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        heap.note_old_to_young(a.slot());
+        heap.note_old_to_young(a.slot());
+        assert_eq!(heap.remembered_slots().len(), 2);
+        heap.begin_mark_epoch();
+        heap.sweep_young();
+        assert!(heap.remembered_slots().is_empty());
+    }
+
+    #[test]
+    fn recycled_nursery_slot_is_young_again() {
+        let (mut heap, cls) = heap_with_class();
+        let a = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        heap.begin_mark_epoch();
+        heap.sweep_young(); // a dies
+        let b = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        assert_eq!(a.slot(), b.slot());
+        assert!(heap.is_young(b.slot()));
+    }
+}

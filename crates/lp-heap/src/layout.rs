@@ -1,0 +1,124 @@
+//! Object size model.
+//!
+//! The simulator accounts for memory in *simulated bytes*, mirroring how a
+//! 32-bit Java VM would lay objects out: a fixed header, one word per
+//! reference field, and an arbitrary scalar payload. A workload that models
+//! a 3 MB `char[]` allocates one object whose `extra_bytes` is 3 MB — the
+//! accounting is exact while host memory stays tiny, which is what lets the
+//! experiments run heaps of hundreds of simulated megabytes.
+
+/// Simulated bytes occupied by every object header (type word + status word,
+/// plus collector metadata), matching a typical Jikes RVM configuration.
+pub const HEADER_BYTES: u32 = 16;
+
+/// Simulated bytes per reference field (a 32-bit pointer).
+pub const REF_BYTES: u32 = 4;
+
+/// Simulated bytes per scalar payload word.
+pub const WORD_BYTES: u32 = 8;
+
+/// The shape of an allocation request: how many reference fields, how many
+/// addressable scalar words, and how many additional raw payload bytes the
+/// object carries.
+///
+/// # Example
+///
+/// ```
+/// use lp_heap::{AllocSpec, HEADER_BYTES, REF_BYTES, WORD_BYTES};
+///
+/// // A list node: next pointer + element pointer + one scalar word.
+/// let spec = AllocSpec::new(2, 1, 0);
+/// assert_eq!(spec.footprint(), HEADER_BYTES + 2 * REF_BYTES + WORD_BYTES);
+///
+/// // A 1 KB byte array: no fields, just payload.
+/// let array = AllocSpec::leaf(1024);
+/// assert_eq!(array.footprint(), HEADER_BYTES + 1024);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AllocSpec {
+    ref_fields: u32,
+    data_words: u32,
+    extra_bytes: u32,
+}
+
+impl AllocSpec {
+    /// An allocation with `ref_fields` reference fields, `data_words`
+    /// addressable scalar words, and `extra_bytes` of unaddressed payload.
+    pub fn new(ref_fields: u32, data_words: u32, extra_bytes: u32) -> Self {
+        AllocSpec {
+            ref_fields,
+            data_words,
+            extra_bytes,
+        }
+    }
+
+    /// A pure data object (no reference fields, no scalar words) of
+    /// `extra_bytes` payload — e.g. a primitive array.
+    pub fn leaf(extra_bytes: u32) -> Self {
+        Self::new(0, 0, extra_bytes)
+    }
+
+    /// An object consisting only of `ref_fields` reference fields — e.g. an
+    /// object array.
+    pub fn with_refs(ref_fields: u32) -> Self {
+        Self::new(ref_fields, 0, 0)
+    }
+
+    /// Number of reference fields.
+    pub fn ref_fields(self) -> u32 {
+        self.ref_fields
+    }
+
+    /// Number of addressable scalar words.
+    pub fn data_words(self) -> u32 {
+        self.data_words
+    }
+
+    /// Unaddressed payload bytes.
+    pub fn extra_bytes(self) -> u32 {
+        self.extra_bytes
+    }
+
+    /// Total simulated footprint of an object with this shape, in bytes.
+    pub fn footprint(self) -> u32 {
+        HEADER_BYTES
+            + self.ref_fields * REF_BYTES
+            + self.data_words * WORD_BYTES
+            + self.extra_bytes
+    }
+}
+
+impl Default for AllocSpec {
+    /// A bare object with no fields or payload.
+    fn default() -> Self {
+        Self::new(0, 0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_includes_header() {
+        assert_eq!(AllocSpec::default().footprint(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn footprint_sums_components() {
+        let s = AllocSpec::new(3, 2, 100);
+        assert_eq!(
+            s.footprint(),
+            HEADER_BYTES + 3 * REF_BYTES + 2 * WORD_BYTES + 100
+        );
+        assert_eq!(s.ref_fields(), 3);
+        assert_eq!(s.data_words(), 2);
+        assert_eq!(s.extra_bytes(), 100);
+    }
+
+    #[test]
+    fn leaf_and_with_refs_shorthands() {
+        assert_eq!(AllocSpec::leaf(64), AllocSpec::new(0, 0, 64));
+        assert_eq!(AllocSpec::with_refs(4), AllocSpec::new(4, 0, 0));
+    }
+}

@@ -1,0 +1,65 @@
+//! Managed-heap substrate for the leak-pruning runtime.
+//!
+//! This crate provides the pieces of a managed runtime that the leak-pruning
+//! algorithm of Bond & McKinley (ASPLOS 2009) piggybacks on:
+//!
+//! * a [`ClassRegistry`] interning class (type) identities, since the
+//!   prediction algorithm keys its edge table on *(source class → target
+//!   class)* pairs;
+//! * an object [`Heap`]: a slab of [`Object`]s, each carrying a class, a
+//!   byte footprint, a 3-bit stale counter in its header, reference fields
+//!   and scalar payload words;
+//! * [`TaggedRef`], a word-aligned reference representation whose two lowest
+//!   bits are available for tagging, exactly as object pointers are in a Java
+//!   VM: bit 0 is the *unlogged* bit the collector sets after every full-heap
+//!   collection (so the read barrier's cold path runs at most once per
+//!   reference per collection), and bit 1 is the *poison* bit that marks a
+//!   pruned reference;
+//! * a [`RootSet`] of statics and stack frames, the starting points of the
+//!   collector's transitive closure;
+//! * allocation accounting that lets a driver decide when the program has
+//!   filled the heap and a collection (or an out-of-memory response) is due.
+//!
+//! The crate is mechanism-only: it never decides *when* to collect, what to
+//! trace, or which references to poison. Those policies live in the `lp-gc`
+//! and `leak-pruning` crates.
+//!
+//! # Example
+//!
+//! ```
+//! use lp_heap::{AllocSpec, ClassRegistry, Heap, TaggedRef};
+//!
+//! let mut classes = ClassRegistry::new();
+//! let node = classes.register("Node");
+//!
+//! let mut heap = Heap::new(64 * 1024);
+//! let a = heap.alloc(node, &AllocSpec::new(1, 0, 0)).unwrap();
+//! let b = heap.alloc(node, &AllocSpec::new(1, 0, 0)).unwrap();
+//!
+//! // Link a -> b through a reference field.
+//! heap.object(a).store_ref(0, TaggedRef::from_handle(b));
+//! assert_eq!(heap.object(a).load_ref(0).slot(), Some(b.slot()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod class;
+mod error;
+mod finalizer;
+mod heap;
+mod layout;
+mod object;
+mod roots;
+mod stats;
+mod tagged;
+
+pub use class::{ClassId, ClassRegistry};
+pub use error::AllocError;
+pub use finalizer::FinalizeLog;
+pub use heap::{Heap, SweepOutcome};
+pub use layout::{AllocSpec, HEADER_BYTES, REF_BYTES, WORD_BYTES};
+pub use object::{Object, STALE_MAX};
+pub use roots::{FrameId, RootSet, StaticId, REGISTER_FILE_SIZE};
+pub use stats::HeapStats;
+pub use tagged::{Handle, TaggedRef};

@@ -1,0 +1,264 @@
+//! Heap objects.
+//!
+//! An [`Object`] carries the state leak pruning needs in the object header —
+//! most importantly the **3-bit logarithmic stale counter** of §4.1 — plus
+//! its reference fields and scalar payload. Fields and the stale counter use
+//! atomics so that a parallel collector can trace and update the heap from
+//! multiple marker threads without `unsafe` aliasing.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use crate::class::ClassId;
+use crate::layout::AllocSpec;
+use crate::tagged::TaggedRef;
+
+/// Maximum value of the 3-bit stale counter.
+///
+/// A value `k` means the object was last used approximately `2^k` full-heap
+/// collections ago; the counter saturates at `2^7 = 128` collections.
+pub const STALE_MAX: u8 = 7;
+
+/// Reference fields are stored as raw [`TaggedRef`] words in `AtomicU32`s so
+/// the collector can tag/poison them concurrently with other marker threads.
+type FieldWord = std::sync::atomic::AtomicU32;
+
+/// A heap object: header (class, footprint, stale counter, finalizable
+/// flag), reference fields, and scalar data words.
+///
+/// Objects are created through [`Heap::alloc`](crate::Heap::alloc); the
+/// mutator reaches them through [`Handle`](crate::Handle)s.
+#[derive(Debug)]
+pub struct Object {
+    class: ClassId,
+    footprint: u32,
+    finalizable: bool,
+    stale: AtomicU8,
+    refs: Box<[FieldWord]>,
+    data: Box<[AtomicU64]>,
+}
+
+impl Object {
+    pub(crate) fn new(class: ClassId, spec: &AllocSpec) -> Self {
+        let refs = (0..spec.ref_fields()).map(|_| FieldWord::new(0)).collect();
+        let data = (0..spec.data_words()).map(|_| AtomicU64::new(0)).collect();
+        Object {
+            class,
+            footprint: spec.footprint(),
+            finalizable: false,
+            stale: AtomicU8::new(0),
+            refs,
+            data,
+        }
+    }
+
+    /// The object's class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Total simulated footprint in bytes (header + fields + payload).
+    pub fn footprint(&self) -> u32 {
+        self.footprint
+    }
+
+    /// Number of reference fields.
+    pub fn ref_count(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Number of scalar data words.
+    pub fn data_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Loads reference field `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn load_ref(&self, index: usize) -> TaggedRef {
+        TaggedRef::from_raw(self.refs[index].load(Ordering::Acquire))
+    }
+
+    /// Stores `value` into reference field `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn store_ref(&self, index: usize, value: TaggedRef) {
+        self.refs[index].store(value.raw(), Ordering::Release);
+    }
+
+    /// Atomically replaces field `index` with `new` iff it still holds
+    /// `current`. Returns whether the swap happened.
+    ///
+    /// This is the `[iff a.f == t]` store of the paper's read-barrier
+    /// pseudocode: the barrier must not clobber a concurrent writer's
+    /// reference when it clears the unlogged bit.
+    pub fn cas_ref(&self, index: usize, current: TaggedRef, new: TaggedRef) -> bool {
+        self.refs[index]
+            .compare_exchange(
+                current.raw(),
+                new.raw(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Loads scalar word `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn load_word(&self, index: usize) -> u64 {
+        self.data[index].load(Ordering::Relaxed)
+    }
+
+    /// Stores scalar word `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn store_word(&self, index: usize, value: u64) {
+        self.data[index].store(value, Ordering::Relaxed);
+    }
+
+    /// Current stale-counter value (0..=[`STALE_MAX`]).
+    pub fn stale(&self) -> u8 {
+        self.stale.load(Ordering::Relaxed)
+    }
+
+    /// Sets the stale counter (clamped to [`STALE_MAX`]).
+    pub fn set_stale(&self, value: u8) {
+        self.stale.store(value.min(STALE_MAX), Ordering::Relaxed);
+    }
+
+    /// Zeroes the stale counter, as the read barrier does when the program
+    /// uses the object.
+    pub fn clear_stale(&self) {
+        self.stale.store(0, Ordering::Relaxed);
+    }
+
+    /// Applies the paper's logarithmic increment rule for full-heap
+    /// collection number `gc_index`: a counter holding `k` is incremented
+    /// iff `gc_index` is a multiple of `2^k`. Returns the new value.
+    ///
+    /// The effect is that a counter value `k` means "last used roughly `2^k`
+    /// collections ago".
+    pub fn tick_stale(&self, gc_index: u64) -> u8 {
+        let k = self.stale.load(Ordering::Relaxed);
+        if k >= STALE_MAX {
+            return k;
+        }
+        if gc_index % (1u64 << k) == 0 {
+            let next = k + 1;
+            self.stale.store(next, Ordering::Relaxed);
+            next
+        } else {
+            k
+        }
+    }
+
+    /// Whether this object has a finalizer.
+    pub fn is_finalizable(&self) -> bool {
+        self.finalizable
+    }
+
+    pub(crate) fn set_finalizable(&mut self, finalizable: bool) {
+        self.finalizable = finalizable;
+    }
+
+    /// Iterates over this object's reference fields as `(index, value)`.
+    pub fn iter_refs(&self) -> impl Iterator<Item = (usize, TaggedRef)> + '_ {
+        (0..self.refs.len()).map(|i| (i, self.load_ref(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tagged::Handle;
+
+    fn obj(refs: u32, words: u32) -> Object {
+        Object::new(ClassId::from_index(0), &AllocSpec::new(refs, words, 0))
+    }
+
+    #[test]
+    fn new_object_fields_are_null() {
+        let o = obj(3, 2);
+        assert_eq!(o.ref_count(), 3);
+        assert_eq!(o.data_count(), 2);
+        for (_, r) in o.iter_refs() {
+            assert!(r.is_null());
+        }
+        assert_eq!(o.load_word(0), 0);
+        assert_eq!(o.stale(), 0);
+    }
+
+    #[test]
+    fn store_and_load_refs() {
+        let o = obj(2, 0);
+        let r = TaggedRef::from_handle(Handle::from_parts(9, 0));
+        o.store_ref(1, r);
+        assert_eq!(o.load_ref(1), r);
+        assert!(o.load_ref(0).is_null());
+    }
+
+    #[test]
+    fn cas_ref_succeeds_only_on_match() {
+        let o = obj(1, 0);
+        let a = TaggedRef::from_handle(Handle::from_parts(1, 0));
+        let b = TaggedRef::from_handle(Handle::from_parts(2, 0));
+        o.store_ref(0, a);
+        assert!(!o.cas_ref(0, b, TaggedRef::NULL));
+        assert_eq!(o.load_ref(0), a);
+        assert!(o.cas_ref(0, a, b));
+        assert_eq!(o.load_ref(0), b);
+    }
+
+    #[test]
+    fn stale_counter_saturates() {
+        let o = obj(0, 0);
+        o.set_stale(200);
+        assert_eq!(o.stale(), STALE_MAX);
+        o.clear_stale();
+        assert_eq!(o.stale(), 0);
+    }
+
+    #[test]
+    fn tick_stale_is_logarithmic() {
+        // Counter at k increments only when gc_index % 2^k == 0, so an
+        // object untouched from gc 1 onward reaches staleness k only after
+        // ~2^k collections.
+        let o = obj(0, 0);
+        let mut values = Vec::new();
+        for gc in 1..=32u64 {
+            values.push(o.tick_stale(gc));
+        }
+        // gc 1: k=0, 1 % 1 == 0 -> 1. gc 2: k=1, 2 % 2 == 0 -> 2.
+        // gc 3: k=2, 3 % 4 != 0 -> 2. gc 4: -> 3. gc 8: -> 4. gc 16: -> 5.
+        // gc 32: -> 6.
+        assert_eq!(values[0], 1);
+        assert_eq!(values[1], 2);
+        assert_eq!(values[2], 2);
+        assert_eq!(values[3], 3);
+        assert_eq!(values[7], 4);
+        assert_eq!(values[15], 5);
+        assert_eq!(values[31], 6);
+    }
+
+    #[test]
+    fn tick_stale_saturates_at_max() {
+        let o = obj(0, 0);
+        o.set_stale(STALE_MAX);
+        assert_eq!(o.tick_stale(1 << 20), STALE_MAX);
+    }
+
+    #[test]
+    fn scalar_words_roundtrip() {
+        let o = obj(0, 4);
+        o.store_word(3, 0xdead_beef);
+        assert_eq!(o.load_word(3), 0xdead_beef);
+    }
+}

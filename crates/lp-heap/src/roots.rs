@@ -1,0 +1,233 @@
+//! Program roots: statics and thread stack frames.
+//!
+//! The collector's transitive closure starts from the roots (registers,
+//! stacks, statics — §2 of the paper). Roots hold plain [`Handle`]s, never
+//! tagged references: the unlogged and poison bits exist only on
+//! object-to-object references, which is why leak pruning never prunes a
+//! reference held directly by a root (there is no source class to key the
+//! edge table with).
+
+use std::collections::VecDeque;
+
+use crate::tagged::Handle;
+
+/// Number of recent allocations the register file keeps live.
+pub const REGISTER_FILE_SIZE: usize = 64;
+
+/// Identifies a static (global) reference slot.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct StaticId(u32);
+
+/// Identifies a stack frame pushed with [`RootSet::push_frame`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FrameId(u32);
+
+/// The root set: static slots plus a stack of frames of local slots.
+///
+/// # Example
+///
+/// ```
+/// use lp_heap::{AllocSpec, ClassRegistry, Heap, RootSet};
+///
+/// let mut classes = ClassRegistry::new();
+/// let cls = classes.register("T");
+/// let mut heap = Heap::new(1024);
+/// let mut roots = RootSet::new();
+///
+/// let global = roots.add_static();
+/// let h = heap.alloc(cls, &AllocSpec::default()).unwrap();
+/// roots.set_static(global, Some(h));
+/// assert_eq!(roots.static_ref(global), Some(h));
+/// assert_eq!(roots.iter().count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct RootSet {
+    statics: Vec<Option<Handle>>,
+    frames: Vec<Option<Vec<Option<Handle>>>>,
+    free_frames: Vec<u32>,
+    /// The mutator's "registers": the most recent allocations. A real VM's
+    /// registers and expression stack keep an object alive between its
+    /// allocation and the store that connects it to the heap; without this,
+    /// a collection triggered mid-construction would reclaim half-built
+    /// structures. Bounded at [`REGISTER_FILE_SIZE`] entries.
+    registers: VecDeque<Handle>,
+}
+
+impl RootSet {
+    /// Creates an empty root set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a new static slot, initially null.
+    pub fn add_static(&mut self) -> StaticId {
+        let id = u32::try_from(self.statics.len()).expect("static slot overflow");
+        self.statics.push(None);
+        StaticId(id)
+    }
+
+    /// Reads a static slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this root set.
+    pub fn static_ref(&self, id: StaticId) -> Option<Handle> {
+        self.statics[id.0 as usize]
+    }
+
+    /// Writes a static slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this root set.
+    pub fn set_static(&mut self, id: StaticId, value: Option<Handle>) {
+        self.statics[id.0 as usize] = value;
+    }
+
+    /// Number of static slots.
+    pub fn static_count(&self) -> usize {
+        self.statics.len()
+    }
+
+    /// Pushes a stack frame with `slots` local reference slots (all null),
+    /// e.g. when the program spawns a thread or enters a tracked scope.
+    pub fn push_frame(&mut self, slots: usize) -> FrameId {
+        let frame = vec![None; slots];
+        match self.free_frames.pop() {
+            Some(i) => {
+                self.frames[i as usize] = Some(frame);
+                FrameId(i)
+            }
+            None => {
+                let i = u32::try_from(self.frames.len()).expect("frame overflow");
+                self.frames.push(Some(frame));
+                FrameId(i)
+            }
+        }
+    }
+
+    /// Discards a frame, dropping its roots (e.g. a thread exits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame was already popped.
+    pub fn pop_frame(&mut self, id: FrameId) {
+        let slot = &mut self.frames[id.0 as usize];
+        assert!(slot.is_some(), "frame popped twice");
+        *slot = None;
+        self.free_frames.push(id.0);
+    }
+
+    /// Reads local slot `index` of frame `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame was popped or `index` is out of bounds.
+    pub fn frame_ref(&self, id: FrameId, index: usize) -> Option<Handle> {
+        self.frames[id.0 as usize].as_ref().expect("live frame")[index]
+    }
+
+    /// Writes local slot `index` of frame `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame was popped or `index` is out of bounds.
+    pub fn set_frame_ref(&mut self, id: FrameId, index: usize, value: Option<Handle>) {
+        self.frames[id.0 as usize].as_mut().expect("live frame")[index] = value;
+    }
+
+    /// Number of live frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Records a fresh allocation in the register file, displacing the
+    /// oldest entry once [`REGISTER_FILE_SIZE`] registers are occupied.
+    pub fn note_allocation(&mut self, handle: Handle) {
+        if self.registers.len() == REGISTER_FILE_SIZE {
+            self.registers.pop_front();
+        }
+        self.registers.push_back(handle);
+    }
+
+    /// Number of occupied registers.
+    pub fn register_count(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Empties the register file — the moment a unit of work returns and
+    /// its temporaries go out of scope.
+    pub fn clear_registers(&mut self) {
+        self.registers.clear();
+    }
+
+    /// Iterates over every non-null root handle (statics, frames, then the
+    /// register file).
+    pub fn iter(&self) -> impl Iterator<Item = Handle> + '_ {
+        let statics = self.statics.iter().copied().flatten();
+        let frames = self
+            .frames
+            .iter()
+            .filter_map(Option::as_ref)
+            .flat_map(|f| f.iter().copied().flatten());
+        statics.chain(frames).chain(self.registers.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handle(slot: u32) -> Handle {
+        Handle::from_parts(slot, 0)
+    }
+
+    #[test]
+    fn statics_roundtrip() {
+        let mut roots = RootSet::new();
+        let a = roots.add_static();
+        let b = roots.add_static();
+        roots.set_static(a, Some(handle(1)));
+        assert_eq!(roots.static_ref(a), Some(handle(1)));
+        assert_eq!(roots.static_ref(b), None);
+        assert_eq!(roots.static_count(), 2);
+    }
+
+    #[test]
+    fn frames_roundtrip_and_recycle() {
+        let mut roots = RootSet::new();
+        let f1 = roots.push_frame(2);
+        roots.set_frame_ref(f1, 0, Some(handle(3)));
+        assert_eq!(roots.frame_ref(f1, 0), Some(handle(3)));
+        assert_eq!(roots.frame_count(), 1);
+
+        roots.pop_frame(f1);
+        assert_eq!(roots.frame_count(), 0);
+
+        let f2 = roots.push_frame(1);
+        assert_eq!(roots.frame_ref(f2, 0), None, "recycled frame is clean");
+    }
+
+    #[test]
+    #[should_panic(expected = "frame popped twice")]
+    fn double_pop_panics() {
+        let mut roots = RootSet::new();
+        let f = roots.push_frame(0);
+        roots.pop_frame(f);
+        roots.pop_frame(f);
+    }
+
+    #[test]
+    fn iter_yields_all_non_null_roots() {
+        let mut roots = RootSet::new();
+        let s = roots.add_static();
+        roots.add_static(); // stays null
+        roots.set_static(s, Some(handle(1)));
+        let f = roots.push_frame(3);
+        roots.set_frame_ref(f, 2, Some(handle(2)));
+
+        let mut got: Vec<u32> = roots.iter().map(Handle::slot).collect();
+        got.sort_unstable();
+        assert_eq!(got, [1, 2]);
+    }
+}

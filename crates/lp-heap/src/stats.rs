@@ -1,0 +1,89 @@
+//! Cumulative heap statistics.
+
+use crate::heap::SweepOutcome;
+
+/// Counters accumulated over the lifetime of a [`Heap`](crate::Heap).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HeapStats {
+    allocations: u64,
+    allocated_bytes: u64,
+    peak_used_bytes: u64,
+    sweeps: u64,
+    freed_objects: u64,
+    freed_bytes: u64,
+    finalized: u64,
+}
+
+impl HeapStats {
+    /// Total successful allocations.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Total simulated bytes allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes
+    }
+
+    /// High-water mark of bytes in use.
+    pub fn peak_used_bytes(&self) -> u64 {
+        self.peak_used_bytes
+    }
+
+    /// Number of sweeps performed.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// Total objects reclaimed across all sweeps.
+    pub fn freed_objects(&self) -> u64 {
+        self.freed_objects
+    }
+
+    /// Total simulated bytes reclaimed across all sweeps.
+    pub fn freed_bytes(&self) -> u64 {
+        self.freed_bytes
+    }
+
+    /// Total finalizable objects reclaimed.
+    pub fn finalized(&self) -> u64 {
+        self.finalized
+    }
+
+    pub(crate) fn record_alloc(&mut self, bytes: u64, used_after: u64) {
+        self.allocations += 1;
+        self.allocated_bytes += bytes;
+        self.peak_used_bytes = self.peak_used_bytes.max(used_after);
+    }
+
+    pub(crate) fn record_sweep(&mut self, outcome: &SweepOutcome) {
+        self.sweeps += 1;
+        self.freed_objects += outcome.freed_objects;
+        self.freed_bytes += outcome.freed_bytes;
+        self.finalized += outcome.finalized.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AllocSpec, ClassRegistry, Heap};
+
+    #[test]
+    fn stats_accumulate() {
+        let mut reg = ClassRegistry::new();
+        let cls = reg.register("T");
+        let mut heap = Heap::new(1 << 20);
+        heap.alloc(cls, &AllocSpec::leaf(100)).unwrap();
+        heap.alloc(cls, &AllocSpec::leaf(200)).unwrap();
+        assert_eq!(heap.stats().allocations(), 2);
+        assert!(heap.stats().allocated_bytes() > 300);
+        assert_eq!(heap.stats().peak_used_bytes(), heap.used_bytes());
+
+        heap.begin_mark_epoch();
+        heap.sweep();
+        assert_eq!(heap.stats().sweeps(), 1);
+        assert_eq!(heap.stats().freed_objects(), 2);
+        assert_eq!(heap.used_bytes(), 0);
+        assert!(heap.stats().peak_used_bytes() > 0);
+    }
+}

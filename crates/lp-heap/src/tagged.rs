@@ -1,0 +1,289 @@
+//! Tagged object references.
+//!
+//! Java VMs keep objects word-aligned, which leaves the low bits of every
+//! object pointer free for metadata. Leak pruning uses two of them (§4 of the
+//! paper):
+//!
+//! * **bit 0 — the "unlogged" bit.** After every full-heap collection the
+//!   collector sets this bit on every object-to-object reference. The read
+//!   barrier's cold path runs only when the bit is set, clears it, and zeroes
+//!   the target's stale counter — so per reference the cold path runs at most
+//!   once per collection.
+//! * **bit 1 — the "poison" bit.** Set when a reference is pruned. The read
+//!   barrier intercepts loads of poisoned references and the runtime throws
+//!   an internal error carrying the averted `OutOfMemoryError`.
+//!
+//! [`TaggedRef`] models a reference *field value* (possibly null, possibly
+//! tagged); [`Handle`] models a reference held by the mutator in a register
+//! or stack slot (never null, never tagged).
+
+use std::fmt;
+use std::num::NonZeroU32;
+
+/// Bit 0: set by the collector, cleared by the read barrier on first use.
+const TAG_UNLOGGED: u32 = 0b01;
+/// Bit 1: the reference has been pruned; loads must raise an error.
+const TAG_POISON: u32 = 0b10;
+const TAG_MASK: u32 = 0b11;
+
+/// A non-null, untagged reference to a heap object, as held by the mutator.
+///
+/// A `Handle` is what the program keeps in its "registers" after a field
+/// load has passed the read barrier. Handles are plain values: copying one
+/// does not touch the heap.
+///
+/// Handles carry a slot *generation* so that a handle kept aside while its
+/// object is reclaimed (e.g. by pruning) can never silently alias a new
+/// object allocated into the recycled slot — the heap detects the mismatch
+/// and treats the access as a use of reclaimed memory.
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Handle {
+    encoded: NonZeroU32,
+    generation: u32,
+}
+
+impl Handle {
+    /// Creates a handle designating heap slot `slot` at `generation`.
+    pub(crate) fn from_parts(slot: u32, generation: u32) -> Self {
+        debug_assert!(slot < (u32::MAX >> 2), "slot index overflows handle encoding");
+        Handle {
+            encoded: NonZeroU32::new((slot + 1) << 2).expect("slot+1 is nonzero"),
+            generation,
+        }
+    }
+
+    /// The heap slot this handle designates.
+    pub fn slot(self) -> u32 {
+        (self.encoded.get() >> 2) - 1
+    }
+
+    /// The slot generation this handle was created for.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+
+    /// The raw encoded word stored into reference fields (aligned, tag bits
+    /// clear). The generation is not stored: references *inside* the heap
+    /// are kept valid by the collector (it never sweeps what they point to
+    /// unless they are poisoned, and poisoned references are never
+    /// dereferenced), so only mutator-held handles need generations.
+    pub fn raw(self) -> u32 {
+        self.encoded.get()
+    }
+}
+
+impl fmt::Debug for Handle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Handle({}v{})", self.slot(), self.generation)
+    }
+}
+
+/// A reference field value: null or a possibly-tagged object reference.
+///
+/// This is the representation stored in object fields. The collector and the
+/// read barrier manipulate the tag bits; the mutator only ever observes
+/// untagged [`Handle`]s the runtime resolves from them (see
+/// [`Heap::resolve`](crate::Heap::resolve)).
+///
+/// # Example
+///
+/// ```
+/// use lp_heap::TaggedRef;
+///
+/// let null = TaggedRef::NULL;
+/// assert!(null.is_null());
+/// assert_eq!(null.slot(), None);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct TaggedRef(u32);
+
+impl TaggedRef {
+    /// The null reference.
+    pub const NULL: TaggedRef = TaggedRef(0);
+
+    /// Wraps a handle as an untagged reference value.
+    pub fn from_handle(handle: Handle) -> Self {
+        TaggedRef(handle.raw())
+    }
+
+    /// Wraps an optional handle; `None` becomes [`TaggedRef::NULL`].
+    pub fn from_optional(handle: Option<Handle>) -> Self {
+        handle.map_or(Self::NULL, Self::from_handle)
+    }
+
+    /// Reconstructs a reference from its raw field word.
+    pub fn from_raw(raw: u32) -> Self {
+        TaggedRef(raw)
+    }
+
+    /// The raw field word.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the null reference.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The heap slot of the referenced object, ignoring tag bits; `None` if
+    /// null.
+    ///
+    /// Callers implementing the read barrier must check
+    /// [`TaggedRef::is_poisoned`] *before* dereferencing the slot: a
+    /// poisoned reference designates an object that may have been
+    /// reclaimed. Resolve a slot to a mutator [`Handle`] with
+    /// [`Heap::handle_at`](crate::Heap::handle_at) or
+    /// [`Heap::resolve`](crate::Heap::resolve).
+    pub fn slot(self) -> Option<u32> {
+        NonZeroU32::new(self.0 & !TAG_MASK).map(|raw| (raw.get() >> 2) - 1)
+    }
+
+    /// Whether the unlogged bit (bit 0) is set.
+    pub fn is_unlogged(self) -> bool {
+        self.0 & TAG_UNLOGGED != 0
+    }
+
+    /// Whether the poison bit (bit 1) is set.
+    pub fn is_poisoned(self) -> bool {
+        self.0 & TAG_POISON != 0
+    }
+
+    /// This reference with the unlogged bit set (no-op on null).
+    pub fn with_unlogged(self) -> Self {
+        if self.is_null() {
+            self
+        } else {
+            TaggedRef(self.0 | TAG_UNLOGGED)
+        }
+    }
+
+    /// This reference with both the poison bit and the unlogged bit set,
+    /// as the PRUNE state does when invalidating a reference (§4.3).
+    ///
+    /// No-op on null.
+    pub fn with_poison(self) -> Self {
+        if self.is_null() {
+            self
+        } else {
+            TaggedRef(self.0 | TAG_POISON | TAG_UNLOGGED)
+        }
+    }
+
+    /// This reference with the unlogged bit cleared (poison bit kept), as
+    /// the read barrier's cold path stores back after logging a use.
+    pub fn without_unlogged(self) -> Self {
+        TaggedRef(self.0 & !TAG_UNLOGGED)
+    }
+
+    /// This reference with all tag bits cleared.
+    pub fn without_tags(self) -> Self {
+        TaggedRef(self.0 & !TAG_MASK)
+    }
+
+    /// Whether any tag bit is set — the read barrier's single fast-path
+    /// condition (`if (b & 0x3)` covering both §4.1 and §4.4 checks).
+    pub fn is_tagged(self) -> bool {
+        self.0 & TAG_MASK != 0
+    }
+}
+
+impl From<Handle> for TaggedRef {
+    fn from(handle: Handle) -> Self {
+        TaggedRef::from_handle(handle)
+    }
+}
+
+impl fmt::Debug for TaggedRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            return write!(f, "TaggedRef(null)");
+        }
+        write!(
+            f,
+            "TaggedRef({}{}{})",
+            self.slot().expect("non-null"),
+            if self.is_unlogged() { ", unlogged" } else { "" },
+            if self.is_poisoned() { ", poisoned" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn null_has_no_tags() {
+        assert!(!TaggedRef::NULL.is_unlogged());
+        assert!(!TaggedRef::NULL.is_poisoned());
+        assert!(TaggedRef::NULL.with_poison().is_null());
+        assert!(TaggedRef::NULL.with_unlogged().is_null());
+    }
+
+    #[test]
+    fn handle_slot_roundtrip() {
+        let h = Handle::from_parts(42, 3);
+        assert_eq!(h.slot(), 42);
+        assert_eq!(h.generation(), 3);
+        let r = TaggedRef::from_handle(h);
+        assert_eq!(r.slot(), Some(42));
+    }
+
+    #[test]
+    fn tags_do_not_disturb_slot() {
+        let h = Handle::from_parts(7, 0);
+        let r = TaggedRef::from_handle(h).with_unlogged().with_poison();
+        assert!(r.is_unlogged());
+        assert!(r.is_poisoned());
+        assert_eq!(r.slot(), Some(h.slot()));
+        assert_eq!(r.without_tags(), TaggedRef::from_handle(h));
+    }
+
+    #[test]
+    fn poisoning_sets_both_low_bits() {
+        // §4.3: the collector poisons a reference by setting its
+        // second-lowest bit "as well as its lowest bit".
+        let r = TaggedRef::from_handle(Handle::from_parts(3, 0)).with_poison();
+        assert!(r.is_poisoned());
+        assert!(r.is_unlogged());
+    }
+
+    #[test]
+    fn from_optional_none_is_null() {
+        assert_eq!(TaggedRef::from_optional(None), TaggedRef::NULL);
+        let h = Handle::from_parts(1, 0);
+        assert_eq!(TaggedRef::from_optional(Some(h)).slot(), Some(1));
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty() {
+        assert_eq!(format!("{:?}", TaggedRef::NULL), "TaggedRef(null)");
+        let r = TaggedRef::from_handle(Handle::from_parts(5, 0)).with_poison();
+        let s = format!("{r:?}");
+        assert!(s.contains("poisoned"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_slot_roundtrip(slot in 0u32..(1 << 28)) {
+            let h = Handle::from_parts(slot, slot ^ 0xaaaa);
+            prop_assert_eq!(h.slot(), slot);
+            prop_assert_eq!(h.generation(), slot ^ 0xaaaa);
+        }
+
+        #[test]
+        fn prop_raw_roundtrip(slot in 0u32..(1 << 28), unlogged: bool, poison: bool) {
+            let mut r = TaggedRef::from_handle(Handle::from_parts(slot, 0));
+            if unlogged { r = r.with_unlogged(); }
+            if poison { r = r.with_poison(); }
+            let back = TaggedRef::from_raw(r.raw());
+            prop_assert_eq!(back, r);
+            prop_assert_eq!(back.slot(), Some(slot));
+            prop_assert_eq!(back.is_poisoned(), poison);
+            // Poisoning also sets the unlogged bit.
+            prop_assert_eq!(back.is_unlogged(), unlogged || poison);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Terminal ASCII line charts, enough to eyeball the shape of the paper's
+//! figures straight from the experiment binaries.
+
+use crate::series::Series;
+
+const MARKS: &[char] = &['*', '+', 'o', 'x', '#', '@'];
+
+/// A fixed-size character-grid chart of one or more series.
+///
+/// # Example
+///
+/// ```
+/// use lp_metrics::{AsciiChart, Series};
+///
+/// let mut s = Series::new("leak");
+/// for i in 0..50 { s.push(i as f64, i as f64); }
+/// let chart = AsciiChart::new(40, 10).log_x(false);
+/// let text = chart.render(&[&s]);
+/// assert!(text.contains('*'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    log_x: bool,
+}
+
+impl AsciiChart {
+    /// Creates a chart with a plotting area of `width` x `height`
+    /// characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "chart must have positive area");
+        AsciiChart {
+            width,
+            height,
+            log_x: false,
+        }
+    }
+
+    /// Plots x on a log10 axis (several of the paper's figures use a
+    /// logarithmic x-axis). Points with `x <= 0` are dropped.
+    pub fn log_x(mut self, enabled: bool) -> Self {
+        self.log_x = enabled;
+        self
+    }
+
+    /// Renders the series onto the grid, with a y-axis scale and a legend.
+    pub fn render(&self, series: &[&Series]) -> String {
+        let transform = |x: f64| if self.log_x { x.log10() } else { x };
+
+        let mut x_min = f64::INFINITY;
+        let mut x_max = f64::NEG_INFINITY;
+        let mut y_min: f64 = 0.0; // charts anchor at zero like the paper's
+        let mut y_max = f64::NEG_INFINITY;
+        for s in series {
+            for (x, y) in s.points() {
+                if self.log_x && *x <= 0.0 {
+                    continue;
+                }
+                let tx = transform(*x);
+                x_min = x_min.min(tx);
+                x_max = x_max.max(tx);
+                y_min = y_min.min(*y);
+                y_max = y_max.max(*y);
+            }
+        }
+        if !x_min.is_finite() || !y_max.is_finite() {
+            return String::from("(no data)\n");
+        }
+        if (x_max - x_min).abs() < f64::EPSILON {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < f64::EPSILON {
+            y_max = y_min + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, s) in series.iter().enumerate() {
+            let mark = MARKS[si % MARKS.len()];
+            for (x, y) in s.points() {
+                if self.log_x && *x <= 0.0 {
+                    continue;
+                }
+                let tx = transform(*x);
+                let col = (((tx - x_min) / (x_max - x_min)) * (self.width - 1) as f64).round()
+                    as usize;
+                let row = (((y - y_min) / (y_max - y_min)) * (self.height - 1) as f64).round()
+                    as usize;
+                let row = self.height - 1 - row.min(self.height - 1);
+                grid[row][col.min(self.width - 1)] = mark;
+            }
+        }
+
+        let mut out = String::new();
+        // Small-magnitude axes (e.g. seconds per iteration) need scientific
+        // notation to stay legible.
+        let scientific = y_max.abs().max(y_min.abs()) < 0.1;
+        for (i, row) in grid.iter().enumerate() {
+            let value = y_max - (y_max - y_min) * i as f64 / (self.height - 1) as f64;
+            if scientific {
+                out.push_str(&format!("{value:>10.2e} |"));
+            } else {
+                out.push_str(&format!("{value:>10.1} |"));
+            }
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(self.width)));
+        let x_label = if self.log_x {
+            format!(
+                "{:>10}  10^{:.1} .. 10^{:.1}",
+                "", x_min, x_max
+            )
+        } else {
+            format!("{:>10}  {:.1} .. {:.1}", "", x_min, x_max)
+        };
+        out.push_str(&x_label);
+        out.push('\n');
+        for (si, s) in series.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>12} {} = {}\n",
+                "",
+                MARKS[si % MARKS.len()],
+                s.label()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_marks_and_legend() {
+        let mut s = Series::new("memory");
+        for i in 1..100 {
+            s.push(i as f64, (i % 10) as f64);
+        }
+        let text = AsciiChart::new(60, 12).render(&[&s]);
+        assert!(text.contains('*'));
+        assert!(text.contains("memory"));
+        assert_eq!(text.lines().count(), 12 + 2 + 1);
+    }
+
+    #[test]
+    fn empty_series_render_placeholder() {
+        let s = Series::new("empty");
+        let text = AsciiChart::new(10, 5).render(&[&s]);
+        assert_eq!(text, "(no data)\n");
+    }
+
+    #[test]
+    fn log_axis_drops_nonpositive_x() {
+        let mut s = Series::new("log");
+        s.push(0.0, 1.0); // dropped
+        s.push(1.0, 1.0);
+        s.push(1000.0, 5.0);
+        let text = AsciiChart::new(30, 5).log_x(true).render(&[&s]);
+        assert!(text.contains("10^0.0 .. 10^3.0"));
+    }
+
+    #[test]
+    fn two_series_use_distinct_marks() {
+        let mut a = Series::new("a");
+        a.push(1.0, 1.0);
+        let mut b = Series::new("b");
+        b.push(2.0, 2.0);
+        let text = AsciiChart::new(20, 5).render(&[&a, &b]);
+        assert!(text.contains('*') && text.contains('+'));
+    }
+}

@@ -1,0 +1,77 @@
+//! Minimal CSV emission for experiment outputs.
+
+use std::io::{self, Write};
+
+use crate::series::Series;
+
+/// Writes one or more series sharing an x column as CSV:
+/// `x,label1,label2,...`. Series are joined on point index when their x
+/// values diverge (each row takes the x of the first series that has a
+/// point at that index); missing values are left empty.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_csv<W: Write>(writer: &mut W, x_label: &str, series: &[&Series]) -> io::Result<()> {
+    write!(writer, "{}", escape(x_label))?;
+    for s in series {
+        write!(writer, ",{}", escape(s.label()))?;
+    }
+    writeln!(writer)?;
+
+    let rows = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let x = series
+            .iter()
+            .find_map(|s| s.points().get(i).map(|p| p.0));
+        match x {
+            Some(x) => write!(writer, "{x}")?,
+            None => write!(writer, "")?,
+        }
+        for s in series {
+            match s.points().get(i) {
+                Some((_, y)) => write!(writer, ",{y}")?,
+                None => write!(writer, ",")?,
+            }
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_joined_series() {
+        let mut a = Series::new("base");
+        a.extend([(1.0, 10.0), (2.0, 20.0)]);
+        let mut b = Series::new("pruned");
+        b.extend([(1.0, 5.0)]);
+
+        let mut out = Vec::new();
+        write_csv(&mut out, "iteration", &[&a, &b]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "iteration,base,pruned");
+        assert_eq!(lines[1], "1,10,5");
+        assert_eq!(lines[2], "2,20,");
+    }
+
+    #[test]
+    fn escapes_labels_with_commas() {
+        let s = Series::new("a,b");
+        let mut out = Vec::new();
+        write_csv(&mut out, "x", &[&s]).unwrap();
+        assert!(String::from_utf8(out).unwrap().starts_with("x,\"a,b\""));
+    }
+}

@@ -1,0 +1,31 @@
+//! Measurement plumbing for the leak-pruning experiment harness: labelled
+//! series, aligned text tables, CSV emission, and terminal ASCII charts for
+//! regenerating the paper's figures.
+//!
+//! # Example
+//!
+//! ```
+//! use lp_metrics::{Series, TextTable};
+//!
+//! let mut s = Series::new("reachable MB");
+//! s.push(1.0, 10.0);
+//! s.push(2.0, 20.0);
+//! assert_eq!(s.len(), 2);
+//!
+//! let mut table = TextTable::new(vec!["Leak".into(), "Iterations".into()]);
+//! table.row(vec!["ListLeak".into(), "2700000".into()]);
+//! assert!(table.render().contains("ListLeak"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chart;
+mod csv;
+mod series;
+mod table;
+
+pub use chart::AsciiChart;
+pub use csv::write_csv;
+pub use series::Series;
+pub use table::TextTable;

@@ -1,0 +1,155 @@
+//! Labelled `(x, y)` series.
+
+/// A labelled sequence of `(x, y)` points, e.g. reachable megabytes per
+/// iteration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Series {
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Minimum and maximum x values, if non-empty.
+    pub fn x_range(&self) -> Option<(f64, f64)> {
+        range(self.points.iter().map(|p| p.0))
+    }
+
+    /// Minimum and maximum y values, if non-empty.
+    pub fn y_range(&self) -> Option<(f64, f64)> {
+        range(self.points.iter().map(|p| p.1))
+    }
+
+    /// Arithmetic mean of the y values, if non-empty.
+    pub fn y_mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().map(|p| p.1).sum::<f64>() / self.points.len() as f64)
+    }
+
+    /// The last y value, if any.
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|p| p.1)
+    }
+
+    /// Downsamples to at most `max_points` points by keeping every k-th
+    /// point (always keeping the last), for plotting long runs.
+    pub fn downsampled(&self, max_points: usize) -> Series {
+        assert!(max_points > 0, "max_points must be positive");
+        if self.points.len() <= max_points {
+            return self.clone();
+        }
+        let stride = self.points.len().div_ceil(max_points);
+        let mut out = Series::new(self.label.clone());
+        for (i, (x, y)) in self.points.iter().enumerate() {
+            if i % stride == 0 || i == self.points.len() - 1 {
+                out.push(*x, *y);
+            }
+        }
+        out
+    }
+}
+
+impl Extend<(f64, f64)> for Series {
+    fn extend<T: IntoIterator<Item = (f64, f64)>>(&mut self, iter: T) {
+        self.points.extend(iter);
+    }
+}
+
+fn range(values: impl Iterator<Item = f64>) -> Option<(f64, f64)> {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut any = false;
+    for v in values {
+        any = true;
+        min = min.min(v);
+        max = max.max(v);
+    }
+    any.then_some((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ranges_and_mean() {
+        let mut s = Series::new("t");
+        s.extend([(0.0, 2.0), (1.0, 6.0), (2.0, 4.0)]);
+        assert_eq!(s.x_range(), Some((0.0, 2.0)));
+        assert_eq!(s.y_range(), Some((2.0, 6.0)));
+        assert_eq!(s.y_mean(), Some(4.0));
+        assert_eq!(s.last_y(), Some(4.0));
+    }
+
+    #[test]
+    fn empty_series_has_no_ranges() {
+        let s = Series::new("e");
+        assert!(s.is_empty());
+        assert_eq!(s.x_range(), None);
+        assert_eq!(s.y_mean(), None);
+    }
+
+    #[test]
+    fn downsample_keeps_last_point() {
+        let mut s = Series::new("d");
+        for i in 0..1000 {
+            s.push(i as f64, (i * 2) as f64);
+        }
+        let d = s.downsampled(100);
+        assert!(d.len() <= 101);
+        assert_eq!(d.points().last(), Some(&(999.0, 1998.0)));
+        assert_eq!(d.points()[0], (0.0, 0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_downsample_bounds(n in 1usize..2000, cap in 1usize..200) {
+            let mut s = Series::new("p");
+            for i in 0..n {
+                s.push(i as f64, i as f64);
+            }
+            let d = s.downsampled(cap);
+            prop_assert!(d.len() <= cap + 1);
+            prop_assert!(!d.is_empty());
+            // Points remain in x order.
+            for w in d.points().windows(2) {
+                prop_assert!(w[0].0 < w[1].0);
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! The non-leaking overhead suite (Figures 6 and 7).
+//!
+//! Stands in for the DaCapo benchmarks, pseudojbb, and SPECjvm98: each
+//! named benchmark is a deterministic, parameterized program with a fixed
+//! working set (no leak), a characteristic allocation rate, and a
+//! characteristic reference-load rate. The read/allocation mix is what
+//! matters for the paper's overhead experiments: barrier overhead (Figure
+//! 6) scales with reference-load density, and GC-time overhead (Figure 7)
+//! with how often the heap fills at a given heap-size multiplier.
+
+use leak_pruning::{Runtime, RuntimeError};
+use lp_heap::{AllocSpec, ClassId, Handle, StaticId, HEADER_BYTES, REF_BYTES};
+
+use crate::driver::Workload;
+
+/// A parameterized non-leaking benchmark.
+#[derive(Debug, Clone)]
+pub struct DacapoConfig {
+    /// Benchmark name (matches Figure 6's x-axis).
+    pub name: &'static str,
+    /// Live working-set objects (steady state).
+    pub working_set: usize,
+    /// Payload bytes per object.
+    pub object_bytes: u32,
+    /// Objects allocated per iteration (each replaces a working-set slot;
+    /// the displaced object dies).
+    pub allocs_per_iter: usize,
+    /// Reference loads per iteration.
+    pub reads_per_iter: usize,
+}
+
+impl DacapoConfig {
+    /// The smallest heap the benchmark runs in.
+    ///
+    /// The steady-state live set is up to twice the working set (each live
+    /// object's peer link can pin one displaced object for a while), plus
+    /// one iteration of allocation slack and the register file's float.
+    pub fn min_heap(&self) -> u64 {
+        let object = u64::from(HEADER_BYTES + REF_BYTES + self.object_bytes);
+        let table = u64::from(HEADER_BYTES) + u64::from(REF_BYTES) * self.working_set as u64;
+        let slack = object * (self.allocs_per_iter as u64 + lp_heap::REGISTER_FILE_SIZE as u64 + 1);
+        table + 2 * object * self.working_set as u64 + slack
+    }
+}
+
+/// A running instance of a [`DacapoConfig`].
+#[derive(Debug)]
+pub struct Dacapo {
+    config: DacapoConfig,
+    /// Heap multiplier over `min_heap` (the paper's default is 2×).
+    heap_multiplier: f64,
+    object_cls: Option<ClassId>,
+    table_slot: Option<StaticId>,
+    table: Option<Handle>,
+    counter: u64,
+}
+
+impl Dacapo {
+    /// Creates an instance with the paper's default 2× minimum heap.
+    pub fn new(config: DacapoConfig) -> Self {
+        Self::with_heap_multiplier(config, 2.0)
+    }
+
+    /// Creates an instance with an explicit heap-size multiplier
+    /// (Figure 7 sweeps 1.5×–5×).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier < 1.0`.
+    pub fn with_heap_multiplier(config: DacapoConfig, multiplier: f64) -> Self {
+        assert!(multiplier >= 1.0, "heap must be at least the minimum");
+        Dacapo {
+            config,
+            heap_multiplier: multiplier,
+            object_cls: None,
+            table_slot: None,
+            table: None,
+            counter: 0,
+        }
+    }
+
+    /// The benchmark parameters.
+    pub fn config(&self) -> &DacapoConfig {
+        &self.config
+    }
+
+    fn next_index(&mut self) -> usize {
+        // Deterministic LCG walk over the working set.
+        self.counter = self.counter.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.counter >> 33) as usize % self.config.working_set
+    }
+}
+
+impl Workload for Dacapo {
+    fn name(&self) -> &str {
+        self.config.name
+    }
+
+    fn default_heap(&self) -> u64 {
+        (self.config.min_heap() as f64 * self.heap_multiplier) as u64
+    }
+
+    fn setup(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        self.object_cls = Some(rt.register_class(&format!("{}.Object", self.config.name)));
+        let table_cls = rt.register_class(&format!("{}.Table", self.config.name));
+        let table = rt.alloc(
+            table_cls,
+            &AllocSpec::with_refs(u32::try_from(self.config.working_set).expect("working set fits")),
+        )?;
+        let slot = rt.add_static();
+        rt.set_static(slot, Some(table));
+        self.table_slot = Some(slot);
+        self.table = Some(table);
+
+        // Fill the working set.
+        for i in 0..self.config.working_set {
+            let obj = rt.alloc(
+                self.object_cls.unwrap(),
+                &AllocSpec::new(1, 0, self.config.object_bytes),
+            )?;
+            rt.write_field(table, i, Some(obj));
+        }
+        // Link each object to a peer so reads can chase pointers.
+        for i in 0..self.config.working_set {
+            let obj = rt.read_field(table, i)?.expect("filled above");
+            let peer = rt
+                .read_field(table, (i + 7) % self.config.working_set)?
+                .expect("filled above");
+            rt.write_field(obj, 0, Some(peer));
+        }
+        Ok(())
+    }
+
+    fn iterate(&mut self, rt: &mut Runtime, _iteration: u64) -> Result<(), RuntimeError> {
+        let table = self.table.expect("setup ran");
+
+        // Allocation work: replace working-set slots (displaced objects
+        // die at the next collection).
+        for _ in 0..self.config.allocs_per_iter {
+            let idx = self.next_index();
+            let obj = rt.alloc(
+                self.object_cls.expect("setup"),
+                &AllocSpec::new(1, 0, self.config.object_bytes),
+            )?;
+            let peer_idx = self.next_index();
+            let peer = rt.read_field(table, peer_idx)?;
+            rt.write_field(obj, 0, peer);
+            // Displace a working-set slot. Clearing the displaced object's
+            // peer link keeps retention bounded (no leak): otherwise peer
+            // chains into ever-older generations would accumulate.
+            if let Some(displaced) = rt.read_field(table, idx)? {
+                rt.write_field(displaced, 0, None);
+            }
+            rt.write_field(table, idx, Some(obj));
+        }
+
+        // Pointer-chasing work: the reference loads the read barrier
+        // instruments.
+        let mut cursor: Option<Handle> = None;
+        for _ in 0..self.config.reads_per_iter {
+            cursor = match cursor {
+                Some(obj) => rt.read_field(obj, 0)?,
+                None => rt.read_field(table, self.next_index())?,
+            };
+        }
+        Ok(())
+    }
+}
+
+/// The benchmark roster of Figure 6: the DaCapo suite, pseudojbb, and
+/// SPECjvm98, each with a distinct allocation/read profile.
+pub fn dacapo_suite() -> Vec<DacapoConfig> {
+    // (name, working set, object bytes, allocs/iter, reads/iter)
+    let rows: &[(&'static str, usize, u32, usize, usize)] = &[
+        ("antlr", 6_000, 96, 260, 5_200),
+        ("bloat", 9_000, 72, 420, 9_800),
+        ("chart", 12_000, 160, 340, 4_200),
+        ("eclipse", 24_000, 112, 520, 8_400),
+        ("fop", 7_000, 128, 300, 3_600),
+        ("hsqldb", 30_000, 96, 240, 5_000),
+        ("jython", 10_000, 64, 700, 11_000),
+        ("luindex", 5_000, 144, 380, 3_000),
+        ("lusearch", 8_000, 80, 460, 7_600),
+        ("pmd", 11_000, 88, 400, 8_800),
+        ("xalan", 14_000, 104, 560, 9_200),
+        ("pseudojbb", 26_000, 152, 480, 6_800),
+        ("jack", 4_000, 72, 320, 4_600),
+        ("mtrt", 6_500, 64, 280, 6_200),
+        ("mpegaudio", 2_500, 96, 60, 1_800),
+        ("javac", 9_500, 88, 440, 7_000),
+        ("db", 16_000, 120, 160, 8_000),
+        ("raytrace", 6_000, 64, 300, 6_600),
+        ("jess", 5_500, 72, 360, 5_400),
+        ("compress", 2_000, 256, 40, 900),
+    ];
+    rows.iter()
+        .map(|&(name, working_set, object_bytes, allocs_per_iter, reads_per_iter)| DacapoConfig {
+            name,
+            working_set,
+            object_bytes,
+            allocs_per_iter,
+            reads_per_iter,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_workload, Flavor, RunOptions, Termination};
+    use leak_pruning::{ForcedState, PruningConfig};
+
+    fn small() -> DacapoConfig {
+        DacapoConfig {
+            name: "test-bench",
+            working_set: 500,
+            object_bytes: 64,
+            allocs_per_iter: 50,
+            reads_per_iter: 200,
+        }
+    }
+
+    #[test]
+    fn suite_has_twenty_benchmarks() {
+        let suite = dacapo_suite();
+        assert_eq!(suite.len(), 20);
+        let names: std::collections::HashSet<_> = suite.iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), 20, "names are unique");
+    }
+
+    #[test]
+    fn benchmark_does_not_leak() {
+        let opts = RunOptions::new(Flavor::Base).iteration_cap(400);
+        let result = run_workload(&mut Dacapo::new(small()), &opts);
+        assert_eq!(result.termination, Termination::ReachedCap);
+        // Reachable memory is flat: last GC's live bytes close to first's.
+        if result.reachable_memory.len() >= 2 {
+            let (min, max) = result.reachable_memory.y_range().unwrap();
+            assert!(max / min < 1.5, "working set should be steady: {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn runs_under_forced_select_without_pruning() {
+        let config = small();
+        let heap = config.min_heap() * 2;
+        let custom = PruningConfig::builder(heap)
+            .force_state(ForcedState::Select)
+            .build();
+        let opts = RunOptions::new(Flavor::Custom(Box::new(custom))).iteration_cap(400);
+        let result = run_workload(&mut Dacapo::new(config), &opts);
+        assert_eq!(result.termination, Termination::ReachedCap);
+        assert_eq!(result.report.total_pruned_refs, 0, "forced SELECT never prunes");
+    }
+
+    #[test]
+    fn min_heap_is_sufficient() {
+        let config = small();
+        let opts = RunOptions::new(Flavor::Base)
+            .heap_capacity(config.min_heap())
+            .iteration_cap(100);
+        let result = run_workload(&mut Dacapo::new(config), &opts);
+        assert_eq!(result.termination, Termination::ReachedCap);
+    }
+}
+
+#[cfg(test)]
+mod suite_tests {
+    use super::*;
+    use crate::driver::{run_workload, Flavor, RunOptions, Termination};
+
+    /// Every benchmark in the Figure 6 roster runs briefly at its minimum
+    /// heap — the property the Figure 7 multiplier sweep relies on.
+    #[test]
+    fn every_suite_config_runs_at_min_heap() {
+        for config in dacapo_suite() {
+            let heap = config.min_heap();
+            let opts = RunOptions::new(Flavor::Base)
+                .heap_capacity(heap)
+                .iteration_cap(25);
+            let result = run_workload(&mut Dacapo::new(config.clone()), &opts);
+            assert_eq!(
+                result.termination,
+                Termination::ReachedCap,
+                "{} failed at its declared minimum heap",
+                config.name
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "heap must be at least the minimum")]
+    fn sub_minimum_multiplier_is_rejected() {
+        Dacapo::with_heap_multiplier(
+            DacapoConfig {
+                name: "x",
+                working_set: 10,
+                object_bytes: 8,
+                allocs_per_iter: 1,
+                reads_per_iter: 1,
+            },
+            0.5,
+        );
+    }
+}

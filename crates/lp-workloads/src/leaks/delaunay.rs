@@ -1,0 +1,106 @@
+//! Delaunay: a short-running mesh-refinement program.
+//!
+//! Unlike the other nine programs, Delaunay does not use an unbounded
+//! amount of memory — it may simply keep some memory reachable longer than
+//! necessary, and it finishes before leak pruning has had time to observe
+//! anything (staleness takes full-heap collections to accumulate). Table 1:
+//! *no help, short-running.* Both Base and leak pruning complete it.
+
+use leak_pruning::{Runtime, RuntimeError};
+use lp_heap::{AllocSpec, ClassId, Handle, StaticId};
+
+use crate::driver::Workload;
+
+const HEAP: u64 = 8 << 20;
+/// Initial mesh triangles.
+const INITIAL_TRIANGLES: usize = 3000;
+/// Triangles added per refinement step.
+const REFINE_TRIANGLES: usize = 40;
+const TRIANGLE_BYTES: u32 = 1024;
+/// Refinement steps before the program completes.
+const STEPS: u64 = 60;
+
+/// The Delaunay mesh refinement program.
+#[derive(Debug, Default)]
+pub struct Delaunay {
+    triangle_cls: Option<ClassId>,
+    scratch_cls: Option<ClassId>,
+    mesh_head: Option<StaticId>,
+    recent: Vec<Handle>,
+}
+
+impl Delaunay {
+    /// Creates the workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add_triangle(&mut self, rt: &mut Runtime) -> Result<Handle, RuntimeError> {
+        let t = rt.alloc(
+            self.triangle_cls.expect("setup"),
+            &AllocSpec::new(1, 0, TRIANGLE_BYTES),
+        )?;
+        rt.write_field(t, 0, rt.static_ref(self.mesh_head.expect("setup")));
+        rt.set_static(self.mesh_head.expect("setup"), Some(t));
+        Ok(t)
+    }
+}
+
+impl Workload for Delaunay {
+    fn name(&self) -> &str {
+        "Delaunay"
+    }
+
+    fn default_heap(&self) -> u64 {
+        HEAP
+    }
+
+    fn natural_end(&self) -> Option<u64> {
+        Some(STEPS)
+    }
+
+    fn setup(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        self.triangle_cls = Some(rt.register_class("delaunay.Triangle"));
+        self.scratch_cls = Some(rt.register_class("Scratch"));
+        self.mesh_head = Some(rt.add_static());
+        for _ in 0..INITIAL_TRIANGLES {
+            self.add_triangle(rt)?;
+        }
+        Ok(())
+    }
+
+    fn iterate(&mut self, rt: &mut Runtime, _iteration: u64) -> Result<(), RuntimeError> {
+        // Refine: walk some recent triangles' neighbour links and insert
+        // new triangles.
+        self.recent.clear();
+        for _ in 0..REFINE_TRIANGLES {
+            let t = self.add_triangle(rt)?;
+            self.recent.push(t);
+        }
+        for t in self.recent.clone() {
+            rt.read_field(t, 0)?;
+        }
+        rt.alloc(self.scratch_cls.expect("setup"), &AllocSpec::leaf(100 * 1024))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_workload, Flavor, RunOptions, Termination};
+
+    #[test]
+    fn both_flavors_complete() {
+        let base = run_workload(&mut Delaunay::new(), &RunOptions::new(Flavor::Base));
+        assert_eq!(base.termination, Termination::Completed);
+        assert_eq!(base.iterations, STEPS);
+
+        let pruned = run_workload(&mut Delaunay::new(), &RunOptions::new(Flavor::pruning()));
+        assert_eq!(pruned.termination, Termination::Completed);
+        assert_eq!(
+            pruned.report.total_pruned_refs, 0,
+            "too short for pruning to engage"
+        );
+    }
+}

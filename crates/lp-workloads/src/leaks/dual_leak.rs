@@ -1,0 +1,97 @@
+//! DualLeak: a microbenchmark whose heap growth is *live*.
+//!
+//! Two collections grow without bound and the program traverses both in
+//! full every iteration, so every object is used over and over: nothing
+//! ever becomes stale enough to be a pruning candidate. Table 1: *no help,
+//! none reclaimed* — and the paper notes no semantics-preserving leak
+//! tolerance approach can help live leaks.
+
+use leak_pruning::{Runtime, RuntimeError};
+use lp_heap::{AllocSpec, ClassId};
+
+use crate::driver::Workload;
+use crate::leaks::ListHead;
+
+const HEAP: u64 = 512 * 1024;
+const ENTRY_PAYLOAD: u32 = 64;
+const SCRATCH: u32 = 1024;
+
+/// The DualLeak microbenchmark.
+#[derive(Debug, Default)]
+pub struct DualLeak {
+    entry_a: Option<ClassId>,
+    entry_b: Option<ClassId>,
+    scratch: Option<ClassId>,
+    list_a: Option<ListHead>,
+    list_b: Option<ListHead>,
+}
+
+impl DualLeak {
+    /// Creates the workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes one entry and walks the entire list, using every object.
+    fn grow_and_traverse(
+        rt: &mut Runtime,
+        class: ClassId,
+        list: ListHead,
+    ) -> Result<(), RuntimeError> {
+        let n = rt.alloc(class, &AllocSpec::new(1, 0, ENTRY_PAYLOAD))?;
+        list.push(rt, n, 0)?;
+
+        // Live traversal: every node is loaded through the heap, so the
+        // read barrier clears its staleness each iteration.
+        let mut cursor = list.head(rt)?;
+        while let Some(node) = cursor {
+            cursor = rt.read_field(node, 0)?;
+        }
+        Ok(())
+    }
+}
+
+impl Workload for DualLeak {
+    fn name(&self) -> &str {
+        "DualLeak"
+    }
+
+    fn default_heap(&self) -> u64 {
+        HEAP
+    }
+
+    fn setup(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        self.entry_a = Some(rt.register_class("LeakA$Entry"));
+        self.entry_b = Some(rt.register_class("LeakB$Entry"));
+        self.scratch = Some(rt.register_class("Scratch"));
+        self.list_a = Some(ListHead::create(rt, "LeakA")?);
+        self.list_b = Some(ListHead::create(rt, "LeakB")?);
+        Ok(())
+    }
+
+    fn iterate(&mut self, rt: &mut Runtime, _iteration: u64) -> Result<(), RuntimeError> {
+        Self::grow_and_traverse(rt, self.entry_a.expect("setup"), self.list_a.expect("setup"))?;
+        Self::grow_and_traverse(rt, self.entry_b.expect("setup"), self.list_b.expect("setup"))?;
+        rt.alloc(self.scratch.expect("setup"), &AllocSpec::leaf(SCRATCH))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_workload, Flavor, RunOptions, Termination};
+
+    #[test]
+    fn pruning_cannot_help_live_growth() {
+        let base = run_workload(&mut DualLeak::new(), &RunOptions::new(Flavor::Base));
+        assert_eq!(base.termination, Termination::OutOfMemory);
+
+        let pruned = run_workload(&mut DualLeak::new(), &RunOptions::new(Flavor::pruning()));
+        assert_eq!(pruned.termination, Termination::OutOfMemory);
+        assert_eq!(pruned.report.total_pruned_refs, 0, "nothing is prunable");
+        // "No help": at best a marginal difference in iterations.
+        let ratio = pruned.iterations as f64 / base.iterations as f64;
+        assert!(ratio < 1.3, "pruning should not extend DualLeak (ratio {ratio})");
+    }
+}

@@ -1,0 +1,275 @@
+//! EclipseCP: Eclipse bug #155889 — repeated cut-save-paste-save leaks.
+//!
+//! Each iteration models one cut-save-paste-save sequence on ~3 MB of text:
+//!
+//! * The undo manager keeps a `TextCommand` whose `String` (and its huge
+//!   `char[]`) is dead; the manager walks the command list, so the commands
+//!   themselves are live. The analogous `DocumentEvent -> String` chain
+//!   leaks a second copy. These are the reference types the paper reports
+//!   leak pruning prunes first.
+//! * The UI label cache is *live and slowly growing*: the program reads
+//!   every label's `String` often, but renders the backing `char[]`s only
+//!   in periodic bursts. This is what kills the individual-references
+//!   policy a couple of dozen iterations in (the paper's run died at 41):
+//!   it selects `String -> char[]`, whose byte total is dominated by the
+//!   dead command text, and thereby poisons the live labels' arrays before
+//!   their first rendering burst has been observed.
+//! * Many small dead structures of distinct classes (`Aux*`), so that under
+//!   end-game memory pressure SELECT works through over a hundred reference
+//!   types, as the paper reports.
+//! * A large, very rarely used cache (the image registry): once the live
+//!   label growth squeezes the heap, even the default policy prunes it and
+//!   the program dies on its next use — hundreds of iterations in,
+//!   matching the paper's shape (paper: Base 11 iterations, default 971;
+//!   this model measures 8 and ~550).
+
+use leak_pruning::{Runtime, RuntimeError};
+use lp_heap::{AllocSpec, ClassId, Handle, StaticId};
+
+use crate::driver::Workload;
+use crate::leaks::{ListHead, Rotor};
+
+const HEAP: u64 = 64 << 20;
+/// Cut/paste text size (the paper uses about 3 MB of text).
+const COMMAND_TEXT: u32 = 3 << 20;
+/// Document-event text copy.
+const EVENT_TEXT: u32 = 1 << 20;
+/// Labels added to the UI cache per iteration (live growth).
+const LABELS_PER_ITER: usize = 3;
+const LABEL_CHARS: u32 = 20 * 1024;
+/// Live structures re-read per iteration.
+const COMMAND_BATCH: usize = 32;
+const LABEL_BATCH: usize = 48;
+/// Label `char[]` rendering burst: period (iterations) and batch size.
+const RENDER_PERIOD: u64 = 40;
+const RENDER_BATCH: usize = 64;
+/// Distinct auxiliary dead-structure classes.
+const AUX_CLASSES: usize = 120;
+const AUX_BYTES: u32 = 30 * 1024;
+/// The very rarely used cache: the program first touches it only after
+/// the live label growth has squeezed the heap (first read at
+/// `TRAP_PERIOD / 2`), so its `max_stale_use` is still zero when SELECT
+/// finally reaches it under end-game pressure.
+const TRAP_PERIOD: u64 = 1_100;
+const TRAP_BYTES: u32 = 6 << 20;
+
+const NODE_NEXT: usize = 0;
+const NODE_ITEM: usize = 1;
+
+/// The EclipseCP (cut-paste) leak.
+#[derive(Debug, Default)]
+pub struct EclipseCp {
+    command_cls: Option<ClassId>,
+    event_cls: Option<ClassId>,
+    string_cls: Option<ClassId>,
+    chars_cls: Option<ClassId>,
+    label_cls: Option<ClassId>,
+    undo_node_cls: Option<ClassId>,
+    event_node_cls: Option<ClassId>,
+    aux_cls: Vec<ClassId>,
+    aux_heads: Vec<StaticId>,
+    trap_node_cls: Option<ClassId>,
+    trap_blob_cls: Option<ClassId>,
+    scratch_cls: Option<ClassId>,
+    undo_list: Option<ListHead>,
+    event_list: Option<ListHead>,
+    label_list: Option<ListHead>,
+    trap_slot: Option<StaticId>,
+    trap_node: Option<Handle>,
+    undo_nodes: Vec<Handle>,
+    event_nodes: Vec<Handle>,
+    labels: Vec<Handle>,
+    undo_rotor: Rotor,
+    event_rotor: Rotor,
+    label_rotor: Rotor,
+    render_rotor: Rotor,
+}
+
+impl EclipseCp {
+    /// Creates the workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a `String -> char[]` pair with `chars` payload bytes.
+    fn new_string(&self, rt: &mut Runtime, chars: u32) -> Result<Handle, RuntimeError> {
+        let string = rt.alloc(self.string_cls.expect("setup"), &AllocSpec::new(1, 0, 24))?;
+        let array = rt.alloc(self.chars_cls.expect("setup"), &AllocSpec::leaf(chars))?;
+        rt.write_field(string, 0, Some(array));
+        Ok(string)
+    }
+
+    /// Pushes `item` onto `list` with node class `node_cls`, returning the
+    /// node.
+    fn push_list(
+        &self,
+        rt: &mut Runtime,
+        node_cls: ClassId,
+        list: ListHead,
+        item: Handle,
+    ) -> Result<Handle, RuntimeError> {
+        let node = rt.alloc(node_cls, &AllocSpec::with_refs(2))?;
+        rt.write_field(node, NODE_ITEM, Some(item));
+        list.push(rt, node, NODE_NEXT)?;
+        Ok(node)
+    }
+}
+
+impl Workload for EclipseCp {
+    fn name(&self) -> &str {
+        "EclipseCP"
+    }
+
+    fn default_heap(&self) -> u64 {
+        HEAP
+    }
+
+    fn setup(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        self.command_cls = Some(rt.register_class(
+            "org.eclipse.jface.text.DefaultUndoManager$TextCommand",
+        ));
+        self.event_cls = Some(rt.register_class("org.eclipse.jface.text.DocumentEvent"));
+        self.string_cls = Some(rt.register_class("java.lang.String"));
+        self.chars_cls = Some(rt.register_class("char[]"));
+        self.label_cls = Some(rt.register_class("org.eclipse.ui.Label"));
+        self.undo_node_cls = Some(rt.register_class("UndoHistory$Node"));
+        self.event_node_cls = Some(rt.register_class("EventQueue$Node"));
+        self.scratch_cls = Some(rt.register_class("Scratch"));
+        for k in 0..AUX_CLASSES {
+            self.aux_cls.push(rt.register_class(&format!("org.eclipse.internal.Aux{k:03}")));
+            self.aux_heads.push(rt.add_static());
+        }
+        self.undo_list = Some(ListHead::create(rt, "org.eclipse.jface.text.DefaultUndoManager")?);
+        self.event_list = Some(ListHead::create(rt, "org.eclipse.jface.text.EventQueue")?);
+        self.label_list = Some(ListHead::create(rt, "org.eclipse.ui.WidgetTree")?);
+
+        self.trap_node_cls = Some(rt.register_class("org.eclipse.ui.ImageRegistry"));
+        self.trap_blob_cls = Some(rt.register_class("org.eclipse.ui.ImageData"));
+        let node = rt.alloc(self.trap_node_cls.unwrap(), &AllocSpec::with_refs(1))?;
+        let blob = rt.alloc(self.trap_blob_cls.unwrap(), &AllocSpec::leaf(TRAP_BYTES))?;
+        rt.write_field(node, 0, Some(blob));
+        let slot = rt.add_static();
+        rt.set_static(slot, Some(node));
+        self.trap_slot = Some(slot);
+        self.trap_node = Some(node);
+        Ok(())
+    }
+
+    fn iterate(&mut self, rt: &mut Runtime, iteration: u64) -> Result<(), RuntimeError> {
+        // Cut-save: the undo manager records the command with the cut text.
+        let text = self.new_string(rt, COMMAND_TEXT)?;
+        let command = rt.alloc(self.command_cls.expect("setup"), &AllocSpec::with_refs(1))?;
+        rt.write_field(command, 0, Some(text));
+        let node = self.push_list(
+            rt,
+            self.undo_node_cls.expect("setup"),
+            self.undo_list.expect("setup"),
+            command,
+        )?;
+        self.undo_nodes.push(node);
+
+        // Paste-save: a document event retains another copy.
+        let text = self.new_string(rt, EVENT_TEXT)?;
+        let event = rt.alloc(self.event_cls.expect("setup"), &AllocSpec::with_refs(1))?;
+        rt.write_field(event, 0, Some(text))
+            ;
+        let node = self.push_list(
+            rt,
+            self.event_node_cls.expect("setup"),
+            self.event_list.expect("setup"),
+            event,
+        )?;
+        self.event_nodes.push(node);
+
+        // UI labels: live, slowly growing cache, registered in the widget
+        // tree (a chain off a static root).
+        for _ in 0..LABELS_PER_ITER {
+            let string = self.new_string(rt, LABEL_CHARS)?;
+            let label = rt.alloc(self.label_cls.expect("setup"), &AllocSpec::new(2, 0, 16))?;
+            rt.write_field(label, 0, Some(string));
+            self.label_list.expect("setup").push(rt, label, 1)?;
+            self.labels.push(label);
+        }
+
+        // Small dead structures of rotating classes.
+        let k = (iteration as usize) % AUX_CLASSES;
+        let aux = rt.alloc(self.aux_cls[k], &AllocSpec::new(1, 0, AUX_BYTES))?;
+        rt.write_field(aux, 0, rt.static_ref(self.aux_heads[k]));
+        rt.set_static(self.aux_heads[k], Some(aux));
+
+        // The undo manager and event queue walk their lists (commands and
+        // events live; their strings dead).
+        let len = self.undo_nodes.len();
+        for idx in self.undo_rotor.next_batch(len, COMMAND_BATCH).collect::<Vec<_>>() {
+            rt.read_field(self.undo_nodes[idx], NODE_NEXT)?;
+            rt.read_field(self.undo_nodes[idx], NODE_ITEM)?;
+        }
+        let len = self.event_nodes.len();
+        for idx in self.event_rotor.next_batch(len, COMMAND_BATCH / 2).collect::<Vec<_>>() {
+            rt.read_field(self.event_nodes[idx], NODE_NEXT)?;
+            rt.read_field(self.event_nodes[idx], NODE_ITEM)?;
+        }
+
+        // The UI walks the widget tree and reads label strings constantly...
+        let len = self.labels.len();
+        for idx in self.label_rotor.next_batch(len, LABEL_BATCH).collect::<Vec<_>>() {
+            rt.read_field(self.labels[idx], 1)?; // sibling link
+            rt.read_field(self.labels[idx], 0)?; // the label text
+        }
+        // ...but renders the char[] contents only in periodic bursts.
+        if iteration % RENDER_PERIOD == RENDER_PERIOD / 2 {
+            let len = self.labels.len();
+            for idx in self.render_rotor.next_batch(len, RENDER_BATCH).collect::<Vec<_>>() {
+                if let Some(string) = rt.read_field(self.labels[idx], 0)? {
+                    rt.read_field(string, 0)?;
+                }
+            }
+        }
+
+        // The very rarely used image cache.
+        if iteration % TRAP_PERIOD == TRAP_PERIOD / 2 {
+            rt.read_field(self.trap_node.expect("setup"), 0)?;
+        }
+
+        // The rest of the editor's work for the sequence: transient buffers
+        // (document copies, syntax recolouring, UI churn). Keeping the
+        // transient volume high relative to the leak makes collections
+        // frequent enough for staleness to accumulate, as in real Eclipse.
+        rt.alloc(self.scratch_cls.expect("setup"), &AllocSpec::leaf(24 << 20))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_workload, Flavor, RunOptions, Termination};
+    use leak_pruning::PredictionPolicy;
+
+    #[test]
+    fn default_far_outlives_base_and_individual_refs() {
+        let base = run_workload(&mut EclipseCp::new(), &RunOptions::new(Flavor::Base));
+        assert_eq!(base.termination, Termination::OutOfMemory);
+        assert!(base.iterations < 40, "base died at {}", base.iterations);
+
+        let opts = RunOptions::new(Flavor::pruning()).iteration_cap(3_000);
+        let default = run_workload(&mut EclipseCp::new(), &opts);
+        assert!(
+            default.iterations > 20 * base.iterations,
+            "default {} vs base {}",
+            default.iterations,
+            base.iterations
+        );
+
+        let opts = RunOptions::new(Flavor::Pruning(PredictionPolicy::IndividualRefs))
+            .iteration_cap(3_000);
+        let indiv = run_workload(&mut EclipseCp::new(), &opts);
+        assert_eq!(indiv.termination, Termination::PrunedAccess);
+        assert!(
+            indiv.iterations < default.iterations / 4,
+            "indiv {} vs default {}",
+            indiv.iterations,
+            default.iterations
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! EclipseDiff: Eclipse bug #115789 — repeated structural compares leak.
+//!
+//! Each structural diff creates a `NavigationHistory` entry pointing to a
+//! `ResourceCompareInput`. The history entries and the compare inputs are
+//! **live** — Eclipse traverses the list and accesses them — but each
+//! compare input roots a large, **dead** subtree holding the diff results.
+//!
+//! Leak pruning selects edge types with source `ResourceCompareInput` and
+//! reclaims the result subtrees, turning a fast-growing leak (the paper's
+//! unmodified VM dies after a few hundred iterations in a 200 MB heap) into
+//! a very slow-growing one (>200× more iterations; over 24 hours).
+//!
+//! The model walks the history in round-robin batches (see the module docs
+//! on the ratchet traversal): entries and compare inputs are read
+//! periodically, keeping them live and their edges' `max_stale_use`
+//! tracking the slowly growing re-read period, while the result trees are
+//! never read.
+
+use leak_pruning::{Runtime, RuntimeError};
+use lp_heap::{AllocSpec, ClassId, Handle};
+
+use crate::driver::Workload;
+use crate::leaks::{ListHead, Rotor};
+
+const HEAP: u64 = 200 << 20;
+/// Binary diff-result tree depth (2^(D+1) - 1 nodes).
+const TREE_DEPTH: u32 = 3;
+/// Payload bytes per diff-result node: 15 nodes x 44 KB ≈ 660 KB per
+/// iteration of dead-but-reachable results.
+const NODE_PAYLOAD: u32 = 44_000;
+/// Transient work buffer per diff.
+const SCRATCH: u32 = 700_000;
+/// History entries (and their compare inputs) re-read per iteration.
+const TRAVERSE_BATCH: usize = 64;
+
+const NEXT: usize = 0;
+const INPUT: usize = 1;
+const RESULTS: usize = 0;
+
+/// The EclipseDiff leak. [`EclipseDiff::fixed`] builds the variant with the
+/// source-level fix the authors reported (the dotted "manually fixed" line
+/// of Figure 1): diff results are not attached to the compare input, so the
+/// collector reclaims them normally.
+#[derive(Debug, Default)]
+pub struct EclipseDiff {
+    fixed: bool,
+    entry_cls: Option<ClassId>,
+    input_cls: Option<ClassId>,
+    node_cls: Option<ClassId>,
+    scratch_cls: Option<ClassId>,
+    history: Option<ListHead>,
+    entries: Vec<Handle>,
+    rotor: Rotor,
+}
+
+impl EclipseDiff {
+    /// The leaking program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The manually-fixed variant.
+    pub fn fixed() -> Self {
+        EclipseDiff {
+            fixed: true,
+            ..Self::default()
+        }
+    }
+
+    fn build_tree(&self, rt: &mut Runtime, depth: u32) -> Result<Handle, RuntimeError> {
+        let node = rt.alloc(
+            self.node_cls.expect("setup ran"),
+            &AllocSpec::new(2, 0, NODE_PAYLOAD),
+        )?;
+        if depth > 0 {
+            let left = self.build_tree(rt, depth - 1)?;
+            let right = self.build_tree(rt, depth - 1)?;
+            rt.write_field(node, 0, Some(left));
+            rt.write_field(node, 1, Some(right));
+        }
+        Ok(node)
+    }
+}
+
+impl Workload for EclipseDiff {
+    fn name(&self) -> &str {
+        if self.fixed {
+            "EclipseDiff (fixed)"
+        } else {
+            "EclipseDiff"
+        }
+    }
+
+    fn default_heap(&self) -> u64 {
+        HEAP
+    }
+
+    fn setup(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        self.entry_cls = Some(rt.register_class("NavigationHistory$Entry"));
+        self.input_cls = Some(rt.register_class("ResourceCompareInput"));
+        self.node_cls = Some(rt.register_class("DiffNode"));
+        self.scratch_cls = Some(rt.register_class("Scratch"));
+        self.history = Some(ListHead::create(rt, "NavigationHistory")?);
+        Ok(())
+    }
+
+    fn iterate(&mut self, rt: &mut Runtime, _iteration: u64) -> Result<(), RuntimeError> {
+        // 1. Perform the structural diff: transient work buffers plus the
+        //    result tree.
+        rt.alloc(self.scratch_cls.expect("setup"), &AllocSpec::leaf(SCRATCH))?;
+        let results = self.build_tree(rt, TREE_DEPTH)?;
+
+        // 2. Record it in the navigation history.
+        let input = rt.alloc(self.input_cls.expect("setup"), &AllocSpec::new(1, 0, 32))?;
+        if !self.fixed {
+            // The leak: the compare input keeps the whole result tree
+            // reachable. The fixed Eclipse drops this reference.
+            rt.write_field(input, RESULTS, Some(results));
+        }
+        let entry = rt.alloc(self.entry_cls.expect("setup"), &AllocSpec::with_refs(2))?;
+        rt.write_field(entry, INPUT, Some(input));
+        self.history.expect("setup").push(rt, entry, NEXT)?;
+        self.entries.push(entry);
+
+        // 3. Eclipse walks the navigation history, touching entries and
+        //    their compare inputs (both live) — but never the result trees.
+        let len = self.entries.len();
+        let indices: Vec<usize> = self.rotor.next_batch(len, TRAVERSE_BATCH).collect();
+        for idx in indices {
+            let entry = self.entries[idx];
+            rt.read_field(entry, NEXT)?;
+            rt.read_field(entry, INPUT)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_workload, Flavor, RunOptions, Termination};
+
+    #[test]
+    fn fixed_variant_has_flat_reachable_memory() {
+        let opts = RunOptions::new(Flavor::Base).iteration_cap(600);
+        let result = run_workload(&mut EclipseDiff::fixed(), &opts);
+        assert_eq!(result.termination, Termination::ReachedCap);
+        // Reachable memory stays far below the heap bound.
+        let (_, max) = result.reachable_memory.y_range().expect("had GCs");
+        assert!(max < (HEAP / 4) as f64, "fixed variant leaks: {max}");
+    }
+
+    #[test]
+    fn leaky_base_exhausts_memory() {
+        let result = run_workload(&mut EclipseDiff::new(), &RunOptions::new(Flavor::Base));
+        assert_eq!(result.termination, Termination::OutOfMemory);
+        assert!(result.iterations < 400, "base died at {}", result.iterations);
+    }
+
+    #[test]
+    fn pruning_reclaims_compare_input_subtrees() {
+        let opts = RunOptions::new(Flavor::pruning()).iteration_cap(2_000);
+        let result = run_workload(&mut EclipseDiff::new(), &opts);
+        assert_eq!(
+            result.termination,
+            Termination::ReachedCap,
+            "died after {} iterations",
+            result.iterations
+        );
+        assert!(result
+            .report
+            .pruned_edges
+            .iter()
+            .any(|e| e.src == "ResourceCompareInput"));
+    }
+}

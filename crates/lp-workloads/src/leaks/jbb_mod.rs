@@ -1,0 +1,154 @@
+//! JbbMod: Tang et al.'s modification of SPECjbb2000 that makes much of the
+//! heap growth *stale* instead of live.
+//!
+//! The leaked orders are no longer processed continuously — only an
+//! occasional scan touches the order chain. Those scans happen at
+//! substantial staleness, so the order-chain edge's `max_stale_use`
+//! ratchets high and leak pruning (correctly, per its conservative policy)
+//! refuses to prune the orders themselves — the paper observes
+//! `Object[] -> Order` stuck at `maxstaleuse` 5 and identifies this as why
+//! leak pruning cannot run JbbMod forever. What it can prune is the larger
+//! dead residue hanging off each order (`OrderLine -> String -> char[]`),
+//! which runs JbbMod ~20× longer before the unprunable orders exhaust the
+//! heap.
+
+use leak_pruning::{Runtime, RuntimeError};
+use lp_heap::{AllocSpec, ClassId, Handle};
+
+use crate::driver::Workload;
+use crate::leaks::{ListHead, Rotor};
+
+const HEAP: u64 = 8 << 20;
+/// Orders per iteration.
+const ORDERS_PER_ITER: usize = 3;
+/// Live-ish bytes per order (kept, occasionally scanned, unprunable).
+const ORDER_PAYLOAD: u32 = 1024;
+/// Dead bytes per order: order line -> string -> char[] residue.
+const CHARS_BYTES: u32 = 20 * 1024;
+/// The occasional scan: every SCAN_PERIOD iterations walk a batch.
+const SCAN_PERIOD: u64 = 2;
+const SCAN_BATCH: usize = 48;
+/// Transient bytes per iteration.
+const SCRATCH: u32 = 200 * 1024;
+
+const ORDER_NEXT: usize = 0;
+const ORDER_LINE: usize = 1;
+
+/// The JbbMod leak.
+#[derive(Debug, Default)]
+pub struct JbbMod {
+    order_cls: Option<ClassId>,
+    line_cls: Option<ClassId>,
+    string_cls: Option<ClassId>,
+    chars_cls: Option<ClassId>,
+    scratch_cls: Option<ClassId>,
+    order_list: Option<ListHead>,
+    orders: Vec<Handle>,
+    rotor: Rotor,
+}
+
+impl JbbMod {
+    /// Creates the workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Workload for JbbMod {
+    fn name(&self) -> &str {
+        "JbbMod"
+    }
+
+    fn default_heap(&self) -> u64 {
+        HEAP
+    }
+
+    fn setup(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        self.order_cls = Some(rt.register_class("spec.jbb.Order"));
+        self.line_cls = Some(rt.register_class("spec.jbb.Orderline"));
+        self.string_cls = Some(rt.register_class("java.lang.String"));
+        self.chars_cls = Some(rt.register_class("char[]"));
+        self.scratch_cls = Some(rt.register_class("Scratch"));
+        self.order_list = Some(ListHead::create(rt, "spec.jbb.Company$OrderTable")?);
+        Ok(())
+    }
+
+    fn iterate(&mut self, rt: &mut Runtime, iteration: u64) -> Result<(), RuntimeError> {
+        for _ in 0..ORDERS_PER_ITER {
+            let order = rt.alloc(
+                self.order_cls.expect("setup"),
+                &AllocSpec::new(2, 0, ORDER_PAYLOAD),
+            )?;
+            // The dead residue: order line -> string -> char[].
+            let line = rt.alloc(self.line_cls.expect("setup"), &AllocSpec::with_refs(1))?;
+            let string = rt.alloc(self.string_cls.expect("setup"), &AllocSpec::new(1, 0, 24))?;
+            let chars = rt.alloc(self.chars_cls.expect("setup"), &AllocSpec::leaf(CHARS_BYTES))?;
+            rt.write_field(string, 0, Some(chars));
+            rt.write_field(line, 0, Some(string));
+            rt.write_field(order, ORDER_LINE, Some(line));
+
+            self.order_list.expect("setup").push(rt, order, ORDER_NEXT)?;
+            self.orders.push(order);
+        }
+
+        // The occasional scan of the order chain. It reads the chain links
+        // at moderate staleness, so Order -> Order max_stale_use ratchets
+        // up and the orders stay unprunable — but the scan never touches
+        // the per-order residue.
+        if iteration % SCAN_PERIOD == 0 {
+            let len = self.orders.len();
+            let indices: Vec<usize> = self.rotor.next_batch(len, SCAN_BATCH).collect();
+            for idx in indices {
+                rt.read_field(self.orders[idx], ORDER_NEXT)?;
+            }
+        }
+
+        rt.alloc(self.scratch_cls.expect("setup"), &AllocSpec::leaf(SCRATCH))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_workload, Flavor, RunOptions, Termination};
+
+    #[test]
+    fn pruning_reclaims_residue_but_not_orders() {
+        let base = run_workload(&mut JbbMod::new(), &RunOptions::new(Flavor::Base));
+        assert_eq!(base.termination, Termination::OutOfMemory);
+
+        let opts = RunOptions::new(Flavor::pruning()).iteration_cap(60 * base.iterations);
+        let pruned = run_workload(&mut JbbMod::new(), &opts);
+        assert_eq!(
+            pruned.termination,
+            Termination::OutOfMemory,
+            "orders are unprunable; JbbMod must eventually die ({} iters)",
+            pruned.iterations
+        );
+        assert!(
+            pruned.iterations > 8 * base.iterations,
+            "pruned {} vs base {}",
+            pruned.iterations,
+            base.iterations
+        );
+        // The residue edges are pruned; the order chain is not.
+        let report = &pruned.report;
+        // The residue is pruned at the first reference into the stale
+        // subgraph: Order -> Orderline (reclaiming line, string and chars
+        // as one data structure).
+        assert!(report
+            .pruned_edges
+            .iter()
+            .any(|e| e.tgt == "spec.jbb.Orderline"
+                || e.tgt == "java.lang.String"
+                || e.tgt == "char[]"));
+        assert!(
+            !report
+                .pruned_edges
+                .iter()
+                .any(|e| e.src == "spec.jbb.Order" && e.tgt == "spec.jbb.Order"),
+            "the scanned order chain must be protected by max_stale_use"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! ListLeak: the 9-line Sun Developer Network microbenchmark.
+//!
+//! The whole program is "append objects to a list forever and never look at
+//! them again". Everything in the list is dead-but-reachable, so leak
+//! pruning repeatedly selects and prunes the `Node -> Node` reference at
+//! the head of the stale chain and reclaims the entire tail: Table 1 says
+//! *runs indefinitely, all reclaimed*.
+
+use leak_pruning::{Runtime, RuntimeError};
+use lp_heap::{AllocSpec, ClassId, StaticId};
+
+use crate::driver::Workload;
+
+const HEAP: u64 = 2 << 20;
+/// Nodes appended per iteration.
+const NODES_PER_ITER: usize = 4;
+/// Payload bytes per leaked node.
+const NODE_PAYLOAD: u32 = 256;
+/// Transient bytes per iteration (the rest of the program's work).
+const SCRATCH: u32 = 2048;
+
+/// The ListLeak microbenchmark.
+#[derive(Debug, Default)]
+pub struct ListLeak {
+    node: Option<ClassId>,
+    scratch: Option<ClassId>,
+    head: Option<StaticId>,
+}
+
+impl ListLeak {
+    /// Creates the workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Workload for ListLeak {
+    fn name(&self) -> &str {
+        "ListLeak"
+    }
+
+    fn default_heap(&self) -> u64 {
+        HEAP
+    }
+
+    fn setup(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        self.node = Some(rt.register_class("java.util.LinkedList$Node"));
+        self.scratch = Some(rt.register_class("Scratch"));
+        self.head = Some(rt.add_static());
+        Ok(())
+    }
+
+    fn iterate(&mut self, rt: &mut Runtime, _iteration: u64) -> Result<(), RuntimeError> {
+        let node = self.node.expect("setup ran");
+        let scratch = self.scratch.expect("setup ran");
+        let head = self.head.expect("setup ran");
+
+        for _ in 0..NODES_PER_ITER {
+            let n = rt.alloc(node, &AllocSpec::new(1, 0, NODE_PAYLOAD))?;
+            rt.write_field(n, 0, rt.static_ref(head));
+            rt.set_static(head, Some(n));
+        }
+        // Transient working data; dead by the next allocation.
+        rt.alloc(scratch, &AllocSpec::leaf(SCRATCH))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_workload, Flavor, RunOptions, Termination};
+
+    #[test]
+    fn base_dies_pruning_reaches_cap() {
+        let base = run_workload(&mut ListLeak::new(), &RunOptions::new(Flavor::Base));
+        assert_eq!(base.termination, Termination::OutOfMemory);
+
+        let opts = RunOptions::new(Flavor::pruning()).iteration_cap(5 * base.iterations);
+        let pruned = run_workload(&mut ListLeak::new(), &opts);
+        assert_eq!(pruned.termination, Termination::ReachedCap);
+        // The pruned reference type is the list node chain.
+        assert!(pruned
+            .report
+            .pruned_edges
+            .iter()
+            .any(|e| e.src.contains("Node") && e.tgt.contains("Node")));
+    }
+}

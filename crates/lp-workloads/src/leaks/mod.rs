@@ -1,0 +1,237 @@
+//! The ten leaking programs of Table 1.
+//!
+//! Each model reproduces the heap *shape* and *access pattern* the paper
+//! describes for the corresponding leak — which references go stale, which
+//! stale data is used again (and therefore must not be pruned), and how
+//! large the dead subtrees are. Those properties are what leak pruning's
+//! prediction algorithm keys on, so they determine the per-leak outcome in
+//! Tables 1 and 2 (tolerated indefinitely / N× longer / no help, and which
+//! prediction policies fail).
+//!
+//! A recurring device is the **round-robin (ratchet) traversal** (the
+//! crate-private `Rotor`): programs like Eclipse and SPECjbb walk their
+//! growing live
+//! structures periodically rather than continuously. Walking a growing
+//! population in round-robin keeps each object's staleness at read time at
+//! a slowly-ratcheting level `s*`; the read barrier records
+//! `max_stale_use ≈ s*`, and the candidate criterion's *two-level* margin
+//! (§4.2) is exactly what keeps objects awaiting their turn (staleness at
+//! most `s* + 1`) safe from pruning. The models thereby exercise the design
+//! choice the paper calls out.
+
+mod delaunay;
+mod dual_leak;
+mod eclipse_cp;
+mod eclipse_diff;
+mod jbb_mod;
+mod list_leak;
+mod mckoi;
+mod mysql;
+mod specjbb;
+mod swap_leak;
+
+pub use delaunay::Delaunay;
+pub use dual_leak::DualLeak;
+pub use eclipse_cp::EclipseCp;
+pub use eclipse_diff::EclipseDiff;
+pub use jbb_mod::JbbMod;
+pub use list_leak::ListLeak;
+pub use mckoi::Mckoi;
+pub use mysql::MySql;
+pub use specjbb::SpecJbb;
+pub use swap_leak::SwapLeak;
+
+use crate::driver::Workload;
+
+/// All ten leaks in Table 1 order.
+pub fn standard_leaks() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(EclipseDiff::new()),
+        Box::new(ListLeak::new()),
+        Box::new(SwapLeak::new()),
+        Box::new(EclipseCp::new()),
+        Box::new(MySql::new()),
+        Box::new(SpecJbb::new()),
+        Box::new(JbbMod::new()),
+        Box::new(Mckoi::new()),
+        Box::new(DualLeak::new()),
+        Box::new(Delaunay::new()),
+    ]
+}
+
+/// Constructs a leak by its Table 1 name.
+pub fn leak_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    let leak: Box<dyn Workload> = match name {
+        "EclipseDiff" => Box::new(EclipseDiff::new()),
+        "ListLeak" => Box::new(ListLeak::new()),
+        "SwapLeak" => Box::new(SwapLeak::new()),
+        "EclipseCP" => Box::new(EclipseCp::new()),
+        "MySQL" => Box::new(MySql::new()),
+        "SPECjbb2000" => Box::new(SpecJbb::new()),
+        "JbbMod" => Box::new(JbbMod::new()),
+        "Mckoi" => Box::new(Mckoi::new()),
+        "DualLeak" => Box::new(DualLeak::new()),
+        "Delaunay" => Box::new(Delaunay::new()),
+        _ => return None,
+    };
+    Some(leak)
+}
+
+/// A heap-allocated list header rooted in a static.
+///
+/// Pushing reads the current head through the header's *field* — a
+/// barriered load, exactly like `LinkedList.addFirst` reading `this.first`
+/// — so the previous head is marked used on every push. Chains rooted
+/// directly in statics lack that load, leaving the newest node's
+/// predecessor invisible to the read barrier between traversals, which can
+/// spuriously expose the head region of a *live* list to pruning.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ListHead {
+    header: lp_heap::Handle,
+}
+
+impl ListHead {
+    /// Creates a header object of class `cls_name` rooted in a new static.
+    pub fn create(
+        rt: &mut leak_pruning::Runtime,
+        cls_name: &str,
+    ) -> Result<Self, leak_pruning::RuntimeError> {
+        let cls = rt.register_class(cls_name);
+        let header = rt.alloc(cls, &lp_heap::AllocSpec::with_refs(1))?;
+        let slot = rt.add_static();
+        rt.set_static(slot, Some(header));
+        Ok(ListHead { header })
+    }
+
+    /// The current head node, loaded through the barrier.
+    pub fn head(
+        &self,
+        rt: &mut leak_pruning::Runtime,
+    ) -> Result<Option<lp_heap::Handle>, leak_pruning::RuntimeError> {
+        rt.read_field(self.header, 0)
+    }
+
+    /// Links `node` in as the new head: `node.next_field = header.head`
+    /// (barriered read), then `header.head = node`.
+    pub fn push(
+        &self,
+        rt: &mut leak_pruning::Runtime,
+        node: lp_heap::Handle,
+        next_field: usize,
+    ) -> Result<(), leak_pruning::RuntimeError> {
+        let old_head = rt.read_field(self.header, 0)?;
+        rt.write_field(node, next_field, old_head);
+        rt.write_field(self.header, 0, Some(node));
+        Ok(())
+    }
+}
+
+/// Round-robin cursor over a growing population (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Rotor {
+    cursor: usize,
+}
+
+impl Rotor {
+    /// Yields up to `batch` indices into a population of `len`, advancing
+    /// the cursor with wrap-around.
+    pub fn next_batch(&mut self, len: usize, batch: usize) -> impl Iterator<Item = usize> + '_ {
+        let take = batch.min(len);
+        let start = if len == 0 { 0 } else { self.cursor % len };
+        self.cursor = if len == 0 { 0 } else { (start + take) % len };
+        (0..take).map(move |i| (start + i) % len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotor_cycles_over_population() {
+        let mut r = Rotor::default();
+        let a: Vec<usize> = r.next_batch(5, 3).collect();
+        let b: Vec<usize> = r.next_batch(5, 3).collect();
+        let c: Vec<usize> = r.next_batch(5, 3).collect();
+        assert_eq!(a, [0, 1, 2]);
+        assert_eq!(b, [3, 4, 0]);
+        assert_eq!(c, [1, 2, 3]);
+    }
+
+    #[test]
+    fn rotor_handles_empty_and_small_populations() {
+        let mut r = Rotor::default();
+        assert_eq!(r.next_batch(0, 8).count(), 0);
+        let small: Vec<usize> = r.next_batch(2, 8).collect();
+        assert_eq!(small, [0, 1]);
+    }
+
+    #[test]
+    fn registry_has_all_ten() {
+        let leaks = standard_leaks();
+        assert_eq!(leaks.len(), 10);
+        for leak in &leaks {
+            assert!(leak_by_name(leak.name()).is_some(), "{} missing", leak.name());
+        }
+        assert!(leak_by_name("NotALeak").is_none());
+    }
+}
+
+#[cfg(test)]
+mod list_head_tests {
+    use super::*;
+    use leak_pruning::{PruningConfig, Runtime};
+    use lp_heap::AllocSpec;
+
+    #[test]
+    fn push_links_and_head_reads_through_barrier() {
+        let mut rt = Runtime::new(PruningConfig::builder(1 << 20).build());
+        let list = ListHead::create(&mut rt, "List").unwrap();
+        let cls = rt.register_class("Node");
+
+        assert_eq!(list.head(&mut rt).unwrap(), None);
+        let a = rt.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+        list.push(&mut rt, a, 0).unwrap();
+        let b = rt.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+        list.push(&mut rt, b, 0).unwrap();
+
+        assert_eq!(list.head(&mut rt).unwrap(), Some(b));
+        assert_eq!(rt.read_field(b, 0).unwrap(), Some(a));
+        assert_eq!(rt.read_field(a, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn list_contents_survive_collection_without_other_roots() {
+        let mut rt = Runtime::new(PruningConfig::builder(1 << 20).build());
+        let list = ListHead::create(&mut rt, "List").unwrap();
+        let cls = rt.register_class("Node");
+        let n = rt.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+        list.push(&mut rt, n, 0).unwrap();
+        rt.release_registers();
+        rt.force_gc();
+        assert!(rt.is_live(n), "list header roots its nodes");
+    }
+
+    #[test]
+    fn push_keeps_previous_head_fresh() {
+        // The design point of ListHead: pushing reads the old head through
+        // the barrier, zeroing its staleness.
+        let mut rt = Runtime::new(
+            PruningConfig::builder(1 << 20)
+                .force_state(leak_pruning::ForcedState::Observe)
+                .build(),
+        );
+        let list = ListHead::create(&mut rt, "List").unwrap();
+        let cls = rt.register_class("Node");
+        let old = rt.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+        list.push(&mut rt, old, 0).unwrap();
+        for _ in 0..6 {
+            rt.force_gc();
+        }
+        assert!(rt.stale_of(old) >= 2, "head ages while untouched");
+
+        let new = rt.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+        list.push(&mut rt, new, 0).unwrap();
+        assert_eq!(rt.stale_of(old), 0, "push used the old head");
+    }
+}

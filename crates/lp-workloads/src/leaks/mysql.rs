@@ -1,0 +1,196 @@
+//! MySQL: a JDBC application that leaks executed statements.
+//!
+//! The JDBC library keeps every executed SQL statement in a hash table
+//! unless the connection or statements are explicitly closed. The table
+//! and the statement objects are **live**: whenever the table grows, the
+//! rehash walks every bucket chain and touches every statement. But each
+//! statement references a **dead** result/metadata structure with many
+//! bytes that the program never reads again.
+//!
+//! Pruning therefore cannot reclaim the statements (rehashes keep their
+//! chains' `max_stale_use` ratcheting up), but it reclaims the result data
+//! behind `Statement -> ResultData`, extending the program's lifetime by an
+//! order of magnitude (the paper reports 35×) until the live statements
+//! themselves fill the heap and it dies with a true out-of-memory error.
+//!
+//! Like the paper (which counts 1,000 statements as one iteration), an
+//! iteration executes a batch of statements, so rehashes begin during the
+//! OBSERVE phase and the chain edges are protected before pruning engages.
+
+use leak_pruning::{Runtime, RuntimeError};
+use lp_heap::{AllocSpec, ClassId, Handle, StaticId};
+
+use crate::driver::Workload;
+
+const HEAP: u64 = 128 << 20;
+/// Statements executed per iteration.
+const STATEMENTS_PER_ITER: u64 = 100;
+/// Live bytes carried by each statement (SQL text, parameter metadata).
+const STATEMENT_PAYLOAD: u32 = 1024;
+/// Dead bytes behind each statement (result sets, wire buffers).
+const RESULT_BYTES: u32 = 34 * 1024;
+const INITIAL_BUCKETS: u32 = 64;
+/// Statements per bucket before the table doubles. Deep chains mean every
+/// insert's duplicate-check walk touches many statements, so the whole
+/// table is re-read every few iterations and stays visibly live.
+const LOAD_FACTOR: u64 = 8;
+/// Transient bytes per iteration: result sets are read back to the client
+/// and dropped. Real programs are transient-allocation heavy; this is what
+/// makes collections frequent enough for staleness to accumulate before
+/// the heap fills.
+const SCRATCH: u32 = 8 << 20;
+
+const TABLE_BUCKETS: usize = 0;
+const STMT_NEXT: usize = 0;
+const STMT_RESULT: usize = 1;
+
+/// The MySQL JDBC statement leak.
+#[derive(Debug, Default)]
+pub struct MySql {
+    table_cls: Option<ClassId>,
+    buckets_cls: Option<ClassId>,
+    stmt_cls: Option<ClassId>,
+    result_cls: Option<ClassId>,
+    scratch_cls: Option<ClassId>,
+    table_slot: Option<StaticId>,
+    table: Option<Handle>,
+    buckets: u32,
+    count: u64,
+}
+
+impl MySql {
+    /// Creates the workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) % u64::from(self.buckets)) as usize
+    }
+
+    /// Doubles the bucket array, reading (and thereby *using*) every
+    /// statement while re-chaining it.
+    fn rehash(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let table = self.table.expect("setup ran");
+        let old = rt
+            .read_field(table, TABLE_BUCKETS)?
+            .expect("bucket array exists");
+        let old_buckets = self.buckets;
+        self.buckets *= 2;
+        let new = rt.alloc(
+            self.buckets_cls.expect("setup"),
+            &AllocSpec::with_refs(self.buckets),
+        )?;
+        rt.write_field(table, TABLE_BUCKETS, Some(new));
+
+        let mut rehashed = 0u64;
+        for b in 0..old_buckets as usize {
+            let mut cursor = rt.read_field(old, b)?;
+            while let Some(stmt) = cursor {
+                let next = rt.read_field(stmt, STMT_NEXT)?;
+                let idx = self.bucket_index(rehashed);
+                rehashed += 1;
+                let head = rt.read_field(new, idx)?;
+                rt.write_field(stmt, STMT_NEXT, head);
+                rt.write_field(new, idx, Some(stmt));
+                cursor = next;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Workload for MySql {
+    fn name(&self) -> &str {
+        "MySQL"
+    }
+
+    fn default_heap(&self) -> u64 {
+        HEAP
+    }
+
+    fn setup(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        self.table_cls = Some(rt.register_class("jdbc.ConnectionImpl$OpenStatements"));
+        self.buckets_cls = Some(rt.register_class("HashBucket[]"));
+        self.stmt_cls = Some(rt.register_class("jdbc.ServerPreparedStatement"));
+        self.result_cls = Some(rt.register_class("jdbc.ResultSetMetaData"));
+        self.scratch_cls = Some(rt.register_class("Scratch"));
+
+        self.buckets = INITIAL_BUCKETS;
+        let table = rt.alloc(self.table_cls.unwrap(), &AllocSpec::with_refs(1))?;
+        let buckets = rt.alloc(
+            self.buckets_cls.unwrap(),
+            &AllocSpec::with_refs(self.buckets),
+        )?;
+        rt.write_field(table, TABLE_BUCKETS, Some(buckets));
+        let slot = rt.add_static();
+        rt.set_static(slot, Some(table));
+        self.table_slot = Some(slot);
+        self.table = Some(table);
+        Ok(())
+    }
+
+    fn iterate(&mut self, rt: &mut Runtime, _iteration: u64) -> Result<(), RuntimeError> {
+        let table = self.table.expect("setup ran");
+        for _ in 0..STATEMENTS_PER_ITER {
+            if self.count >= u64::from(self.buckets) * LOAD_FACTOR {
+                self.rehash(rt)?;
+            }
+            // Execute a statement: allocate it plus its (soon-dead) result
+            // data, and register it in the open-statements table.
+            let stmt = rt.alloc(
+                self.stmt_cls.expect("setup"),
+                &AllocSpec::new(2, 0, STATEMENT_PAYLOAD),
+            )?;
+            let result = rt.alloc(self.result_cls.expect("setup"), &AllocSpec::leaf(RESULT_BYTES))?;
+            rt.write_field(stmt, STMT_RESULT, Some(result));
+
+            let buckets = rt
+                .read_field(table, TABLE_BUCKETS)?
+                .expect("bucket array exists");
+            let idx = self.bucket_index(self.count);
+            // The insert walks the bucket chain (duplicate check), as hash
+            // tables do — the chain statements are read, hence live.
+            let head = rt.read_field(buckets, idx)?;
+            let mut cursor = head;
+            while let Some(existing) = cursor {
+                cursor = rt.read_field(existing, STMT_NEXT)?;
+            }
+            rt.write_field(stmt, STMT_NEXT, head);
+            rt.write_field(buckets, idx, Some(stmt));
+            self.count += 1;
+        }
+        rt.alloc(self.scratch_cls.expect("setup"), &AllocSpec::leaf(SCRATCH))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_workload, Flavor, RunOptions, Termination};
+
+    #[test]
+    fn pruning_extends_mysql_then_dies_of_live_growth() {
+        let base = run_workload(&mut MySql::new(), &RunOptions::new(Flavor::Base));
+        assert_eq!(base.termination, Termination::OutOfMemory);
+
+        let opts = RunOptions::new(Flavor::pruning()).iteration_cap(40 * base.iterations);
+        let pruned = run_workload(&mut MySql::new(), &opts);
+        // Statements are live: the program eventually exhausts memory, but
+        // much later than Base.
+        assert_eq!(pruned.termination, Termination::OutOfMemory);
+        assert!(
+            pruned.iterations > 5 * base.iterations,
+            "pruned {} vs base {}",
+            pruned.iterations,
+            base.iterations
+        );
+        // The pruned reference type points from statements to result data.
+        assert!(pruned
+            .report
+            .pruned_edges
+            .iter()
+            .any(|e| e.src.contains("Statement")));
+    }
+}

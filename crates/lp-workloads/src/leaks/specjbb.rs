@@ -1,0 +1,185 @@
+//! SPECjbb2000: a slowly growing leak of *live* orders.
+//!
+//! Run long without changing warehouses, SPECjbb2000 never removes some
+//! orders from an order-processing list — and the program keeps accessing
+//! the whole list, including the orders the programmer intended to remove,
+//! so the orders themselves are live and unprunable. Leak pruning still
+//! reclaims some memory: the dead per-order receipt data, plus many tiny
+//! side structures of distinct types (the paper counts 82 pruned edge
+//! types, e.g. unused character-set objects in the class libraries —
+//! modelled by the rarely-used charset table below). The program runs ~5×
+//! longer and then accesses a pruned reference.
+
+use leak_pruning::{Runtime, RuntimeError};
+use lp_heap::{AllocSpec, ClassId, Handle, StaticId};
+
+use crate::driver::Workload;
+use crate::leaks::{ListHead, Rotor};
+
+const HEAP: u64 = 64 << 20;
+/// Orders per iteration (the paper's iteration is 100,000 transactions).
+const ORDERS_PER_ITER: usize = 50;
+/// Live bytes per order.
+const ORDER_PAYLOAD: u32 = 512;
+/// Dead receipt bytes per order.
+const RECEIPT_BYTES: u32 = 4 * 1024;
+/// Distinct side-structure classes (Table 2's edge-type census).
+const SIDE_CLASSES: usize = 80;
+const SIDE_BYTES: u32 = 512;
+/// Orders re-processed per iteration (round-robin over the list).
+const PROCESS_BATCH: usize = 96;
+/// The rarely-used class-library structure: read period in iterations.
+const CHARSET_PERIOD: u64 = 1_300;
+const CHARSET_BYTES: u32 = 500 * 1024;
+/// The fatal access pattern: long after the side structures have been
+/// pruned, the program starts touching them again (the paper: "the
+/// program ultimately accesses a pruned reference"). One side chain is
+/// probed every `SIDE_READ_STRIDE` iterations starting at
+/// `SIDE_READ_START`.
+const SIDE_READ_START: u64 = 1_000;
+const SIDE_READ_STRIDE: u64 = 10;
+/// Transient bytes per iteration (transaction working data).
+const SCRATCH: u32 = 4 << 20;
+
+const ORDER_NEXT: usize = 0;
+const ORDER_RECEIPT: usize = 1;
+
+/// The SPECjbb2000 order-list leak.
+#[derive(Debug, Default)]
+pub struct SpecJbb {
+    order_cls: Option<ClassId>,
+    receipt_cls: Option<ClassId>,
+    side_cls: Vec<ClassId>,
+    charset_cls: Option<ClassId>,
+    charset_tbl_cls: Option<ClassId>,
+    scratch_cls: Option<ClassId>,
+    order_list: Option<ListHead>,
+    side_heads: Vec<StaticId>,
+    charset_slot: Option<StaticId>,
+    charset_table: Option<Handle>,
+    orders: Vec<Handle>,
+    rotor: Rotor,
+    side_counter: usize,
+}
+
+impl SpecJbb {
+    /// Creates the workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Workload for SpecJbb {
+    fn name(&self) -> &str {
+        "SPECjbb2000"
+    }
+
+    fn default_heap(&self) -> u64 {
+        HEAP
+    }
+
+    fn setup(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        self.order_cls = Some(rt.register_class("spec.jbb.Order"));
+        self.receipt_cls = Some(rt.register_class("spec.jbb.Receipt"));
+        self.scratch_cls = Some(rt.register_class("Scratch"));
+        for k in 0..SIDE_CLASSES {
+            self.side_cls.push(rt.register_class(&format!("spec.jbb.infra.Side{k:03}")));
+            self.side_heads.push(rt.add_static());
+        }
+        self.order_list = Some(ListHead::create(rt, "spec.jbb.District$OrderList")?);
+
+        // The class-library charset table: big, live, used very rarely.
+        self.charset_tbl_cls = Some(rt.register_class("java.nio.charset.CharsetTable"));
+        self.charset_cls = Some(rt.register_class("java.nio.charset.CharsetData"));
+        let table = rt.alloc(self.charset_tbl_cls.unwrap(), &AllocSpec::with_refs(1))?;
+        let data = rt.alloc(self.charset_cls.unwrap(), &AllocSpec::leaf(CHARSET_BYTES))?;
+        rt.write_field(table, 0, Some(data));
+        let slot = rt.add_static();
+        rt.set_static(slot, Some(table));
+        self.charset_slot = Some(slot);
+        self.charset_table = Some(table);
+        Ok(())
+    }
+
+    fn iterate(&mut self, rt: &mut Runtime, iteration: u64) -> Result<(), RuntimeError> {
+        // New orders enter the order-processing list and are never removed.
+        for _ in 0..ORDERS_PER_ITER {
+            let order = rt.alloc(
+                self.order_cls.expect("setup"),
+                &AllocSpec::new(2, 0, ORDER_PAYLOAD),
+            )?;
+            let receipt = rt.alloc(
+                self.receipt_cls.expect("setup"),
+                &AllocSpec::leaf(RECEIPT_BYTES),
+            )?;
+            rt.write_field(order, ORDER_RECEIPT, Some(receipt));
+            self.order_list.expect("setup").push(rt, order, ORDER_NEXT)?;
+            self.orders.push(order);
+        }
+
+        // Tiny side structures of many distinct classes, never used again.
+        let k = self.side_counter % SIDE_CLASSES;
+        self.side_counter += 1;
+        let side = rt.alloc(self.side_cls[k], &AllocSpec::new(1, 0, SIDE_BYTES))?;
+        rt.write_field(side, 0, rt.static_ref(self.side_heads[k]));
+        rt.set_static(self.side_heads[k], Some(side));
+
+        // Order processing touches every order in the list over time —
+        // including the leaked ones — keeping the orders live.
+        let len = self.orders.len();
+        let indices: Vec<usize> = self.rotor.next_batch(len, PROCESS_BATCH).collect();
+        for idx in indices {
+            rt.read_field(self.orders[idx], ORDER_NEXT)?;
+        }
+
+        // The rare class-library use: if its data was pruned, this is an
+        // access that kills the program.
+        if iteration % CHARSET_PERIOD == CHARSET_PERIOD - 1 {
+            rt.read_field(self.charset_table.expect("setup"), 0)?;
+        }
+
+        // Late in the run the program starts probing the side structures it
+        // "removed" — by then leak pruning has reclaimed them, and this is
+        // the access that ultimately terminates the tolerated run.
+        if iteration >= SIDE_READ_START && (iteration - SIDE_READ_START) % SIDE_READ_STRIDE == 0 {
+            let k = (((iteration - SIDE_READ_START) / SIDE_READ_STRIDE) as usize) % SIDE_CLASSES;
+            if let Some(head) = rt.static_ref(self.side_heads[k]) {
+                rt.read_field(head, 0)?;
+            }
+        }
+
+        rt.alloc(self.scratch_cls.expect("setup"), &AllocSpec::leaf(SCRATCH))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_workload, Flavor, RunOptions, Termination};
+
+    #[test]
+    fn pruning_extends_specjbb_then_program_touches_pruned_data() {
+        let base = run_workload(&mut SpecJbb::new(), &RunOptions::new(Flavor::Base));
+        assert_eq!(base.termination, Termination::OutOfMemory);
+
+        let opts = RunOptions::new(Flavor::pruning()).iteration_cap(30 * base.iterations);
+        let pruned = run_workload(&mut SpecJbb::new(), &opts);
+        assert!(
+            pruned.iterations > 2 * base.iterations,
+            "pruned {} vs base {}",
+            pruned.iterations,
+            base.iterations
+        );
+        assert!(
+            matches!(
+                pruned.termination,
+                Termination::PrunedAccess | Termination::OutOfMemory
+            ),
+            "unexpected {:?}",
+            pruned.termination
+        );
+        // Many distinct reference types are pruned.
+        assert!(pruned.report.distinct_pruned_edges() >= 10);
+    }
+}

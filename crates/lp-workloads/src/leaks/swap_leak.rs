@@ -1,0 +1,133 @@
+//! SwapLeak: the 33-line IBM developerWorks microbenchmark.
+//!
+//! The program fills a working segment with elements and "swaps" it out for
+//! a fresh one when full — but keeps the retired segment reachable from a
+//! retirement list it never reads again. Elements carry a data payload; the
+//! program touches the data of the element it just appended (so those
+//! references are demonstrably *usable*), but once a segment retires,
+//! nothing in it is ever used again.
+//!
+//! Everything behind the retirement list is dead-but-reachable: leak
+//! pruning selects the `RetiredList -> Segment` structures and reclaims
+//! them wholesale — Table 1: *runs indefinitely, all reclaimed*.
+
+use leak_pruning::{Runtime, RuntimeError};
+use lp_heap::{AllocSpec, ClassId, Handle, StaticId};
+
+use crate::driver::Workload;
+
+const HEAP: u64 = 4 << 20;
+/// Element slots per segment; the segment "swap" period.
+const SEGMENT_SLOTS: u32 = 64;
+/// Elements appended per iteration.
+const ELEMENTS_PER_ITER: usize = 8;
+/// Data payload bytes per element.
+const DATA_BYTES: u32 = 320;
+const SCRATCH: u32 = 1024;
+
+/// The SwapLeak microbenchmark.
+#[derive(Debug, Default)]
+pub struct SwapLeak {
+    segment: Option<ClassId>,
+    element: Option<ClassId>,
+    data: Option<ClassId>,
+    retired_node: Option<ClassId>,
+    scratch: Option<ClassId>,
+    /// Static slots: the active segment and the retirement list head.
+    active: Option<StaticId>,
+    retired: Option<StaticId>,
+    active_handle: Option<Handle>,
+    fill: u32,
+}
+
+impl SwapLeak {
+    /// Creates the workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh_segment(&mut self, rt: &mut Runtime) -> Result<Handle, RuntimeError> {
+        let seg = rt.alloc(
+            self.segment.expect("setup ran"),
+            &AllocSpec::with_refs(SEGMENT_SLOTS),
+        )?;
+        rt.set_static(self.active.expect("setup ran"), Some(seg));
+        self.active_handle = Some(seg);
+        self.fill = 0;
+        Ok(seg)
+    }
+}
+
+impl Workload for SwapLeak {
+    fn name(&self) -> &str {
+        "SwapLeak"
+    }
+
+    fn default_heap(&self) -> u64 {
+        HEAP
+    }
+
+    fn setup(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        self.segment = Some(rt.register_class("Segment"));
+        self.element = Some(rt.register_class("Element"));
+        self.data = Some(rt.register_class("ElementData"));
+        self.retired_node = Some(rt.register_class("RetiredList$Node"));
+        self.scratch = Some(rt.register_class("Scratch"));
+        self.active = Some(rt.add_static());
+        self.retired = Some(rt.add_static());
+        self.fresh_segment(rt)?;
+        Ok(())
+    }
+
+    fn iterate(&mut self, rt: &mut Runtime, _iteration: u64) -> Result<(), RuntimeError> {
+        let element = self.element.expect("setup ran");
+        let data = self.data.expect("setup ran");
+        let retired_node = self.retired_node.expect("setup ran");
+        let retired = self.retired.expect("setup ran");
+        let scratch = self.scratch.expect("setup ran");
+
+        for _ in 0..ELEMENTS_PER_ITER {
+            let seg = self.active_handle.expect("segment exists");
+            if self.fill == SEGMENT_SLOTS {
+                // Swap: push the full segment onto the retirement list —
+                // never to be read again — and start a new one.
+                let node = rt.alloc(retired_node, &AllocSpec::with_refs(2))?;
+                rt.write_field(node, 0, rt.static_ref(retired));
+                rt.write_field(node, 1, Some(seg));
+                rt.set_static(retired, Some(node));
+                self.fresh_segment(rt)?;
+            }
+            let seg = self.active_handle.expect("segment exists");
+            let e = rt.alloc(element, &AllocSpec::new(1, 1, 16))?;
+            let d = rt.alloc(data, &AllocSpec::leaf(DATA_BYTES))?;
+            rt.write_field(e, 0, Some(d));
+            rt.write_field(seg, self.fill as usize, Some(e));
+            self.fill += 1;
+            // The program uses what it just stored: read the element back
+            // out of the segment and touch its data.
+            let read_back = rt.read_field(seg, (self.fill - 1) as usize)?;
+            if let Some(elem) = read_back {
+                rt.read_field(elem, 0)?;
+            }
+        }
+        rt.alloc(scratch, &AllocSpec::leaf(SCRATCH))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_workload, Flavor, RunOptions, Termination};
+
+    #[test]
+    fn pruning_tolerates_swap_leak() {
+        let base = run_workload(&mut SwapLeak::new(), &RunOptions::new(Flavor::Base));
+        assert_eq!(base.termination, Termination::OutOfMemory);
+
+        let opts = RunOptions::new(Flavor::pruning()).iteration_cap(4 * base.iterations);
+        let pruned = run_workload(&mut SwapLeak::new(), &opts);
+        assert_eq!(pruned.termination, Termination::ReachedCap);
+        assert!(pruned.report.total_pruned_refs > 0);
+    }
+}

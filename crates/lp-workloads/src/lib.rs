@@ -1,0 +1,40 @@
+//! The evaluation programs of the leak-pruning paper (§5–§6), modelled on
+//! the [`leak_pruning::Runtime`].
+//!
+//! Ten leaking programs ([`leaks`]) reproduce the heap *shapes* and *access
+//! patterns* the paper describes for each leak — which references go stale,
+//! which stale data structures are used again, and how large the dead
+//! subtrees are — since those are what determine whether leak pruning
+//! tolerates a leak, for how long, and which prediction policies fail on it
+//! (Tables 1 and 2). A parameterized non-leaking suite ([`dacapo`]) stands
+//! in for the DaCapo/SPEC benchmarks of the overhead experiments (Figures 6
+//! and 7).
+//!
+//! The [`driver`] runs a workload to a deterministic end — an iteration cap
+//! (the paper's "24 hours"), a true out-of-memory error, or an access to a
+//! pruned reference — and records the per-iteration timing and reachable-
+//! memory series the paper's figures plot.
+//!
+//! # Example
+//!
+//! ```
+//! use lp_workloads::driver::{run_workload, Flavor, RunOptions};
+//! use lp_workloads::leaks::ListLeak;
+//!
+//! let opts = RunOptions::new(Flavor::Base).iteration_cap(2_000);
+//! let base = run_workload(&mut ListLeak::new(), &opts);
+//!
+//! let opts = RunOptions::new(Flavor::pruning()).iteration_cap(2_000);
+//! let pruned = run_workload(&mut ListLeak::new(), &opts);
+//!
+//! assert!(pruned.iterations > base.iterations);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dacapo;
+pub mod driver;
+pub mod leaks;
+
+pub use driver::{run_workload, Flavor, RunOptions, RunResult, Termination, Workload};

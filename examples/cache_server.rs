@@ -1,0 +1,131 @@
+//! A "production service" scenario: an in-memory session cache with a
+//! forgotten-unregister bug, deployed with leak pruning as a configuration
+//! option (the deployment story the paper argues for).
+//!
+//! The server keeps a session registry; a bug keeps closed sessions
+//! registered, each pinning a large response buffer. Active sessions are
+//! hot (their buffers are reused constantly); closed sessions are dead
+//! weight. Leak pruning reclaims the closed sessions' buffers while never
+//! touching the hot ones — the service stays up with steady throughput.
+//!
+//! Run with: `cargo run --release --example cache_server`
+
+use leak_pruning::{PruningConfig, Runtime, RuntimeError};
+use lp_heap::{AllocSpec, Handle};
+
+const ACTIVE_SESSIONS: usize = 32;
+const BUFFER_BYTES: u32 = 8 * 1024;
+const REQUESTS: u64 = 30_000;
+
+struct Server {
+    rt: Runtime,
+    session_cls: lp_heap::ClassId,
+    buffer_cls: lp_heap::ClassId,
+    scratch_cls: lp_heap::ClassId,
+    registry_head: lp_heap::StaticId,
+    /// The active pool lives in a stack frame: it is the server's in-memory
+    /// state, i.e. GC roots.
+    active_frame: lp_heap::FrameId,
+    active: Vec<Handle>,
+}
+
+impl Server {
+    fn new(heap: u64) -> Result<Self, RuntimeError> {
+        let mut rt = Runtime::new(PruningConfig::builder(heap).build());
+        let session_cls = rt.register_class("server.Session");
+        let buffer_cls = rt.register_class("server.ResponseBuffer");
+        let scratch_cls = rt.register_class("server.RequestScratch");
+        let registry_head = rt.add_static();
+        let active_frame = rt.push_frame(ACTIVE_SESSIONS);
+        Ok(Server {
+            rt,
+            session_cls,
+            buffer_cls,
+            scratch_cls,
+            registry_head,
+            active_frame,
+            active: Vec::new(),
+        })
+    }
+
+    /// Opens a session: registers it (and, due to the bug, it is never
+    /// unregistered).
+    fn open_session(&mut self) -> Result<Handle, RuntimeError> {
+        // Session layout: [0] registry-next, [1] buffer.
+        let session = self.rt.alloc(self.session_cls, &AllocSpec::new(2, 1, 64))?;
+        let buffer = self.rt.alloc(self.buffer_cls, &AllocSpec::leaf(BUFFER_BYTES))?;
+        self.rt.write_field(session, 1, Some(buffer));
+        self.rt
+            .write_field(session, 0, self.rt.static_ref(self.registry_head));
+        self.rt.set_static(self.registry_head, Some(session));
+        Ok(session)
+    }
+
+    /// Serves a request on an active session: parses the request into
+    /// transient scratch and touches the session's buffer.
+    fn serve(&mut self, session: Handle) -> Result<(), RuntimeError> {
+        self.rt.alloc(self.scratch_cls, &AllocSpec::leaf(12 * 1024))?;
+        let buffer = self.rt.read_field(session, 1)?.expect("buffer attached");
+        let hits = self.rt.read_word(session, 0) + 1;
+        self.rt.write_word(session, 0, hits);
+        let _ = buffer; // response written from the buffer
+        self.rt.release_registers(); // the request handler returns
+        Ok(())
+    }
+
+    /// Installs a session in active slot `idx` (rooting it in the frame).
+    fn set_active(&mut self, idx: usize, session: Handle) {
+        if idx < self.active.len() {
+            self.active[idx] = session;
+        } else {
+            self.active.push(session);
+        }
+        self.rt.set_frame_ref(self.active_frame, idx, Some(session));
+    }
+}
+
+fn main() -> Result<(), RuntimeError> {
+    let mut server = Server::new(16 << 20)?;
+
+    // Steady pool of hot sessions.
+    for i in 0..ACTIVE_SESSIONS {
+        let s = server.open_session()?;
+        server.set_active(i, s);
+    }
+
+    let mut rotated = 0u64;
+    for request in 0..REQUESTS {
+        // Serve traffic across the active pool.
+        let idx = (request as usize * 7) % server.active.len();
+        let session = server.active[idx];
+        server.serve(session)?;
+
+        // Session churn: every few requests a client disconnects and a new
+        // one arrives. The bug: the closed session stays registered.
+        if request % 4 == 0 {
+            let replacement = server.open_session()?;
+            server.set_active(idx, replacement);
+            rotated += 1;
+        }
+
+        if request % 5_000 == 0 {
+            println!(
+                "request {request:>6}: {} sessions leaked, heap {:>5} KB / {} KB, state {}",
+                rotated,
+                server.rt.used_bytes() / 1024,
+                server.rt.capacity() / 1024,
+                server.rt.state(),
+            );
+        }
+    }
+
+    println!("\nservice survived {REQUESTS} requests with ~{rotated} leaked sessions");
+    print!("{}", server.rt.prune_report());
+
+    // The hot sessions were never pruned: serve them all once more.
+    for session in server.active.clone() {
+        server.serve(session)?;
+    }
+    println!("all active sessions still serviceable — semantics preserved");
+    Ok(())
+}

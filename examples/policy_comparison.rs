@@ -1,0 +1,57 @@
+//! Policy comparison: a miniature Table 2.
+//!
+//! Runs a chosen leak (default: EclipseCP) under the unmodified VM and the
+//! three prediction algorithms of §6.1, printing iterations, outcome, and
+//! the edge-table census.
+//!
+//! Run with: `cargo run --release --example policy_comparison [LeakName] [cap]`
+
+use leak_pruning::PredictionPolicy;
+use lp_metrics::TextTable;
+use lp_workloads::driver::{run_workload, Flavor, RunOptions};
+use lp_workloads::leaks::leak_by_name;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let leak_name = args.next().unwrap_or_else(|| "EclipseCP".to_owned());
+    let cap: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000);
+
+    let flavors = [
+        Flavor::Base,
+        Flavor::Pruning(PredictionPolicy::MostStale),
+        Flavor::Pruning(PredictionPolicy::IndividualRefs),
+        Flavor::Pruning(PredictionPolicy::LeakPruning),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "Configuration".into(),
+        "Iterations".into(),
+        "Outcome".into(),
+        "Refs pruned".into(),
+        "Edge types".into(),
+    ]);
+
+    for flavor in flavors {
+        let Some(mut leak) = leak_by_name(&leak_name) else {
+            eprintln!("unknown leak '{leak_name}'; try e.g. EclipseCP, ListLeak, MySQL");
+            std::process::exit(1);
+        };
+        let opts = RunOptions::new(flavor.clone()).iteration_cap(cap);
+        print!("running {leak_name} under {} ...", flavor.label());
+        let result = run_workload(leak.as_mut(), &opts);
+        println!(" {} iterations", result.iterations);
+        table.row(vec![
+            result.flavor,
+            result.iterations.to_string(),
+            result.termination.describe().to_owned(),
+            result.report.total_pruned_refs.to_string(),
+            result.report.edge_types_recorded.to_string(),
+        ]);
+    }
+
+    println!("\n{leak_name} under the prediction algorithms of Table 2 (cap {cap}):\n");
+    print!("{table}");
+}

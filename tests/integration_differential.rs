@@ -1,0 +1,282 @@
+//! Differential semantics testing: random programs run under Base and
+//! under leak pruning must agree.
+//!
+//! The paper's correctness argument (§2) is that *any* prediction algorithm
+//! preserves semantics, because accesses to reclaimed memory are
+//! intercepted. Concretely, for the same program:
+//!
+//! 1. every read that succeeds under pruning returns the same value as
+//!    under Base — pruning never silently nulls or corrupts a reference;
+//! 2. the only extra way a pruning run may end is a pruned-access error
+//!    (and only after the out-of-memory condition was reached);
+//! 3. pruning never ends a program *earlier* than Base ("in the worst
+//!    case, leak pruning only defers out-of-memory errors").
+//!
+//! Random programs (seeded, reproducible) exercise this over thousands of
+//! allocate/link/read/unlink operations, including programs that leak and
+//! programs that hold handles to data pruning reclaims.
+
+use leak_pruning::{PruningConfig, Runtime, RuntimeError};
+use lp_heap::AllocSpec;
+use lp_heap::Handle;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const LOCALS: usize = 24;
+const STATICS: usize = 8;
+
+/// One step of the random program.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Allocate an object with `refs` fields and a payload, store its
+    /// unique id in word 0, and put it in local `dst`.
+    Alloc { dst: usize, refs: u8, payload: u16 },
+    /// `locals[dst_obj].field = locals[src]`.
+    Link { dst_obj: usize, field: u8, src: usize },
+    /// Read `locals[obj].field` into local `dst` and observe the target's
+    /// id.
+    Read { obj: usize, field: u8, dst: usize },
+    /// Publish local `src` into static root `slot`.
+    Publish { src: usize, slot: usize },
+    /// Drop local `dst`.
+    Drop { dst: usize },
+    /// The leak: push a fresh node onto the never-read chain rooted at
+    /// static `slot` (the node's id is never observed again).
+    Leak { slot: usize, payload: u16 },
+    /// End of a unit of work: registers released.
+    Fence,
+}
+
+/// What one op observed — must match across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Observation {
+    /// Read returned null.
+    Null,
+    /// Read returned the object with this id.
+    Value(u64),
+    /// Read hit a dead local or skipped (no live object in the slot).
+    Skipped,
+}
+
+fn generate(seed: u64, len: usize) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| match rng.random_range(0..100u32) {
+            0..=29 => Op::Alloc {
+                dst: rng.random_range(0..LOCALS),
+                refs: rng.random_range(1..4),
+                payload: rng.random_range(0..2048),
+            },
+            30..=54 => Op::Link {
+                dst_obj: rng.random_range(0..LOCALS),
+                field: rng.random_range(0..3),
+                src: rng.random_range(0..LOCALS),
+            },
+            55..=84 => Op::Read {
+                obj: rng.random_range(0..LOCALS),
+                field: rng.random_range(0..3),
+                dst: rng.random_range(0..LOCALS),
+            },
+            85..=89 => Op::Publish {
+                src: rng.random_range(0..LOCALS),
+                slot: rng.random_range(0..STATICS),
+            },
+            90..=92 => Op::Drop {
+                dst: rng.random_range(0..LOCALS),
+            },
+            93..=97 => Op::Leak {
+                slot: rng.random_range(0..STATICS),
+                payload: rng.random_range(0..1024),
+            },
+            _ => Op::Fence,
+        })
+        .collect()
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum End {
+    Finished,
+    OutOfMemory(usize),
+    PrunedAccess(usize),
+}
+
+/// Executes the program, recording one observation per op.
+fn execute(ops: &[Op], config: PruningConfig) -> (Vec<Observation>, End) {
+    let mut rt = Runtime::new(config);
+    let cls = rt.register_class("RandomObject");
+    let statics: Vec<_> = (0..STATICS).map(|_| rt.add_static()).collect();
+    let leak_statics: Vec<_> = (0..STATICS).map(|_| rt.add_static()).collect();
+    // Locals are the program's registers: a stack frame roots them, so a
+    // local can never dangle (pruning only poisons heap references).
+    let frame = rt.push_frame(LOCALS);
+    let mut locals: Vec<Option<Handle>> = vec![None; LOCALS];
+    macro_rules! set_local {
+        ($rt:expr, $i:expr, $v:expr) => {{
+            let v = $v;
+            locals[$i] = v;
+            $rt.set_frame_ref(frame, $i, v);
+        }};
+    }
+    let mut next_id = 1u64;
+    let mut observations = Vec::with_capacity(ops.len());
+
+    for (index, op) in ops.iter().enumerate() {
+        let result: Result<Observation, RuntimeError> = (|| {
+            match *op {
+                Op::Alloc { dst, refs, payload } => {
+                    let h = rt.alloc(
+                        cls,
+                        &AllocSpec::new(u32::from(refs).max(3), 1, u32::from(payload)),
+                    )?;
+                    rt.write_word(h, 0, next_id);
+                    next_id += 1;
+                    set_local!(rt, dst, Some(h));
+                    Ok(Observation::Skipped)
+                }
+                Op::Link { dst_obj, field, src } => {
+                    if let Some(obj) = locals[dst_obj] {
+                        rt.write_field(obj, field as usize, locals[src]);
+                    }
+                    Ok(Observation::Skipped)
+                }
+                Op::Read { obj, field, dst } => match locals[obj] {
+                    Some(o) => {
+                        let target = rt.read_field(o, field as usize)?;
+                        set_local!(rt, dst, target);
+                        match target {
+                            Some(t) => Ok(Observation::Value(rt.read_word(t, 0))),
+                            None => Ok(Observation::Null),
+                        }
+                    }
+                    None => Ok(Observation::Skipped),
+                },
+                Op::Publish { src, slot } => {
+                    rt.set_static(statics[slot], locals[src]);
+                    Ok(Observation::Skipped)
+                }
+                Op::Drop { dst } => {
+                    set_local!(rt, dst, None);
+                    Ok(Observation::Skipped)
+                }
+                Op::Leak { slot, payload } => {
+                    let node = rt.alloc(cls, &AllocSpec::new(3, 1, u32::from(payload)))?;
+                    rt.write_word(node, 0, next_id);
+                    next_id += 1;
+                    // leak_statics are separate roots so ordinary Publish
+                    // ops never clobber the chains.
+                    rt.write_field(node, 0, rt.static_ref(leak_statics[slot]));
+                    rt.set_static(leak_statics[slot], Some(node));
+                    Ok(Observation::Skipped)
+                }
+                Op::Fence => {
+                    rt.release_registers();
+                    Ok(Observation::Skipped)
+                }
+            }
+        })();
+
+        match result {
+            Ok(obs) => observations.push(obs),
+            Err(RuntimeError::OutOfMemory(_)) => return (observations, End::OutOfMemory(index)),
+            Err(RuntimeError::PrunedAccess(e)) => {
+                // Guarantee: the deferred OOM is attached.
+                assert!(e.cause().capacity() > 0);
+                return (observations, End::PrunedAccess(index));
+            }
+        }
+    }
+    (observations, End::Finished)
+}
+
+/// Runs one seed under Base and pruning and checks the differential
+/// guarantees. Returns how many more ops the pruning run completed.
+fn check_seed(seed: u64, heap: u64, len: usize) -> u64 {
+    let ops = generate(seed, len);
+    let (base_obs, base_end) = execute(&ops, PruningConfig::base(heap));
+    let (prune_obs, prune_end) = execute(&ops, PruningConfig::builder(heap).build());
+
+    // Guarantee 1: observations agree on the common prefix.
+    let common = base_obs.len().min(prune_obs.len());
+    for i in 0..common {
+        assert_eq!(
+            base_obs[i], prune_obs[i],
+            "seed {seed}: divergent observation at op {i}: {:?}",
+            ops[i]
+        );
+    }
+
+    // Guarantee 3: pruning never dies first.
+    let base_ops = base_obs.len();
+    let prune_ops = prune_obs.len();
+    assert!(
+        prune_ops >= base_ops,
+        "seed {seed}: pruning ended at op {prune_ops} before Base's {base_ops} ({base_end:?} vs {prune_end:?})"
+    );
+
+    // Guarantee 2: if pruning ended differently, it is a pruned access (or
+    // it simply survived to the end / a later OOM).
+    if prune_ops == base_ops && base_end != prune_end {
+        assert!(
+            matches!(prune_end, End::PrunedAccess(_) | End::Finished),
+            "seed {seed}: unexpected end {prune_end:?} vs base {base_end:?}"
+        );
+    }
+    (prune_ops - base_ops) as u64
+}
+
+#[test]
+fn random_programs_small_heap() {
+    // Tight heaps: most seeds exhaust memory; pruning must only defer —
+    // and for at least some seeds it must actually defer (the test would
+    // otherwise be vacuous about pruning).
+    let mut total_deferred = 0u64;
+    for seed in 0..12 {
+        total_deferred += check_seed(seed, 96 * 1024, 30_000);
+    }
+    assert!(
+        total_deferred > 0,
+        "no seed benefited from pruning; the differential test is vacuous"
+    );
+}
+
+#[test]
+fn random_programs_medium_heap() {
+    for seed in 100..106 {
+        check_seed(seed, 512 * 1024, 60_000);
+    }
+}
+
+#[test]
+fn random_programs_roomy_heap() {
+    // Roomy heaps: both runs usually finish; observations must be equal
+    // end to end.
+    for seed in 200..204 {
+        check_seed(seed, 4 << 20, 40_000);
+    }
+}
+
+#[test]
+fn random_programs_generational_configuration() {
+    // The nursery + remembered set must not change observable behaviour
+    // either: same guarantees against Base, for the same seeds.
+    for seed in 0..8u64 {
+        let ops = generate(seed, 30_000);
+        let heap = 96 * 1024;
+        let (base_obs, _) = execute(&ops, PruningConfig::base(heap));
+        let (gen_obs, gen_end) = execute(
+            &ops,
+            PruningConfig::builder(heap).nursery_fraction(0.25).build(),
+        );
+        let common = base_obs.len().min(gen_obs.len());
+        assert_eq!(
+            &base_obs[..common],
+            &gen_obs[..common],
+            "seed {seed}: generational run diverged"
+        );
+        assert!(
+            gen_obs.len() >= base_obs.len(),
+            "seed {seed}: generational run died first ({gen_end:?})"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Integration: the configuration extensions beyond the paper's defaults —
+//! `max_stale_use` decay (§6's sketched policy fix), the staleness census
+//! diagnostic, and heap-size sensitivity (§6's robustness claim).
+
+use leak_pruning::{PruningConfig, Runtime};
+use lp_heap::AllocSpec;
+use lp_workloads::driver::{run_workload, Flavor, RunOptions, Termination};
+use lp_workloads::leaks::leak_by_name;
+
+#[test]
+fn decay_shortens_eclipse_cp() {
+    // Decay strips the protection from EclipseCP's live-but-rarely-used
+    // data, so aggressive decay must shorten the run (the reason the paper
+    // only sketches decay as future work).
+    let run = |decay: Option<u64>| {
+        let mut leak = leak_by_name("EclipseCP").unwrap();
+        let heap = leak.default_heap();
+        let mut builder = PruningConfig::builder(heap);
+        if let Some(period) = decay {
+            builder = builder.decay_max_stale_use_every(period);
+        }
+        let flavor = Flavor::Custom(Box::new(builder.build()));
+        run_workload(leak.as_mut(), &RunOptions::new(flavor).iteration_cap(3_000))
+    };
+
+    let without = run(None);
+    let aggressive = run(Some(4));
+    assert!(
+        aggressive.iterations < without.iterations,
+        "decay/4 {} should die before no-decay {}",
+        aggressive.iterations,
+        without.iterations
+    );
+}
+
+#[test]
+fn stale_census_identifies_the_leaking_class() {
+    // Drive a leak just past the OBSERVE threshold and ask the census who
+    // owns the stale bytes — the leak-diagnosis view.
+    let mut rt = Runtime::new(
+        PruningConfig::builder(1 << 20)
+            .force_state(leak_pruning::ForcedState::Observe)
+            .build(),
+    );
+    let node = rt.register_class("LeakyNode");
+    let scratch = rt.register_class("Scratch");
+    let head = rt.add_static();
+    for _ in 0..400 {
+        let n = rt.alloc(node, &AllocSpec::new(1, 0, 400)).unwrap();
+        rt.write_field(n, 0, rt.static_ref(head));
+        rt.set_static(head, Some(n));
+        rt.alloc(scratch, &AllocSpec::leaf(1024)).unwrap();
+        rt.release_registers();
+    }
+    // Observing collections age the untouched list.
+    for _ in 0..6 {
+        rt.force_gc();
+    }
+    let census = rt.stale_census(2);
+    assert!(!census.is_empty(), "the leak must show up as stale bytes");
+    assert_eq!(rt.class_name(census[0].0), "LeakyNode");
+}
+
+#[test]
+fn effectiveness_is_not_sensitive_to_heap_size() {
+    // §6: "leak pruning's effectiveness is generally not sensitive to
+    // maximum heap size". ListLeak must be tolerated to the cap at half
+    // and double its standard heap.
+    for scale in [0.5, 2.0] {
+        let mut leak = leak_by_name("ListLeak").unwrap();
+        let heap = (leak.default_heap() as f64 * scale) as u64;
+        let result = run_workload(
+            leak.as_mut(),
+            &RunOptions::new(Flavor::pruning())
+                .heap_capacity(heap)
+                .iteration_cap(4_000),
+        );
+        assert_eq!(
+            result.termination,
+            Termination::ReachedCap,
+            "ListLeak at {scale}x heap died after {}",
+            result.iterations
+        );
+    }
+}
+
+#[test]
+fn tight_heaps_degrade_gracefully() {
+    // The paper's caveat: "it sometimes fails to identify and prune the
+    // right references in tight heaps". A very tight heap may fail, but
+    // must fail with a well-formed error, not a panic.
+    let mut leak = leak_by_name("EclipseDiff").unwrap();
+    let heap = leak.default_heap() / 16;
+    let result = run_workload(
+        leak.as_mut(),
+        &RunOptions::new(Flavor::pruning())
+            .heap_capacity(heap)
+            .iteration_cap(2_000),
+    );
+    assert!(
+        matches!(
+            result.termination,
+            Termination::ReachedCap | Termination::OutOfMemory | Termination::PrunedAccess
+        ),
+        "unexpected termination {:?}",
+        result.termination
+    );
+}
+
+#[test]
+fn edge_table_census_survives_decay() {
+    // Decay lowers protections but never forgets edges (§6.2: the table
+    // never shrinks).
+    let mut leak = leak_by_name("ListLeak").unwrap();
+    let heap = leak.default_heap();
+    let flavor = Flavor::Custom(Box::new(
+        PruningConfig::builder(heap)
+            .decay_max_stale_use_every(2)
+            .build(),
+    ));
+    let result = run_workload(leak.as_mut(), &RunOptions::new(flavor).iteration_cap(3_000));
+    assert_eq!(result.termination, Termination::ReachedCap);
+    assert!(result.report.edge_types_recorded > 0);
+}
+
+#[test]
+fn parallel_marking_tolerates_leaks_like_serial() {
+    // §4.5: the parallel closures must behave like the serial ones. On
+    // ListLeak (disjoint stale chains, so byte attribution has no
+    // overlap nondeterminism) the outcomes must agree exactly.
+    let run = |threads: usize| {
+        let mut leak = leak_by_name("ListLeak").unwrap();
+        let heap = leak.default_heap();
+        let config = PruningConfig::builder(heap).marker_threads(threads).build();
+        run_workload(
+            leak.as_mut(),
+            &RunOptions::new(Flavor::Custom(Box::new(config))).iteration_cap(4_000),
+        )
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.termination, Termination::ReachedCap);
+    assert_eq!(parallel.termination, Termination::ReachedCap);
+    assert_eq!(serial.iterations, parallel.iterations);
+    assert_eq!(
+        serial.report.total_pruned_refs, parallel.report.total_pruned_refs,
+        "disjoint chains must prune identically"
+    );
+}
+
+#[test]
+fn parallel_marking_preserves_semantics_on_eclipse_diff() {
+    let mut leak = leak_by_name("EclipseDiff").unwrap();
+    let heap = leak.default_heap();
+    let config = PruningConfig::builder(heap).marker_threads(4).build();
+    let result = run_workload(
+        leak.as_mut(),
+        &RunOptions::new(Flavor::Custom(Box::new(config))).iteration_cap(1_500),
+    );
+    assert_eq!(result.termination, Termination::ReachedCap);
+    assert!(result
+        .report
+        .pruned_edges
+        .iter()
+        .any(|e| e.src == "ResourceCompareInput"));
+}

@@ -1,0 +1,76 @@
+//! Integration: Table 1's outcome categories, end to end.
+//!
+//! Each leak must land in the paper's category: tolerated indefinitely,
+//! tolerated N× longer, or not helped.
+
+use lp_workloads::driver::{run_workload, Flavor, RunOptions, Termination};
+use lp_workloads::leaks;
+
+/// Runs a leak under Base and under default leak pruning with `cap`.
+fn base_and_pruned(name: &str, cap: u64) -> (u64, u64, Termination) {
+    let mut leak = leaks::leak_by_name(name).expect("known leak");
+    let base = run_workload(leak.as_mut(), &RunOptions::new(Flavor::Base).iteration_cap(cap));
+
+    let mut leak = leaks::leak_by_name(name).expect("known leak");
+    let pruned = run_workload(
+        leak.as_mut(),
+        &RunOptions::new(Flavor::pruning()).iteration_cap(cap),
+    );
+    (base.iterations, pruned.iterations, pruned.termination)
+}
+
+#[test]
+fn list_leak_runs_indefinitely() {
+    let (base, pruned, termination) = base_and_pruned("ListLeak", 8_000);
+    assert_eq!(termination, Termination::ReachedCap);
+    assert!(pruned >= 4 * base, "pruned {pruned} vs base {base}");
+}
+
+#[test]
+fn swap_leak_runs_indefinitely() {
+    let (base, pruned, termination) = base_and_pruned("SwapLeak", 6_000);
+    assert_eq!(termination, Termination::ReachedCap);
+    assert!(pruned >= 4 * base, "pruned {pruned} vs base {base}");
+}
+
+#[test]
+fn dual_leak_gets_no_help() {
+    let (base, pruned, termination) = base_and_pruned("DualLeak", 50_000);
+    assert_eq!(termination, Termination::OutOfMemory);
+    assert!(
+        (pruned as f64) < 1.3 * base as f64,
+        "pruned {pruned} vs base {base}"
+    );
+}
+
+#[test]
+fn mckoi_runs_somewhat_longer() {
+    let (base, pruned, termination) = base_and_pruned("Mckoi", 50_000);
+    assert_eq!(termination, Termination::OutOfMemory, "thread roots are live");
+    let ratio = pruned as f64 / base as f64;
+    assert!((1.2..2.5).contains(&ratio), "Mckoi ratio {ratio}");
+}
+
+#[test]
+fn delaunay_is_short_running() {
+    let (base, pruned, termination) = base_and_pruned("Delaunay", 10_000);
+    assert_eq!(termination, Termination::Completed);
+    assert_eq!(base, pruned, "both complete the same workload");
+}
+
+#[test]
+fn all_ten_leaks_run_under_both_flavors() {
+    // Smoke: every Table 1 program sets up and iterates under both
+    // configurations without panicking.
+    for mut leak in leaks::standard_leaks() {
+        for flavor in [Flavor::Base, Flavor::pruning()] {
+            let opts = RunOptions::new(flavor).iteration_cap(3);
+            let result = run_workload(leak.as_mut(), &opts);
+            assert!(
+                result.iterations <= 3,
+                "{} ran too many iterations",
+                result.workload
+            );
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Integration: the overhead machinery of §5 (Figures 6 and 7).
+//!
+//! These tests validate the *mechanics* the overhead experiments rely on —
+//! the conditional barrier's at-most-once-per-collection cold path, the
+//! forced OBSERVE/SELECT states, and the GC-time ordering Base <= Observe
+//! <= Select in marked work — without asserting wall-clock numbers (the
+//! bench harness does that).
+
+use leak_pruning::{BarrierMode, ForcedState, PruningConfig, Runtime};
+use lp_heap::AllocSpec;
+use lp_workloads::dacapo::{dacapo_suite, Dacapo, DacapoConfig};
+use lp_workloads::driver::{run_workload, Flavor, RunOptions, Termination};
+
+fn test_config() -> DacapoConfig {
+    DacapoConfig {
+        name: "overhead-bench",
+        working_set: 800,
+        object_bytes: 64,
+        allocs_per_iter: 60,
+        reads_per_iter: 600,
+    }
+}
+
+#[test]
+fn cold_path_is_at_most_once_per_reference_per_collection() {
+    let mut rt = Runtime::new(
+        PruningConfig::builder(1 << 20)
+            .force_state(ForcedState::Observe)
+            .build(),
+    );
+    let cls = rt.register_class("T");
+    let root = rt.add_static();
+    let a = rt.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+    let b = rt.alloc(cls, &AllocSpec::default()).unwrap();
+    rt.set_static(root, Some(a));
+    rt.write_field(a, 0, Some(b));
+
+    for gc in 1..=5u64 {
+        rt.force_gc();
+        for _ in 0..100 {
+            rt.read_field(a, 0).unwrap();
+        }
+        assert_eq!(
+            rt.counters().barrier_cold_hits,
+            gc,
+            "exactly one cold hit per collection"
+        );
+    }
+}
+
+#[test]
+fn barrier_mode_none_never_takes_cold_path() {
+    let config = test_config();
+    let heap = config.min_heap() * 2;
+    let custom = PruningConfig::builder(heap)
+        .barrier_mode(BarrierMode::None)
+        .pruning(false)
+        .build();
+    let opts = RunOptions::new(Flavor::Custom(Box::new(custom))).iteration_cap(50);
+    let result = run_workload(&mut Dacapo::new(config), &opts);
+    assert_eq!(result.termination, Termination::ReachedCap);
+}
+
+#[test]
+fn forced_states_do_observation_work_without_pruning() {
+    let config = test_config();
+    let heap = config.min_heap() * 2;
+    for forced in [ForcedState::Observe, ForcedState::Select] {
+        let custom = PruningConfig::builder(heap).force_state(forced).build();
+        let opts = RunOptions::new(Flavor::Custom(Box::new(custom))).iteration_cap(200);
+        let result = run_workload(&mut Dacapo::new(config.clone()), &opts);
+        assert_eq!(result.termination, Termination::ReachedCap, "{forced:?}");
+        assert_eq!(result.report.total_pruned_refs, 0, "{forced:?} must not prune");
+        assert!(result.gc_count > 0, "the heap must have filled at least once");
+    }
+}
+
+#[test]
+fn smaller_heaps_collect_more_often() {
+    // Figure 7's x-axis mechanism: GC count rises as the heap-size
+    // multiplier falls.
+    let config = test_config();
+    let mut gc_counts = Vec::new();
+    for multiplier in [1.5, 2.0, 3.0, 5.0] {
+        let mut bench = Dacapo::with_heap_multiplier(config.clone(), multiplier);
+        let opts = RunOptions::new(Flavor::Base).iteration_cap(300);
+        let result = run_workload(&mut bench, &opts);
+        assert_eq!(result.termination, Termination::ReachedCap);
+        gc_counts.push(result.gc_count);
+    }
+    assert!(
+        gc_counts.windows(2).all(|w| w[0] >= w[1]),
+        "GC count must fall as the heap grows: {gc_counts:?}"
+    );
+    assert!(gc_counts[0] > gc_counts[3], "the sweep must span a real range");
+}
+
+#[test]
+fn full_suite_smoke() {
+    // Every Figure 6 benchmark runs a few iterations under Base and under
+    // all-the-time barriers with forced SELECT.
+    for config in dacapo_suite() {
+        let heap = config.min_heap() * 2;
+
+        let opts = RunOptions::new(Flavor::Base)
+            .heap_capacity(heap)
+            .iteration_cap(5);
+        let base = run_workload(&mut Dacapo::new(config.clone()), &opts);
+        assert_eq!(base.termination, Termination::ReachedCap, "{}", config.name);
+
+        let custom = PruningConfig::builder(heap)
+            .force_state(ForcedState::Select)
+            .build();
+        let opts = RunOptions::new(Flavor::Custom(Box::new(custom))).iteration_cap(5);
+        let select = run_workload(&mut Dacapo::new(config.clone()), &opts);
+        assert_eq!(select.termination, Termination::ReachedCap, "{}", config.name);
+    }
+}

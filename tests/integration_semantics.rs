@@ -1,0 +1,161 @@
+//! Integration: leak pruning's semantics guarantees, end to end.
+//!
+//! * Pruning only ever engages after the program would have been out of
+//!   memory (the deferred `OutOfMemoryError` exists before any poisoning).
+//! * An access to pruned memory raises an error whose cause is that
+//!   deferred out-of-memory error.
+//! * A non-leaking program behaves identically with pruning on or off.
+
+use leak_pruning::{
+    PredictionPolicy, PruningConfig, Runtime, RuntimeError, State,
+};
+use lp_heap::AllocSpec;
+
+const KB: u64 = 1024;
+
+#[test]
+fn pruned_access_error_chains_to_the_averted_oom() {
+    let mut rt = Runtime::new(PruningConfig::builder(256 * KB).build());
+    let holder = rt.register_class("Holder");
+    let blob = rt.register_class("Blob");
+    let scratch = rt.register_class("Scratch");
+
+    let root = rt.add_static();
+    let h = rt.alloc(holder, &AllocSpec::with_refs(1)).unwrap();
+    rt.set_static(root, Some(h));
+    let b = rt.alloc(blob, &AllocSpec::leaf(236 * 1024)).unwrap();
+    rt.write_field(h, 0, Some(b));
+
+    // Drive transient allocation until the blob is pruned.
+    while rt.prune_report().total_pruned_refs == 0 {
+        rt.alloc(scratch, &AllocSpec::leaf(4096)).expect("transient");
+        rt.release_registers(); // the unit of work returns
+    }
+
+    // The deferred error was recorded no later than the pruning.
+    let averted = rt.averted_oom().expect("recorded at first prune").clone();
+
+    match rt.read_field(h, 0) {
+        Err(RuntimeError::PrunedAccess(e)) => {
+            assert_eq!(e.cause(), &averted, "cause is the deferred OOM");
+            // And through std::error::Error chaining:
+            let source = std::error::Error::source(&e).expect("has source");
+            assert!(source.to_string().contains("out of memory"));
+        }
+        other => panic!("expected pruned access, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_leaking_program_unaffected_by_pruning() {
+    // A program with a steady working set: every value it stores is
+    // readable later, with or without pruning.
+    fn run(config: PruningConfig) -> Vec<u64> {
+        let mut rt = Runtime::new(config);
+        let cls = rt.register_class("Cell");
+        let table_cls = rt.register_class("Table");
+        let root = rt.add_static();
+        let table = rt.alloc(table_cls, &AllocSpec::with_refs(64)).unwrap();
+        rt.set_static(root, Some(table));
+
+        for round in 0..2_000u64 {
+            let idx = (round % 64) as usize;
+            let cell = rt.alloc(cls, &AllocSpec::new(0, 1, 128)).unwrap();
+            rt.write_word(cell, 0, round);
+            rt.write_field(table, idx, Some(cell));
+            // Read a handful of other slots every round.
+            for probe in 0..8usize {
+                let slot = (idx + probe * 7) % 64;
+                if let Some(c) = rt.read_field(table, slot).expect("never pruned") {
+                    let _ = rt.read_word(c, 0);
+                }
+            }
+        }
+        // Collect the final table contents.
+        (0..64)
+            .map(|i| {
+                let c = rt.read_field(table, i).expect("never pruned");
+                c.map_or(u64::MAX, |c| rt.read_word(c, 0))
+            })
+            .collect()
+    }
+
+    let heap = 64 * KB;
+    let with = run(PruningConfig::builder(heap).build());
+    let without = run(PruningConfig::base(heap));
+    assert_eq!(with, without, "pruning changed a non-leaking program's results");
+}
+
+#[test]
+fn base_never_leaves_inactive_and_never_poisons() {
+    let mut rt = Runtime::new(PruningConfig::base(64 * KB));
+    let cls = rt.register_class("T");
+    loop {
+        match rt.alloc(cls, &AllocSpec::new(1, 0, 256)) {
+            Ok(n) => {
+                // Leak everything via a chain of statics... simply drop:
+                // transient only; base still collects fine.
+                let _ = n;
+            }
+            Err(RuntimeError::OutOfMemory(_)) => break,
+            Err(e) => panic!("unexpected error: {e:?}"),
+        }
+        if rt.gc_count() > 50 {
+            return; // transient-only program never OOMs; that's fine
+        }
+    }
+    assert_eq!(rt.state(), State::Inactive);
+    assert_eq!(rt.prune_report().total_pruned_refs, 0);
+}
+
+#[test]
+fn every_policy_preserves_semantics_on_access() {
+    // Whatever the policy poisons, touching it yields PrunedAccess with a
+    // cause — never silent corruption (nulls) or a crash.
+    for policy in [
+        PredictionPolicy::LeakPruning,
+        PredictionPolicy::MostStale,
+        PredictionPolicy::IndividualRefs,
+    ] {
+        let mut rt = Runtime::new(PruningConfig::builder(256 * KB).policy(policy).build());
+        let node = rt.register_class("Node");
+        let scratch = rt.register_class("Scratch");
+        let head = rt.add_static();
+        let mut nodes = Vec::new();
+
+        'outer: for _ in 0..6_000 {
+            let n = match rt.alloc(node, &AllocSpec::new(1, 0, 512)) {
+                Ok(n) => n,
+                Err(_) => break 'outer,
+            };
+            rt.write_field(n, 0, rt.static_ref(head));
+            rt.set_static(head, Some(n));
+            nodes.push(n);
+            if rt.alloc(scratch, &AllocSpec::leaf(2048)).is_err() {
+                break;
+            }
+        }
+
+        // Read every node's next pointer: each read either succeeds or is
+        // a well-formed pruned-access error.
+        let mut pruned_hits = 0u64;
+        for n in nodes {
+            if !rt.is_live(n) {
+                pruned_hits += 1;
+                continue;
+            }
+            match rt.read_field(n, 0) {
+                Ok(_) => {}
+                Err(RuntimeError::PrunedAccess(e)) => {
+                    pruned_hits += 1;
+                    assert!(e.cause().capacity() > 0);
+                }
+                Err(RuntimeError::OutOfMemory(_)) => panic!("reads cannot OOM"),
+            }
+        }
+        assert!(
+            pruned_hits > 0,
+            "{policy:?} should have pruned something in this stale list"
+        );
+    }
+}
