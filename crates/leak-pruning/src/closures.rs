@@ -17,7 +17,7 @@
 //! Poisoned references are never traced by any closure; the objects behind
 //! them stay reclaimed.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 use lp_gc::{EdgeAction, EdgeVisitor};
 use lp_heap::{Handle, Heap, Object, TaggedRef};
@@ -255,8 +255,9 @@ pub(crate) struct PruneVisitor<'a> {
     pub stale_clock: Option<u64>,
     pub table: &'a EdgeTable,
     pub selection: Selection,
-    /// References poisoned by this collection, per edge type.
-    pub pruned: BTreeMap<EdgeKey, u64>,
+    /// References poisoned by this collection, per edge type. Unordered —
+    /// consumers aggregate or sort; nothing observes iteration order.
+    pub pruned: HashMap<EdgeKey, u64>,
 }
 
 impl<'a> PruneVisitor<'a> {
@@ -265,7 +266,7 @@ impl<'a> PruneVisitor<'a> {
             stale_clock,
             table,
             selection,
-            pruned: BTreeMap::new(),
+            pruned: HashMap::new(),
         }
     }
 
@@ -294,9 +295,7 @@ impl EdgeVisitor for PruneVisitor<'_> {
             Selection::Edge(selected) => {
                 edge == selected && is_candidate(self.table, edge, reference, stale)
             }
-            Selection::StaleLevel(level) => {
-                reference.is_unlogged() && stale >= level.max(2)
-            }
+            Selection::StaleLevel(level) => reference.is_unlogged() && stale >= level.max(2),
         };
         if matches {
             src.store_ref(field, reference.with_poison());
@@ -348,12 +347,16 @@ mod tests {
         let mut fx = Fixture::new();
         let a = fx.alloc("A", 1);
         let b = fx.alloc("B", 0);
-        fx.heap
-            .object(a)
-            .store_ref(0, TaggedRef::from_handle(b));
+        fx.heap.object(a).store_ref(0, TaggedRef::from_handle(b));
 
         fx.heap.begin_mark_epoch();
-        trace(&fx.heap, [a], &mut ObserveVisitor { stale_clock: Some(1) });
+        trace(
+            &fx.heap,
+            [a],
+            &mut ObserveVisitor {
+                stale_clock: Some(1),
+            },
+        );
 
         assert!(fx.heap.object(a).load_ref(0).is_unlogged());
         assert_eq!(fx.heap.object(a).stale(), 1);
@@ -391,7 +394,10 @@ mod tests {
         fx.heap.object(b).set_stale(3);
 
         let table = EdgeTable::new(64);
-        let edge = EdgeKey::new(fx.classes.lookup("A").unwrap(), fx.classes.lookup("B").unwrap());
+        let edge = EdgeKey::new(
+            fx.classes.lookup("A").unwrap(),
+            fx.classes.lookup("B").unwrap(),
+        );
         // The program once used an A->B reference at staleness 2, so only
         // staleness >= 4 is a candidate.
         table.note_stale_use(edge, 2);
@@ -487,7 +493,13 @@ mod tests {
             fx.heap.begin_mark_epoch();
             match closure {
                 0 => {
-                    trace(&fx.heap, [a], &mut ObserveVisitor { stale_clock: Some(1) });
+                    trace(
+                        &fx.heap,
+                        [a],
+                        &mut ObserveVisitor {
+                            stale_clock: Some(1),
+                        },
+                    );
                 }
                 1 => {
                     let mut v = InUseVisitor::new(Some(1), &table);
@@ -505,7 +517,10 @@ mod tests {
                     trace(&fx.heap, [a], &mut v);
                 }
             }
-            assert!(!fx.heap.is_marked(b.slot()), "closure {closure} traced a poisoned ref");
+            assert!(
+                !fx.heap.is_marked(b.slot()),
+                "closure {closure} traced a poisoned ref"
+            );
         }
     }
 
@@ -514,10 +529,7 @@ mod tests {
         let mut fx = Fixture::new();
         let a = fx.alloc("A", 1);
         let cls_b = fx.classes.register("B");
-        let b = fx
-            .heap
-            .alloc(cls_b, &AllocSpec::new(1, 0, 100))
-            .unwrap();
+        let b = fx.heap.alloc(cls_b, &AllocSpec::new(1, 0, 100)).unwrap();
         let child = fx.alloc("C", 0);
         fx.link_stale(a, 0, b);
         fx.link_stale(b, 0, child);
@@ -602,10 +614,7 @@ mod criterion_edge_cases {
         ] {
             let (mut heap, classes, a, _b) = two_object_heap(stale, true);
             let table = EdgeTable::new(64);
-            let edge = EdgeKey::new(
-                classes.lookup("A").unwrap(),
-                classes.lookup("B").unwrap(),
-            );
+            let edge = EdgeKey::new(classes.lookup("A").unwrap(), classes.lookup("B").unwrap());
             if max_stale_use > 0 {
                 table.note_stale_use(edge, max_stale_use);
             }
@@ -655,7 +664,13 @@ mod criterion_edge_cases {
         assert_eq!(heap.object(b).stale(), 0);
 
         heap.begin_mark_epoch();
-        trace(&heap, [a], &mut ObserveVisitor { stale_clock: Some(1) });
+        trace(
+            &heap,
+            [a],
+            &mut ObserveVisitor {
+                stale_clock: Some(1),
+            },
+        );
         assert_eq!(heap.object(b).stale(), 1);
     }
 }

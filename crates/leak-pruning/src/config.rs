@@ -91,6 +91,7 @@ pub struct PruningConfig {
     decay_max_stale_use_every: Option<u64>,
     run_finalizers_after_prune: bool,
     marker_threads: usize,
+    sweep_threads: usize,
     max_gc_attempts_per_alloc: u32,
 }
 
@@ -113,6 +114,7 @@ impl PruningConfig {
                 decay_max_stale_use_every: None,
                 run_finalizers_after_prune: true,
                 marker_threads: 1,
+                sweep_threads: 1,
                 max_gc_attempts_per_alloc: 64,
             },
         }
@@ -198,6 +200,14 @@ impl PruningConfig {
     /// comparison policies of §6.1 always mark serially.
     pub fn marker_threads(&self) -> usize {
         self.marker_threads
+    }
+
+    /// Number of sweep threads. Every full-heap collection — plain,
+    /// OBSERVE, SELECT and PRUNE — sweeps with this many threads; the
+    /// parallel sweep is deterministically equivalent to the serial one,
+    /// so the knob changes pause times only, never outcomes.
+    pub fn sweep_threads(&self) -> usize {
+        self.sweep_threads
     }
 
     /// Upper bound on collections attempted to satisfy one allocation
@@ -317,6 +327,18 @@ impl PruningConfigBuilder {
         self
     }
 
+    /// Sets the number of sweep threads (see
+    /// [`PruningConfig::sweep_threads`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn sweep_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one sweep thread");
+        self.config.sweep_threads = threads;
+        self
+    }
+
     /// Sets the per-allocation GC attempt bound.
     pub fn max_gc_attempts_per_alloc(mut self, attempts: u32) -> Self {
         self.config.max_gc_attempts_per_alloc = attempts.max(1);
@@ -351,7 +373,10 @@ mod tests {
     fn nursery_option_round_trips() {
         let c = PruningConfig::builder(1024).nursery_fraction(0.25).build();
         assert_eq!(c.nursery_fraction(), Some(0.25));
-        assert_eq!(PruningConfig::builder(1024).build().nursery_fraction(), None);
+        assert_eq!(
+            PruningConfig::builder(1024).build().nursery_fraction(),
+            None
+        );
     }
 
     #[test]
@@ -391,6 +416,7 @@ mod tests {
             .edge_table_slots(128)
             .force_state(ForcedState::Select)
             .marker_threads(4)
+            .sweep_threads(4)
             .build();
         assert_eq!(c.heap_capacity(), 2048);
         assert_eq!(c.policy(), PredictionPolicy::MostStale);
@@ -400,6 +426,18 @@ mod tests {
         assert_eq!(c.edge_table_slots(), 128);
         assert_eq!(c.forced_state(), Some(ForcedState::Select));
         assert_eq!(c.marker_threads(), 4);
+        assert_eq!(c.sweep_threads(), 4);
+    }
+
+    #[test]
+    fn sweep_threads_defaults_to_serial() {
+        assert_eq!(PruningConfig::builder(1024).build().sweep_threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one sweep thread")]
+    fn rejects_zero_sweep_threads() {
+        PruningConfig::builder(1).sweep_threads(0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! state machine, and owns the edge table, the current selection, and the
 //! deferred out-of-memory error.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 use lp_gc::{trace, CollectionOutcome, Collector, TraceAll};
 use lp_heap::{Heap, RootSet};
@@ -10,10 +10,10 @@ use lp_heap::{Heap, RootSet};
 use crate::closures::{
     InUseVisitor, MostStaleVisitor, ObserveVisitor, PruneVisitor, Selection, StaleVisitor,
 };
-use crate::par_closures::{par_select_mark, ParObserveVisitor, ParPruneVisitor};
 use crate::config::{PredictionPolicy, PruningConfig};
 use crate::edge_table::{EdgeKey, EdgeTable};
 use crate::error::OutOfMemoryError;
+use crate::par_closures::{par_select_mark, ParObserveVisitor, ParPruneVisitor};
 use crate::record::{GcRecord, SelectionInfo};
 use crate::state::{next_state, State, TransitionContext};
 
@@ -29,7 +29,11 @@ pub(crate) struct Pruner {
     selection: Option<SelectionInfo>,
     averted_oom: Option<OutOfMemoryError>,
     exhausted_once: bool,
-    pruned_census: BTreeMap<EdgeKey, u64>,
+    /// Per-edge pruned-reference counts. A hash map because PRUNE
+    /// collections update it on the hot path; anything user-facing sorts at
+    /// report time ([`crate::Runtime::prune_report`]), so iteration order
+    /// never leaks out.
+    pruned_census: HashMap<EdgeKey, u64>,
     total_pruned_refs: u64,
     /// Collections between which the mutator ran — the clock staleness
     /// counters tick on. Consecutive collections inside one allocation
@@ -55,7 +59,7 @@ impl Pruner {
             selection: None,
             averted_oom: None,
             exhausted_once: false,
-            pruned_census: BTreeMap::new(),
+            pruned_census: HashMap::new(),
             total_pruned_refs: 0,
             stale_clock: 0,
             decay_period: config.decay_max_stale_use_every(),
@@ -75,7 +79,7 @@ impl Pruner {
         self.averted_oom.as_ref()
     }
 
-    pub fn pruned_census(&self) -> &BTreeMap<EdgeKey, u64> {
+    pub fn pruned_census(&self) -> &HashMap<EdgeKey, u64> {
         &self.pruned_census
     }
 
@@ -130,7 +134,11 @@ impl Pruner {
         };
 
         let (outcome, pruned_refs, selected) = if !self.pruning_enabled {
-            (self.collect_base(heap, roots, collector, marker_threads), 0, None)
+            (
+                self.collect_base(heap, roots, collector, marker_threads),
+                0,
+                None,
+            )
         } else {
             match state {
                 State::Inactive => (
@@ -239,7 +247,7 @@ impl Pruner {
         let policy = self.policy;
         self.select_collections += 1;
         if let Some(period) = self.decay_period {
-            if self.select_collections % period == 0 {
+            if self.select_collections.is_multiple_of(period) {
                 // The phased-behaviour extension: forget one level of
                 // recorded use so long-finished phases stop protecting
                 // their data structures forever.
@@ -255,7 +263,8 @@ impl Pruner {
             // only the default policy is parallelized — the comparison
             // policies of §6.1 stay serial.
             PredictionPolicy::LeakPruning if marker_threads > 1 => {
-                let stats = par_select_mark(heap, &root_handles, table, stale_clock, marker_threads);
+                let stats =
+                    par_select_mark(heap, &root_handles, table, stale_clock, marker_threads);
                 if let Some((edge, bytes)) = table.select_max_bytes() {
                     info = Some(SelectionInfo::Edge { edge, bytes });
                 }
@@ -374,7 +383,8 @@ mod tests {
         let mut heap = Heap::new(1 << 20);
         let mut roots = RootSet::new();
 
-        let alloc = |heap: &mut Heap, cls, refs| heap.alloc(cls, &AllocSpec::with_refs(refs)).unwrap();
+        let alloc =
+            |heap: &mut Heap, cls, refs| heap.alloc(cls, &AllocSpec::with_refs(refs)).unwrap();
         let a1 = alloc(&mut heap, a, 4);
         let e1 = alloc(&mut heap, e, 1);
         let bs: Vec<Handle> = (0..4).map(|_| alloc(&mut heap, b, 1)).collect();
@@ -451,17 +461,29 @@ mod tests {
         assert_eq!(record.state, State::Prune);
         assert_eq!(record.pruned_refs, 3);
         assert!(heap.object(bs[0]).load_ref(0).is_poisoned());
-        assert!(!heap.object(bs[1]).load_ref(0).is_poisoned(), "c2 not stale enough");
+        assert!(
+            !heap.object(bs[1]).load_ref(0).is_poisoned(),
+            "c2 not stale enough"
+        );
         assert!(heap.object(bs[2]).load_ref(0).is_poisoned());
         assert!(heap.object(bs[3]).load_ref(0).is_poisoned());
-        assert!(!heap.object(e1).load_ref(0).is_poisoned(), "E->C protected by maxstaleuse");
+        assert!(
+            !heap.object(e1).load_ref(0).is_poisoned(),
+            "E->C protected by maxstaleuse"
+        );
 
-        assert!(!heap.contains(c1) && !heap.contains(c3), "stale subtrees reclaimed");
+        assert!(
+            !heap.contains(c1) && !heap.contains(c3),
+            "stale subtrees reclaimed"
+        );
         assert!(!heap.contains(ds[0]) && !heap.contains(ds[3]));
         assert!(heap.contains(c4) && heap.contains(ds[4]) && heap.contains(ds[5]));
         assert_eq!(record.freed_objects, 6);
         assert_eq!(pruner.total_pruned_refs(), 3);
-        assert!(pruner.averted_oom().is_some(), "deferred error recorded at first PRUNE");
+        assert!(
+            pruner.averted_oom().is_some(),
+            "deferred error recorded at first PRUNE"
+        );
     }
 
     #[test]

@@ -66,12 +66,16 @@ impl Error for OutOfMemoryError {}
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrunedAccessError {
     cause: OutOfMemoryError,
-    source_class: ClassId,
+    source_class: Option<ClassId>,
     field: usize,
 }
 
 impl PrunedAccessError {
-    pub(crate) fn new(cause: OutOfMemoryError, source_class: ClassId, field: usize) -> Self {
+    pub(crate) fn new(
+        cause: OutOfMemoryError,
+        source_class: Option<ClassId>,
+        field: usize,
+    ) -> Self {
         PrunedAccessError {
             cause,
             source_class,
@@ -84,8 +88,10 @@ impl PrunedAccessError {
         &self.cause
     }
 
-    /// Class of the object whose pruned field was read.
-    pub fn source_class(&self) -> ClassId {
+    /// Class of the object whose pruned field was read, or `None` when the
+    /// access went through a register alias of an object that pruning had
+    /// already reclaimed — there is no source object left to name.
+    pub fn source_class(&self) -> Option<ClassId> {
         self.source_class
     }
 
@@ -97,11 +103,18 @@ impl PrunedAccessError {
 
 impl fmt::Display for PrunedAccessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "internal error: access to pruned reference (field {} of {})",
-            self.field, self.source_class
-        )
+        match self.source_class {
+            Some(class) => write!(
+                f,
+                "internal error: access to pruned reference (field {} of {})",
+                self.field, class
+            ),
+            None => write!(
+                f,
+                "internal error: access to pruned reference (field {} of a reclaimed object)",
+                self.field
+            ),
+        }
     }
 }
 
@@ -169,8 +182,9 @@ mod tests {
     #[test]
     fn pruned_access_carries_oom_cause() {
         let oom = OutOfMemoryError::new(7, 1000, 1024);
-        let err = PrunedAccessError::new(oom.clone(), ClassId::from_index(3), 2);
+        let err = PrunedAccessError::new(oom.clone(), Some(ClassId::from_index(3)), 2);
         assert_eq!(err.cause(), &oom);
+        assert_eq!(err.source_class(), Some(ClassId::from_index(3)));
         let source = Error::source(&err).expect("has a source");
         assert!(source.to_string().contains("out of memory"));
     }
@@ -180,8 +194,7 @@ mod tests {
         let oom = OutOfMemoryError::new(1, 10, 10);
         let e1: RuntimeError = oom.clone().into();
         assert!(e1.is_out_of_memory() && !e1.is_pruned_access());
-        let e2: RuntimeError =
-            PrunedAccessError::new(oom, ClassId::from_index(0), 0).into();
+        let e2: RuntimeError = PrunedAccessError::new(oom, Some(ClassId::from_index(0)), 0).into();
         assert!(e2.is_pruned_access());
         assert!(e2.source().is_some());
     }
@@ -190,7 +203,19 @@ mod tests {
     fn displays_are_informative() {
         let oom = OutOfMemoryError::new(3, 99, 100);
         assert!(oom.to_string().contains("collection 3"));
-        let pruned = PrunedAccessError::new(oom, ClassId::from_index(5), 1);
+        let pruned = PrunedAccessError::new(oom.clone(), Some(ClassId::from_index(5)), 1);
         assert!(pruned.to_string().contains("pruned"));
+    }
+
+    #[test]
+    fn reclaimed_alias_access_has_no_source_class() {
+        // A register alias of a reclaimed object has no surviving source
+        // object: the error says so instead of blaming an arbitrary class.
+        let oom = OutOfMemoryError::new(2, 50, 50);
+        let err = PrunedAccessError::new(oom, None, 4);
+        assert_eq!(err.source_class(), None);
+        let text = err.to_string();
+        assert!(text.contains("reclaimed object"), "got: {text}");
+        assert!(text.contains("field 4"));
     }
 }

@@ -62,19 +62,17 @@
 
 mod closures;
 mod config;
-mod par_closures;
 mod edge_table;
 mod engine;
 mod error;
+mod par_closures;
 mod record;
 mod report;
 mod runtime;
 mod state;
 
 pub use closures::Selection;
-pub use config::{
-    BarrierMode, ForcedState, PredictionPolicy, PruningConfig, PruningConfigBuilder,
-};
+pub use config::{BarrierMode, ForcedState, PredictionPolicy, PruningConfig, PruningConfigBuilder};
 pub use edge_table::{EdgeEntry, EdgeKey, EdgeTable, DEFAULT_SLOTS};
 pub use error::{OutOfMemoryError, PrunedAccessError, RuntimeError};
 pub use record::{GcRecord, SelectionInfo};

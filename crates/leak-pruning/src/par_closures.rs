@@ -15,7 +15,7 @@
 //! tests below (up to candidate discovery order, which can differ when
 //! subtrees overlap — the same nondeterminism §4.5 accepts).
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 use lp_gc::{par_trace, trace, EdgeAction, ParEdgeVisitor, TraceStats};
 use lp_heap::{Handle, Heap, Object, TaggedRef};
@@ -124,7 +124,7 @@ pub(crate) struct ParPruneVisitor<'a> {
     pub stale_clock: Option<u64>,
     pub table: &'a EdgeTable,
     pub selection: Selection,
-    pub pruned: Mutex<BTreeMap<EdgeKey, u64>>,
+    pub pruned: Mutex<HashMap<EdgeKey, u64>>,
 }
 
 impl<'a> ParPruneVisitor<'a> {
@@ -133,11 +133,11 @@ impl<'a> ParPruneVisitor<'a> {
             stale_clock,
             table,
             selection,
-            pruned: Mutex::new(BTreeMap::new()),
+            pruned: Mutex::new(HashMap::new()),
         }
     }
 
-    pub fn into_pruned(self) -> BTreeMap<EdgeKey, u64> {
+    pub fn into_pruned(self) -> HashMap<EdgeKey, u64> {
         self.pruned.into_inner()
     }
 }
@@ -221,7 +221,10 @@ pub(crate) fn par_select_mark(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .collect()
     });
     for s in chunk_stats {
         stats = stats.merged(s);
@@ -252,8 +255,10 @@ mod tests {
                 n_set_stale(&heap, n);
                 prev = Some(n);
             }
-            heap.object(hub)
-                .store_ref(l as usize, TaggedRef::from_handle(prev.unwrap()).with_unlogged());
+            heap.object(hub).store_ref(
+                l as usize,
+                TaggedRef::from_handle(prev.unwrap()).with_unlogged(),
+            );
         }
         (heap, classes, vec![hub])
     }
@@ -327,7 +332,14 @@ mod tests {
             obj.clear_stale();
         }
         heap.begin_mark_epoch();
-        par_trace(&heap, &roots, &ParObserveVisitor { stale_clock: Some(1) }, 3);
+        par_trace(
+            &heap,
+            &roots,
+            &ParObserveVisitor {
+                stale_clock: Some(1),
+            },
+            3,
+        );
         for (_, obj) in heap.iter() {
             assert_eq!(obj.stale(), 1);
             for (_, r) in obj.iter_refs() {

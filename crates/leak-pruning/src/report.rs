@@ -57,7 +57,11 @@ impl fmt::Display for PruneReport {
             self.edge_table_footprint,
         )?;
         for edge in &self.pruned_edges {
-            writeln!(f, "  pruned {:>8} refs: {} -> {}", edge.refs, edge.src, edge.tgt)?;
+            writeln!(
+                f,
+                "  pruned {:>8} refs: {} -> {}",
+                edge.refs, edge.src, edge.tgt
+            )?;
         }
         Ok(())
     }

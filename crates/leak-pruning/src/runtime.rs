@@ -123,12 +123,18 @@ impl std::fmt::Debug for Runtime {
 impl Runtime {
     /// Creates a runtime with the given configuration.
     pub fn new(config: PruningConfig) -> Self {
+        // Every full-heap collection — allocation-triggered, forced, and the
+        // pruner's SELECT/PRUNE collections — goes through this one
+        // collector, so configuring it here plumbs the sweep parallelism
+        // everywhere.
+        let mut collector = Collector::new();
+        collector.set_sweep_threads(config.sweep_threads());
         Runtime {
             heap: Heap::new(config.heap_capacity()),
             pruner: Pruner::new(&config),
             classes: ClassRegistry::new(),
             roots: RootSet::new(),
-            collector: Collector::new(),
+            collector,
             history: Vec::new(),
             counters: MutatorCounters::default(),
             finalizer_hook: None,
@@ -376,7 +382,11 @@ impl Runtime {
     /// # Panics
     ///
     /// Panics if `field` is out of bounds for `src`'s class.
-    pub fn read_field(&mut self, src: Handle, field: usize) -> Result<Option<Handle>, RuntimeError> {
+    pub fn read_field(
+        &mut self,
+        src: Handle,
+        field: usize,
+    ) -> Result<Option<Handle>, RuntimeError> {
         self.counters.ref_reads += 1;
         self.reads_since_gc += 1;
         let Some(src_obj) = self.heap.object_checked(src) else {
@@ -391,9 +401,7 @@ impl Runtime {
                 .cloned()
                 .unwrap_or_else(|| self.current_oom(0));
             return Err(RuntimeError::PrunedAccess(PrunedAccessError::new(
-                cause,
-                ClassId::from_index(0),
-                field,
+                cause, None, field,
             )));
         };
         let reference = src_obj.load_ref(field);
@@ -413,7 +421,7 @@ impl Runtime {
                 .unwrap_or_else(|| self.current_oom(0));
             return Err(RuntimeError::PrunedAccess(PrunedAccessError::new(
                 cause,
-                src_obj.class(),
+                Some(src_obj.class()),
                 field,
             )));
         }
@@ -577,7 +585,7 @@ impl Runtime {
             }
         }
         let mut census: Vec<(ClassId, u64)> = by_class.into_iter().collect();
-        census.sort_by(|a, b| b.1.cmp(&a.1));
+        census.sort_by_key(|entry| std::cmp::Reverse(entry.1));
         census
     }
 
@@ -593,7 +601,14 @@ impl Runtime {
                 refs: *refs,
             })
             .collect();
-        pruned_edges.sort_by(|a, b| b.refs.cmp(&a.refs));
+        // The census accumulates in an unordered hash map; sorting here —
+        // refs descending, then class names — keeps the report deterministic.
+        pruned_edges.sort_by(|a, b| {
+            b.refs
+                .cmp(&a.refs)
+                .then_with(|| a.src.cmp(&b.src))
+                .then_with(|| a.tgt.cmp(&b.tgt))
+        });
         PruneReport {
             averted_oom: self.pruner.averted_oom().cloned(),
             pruned_edges,
@@ -642,11 +657,11 @@ mod tests {
 
     #[test]
     fn pruning_runs_list_leak_indefinitely() {
-        let (rt, iters, err) = run_list_leak(
-            PruningConfig::builder(256 * KB).build(),
-            5_000,
+        let (rt, iters, err) = run_list_leak(PruningConfig::builder(256 * KB).build(), 5_000);
+        assert!(
+            err.is_none(),
+            "leak pruning should keep the program alive: {err:?}"
         );
-        assert!(err.is_none(), "leak pruning should keep the program alive: {err:?}");
         assert_eq!(iters, 5_000);
         let report = rt.prune_report();
         assert!(report.total_pruned_refs > 0);
@@ -659,8 +674,7 @@ mod tests {
     #[test]
     fn pruning_beats_base_on_iterations() {
         let (_, base_iters, _) = run_list_leak(PruningConfig::base(256 * KB), 10_000);
-        let (_, prune_iters, _) =
-            run_list_leak(PruningConfig::builder(256 * KB).build(), 10_000);
+        let (_, prune_iters, _) = run_list_leak(PruningConfig::builder(256 * KB).build(), 10_000);
         assert!(
             prune_iters > 10 * base_iters,
             "pruning {prune_iters} vs base {base_iters}"
@@ -699,7 +713,8 @@ mod tests {
         let err = rt.read_field(h, 0).expect_err("poisoned access");
         match err {
             RuntimeError::PrunedAccess(e) => {
-                assert_eq!(rt.class_name(e.source_class()), "Holder");
+                let class = e.source_class().expect("holder object still live");
+                assert_eq!(rt.class_name(class), "Holder");
                 assert_eq!(e.cause().capacity(), 128 * KB);
             }
             other => panic!("expected pruned access, got {other:?}"),
@@ -742,7 +757,9 @@ mod tests {
         assert!(states.contains(&State::Prune));
         // INACTIVE never recurs after OBSERVE.
         let first_observe = states.iter().position(|s| *s == State::Observe).unwrap();
-        assert!(states[first_observe..].iter().all(|s| *s != State::Inactive));
+        assert!(states[first_observe..]
+            .iter()
+            .all(|s| *s != State::Inactive));
     }
 
     #[test]
@@ -753,7 +770,10 @@ mod tests {
                 .build(),
             3000,
         );
-        assert!(err.is_none(), "option (1) still tolerates the leak: {err:?}");
+        assert!(
+            err.is_none(),
+            "option (1) still tolerates the leak: {err:?}"
+        );
         assert_eq!(iters, 3000);
         // The first PRUNE happened only after a true exhaustion, i.e. some
         // SELECT collection was followed by another SELECT.
@@ -835,9 +855,7 @@ mod tests {
         // (and the program later dies), the default policy's maxstaleuse
         // protects it.
         fn run(policy: PredictionPolicy) -> Option<RuntimeError> {
-            let mut rt = Runtime::new(
-                PruningConfig::builder(128 * KB).policy(policy).build(),
-            );
+            let mut rt = Runtime::new(PruningConfig::builder(128 * KB).policy(policy).build());
             let holder = rt.register_class("Cache");
             let val = rt.register_class("Value");
             let node = rt.register_class("Node");

@@ -78,7 +78,10 @@ fn bench_pruning(c: &mut Criterion) {
                     rt.alloc(junk, &AllocSpec::leaf(16 * 1024)).expect("junk");
                     rt.release_registers();
                 }
-                assert!(rt.prune_report().total_pruned_refs > 0, "prune never engaged");
+                assert!(
+                    rt.prune_report().total_pruned_refs > 0,
+                    "prune never engaged"
+                );
                 black_box(rt.prune_report().total_pruned_refs)
             },
         );

@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the sweep phase: serial vs parallel chunked
+//! sweep across a live-fraction × heap-size × thread-count grid.
+//!
+//! The sweep is the half of the stop-the-world pause that scales with heap
+//! *capacity* rather than live data, so this is where the chunked heap and
+//! `sweep_parallel` earn their keep. The grid covers the interesting axes:
+//!
+//! * **live fraction** — a mostly-dead heap (post-leak, post-prune) frees a
+//!   lot per chunk; a mostly-live heap exercises the fully-live chunk-skip
+//!   path instead;
+//! * **heap size** — small heaps fit a few chunks (little parallelism
+//!   available), large heaps amortize thread startup;
+//! * **threads** — 1 is the serial baseline (`sweep_parallel(1)` *is*
+//!   `sweep()`), then 2/4/8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lp_heap::{AllocSpec, ClassRegistry, Heap};
+use std::hint::black_box;
+
+/// Builds a heap of `objects` leaf objects and marks a deterministic
+/// `live_pct`% of them as reachable, leaving the rest for the sweep.
+fn marked_heap(objects: u32, live_pct: u32) -> Heap {
+    let mut reg = ClassRegistry::new();
+    let cls = reg.register("Node");
+    let mut heap = Heap::new(1 << 32);
+    for i in 0..objects {
+        heap.alloc(cls, &AllocSpec::leaf(16 + (i % 13) * 8))
+            .unwrap();
+    }
+    heap.begin_mark_epoch();
+    for slot in 0..objects {
+        // Knuth multiplicative hash: spreads the live set across chunks so
+        // no chunk is trivially all-dead unless the fraction forces it.
+        if (slot.wrapping_mul(2_654_435_761) >> 16) % 100 < live_pct {
+            heap.try_mark(slot);
+        }
+    }
+    heap
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(15);
+
+    for &objects in &[32_768u32, 131_072] {
+        for &live_pct in &[10u32, 50, 90] {
+            for &threads in &[1usize, 2, 4, 8] {
+                let name = format!("objs{objects}_live{live_pct}");
+                let id = BenchmarkId::new(&name, threads);
+                group.bench_with_input(id, &threads, |bench, &threads| {
+                    bench.iter_with_setup(
+                        || marked_heap(objects, live_pct),
+                        |mut heap| {
+                            let outcome = heap.sweep_parallel(threads);
+                            black_box(outcome.freed_objects)
+                        },
+                    );
+                });
+            }
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

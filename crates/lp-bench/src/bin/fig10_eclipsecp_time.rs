@@ -37,9 +37,10 @@ fn main() {
     );
     print!(
         "{}",
-        AsciiChart::new(76, 16)
-            .log_x(true)
-            .render(&[&base.iteration_times, &pruned.iteration_times.downsampled(400)])
+        AsciiChart::new(76, 16).log_x(true).render(&[
+            &base.iteration_times,
+            &pruned.iteration_times.downsampled(400)
+        ])
     );
     println!(
         "\nExpected shape: pruning's iterations cost more than Base's early ones\n\

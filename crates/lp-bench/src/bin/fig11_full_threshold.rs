@@ -41,15 +41,20 @@ fn main() {
         out.extend(series.points().iter().copied());
         out
     };
-    let full_times = relabel(&full.iteration_times, "option (1): prune at 100% full").downsampled(400);
-    let nearly_times = relabel(&nearly.iteration_times, "option (2): prune at 90% full").downsampled(400);
+    let full_times =
+        relabel(&full.iteration_times, "option (1): prune at 100% full").downsampled(400);
+    let nearly_times =
+        relabel(&nearly.iteration_times, "option (2): prune at 90% full").downsampled(400);
 
     println!(
         "Figure 11: time per iteration (s), EclipseDiff, 100%-full threshold\n\
          option (1) ran {} iterations; option (2) ran {}\n",
         full.iterations, nearly.iterations
     );
-    print!("{}", AsciiChart::new(76, 16).render(&[&full_times, &nearly_times]));
+    print!(
+        "{}",
+        AsciiChart::new(76, 16).render(&[&full_times, &nearly_times])
+    );
 
     // Quantify the first-spike effect. Iteration cost drifts upward as the
     // live set grows, so each iteration is first normalized by the median
@@ -62,8 +67,7 @@ fn main() {
             .map(|i| {
                 let lo = i.saturating_sub(window / 2);
                 let hi = (i + window / 2 + 1).min(points.len());
-                let mut neighborhood: Vec<f64> =
-                    points[lo..hi].iter().map(|p| p.1).collect();
+                let mut neighborhood: Vec<f64> = points[lo..hi].iter().map(|p| p.1).collect();
                 neighborhood.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 let median = neighborhood[neighborhood.len() / 2].max(f64::MIN_POSITIVE);
                 points[i].1 / median

@@ -98,6 +98,10 @@ fn main() {
          read-heavy benchmarks (jython, pmd, xalan) than allocation- or\n\
          compute-heavy ones (compress, mpegaudio)."
     );
-    let path = write_series_csv("fig6_barrier_overhead", "benchmark_index", &[&overhead_series]);
+    let path = write_series_csv(
+        "fig6_barrier_overhead",
+        "benchmark_index",
+        &[&overhead_series],
+    );
     println!("wrote {}", path.display());
 }

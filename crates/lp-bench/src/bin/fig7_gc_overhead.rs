@@ -10,9 +10,11 @@
 
 use leak_pruning::{ForcedState, PruningConfig, Runtime};
 use lp_bench::write_series_csv;
+use lp_heap::{AllocSpec, ClassRegistry, Heap};
 use lp_metrics::{Series, TextTable};
 use lp_workloads::dacapo::{dacapo_suite, Dacapo, DacapoConfig};
 use lp_workloads::driver::Workload;
+use std::time::{Duration, Instant};
 
 const MULTIPLIERS: [f64; 8] = [1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0];
 
@@ -116,6 +118,73 @@ fn main() {
         "fig7_gc_overhead",
         "heap_multiplier",
         &[&observe_series, &select_series],
+    );
+    println!("wrote {}", path.display());
+
+    sweep_delta();
+}
+
+/// Builds a heap of `objects` small objects with a deterministic
+/// `live_pct`% marked, ready to sweep.
+fn marked_heap(objects: u32, live_pct: u32) -> Heap {
+    let mut reg = ClassRegistry::new();
+    let cls = reg.register("Node");
+    let mut heap = Heap::new(1 << 32);
+    for i in 0..objects {
+        heap.alloc(cls, &AllocSpec::leaf(16 + (i % 13) * 8))
+            .unwrap();
+    }
+    heap.begin_mark_epoch();
+    for slot in 0..objects {
+        if (slot.wrapping_mul(2_654_435_761) >> 16) % 100 < live_pct {
+            heap.try_mark(slot);
+        }
+    }
+    heap
+}
+
+/// Best-of-`runs` time for one sweep configuration.
+fn sweep_time(objects: u32, live_pct: u32, threads: usize, runs: u32) -> Duration {
+    (0..runs)
+        .map(|_| {
+            let mut heap = marked_heap(objects, live_pct);
+            let start = Instant::now();
+            std::hint::black_box(heap.sweep_parallel(threads));
+            start.elapsed()
+        })
+        .min()
+        .expect("at least one run")
+}
+
+/// The sweep-phase half of the pause-time story: serial vs 4-thread chunked
+/// sweep on a 256K-slot heap across live fractions. The delta lands next to
+/// the Figure 7 CSV so the two halves of GC time can be read together.
+fn sweep_delta() {
+    const OBJECTS: u32 = 262_144;
+    const THREADS: usize = 4;
+    const RUNS: u32 = 5;
+
+    let mut serial_series = Series::new("serial sweep (ms)");
+    let mut parallel_series = Series::new("parallel sweep x4 (ms)");
+
+    println!("\nSweep-phase delta ({OBJECTS} objects, best of {RUNS}):");
+    for live_pct in [0u32, 10, 25, 50, 75, 90] {
+        let serial = sweep_time(OBJECTS, live_pct, 1, RUNS);
+        let parallel = sweep_time(OBJECTS, live_pct, THREADS, RUNS);
+        let speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
+        println!(
+            "  live {live_pct:>2}%: serial {:>8.3} ms, x{THREADS} {:>8.3} ms ({speedup:.2}x)",
+            serial.as_secs_f64() * 1e3,
+            parallel.as_secs_f64() * 1e3,
+        );
+        serial_series.push(f64::from(live_pct), serial.as_secs_f64() * 1e3);
+        parallel_series.push(f64::from(live_pct), parallel.as_secs_f64() * 1e3);
+    }
+
+    let path = write_series_csv(
+        "fig7_sweep_delta",
+        "live_pct",
+        &[&serial_series, &parallel_series],
     );
     println!("wrote {}", path.display());
 }

@@ -45,7 +45,9 @@ fn main() {
     let pruned_ds = pruned.iteration_times.downsampled(400);
     print!(
         "{}",
-        AsciiChart::new(76, 16).log_x(true).render(&[&base_ds, &pruned_ds])
+        AsciiChart::new(76, 16)
+            .log_x(true)
+            .render(&[&base_ds, &pruned_ds])
     );
 
     if let Some(mean) = pruned.iteration_times.y_mean() {
@@ -59,8 +61,7 @@ fn main() {
         let points = pruned.iteration_times.points();
         let quarter = points.len() / 4;
         if quarter > 0 {
-            let first: f64 =
-                points[..quarter].iter().map(|p| p.1).sum::<f64>() / quarter as f64;
+            let first: f64 = points[..quarter].iter().map(|p| p.1).sum::<f64>() / quarter as f64;
             let last: f64 = points[points.len() - quarter..]
                 .iter()
                 .map(|p| p.1)

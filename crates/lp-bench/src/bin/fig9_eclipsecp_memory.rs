@@ -51,7 +51,9 @@ fn main() {
     );
     print!(
         "{}",
-        AsciiChart::new(76, 18).log_x(true).render(&[&base_mb, &pruned_mb])
+        AsciiChart::new(76, 18)
+            .log_x(true)
+            .render(&[&base_mb, &pruned_mb])
     );
 
     println!("\nreference types pruned before termination:");

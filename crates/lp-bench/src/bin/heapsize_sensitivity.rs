@@ -56,7 +56,10 @@ fn main() {
             );
             let ratio = pruned.iterations as f64 / base.iterations.max(1) as f64;
             let capped = pruned.iterations >= cap;
-            eprintln!("{name} @ {scale}x: base {}, pruned {}", base.iterations, pruned.iterations);
+            eprintln!(
+                "{name} @ {scale}x: base {}, pruned {}",
+                base.iterations, pruned.iterations
+            );
             cells.push(format!("{}{ratio:.1}X", if capped { ">" } else { "" }));
         }
         table.row(cells);

@@ -95,7 +95,7 @@ fn optimize(ir: &[Ir]) -> (usize, u64) {
         match insn {
             Ir::ScalarOp(v) => {
                 acc = acc.wrapping_mul(31).wrapping_add(v);
-                if acc % 7 == 0 {
+                if acc.is_multiple_of(7) {
                     folded += 1;
                 } else {
                     live += 1;

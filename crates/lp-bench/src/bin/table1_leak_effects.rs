@@ -47,12 +47,12 @@ fn reason(pruned: &RunResult) -> String {
                 "Almost all reclaimed".to_owned()
             }
         }
-        Termination::OutOfMemory => format!(
-            "Most reclaimed; live growth remains ({freed_share} refs pruned)"
-        ),
-        Termination::PrunedAccess => format!(
-            "Some reclaimed; program later used a pruned object ({freed_share} refs)"
-        ),
+        Termination::OutOfMemory => {
+            format!("Most reclaimed; live growth remains ({freed_share} refs pruned)")
+        }
+        Termination::PrunedAccess => {
+            format!("Some reclaimed; program later used a pruned object ({freed_share} refs)")
+        }
         Termination::Completed => "Short-running".to_owned(),
     }
 }
@@ -75,7 +75,10 @@ fn main() {
     for mut leak in standard_leaks() {
         let name = leak.name().to_owned();
         eprint!("running {name} under Base ...");
-        let base = run_workload(leak.as_mut(), &RunOptions::new(Flavor::Base).iteration_cap(cap));
+        let base = run_workload(
+            leak.as_mut(),
+            &RunOptions::new(Flavor::Base).iteration_cap(cap),
+        );
         eprintln!(" {} iterations", base.iterations);
 
         let mut leak = lp_workloads::leaks::leak_by_name(&name).expect("known");

@@ -25,11 +25,7 @@ pub fn output_dir() -> PathBuf {
 
 /// Writes `series` (sharing `x_label`) as `name.csv` under [`output_dir`],
 /// returning the path.
-pub fn write_series_csv(
-    name: &str,
-    x_label: &str,
-    series: &[&lp_metrics::Series],
-) -> PathBuf {
+pub fn write_series_csv(name: &str, x_label: &str, series: &[&lp_metrics::Series]) -> PathBuf {
     let path = output_dir().join(format!("{name}.csv"));
     let mut file = std::fs::File::create(&path).expect("create csv");
     lp_metrics::write_csv(&mut file, x_label, series).expect("write csv");

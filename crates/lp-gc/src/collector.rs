@@ -4,7 +4,7 @@ use std::time::{Duration, Instant};
 
 use lp_heap::{Heap, RootSet, SweepOutcome};
 
-use crate::parallel::{par_trace, ParEdgeVisitor};
+use crate::parallel::{par_trace_timed, ParEdgeVisitor};
 use crate::stats::GcStats;
 use crate::tracer::{trace, EdgeVisitor, TraceStats};
 
@@ -27,6 +27,12 @@ pub struct CollectionOutcome {
     pub mark_time: Duration,
     /// Wall-clock time spent sweeping.
     pub sweep_time: Duration,
+    /// Per-thread busy time in the mark phase. A single entry equal to
+    /// [`CollectionOutcome::mark_time`] when marking ran serially.
+    pub mark_thread_times: Vec<Duration>,
+    /// Per-thread busy time in the sweep phase. A single entry when the
+    /// sweep ran serially.
+    pub sweep_thread_times: Vec<Duration>,
 }
 
 /// A stop-the-world mark-sweep collector.
@@ -39,16 +45,44 @@ pub struct CollectionOutcome {
 /// For custom multi-phase marking (leak pruning's SELECT state runs an
 /// in-use closure *and* a stale closure in one collection), use
 /// [`Collector::collect_with`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Collector {
     gc_count: u64,
     stats: GcStats,
+    sweep_threads: usize,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector {
+            gc_count: 0,
+            stats: GcStats::default(),
+            sweep_threads: 1,
+        }
+    }
 }
 
 impl Collector {
     /// Creates a collector that has performed no collections.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Number of threads every sweep phase uses (default 1 — serial).
+    pub fn sweep_threads(&self) -> usize {
+        self.sweep_threads
+    }
+
+    /// Sets the number of sweep threads. The parallel sweep is
+    /// deterministically equivalent to the serial one, so this only changes
+    /// pause time, never collection results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn set_sweep_threads(&mut self, threads: usize) {
+        assert!(threads > 0, "need at least one sweep thread");
+        self.sweep_threads = threads;
     }
 
     /// Number of collections completed so far.
@@ -90,7 +124,9 @@ impl Collector {
         threads: usize,
     ) -> CollectionOutcome {
         let root_handles: Vec<_> = roots.iter().collect();
-        self.collect_with(heap, |heap| par_trace(heap, &root_handles, visitor, threads))
+        self.collect_with_timed(heap, |heap| {
+            par_trace_timed(heap, &root_handles, visitor, threads)
+        })
     }
 
     /// Performs a full-heap collection whose mark phase is supplied by the
@@ -105,20 +141,36 @@ impl Collector {
         heap: &mut Heap,
         mark: impl FnOnce(&Heap) -> TraceStats,
     ) -> CollectionOutcome {
+        self.collect_with_timed(heap, |heap| (mark(heap), Vec::new()))
+    }
+
+    /// [`Collector::collect_with`] for mark phases that report per-thread
+    /// busy times (an empty vector means "serial": it is replaced by the
+    /// phase's wall-clock time).
+    pub fn collect_with_timed(
+        &mut self,
+        heap: &mut Heap,
+        mark: impl FnOnce(&Heap) -> (TraceStats, Vec<Duration>),
+    ) -> CollectionOutcome {
         self.gc_count += 1;
         heap.begin_mark_epoch();
 
         let mark_start = Instant::now();
-        let trace_stats = mark(heap);
+        let (trace_stats, mut mark_thread_times) = mark(heap);
         let mark_time = mark_start.elapsed();
+        if mark_thread_times.is_empty() {
+            mark_thread_times.push(mark_time);
+        }
 
         let sweep_start = Instant::now();
-        let swept = heap.sweep();
+        let (swept, sweep_thread_times) = heap.sweep_parallel_timed(self.sweep_threads);
         let sweep_time = sweep_start.elapsed();
 
         self.stats.record(
             mark_time,
             sweep_time,
+            &mark_thread_times,
+            &sweep_thread_times,
             trace_stats.objects_marked,
             trace_stats.bytes_marked,
             swept.freed_objects,
@@ -133,6 +185,8 @@ impl Collector {
             live_objects_after: heap.live_objects(),
             mark_time,
             sweep_time,
+            mark_thread_times,
+            sweep_thread_times,
         }
     }
 }
@@ -154,7 +208,8 @@ mod tests {
         let (mut heap, mut roots, cls) = setup();
         let live = heap.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
         let child = heap.alloc(cls, &AllocSpec::default()).unwrap();
-        heap.object(live).store_ref(0, TaggedRef::from_handle(child));
+        heap.object(live)
+            .store_ref(0, TaggedRef::from_handle(child));
         heap.alloc(cls, &AllocSpec::leaf(100)).unwrap(); // garbage
         let s = roots.add_static();
         roots.set_static(s, Some(live));
@@ -201,11 +256,76 @@ mod tests {
         heap.alloc(cls, &AllocSpec::default()).unwrap(); // garbage
 
         let mut collector = Collector::new();
-        let outcome = collector.collect_with(&mut heap, |heap| {
-            crate::trace(heap, [a], &mut TraceAll)
-        });
+        let outcome =
+            collector.collect_with(&mut heap, |heap| crate::trace(heap, [a], &mut TraceAll));
         assert_eq!(outcome.swept.freed_objects, 1);
         assert!(heap.contains(a));
+    }
+
+    #[test]
+    fn parallel_sweep_threads_produce_identical_collections() {
+        let build = || {
+            let mut reg = ClassRegistry::new();
+            let cls = reg.register("T");
+            let mut heap = Heap::new(1 << 28);
+            let mut roots = RootSet::new();
+            let mut keep = None;
+            for i in 0..(2 * lp_heap::CHUNK_SLOTS + 77) {
+                let h = heap
+                    .alloc(cls, &AllocSpec::leaf((i % 11) as u32 * 8))
+                    .unwrap();
+                if i % 3 == 0 {
+                    keep = Some(h);
+                }
+                if i % 5 == 0 {
+                    heap.set_finalizable(h);
+                }
+            }
+            let s = roots.add_static();
+            roots.set_static(s, keep);
+            (heap, roots)
+        };
+
+        let (mut serial_heap, serial_roots) = build();
+        let mut serial = Collector::new();
+        let a = serial.collect(&mut serial_heap, &serial_roots, &mut TraceAll);
+
+        let (mut par_heap, par_roots) = build();
+        let mut par = Collector::new();
+        par.set_sweep_threads(4);
+        assert_eq!(par.sweep_threads(), 4);
+        let b = par.collect(&mut par_heap, &par_roots, &mut TraceAll);
+
+        assert_eq!(a.swept, b.swept);
+        assert_eq!(a.live_bytes_after, b.live_bytes_after);
+        assert_eq!(serial_heap.free_slots(), par_heap.free_slots());
+        // 3 chunks across 4 requested threads: one chunk per spawned thread.
+        assert!(b.sweep_thread_times.len() > 1 && b.sweep_thread_times.len() <= 4);
+        assert_eq!(a.sweep_thread_times.len(), 1);
+        assert_eq!(par.stats().max_sweep_threads(), b.sweep_thread_times.len());
+    }
+
+    #[test]
+    fn mark_thread_times_reported_per_thread() {
+        let (mut heap, mut roots, cls) = setup();
+        let mut prev = None;
+        for _ in 0..50 {
+            let h = heap.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+            if let Some(p) = prev {
+                heap.object(h).store_ref(0, TaggedRef::from_handle(p));
+            }
+            prev = Some(h);
+        }
+        let s = roots.add_static();
+        roots.set_static(s, prev);
+
+        let mut collector = Collector::new();
+        let outcome = collector.collect_parallel(&mut heap, &roots, &TraceAll, 3);
+        assert_eq!(outcome.mark_thread_times.len(), 3);
+        let serial = collector.collect(&mut heap, &roots, &mut TraceAll);
+        assert_eq!(serial.mark_thread_times.len(), 1);
+        assert_eq!(serial.mark_thread_times[0], serial.mark_time);
+        assert_eq!(collector.stats().max_mark_threads(), 3);
     }
 
     #[test]

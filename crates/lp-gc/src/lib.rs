@@ -55,6 +55,6 @@ mod tracer;
 
 pub use collector::{CollectionOutcome, Collector};
 pub use minor::collect_minor;
-pub use parallel::{par_trace, ParEdgeVisitor};
+pub use parallel::{par_trace, par_trace_timed, ParEdgeVisitor};
 pub use stats::GcStats;
 pub use tracer::{trace, EdgeAction, EdgeVisitor, TraceAll, TraceStats};

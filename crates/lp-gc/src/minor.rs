@@ -61,6 +61,8 @@ pub fn collect_minor(heap: &mut Heap, roots: &RootSet) -> CollectionOutcome {
         live_objects_after: heap.live_objects(),
         mark_time,
         sweep_time,
+        mark_thread_times: vec![mark_time],
+        sweep_thread_times: vec![sweep_time],
     }
 }
 
@@ -181,7 +183,8 @@ mod tests {
         promote_all(&mut heap);
 
         let young = heap.alloc(cls, &AllocSpec::default()).unwrap();
-        heap.object(old2).store_ref(0, TaggedRef::from_handle(young));
+        heap.object(old2)
+            .store_ref(0, TaggedRef::from_handle(young));
         // An unsound mutator that skipped the write barrier: the minor
         // collection must still terminate without scanning the old chain.
         let outcome = collect_minor(&mut heap, &roots);

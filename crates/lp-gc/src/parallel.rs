@@ -5,9 +5,11 @@
 //! heap's atomic mark words so each object is processed exactly once.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use lp_heap::{Handle, Heap, Object, TaggedRef};
+use parking_lot::Mutex;
 
 use crate::tracer::{EdgeAction, TraceStats};
 
@@ -57,7 +59,8 @@ struct SharedStats {
 
 impl SharedStats {
     fn merge(&self, local: &TraceStats) {
-        self.objects.fetch_add(local.objects_marked, Ordering::Relaxed);
+        self.objects
+            .fetch_add(local.objects_marked, Ordering::Relaxed);
         self.bytes.fetch_add(local.bytes_marked, Ordering::Relaxed);
         self.edges.fetch_add(local.edges_visited, Ordering::Relaxed);
     }
@@ -79,6 +82,21 @@ pub fn par_trace<V: ParEdgeVisitor>(
     visitor: &V,
     threads: usize,
 ) -> TraceStats {
+    par_trace_timed(heap, roots, visitor, threads).0
+}
+
+/// [`par_trace`], additionally reporting each marker thread's busy time
+/// (root scanning is attributed to the calling thread and not included).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn par_trace_timed<V: ParEdgeVisitor>(
+    heap: &Heap,
+    roots: &[Handle],
+    visitor: &V,
+    threads: usize,
+) -> (TraceStats, Vec<Duration>) {
     assert!(threads > 0, "need at least one marker thread");
 
     let injector: Injector<u32> = Injector::new();
@@ -105,13 +123,18 @@ pub fn par_trace<V: ParEdgeVisitor>(
     let workers: Vec<Worker<u32>> = (0..threads).map(|_| Worker::new_lifo()).collect();
     let stealers: Vec<Stealer<u32>> = workers.iter().map(Worker::stealer).collect();
 
+    // Indexed per-thread busy times, written once per worker at exit.
+    let thread_times: Mutex<Vec<Duration>> = Mutex::new(vec![Duration::ZERO; threads]);
+
     std::thread::scope(|scope| {
-        for worker in workers {
+        for (index, worker) in workers.into_iter().enumerate() {
             let injector = &injector;
             let stealers = &stealers;
             let idle_workers = &idle_workers;
             let stats = &stats;
+            let thread_times = &thread_times;
             scope.spawn(move || {
+                let start = Instant::now();
                 run_worker(
                     heap,
                     visitor,
@@ -122,15 +145,19 @@ pub fn par_trace<V: ParEdgeVisitor>(
                     threads,
                     stats,
                 );
+                thread_times.lock()[index] = start.elapsed();
             });
         }
     });
 
-    TraceStats {
-        objects_marked: stats.objects.load(Ordering::Relaxed),
-        bytes_marked: stats.bytes.load(Ordering::Relaxed),
-        edges_visited: stats.edges.load(Ordering::Relaxed),
-    }
+    (
+        TraceStats {
+            objects_marked: stats.objects.load(Ordering::Relaxed),
+            bytes_marked: stats.bytes.load(Ordering::Relaxed),
+            edges_visited: stats.edges.load(Ordering::Relaxed),
+        },
+        thread_times.into_inner(),
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -180,7 +207,11 @@ fn run_worker<V: ParEdgeVisitor>(
     stats.merge(&local);
 }
 
-fn find_work(worker: &Worker<u32>, injector: &Injector<u32>, stealers: &[Stealer<u32>]) -> Option<u32> {
+fn find_work(
+    worker: &Worker<u32>,
+    injector: &Injector<u32>,
+    stealers: &[Stealer<u32>],
+) -> Option<u32> {
     if let Some(slot) = worker.pop() {
         return Some(slot);
     }

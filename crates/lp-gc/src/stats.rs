@@ -13,6 +13,10 @@ pub struct GcStats {
     collections: u64,
     mark_time: Duration,
     sweep_time: Duration,
+    mark_thread_busy: Duration,
+    sweep_thread_busy: Duration,
+    max_mark_threads: usize,
+    max_sweep_threads: usize,
     total_marked_objects: u64,
     total_marked_bytes: u64,
     total_freed_bytes: u64,
@@ -40,6 +44,30 @@ impl GcStats {
         self.mark_time + self.sweep_time
     }
 
+    /// Cumulative busy time summed over every marker thread. With serial
+    /// marking this equals [`GcStats::mark_time`]; with parallel marking it
+    /// exceeds it, and `mark_thread_busy / mark_time` approximates the mark
+    /// phase's effective parallelism.
+    pub fn mark_thread_busy(&self) -> Duration {
+        self.mark_thread_busy
+    }
+
+    /// Cumulative busy time summed over every sweep thread (the sweep-phase
+    /// counterpart of [`GcStats::mark_thread_busy`]).
+    pub fn sweep_thread_busy(&self) -> Duration {
+        self.sweep_thread_busy
+    }
+
+    /// Most marker threads used by any collection so far.
+    pub fn max_mark_threads(&self) -> usize {
+        self.max_mark_threads
+    }
+
+    /// Most sweep threads used by any collection so far.
+    pub fn max_sweep_threads(&self) -> usize {
+        self.max_sweep_threads
+    }
+
     /// Objects marked across all collections.
     pub fn total_marked_objects(&self) -> u64 {
         self.total_marked_objects
@@ -60,10 +88,13 @@ impl GcStats {
         self.total_freed_objects
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record(
         &mut self,
         mark_time: Duration,
         sweep_time: Duration,
+        mark_thread_times: &[Duration],
+        sweep_thread_times: &[Duration],
         marked_objects: u64,
         marked_bytes: u64,
         freed_objects: u64,
@@ -72,6 +103,10 @@ impl GcStats {
         self.collections += 1;
         self.mark_time += mark_time;
         self.sweep_time += sweep_time;
+        self.mark_thread_busy += mark_thread_times.iter().sum::<Duration>();
+        self.sweep_thread_busy += sweep_thread_times.iter().sum::<Duration>();
+        self.max_mark_threads = self.max_mark_threads.max(mark_thread_times.len());
+        self.max_sweep_threads = self.max_sweep_threads.max(sweep_thread_times.len());
         self.total_marked_objects += marked_objects;
         self.total_marked_bytes += marked_bytes;
         self.total_freed_objects += freed_objects;
@@ -89,6 +124,8 @@ mod tests {
         s.record(
             Duration::from_millis(2),
             Duration::from_millis(1),
+            &[Duration::from_millis(2)],
+            &[Duration::from_millis(1)],
             10,
             1000,
             5,
@@ -97,6 +134,8 @@ mod tests {
         s.record(
             Duration::from_millis(3),
             Duration::from_millis(1),
+            &[Duration::from_millis(3)],
+            &[Duration::from_millis(1)],
             20,
             2000,
             1,
@@ -108,5 +147,28 @@ mod tests {
         assert_eq!(s.total_marked_bytes(), 3000);
         assert_eq!(s.total_freed_objects(), 6);
         assert_eq!(s.total_freed_bytes(), 600);
+    }
+
+    #[test]
+    fn per_thread_busy_splits_by_phase() {
+        let mut s = GcStats::default();
+        s.record(
+            Duration::from_millis(4),
+            Duration::from_millis(2),
+            &[Duration::from_millis(3), Duration::from_millis(4)],
+            &[
+                Duration::from_millis(1),
+                Duration::from_millis(2),
+                Duration::from_millis(1),
+            ],
+            1,
+            1,
+            1,
+            1,
+        );
+        assert_eq!(s.mark_thread_busy(), Duration::from_millis(7));
+        assert_eq!(s.sweep_thread_busy(), Duration::from_millis(4));
+        assert_eq!(s.max_mark_threads(), 2);
+        assert_eq!(s.max_sweep_threads(), 3);
     }
 }

@@ -273,7 +273,10 @@ mod property_tests {
         let mut heap = Heap::new(1 << 26);
         let out_degree = |i: usize| edges.iter().filter(|(s, _)| *s == i).count() as u32;
         let handles: Vec<Handle> = (0..n)
-            .map(|i| heap.alloc(cls, &AllocSpec::with_refs(out_degree(i).max(1))).unwrap())
+            .map(|i| {
+                heap.alloc(cls, &AllocSpec::with_refs(out_degree(i).max(1)))
+                    .unwrap()
+            })
             .collect();
         let mut next_field = vec![0usize; n];
         for (src, tgt) in edges {

@@ -48,6 +48,15 @@ impl FinalizeLog {
     }
 }
 
+impl IntoIterator for FinalizeLog {
+    type Item = ClassId;
+    type IntoIter = std::vec::IntoIter<ClassId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
 impl Extend<ClassId> for FinalizeLog {
     fn extend<T: IntoIterator<Item = ClassId>>(&mut self, iter: T) {
         self.entries.extend(iter);

@@ -7,6 +7,7 @@
 //! [`Heap::try_mark`] and [`Heap::sweep`].
 
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
 
 use crate::class::ClassId;
 use crate::error::AllocError;
@@ -27,6 +28,56 @@ pub struct SweepOutcome {
     /// Classes of reclaimed objects that were registered as finalizable, in
     /// sweep order. The runtime "runs" these finalizers.
     pub finalized: FinalizeLog,
+}
+
+/// Number of slots covered by one chunk summary.
+///
+/// Sweeps and [`Heap::iter`] consult per-chunk summaries to skip runs of
+/// slots wholesale: a chunk with no occupied slots has nothing to visit,
+/// and a chunk whose every occupant is marked in the current epoch has
+/// nothing to reclaim. 4096 slots keeps the summary vector tiny (one entry
+/// per ~4k objects) while still letting a mostly-empty or mostly-live heap
+/// skip the bulk of its capacity.
+pub const CHUNK_SLOTS: usize = 4096;
+
+/// Per-chunk summary: how many slots hold an object, and how many of those
+/// have been marked in the current epoch.
+///
+/// `occupied` is maintained by `&mut self` heap operations (alloc and the
+/// sweeps). `marked` is atomic because marker threads bump it concurrently
+/// from [`Heap::try_mark`]; it is reset by [`Heap::begin_mark_epoch`].
+/// Marking only ever targets live slots, so `marked <= occupied` between
+/// an epoch's start and its sweep — which is what lets a sweep skip any
+/// chunk with `marked == occupied` (fully live) or `occupied == 0` (empty).
+#[derive(Debug)]
+struct ChunkSummary {
+    occupied: u32,
+    marked: AtomicU32,
+}
+
+impl ChunkSummary {
+    fn new() -> Self {
+        ChunkSummary {
+            occupied: 0,
+            marked: AtomicU32::new(0),
+        }
+    }
+
+    /// Whether a sweep can prove this chunk holds nothing reclaimable.
+    fn sweep_skippable(&self) -> bool {
+        self.occupied == 0 || self.marked.load(Ordering::Relaxed) >= self.occupied
+    }
+}
+
+/// What one chunk's share of a parallel sweep reclaimed. Merged into the
+/// heap in ascending chunk order so the result is identical to a serial
+/// slot-order sweep.
+#[derive(Default)]
+struct ChunkSweep {
+    freed_objects: u64,
+    freed_bytes: u64,
+    finalized: FinalizeLog,
+    freed_slots: Vec<u32>,
 }
 
 /// A bounded managed heap.
@@ -71,6 +122,9 @@ pub struct Heap {
     /// Old objects into which the mutator stored a reference to a young
     /// object — the remembered set scanned by minor collections.
     remembered: Vec<u32>,
+    /// One summary per [`CHUNK_SLOTS`] run of slots; lets sweeps and
+    /// iteration skip empty and fully-live chunks.
+    chunks: Vec<ChunkSummary>,
 }
 
 impl Heap {
@@ -90,6 +144,7 @@ impl Heap {
             young_flags: Vec::new(),
             young_bytes: 0,
             remembered: Vec::new(),
+            chunks: Vec::new(),
         }
     }
 
@@ -154,9 +209,13 @@ impl Heap {
                 self.marks.push(AtomicU32::new(0));
                 self.generations.push(0);
                 self.young_flags.push(false);
+                if self.slots.len() > self.chunks.len() * CHUNK_SLOTS {
+                    self.chunks.push(ChunkSummary::new());
+                }
                 slot
             }
         };
+        self.chunks[slot as usize / CHUNK_SLOTS].occupied += 1;
         self.used_bytes += bytes;
         self.live_objects += 1;
         self.young.push(slot);
@@ -245,7 +304,10 @@ impl Heap {
     /// Whether `slot` holds an object allocated since the last collection
     /// (a nursery object).
     pub fn is_young(&self, slot: u32) -> bool {
-        self.young_flags.get(slot as usize).copied().unwrap_or(false)
+        self.young_flags
+            .get(slot as usize)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Bytes held by nursery objects.
@@ -298,6 +360,7 @@ impl Heap {
                     outcome.finalized.push(object.class());
                 }
                 self.generations[i as usize] = self.generations[i as usize].wrapping_add(1);
+                self.chunks[i as usize / CHUNK_SLOTS].occupied -= 1;
                 self.free.push(i);
             }
         }
@@ -309,12 +372,39 @@ impl Heap {
         outcome
     }
 
-    /// Iterates over `(slot, object)` for all live objects.
+    /// Iterates over `(slot, object)` for all live objects, skipping
+    /// fully-empty chunks wholesale.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &Object)> {
-        self.slots
+        self.chunks
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|o| (i as u32, o)))
+            .filter(|(_, chunk)| chunk.occupied > 0)
+            .flat_map(move |(ci, _)| {
+                let start = ci * CHUNK_SLOTS;
+                let end = (start + CHUNK_SLOTS).min(self.slots.len());
+                self.slots[start..end]
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(i, s)| s.as_ref().map(|o| ((start + i) as u32, o)))
+            })
+    }
+
+    /// Number of chunk summaries currently covering the slot vector.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Number of chunks the next sweep can skip outright (empty, or every
+    /// occupant marked in the current epoch).
+    pub fn skippable_chunks(&self) -> usize {
+        self.chunks.iter().filter(|c| c.sweep_skippable()).count()
+    }
+
+    /// The recycled-slot free list, most-recently-freed last. Exposed so
+    /// tests can assert that serial and parallel sweeps leave the allocator
+    /// in identical states.
+    pub fn free_slots(&self) -> &[u32] {
+        &self.free
     }
 
     /// Starts a new mark epoch (a new collection) and returns it. All
@@ -329,6 +419,9 @@ impl Heap {
             }
             self.epoch = 1;
         }
+        for chunk in &mut self.chunks {
+            *chunk.marked.get_mut() = 0;
+        }
         self.epoch
     }
 
@@ -336,9 +429,20 @@ impl Heap {
     /// call performed the marking (i.e. the object was unmarked before),
     /// which is the "process each object once" handshake parallel marker
     /// threads rely on.
+    ///
+    /// Must only be called on slots holding a live object (tracing can
+    /// reach no others); the per-chunk mark counts that let sweeps skip
+    /// fully-live chunks rely on it.
     pub fn try_mark(&self, slot: u32) -> bool {
         let word = &self.marks[slot as usize];
-        word.swap(self.epoch, Ordering::AcqRel) != self.epoch
+        if word.swap(self.epoch, Ordering::AcqRel) != self.epoch {
+            self.chunks[slot as usize / CHUNK_SLOTS]
+                .marked
+                .fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
     }
 
     /// Whether `slot` is marked in the current epoch.
@@ -350,24 +454,166 @@ impl Heap {
     ///
     /// Returns what was freed, including the classes of finalizable dead
     /// objects so the runtime can run finalizers.
+    ///
+    /// The walk is chunked: chunks that are empty or whose every occupant
+    /// is marked are skipped without touching their slots, so sweep cost
+    /// scales with the amount of *reclaimable* data rather than raw heap
+    /// capacity.
     pub fn sweep(&mut self) -> SweepOutcome {
+        let epoch = self.epoch;
         let mut outcome = SweepOutcome::default();
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            let dead = match slot {
-                Some(_) => self.marks[i].load(Ordering::Relaxed) != self.epoch,
-                None => false,
-            };
-            if dead {
-                let object = slot.take().expect("checked live above");
-                outcome.freed_objects += 1;
-                outcome.freed_bytes += u64::from(object.footprint());
-                if object.is_finalizable() {
-                    outcome.finalized.push(object.class());
+        for (ci, chunk) in self.chunks.iter_mut().enumerate() {
+            if chunk.sweep_skippable() {
+                continue;
+            }
+            let base = ci * CHUNK_SLOTS;
+            let end = (base + CHUNK_SLOTS).min(self.slots.len());
+            for i in base..end {
+                let slot = &mut self.slots[i];
+                let dead = match slot {
+                    Some(_) => self.marks[i].load(Ordering::Relaxed) != epoch,
+                    None => false,
+                };
+                if dead {
+                    let object = slot.take().expect("checked live above");
+                    outcome.freed_objects += 1;
+                    outcome.freed_bytes += u64::from(object.footprint());
+                    if object.is_finalizable() {
+                        outcome.finalized.push(object.class());
+                    }
+                    self.generations[i] = self.generations[i].wrapping_add(1);
+                    chunk.occupied -= 1;
+                    self.free.push(i as u32);
                 }
-                self.generations[i] = self.generations[i].wrapping_add(1);
-                self.free.push(i as u32);
             }
         }
+        self.finish_full_sweep(outcome)
+    }
+
+    /// Reclaims every object not marked in the current epoch, sweeping
+    /// chunks on `threads` scoped threads.
+    ///
+    /// Deterministically equivalent to [`Heap::sweep`]: per-chunk results
+    /// are merged in ascending chunk order, so the freed counts, the
+    /// finalizer log, the accounting, and the free list (hence every
+    /// subsequent allocation decision) are identical to a serial sweep's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn sweep_parallel(&mut self, threads: usize) -> SweepOutcome {
+        self.sweep_parallel_timed(threads).0
+    }
+
+    /// [`Heap::sweep_parallel`], additionally reporting each sweep thread's
+    /// busy time (for per-thread pause attribution in collector stats).
+    ///
+    /// When the sweep degenerates to serial (one thread, or at most one
+    /// chunk), the returned vector holds that single walk's duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn sweep_parallel_timed(&mut self, threads: usize) -> (SweepOutcome, Vec<Duration>) {
+        assert!(threads > 0, "need at least one sweep thread");
+        if threads == 1 || self.chunks.len() <= 1 {
+            let start = Instant::now();
+            let outcome = self.sweep();
+            return (outcome, vec![start.elapsed()]);
+        }
+
+        let epoch = self.epoch;
+        // Split borrows: marks are shared read-only across threads while
+        // each thread gets exclusive slices of the slot, generation and
+        // summary vectors for its chunks. Each chunk's result buffers are
+        // pre-sized here on the coordinating thread — `occupied - marked`
+        // is the chunk's exact dead count, so the workers themselves never
+        // touch the global allocator (worker-side Vec growth serializes the
+        // whole sweep on the allocator's locks).
+        let marks = &self.marks;
+        let slot_count = self.slots.len();
+        type ChunkWork<'a> = (
+            usize,
+            &'a mut [Option<Object>],
+            &'a mut [u32],
+            &'a mut ChunkSummary,
+            ChunkSweep,
+        );
+        let mut work: Vec<ChunkWork> = self
+            .slots
+            .chunks_mut(CHUNK_SLOTS)
+            .zip(self.generations.chunks_mut(CHUNK_SLOTS))
+            .zip(self.chunks.iter_mut())
+            .enumerate()
+            .map(|(ci, ((slots, generations), chunk))| {
+                let dead = (chunk.occupied - *chunk.marked.get_mut()) as usize;
+                let part = ChunkSweep {
+                    freed_slots: Vec::with_capacity(dead),
+                    ..ChunkSweep::default()
+                };
+                (ci, slots, generations, chunk, part)
+            })
+            .collect();
+        debug_assert_eq!(slot_count.div_ceil(CHUNK_SLOTS), work.len());
+
+        // Contiguous chunk ranges per thread keep the merge a simple
+        // in-order concatenation.
+        let per_thread = work.len().div_ceil(threads);
+        let mut thread_times: Vec<Duration> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .chunks_mut(per_thread)
+                .map(|range| {
+                    scope.spawn(move || {
+                        let start = Instant::now();
+                        for (ci, slots, generations, chunk, part) in range.iter_mut() {
+                            if chunk.sweep_skippable() {
+                                continue;
+                            }
+                            let base = *ci * CHUNK_SLOTS;
+                            for (j, slot) in slots.iter_mut().enumerate() {
+                                let dead = match slot {
+                                    Some(_) => marks[base + j].load(Ordering::Relaxed) != epoch,
+                                    None => false,
+                                };
+                                if dead {
+                                    let object = slot.take().expect("checked live above");
+                                    part.freed_objects += 1;
+                                    part.freed_bytes += u64::from(object.footprint());
+                                    if object.is_finalizable() {
+                                        part.finalized.push(object.class());
+                                    }
+                                    generations[j] = generations[j].wrapping_add(1);
+                                    chunk.occupied -= 1;
+                                    part.freed_slots.push((base + j) as u32);
+                                }
+                            }
+                        }
+                        start.elapsed()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                thread_times.push(handle.join().expect("sweep thread panicked"));
+            }
+        });
+
+        // Merge in ascending chunk order — `work` is already chunk-ordered
+        // and each thread visited its contiguous range in order, so a flat
+        // walk reproduces the serial slot-ascending sweep exactly.
+        let mut outcome = SweepOutcome::default();
+        for (_, _, _, _, part) in work {
+            outcome.freed_objects += part.freed_objects;
+            outcome.freed_bytes += part.freed_bytes;
+            outcome.finalized.extend(part.finalized);
+            self.free.extend(part.freed_slots);
+        }
+        (self.finish_full_sweep(outcome), thread_times)
+    }
+
+    /// Shared tail of [`Heap::sweep`] and [`Heap::sweep_parallel`]: global
+    /// accounting, nursery promotion, remembered-set reset, statistics.
+    fn finish_full_sweep(&mut self, outcome: SweepOutcome) -> SweepOutcome {
         self.used_bytes -= outcome.freed_bytes;
         self.live_objects -= outcome.freed_objects;
         // A full collection empties the nursery: survivors are old now.
@@ -601,6 +847,180 @@ mod generation_tests {
                 for d in &dead {
                     prop_assert!(!heap.contains(*d), "dead handle resurrected");
                 }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod chunk_tests {
+    use super::*;
+    use crate::class::ClassRegistry;
+    use proptest::prelude::*;
+
+    fn heap_with_class(capacity: u64) -> (Heap, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let cls = reg.register("T");
+        (Heap::new(capacity), cls)
+    }
+
+    /// Fills the heap with `n` objects of varying footprints, marking some
+    /// finalizable, and returns the handles.
+    fn fill(heap: &mut Heap, cls: ClassId, n: usize, finalize_every: usize) -> Vec<Handle> {
+        (0..n)
+            .map(|i| {
+                let h = heap
+                    .alloc(cls, &AllocSpec::leaf((i % 13) as u32 * 8))
+                    .unwrap();
+                if i % finalize_every == 0 {
+                    heap.set_finalizable(h);
+                }
+                h
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunk_summaries_grow_with_the_slab() {
+        let (mut heap, cls) = heap_with_class(1 << 30);
+        assert_eq!(heap.chunk_count(), 0);
+        fill(&mut heap, cls, CHUNK_SLOTS + 1, usize::MAX);
+        assert_eq!(heap.chunk_count(), 2);
+    }
+
+    #[test]
+    fn fully_live_and_empty_chunks_are_skippable() {
+        let (mut heap, cls) = heap_with_class(1 << 30);
+        let handles = fill(&mut heap, cls, CHUNK_SLOTS + 1, usize::MAX);
+        heap.begin_mark_epoch();
+        // Mark all of chunk 0; leave chunk 1's single object unmarked.
+        for h in &handles[..CHUNK_SLOTS] {
+            heap.try_mark(h.slot());
+        }
+        assert_eq!(heap.skippable_chunks(), 1, "chunk 0 is fully live");
+        let outcome = heap.sweep();
+        assert_eq!(outcome.freed_objects, 1);
+        assert_eq!(heap.skippable_chunks(), 2, "chunk 1 is now empty");
+    }
+
+    #[test]
+    fn iter_sees_every_live_object_across_chunks() {
+        let (mut heap, cls) = heap_with_class(1 << 30);
+        let handles = fill(&mut heap, cls, 2 * CHUNK_SLOTS + 7, usize::MAX);
+        heap.begin_mark_epoch();
+        // Keep only every third object; chunk 1 dies entirely.
+        for (i, h) in handles.iter().enumerate() {
+            let chunk = i / CHUNK_SLOTS;
+            if chunk != 1 && i % 3 == 0 {
+                heap.try_mark(h.slot());
+            }
+        }
+        heap.sweep();
+        let live: Vec<u32> = heap.iter().map(|(slot, _)| slot).collect();
+        let expected: Vec<u32> = handles
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i / CHUNK_SLOTS != 1 && i % 3 == 0)
+            .map(|(_, h)| h.slot())
+            .collect();
+        assert_eq!(live, expected);
+        assert_eq!(live.len() as u64, heap.live_objects());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_on_a_multi_chunk_heap() {
+        let (mut serial, cls) = heap_with_class(1 << 30);
+        let (mut parallel, _) = heap_with_class(1 << 30);
+        let n = 3 * CHUNK_SLOTS + 123;
+        let hs = fill(&mut serial, cls, n, 5);
+        let hp = fill(&mut parallel, cls, n, 5);
+
+        serial.begin_mark_epoch();
+        parallel.begin_mark_epoch();
+        for (i, (s, p)) in hs.iter().zip(&hp).enumerate() {
+            if i % 7 < 4 {
+                serial.try_mark(s.slot());
+                parallel.try_mark(p.slot());
+            }
+        }
+
+        let a = serial.sweep();
+        let b = parallel.sweep_parallel(4);
+        assert_eq!(a, b, "outcome (counts, bytes, finalizer log) must match");
+        assert_eq!(serial.free_slots(), parallel.free_slots());
+        assert_eq!(serial.used_bytes(), parallel.used_bytes());
+        assert_eq!(serial.live_objects(), parallel.live_objects());
+    }
+
+    #[test]
+    fn parallel_sweep_with_more_threads_than_chunks() {
+        let (mut heap, cls) = heap_with_class(1 << 30);
+        fill(&mut heap, cls, CHUNK_SLOTS + 10, usize::MAX);
+        heap.begin_mark_epoch();
+        let outcome = heap.sweep_parallel(64);
+        assert_eq!(outcome.freed_objects, (CHUNK_SLOTS + 10) as u64);
+        assert_eq!(heap.live_objects(), 0);
+    }
+
+    #[test]
+    fn single_thread_parallel_sweep_is_the_serial_sweep() {
+        let (mut heap, cls) = heap_with_class(1 << 30);
+        fill(&mut heap, cls, 100, usize::MAX);
+        heap.begin_mark_epoch();
+        let (outcome, times) = heap.sweep_parallel_timed(1);
+        assert_eq!(outcome.freed_objects, 100);
+        assert_eq!(times.len(), 1);
+    }
+
+    #[test]
+    fn timed_parallel_sweep_reports_each_thread() {
+        let (mut heap, cls) = heap_with_class(1 << 30);
+        fill(&mut heap, cls, 4 * CHUNK_SLOTS, usize::MAX);
+        heap.begin_mark_epoch();
+        let (_, times) = heap.sweep_parallel_timed(4);
+        assert_eq!(times.len(), 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// `sweep_parallel(n)` is observably identical to the serial sweep
+        /// for arbitrary mark patterns: same freed counts and bytes, same
+        /// finalized-class sequence, same accounting, and the same
+        /// allocatable free-slot list.
+        #[test]
+        fn prop_parallel_sweep_equivalent_to_serial(
+            pattern in proptest::collection::vec(any::<bool>(), 1..48),
+            objects in 1usize..(3 * CHUNK_SLOTS),
+            threads in 2usize..8,
+            finalize_every in 1usize..7,
+        ) {
+            let (mut serial, cls) = heap_with_class(1 << 34);
+            let (mut parallel, _) = heap_with_class(1 << 34);
+            let hs = fill(&mut serial, cls, objects, finalize_every);
+            let hp = fill(&mut parallel, cls, objects, finalize_every);
+
+            serial.begin_mark_epoch();
+            parallel.begin_mark_epoch();
+            for (i, (s, p)) in hs.iter().zip(&hp).enumerate() {
+                if pattern[i % pattern.len()] {
+                    serial.try_mark(s.slot());
+                    parallel.try_mark(p.slot());
+                }
+            }
+
+            let a = serial.sweep();
+            let b = parallel.sweep_parallel(threads);
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(serial.free_slots(), parallel.free_slots());
+            prop_assert_eq!(serial.used_bytes(), parallel.used_bytes());
+            prop_assert_eq!(serial.live_objects(), parallel.live_objects());
+
+            // The allocators stay in lock-step: subsequent allocations land
+            // in the same slots with the same generations.
+            for _ in 0..8usize {
+                let x = serial.alloc(cls, &AllocSpec::leaf(16)).unwrap();
+                let y = parallel.alloc(cls, &AllocSpec::leaf(16)).unwrap();
+                prop_assert_eq!(x, y);
             }
         }
     }

@@ -81,10 +81,7 @@ impl AllocSpec {
 
     /// Total simulated footprint of an object with this shape, in bytes.
     pub fn footprint(self) -> u32 {
-        HEADER_BYTES
-            + self.ref_fields * REF_BYTES
-            + self.data_words * WORD_BYTES
-            + self.extra_bytes
+        HEADER_BYTES + self.ref_fields * REF_BYTES + self.data_words * WORD_BYTES + self.extra_bytes
     }
 }
 

@@ -151,7 +151,7 @@ impl Object {
         if k >= STALE_MAX {
             return k;
         }
-        if gc_index % (1u64 << k) == 0 {
+        if gc_index.is_multiple_of(1u64 << k) {
             let next = k + 1;
             self.stale.store(next, Ordering::Relaxed);
             next

@@ -45,7 +45,10 @@ pub struct Handle {
 impl Handle {
     /// Creates a handle designating heap slot `slot` at `generation`.
     pub(crate) fn from_parts(slot: u32, generation: u32) -> Self {
-        debug_assert!(slot < (u32::MAX >> 2), "slot index overflows handle encoding");
+        debug_assert!(
+            slot < (u32::MAX >> 2),
+            "slot index overflows handle encoding"
+        );
         Handle {
             encoded: NonZeroU32::new((slot + 1) << 2).expect("slot+1 is nonzero"),
             generation,

@@ -86,10 +86,10 @@ impl AsciiChart {
                     continue;
                 }
                 let tx = transform(*x);
-                let col = (((tx - x_min) / (x_max - x_min)) * (self.width - 1) as f64).round()
-                    as usize;
-                let row = (((y - y_min) / (y_max - y_min)) * (self.height - 1) as f64).round()
-                    as usize;
+                let col =
+                    (((tx - x_min) / (x_max - x_min)) * (self.width - 1) as f64).round() as usize;
+                let row =
+                    (((y - y_min) / (y_max - y_min)) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - row.min(self.height - 1);
                 grid[row][col.min(self.width - 1)] = mark;
             }
@@ -111,10 +111,7 @@ impl AsciiChart {
         }
         out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(self.width)));
         let x_label = if self.log_x {
-            format!(
-                "{:>10}  10^{:.1} .. 10^{:.1}",
-                "", x_min, x_max
-            )
+            format!("{:>10}  10^{:.1} .. 10^{:.1}", "", x_min, x_max)
         } else {
             format!("{:>10}  {:.1} .. {:.1}", "", x_min, x_max)
         };

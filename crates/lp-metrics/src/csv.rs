@@ -21,9 +21,7 @@ pub fn write_csv<W: Write>(writer: &mut W, x_label: &str, series: &[&Series]) ->
 
     let rows = series.iter().map(|s| s.len()).max().unwrap_or(0);
     for i in 0..rows {
-        let x = series
-            .iter()
-            .find_map(|s| s.points().get(i).map(|p| p.0));
+        let x = series.iter().find_map(|s| s.points().get(i).map(|p| p.0));
         match x {
             Some(x) => write!(writer, "{x}")?,
             None => write!(writer, "")?,

@@ -86,7 +86,10 @@ impl Dacapo {
 
     fn next_index(&mut self) -> usize {
         // Deterministic LCG walk over the working set.
-        self.counter = self.counter.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.counter = self
+            .counter
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (self.counter >> 33) as usize % self.config.working_set
     }
 }
@@ -105,7 +108,9 @@ impl Workload for Dacapo {
         let table_cls = rt.register_class(&format!("{}.Table", self.config.name));
         let table = rt.alloc(
             table_cls,
-            &AllocSpec::with_refs(u32::try_from(self.config.working_set).expect("working set fits")),
+            &AllocSpec::with_refs(
+                u32::try_from(self.config.working_set).expect("working set fits"),
+            ),
         )?;
         let slot = rt.add_static();
         rt.set_static(slot, Some(table));
@@ -194,13 +199,15 @@ pub fn dacapo_suite() -> Vec<DacapoConfig> {
         ("compress", 2_000, 256, 40, 900),
     ];
     rows.iter()
-        .map(|&(name, working_set, object_bytes, allocs_per_iter, reads_per_iter)| DacapoConfig {
-            name,
-            working_set,
-            object_bytes,
-            allocs_per_iter,
-            reads_per_iter,
-        })
+        .map(
+            |&(name, working_set, object_bytes, allocs_per_iter, reads_per_iter)| DacapoConfig {
+                name,
+                working_set,
+                object_bytes,
+                allocs_per_iter,
+                reads_per_iter,
+            },
+        )
         .collect()
 }
 
@@ -236,7 +243,10 @@ mod tests {
         // Reachable memory is flat: last GC's live bytes close to first's.
         if result.reachable_memory.len() >= 2 {
             let (min, max) = result.reachable_memory.y_range().unwrap();
-            assert!(max / min < 1.5, "working set should be steady: {min}..{max}");
+            assert!(
+                max / min < 1.5,
+                "working set should be steady: {min}..{max}"
+            );
         }
     }
 
@@ -250,7 +260,10 @@ mod tests {
         let opts = RunOptions::new(Flavor::Custom(Box::new(custom))).iteration_cap(400);
         let result = run_workload(&mut Dacapo::new(config), &opts);
         assert_eq!(result.termination, Termination::ReachedCap);
-        assert_eq!(result.report.total_pruned_refs, 0, "forced SELECT never prunes");
+        assert_eq!(
+            result.report.total_pruned_refs, 0,
+            "forced SELECT never prunes"
+        );
     }
 
     #[test]

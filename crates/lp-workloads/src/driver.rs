@@ -3,9 +3,7 @@
 
 use std::time::{Duration, Instant};
 
-use leak_pruning::{
-    PredictionPolicy, PruneReport, PruningConfig, Runtime, RuntimeError,
-};
+use leak_pruning::{PredictionPolicy, PruneReport, PruningConfig, Runtime, RuntimeError};
 use lp_metrics::Series;
 
 /// A program the driver can run: it performs *iterations* (the paper's
@@ -199,7 +197,8 @@ pub fn run_workload(workload: &mut dyn Workload, opts: &RunOptions) -> RunResult
     let mut rt = Runtime::new(config);
 
     let mut reachable = Series::new(format!("{} reachable bytes", opts.flavor.label()));
-    let mut iteration_times = Series::new(format!("{} time per iteration (s)", opts.flavor.label()));
+    let mut iteration_times =
+        Series::new(format!("{} time per iteration (s)", opts.flavor.label()));
 
     let start = Instant::now();
     let mut termination = Termination::ReachedCap;

@@ -80,7 +80,10 @@ impl Workload for Delaunay {
         for t in self.recent.clone() {
             rt.read_field(t, 0)?;
         }
-        rt.alloc(self.scratch_cls.expect("setup"), &AllocSpec::leaf(100 * 1024))?;
+        rt.alloc(
+            self.scratch_cls.expect("setup"),
+            &AllocSpec::leaf(100 * 1024),
+        )?;
         Ok(())
     }
 }

@@ -70,8 +70,16 @@ impl Workload for DualLeak {
     }
 
     fn iterate(&mut self, rt: &mut Runtime, _iteration: u64) -> Result<(), RuntimeError> {
-        Self::grow_and_traverse(rt, self.entry_a.expect("setup"), self.list_a.expect("setup"))?;
-        Self::grow_and_traverse(rt, self.entry_b.expect("setup"), self.list_b.expect("setup"))?;
+        Self::grow_and_traverse(
+            rt,
+            self.entry_a.expect("setup"),
+            self.list_a.expect("setup"),
+        )?;
+        Self::grow_and_traverse(
+            rt,
+            self.entry_b.expect("setup"),
+            self.list_b.expect("setup"),
+        )?;
         rt.alloc(self.scratch.expect("setup"), &AllocSpec::leaf(SCRATCH))?;
         Ok(())
     }
@@ -92,6 +100,9 @@ mod tests {
         assert_eq!(pruned.report.total_pruned_refs, 0, "nothing is prunable");
         // "No help": at best a marginal difference in iterations.
         let ratio = pruned.iterations as f64 / base.iterations as f64;
-        assert!(ratio < 1.3, "pruning should not extend DualLeak (ratio {ratio})");
+        assert!(
+            ratio < 1.3,
+            "pruning should not extend DualLeak (ratio {ratio})"
+        );
     }
 }

@@ -125,9 +125,8 @@ impl Workload for EclipseCp {
     }
 
     fn setup(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
-        self.command_cls = Some(rt.register_class(
-            "org.eclipse.jface.text.DefaultUndoManager$TextCommand",
-        ));
+        self.command_cls =
+            Some(rt.register_class("org.eclipse.jface.text.DefaultUndoManager$TextCommand"));
         self.event_cls = Some(rt.register_class("org.eclipse.jface.text.DocumentEvent"));
         self.string_cls = Some(rt.register_class("java.lang.String"));
         self.chars_cls = Some(rt.register_class("char[]"));
@@ -136,10 +135,14 @@ impl Workload for EclipseCp {
         self.event_node_cls = Some(rt.register_class("EventQueue$Node"));
         self.scratch_cls = Some(rt.register_class("Scratch"));
         for k in 0..AUX_CLASSES {
-            self.aux_cls.push(rt.register_class(&format!("org.eclipse.internal.Aux{k:03}")));
+            self.aux_cls
+                .push(rt.register_class(&format!("org.eclipse.internal.Aux{k:03}")));
             self.aux_heads.push(rt.add_static());
         }
-        self.undo_list = Some(ListHead::create(rt, "org.eclipse.jface.text.DefaultUndoManager")?);
+        self.undo_list = Some(ListHead::create(
+            rt,
+            "org.eclipse.jface.text.DefaultUndoManager",
+        )?);
         self.event_list = Some(ListHead::create(rt, "org.eclipse.jface.text.EventQueue")?);
         self.label_list = Some(ListHead::create(rt, "org.eclipse.ui.WidgetTree")?);
 
@@ -171,8 +174,7 @@ impl Workload for EclipseCp {
         // Paste-save: a document event retains another copy.
         let text = self.new_string(rt, EVENT_TEXT)?;
         let event = rt.alloc(self.event_cls.expect("setup"), &AllocSpec::with_refs(1))?;
-        rt.write_field(event, 0, Some(text))
-            ;
+        rt.write_field(event, 0, Some(text));
         let node = self.push_list(
             rt,
             self.event_node_cls.expect("setup"),
@@ -200,26 +202,42 @@ impl Workload for EclipseCp {
         // The undo manager and event queue walk their lists (commands and
         // events live; their strings dead).
         let len = self.undo_nodes.len();
-        for idx in self.undo_rotor.next_batch(len, COMMAND_BATCH).collect::<Vec<_>>() {
+        for idx in self
+            .undo_rotor
+            .next_batch(len, COMMAND_BATCH)
+            .collect::<Vec<_>>()
+        {
             rt.read_field(self.undo_nodes[idx], NODE_NEXT)?;
             rt.read_field(self.undo_nodes[idx], NODE_ITEM)?;
         }
         let len = self.event_nodes.len();
-        for idx in self.event_rotor.next_batch(len, COMMAND_BATCH / 2).collect::<Vec<_>>() {
+        for idx in self
+            .event_rotor
+            .next_batch(len, COMMAND_BATCH / 2)
+            .collect::<Vec<_>>()
+        {
             rt.read_field(self.event_nodes[idx], NODE_NEXT)?;
             rt.read_field(self.event_nodes[idx], NODE_ITEM)?;
         }
 
         // The UI walks the widget tree and reads label strings constantly...
         let len = self.labels.len();
-        for idx in self.label_rotor.next_batch(len, LABEL_BATCH).collect::<Vec<_>>() {
+        for idx in self
+            .label_rotor
+            .next_batch(len, LABEL_BATCH)
+            .collect::<Vec<_>>()
+        {
             rt.read_field(self.labels[idx], 1)?; // sibling link
             rt.read_field(self.labels[idx], 0)?; // the label text
         }
         // ...but renders the char[] contents only in periodic bursts.
         if iteration % RENDER_PERIOD == RENDER_PERIOD / 2 {
             let len = self.labels.len();
-            for idx in self.render_rotor.next_batch(len, RENDER_BATCH).collect::<Vec<_>>() {
+            for idx in self
+                .render_rotor
+                .next_batch(len, RENDER_BATCH)
+                .collect::<Vec<_>>()
+            {
                 if let Some(string) = rt.read_field(self.labels[idx], 0)? {
                     rt.read_field(string, 0)?;
                 }
@@ -261,8 +279,8 @@ mod tests {
             base.iterations
         );
 
-        let opts = RunOptions::new(Flavor::Pruning(PredictionPolicy::IndividualRefs))
-            .iteration_cap(3_000);
+        let opts =
+            RunOptions::new(Flavor::Pruning(PredictionPolicy::IndividualRefs)).iteration_cap(3_000);
         let indiv = run_workload(&mut EclipseCp::new(), &opts);
         assert_eq!(indiv.termination, Termination::PrunedAccess);
         assert!(

@@ -154,7 +154,11 @@ mod tests {
     fn leaky_base_exhausts_memory() {
         let result = run_workload(&mut EclipseDiff::new(), &RunOptions::new(Flavor::Base));
         assert_eq!(result.termination, Termination::OutOfMemory);
-        assert!(result.iterations < 400, "base died at {}", result.iterations);
+        assert!(
+            result.iterations < 400,
+            "base died at {}",
+            result.iterations
+        );
     }
 
     #[test]

@@ -82,12 +82,17 @@ impl Workload for JbbMod {
             // The dead residue: order line -> string -> char[].
             let line = rt.alloc(self.line_cls.expect("setup"), &AllocSpec::with_refs(1))?;
             let string = rt.alloc(self.string_cls.expect("setup"), &AllocSpec::new(1, 0, 24))?;
-            let chars = rt.alloc(self.chars_cls.expect("setup"), &AllocSpec::leaf(CHARS_BYTES))?;
+            let chars = rt.alloc(
+                self.chars_cls.expect("setup"),
+                &AllocSpec::leaf(CHARS_BYTES),
+            )?;
             rt.write_field(string, 0, Some(chars));
             rt.write_field(line, 0, Some(string));
             rt.write_field(order, ORDER_LINE, Some(line));
 
-            self.order_list.expect("setup").push(rt, order, ORDER_NEXT)?;
+            self.order_list
+                .expect("setup")
+                .push(rt, order, ORDER_NEXT)?;
             self.orders.push(order);
         }
 
@@ -95,7 +100,7 @@ impl Workload for JbbMod {
         // at moderate staleness, so Order -> Order max_stale_use ratchets
         // up and the orders stay unprunable — but the scan never touches
         // the per-order residue.
-        if iteration % SCAN_PERIOD == 0 {
+        if iteration.is_multiple_of(SCAN_PERIOD) {
             let len = self.orders.len();
             let indices: Vec<usize> = self.rotor.next_batch(len, SCAN_BATCH).collect();
             for idx in indices {

@@ -65,7 +65,10 @@ impl Workload for Mckoi {
 
         // The thread's idle working memory: reachable only through the
         // connection, never used again.
-        let buffer = rt.alloc(self.buffer_cls.expect("setup"), &AllocSpec::leaf(BUFFER_BYTES))?;
+        let buffer = rt.alloc(
+            self.buffer_cls.expect("setup"),
+            &AllocSpec::leaf(BUFFER_BYTES),
+        )?;
         rt.write_field(conn, 0, Some(buffer));
 
         // The query itself allocates transient data.

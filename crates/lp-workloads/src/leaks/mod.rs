@@ -171,7 +171,11 @@ mod tests {
         let leaks = standard_leaks();
         assert_eq!(leaks.len(), 10);
         for leak in &leaks {
-            assert!(leak_by_name(leak.name()).is_some(), "{} missing", leak.name());
+            assert!(
+                leak_by_name(leak.name()).is_some(),
+                "{} missing",
+                leak.name()
+            );
         }
         assert!(leak_by_name("NotALeak").is_none());
     }

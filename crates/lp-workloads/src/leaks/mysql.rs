@@ -142,7 +142,10 @@ impl Workload for MySql {
                 self.stmt_cls.expect("setup"),
                 &AllocSpec::new(2, 0, STATEMENT_PAYLOAD),
             )?;
-            let result = rt.alloc(self.result_cls.expect("setup"), &AllocSpec::leaf(RESULT_BYTES))?;
+            let result = rt.alloc(
+                self.result_cls.expect("setup"),
+                &AllocSpec::leaf(RESULT_BYTES),
+            )?;
             rt.write_field(stmt, STMT_RESULT, Some(result));
 
             let buckets = rt

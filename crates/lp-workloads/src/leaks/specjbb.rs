@@ -83,7 +83,8 @@ impl Workload for SpecJbb {
         self.receipt_cls = Some(rt.register_class("spec.jbb.Receipt"));
         self.scratch_cls = Some(rt.register_class("Scratch"));
         for k in 0..SIDE_CLASSES {
-            self.side_cls.push(rt.register_class(&format!("spec.jbb.infra.Side{k:03}")));
+            self.side_cls
+                .push(rt.register_class(&format!("spec.jbb.infra.Side{k:03}")));
             self.side_heads.push(rt.add_static());
         }
         self.order_list = Some(ListHead::create(rt, "spec.jbb.District$OrderList")?);
@@ -113,7 +114,9 @@ impl Workload for SpecJbb {
                 &AllocSpec::leaf(RECEIPT_BYTES),
             )?;
             rt.write_field(order, ORDER_RECEIPT, Some(receipt));
-            self.order_list.expect("setup").push(rt, order, ORDER_NEXT)?;
+            self.order_list
+                .expect("setup")
+                .push(rt, order, ORDER_NEXT)?;
             self.orders.push(order);
         }
 
@@ -141,7 +144,9 @@ impl Workload for SpecJbb {
         // Late in the run the program starts probing the side structures it
         // "removed" — by then leak pruning has reclaimed them, and this is
         // the access that ultimately terminates the tolerated run.
-        if iteration >= SIDE_READ_START && (iteration - SIDE_READ_START) % SIDE_READ_STRIDE == 0 {
+        if iteration >= SIDE_READ_START
+            && (iteration - SIDE_READ_START).is_multiple_of(SIDE_READ_STRIDE)
+        {
             let k = (((iteration - SIDE_READ_START) / SIDE_READ_STRIDE) as usize) % SIDE_CLASSES;
             if let Some(head) = rt.static_ref(self.side_heads[k]) {
                 rt.read_field(head, 0)?;

@@ -53,7 +53,9 @@ impl Server {
     fn open_session(&mut self) -> Result<Handle, RuntimeError> {
         // Session layout: [0] registry-next, [1] buffer.
         let session = self.rt.alloc(self.session_cls, &AllocSpec::new(2, 1, 64))?;
-        let buffer = self.rt.alloc(self.buffer_cls, &AllocSpec::leaf(BUFFER_BYTES))?;
+        let buffer = self
+            .rt
+            .alloc(self.buffer_cls, &AllocSpec::leaf(BUFFER_BYTES))?;
         self.rt.write_field(session, 1, Some(buffer));
         self.rt
             .write_field(session, 0, self.rt.static_ref(self.registry_head));
@@ -64,7 +66,8 @@ impl Server {
     /// Serves a request on an active session: parses the request into
     /// transient scratch and touches the session's buffer.
     fn serve(&mut self, session: Handle) -> Result<(), RuntimeError> {
-        self.rt.alloc(self.scratch_cls, &AllocSpec::leaf(12 * 1024))?;
+        self.rt
+            .alloc(self.scratch_cls, &AllocSpec::leaf(12 * 1024))?;
         let buffer = self.rt.read_field(session, 1)?.expect("buffer attached");
         let hits = self.rt.read_word(session, 0) + 1;
         self.rt.write_word(session, 0, hits);

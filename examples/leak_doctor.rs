@@ -22,7 +22,10 @@ fn main() -> Result<(), RuntimeError> {
     let buffer_cls = rt.register_class("svc.RequestBuffer");
 
     // Session cache: bounded ring of 64 entries, constantly reused (live).
-    let cache = rt.alloc(rt.classes().lookup("svc.SessionCache$Entry").unwrap(), &AllocSpec::with_refs(64))?;
+    let cache = rt.alloc(
+        rt.classes().lookup("svc.SessionCache$Entry").unwrap(),
+        &AllocSpec::with_refs(64),
+    )?;
     let cache_root = rt.add_static();
     rt.set_static(cache_root, Some(cache));
 

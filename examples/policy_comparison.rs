@@ -14,10 +14,7 @@ use lp_workloads::leaks::leak_by_name;
 fn main() {
     let mut args = std::env::args().skip(1);
     let leak_name = args.next().unwrap_or_else(|| "EclipseCP".to_owned());
-    let cap: u64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3_000);
+    let cap: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3_000);
 
     let flavors = [
         Flavor::Base,

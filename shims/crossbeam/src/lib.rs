@@ -1,0 +1,237 @@
+//! Minimal in-tree shim for `crossbeam` (see `shims/README.md`).
+//!
+//! Only the `deque` module is provided: the [`deque::Worker`] /
+//! [`deque::Stealer`] / [`deque::Injector`] work-stealing API used by the
+//! parallel marker. Queues are mutex-protected rather than lock-free, which
+//! preserves the semantics (batch steals take roughly half the victim's
+//! queue, every pushed item is popped exactly once, self-steal is safe)
+//! at some cost in throughput under heavy contention.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Outcome of a steal attempt.
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    /// The owner's end of a work-stealing deque.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        lifo: bool,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO deque (owner pops its most recent push).
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                lifo: true,
+            }
+        }
+
+        /// Creates a FIFO deque (owner pops its oldest push).
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                lifo: false,
+            }
+        }
+
+        /// Pushes a task onto the deque.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Pops a task from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = lock(&self.queue);
+            if self.lifo {
+                q.pop_back()
+            } else {
+                q.pop_front()
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Creates a stealer handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A handle for stealing tasks from another thread's [`Worker`].
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Whether the victim deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Steals one task.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks (about half the victim's queue), moves
+        /// them into `dest`, and pops one of them.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            // Self-steal (the worker scanning its own stealer handle) must
+            // not deadlock on the shared mutex: it is just a pop.
+            if Arc::ptr_eq(&self.queue, &dest.queue) {
+                return match dest.pop() {
+                    Some(task) => Steal::Success(task),
+                    None => Steal::Empty,
+                };
+            }
+            let batch: Vec<T> = {
+                let mut victim = lock(&self.queue);
+                let take = victim.len().div_ceil(2);
+                victim.drain(..take).collect()
+            };
+            let mut batch = batch.into_iter();
+            match batch.next() {
+                None => Steal::Empty,
+                Some(first) => {
+                    let mut q = lock(&dest.queue);
+                    q.extend(batch);
+                    Steal::Success(first)
+                }
+            }
+        }
+    }
+
+    /// A shared FIFO queue all workers can push to and steal from.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the queue.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Steals a batch of tasks, moves them into `dest`, and pops one.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let batch: Vec<T> = {
+                let mut q = lock(&self.queue);
+                let take = q.len().div_ceil(2);
+                q.drain(..take).collect()
+            };
+            let mut batch = batch.into_iter();
+            match batch.next() {
+                None => Steal::Empty,
+                Some(first) => {
+                    lock(&dest.queue).extend(batch);
+                    Steal::Success(first)
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn lifo_pop_order() {
+            let w = Worker::new_lifo();
+            w.push(1);
+            w.push(2);
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(w.pop(), None);
+        }
+
+        #[test]
+        fn steal_batch_moves_half() {
+            let victim = Worker::new_lifo();
+            for i in 0..8 {
+                victim.push(i);
+            }
+            let thief = Worker::new_lifo();
+            match victim.stealer().steal_batch_and_pop(&thief) {
+                Steal::Success(v) => assert_eq!(v, 0),
+                _ => panic!("expected a stolen task"),
+            }
+            // 4 were taken: one returned, three landed in the thief's queue.
+            let mut thief_items = Vec::new();
+            while let Some(v) = thief.pop() {
+                thief_items.push(v);
+            }
+            assert_eq!(thief_items.len(), 3);
+        }
+
+        #[test]
+        fn self_steal_does_not_deadlock() {
+            let w = Worker::new_lifo();
+            w.push(7);
+            let s = w.stealer();
+            match s.steal_batch_and_pop(&w) {
+                Steal::Success(v) => assert_eq!(v, 7),
+                _ => panic!("expected the task back"),
+            }
+        }
+
+        #[test]
+        fn injector_distributes() {
+            let inj = Injector::new();
+            inj.push(1);
+            inj.push(2);
+            let w = Worker::new_lifo();
+            match inj.steal_batch_and_pop(&w) {
+                Steal::Success(v) => assert_eq!(v, 1),
+                _ => panic!("expected a task"),
+            }
+            match inj.steal_batch_and_pop(&w) {
+                Steal::Success(v) => assert_eq!(v, 2),
+                _ => panic!("expected the second task"),
+            }
+            assert!(inj.is_empty());
+        }
+    }
+}

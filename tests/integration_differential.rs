@@ -32,7 +32,11 @@ enum Op {
     /// unique id in word 0, and put it in local `dst`.
     Alloc { dst: usize, refs: u8, payload: u16 },
     /// `locals[dst_obj].field = locals[src]`.
-    Link { dst_obj: usize, field: u8, src: usize },
+    Link {
+        dst_obj: usize,
+        field: u8,
+        src: usize,
+    },
     /// Read `locals[obj].field` into local `dst` and observe the target's
     /// id.
     Read { obj: usize, field: u8, dst: usize },
@@ -134,7 +138,11 @@ fn execute(ops: &[Op], config: PruningConfig) -> (Vec<Observation>, End) {
                     set_local!(rt, dst, Some(h));
                     Ok(Observation::Skipped)
                 }
-                Op::Link { dst_obj, field, src } => {
+                Op::Link {
+                    dst_obj,
+                    field,
+                    src,
+                } => {
                     if let Some(obj) = locals[dst_obj] {
                         rt.write_field(obj, field as usize, locals[src]);
                     }

@@ -9,7 +9,10 @@ use lp_workloads::leaks;
 /// Runs a leak under Base and under default leak pruning with `cap`.
 fn base_and_pruned(name: &str, cap: u64) -> (u64, u64, Termination) {
     let mut leak = leaks::leak_by_name(name).expect("known leak");
-    let base = run_workload(leak.as_mut(), &RunOptions::new(Flavor::Base).iteration_cap(cap));
+    let base = run_workload(
+        leak.as_mut(),
+        &RunOptions::new(Flavor::Base).iteration_cap(cap),
+    );
 
     let mut leak = leaks::leak_by_name(name).expect("known leak");
     let pruned = run_workload(
@@ -46,7 +49,11 @@ fn dual_leak_gets_no_help() {
 #[test]
 fn mckoi_runs_somewhat_longer() {
     let (base, pruned, termination) = base_and_pruned("Mckoi", 50_000);
-    assert_eq!(termination, Termination::OutOfMemory, "thread roots are live");
+    assert_eq!(
+        termination,
+        Termination::OutOfMemory,
+        "thread roots are live"
+    );
     let ratio = pruned as f64 / base as f64;
     assert!((1.2..2.5).contains(&ratio), "Mckoi ratio {ratio}");
 }

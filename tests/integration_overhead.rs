@@ -70,8 +70,14 @@ fn forced_states_do_observation_work_without_pruning() {
         let opts = RunOptions::new(Flavor::Custom(Box::new(custom))).iteration_cap(200);
         let result = run_workload(&mut Dacapo::new(config.clone()), &opts);
         assert_eq!(result.termination, Termination::ReachedCap, "{forced:?}");
-        assert_eq!(result.report.total_pruned_refs, 0, "{forced:?} must not prune");
-        assert!(result.gc_count > 0, "the heap must have filled at least once");
+        assert_eq!(
+            result.report.total_pruned_refs, 0,
+            "{forced:?} must not prune"
+        );
+        assert!(
+            result.gc_count > 0,
+            "the heap must have filled at least once"
+        );
     }
 }
 
@@ -92,7 +98,10 @@ fn smaller_heaps_collect_more_often() {
         gc_counts.windows(2).all(|w| w[0] >= w[1]),
         "GC count must fall as the heap grows: {gc_counts:?}"
     );
-    assert!(gc_counts[0] > gc_counts[3], "the sweep must span a real range");
+    assert!(
+        gc_counts[0] > gc_counts[3],
+        "the sweep must span a real range"
+    );
 }
 
 #[test]
@@ -113,6 +122,11 @@ fn full_suite_smoke() {
             .build();
         let opts = RunOptions::new(Flavor::Custom(Box::new(custom))).iteration_cap(5);
         let select = run_workload(&mut Dacapo::new(config.clone()), &opts);
-        assert_eq!(select.termination, Termination::ReachedCap, "{}", config.name);
+        assert_eq!(
+            select.termination,
+            Termination::ReachedCap,
+            "{}",
+            config.name
+        );
     }
 }

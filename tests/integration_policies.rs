@@ -23,15 +23,17 @@ fn run_policy(name: &str, policy: PredictionPolicy, cap: u64) -> RunResult {
 fn eclipse_cp_policy_ordering_matches_table2() {
     let cap = 3_000;
     let mut base = leak_by_name("EclipseCP").unwrap();
-    let base = run_workload(base.as_mut(), &RunOptions::new(Flavor::Base).iteration_cap(cap));
+    let base = run_workload(
+        base.as_mut(),
+        &RunOptions::new(Flavor::Base).iteration_cap(cap),
+    );
     let most_stale = run_policy("EclipseCP", PredictionPolicy::MostStale, cap);
     let indiv = run_policy("EclipseCP", PredictionPolicy::IndividualRefs, cap);
     let default = run_policy("EclipseCP", PredictionPolicy::LeakPruning, cap);
 
     // Paper (Table 2): Base 11, Most stale 134, Indiv refs 41, Default 971.
     assert!(
-        base.iterations < indiv.iterations
-            && indiv.iterations < default.iterations,
+        base.iterations < indiv.iterations && indiv.iterations < default.iterations,
         "ordering violated: base {} indiv {} default {}",
         base.iterations,
         indiv.iterations,

@@ -6,9 +6,7 @@
 //!   deferred out-of-memory error.
 //! * A non-leaking program behaves identically with pruning on or off.
 
-use leak_pruning::{
-    PredictionPolicy, PruningConfig, Runtime, RuntimeError, State,
-};
+use leak_pruning::{PredictionPolicy, PruningConfig, Runtime, RuntimeError, State};
 use lp_heap::AllocSpec;
 
 const KB: u64 = 1024;
@@ -28,7 +26,8 @@ fn pruned_access_error_chains_to_the_averted_oom() {
 
     // Drive transient allocation until the blob is pruned.
     while rt.prune_report().total_pruned_refs == 0 {
-        rt.alloc(scratch, &AllocSpec::leaf(4096)).expect("transient");
+        rt.alloc(scratch, &AllocSpec::leaf(4096))
+            .expect("transient");
         rt.release_registers(); // the unit of work returns
     }
 
@@ -83,7 +82,10 @@ fn non_leaking_program_unaffected_by_pruning() {
     let heap = 64 * KB;
     let with = run(PruningConfig::builder(heap).build());
     let without = run(PruningConfig::base(heap));
-    assert_eq!(with, without, "pruning changed a non-leaking program's results");
+    assert_eq!(
+        with, without,
+        "pruning changed a non-leaking program's results"
+    );
 }
 
 #[test]
