@@ -93,6 +93,8 @@ pub struct PruningConfig {
     marker_threads: usize,
     sweep_threads: usize,
     max_gc_attempts_per_alloc: u32,
+    flight_recorder_slots: Option<usize>,
+    census_period: Option<u64>,
 }
 
 impl PruningConfig {
@@ -116,6 +118,8 @@ impl PruningConfig {
                 marker_threads: 1,
                 sweep_threads: 1,
                 max_gc_attempts_per_alloc: 64,
+                flight_recorder_slots: None,
+                census_period: None,
             },
         }
     }
@@ -214,6 +218,18 @@ impl PruningConfig {
     /// before giving up with an out-of-memory error.
     pub fn max_gc_attempts_per_alloc(&self) -> u32 {
         self.max_gc_attempts_per_alloc
+    }
+
+    /// If set, the runtime attaches a flight recorder retaining this many
+    /// of the most recent telemetry events.
+    pub fn flight_recorder_slots(&self) -> Option<usize> {
+        self.flight_recorder_slots
+    }
+
+    /// If set, the runtime emits an edge-table census event every N-th
+    /// full-heap collection.
+    pub fn census_period(&self) -> Option<u64> {
+        self.census_period
     }
 }
 
@@ -345,6 +361,30 @@ impl PruningConfigBuilder {
         self
     }
 
+    /// Attaches a flight recorder retaining the last `slots` telemetry
+    /// events (see `lp_telemetry::FlightRecorder`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn flight_recorder(mut self, slots: usize) -> Self {
+        assert!(slots > 0, "flight recorder needs at least one slot");
+        self.config.flight_recorder_slots = Some(slots);
+        self
+    }
+
+    /// Emits an edge-table census event every `period` full-heap
+    /// collections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn census_every(mut self, period: u64) -> Self {
+        assert!(period > 0, "census period must be positive");
+        self.config.census_period = Some(period);
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> PruningConfig {
         self.config
@@ -367,6 +407,30 @@ mod tests {
         assert!(c.run_finalizers_after_prune());
         assert_eq!(c.barrier_mode(), BarrierMode::Full);
         assert_eq!(c.decay_max_stale_use_every(), None);
+        assert_eq!(c.flight_recorder_slots(), None);
+        assert_eq!(c.census_period(), None);
+    }
+
+    #[test]
+    fn telemetry_knobs_round_trip() {
+        let c = PruningConfig::builder(1024)
+            .flight_recorder(256)
+            .census_every(4)
+            .build();
+        assert_eq!(c.flight_recorder_slots(), Some(256));
+        assert_eq!(c.census_period(), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn flight_recorder_rejects_zero() {
+        PruningConfig::builder(1).flight_recorder(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "census period must be positive")]
+    fn census_rejects_zero() {
+        PruningConfig::builder(1).census_every(0);
     }
 
     #[test]

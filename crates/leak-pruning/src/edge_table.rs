@@ -274,6 +274,21 @@ impl EdgeTable {
         }
     }
 
+    /// The `k` edges with the most `bytes_used` this SELECT window, in
+    /// descending byte order (ties broken by key for determinism); edges
+    /// with zero bytes are excluded. Telemetry uses this to report the
+    /// runner-up edges a SELECT decision beat.
+    pub fn top_bytes(&self, k: usize) -> Vec<(EdgeKey, u64)> {
+        let mut charged: Vec<(EdgeKey, u64)> = self
+            .iter()
+            .filter(|e| e.bytes_used > 0)
+            .map(|e| (e.key, e.bytes_used))
+            .collect();
+        charged.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        charged.truncate(k);
+        charged
+    }
+
     /// Snapshots all entries (diagnostics and reporting).
     pub fn iter(&self) -> impl Iterator<Item = EdgeEntry> + '_ {
         self.slots.iter().filter_map(|slot| {
@@ -297,6 +312,21 @@ mod tests {
 
     fn edge(src: u32, tgt: u32) -> EdgeKey {
         EdgeKey::new(ClassId::from_index(src), ClassId::from_index(tgt))
+    }
+
+    #[test]
+    fn top_bytes_ranks_charged_edges() {
+        let table = EdgeTable::new(64);
+        table.add_bytes(edge(1, 2), 100);
+        table.add_bytes(edge(3, 4), 300);
+        table.add_bytes(edge(5, 6), 200);
+        table.note_stale_use(edge(7, 8), 2); // present but zero bytes
+        assert_eq!(
+            table.top_bytes(2),
+            vec![(edge(3, 4), 300), (edge(5, 6), 200)]
+        );
+        assert_eq!(table.top_bytes(10).len(), 3, "zero-byte edges excluded");
+        assert!(table.top_bytes(0).is_empty());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::collections::HashMap;
 
 use lp_gc::{trace, CollectionOutcome, Collector, TraceAll};
 use lp_heap::{Heap, RootSet};
+use lp_telemetry::{EdgeShare, Event, Telemetry};
 
 use crate::closures::{
     InUseVisitor, MostStaleVisitor, ObserveVisitor, PruneVisitor, Selection, StaleVisitor,
@@ -42,10 +43,13 @@ pub(crate) struct Pruner {
     stale_clock: u64,
     decay_period: Option<u64>,
     select_collections: u64,
+    /// Shared event bus (the runtime's); state transitions, SELECT
+    /// decisions and exhaustion events go out on it.
+    telemetry: Telemetry,
 }
 
 impl Pruner {
-    pub fn new(config: &PruningConfig) -> Self {
+    pub fn new(config: &PruningConfig, telemetry: Telemetry) -> Self {
         let forced = config.forced_state().map(|f| f.as_state());
         Pruner {
             state: forced.unwrap_or(State::Inactive),
@@ -64,6 +68,7 @@ impl Pruner {
             stale_clock: 0,
             decay_period: config.decay_max_stale_use_every(),
             select_collections: 0,
+            telemetry,
         }
     }
 
@@ -103,6 +108,11 @@ impl Pruner {
     /// frames as "the VM is about to throw an out-of-memory error".
     pub fn note_exhausted(&mut self, gc_index: u64, used: u64, capacity: u64) {
         self.exhausted_once = true;
+        self.telemetry.emit(|| Event::Exhausted {
+            gc_index,
+            used_bytes: used,
+            capacity,
+        });
         if self.averted_oom.is_none() {
             self.averted_oom = Some(OutOfMemoryError::new(gc_index, used, capacity));
         }
@@ -110,7 +120,21 @@ impl Pruner {
             && self.forced.is_none()
             && matches!(self.state, State::Inactive | State::Observe)
         {
+            let from = self.state;
             self.state = State::Select;
+            self.telemetry.emit(|| Event::StateTransition {
+                gc_index,
+                from: from.name(),
+                to: State::Select.name(),
+                occupancy: if capacity == 0 {
+                    1.0
+                } else {
+                    used as f64 / capacity as f64
+                },
+                expected_threshold: self.expected_threshold,
+                nearly_full_threshold: self.nearly_full_threshold,
+                exhausted_once: true,
+            });
         }
     }
 
@@ -208,6 +232,17 @@ impl Pruner {
             exhausted_once: self.exhausted_once,
         };
         let next = next_state(performed, &ctx);
+        if next != performed {
+            self.telemetry.emit(|| Event::StateTransition {
+                gc_index,
+                from: performed.name(),
+                to: next.name(),
+                occupancy: ctx.occupancy,
+                expected_threshold: ctx.expected_threshold,
+                nearly_full_threshold: ctx.nearly_full_threshold,
+                exhausted_once: ctx.exhausted_once,
+            });
+        }
         if next == State::Prune && self.averted_oom.is_none() {
             // Under option (2) the first PRUNE is entered before a literal
             // exhaustion; the "nearly full" threshold plays the role of the
@@ -255,6 +290,10 @@ impl Pruner {
             }
         }
         let table = &self.table;
+        let telemetry = &self.telemetry;
+        // The selection events below are emitted from inside the mark
+        // closure, where the collector has already claimed this index.
+        let gc_index = collector.next_gc_index();
         let mut info = None;
 
         let root_handles: Vec<lp_heap::Handle> = roots.iter().collect();
@@ -267,6 +306,7 @@ impl Pruner {
                     par_select_mark(heap, &root_handles, table, stale_clock, marker_threads);
                 if let Some((edge, bytes)) = table.select_max_bytes() {
                     info = Some(SelectionInfo::Edge { edge, bytes });
+                    emit_edge_selection(telemetry, table, gc_index, edge, bytes);
                 }
                 table.reset_bytes();
                 stats
@@ -294,6 +334,7 @@ impl Pruner {
 
                 if let Some((edge, bytes)) = table.select_max_bytes() {
                     info = Some(SelectionInfo::Edge { edge, bytes });
+                    emit_edge_selection(telemetry, table, gc_index, edge, bytes);
                 }
                 table.reset_bytes();
                 stats
@@ -303,6 +344,7 @@ impl Pruner {
                 let stats = trace(heap, roots.iter(), &mut visitor);
                 if let Some((edge, bytes)) = table.select_max_bytes() {
                     info = Some(SelectionInfo::Edge { edge, bytes });
+                    emit_edge_selection(telemetry, table, gc_index, edge, bytes);
                 }
                 table.reset_bytes();
                 stats
@@ -315,6 +357,10 @@ impl Pruner {
                 let stats = trace(heap, roots.iter(), &mut visitor);
                 if visitor.max_stale >= 2 {
                     info = Some(SelectionInfo::StaleLevel(visitor.max_stale));
+                    telemetry.emit(|| Event::SelectionStale {
+                        gc_index,
+                        level: visitor.max_stale,
+                    });
                 }
                 stats
             }
@@ -358,6 +404,35 @@ impl Pruner {
         self.total_pruned_refs += pruned;
         (outcome, pruned)
     }
+}
+
+/// Emits a SELECT decision with the runner-up edges it beat (read before
+/// `reset_bytes` wipes the window), so selection is explainable from the
+/// trace alone.
+fn emit_edge_selection(
+    telemetry: &Telemetry,
+    table: &EdgeTable,
+    gc_index: u64,
+    edge: EdgeKey,
+    bytes: u64,
+) {
+    telemetry.emit(|| Event::SelectionEdge {
+        gc_index,
+        src: edge.src.index(),
+        tgt: edge.tgt.index(),
+        bytes,
+        runners_up: table
+            .top_bytes(4)
+            .into_iter()
+            .filter(|(key, _)| *key != edge)
+            .take(3)
+            .map(|(key, edge_bytes)| EdgeShare {
+                src: key.src.index(),
+                tgt: key.tgt.index(),
+                bytes: edge_bytes,
+            })
+            .collect(),
+    });
 }
 
 #[cfg(test)]
@@ -430,7 +505,7 @@ mod tests {
         }
 
         let config = PruningConfig::builder(1 << 20).build();
-        let mut pruner = Pruner::new(&config);
+        let mut pruner = Pruner::new(&config, Telemetry::new());
         // The program once used an E->C reference at staleness 2.
         pruner.table.note_stale_use(EdgeKey::new(e, c), 2);
         // Start in SELECT (the heap is "nearly full" by assumption).
@@ -491,7 +566,7 @@ mod tests {
         let config = PruningConfig::builder(1024)
             .force_state(ForcedState::Select)
             .build();
-        let mut pruner = Pruner::new(&config);
+        let mut pruner = Pruner::new(&config, Telemetry::new());
         let mut heap = Heap::new(1024);
         let roots = RootSet::new();
         let mut collector = Collector::new();
@@ -506,7 +581,7 @@ mod tests {
     #[test]
     fn disabled_pruning_keeps_state_inactive() {
         let config = PruningConfig::base(1024);
-        let mut pruner = Pruner::new(&config);
+        let mut pruner = Pruner::new(&config, Telemetry::new());
         let mut heap = Heap::new(64); // tiny: always "full"
         let roots = RootSet::new();
         let mut collector = Collector::new();
@@ -518,7 +593,7 @@ mod tests {
     #[test]
     fn prune_without_selection_degrades_to_observe() {
         let config = PruningConfig::builder(1 << 20).build();
-        let mut pruner = Pruner::new(&config);
+        let mut pruner = Pruner::new(&config, Telemetry::new());
         pruner.state = State::Prune;
         let mut heap = Heap::new(1 << 20);
         let roots = RootSet::new();

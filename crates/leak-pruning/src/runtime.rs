@@ -20,6 +20,7 @@ use lp_gc::{Collector, GcStats};
 use lp_heap::{
     AllocSpec, ClassId, ClassRegistry, FrameId, Handle, Heap, RootSet, StaticId, TaggedRef,
 };
+use lp_telemetry::{CensusEntry, Event, Telemetry};
 
 use crate::config::{BarrierMode, PruningConfig};
 use crate::edge_table::{EdgeKey, EdgeTable};
@@ -41,6 +42,9 @@ pub struct MutatorCounters {
     /// Cold-path hits that updated an edge's `max_stale_use` (target was
     /// stale when used).
     pub stale_use_updates: u64,
+    /// Loads that threw because the reference (or its whole target object)
+    /// had been pruned.
+    pub pruned_access_throws: u64,
     /// Finalizers run.
     pub finalizers_run: u64,
     /// Finalizers skipped because pruning had started and
@@ -93,6 +97,13 @@ pub struct Runtime {
     /// Heap usage at the end of the last full collection, for the
     /// generational full-collection trigger.
     used_at_last_full: u64,
+    /// The runtime's event bus. Heap, collector and pruner hold clones, so
+    /// one attached sink sees allocation, GC-phase, state-machine and
+    /// per-collection events on a single sequenced stream.
+    telemetry: Telemetry,
+    /// Counter values at the last `CounterDelta` emission, so each event
+    /// carries deltas rather than cumulative totals.
+    counters_at_last_emit: MutatorCounters,
 }
 
 /// Fraction of the heap the mutator must allocate between two collections
@@ -129,9 +140,18 @@ impl Runtime {
         // everywhere.
         let mut collector = Collector::new();
         collector.set_sweep_threads(config.sweep_threads());
+        // One bus for the whole runtime: the heap (alloc/free events and the
+        // collector's phase spans) and the pruner (state machine, selection)
+        // hold clones, so everything lands on a single sequenced stream.
+        let telemetry = Telemetry::new();
+        if let Some(slots) = config.flight_recorder_slots() {
+            telemetry.enable_recorder(slots);
+        }
+        let mut heap = Heap::new(config.heap_capacity());
+        heap.set_telemetry(telemetry.clone());
         Runtime {
-            heap: Heap::new(config.heap_capacity()),
-            pruner: Pruner::new(&config),
+            heap,
+            pruner: Pruner::new(&config, telemetry.clone()),
             classes: ClassRegistry::new(),
             roots: RootSet::new(),
             collector,
@@ -141,6 +161,8 @@ impl Runtime {
             bytes_since_gc: 0,
             reads_since_gc: 0,
             used_at_last_full: 0,
+            telemetry,
+            counters_at_last_emit: MutatorCounters::default(),
             config,
         }
     }
@@ -150,11 +172,24 @@ impl Runtime {
         &self.config
     }
 
+    /// The runtime's event bus. Attach sinks or a flight recorder here; all
+    /// components (heap, collector, pruner, workload drivers) share it.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     // ----- classes --------------------------------------------------------
 
     /// Interns a class name.
     pub fn register_class(&mut self, name: &str) -> ClassId {
-        self.classes.register(name)
+        let id = self.classes.register(name);
+        // Traces are self-describing: replay tools resolve the raw class
+        // indices later events carry from these registrations.
+        self.telemetry.emit(|| Event::ClassReg {
+            class: id.index(),
+            name: name.to_owned(),
+        });
+        id
     }
 
     /// The class registry.
@@ -367,7 +402,73 @@ impl Runtime {
         }
         self.history.push(record.clone());
         self.used_at_last_full = self.heap.used_bytes();
+        self.emit_collection_events(&record);
         record
+    }
+
+    /// Per-collection telemetry: a `Collection` snapshot, a `CounterDelta`
+    /// against the previous emission, and (every `census_period` collections,
+    /// when configured) an edge-table census.
+    fn emit_collection_events(&mut self, record: &GcRecord) {
+        if !self.telemetry.is_enabled() {
+            // Leave `counters_at_last_emit` untouched so the next delta,
+            // emitted once a sink attaches, covers the gap.
+            return;
+        }
+        self.telemetry.emit(|| Event::Collection {
+            gc_index: record.gc_index,
+            state: record.state.name().to_owned(),
+            live_bytes_after: record.live_bytes_after,
+            live_objects_after: record.live_objects_after,
+            freed_bytes: record.freed_bytes,
+            freed_objects: record.freed_objects,
+            pruned_refs: record.pruned_refs,
+            mark_nanos: record.mark_time.as_nanos() as u64,
+            sweep_nanos: record.sweep_time.as_nanos() as u64,
+        });
+        let now = self.counters;
+        let last = self.counters_at_last_emit;
+        self.counters_at_last_emit = now;
+        self.telemetry.emit(|| Event::CounterDelta {
+            gc_index: record.gc_index,
+            ref_reads: now.ref_reads - last.ref_reads,
+            barrier_cold_hits: now.barrier_cold_hits - last.barrier_cold_hits,
+            stale_use_updates: now.stale_use_updates - last.stale_use_updates,
+            pruned_access_throws: now.pruned_access_throws - last.pruned_access_throws,
+            finalizers_run: now.finalizers_run - last.finalizers_run,
+            finalizers_skipped: now.finalizers_skipped - last.finalizers_skipped,
+            minor_collections: now.minor_collections - last.minor_collections,
+            remembered_stores: now.remembered_stores - last.remembered_stores,
+        });
+        if let Some(period) = self.config.census_period() {
+            if record.gc_index.is_multiple_of(period) {
+                self.emit_edge_census();
+            }
+        }
+    }
+
+    /// Emits an [`Event::EdgeCensus`] snapshot of the edge table right now.
+    ///
+    /// Runs automatically every `census_period` collections when the config
+    /// sets one; callers can also invoke it directly (e.g. once at the end
+    /// of a run) to get a final snapshot into the trace.
+    pub fn emit_edge_census(&self) {
+        let table = self.pruner.table();
+        self.telemetry.emit(|| Event::EdgeCensus {
+            gc_index: self.collector.collections(),
+            edge_types: table.len() as u64,
+            capacity: table.capacity() as u64,
+            footprint_bytes: table.footprint_bytes() as u64,
+            entries: table
+                .iter()
+                .map(|entry| CensusEntry {
+                    src: entry.key.src.index(),
+                    tgt: entry.key.tgt.index(),
+                    max_stale_use: entry.max_stale_use,
+                    bytes_used: entry.bytes_used,
+                })
+                .collect(),
+        });
     }
 
     // ----- field access (the read barrier) ---------------------------------
@@ -400,6 +501,7 @@ impl Runtime {
                 .averted_oom()
                 .cloned()
                 .unwrap_or_else(|| self.current_oom(0));
+            self.counters.pruned_access_throws += 1;
             return Err(RuntimeError::PrunedAccess(PrunedAccessError::new(
                 cause, None, field,
             )));
@@ -419,6 +521,7 @@ impl Runtime {
                 .averted_oom()
                 .cloned()
                 .unwrap_or_else(|| self.current_oom(0));
+            self.counters.pruned_access_throws += 1;
             return Err(RuntimeError::PrunedAccess(PrunedAccessError::new(
                 cause,
                 Some(src_obj.class()),
@@ -960,6 +1063,72 @@ mod barrier_tests {
         rt.read_field(a, 0).unwrap();
         assert_eq!(rt.counters().stale_use_updates, 1);
         assert_eq!(rt.edge_table().len(), 1);
+    }
+
+    /// §4.1 boundary: staleness 0 (the target was just used through another
+    /// reference) must not update `max_stale_use`.
+    #[test]
+    fn stale_zero_never_updates_edge_table() {
+        let (mut rt, a, b) = observing_runtime();
+        rt.write_field(a, 1, Some(b)); // second path to the same target
+        rt.force_gc(); // tags both fields; b's staleness is now 1
+        rt.read_field(a, 0).unwrap(); // clears b's staleness to 0
+        assert_eq!(rt.stale_of(b), 0);
+        // Cold-path read through the still-tagged second field: stale = 0.
+        let cold_before = rt.counters().barrier_cold_hits;
+        rt.read_field(a, 1).unwrap();
+        assert_eq!(rt.counters().barrier_cold_hits, cold_before + 1);
+        assert_eq!(rt.counters().stale_use_updates, 0);
+        assert_eq!(rt.edge_table().len(), 0);
+    }
+
+    /// §4.1 boundary: staleness exactly 1 — "a value of 1 is not very
+    /// stale" — must not update the edge table.
+    #[test]
+    fn stale_one_never_updates_edge_table() {
+        let (mut rt, a, b) = observing_runtime();
+        rt.force_gc();
+        assert_eq!(rt.stale_of(b), 1);
+        rt.read_field(a, 0).unwrap();
+        assert_eq!(rt.counters().stale_use_updates, 0);
+        assert_eq!(rt.edge_table().len(), 0);
+    }
+
+    /// §4.1 boundary: staleness exactly 2 is the first level that records a
+    /// stale use, and the recorded `max_stale_use` is exactly 2.
+    #[test]
+    fn stale_two_records_exactly_one_update() {
+        let (mut rt, a, b) = observing_runtime();
+        rt.force_gc();
+        rt.force_gc();
+        assert_eq!(rt.stale_of(b), 2);
+        rt.read_field(a, 0).unwrap();
+        assert_eq!(rt.counters().stale_use_updates, 1);
+        let entries: Vec<_> = rt.edge_table().iter().collect();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].max_stale_use, 2);
+    }
+
+    /// In INACTIVE the pruner is not observing: stale uses tick nothing and
+    /// the edge table stays empty, no matter how stale the target is.
+    #[test]
+    fn inactive_state_records_no_stale_uses() {
+        // Large heap, no forced state: occupancy stays far below the
+        // expected-use threshold, so the machine stays INACTIVE.
+        let mut rt = Runtime::new(PruningConfig::builder(1 << 24).build());
+        let cls = rt.register_class("T");
+        let root = rt.add_static();
+        let a = rt.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+        let b = rt.alloc(cls, &AllocSpec::default()).unwrap();
+        rt.set_static(root, Some(a));
+        rt.write_field(a, 0, Some(b));
+        for _ in 0..6 {
+            rt.force_gc();
+        }
+        assert_eq!(rt.state(), crate::State::Inactive);
+        rt.read_field(a, 0).unwrap();
+        assert_eq!(rt.counters().stale_use_updates, 0);
+        assert_eq!(rt.edge_table().len(), 0);
     }
 
     #[test]

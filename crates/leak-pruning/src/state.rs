@@ -34,17 +34,21 @@ impl State {
     pub fn observes(self) -> bool {
         !matches!(self, State::Inactive)
     }
-}
 
-impl fmt::Display for State {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
+    /// The paper's uppercase name, as used in traces and figures.
+    pub fn name(self) -> &'static str {
+        match self {
             State::Inactive => "INACTIVE",
             State::Observe => "OBSERVE",
             State::Select => "SELECT",
             State::Prune => "PRUNE",
-        };
-        f.write_str(name)
+        }
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

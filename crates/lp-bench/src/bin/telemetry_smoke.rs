@@ -1,0 +1,119 @@
+//! End-to-end telemetry smoke check, used by CI.
+//!
+//! Runs the ListLeak workload with a JSONL sink, a Prometheus snapshot sink
+//! and a pause-time histogram attached, then validates the trace the run
+//! produced:
+//!
+//! 1. every line parses back as a [`lp_telemetry::TraceLine`];
+//! 2. replaying the trace yields *exactly* the per-collection
+//!    `live_bytes_after` sequence the in-process `GcRecord` history
+//!    reported (the driver's reachable-memory series).
+//!
+//! Exits non-zero on any mismatch. Writes the trace to
+//! `bench_out/list_leak_trace.jsonl` so `trace_replay` can chart it.
+
+use std::process::ExitCode;
+
+use lp_bench::output_dir;
+use lp_bench::trace::Trace;
+use lp_telemetry::{JsonlSink, PauseHistogram, PrometheusSink};
+use lp_workloads::driver::{run_workload_with, Flavor, RunOptions};
+use lp_workloads::leaks::ListLeak;
+
+fn main() -> ExitCode {
+    let iterations: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000);
+
+    let trace_path = output_dir().join("list_leak_trace.jsonl");
+    let jsonl = match JsonlSink::create(&trace_path) {
+        Ok(sink) => sink,
+        Err(e) => {
+            eprintln!(
+                "telemetry_smoke: cannot create {}: {e}",
+                trace_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let prometheus = PrometheusSink::new();
+    let histogram = PauseHistogram::new();
+
+    eprintln!("running ListLeak for {iterations} iterations with sinks attached ...");
+    let opts = RunOptions::new(Flavor::pruning()).iteration_cap(iterations);
+    let (prom_handle, hist_handle) = (prometheus.clone(), histogram.clone());
+    let result = run_workload_with(&mut ListLeak::new(), &opts, move |rt| {
+        rt.telemetry().add_sink(Box::new(jsonl));
+        rt.telemetry().add_sink(Box::new(prom_handle));
+        rt.telemetry().add_sink(Box::new(hist_handle));
+    });
+    // run_workload_with drops the runtime on return, which drops the bus
+    // and with it the JSONL sink's BufWriter — the trace file is complete
+    // on disk by this point. The prometheus/histogram handles above are
+    // clones sharing state with the sinks the bus owned.
+
+    let expected: Vec<u64> = result
+        .reachable_memory
+        .points()
+        .iter()
+        .map(|(_, y)| *y as u64)
+        .collect();
+    println!(
+        "run finished: {} iterations, {} collections, termination: {}",
+        result.iterations,
+        result.gc_count,
+        result.termination.describe()
+    );
+
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("telemetry_smoke: cannot read {}: {e}", trace_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match Trace::parse(&text) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("telemetry_smoke: trace validation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "trace: {} events, all lines parse ({})",
+        trace.lines().len(),
+        trace_path.display()
+    );
+
+    let replayed = trace.live_bytes_sequence();
+    if replayed != expected {
+        eprintln!(
+            "telemetry_smoke: replay mismatch: trace has {} collections {:?}..., \
+             history has {} {:?}...",
+            replayed.len(),
+            &replayed[..replayed.len().min(5)],
+            expected.len(),
+            &expected[..expected.len().min(5)],
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "replay matches the in-process history exactly ({} collections, final live bytes {})",
+        replayed.len(),
+        replayed.last().copied().unwrap_or(0),
+    );
+
+    if let (Some(p50), Some(p95), Some(max)) = (histogram.p50(), histogram.p95(), histogram.max()) {
+        println!(
+            "pause times over {} collections: p50 {p50:?}, p95 {p95:?}, max {max:?}",
+            histogram.count()
+        );
+    }
+    let exposition = prometheus.render();
+    for line in exposition.lines().filter(|l| !l.starts_with('#')) {
+        println!("  {line}");
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,92 @@
+//! Replays a JSONL telemetry trace offline: rebuilds the Figure 1/9
+//! reachable-memory curve, summarises the event stream, and writes the
+//! curve as CSV — all from the trace file alone, no live runtime needed.
+//!
+//! Usage: `trace_replay <trace.jsonl> [curve-name]`
+//!
+//! Produce a trace with the `telemetry_smoke` binary, or by attaching a
+//! [`lp_telemetry::JsonlSink`] to any runtime's bus.
+
+use std::process::ExitCode;
+
+use lp_bench::trace::Trace;
+use lp_bench::{human_bytes, write_series_csv};
+use lp_metrics::{AsciiChart, Series};
+use lp_telemetry::Event;
+
+fn to_mb(series: &Series, label: &str) -> Series {
+    let mut out = Series::new(label.to_owned());
+    for (x, y) in series.points() {
+        out.push(*x, *y / (1024.0 * 1024.0));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_replay <trace.jsonl> [curve-name]");
+        return ExitCode::FAILURE;
+    };
+    let curve_name = args.next().unwrap_or_else(|| "trace_replay".to_owned());
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("trace_replay: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match Trace::parse(&text) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("trace_replay: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("trace: {path} ({} events)", trace.lines().len());
+    for (kind, count) in trace.kind_counts() {
+        println!("  {kind:<12} {count}");
+    }
+
+    // Selections, with class indices resolved through the trace's own
+    // class_reg events — the trace is self-describing.
+    for line in trace.lines() {
+        if let Event::SelectionEdge {
+            gc_index,
+            src,
+            tgt,
+            bytes,
+            ..
+        } = &line.event
+        {
+            println!(
+                "  gc {gc_index}: selected {} -> {} ({})",
+                trace.class_name(*src),
+                trace.class_name(*tgt),
+                human_bytes(*bytes),
+            );
+        }
+    }
+
+    let live = trace.live_bytes_sequence();
+    if live.is_empty() {
+        println!("\nno collection events; nothing to plot");
+        return ExitCode::SUCCESS;
+    }
+
+    let curve = trace.reachable_memory("Replayed from trace");
+    let curve_mb = to_mb(&curve, "Replayed from trace");
+    println!("\nReachable memory (MB) vs iteration, replayed from the trace\n");
+    print!("{}", AsciiChart::new(76, 16).render(&[&curve_mb]));
+    println!(
+        "\n{} collections; final reachable memory {}",
+        live.len(),
+        human_bytes(*live.last().expect("non-empty")),
+    );
+
+    let csv = write_series_csv(&curve_name, "iteration", &[&curve]);
+    println!("wrote {}", csv.display());
+    ExitCode::SUCCESS
+}

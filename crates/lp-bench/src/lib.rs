@@ -11,6 +11,8 @@
 
 use std::path::PathBuf;
 
+pub mod trace;
+
 /// Where experiment binaries write their CSV artifacts.
 ///
 /// Defaults to `bench_out/` in the working directory; override with the

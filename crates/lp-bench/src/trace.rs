@@ -1,0 +1,168 @@
+//! Replaying JSONL telemetry traces.
+//!
+//! A trace written by [`lp_telemetry::JsonlSink`] carries everything needed
+//! to reconstruct the paper's reachable-memory curves (Figures 1 and 9)
+//! without the process that produced it: `iteration` marks give the x-axis,
+//! `collection` events give the y-axis, and `class_reg` events resolve the
+//! raw class indices other events carry.
+
+use std::collections::BTreeMap;
+
+use lp_metrics::Series;
+use lp_telemetry::{Event, TraceLine};
+
+/// A parsed trace: every line, in sequence order, plus the class-name map
+/// accumulated from `class_reg` events.
+#[derive(Debug)]
+pub struct Trace {
+    lines: Vec<TraceLine>,
+    classes: BTreeMap<u32, String>,
+}
+
+impl Trace {
+    /// Parses a whole JSONL document (blank lines are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns `"line N: <reason>"` for the first malformed line.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let mut lines = Vec::new();
+        let mut classes = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let line = TraceLine::parse(raw).map_err(|e| format!("line {}: {e}", idx + 1))?;
+            if let Event::ClassReg { class, name } = &line.event {
+                classes.insert(*class, name.clone());
+            }
+            lines.push(line);
+        }
+        Ok(Trace { lines, classes })
+    }
+
+    /// The parsed lines, in emission (sequence) order.
+    pub fn lines(&self) -> &[TraceLine] {
+        &self.lines
+    }
+
+    /// Resolves a class index recorded in the trace.
+    pub fn class_name(&self, class: u32) -> &str {
+        self.classes
+            .get(&class)
+            .map_or("<unregistered>", String::as_str)
+    }
+
+    /// Number of events of each kind, for trace summaries.
+    pub fn kind_counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts = BTreeMap::new();
+        for line in &self.lines {
+            *counts.entry(line.event.kind()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// `live_bytes_after` of every full-heap collection, in order — the
+    /// exact sequence the in-process `GcRecord` history reports.
+    pub fn live_bytes_sequence(&self) -> Vec<u64> {
+        self.lines
+            .iter()
+            .filter_map(|line| match line.event {
+                Event::Collection {
+                    live_bytes_after, ..
+                } => Some(live_bytes_after),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Rebuilds the Figure 1/9 reachable-memory curve: each collection's
+    /// `live_bytes_after` against the workload iteration it ran during.
+    ///
+    /// Collections before the first `iteration` mark (setup) land on x = 0,
+    /// matching how the in-process driver attributes them.
+    pub fn reachable_memory(&self, label: impl Into<String>) -> Series {
+        let mut series = Series::new(label);
+        let mut iteration = 0u64;
+        for line in &self.lines {
+            match line.event {
+                Event::Iteration { index } => iteration = index,
+                Event::Collection {
+                    live_bytes_after, ..
+                } => series.push(iteration as f64, live_bytes_after as f64),
+                _ => {}
+            }
+        }
+        series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_from(lines: &[(u64, Event)]) -> Trace {
+        let text = lines
+            .iter()
+            .map(|(seq, event)| {
+                TraceLine {
+                    seq: *seq,
+                    ts_nanos: seq * 10,
+                    event: event.clone(),
+                }
+                .to_json()
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        Trace::parse(&text).unwrap()
+    }
+
+    fn collection(gc_index: u64, live: u64) -> Event {
+        Event::Collection {
+            gc_index,
+            state: "OBSERVE".to_owned(),
+            live_bytes_after: live,
+            live_objects_after: 1,
+            freed_bytes: 0,
+            freed_objects: 0,
+            pruned_refs: 0,
+            mark_nanos: 5,
+            sweep_nanos: 5,
+        }
+    }
+
+    #[test]
+    fn rebuilds_curve_with_iteration_attribution() {
+        let trace = trace_from(&[
+            (0, collection(1, 64)), // setup collection -> x = 0
+            (1, Event::Iteration { index: 0 }),
+            (2, Event::Iteration { index: 1 }),
+            (3, collection(2, 128)),
+            (4, Event::Iteration { index: 2 }),
+            (5, collection(3, 96)),
+        ]);
+        let series = trace.reachable_memory("replay");
+        assert_eq!(series.points(), &[(0.0, 64.0), (1.0, 128.0), (2.0, 96.0)]);
+        assert_eq!(trace.live_bytes_sequence(), vec![64, 128, 96]);
+    }
+
+    #[test]
+    fn resolves_class_names() {
+        let trace = trace_from(&[(
+            0,
+            Event::ClassReg {
+                class: 7,
+                name: "Map<K,V>".to_owned(),
+            },
+        )]);
+        assert_eq!(trace.class_name(7), "Map<K,V>");
+        assert_eq!(trace.class_name(8), "<unregistered>");
+        assert_eq!(trace.kind_counts().get("class_reg"), Some(&1));
+    }
+
+    #[test]
+    fn reports_bad_line_number() {
+        let err = Trace::parse("\n{\"seq\":0}\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

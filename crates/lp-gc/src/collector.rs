@@ -3,6 +3,7 @@
 use std::time::{Duration, Instant};
 
 use lp_heap::{Heap, RootSet, SweepOutcome};
+use lp_telemetry::{Event, GcPhase};
 
 use crate::parallel::{par_trace_timed, ParEdgeVisitor};
 use crate::stats::GcStats;
@@ -153,18 +154,43 @@ impl Collector {
         mark: impl FnOnce(&Heap) -> (TraceStats, Vec<Duration>),
     ) -> CollectionOutcome {
         self.gc_count += 1;
+        let gc_index = self.gc_count;
         heap.begin_mark_epoch();
 
+        // Phase spans go out on the heap's bus so they interleave with its
+        // alloc/free events (and the runtime's records) on one sequence.
+        heap.telemetry().emit(|| Event::PhaseBegin {
+            gc_index,
+            phase: GcPhase::Mark,
+        });
         let mark_start = Instant::now();
         let (trace_stats, mut mark_thread_times) = mark(heap);
         let mark_time = mark_start.elapsed();
         if mark_thread_times.is_empty() {
             mark_thread_times.push(mark_time);
         }
+        heap.telemetry().emit(|| Event::PhaseEnd {
+            gc_index,
+            phase: GcPhase::Mark,
+            nanos: duration_nanos(mark_time),
+            threads: mark_thread_times.len() as u64,
+            busy_nanos: busy_nanos(&mark_thread_times),
+        });
 
+        heap.telemetry().emit(|| Event::PhaseBegin {
+            gc_index,
+            phase: GcPhase::Sweep,
+        });
         let sweep_start = Instant::now();
         let (swept, sweep_thread_times) = heap.sweep_parallel_timed(self.sweep_threads);
         let sweep_time = sweep_start.elapsed();
+        heap.telemetry().emit(|| Event::PhaseEnd {
+            gc_index,
+            phase: GcPhase::Sweep,
+            nanos: duration_nanos(sweep_time),
+            threads: sweep_thread_times.len() as u64,
+            busy_nanos: busy_nanos(&sweep_thread_times),
+        });
 
         self.stats.record(
             mark_time,
@@ -189,6 +215,16 @@ impl Collector {
             sweep_thread_times,
         }
     }
+}
+
+fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn busy_nanos(thread_times: &[Duration]) -> u64 {
+    thread_times
+        .iter()
+        .fold(0u64, |acc, d| acc.saturating_add(duration_nanos(*d)))
 }
 
 #[cfg(test)]
@@ -326,6 +362,49 @@ mod tests {
         assert_eq!(serial.mark_thread_times.len(), 1);
         assert_eq!(serial.mark_thread_times[0], serial.mark_time);
         assert_eq!(collector.stats().max_mark_threads(), 3);
+    }
+
+    #[test]
+    fn collections_emit_ordered_phase_spans() {
+        let (mut heap, mut roots, cls) = setup();
+        let telemetry = lp_telemetry::Telemetry::with_recorder(64);
+        heap.set_telemetry(telemetry.clone());
+        let live = heap.alloc(cls, &AllocSpec::default()).unwrap();
+        heap.alloc(cls, &AllocSpec::default()).unwrap(); // garbage
+        let s = roots.add_static();
+        roots.set_static(s, Some(live));
+
+        let mut collector = Collector::new();
+        collector.collect(&mut heap, &roots, &mut TraceAll);
+
+        let spans: Vec<_> = telemetry
+            .recorder_snapshot()
+            .into_iter()
+            .filter_map(|line| match line.event {
+                Event::PhaseBegin { gc_index, phase } => Some((gc_index, phase, false)),
+                Event::PhaseEnd {
+                    gc_index,
+                    phase,
+                    nanos,
+                    threads,
+                    busy_nanos,
+                } => {
+                    assert!(threads >= 1);
+                    assert!(busy_nanos <= nanos.saturating_mul(threads));
+                    Some((gc_index, phase, true))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            spans,
+            vec![
+                (1, GcPhase::Mark, false),
+                (1, GcPhase::Mark, true),
+                (1, GcPhase::Sweep, false),
+                (1, GcPhase::Sweep, true),
+            ]
+        );
     }
 
     #[test]

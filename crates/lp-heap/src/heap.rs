@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
+use lp_telemetry::{Event, Telemetry};
+
 use crate::class::ClassId;
 use crate::error::AllocError;
 use crate::finalizer::FinalizeLog;
@@ -125,6 +127,9 @@ pub struct Heap {
     /// One summary per [`CHUNK_SLOTS`] run of slots; lets sweeps and
     /// iteration skip empty and fully-live chunks.
     chunks: Vec<ChunkSummary>,
+    /// Event bus for allocation/free accounting events. Disabled (one
+    /// relaxed load per emission) until the owner attaches a listener.
+    telemetry: Telemetry,
 }
 
 impl Heap {
@@ -145,7 +150,20 @@ impl Heap {
             young_bytes: 0,
             remembered: Vec::new(),
             chunks: Vec::new(),
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// Replaces the heap's event bus (normally with the runtime's shared
+    /// bus, so heap events interleave with GC and pruning events on one
+    /// sequenced stream).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The heap's event bus.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The heap bound in simulated bytes.
@@ -222,6 +240,10 @@ impl Heap {
         self.young_flags[slot as usize] = true;
         self.young_bytes += bytes;
         self.stats.record_alloc(bytes, self.used_bytes);
+        self.telemetry.emit(|| Event::Alloc {
+            class: class.index(),
+            bytes,
+        });
         Ok(Handle::from_parts(slot, self.generations[slot as usize]))
     }
 
@@ -369,6 +391,7 @@ impl Heap {
         self.young_bytes = 0;
         self.remembered.clear();
         self.stats.record_sweep(&outcome);
+        self.emit_freed(&outcome);
         outcome
     }
 
@@ -623,7 +646,21 @@ impl Heap {
         self.young_bytes = 0;
         self.remembered.clear();
         self.stats.record_sweep(&outcome);
+        self.emit_freed(&outcome);
         outcome
+    }
+
+    /// Emits one `freed` event per sweep that actually reclaimed memory.
+    /// Serial, parallel and nursery sweeps all funnel through here (the
+    /// parallel sweep via [`Heap::finish_full_sweep`]), so a sweep is
+    /// reported exactly once regardless of strategy.
+    fn emit_freed(&self, outcome: &SweepOutcome) {
+        if outcome.freed_objects > 0 {
+            self.telemetry.emit(|| Event::Freed {
+                objects: outcome.freed_objects,
+                bytes: outcome.freed_bytes,
+            });
+        }
     }
 }
 

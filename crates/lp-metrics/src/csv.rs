@@ -38,7 +38,9 @@ pub fn write_csv<W: Write>(writer: &mut W, x_label: &str, series: &[&Series]) ->
 }
 
 fn escape(field: &str) -> String {
-    if field.contains([',', '"', '\n']) {
+    // RFC 4180: quote fields containing separators, quotes, or either line
+    // ending ('\r' alone still breaks naive consumers), doubling quotes.
+    if field.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_string()
@@ -71,5 +73,60 @@ mod tests {
         let mut out = Vec::new();
         write_csv(&mut out, "x", &[&s]).unwrap();
         assert!(String::from_utf8(out).unwrap().starts_with("x,\"a,b\""));
+    }
+
+    fn header_for(label: &str) -> String {
+        let s = Series::new(label);
+        let mut out = Vec::new();
+        write_csv(&mut out, "x", &[&s]).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .to_owned()
+    }
+
+    #[test]
+    fn generic_class_names_pass_through_quoted() {
+        // Edge-type labels are class-name pairs; generics carry commas.
+        assert_eq!(
+            header_for("java.util.Map<K,V> -> Entry<K,V>"),
+            "x,\"java.util.Map<K,V> -> Entry<K,V>\""
+        );
+        // Angle brackets alone need no quoting.
+        assert_eq!(header_for("List<T>"), "x,List<T>");
+    }
+
+    #[test]
+    fn embedded_quotes_are_doubled() {
+        assert_eq!(header_for("say \"hi\""), "x,\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn newlines_and_carriage_returns_are_quoted() {
+        assert_eq!(header_for("two\nlines"), "x,\"two");
+        let s = Series::new("cr\rhere");
+        let mut out = Vec::new();
+        write_csv(&mut out, "x", &[&s]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("x,\"cr\rhere\""), "{text:?}");
+    }
+
+    #[test]
+    fn quoted_x_label_too() {
+        assert!(header_for_x("time,s").starts_with("\"time,s\""));
+    }
+
+    fn header_for_x(x_label: &str) -> String {
+        let s = Series::new("y");
+        let mut out = Vec::new();
+        write_csv(&mut out, x_label, &[&s]).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .to_owned()
     }
 }

@@ -1,0 +1,363 @@
+//! The event bus: a cheap-to-clone handle, a fixed-capacity ring-buffer
+//! flight recorder, and pluggable sinks.
+//!
+//! The design goal is an *always-on* emission path whose disabled cost is
+//! one relaxed atomic load and a predictable branch. [`Telemetry::emit`]
+//! takes a closure so event payloads (string formatting, vector
+//! collection) are never built unless something is listening; the cold
+//! delivery path is `#[cold]` and out-of-line.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::event::{Event, TraceLine};
+
+/// A destination for trace lines.
+///
+/// Sinks run under the bus lock, in sequence order, so implementations
+/// should do bounded work per line and defer heavy I/O to [`Sink::flush`]
+/// where possible.
+pub trait Sink: Send {
+    /// Receives one sequenced event.
+    fn record(&mut self, line: &TraceLine);
+
+    /// Flushes any buffered output. Default: no-op.
+    fn flush(&mut self) {}
+}
+
+/// Fixed-capacity ring buffer holding the most recent trace lines —
+/// the "flight recorder": cheap enough to leave on in production, and
+/// inspected after the fact when something goes wrong.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: usize,
+    buffer: VecDeque<TraceLine>,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining the last `slots` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn new(slots: usize) -> FlightRecorder {
+        assert!(slots > 0, "flight recorder needs at least one slot");
+        FlightRecorder {
+            slots,
+            buffer: VecDeque::with_capacity(slots),
+            dropped: 0,
+        }
+    }
+
+    fn record(&mut self, line: &TraceLine) {
+        if self.buffer.len() == self.slots {
+            self.buffer.pop_front();
+            self.dropped += 1;
+        }
+        self.buffer.push_back(line.clone());
+    }
+
+    /// Retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceLine> {
+        self.buffer.iter().cloned().collect()
+    }
+
+    /// Events evicted to make room since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retention capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots
+    }
+}
+
+#[derive(Default)]
+struct BusState {
+    recorder: Option<FlightRecorder>,
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+struct Inner {
+    /// True iff a recorder or at least one sink is attached. Checked with
+    /// a relaxed load on every emission; this is the entire disabled-path
+    /// cost.
+    enabled: AtomicBool,
+    /// Total events delivered (not a sequence source — sequence numbers
+    /// are assigned under the lock so sinks see a gap-free order).
+    delivered: AtomicU64,
+    epoch: Instant,
+    state: Mutex<BusState>,
+}
+
+/// Handle to an event bus. Cloning is an `Arc` bump; all clones share the
+/// same recorder, sinks, sequence and clock, so a handle can be threaded
+/// through heap, collector and pruner without coordination.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::new()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .field("delivered", &self.events_delivered())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A disabled bus: no recorder, no sinks, emissions cost one load.
+    pub fn new() -> Telemetry {
+        Telemetry {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(false),
+                delivered: AtomicU64::new(0),
+                epoch: Instant::now(),
+                state: Mutex::new(BusState::default()),
+            }),
+        }
+    }
+
+    /// A bus with a flight recorder of `slots` events attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn with_recorder(slots: usize) -> Telemetry {
+        let bus = Telemetry::new();
+        bus.enable_recorder(slots);
+        bus
+    }
+
+    /// Attaches (or resizes) the flight recorder; existing recorded
+    /// events are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn enable_recorder(&self, slots: usize) {
+        let mut state = self.lock();
+        state.recorder = Some(FlightRecorder::new(slots));
+        self.refresh_enabled(&state);
+    }
+
+    /// Attaches a sink; events emitted from now on reach it in sequence
+    /// order.
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        let mut state = self.lock();
+        state.sinks.push(sink);
+        self.refresh_enabled(&state);
+    }
+
+    /// Whether any recorder or sink is listening. One relaxed load.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Emits an event. When the bus is disabled this is one relaxed
+    /// atomic load and a not-taken branch; `build` runs only when
+    /// something is listening.
+    #[inline]
+    pub fn emit(&self, build: impl FnOnce() -> Event) {
+        if self.is_enabled() {
+            self.deliver(build());
+        }
+    }
+
+    #[cold]
+    fn deliver(&self, event: Event) {
+        let ts_nanos = u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut state = self.lock();
+        // Sequence assignment happens under the lock so every recorder and
+        // sink observes a strictly increasing, gap-free order even when
+        // multiple handles emit concurrently.
+        let seq = self.inner.delivered.fetch_add(1, Ordering::Relaxed);
+        let line = TraceLine {
+            seq,
+            ts_nanos,
+            event,
+        };
+        if let Some(recorder) = state.recorder.as_mut() {
+            recorder.record(&line);
+        }
+        for sink in &mut state.sinks {
+            sink.record(&line);
+        }
+    }
+
+    /// Flushes all attached sinks.
+    pub fn flush(&self) {
+        for sink in &mut self.lock().sinks {
+            sink.flush();
+        }
+    }
+
+    /// Flight-recorder contents, oldest first (empty when no recorder is
+    /// attached).
+    pub fn recorder_snapshot(&self) -> Vec<TraceLine> {
+        self.lock()
+            .recorder
+            .as_ref()
+            .map(FlightRecorder::snapshot)
+            .unwrap_or_default()
+    }
+
+    /// Events evicted from the flight recorder since it was attached.
+    pub fn recorder_dropped(&self) -> u64 {
+        self.lock()
+            .recorder
+            .as_ref()
+            .map_or(0, FlightRecorder::dropped)
+    }
+
+    /// Total events delivered to the recorder/sinks since creation.
+    pub fn events_delivered(&self) -> u64 {
+        self.inner.delivered.load(Ordering::Relaxed)
+    }
+
+    fn refresh_enabled(&self, state: &BusState) {
+        let enabled = state.recorder.is_some() || !state.sinks.is_empty();
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BusState> {
+        // A sink that panicked mid-record poisons the lock; telemetry must
+        // never take the process down, so keep serving the current state.
+        match self.inner.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct CountingSink {
+        seen: Arc<AtomicUsize>,
+        flushes: Arc<AtomicUsize>,
+    }
+
+    impl Sink for CountingSink {
+        fn record(&mut self, _line: &TraceLine) {
+            self.seen.fetch_add(1, Ordering::Relaxed);
+        }
+        fn flush(&mut self) {
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn disabled_bus_never_builds_events() {
+        let bus = Telemetry::new();
+        assert!(!bus.is_enabled());
+        let mut built = false;
+        bus.emit(|| {
+            built = true;
+            Event::Iteration { index: 0 }
+        });
+        assert!(!built, "closure must not run with no listeners");
+        assert_eq!(bus.events_delivered(), 0);
+    }
+
+    #[test]
+    fn recorder_keeps_most_recent_events() {
+        let bus = Telemetry::with_recorder(3);
+        assert!(bus.is_enabled());
+        for i in 0..5 {
+            bus.emit(|| Event::Iteration { index: i });
+        }
+        let snapshot = bus.recorder_snapshot();
+        let indices: Vec<u64> = snapshot
+            .iter()
+            .map(|l| match l.event {
+                Event::Iteration { index } => index,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(indices, vec![2, 3, 4]);
+        assert_eq!(bus.recorder_dropped(), 2);
+        // Sequence numbers are gap-free and increasing.
+        let seqs: Vec<u64> = snapshot.iter().map(|l| l.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn sinks_receive_events_and_flushes() {
+        let bus = Telemetry::new();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let flushes = Arc::new(AtomicUsize::new(0));
+        bus.add_sink(Box::new(CountingSink {
+            seen: Arc::clone(&seen),
+            flushes: Arc::clone(&flushes),
+        }));
+        assert!(bus.is_enabled());
+        bus.emit(|| Event::Iteration { index: 1 });
+        bus.emit(|| Event::Freed {
+            objects: 1,
+            bytes: 2,
+        });
+        bus.flush();
+        assert_eq!(seen.load(Ordering::Relaxed), 2);
+        assert_eq!(flushes.load(Ordering::Relaxed), 1);
+        assert_eq!(bus.events_delivered(), 2);
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let bus = Telemetry::with_recorder(8);
+        let clone = bus.clone();
+        bus.emit(|| Event::Iteration { index: 0 });
+        clone.emit(|| Event::Iteration { index: 1 });
+        let snapshot = bus.recorder_snapshot();
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(snapshot[0].seq, 0);
+        assert_eq!(snapshot[1].seq, 1);
+    }
+
+    #[test]
+    fn concurrent_emission_is_gap_free() {
+        let bus = Telemetry::with_recorder(4096);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let bus = bus.clone();
+                std::thread::spawn(move || {
+                    for i in 0..256 {
+                        bus.emit(|| Event::Iteration {
+                            index: t * 1000 + i,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snapshot = bus.recorder_snapshot();
+        assert_eq!(snapshot.len(), 1024);
+        for (i, line) in snapshot.iter().enumerate() {
+            assert_eq!(line.seq, i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slot_recorder_panics() {
+        let _ = FlightRecorder::new(0);
+    }
+}

@@ -1,0 +1,740 @@
+//! The typed event taxonomy and its JSONL wire format.
+//!
+//! Events are deliberately flat and self-describing: class names appear
+//! once as [`Event::ClassReg`] registrations, and every later event refers
+//! to classes by their `u32` index, so a trace file carries everything a
+//! replay tool needs without access to the runtime that produced it.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::json::{self, JsonValue};
+
+/// A garbage-collection phase for span events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GcPhase {
+    /// The tracing/mark phase.
+    Mark,
+    /// The sweep phase.
+    Sweep,
+}
+
+impl GcPhase {
+    /// Stable lowercase tag used in traces and metric labels.
+    pub fn tag(self) -> &'static str {
+        match self {
+            GcPhase::Mark => "mark",
+            GcPhase::Sweep => "sweep",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<GcPhase> {
+        match tag {
+            "mark" => Some(GcPhase::Mark),
+            "sweep" => Some(GcPhase::Sweep),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GcPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One runner-up edge in a SELECT decision, so selection is explainable:
+/// the trace shows what was chosen *and* what it beat.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeShare {
+    /// Source class index.
+    pub src: u32,
+    /// Target class index.
+    pub tgt: u32,
+    /// Bytes attributed to the edge this SELECT window.
+    pub bytes: u64,
+}
+
+/// One edge-table entry in a census snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CensusEntry {
+    /// Source class index.
+    pub src: u32,
+    /// Target class index.
+    pub tgt: u32,
+    /// Saturating maximum staleness observed for the edge.
+    pub max_stale_use: u8,
+    /// Bytes attributed during the last SELECT window.
+    pub bytes_used: u64,
+}
+
+/// A typed telemetry event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A class was registered; maps the `class` index used by every other
+    /// event to a human-readable name.
+    ClassReg {
+        /// Class index.
+        class: u32,
+        /// Fully-qualified class name (may contain commas/angle brackets).
+        name: String,
+    },
+    /// A GC phase started.
+    PhaseBegin {
+        /// 1-based collection index.
+        gc_index: u64,
+        /// Which phase.
+        phase: GcPhase,
+    },
+    /// A GC phase finished.
+    PhaseEnd {
+        /// 1-based collection index.
+        gc_index: u64,
+        /// Which phase.
+        phase: GcPhase,
+        /// Wall-clock duration of the phase in nanoseconds.
+        nanos: u64,
+        /// Worker threads used (1 for serial phases).
+        threads: u64,
+        /// Summed per-thread busy time in nanoseconds (equals `nanos`
+        /// for serial phases).
+        busy_nanos: u64,
+    },
+    /// A Figure-2 state-machine transition, with the occupancy inputs
+    /// that drove it.
+    StateTransition {
+        /// Collection index at which the transition took effect.
+        gc_index: u64,
+        /// State the machine left (e.g. `"OBSERVE"`).
+        from: &'static str,
+        /// State the machine entered.
+        to: &'static str,
+        /// Post-collection heap occupancy in `[0, 1]`.
+        occupancy: f64,
+        /// Threshold for entering SELECT.
+        expected_threshold: f64,
+        /// Threshold for entering PRUNE.
+        nearly_full_threshold: f64,
+        /// Whether memory exhaustion has forced the machine at least once.
+        exhausted_once: bool,
+    },
+    /// A SELECT decision that chose an edge to prune.
+    SelectionEdge {
+        /// Collection index of the selecting collection.
+        gc_index: u64,
+        /// Source class index of the chosen edge.
+        src: u32,
+        /// Target class index of the chosen edge.
+        tgt: u32,
+        /// Bytes attributed to the chosen edge.
+        bytes: u64,
+        /// The next-best edges it beat, in descending byte order.
+        runners_up: Vec<EdgeShare>,
+    },
+    /// A SELECT decision under the most-stale policy (no single edge).
+    SelectionStale {
+        /// Collection index of the selecting collection.
+        gc_index: u64,
+        /// The staleness level selected for pruning.
+        level: u8,
+    },
+    /// Per-collection snapshot mirroring the in-process `GcRecord`.
+    Collection {
+        /// 1-based collection index.
+        gc_index: u64,
+        /// Pruning state during the collection (e.g. `"OBSERVE"`).
+        state: String,
+        /// Live bytes after the collection.
+        live_bytes_after: u64,
+        /// Live objects after the collection.
+        live_objects_after: u64,
+        /// Bytes freed by the collection.
+        freed_bytes: u64,
+        /// Objects freed by the collection.
+        freed_objects: u64,
+        /// References poisoned by the collection.
+        pruned_refs: u64,
+        /// Mark-phase wall time in nanoseconds.
+        mark_nanos: u64,
+        /// Sweep-phase wall time in nanoseconds.
+        sweep_nanos: u64,
+    },
+    /// Barrier and mutator counter *deltas* since the previous
+    /// `CounterDelta` event.
+    CounterDelta {
+        /// Collection index the delta window ended at.
+        gc_index: u64,
+        /// Reference reads through `read_field`.
+        ref_reads: u64,
+        /// Cold-path barrier executions.
+        barrier_cold_hits: u64,
+        /// Stale-use observations recorded in the edge table.
+        stale_use_updates: u64,
+        /// Poisoned-reference accesses that threw.
+        pruned_access_throws: u64,
+        /// Finalizers run.
+        finalizers_run: u64,
+        /// Finalizers skipped on pruned objects.
+        finalizers_skipped: u64,
+        /// Minor (nursery) collections.
+        minor_collections: u64,
+        /// Old-to-young stores logged in the remembered set.
+        remembered_stores: u64,
+    },
+    /// Edge-table census: occupancy and the live entries.
+    EdgeCensus {
+        /// Collection index the census was taken at.
+        gc_index: u64,
+        /// Number of live entries.
+        edge_types: u64,
+        /// Table capacity in entries.
+        capacity: u64,
+        /// Table footprint in bytes (matches `PruneReport`).
+        footprint_bytes: u64,
+        /// The live entries.
+        entries: Vec<CensusEntry>,
+    },
+    /// An allocation was accounted.
+    Alloc {
+        /// Class index of the allocated object.
+        class: u32,
+        /// Object size in bytes.
+        bytes: u64,
+    },
+    /// A sweep freed memory.
+    Freed {
+        /// Objects reclaimed.
+        objects: u64,
+        /// Bytes reclaimed.
+        bytes: u64,
+    },
+    /// The heap could not satisfy an allocation even after collecting.
+    Exhausted {
+        /// Collection index at which exhaustion was observed.
+        gc_index: u64,
+        /// Used bytes at exhaustion.
+        used_bytes: u64,
+        /// Heap capacity in bytes.
+        capacity: u64,
+    },
+    /// A workload driver finished one iteration.
+    Iteration {
+        /// 0-based iteration index.
+        index: u64,
+    },
+}
+
+impl Event {
+    /// Stable snake_case discriminator written as the `ev` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::ClassReg { .. } => "class_reg",
+            Event::PhaseBegin { .. } => "phase_begin",
+            Event::PhaseEnd { .. } => "phase_end",
+            Event::StateTransition { .. } => "state",
+            Event::SelectionEdge { .. } => "select_edge",
+            Event::SelectionStale { .. } => "select_stale",
+            Event::Collection { .. } => "collection",
+            Event::CounterDelta { .. } => "counters",
+            Event::EdgeCensus { .. } => "census",
+            Event::Alloc { .. } => "alloc",
+            Event::Freed { .. } => "freed",
+            Event::Exhausted { .. } => "exhausted",
+            Event::Iteration { .. } => "iteration",
+        }
+    }
+}
+
+/// A sequenced, timestamped event — the unit the recorder and sinks see,
+/// and exactly one line of a JSONL trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceLine {
+    /// Monotonic sequence number (0-based, gap-free per bus).
+    pub seq: u64,
+    /// Nanoseconds since the bus was created.
+    pub ts_nanos: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl TraceLine {
+    /// Timestamp as a [`Duration`] since bus creation.
+    pub fn timestamp(&self) -> Duration {
+        Duration::from_nanos(self.ts_nanos)
+    }
+
+    /// Serializes the line as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = vec![
+            ("seq".to_owned(), JsonValue::from_u64(self.seq)),
+            ("ts_ns".to_owned(), JsonValue::from_u64(self.ts_nanos)),
+            (
+                "ev".to_owned(),
+                JsonValue::Str(self.event.kind().to_owned()),
+            ),
+        ];
+        let mut field = |name: &str, value: JsonValue| obj.push((name.to_owned(), value));
+        match &self.event {
+            Event::ClassReg { class, name } => {
+                field("class", JsonValue::from_u64(u64::from(*class)));
+                field("name", JsonValue::Str(name.clone()));
+            }
+            Event::PhaseBegin { gc_index, phase } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+                field("phase", JsonValue::Str(phase.tag().to_owned()));
+            }
+            Event::PhaseEnd {
+                gc_index,
+                phase,
+                nanos,
+                threads,
+                busy_nanos,
+            } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+                field("phase", JsonValue::Str(phase.tag().to_owned()));
+                field("nanos", JsonValue::from_u64(*nanos));
+                field("threads", JsonValue::from_u64(*threads));
+                field("busy_nanos", JsonValue::from_u64(*busy_nanos));
+            }
+            Event::StateTransition {
+                gc_index,
+                from,
+                to,
+                occupancy,
+                expected_threshold,
+                nearly_full_threshold,
+                exhausted_once,
+            } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+                field("from", JsonValue::Str((*from).to_owned()));
+                field("to", JsonValue::Str((*to).to_owned()));
+                field("occupancy", JsonValue::Float(*occupancy));
+                field("expected", JsonValue::Float(*expected_threshold));
+                field("nearly_full", JsonValue::Float(*nearly_full_threshold));
+                field("exhausted_once", JsonValue::Bool(*exhausted_once));
+            }
+            Event::SelectionEdge {
+                gc_index,
+                src,
+                tgt,
+                bytes,
+                runners_up,
+            } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+                field("src", JsonValue::from_u64(u64::from(*src)));
+                field("tgt", JsonValue::from_u64(u64::from(*tgt)));
+                field("bytes", JsonValue::from_u64(*bytes));
+                let list = runners_up
+                    .iter()
+                    .map(|r| {
+                        JsonValue::Obj(vec![
+                            ("src".to_owned(), JsonValue::from_u64(u64::from(r.src))),
+                            ("tgt".to_owned(), JsonValue::from_u64(u64::from(r.tgt))),
+                            ("bytes".to_owned(), JsonValue::from_u64(r.bytes)),
+                        ])
+                    })
+                    .collect();
+                field("runners_up", JsonValue::Arr(list));
+            }
+            Event::SelectionStale { gc_index, level } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+                field("level", JsonValue::from_u64(u64::from(*level)));
+            }
+            Event::Collection {
+                gc_index,
+                state,
+                live_bytes_after,
+                live_objects_after,
+                freed_bytes,
+                freed_objects,
+                pruned_refs,
+                mark_nanos,
+                sweep_nanos,
+            } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+                field("state", JsonValue::Str(state.clone()));
+                field("live_bytes", JsonValue::from_u64(*live_bytes_after));
+                field("live_objects", JsonValue::from_u64(*live_objects_after));
+                field("freed_bytes", JsonValue::from_u64(*freed_bytes));
+                field("freed_objects", JsonValue::from_u64(*freed_objects));
+                field("pruned_refs", JsonValue::from_u64(*pruned_refs));
+                field("mark_ns", JsonValue::from_u64(*mark_nanos));
+                field("sweep_ns", JsonValue::from_u64(*sweep_nanos));
+            }
+            Event::CounterDelta {
+                gc_index,
+                ref_reads,
+                barrier_cold_hits,
+                stale_use_updates,
+                pruned_access_throws,
+                finalizers_run,
+                finalizers_skipped,
+                minor_collections,
+                remembered_stores,
+            } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+                field("ref_reads", JsonValue::from_u64(*ref_reads));
+                field("cold_hits", JsonValue::from_u64(*barrier_cold_hits));
+                field("stale_updates", JsonValue::from_u64(*stale_use_updates));
+                field("throws", JsonValue::from_u64(*pruned_access_throws));
+                field("finalized", JsonValue::from_u64(*finalizers_run));
+                field("fin_skipped", JsonValue::from_u64(*finalizers_skipped));
+                field("minor_gcs", JsonValue::from_u64(*minor_collections));
+                field("rem_stores", JsonValue::from_u64(*remembered_stores));
+            }
+            Event::EdgeCensus {
+                gc_index,
+                edge_types,
+                capacity,
+                footprint_bytes,
+                entries,
+            } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+                field("edge_types", JsonValue::from_u64(*edge_types));
+                field("capacity", JsonValue::from_u64(*capacity));
+                field("footprint", JsonValue::from_u64(*footprint_bytes));
+                let list = entries
+                    .iter()
+                    .map(|e| {
+                        JsonValue::Obj(vec![
+                            ("src".to_owned(), JsonValue::from_u64(u64::from(e.src))),
+                            ("tgt".to_owned(), JsonValue::from_u64(u64::from(e.tgt))),
+                            (
+                                "stale".to_owned(),
+                                JsonValue::from_u64(u64::from(e.max_stale_use)),
+                            ),
+                            ("bytes".to_owned(), JsonValue::from_u64(e.bytes_used)),
+                        ])
+                    })
+                    .collect();
+                field("entries", JsonValue::Arr(list));
+            }
+            Event::Alloc { class, bytes } => {
+                field("class", JsonValue::from_u64(u64::from(*class)));
+                field("bytes", JsonValue::from_u64(*bytes));
+            }
+            Event::Freed { objects, bytes } => {
+                field("objects", JsonValue::from_u64(*objects));
+                field("bytes", JsonValue::from_u64(*bytes));
+            }
+            Event::Exhausted {
+                gc_index,
+                used_bytes,
+                capacity,
+            } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+                field("used", JsonValue::from_u64(*used_bytes));
+                field("capacity", JsonValue::from_u64(*capacity));
+            }
+            Event::Iteration { index } => {
+                field("index", JsonValue::from_u64(*index));
+            }
+        }
+        JsonValue::Obj(obj).to_string()
+    }
+
+    /// Parses one JSONL line back into a [`TraceLine`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed or missing field.
+    pub fn parse(line: &str) -> Result<TraceLine, String> {
+        let value = json::parse(line).map_err(|e| e.to_string())?;
+        let seq = need_u64(&value, "seq")?;
+        let ts_nanos = need_u64(&value, "ts_ns")?;
+        let kind = need_str(&value, "ev")?;
+        let event = match kind {
+            "class_reg" => Event::ClassReg {
+                class: need_u32(&value, "class")?,
+                name: need_str(&value, "name")?.to_owned(),
+            },
+            "phase_begin" => Event::PhaseBegin {
+                gc_index: need_u64(&value, "gc")?,
+                phase: need_phase(&value)?,
+            },
+            "phase_end" => Event::PhaseEnd {
+                gc_index: need_u64(&value, "gc")?,
+                phase: need_phase(&value)?,
+                nanos: need_u64(&value, "nanos")?,
+                threads: need_u64(&value, "threads")?,
+                busy_nanos: need_u64(&value, "busy_nanos")?,
+            },
+            "state" => Event::StateTransition {
+                gc_index: need_u64(&value, "gc")?,
+                from: state_name(need_str(&value, "from")?)?,
+                to: state_name(need_str(&value, "to")?)?,
+                occupancy: need_f64(&value, "occupancy")?,
+                expected_threshold: need_f64(&value, "expected")?,
+                nearly_full_threshold: need_f64(&value, "nearly_full")?,
+                exhausted_once: need_bool(&value, "exhausted_once")?,
+            },
+            "select_edge" => Event::SelectionEdge {
+                gc_index: need_u64(&value, "gc")?,
+                src: need_u32(&value, "src")?,
+                tgt: need_u32(&value, "tgt")?,
+                bytes: need_u64(&value, "bytes")?,
+                runners_up: value
+                    .get("runners_up")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or("missing runners_up")?
+                    .iter()
+                    .map(|r| {
+                        Ok(EdgeShare {
+                            src: need_u32(r, "src")?,
+                            tgt: need_u32(r, "tgt")?,
+                            bytes: need_u64(r, "bytes")?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?,
+            },
+            "select_stale" => Event::SelectionStale {
+                gc_index: need_u64(&value, "gc")?,
+                level: u8::try_from(need_u64(&value, "level")?)
+                    .map_err(|_| "level out of range".to_owned())?,
+            },
+            "collection" => Event::Collection {
+                gc_index: need_u64(&value, "gc")?,
+                state: need_str(&value, "state")?.to_owned(),
+                live_bytes_after: need_u64(&value, "live_bytes")?,
+                live_objects_after: need_u64(&value, "live_objects")?,
+                freed_bytes: need_u64(&value, "freed_bytes")?,
+                freed_objects: need_u64(&value, "freed_objects")?,
+                pruned_refs: need_u64(&value, "pruned_refs")?,
+                mark_nanos: need_u64(&value, "mark_ns")?,
+                sweep_nanos: need_u64(&value, "sweep_ns")?,
+            },
+            "counters" => Event::CounterDelta {
+                gc_index: need_u64(&value, "gc")?,
+                ref_reads: need_u64(&value, "ref_reads")?,
+                barrier_cold_hits: need_u64(&value, "cold_hits")?,
+                stale_use_updates: need_u64(&value, "stale_updates")?,
+                pruned_access_throws: need_u64(&value, "throws")?,
+                finalizers_run: need_u64(&value, "finalized")?,
+                finalizers_skipped: need_u64(&value, "fin_skipped")?,
+                minor_collections: need_u64(&value, "minor_gcs")?,
+                remembered_stores: need_u64(&value, "rem_stores")?,
+            },
+            "census" => Event::EdgeCensus {
+                gc_index: need_u64(&value, "gc")?,
+                edge_types: need_u64(&value, "edge_types")?,
+                capacity: need_u64(&value, "capacity")?,
+                footprint_bytes: need_u64(&value, "footprint")?,
+                entries: value
+                    .get("entries")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or("missing entries")?
+                    .iter()
+                    .map(|e| {
+                        Ok(CensusEntry {
+                            src: need_u32(e, "src")?,
+                            tgt: need_u32(e, "tgt")?,
+                            max_stale_use: u8::try_from(need_u64(e, "stale")?)
+                                .map_err(|_| "stale out of range".to_owned())?,
+                            bytes_used: need_u64(e, "bytes")?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?,
+            },
+            "alloc" => Event::Alloc {
+                class: need_u32(&value, "class")?,
+                bytes: need_u64(&value, "bytes")?,
+            },
+            "freed" => Event::Freed {
+                objects: need_u64(&value, "objects")?,
+                bytes: need_u64(&value, "bytes")?,
+            },
+            "exhausted" => Event::Exhausted {
+                gc_index: need_u64(&value, "gc")?,
+                used_bytes: need_u64(&value, "used")?,
+                capacity: need_u64(&value, "capacity")?,
+            },
+            "iteration" => Event::Iteration {
+                index: need_u64(&value, "index")?,
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        Ok(TraceLine {
+            seq,
+            ts_nanos,
+            event,
+        })
+    }
+}
+
+fn need_u64(value: &JsonValue, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing or invalid field {key:?}"))
+}
+
+fn need_u32(value: &JsonValue, key: &str) -> Result<u32, String> {
+    u32::try_from(need_u64(value, key)?).map_err(|_| format!("field {key:?} out of u32 range"))
+}
+
+fn need_f64(value: &JsonValue, key: &str) -> Result<f64, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing or invalid field {key:?}"))
+}
+
+fn need_bool(value: &JsonValue, key: &str) -> Result<bool, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| format!("missing or invalid field {key:?}"))
+}
+
+fn need_str<'a>(value: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing or invalid field {key:?}"))
+}
+
+fn need_phase(value: &JsonValue) -> Result<GcPhase, String> {
+    let tag = need_str(value, "phase")?;
+    GcPhase::from_tag(tag).ok_or_else(|| format!("unknown phase {tag:?}"))
+}
+
+/// Interns a parsed state name so `StateTransition` can keep `&'static str`
+/// fields on both the emit and parse paths.
+fn state_name(name: &str) -> Result<&'static str, String> {
+    match name {
+        "INACTIVE" => Ok("INACTIVE"),
+        "OBSERVE" => Ok("OBSERVE"),
+        "SELECT" => Ok("SELECT"),
+        "PRUNE" => Ok("PRUNE"),
+        other => Err(format!("unknown state {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(event: Event) {
+        let line = TraceLine {
+            seq: 42,
+            ts_nanos: 1_234_567_890,
+            event,
+        };
+        let text = line.to_json();
+        assert!(!text.contains('\n'), "JSONL line must be one line: {text}");
+        let parsed = TraceLine::parse(&text).expect(&text);
+        assert_eq!(parsed, line);
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        round_trip(Event::ClassReg {
+            class: 3,
+            name: "java.util.Map<K,V>\"entry\"".to_owned(),
+        });
+        round_trip(Event::PhaseBegin {
+            gc_index: 9,
+            phase: GcPhase::Mark,
+        });
+        round_trip(Event::PhaseEnd {
+            gc_index: 9,
+            phase: GcPhase::Sweep,
+            nanos: 12_000,
+            threads: 4,
+            busy_nanos: 40_000,
+        });
+        round_trip(Event::StateTransition {
+            gc_index: 10,
+            from: "OBSERVE",
+            to: "SELECT",
+            occupancy: 0.8125,
+            expected_threshold: 0.8,
+            nearly_full_threshold: 0.9,
+            exhausted_once: false,
+        });
+        round_trip(Event::SelectionEdge {
+            gc_index: 11,
+            src: 1,
+            tgt: 2,
+            bytes: 65_536,
+            runners_up: vec![
+                EdgeShare {
+                    src: 3,
+                    tgt: 4,
+                    bytes: 1024,
+                },
+                EdgeShare {
+                    src: 5,
+                    tgt: 6,
+                    bytes: 512,
+                },
+            ],
+        });
+        round_trip(Event::SelectionStale {
+            gc_index: 11,
+            level: 7,
+        });
+        round_trip(Event::Collection {
+            gc_index: 12,
+            state: "PRUNE".to_owned(),
+            live_bytes_after: 1_048_576,
+            live_objects_after: 4096,
+            freed_bytes: 2_097_152,
+            freed_objects: 8192,
+            pruned_refs: 3,
+            mark_nanos: 500_000,
+            sweep_nanos: 250_000,
+        });
+        round_trip(Event::CounterDelta {
+            gc_index: 12,
+            ref_reads: 1_000_000,
+            barrier_cold_hits: 500,
+            stale_use_updates: 12,
+            pruned_access_throws: 1,
+            finalizers_run: 2,
+            finalizers_skipped: 3,
+            minor_collections: 40,
+            remembered_stores: 77,
+        });
+        round_trip(Event::EdgeCensus {
+            gc_index: 12,
+            edge_types: 1,
+            capacity: 1024,
+            footprint_bytes: 16_384,
+            entries: vec![CensusEntry {
+                src: 1,
+                tgt: 2,
+                max_stale_use: 5,
+                bytes_used: 4096,
+            }],
+        });
+        round_trip(Event::Alloc {
+            class: 2,
+            bytes: 320,
+        });
+        round_trip(Event::Freed {
+            objects: 100,
+            bytes: 32_000,
+        });
+        round_trip(Event::Exhausted {
+            gc_index: 13,
+            used_bytes: 2_090_000,
+            capacity: 2_097_152,
+        });
+        round_trip(Event::Iteration { index: 1499 });
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(TraceLine::parse("not json").is_err());
+        assert!(TraceLine::parse("{}").is_err());
+        assert!(TraceLine::parse(r#"{"seq":1,"ts_ns":2,"ev":"nope"}"#).is_err());
+        // A known kind with a missing payload field.
+        assert!(TraceLine::parse(r#"{"seq":1,"ts_ns":2,"ev":"alloc","class":1}"#).is_err());
+        // A state transition naming an unknown state.
+        assert!(TraceLine::parse(
+            r#"{"seq":1,"ts_ns":2,"ev":"state","gc":1,"from":"LIMBO","to":"SELECT","occupancy":0.5,"expected":0.8,"nearly_full":0.9,"exhausted_once":false}"#
+        )
+        .is_err());
+    }
+}

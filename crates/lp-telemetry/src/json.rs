@@ -1,0 +1,522 @@
+//! A minimal JSON value with a writer and a parser.
+//!
+//! The build environment has no crates registry, so the JSONL trace sink
+//! and its replay tools cannot use `serde`; this module implements the
+//! small, strict subset of JSON the trace format needs (objects, arrays,
+//! strings, integers, floats, booleans, null). Integers are kept exact —
+//! the replay guarantee ("a trace reproduces the in-process
+//! `live_bytes_after` sequence bit-for-bit") forbids round-tripping byte
+//! counts through `f64`.
+
+use std::fmt;
+
+/// A parsed or to-be-serialized JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number with no fractional part, kept exact.
+    Int(i64),
+    /// A number with a fractional part or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// A `u64` as an exact integer value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` exceeds `i64::MAX` — simulated byte counts and
+    /// indices never do; overflowing silently would corrupt a trace.
+    pub fn from_u64(value: u64) -> JsonValue {
+        JsonValue::Int(i64::try_from(value).expect("trace integer exceeds i64"))
+    }
+
+    /// Member `key` of an object (`None` for other variants or a missing
+    /// key).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            JsonValue::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            JsonValue::Int(i) => Some(i as f64),
+            JsonValue::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            JsonValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` into `out` as JSON string *contents* (no surrounding
+/// quotes). Control characters, quotes and backslashes are escaped; class
+/// names like `Map<K,V>` pass through unchanged.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Int(i) => write!(f, "{i}"),
+            JsonValue::Float(x) if x.is_finite() => {
+                // `{:?}` prints the shortest representation that parses
+                // back to the same f64, and always keeps a `.` or exponent
+                // so the reader knows it is a float.
+                write!(f, "{x:?}")
+            }
+            // NaN / infinity have no JSON spelling; null keeps the line
+            // parseable. No event field should ever produce one.
+            JsonValue::Float(_) => f.write_str("null"),
+            JsonValue::Str(s) => {
+                let mut buf = String::with_capacity(s.len() + 2);
+                escape_into(&mut buf, s);
+                write!(f, "\"{buf}\"")
+            }
+            JsonValue::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Obj(members) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut buf = String::with_capacity(key.len());
+                    escape_into(&mut buf, key);
+                    write!(f, "\"{buf}\":{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// A parse failure, with the byte offset where it happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// content not).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] describing the first offending byte.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut parser = Parser { input, pos: 0 };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != input.len() {
+        return Err(parser.err("trailing characters"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn bytes(&self) -> &[u8] {
+        self.input.as_bytes()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.input[self.pos..].starts_with(text) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let run_start = self.pos;
+            // Copy the unescaped run wholesale; `"` and `\` are ASCII, so
+            // the slice boundaries always fall on character boundaries.
+            while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                if self.peek() < Some(0x20) {
+                    return Err(self.err("unescaped control character"));
+                }
+                self.pos += 1;
+            }
+            out.push_str(&self.input[run_start..self.pos]);
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), JsonError> {
+        let Some(byte) = self.peek() else {
+            return Err(self.err("unterminated escape"));
+        };
+        self.pos += 1;
+        match byte {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'u' => {
+                let first = self.hex4()?;
+                let scalar = if (0xd800..0xdc00).contains(&first) {
+                    // A high surrogate must be followed by `\uDC00..DFFF`.
+                    if self.input[self.pos..].starts_with("\\u") {
+                        self.pos += 2;
+                        let second = self.hex4()?;
+                        if (0xdc00..0xe000).contains(&second) {
+                            0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00)
+                        } else {
+                            return Err(self.err("invalid low surrogate"));
+                        }
+                    } else {
+                        return Err(self.err("lone high surrogate"));
+                    }
+                } else {
+                    first
+                };
+                out.push(char::from_u32(scalar).ok_or_else(|| self.err("invalid code point"))?);
+            }
+            _ => return Err(self.err("invalid escape")),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let digits = self
+            .input
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let value = u32::from_str_radix(digits, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(byte) = self.peek() {
+            match byte {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(JsonValue::Float)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            // Integers out of i64 range degrade to floats rather than
+            // failing the whole line.
+            text.parse::<i64>()
+                .map(JsonValue::Int)
+                .or_else(|_| text.parse::<f64>().map(JsonValue::Float))
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trips_a_trace_like_object() {
+        let text = r#"{"seq":7,"ev":"class_reg","class":3,"name":"Map<K,V>","occ":0.9}"#;
+        let value = parse(text).unwrap();
+        assert_eq!(value.get("seq").unwrap().as_u64(), Some(7));
+        assert_eq!(value.get("name").unwrap().as_str(), Some("Map<K,V>"));
+        assert_eq!(value.get("occ").unwrap().as_f64(), Some(0.9));
+        assert_eq!(value.to_string(), text);
+    }
+
+    #[test]
+    fn escapes_quotes_newlines_and_controls() {
+        let nasty = "a\"b\\c\nd\re\tf\u{1}g";
+        let value = JsonValue::Str(nasty.to_owned());
+        let text = value.to_string();
+        assert_eq!(text, "\"a\\\"b\\\\c\\nd\\re\\tf\\u0001g\"");
+        assert_eq!(parse(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn parses_nested_arrays_and_objects() {
+        let value =
+            parse(r#"{"entries":[{"src":1,"b":true},{"src":2,"b":false}],"n":null}"#).unwrap();
+        let entries = value.get("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].get("src").unwrap().as_u64(), Some(2));
+        assert_eq!(entries[0].get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(value.get("n"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        // 2^53 + 1 is not representable in f64; the Int variant keeps it.
+        let big = (1i64 << 53) + 1;
+        let value = parse(&format!("{{\"x\":{big}}}")).unwrap();
+        assert_eq!(value.get("x"), Some(&JsonValue::Int(big)));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "\"\\q\"",
+            "1 2",
+            "{\"a\":1,}",
+            "\"\\u12\"",
+            "\"unterminated",
+            "\u{1}",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            JsonValue::Str("😀".to_owned())
+        );
+        assert!(parse("\"\\ud83d\"").is_err());
+        assert!(parse("\"\\ud83dx\"").is_err());
+    }
+
+    #[test]
+    fn from_u64_is_exact() {
+        assert_eq!(JsonValue::from_u64(0).as_u64(), Some(0));
+        let large = u64::from(u32::MAX) * 1024;
+        assert_eq!(JsonValue::from_u64(large).as_u64(), Some(large));
+    }
+
+    proptest! {
+        /// Any string — including controls, quotes and non-ASCII scalars —
+        /// survives a serialize/parse round trip.
+        #[test]
+        fn prop_string_round_trip(raw in proptest::collection::vec(any::<u32>(), 0..64)) {
+            let s: String = raw
+                .iter()
+                .filter_map(|&c| char::from_u32(c % 0x11_0000))
+                .collect();
+            let value = JsonValue::Str(s);
+            prop_assert_eq!(parse(&value.to_string()).unwrap(), value);
+        }
+
+        /// Finite floats round-trip exactly via the shortest representation.
+        #[test]
+        fn prop_float_round_trip(mantissa in any::<i64>(), exp in -300i32..300) {
+            let x = mantissa as f64 * 10f64.powi(exp);
+            if x.is_finite() {
+                let value = JsonValue::Float(x);
+                let parsed = parse(&value.to_string()).unwrap();
+                prop_assert_eq!(parsed.as_f64().unwrap().to_bits(), x.to_bits());
+            }
+        }
+
+        /// Integers round-trip exactly.
+        #[test]
+        fn prop_int_round_trip(x in any::<i64>()) {
+            let value = JsonValue::Int(x);
+            prop_assert_eq!(parse(&value.to_string()).unwrap(), value);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Always-on structured telemetry for the leak-pruning runtime.
+//!
+//! The paper's argument is a time series — reachable memory per
+//! collection (Figs. 1, 9), the OBSERVE→SELECT→PRUNE trajectory
+//! (Fig. 2), pause behaviour across heap sizes (Fig. 7) — so the runtime
+//! emits typed [`Event`]s at every hook point it already has and lets
+//! listeners decide what to keep:
+//!
+//! - a fixed-capacity [`FlightRecorder`] ring buffer retaining the most
+//!   recent events for post-hoc inspection,
+//! - a [`JsonlSink`] writing a replayable trace (one JSON object per
+//!   line; `lp-bench`'s `trace_replay` binary rebuilds the Fig. 1/9
+//!   curves from the file alone),
+//! - a [`PrometheusSink`] folding the stream into a text-exposition
+//!   snapshot, and
+//! - a [`PauseHistogram`] answering pause-time percentile questions.
+//!
+//! With nothing attached, [`Telemetry::emit`] is one relaxed atomic load
+//! and a not-taken branch; event payloads are built lazily inside a
+//! closure. The cost is measured (see `lp-bench`'s `telemetry` bench and
+//! DESIGN.md), not assumed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod event;
+pub mod json;
+mod sinks;
+
+pub use bus::{FlightRecorder, Sink, Telemetry};
+pub use event::{CensusEntry, EdgeShare, Event, GcPhase, TraceLine};
+pub use sinks::{JsonlSink, PauseHistogram, PrometheusSink};

@@ -1,0 +1,167 @@
+//! In-process pause-time histogram: answers the percentile questions
+//! (p50 / p95 / max) that end-of-run `GcStats` aggregates cannot.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::bus::Sink;
+use crate::event::{Event, TraceLine};
+
+/// Raw samples are capped so a pathological run cannot grow without
+/// bound; at 8 bytes per pause this is 8 MiB.
+const MAX_SAMPLES: usize = 1 << 20;
+
+#[derive(Debug, Default)]
+struct Samples {
+    /// Per-collection pause (mark + sweep wall time), nanoseconds,
+    /// in arrival order.
+    pauses: Vec<u64>,
+    /// Collections observed after the sample cap was hit.
+    truncated: u64,
+}
+
+/// Sink recording one pause-time sample per `collection` event. Clones
+/// share state: hand one clone to the bus and keep the other to query.
+#[derive(Clone, Debug, Default)]
+pub struct PauseHistogram {
+    samples: Arc<Mutex<Samples>>,
+}
+
+impl PauseHistogram {
+    /// An empty histogram.
+    pub fn new() -> PauseHistogram {
+        PauseHistogram::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Samples> {
+        match self.samples.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Number of pause samples recorded.
+    pub fn count(&self) -> usize {
+        self.lock().pauses.len()
+    }
+
+    /// Collections dropped after the sample cap was reached.
+    pub fn truncated(&self) -> u64 {
+        self.lock().truncated
+    }
+
+    /// The `q`-quantile pause (nearest-rank), `None` with no samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= q <= 1.0`.
+    pub fn percentile(&self, q: f64) -> Option<Duration> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let samples = self.lock();
+        if samples.pauses.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.pauses.clone();
+        sorted.sort_unstable();
+        // Nearest-rank: ceil(q * n) clamped to [1, n], 1-based.
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(Duration::from_nanos(sorted[rank - 1]))
+    }
+
+    /// Median pause.
+    pub fn p50(&self) -> Option<Duration> {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile pause.
+    pub fn p95(&self) -> Option<Duration> {
+        self.percentile(0.95)
+    }
+
+    /// Longest pause.
+    pub fn max(&self) -> Option<Duration> {
+        self.lock()
+            .pauses
+            .iter()
+            .max()
+            .copied()
+            .map(Duration::from_nanos)
+    }
+}
+
+impl Sink for PauseHistogram {
+    fn record(&mut self, line: &TraceLine) {
+        if let Event::Collection {
+            mark_nanos,
+            sweep_nanos,
+            ..
+        } = line.event
+        {
+            let mut samples = self.lock();
+            if samples.pauses.len() < MAX_SAMPLES {
+                samples.pauses.push(mark_nanos.saturating_add(sweep_nanos));
+            } else {
+                samples.truncated += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collection(pause_nanos: u64) -> TraceLine {
+        TraceLine {
+            seq: 0,
+            ts_nanos: 0,
+            event: Event::Collection {
+                gc_index: 1,
+                state: "OBSERVE".to_owned(),
+                live_bytes_after: 0,
+                live_objects_after: 0,
+                freed_bytes: 0,
+                freed_objects: 0,
+                pruned_refs: 0,
+                mark_nanos: pause_nanos / 2,
+                sweep_nanos: pause_nanos - pause_nanos / 2,
+            },
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = PauseHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p95(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut h = PauseHistogram::new();
+        let view = h.clone();
+        for pause in [100, 200, 300, 400, 1000] {
+            h.record(&collection(pause));
+        }
+        assert_eq!(view.count(), 5);
+        assert_eq!(view.p50(), Some(Duration::from_nanos(300)));
+        assert_eq!(view.p95(), Some(Duration::from_nanos(1000)));
+        assert_eq!(view.max(), Some(Duration::from_nanos(1000)));
+        assert_eq!(view.percentile(0.0), Some(Duration::from_nanos(100)));
+        assert_eq!(view.percentile(1.0), Some(Duration::from_nanos(1000)));
+    }
+
+    #[test]
+    fn non_collection_events_are_ignored() {
+        let mut h = PauseHistogram::new();
+        h.record(&TraceLine {
+            seq: 0,
+            ts_nanos: 0,
+            event: Event::Iteration { index: 0 },
+        });
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! JSONL sink: one JSON object per line, replayable by `lp-bench`'s
+//! `trace_replay` binary.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::bus::Sink;
+use crate::event::TraceLine;
+
+/// Writes every event as one JSON line to an arbitrary writer.
+///
+/// I/O errors do not panic — telemetry must never take the runtime down.
+/// The first error latches, subsequent lines are dropped, and the error
+/// is reported once via a `eprintln!` at flush time.
+pub struct JsonlSink<W: Write + Send> {
+    writer: W,
+    error: Option<io::Error>,
+    reported: bool,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps `writer`. Callers that hand in an unbuffered writer (e.g. a
+    /// raw `File`) should wrap it in a [`BufWriter`] first; the sink
+    /// writes one line per event.
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink {
+            writer,
+            error: None,
+            reported: false,
+        }
+    }
+
+    /// The first I/O error encountered, if any.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) a trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation error.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<JsonlSink<BufWriter<File>>> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&mut self, line: &TraceLine) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.writer, "{}", line.to_json()) {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(e);
+            }
+        }
+        if let Some(e) = &self.error {
+            if !self.reported {
+                self.reported = true;
+                eprintln!("lp-telemetry: JSONL sink failed, trace truncated: {e}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[test]
+    fn writes_one_parseable_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for i in 0..3 {
+            sink.record(&TraceLine {
+                seq: i,
+                ts_nanos: i * 10,
+                event: Event::Iteration { index: i },
+            });
+        }
+        sink.flush();
+        assert!(sink.error().is_none());
+        let text = String::from_utf8(sink.writer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let parsed = TraceLine::parse(line).unwrap();
+            assert_eq!(parsed.seq, i as u64);
+        }
+    }
+
+    struct FailingWriter;
+
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn io_errors_latch_instead_of_panicking() {
+        let mut sink = JsonlSink::new(FailingWriter);
+        sink.record(&TraceLine {
+            seq: 0,
+            ts_nanos: 0,
+            event: Event::Iteration { index: 0 },
+        });
+        assert!(sink.error().is_some());
+        // Further records are no-ops, not panics.
+        sink.record(&TraceLine {
+            seq: 1,
+            ts_nanos: 1,
+            event: Event::Iteration { index: 1 },
+        });
+        sink.flush();
+    }
+}

@@ -1,0 +1,10 @@
+//! Built-in sinks: JSONL trace files, Prometheus-style text exposition,
+//! and an in-process pause-time histogram.
+
+mod histogram;
+mod jsonl;
+mod prometheus;
+
+pub use histogram::PauseHistogram;
+pub use jsonl::JsonlSink;
+pub use prometheus::PrometheusSink;

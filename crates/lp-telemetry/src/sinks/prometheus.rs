@@ -1,0 +1,318 @@
+//! Prometheus-style text exposition: the sink folds the event stream into
+//! a small set of counters/gauges and renders them on demand in the
+//! `text/plain; version=0.0.4` format a scraper would ingest.
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::bus::Sink;
+use crate::event::{Event, GcPhase, TraceLine};
+
+#[derive(Debug, Default)]
+struct Metrics {
+    collections_total: u64,
+    minor_collections_total: u64,
+    mark_nanos_total: u64,
+    sweep_nanos_total: u64,
+    live_bytes: u64,
+    live_objects: u64,
+    freed_bytes_total: u64,
+    freed_objects_total: u64,
+    pruned_refs_total: u64,
+    ref_reads_total: u64,
+    barrier_cold_hits_total: u64,
+    stale_use_updates_total: u64,
+    pruned_access_throws_total: u64,
+    allocations_total: u64,
+    allocated_bytes_total: u64,
+    exhaustions_total: u64,
+    iterations_total: u64,
+    state_transitions_total: u64,
+    selections_total: u64,
+    edge_types: u64,
+    edge_table_footprint_bytes: u64,
+    state: String,
+}
+
+/// Aggregating sink whose [`render`](PrometheusSink::render) produces a
+/// Prometheus text-exposition snapshot. Clones share state, so keep one
+/// clone to render from while the bus owns the other.
+#[derive(Clone, Debug, Default)]
+pub struct PrometheusSink {
+    metrics: Arc<Mutex<Metrics>>,
+}
+
+impl PrometheusSink {
+    /// An empty snapshot sink.
+    pub fn new() -> PrometheusSink {
+        PrometheusSink::default()
+    }
+
+    /// Renders the current snapshot in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let m = match self.metrics.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            "lp_collections_total",
+            "Full garbage collections performed.",
+            m.collections_total,
+        );
+        counter(
+            "lp_minor_collections_total",
+            "Nursery collections performed.",
+            m.minor_collections_total,
+        );
+        counter(
+            "lp_freed_bytes_total",
+            "Bytes reclaimed by sweeps.",
+            m.freed_bytes_total,
+        );
+        counter(
+            "lp_freed_objects_total",
+            "Objects reclaimed by sweeps.",
+            m.freed_objects_total,
+        );
+        counter(
+            "lp_pruned_refs_total",
+            "References poisoned by PRUNE collections.",
+            m.pruned_refs_total,
+        );
+        counter(
+            "lp_ref_reads_total",
+            "Reference loads through the conditional read barrier.",
+            m.ref_reads_total,
+        );
+        counter(
+            "lp_barrier_cold_hits_total",
+            "Cold-path executions of the read barrier.",
+            m.barrier_cold_hits_total,
+        );
+        counter(
+            "lp_stale_use_updates_total",
+            "Stale-use observations recorded in the edge table.",
+            m.stale_use_updates_total,
+        );
+        counter(
+            "lp_pruned_access_throws_total",
+            "Accesses to poisoned references that threw.",
+            m.pruned_access_throws_total,
+        );
+        counter(
+            "lp_allocations_total",
+            "Objects allocated.",
+            m.allocations_total,
+        );
+        counter(
+            "lp_allocated_bytes_total",
+            "Bytes allocated.",
+            m.allocated_bytes_total,
+        );
+        counter(
+            "lp_heap_exhaustions_total",
+            "Allocation failures after collection.",
+            m.exhaustions_total,
+        );
+        counter(
+            "lp_workload_iterations_total",
+            "Workload driver iterations completed.",
+            m.iterations_total,
+        );
+        counter(
+            "lp_state_transitions_total",
+            "Figure-2 state machine transitions.",
+            m.state_transitions_total,
+        );
+        counter(
+            "lp_selections_total",
+            "SELECT decisions made.",
+            m.selections_total,
+        );
+        // Labeled family: HELP/TYPE once, one sample per label set.
+        let _ = writeln!(
+            out,
+            "# HELP lp_gc_phase_nanos_total Cumulative wall time per GC phase in nanoseconds."
+        );
+        let _ = writeln!(out, "# TYPE lp_gc_phase_nanos_total counter");
+        let _ = writeln!(
+            out,
+            "lp_gc_phase_nanos_total{{phase=\"mark\"}} {}",
+            m.mark_nanos_total
+        );
+        let _ = writeln!(
+            out,
+            "lp_gc_phase_nanos_total{{phase=\"sweep\"}} {}",
+            m.sweep_nanos_total
+        );
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge(
+            "lp_live_bytes",
+            "Live bytes after the most recent collection.",
+            m.live_bytes,
+        );
+        gauge(
+            "lp_live_objects",
+            "Live objects after the most recent collection.",
+            m.live_objects,
+        );
+        gauge(
+            "lp_edge_types",
+            "Live entries in the edge table.",
+            m.edge_types,
+        );
+        gauge(
+            "lp_edge_table_footprint_bytes",
+            "Edge table footprint in bytes.",
+            m.edge_table_footprint_bytes,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP lp_pruning_state 1 for the current Figure-2 state, 0 otherwise."
+        );
+        let _ = writeln!(out, "# TYPE lp_pruning_state gauge");
+        for state in ["INACTIVE", "OBSERVE", "SELECT", "PRUNE"] {
+            let active = u64::from(m.state == state);
+            let _ = writeln!(out, "lp_pruning_state{{state=\"{state}\"}} {active}");
+        }
+        out
+    }
+}
+
+impl Sink for PrometheusSink {
+    fn record(&mut self, line: &TraceLine) {
+        let mut m = match self.metrics.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match &line.event {
+            Event::PhaseEnd { phase, nanos, .. } => match phase {
+                GcPhase::Mark => m.mark_nanos_total += nanos,
+                GcPhase::Sweep => m.sweep_nanos_total += nanos,
+            },
+            Event::Collection {
+                state,
+                live_bytes_after,
+                live_objects_after,
+                freed_bytes,
+                freed_objects,
+                pruned_refs,
+                ..
+            } => {
+                m.collections_total += 1;
+                m.live_bytes = *live_bytes_after;
+                m.live_objects = *live_objects_after;
+                m.freed_bytes_total += freed_bytes;
+                m.freed_objects_total += freed_objects;
+                m.pruned_refs_total += pruned_refs;
+                m.state = state.clone();
+            }
+            Event::CounterDelta {
+                ref_reads,
+                barrier_cold_hits,
+                stale_use_updates,
+                pruned_access_throws,
+                minor_collections,
+                ..
+            } => {
+                m.ref_reads_total += ref_reads;
+                m.barrier_cold_hits_total += barrier_cold_hits;
+                m.stale_use_updates_total += stale_use_updates;
+                m.pruned_access_throws_total += pruned_access_throws;
+                m.minor_collections_total += minor_collections;
+            }
+            Event::EdgeCensus {
+                edge_types,
+                footprint_bytes,
+                ..
+            } => {
+                m.edge_types = *edge_types;
+                m.edge_table_footprint_bytes = *footprint_bytes;
+            }
+            Event::Alloc { bytes, .. } => {
+                m.allocations_total += 1;
+                m.allocated_bytes_total += bytes;
+            }
+            Event::Exhausted { .. } => m.exhaustions_total += 1,
+            Event::Iteration { .. } => m.iterations_total += 1,
+            Event::StateTransition { to, .. } => {
+                m.state_transitions_total += 1;
+                m.state = (*to).to_owned();
+            }
+            Event::SelectionEdge { .. } | Event::SelectionStale { .. } => {
+                m.selections_total += 1;
+            }
+            Event::ClassReg { .. } | Event::PhaseBegin { .. } | Event::Freed { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(seq: u64, event: Event) -> TraceLine {
+        TraceLine {
+            seq,
+            ts_nanos: seq,
+            event,
+        }
+    }
+
+    #[test]
+    fn folds_events_into_exposition_text() {
+        let mut sink = PrometheusSink::new();
+        let view = sink.clone();
+        sink.record(&line(
+            0,
+            Event::Alloc {
+                class: 1,
+                bytes: 100,
+            },
+        ));
+        sink.record(&line(
+            1,
+            Event::Collection {
+                gc_index: 1,
+                state: "OBSERVE".to_owned(),
+                live_bytes_after: 4096,
+                live_objects_after: 10,
+                freed_bytes: 512,
+                freed_objects: 2,
+                pruned_refs: 0,
+                mark_nanos: 10,
+                sweep_nanos: 20,
+            },
+        ));
+        sink.record(&line(
+            2,
+            Event::StateTransition {
+                gc_index: 1,
+                from: "OBSERVE",
+                to: "SELECT",
+                occupancy: 0.9,
+                expected_threshold: 0.8,
+                nearly_full_threshold: 0.95,
+                exhausted_once: false,
+            },
+        ));
+        let text = view.render();
+        assert!(text.contains("lp_collections_total 1"));
+        assert!(text.contains("lp_live_bytes 4096"));
+        assert!(text.contains("lp_allocated_bytes_total 100"));
+        assert!(text.contains("lp_pruning_state{state=\"SELECT\"} 1"));
+        assert!(text.contains("lp_pruning_state{state=\"OBSERVE\"} 0"));
+        assert!(text.contains("# TYPE lp_live_bytes gauge"));
+        assert!(text.contains("# TYPE lp_collections_total counter"));
+    }
+}

@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 
 use leak_pruning::{PredictionPolicy, PruneReport, PruningConfig, Runtime, RuntimeError};
 use lp_metrics::Series;
+use lp_telemetry::Event;
 
 /// A program the driver can run: it performs *iterations* (the paper's
 /// fixed units of program work) against a [`Runtime`].
@@ -193,8 +194,21 @@ impl RunResult {
 /// Runs `workload` under `opts` until the cap, its natural end, or a
 /// runtime error.
 pub fn run_workload(workload: &mut dyn Workload, opts: &RunOptions) -> RunResult {
+    run_workload_with(workload, opts, |_| {})
+}
+
+/// Like [`run_workload`], but calls `configure` on the fresh [`Runtime`]
+/// before the workload's setup runs. The main use is attaching telemetry
+/// sinks early enough to capture the class registrations setup performs, so
+/// the trace is self-describing.
+pub fn run_workload_with(
+    workload: &mut dyn Workload,
+    opts: &RunOptions,
+    configure: impl FnOnce(&mut Runtime),
+) -> RunResult {
     let config = opts.build_config(workload.default_heap());
     let mut rt = Runtime::new(config);
+    configure(&mut rt);
 
     let mut reachable = Series::new(format!("{} reachable bytes", opts.flavor.label()));
     let mut iteration_times =
@@ -213,6 +227,7 @@ pub fn run_workload(workload: &mut dyn Workload, opts: &RunOptions) -> RunResult
             let mut seen_gcs = 0usize;
             rt.release_registers();
             for i in 0..cap {
+                rt.telemetry().emit(|| Event::Iteration { index: i });
                 let iter_start = Instant::now();
                 let result = workload.iterate(&mut rt, i);
                 // The iteration's temporaries go out of scope.

@@ -37,4 +37,6 @@ pub mod dacapo;
 pub mod driver;
 pub mod leaks;
 
-pub use driver::{run_workload, Flavor, RunOptions, RunResult, Termination, Workload};
+pub use driver::{
+    run_workload, run_workload_with, Flavor, RunOptions, RunResult, Termination, Workload,
+};

@@ -1,0 +1,188 @@
+//! End-to-end telemetry: a JSONL trace written during a run replays to the
+//! exact per-collection history the runtime reported in process, the
+//! edge-table census in the event stream agrees with `PruneReport`, and the
+//! snapshot sinks fold the same stream into sane summaries.
+
+use std::sync::{Arc, Mutex};
+
+use lp_bench::trace::Trace;
+use lp_telemetry::{Event, PauseHistogram, PrometheusSink, Sink, TraceLine};
+use lp_workloads::driver::{run_workload_with, Flavor, RunOptions};
+use lp_workloads::leaks::ListLeak;
+
+/// A sink that appends serialized lines to a shared in-memory buffer.
+#[derive(Clone, Default)]
+struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, line: &TraceLine) {
+        self.lines.lock().unwrap().push(line.to_json());
+    }
+}
+
+impl MemorySink {
+    fn text(&self) -> String {
+        self.lines.lock().unwrap().join("\n")
+    }
+}
+
+fn traced_list_leak(iterations: u64) -> (lp_workloads::RunResult, Trace, String) {
+    let sink = MemorySink::default();
+    let handle = sink.clone();
+    let opts = RunOptions::new(Flavor::pruning()).iteration_cap(iterations);
+    let result = run_workload_with(&mut ListLeak::new(), &opts, move |rt| {
+        rt.telemetry().add_sink(Box::new(handle));
+    });
+    let text = sink.text();
+    let trace = Trace::parse(&text).expect("every emitted line parses");
+    (result, trace, text)
+}
+
+#[test]
+fn jsonl_trace_replays_the_in_process_history_exactly() {
+    let (result, trace, _) = traced_list_leak(8_000);
+    assert!(result.gc_count > 0, "run must collect to be a useful check");
+
+    let expected: Vec<u64> = result
+        .reachable_memory
+        .points()
+        .iter()
+        .map(|(_, y)| *y as u64)
+        .collect();
+    assert_eq!(trace.live_bytes_sequence(), expected);
+
+    // The full curve — iteration attribution included — matches the series
+    // the driver recorded in process.
+    let replayed = trace.reachable_memory("replay");
+    assert_eq!(replayed.points(), result.reachable_memory.points());
+}
+
+#[test]
+fn trace_lines_round_trip_byte_for_byte() {
+    let (_, _, text) = traced_list_leak(2_000);
+    let mut checked = 0usize;
+    for line in text.lines() {
+        let parsed = TraceLine::parse(line).expect("line parses");
+        assert_eq!(parsed.to_json(), line);
+        checked += 1;
+    }
+    assert!(checked > 100, "trace too small to be meaningful: {checked}");
+}
+
+#[test]
+fn census_footprint_matches_prune_report() {
+    use leak_pruning::{ForcedState, PruningConfig, Runtime};
+    use lp_heap::AllocSpec;
+
+    let sink = MemorySink::default();
+    let config = PruningConfig::builder(1 << 20)
+        .force_state(ForcedState::Observe)
+        .build();
+    let mut rt = Runtime::new(config);
+    rt.telemetry().add_sink(Box::new(sink.clone()));
+
+    // Create an edge and make it stale enough to enter the table.
+    let node = rt.register_class("Node");
+    let leaf = rt.register_class("Leaf");
+    let root = rt.add_static();
+    let a = rt.alloc(node, &AllocSpec::with_refs(1)).unwrap();
+    let b = rt.alloc(leaf, &AllocSpec::leaf(64)).unwrap();
+    rt.set_static(root, Some(a));
+    rt.write_field(a, 0, Some(b));
+    rt.release_registers();
+    for _ in 0..4 {
+        rt.force_gc();
+    }
+    rt.read_field(a, 0).unwrap();
+    rt.emit_edge_census();
+
+    let report = rt.prune_report();
+    let trace = Trace::parse(&sink.text()).expect("trace parses");
+    let census_footprints: Vec<u64> = trace
+        .lines()
+        .iter()
+        .filter_map(|line| match line.event {
+            Event::EdgeCensus {
+                footprint_bytes, ..
+            } => Some(footprint_bytes),
+            _ => None,
+        })
+        .collect();
+    assert!(!census_footprints.is_empty(), "census event missing");
+    for footprint in census_footprints {
+        assert_eq!(footprint as usize, report.edge_table_footprint);
+    }
+}
+
+#[test]
+fn periodic_census_follows_the_configured_period() {
+    use leak_pruning::{ForcedState, PruningConfig, Runtime};
+
+    let sink = MemorySink::default();
+    let config = PruningConfig::builder(1 << 20)
+        .force_state(ForcedState::Observe)
+        .census_every(2)
+        .build();
+    let mut rt = Runtime::new(config);
+    rt.telemetry().add_sink(Box::new(sink.clone()));
+    for _ in 0..6 {
+        rt.force_gc();
+    }
+
+    let trace = Trace::parse(&sink.text()).expect("trace parses");
+    let census_count = trace
+        .lines()
+        .iter()
+        .filter(|line| matches!(line.event, Event::EdgeCensus { .. }))
+        .count();
+    assert_eq!(census_count, 3, "6 collections at period 2");
+}
+
+#[test]
+fn snapshot_sinks_agree_with_the_run() {
+    let prometheus = PrometheusSink::new();
+    let histogram = PauseHistogram::new();
+    let (prom_handle, hist_handle) = (prometheus.clone(), histogram.clone());
+    let opts = RunOptions::new(Flavor::pruning()).iteration_cap(4_000);
+    let result = run_workload_with(&mut ListLeak::new(), &opts, move |rt| {
+        rt.telemetry().add_sink(Box::new(prom_handle));
+        rt.telemetry().add_sink(Box::new(hist_handle));
+    });
+
+    assert_eq!(histogram.count() as u64, result.gc_count);
+    assert!(histogram.p50() <= histogram.p95());
+    assert!(histogram.p95() <= histogram.max());
+
+    let text = prometheus.render();
+    assert!(text.contains(&format!("lp_collections_total {}", result.gc_count)));
+    let final_live = result
+        .reachable_memory
+        .points()
+        .last()
+        .map(|(_, y)| *y as u64)
+        .expect("run collected");
+    assert!(text.contains(&format!("lp_live_bytes {final_live}")));
+    assert!(text.contains(&format!(
+        "lp_workload_iterations_total {}",
+        result.iterations
+    )));
+}
+
+#[test]
+fn flight_recorder_keeps_the_tail_of_the_run() {
+    use leak_pruning::{PruningConfig, Runtime};
+
+    let config = PruningConfig::builder(1 << 20).flight_recorder(8).build();
+    let mut rt = Runtime::new(config);
+    for i in 0..20 {
+        rt.register_class(&format!("Class{i}"));
+    }
+    let snapshot = rt.telemetry().recorder_snapshot();
+    assert_eq!(snapshot.len(), 8);
+    assert_eq!(rt.telemetry().recorder_dropped(), 12);
+    // Ring keeps the most recent events, in order.
+    let seqs: Vec<u64> = snapshot.iter().map(|line| line.seq).collect();
+    assert_eq!(seqs, (12..20).collect::<Vec<_>>());
+}
