@@ -1,5 +1,7 @@
 //! Runtime and pruning configuration.
 
+use std::path::{Path, PathBuf};
+
 use crate::edge_table::DEFAULT_SLOTS;
 use crate::state::State;
 
@@ -95,6 +97,7 @@ pub struct PruningConfig {
     max_gc_attempts_per_alloc: u32,
     flight_recorder_slots: Option<usize>,
     census_period: Option<u64>,
+    snapshot_on_exhaustion: Option<PathBuf>,
 }
 
 impl PruningConfig {
@@ -120,6 +123,7 @@ impl PruningConfig {
                 max_gc_attempts_per_alloc: 64,
                 flight_recorder_slots: None,
                 census_period: None,
+                snapshot_on_exhaustion: None,
             },
         }
     }
@@ -230,6 +234,12 @@ impl PruningConfig {
     /// full-heap collection.
     pub fn census_period(&self) -> Option<u64> {
         self.census_period
+    }
+
+    /// If set, the first memory exhaustion writes a heap snapshot (JSONL,
+    /// `lp-diagnose` format) to this path for offline leak diagnosis.
+    pub fn snapshot_on_exhaustion(&self) -> Option<&Path> {
+        self.snapshot_on_exhaustion.as_deref()
     }
 }
 
@@ -385,6 +395,13 @@ impl PruningConfigBuilder {
         self
     }
 
+    /// Writes a heap snapshot to `path` the first time the heap is
+    /// exhausted (see [`PruningConfig::snapshot_on_exhaustion`]).
+    pub fn snapshot_on_exhaustion(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.snapshot_on_exhaustion = Some(path.into());
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> PruningConfig {
         self.config
@@ -409,6 +426,7 @@ mod tests {
         assert_eq!(c.decay_max_stale_use_every(), None);
         assert_eq!(c.flight_recorder_slots(), None);
         assert_eq!(c.census_period(), None);
+        assert_eq!(c.snapshot_on_exhaustion(), None);
     }
 
     #[test]
@@ -419,6 +437,17 @@ mod tests {
             .build();
         assert_eq!(c.flight_recorder_slots(), Some(256));
         assert_eq!(c.census_period(), Some(4));
+    }
+
+    #[test]
+    fn snapshot_knob_round_trips() {
+        let c = PruningConfig::builder(1024)
+            .snapshot_on_exhaustion("/tmp/exhausted.jsonl")
+            .build();
+        assert_eq!(
+            c.snapshot_on_exhaustion(),
+            Some(Path::new("/tmp/exhausted.jsonl"))
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   `max_stale_use` if the target was stale, zero the target's stale
 //!   counter.
 
+use std::path::Path;
+
+use lp_diagnose::{Capture, HeapSnapshot};
 use lp_gc::{Collector, GcStats};
 use lp_heap::{
     AllocSpec, ClassId, ClassRegistry, FrameId, Handle, Heap, RootSet, StaticId, TaggedRef,
@@ -104,6 +107,9 @@ pub struct Runtime {
     /// Counter values at the last `CounterDelta` emission, so each event
     /// carries deltas rather than cumulative totals.
     counters_at_last_emit: MutatorCounters,
+    /// Whether the one-shot exhaustion snapshot
+    /// ([`PruningConfig::snapshot_on_exhaustion`]) has been written.
+    exhaustion_snapshot_done: bool,
 }
 
 /// Fraction of the heap the mutator must allocate between two collections
@@ -163,6 +169,7 @@ impl Runtime {
             used_at_last_full: 0,
             telemetry,
             counters_at_last_emit: MutatorCounters::default(),
+            exhaustion_snapshot_done: false,
             config,
         }
     }
@@ -321,6 +328,7 @@ impl Runtime {
                 self.heap.used_bytes(),
                 self.heap.capacity(),
             );
+            self.maybe_snapshot_exhaustion();
             if !self.config.pruning_enabled() {
                 break;
             }
@@ -339,6 +347,28 @@ impl Runtime {
         Err(RuntimeError::OutOfMemory(self.current_oom(bytes)))
     }
 
+    /// Writes the one-shot exhaustion snapshot if
+    /// [`PruningConfig::snapshot_on_exhaustion`] is set and this is the
+    /// first exhaustion. A write failure is reported on stderr, never
+    /// surfaced to the allocating program — diagnosis must not change
+    /// whether the program survives.
+    fn maybe_snapshot_exhaustion(&mut self) {
+        if self.exhaustion_snapshot_done {
+            return;
+        }
+        let Some(path) = self.config.snapshot_on_exhaustion().map(Path::to_path_buf) else {
+            return;
+        };
+        self.exhaustion_snapshot_done = true;
+        let capture = self.capture_snapshot();
+        if let Err(err) = std::fs::write(&path, capture.snapshot.to_jsonl()) {
+            eprintln!(
+                "leak-pruning: failed to write exhaustion snapshot to {}: {err}",
+                path.display()
+            );
+        }
+    }
+
     fn current_oom(&self, _requested: u64) -> OutOfMemoryError {
         OutOfMemoryError::new(
             self.collector.collections(),
@@ -351,6 +381,58 @@ impl Runtime {
     /// always advance the staleness clock.
     pub fn force_gc(&mut self) -> GcRecord {
         self.run_collection(true)
+    }
+
+    /// Captures a heap snapshot for offline diagnosis (`lp-diagnose`).
+    ///
+    /// The capture piggybacks on a stop-the-world collection: it runs the
+    /// mark phase itself (skipping poisoned references, exactly like the
+    /// pruning closures) and dumps the live object graph while the world
+    /// is stopped, so the snapshot is a consistent cut. The collection
+    /// sweeps garbage and advances the collection index like any forced
+    /// GC, but stays outside the pruner's bookkeeping: stale counters,
+    /// the edge table and the Figure-2 state machine are unaffected.
+    ///
+    /// Emits [`Event::SnapshotBegin`]/[`Event::SnapshotEnd`] around the
+    /// capture; the end event carries the pause cost in nanoseconds.
+    pub fn capture_snapshot(&mut self) -> Capture {
+        let gc_index = self.collector.next_gc_index();
+        self.telemetry.emit(|| Event::SnapshotBegin { gc_index });
+        let roots = &self.roots;
+        let classes = &self.classes;
+        let mut captured: Option<Capture> = None;
+        let outcome = self.collector.collect_with(&mut self.heap, |heap| {
+            let (capture, stats) = HeapSnapshot::capture(heap, roots, classes, gc_index);
+            captured = Some(capture);
+            stats
+        });
+        let capture = captured.expect("mark closure ran");
+        // The sweep may reclaim finalizable garbage; honour the hook just
+        // like an ordinary collection.
+        let mut finalized = outcome.swept.finalized;
+        if !finalized.is_empty() {
+            let pruning_started = self.pruner.averted_oom().is_some();
+            if pruning_started && !self.config.run_finalizers_after_prune() {
+                self.counters.finalizers_skipped += finalized.len() as u64;
+            } else {
+                self.counters.finalizers_run += finalized.len() as u64;
+                if let Some(hook) = self.finalizer_hook.as_mut() {
+                    for class in finalized.drain() {
+                        hook(class);
+                    }
+                }
+            }
+        }
+        self.used_at_last_full = self.heap.used_bytes();
+        let snapshot = &capture.snapshot;
+        self.telemetry.emit(|| Event::SnapshotEnd {
+            gc_index,
+            objects: snapshot.object_count(),
+            edges: snapshot.edge_count(),
+            live_bytes: snapshot.live_bytes(),
+            nanos: capture.trace_nanos + capture.record_nanos,
+        });
+        capture
     }
 
     fn run_minor_collection(&mut self) {
@@ -848,6 +930,91 @@ mod tests {
             let got = rt.read_field(h, 0).expect("blob is never pruned");
             assert_eq!(got, Some(b));
         }
+    }
+
+    #[test]
+    fn capture_snapshot_survives_poisoned_references() {
+        // Run the list leak until pruning has poisoned references, then
+        // snapshot: the capture must skip poisoned edges rather than
+        // tracing through them, and still record the surviving list.
+        let (mut rt, _, err) = run_list_leak(PruningConfig::builder(256 * KB).build(), 3000);
+        assert!(err.is_none());
+        assert!(rt.prune_report().total_pruned_refs > 0);
+
+        let capture = rt.capture_snapshot();
+        let snapshot = &capture.snapshot;
+        assert!(snapshot.object_count() > 0);
+        assert_eq!(snapshot.live_bytes(), rt.used_bytes());
+        assert!(snapshot.classes.iter().any(|c| c == "Node"));
+        // The snapshot collection is numbered like any other.
+        assert_eq!(snapshot.gc_index, rt.gc_count());
+        // And it round-trips through the file format.
+        let parsed = lp_diagnose::HeapSnapshot::parse(&snapshot.to_jsonl()).unwrap();
+        assert_eq!(parsed.object_count(), snapshot.object_count());
+    }
+
+    #[test]
+    fn capture_snapshot_emits_paired_events() {
+        let mut rt = Runtime::new(PruningConfig::builder(256 * KB).flight_recorder(64).build());
+        let node = rt.register_class("Node");
+        let root = rt.add_static();
+        let n = rt.alloc(node, &AllocSpec::leaf(64)).unwrap();
+        rt.set_static(root, Some(n));
+
+        let capture = rt.capture_snapshot();
+        assert_eq!(capture.snapshot.object_count(), 1);
+
+        let lines = rt.telemetry().recorder_snapshot();
+        let begin = lines
+            .iter()
+            .find_map(|l| match l.event {
+                Event::SnapshotBegin { gc_index } => Some(gc_index),
+                _ => None,
+            })
+            .expect("snapshot_begin emitted");
+        let (end_gc, objects, nanos) = lines
+            .iter()
+            .find_map(|l| match l.event {
+                Event::SnapshotEnd {
+                    gc_index,
+                    objects,
+                    nanos,
+                    ..
+                } => Some((gc_index, objects, nanos)),
+                _ => None,
+            })
+            .expect("snapshot_end emitted");
+        assert_eq!(begin, end_gc);
+        assert_eq!(objects, 1);
+        assert!(nanos > 0);
+        assert_eq!(
+            nanos,
+            capture.trace_nanos + capture.record_nanos,
+            "pause cost in the event matches the capture"
+        );
+    }
+
+    #[test]
+    fn exhaustion_writes_snapshot_once() {
+        let dir =
+            std::env::temp_dir().join(format!("lp-exhaustion-snapshot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("exhausted.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        // Base config (no pruning) exhausts quickly and deterministically.
+        let config = PruningConfig::builder(64 * KB)
+            .pruning(false)
+            .snapshot_on_exhaustion(&path)
+            .build();
+        let (_rt, _, err) = run_list_leak(config, 10_000);
+        assert!(err.expect("base config must exhaust").is_out_of_memory());
+
+        let text = std::fs::read_to_string(&path).expect("snapshot written");
+        let snapshot = lp_diagnose::HeapSnapshot::parse(&text).unwrap();
+        assert!(snapshot.object_count() > 0);
+        assert!(snapshot.classes.iter().any(|c| c == "Node"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Generates a human-readable leak report from a heap snapshot.
+//!
+//! Two modes:
+//!
+//! - `leak_report <snapshot.jsonl>` — offline: analyse an existing
+//!   snapshot file (e.g. one written by
+//!   `PruningConfig::snapshot_on_exhaustion`). Edge-table and telemetry
+//!   sections are marked unavailable.
+//! - `leak_report --live [iterations]` — run the ListLeak workload for
+//!   `iterations` (default 4000) iterations, capture a snapshot from the
+//!   live runtime, and join it with the runtime's edge table and flight
+//!   recorder. Writes the snapshot, the report, the
+//!   `lp_retained_bytes{class=...}` gauges and a snapshot pause-cost CSV
+//!   to `bench_out/`.
+//!
+//! `--expect-class <name>` (CI hook) exits non-zero unless the #1
+//! retained-size dominator is of that class.
+
+use std::process::ExitCode;
+
+use leak_pruning::{PruningConfig, Runtime};
+use lp_bench::output_dir;
+use lp_diagnose::{Analysis, EdgeSummary, HeapSnapshot};
+use lp_workloads::driver::Workload;
+use lp_workloads::leaks::ListLeak;
+
+/// Heap size for `--live` runs; matches ListLeak's default heap.
+const LIVE_HEAP: u64 = 2 << 20;
+
+struct Args {
+    snapshot_path: Option<String>,
+    live: bool,
+    iterations: u64,
+    expect_class: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        snapshot_path: None,
+        live: false,
+        iterations: 4000,
+        expect_class: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--live" => args.live = true,
+            "--expect-class" => {
+                args.expect_class = Some(argv.next().ok_or("--expect-class needs a class name")?);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other}"));
+            }
+            other => {
+                if args.live {
+                    args.iterations = other
+                        .parse()
+                        .map_err(|_| format!("bad iteration count {other:?}"))?;
+                } else {
+                    args.snapshot_path = Some(other.to_owned());
+                }
+            }
+        }
+    }
+    if args.live == args.snapshot_path.is_some() {
+        return Err("pass exactly one of <snapshot.jsonl> or --live [iterations]".to_owned());
+    }
+    Ok(args)
+}
+
+/// Runs ListLeak and returns the runtime plus the wall time of the last
+/// plain (non-snapshot) collection's mark phase, for the pause-cost
+/// comparison.
+fn run_live(iterations: u64) -> Result<(Runtime, u64), String> {
+    let config = PruningConfig::builder(LIVE_HEAP)
+        .flight_recorder(512)
+        .build();
+    let mut rt = Runtime::new(config);
+    let mut workload = ListLeak::new();
+    workload.setup(&mut rt).map_err(|e| format!("setup: {e}"))?;
+    rt.release_registers();
+    for i in 0..iterations {
+        workload
+            .iterate(&mut rt, i)
+            .map_err(|e| format!("iteration {i}: {e}"))?;
+        rt.release_registers();
+    }
+    // A plain forced collection right before the snapshot: its mark time
+    // is the baseline the snapshot's pause is compared against.
+    let plain = rt.force_gc();
+    let plain_mark_nanos = u64::try_from(plain.mark_time.as_nanos()).unwrap_or(u64::MAX);
+    Ok((rt, plain_mark_nanos))
+}
+
+fn write_out(name: &str, contents: &str) -> Result<std::path::PathBuf, String> {
+    let path = output_dir().join(name);
+    std::fs::write(&path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("leak_report: {e}");
+            eprintln!(
+                "usage: leak_report <snapshot.jsonl> | --live [iterations] \
+                 [--expect-class <name>]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = if args.live {
+        eprintln!(
+            "running ListLeak for {} iterations, then snapshotting ...",
+            args.iterations
+        );
+        match run_live(args.iterations) {
+            Ok((mut rt, plain_mark_nanos)) => {
+                let capture = rt.capture_snapshot();
+                let snapshot = capture.snapshot.clone();
+                let edges: Vec<EdgeSummary> = rt
+                    .edge_table()
+                    .iter()
+                    .map(|entry| EdgeSummary {
+                        src: rt.class_name(entry.key.src).to_owned(),
+                        tgt: rt.class_name(entry.key.tgt).to_owned(),
+                        max_stale_use: entry.max_stale_use,
+                        bytes_used: entry.bytes_used,
+                    })
+                    .collect();
+                let recent = rt.telemetry().recorder_snapshot();
+
+                let mut files = vec![("list_leak_snapshot.jsonl", snapshot.to_jsonl())];
+                // Pause-cost record: what the snapshot collection's mark
+                // phase cost versus an ordinary one (see DESIGN.md,
+                // "Diagnosis" — methodology).
+                files.push((
+                    "snapshot_pause.csv",
+                    format!(
+                        "metric,nanos\nplain_mark,{}\nsnapshot_trace,{}\nsnapshot_record,{}\nsnapshot_total,{}\n",
+                        plain_mark_nanos,
+                        capture.trace_nanos,
+                        capture.record_nanos,
+                        capture.trace_nanos + capture.record_nanos,
+                    ),
+                ));
+                eprintln!(
+                    "snapshot pause: trace {} ns + record {} ns (plain mark: {} ns)",
+                    capture.trace_nanos, capture.record_nanos, plain_mark_nanos
+                );
+                Ok((snapshot, edges, recent, files))
+            }
+            Err(e) => Err(e),
+        }
+    } else {
+        let path = args
+            .snapshot_path
+            .as_deref()
+            .expect("checked in parse_args");
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| HeapSnapshot::parse(&text).map_err(|e| format!("{path}: {e}")))
+            .map(|snapshot| (snapshot, Vec::new(), Vec::new(), Vec::new()))
+    };
+
+    let (snapshot, edges, recent, extra_files) = match result {
+        Ok(parts) => parts,
+        Err(e) => {
+            eprintln!("leak_report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let analysis = Analysis::new(&snapshot);
+    let report = lp_diagnose::render_report(&snapshot, &analysis, &edges, &recent);
+    print!("{report}");
+
+    let gauges = lp_diagnose::render_retained_gauges(&snapshot, &analysis);
+    let mut files = extra_files;
+    files.push(("leak_report.txt", report));
+    files.push(("lp_retained_gauges.prom", gauges));
+    for (name, contents) in &files {
+        match write_out(name, contents) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("leak_report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(expected) = args.expect_class {
+        let top = analysis.top_dominators(1);
+        let Some(entry) = top.first() else {
+            eprintln!("leak_report: snapshot has no reachable objects to check");
+            return ExitCode::FAILURE;
+        };
+        let actual = snapshot.class_name(entry.class);
+        if actual != expected {
+            eprintln!(
+                "leak_report: top retained-size dominator is {actual:?} \
+                 (retained {}), expected {expected:?}",
+                entry.retained_bytes
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "top dominator class check passed: {expected} (retained {} bytes)",
+            entry.retained_bytes
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -4,9 +4,14 @@
 //!
 //! Usage: `trace_replay <trace.jsonl> [curve-name]`
 //!
+//! Pass `-` as the path to read the trace from stdin, e.g.
+//! `head -100 trace.jsonl | trace_replay -` (a JSONL prefix is itself a
+//! valid trace, so truncated fixtures replay fine).
+//!
 //! Produce a trace with the `telemetry_smoke` binary, or by attaching a
 //! [`lp_telemetry::JsonlSink`] to any runtime's bus.
 
+use std::io::Read;
 use std::process::ExitCode;
 
 use lp_bench::trace::Trace;
@@ -30,11 +35,22 @@ fn main() -> ExitCode {
     };
     let curve_name = args.next().unwrap_or_else(|| "trace_replay".to_owned());
 
-    let text = match std::fs::read_to_string(&path) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("trace_replay: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+    let text = if path == "-" {
+        let mut buf = String::new();
+        match std::io::stdin().read_to_string(&mut buf) {
+            Ok(_) => buf,
+            Err(e) => {
+                eprintln!("trace_replay: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("trace_replay: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     let trace = match Trace::parse(&text) {

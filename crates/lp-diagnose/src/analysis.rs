@@ -1,0 +1,624 @@
+//! Offline analysis over a [`HeapSnapshot`]: dominator tree, retained
+//! sizes, per-class aggregates and retainer paths.
+//!
+//! Dominators are computed with the Cooper–Harvey–Kennedy iterative
+//! algorithm over a virtual super-root whose successors are the GC roots.
+//! CHK is O(n·d) per iteration where d is the loop-nesting depth of the
+//! graph; heap graphs are shallow and mostly tree-shaped, so it converges
+//! in two or three passes and needs no auxiliary bucket machinery, unlike
+//! Lengauer–Tarjan. Retained size is then a single bottom-up pass: every
+//! object's footprint is added to its immediate dominator, processed in
+//! postorder so children fold in before their ancestors.
+
+use std::collections::BTreeMap;
+
+use lp_heap::STALE_MAX;
+
+use crate::snapshot::HeapSnapshot;
+
+/// Sentinel for "not computed / unreachable" in the dense node arrays.
+const UNDEF: usize = usize::MAX;
+
+/// The immediate dominator of a reachable object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dominator {
+    /// The object is dominated only by the virtual super-root: it is
+    /// reachable through several disjoint root paths (or is itself a
+    /// root), so no single object retains it.
+    Root,
+    /// The heap slot of the single object every root path passes through.
+    Object(u32),
+}
+
+/// One entry of [`Analysis::top_dominators`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DominatorEntry {
+    /// Heap slot of the dominating object.
+    pub slot: u32,
+    /// Class index into the snapshot's class table.
+    pub class: u32,
+    /// Shallow footprint of the object itself.
+    pub shallow_bytes: u64,
+    /// Stale counter at capture time.
+    pub stale: u8,
+    /// Bytes that would become unreachable if this object were removed.
+    pub retained_bytes: u64,
+}
+
+/// Per-class aggregates over a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Class index into the snapshot's class table.
+    pub class: u32,
+    /// Number of snapshot objects of this class.
+    pub objects: u64,
+    /// Summed shallow footprint of those objects.
+    pub shallow_bytes: u64,
+    /// Retained bytes attributed to the class by the chain-top rule: the
+    /// retained size of every object whose immediate dominator is *not*
+    /// of the same class. A linked list of N nodes thus reports the whole
+    /// chain once (via its head) instead of N nested, overlapping sums.
+    pub retained_bytes: u64,
+    /// Histogram of stale counters, indexed by counter value (0..=[`STALE_MAX`]).
+    pub stale_histogram: [u64; STALE_MAX as usize + 1],
+}
+
+/// Dominator tree, retained sizes and shortest retainer paths for one
+/// snapshot. Built once by [`Analysis::new`]; all queries are O(1) or
+/// output-sized.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Object slots in snapshot order; node i of the graph is slots[i],
+    /// node slots.len() is the virtual super-root.
+    slots: Vec<u32>,
+    index: BTreeMap<u32, usize>,
+    class_of: Vec<u32>,
+    bytes_of: Vec<u64>,
+    stale_of: Vec<u8>,
+    /// Immediate dominator per node (UNDEF for unreachable objects).
+    idom: Vec<usize>,
+    /// Reverse-postorder rank per node (UNDEF for unreachable objects).
+    rpo_rank: Vec<usize>,
+    /// Retained bytes per node; the super-root's entry is total reachable
+    /// bytes. Zero for unreachable objects.
+    retained: Vec<u64>,
+    /// BFS parent per node, for shortest root→object retainer paths.
+    bfs_parent: Vec<usize>,
+    class_count: usize,
+}
+
+impl Analysis {
+    /// Builds the dominator tree and retained sizes for `snapshot`.
+    /// References to slots absent from the snapshot are ignored, so a
+    /// file trimmed by hand still analyses cleanly.
+    pub fn new(snapshot: &HeapSnapshot) -> Analysis {
+        let n = snapshot.objects.len();
+        let root = n;
+        let mut index = BTreeMap::new();
+        let mut slots = Vec::with_capacity(n);
+        for (i, object) in snapshot.objects.iter().enumerate() {
+            index.insert(object.id, i);
+            slots.push(object.id);
+        }
+
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for (i, object) in snapshot.objects.iter().enumerate() {
+            succ[i] = object
+                .refs
+                .iter()
+                .filter_map(|slot| index.get(slot).copied())
+                .collect();
+        }
+        succ[root] = snapshot
+            .roots
+            .iter()
+            .filter_map(|slot| index.get(slot).copied())
+            .collect();
+
+        // Depth-first postorder from the super-root; rpo is its reverse.
+        let mut postorder = Vec::with_capacity(n + 1);
+        let mut seen = vec![false; n + 1];
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        seen[root] = true;
+        while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
+            if let Some(&next) = succ[node].get(*cursor) {
+                *cursor += 1;
+                if !seen[next] {
+                    seen[next] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                postorder.push(node);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<usize> = postorder.iter().rev().copied().collect();
+        let mut rpo_rank = vec![UNDEF; n + 1];
+        for (rank, &node) in rpo.iter().enumerate() {
+            rpo_rank[node] = rank;
+        }
+
+        // Predecessors, restricted to edges whose source is reachable:
+        // unreachable sources never acquire an idom and would only be
+        // skipped in the fixed point below.
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for &node in &rpo {
+            for &next in &succ[node] {
+                preds[next].push(node);
+            }
+        }
+
+        // Cooper–Harvey–Kennedy fixed point over reverse postorder.
+        let mut idom = vec![UNDEF; n + 1];
+        idom[root] = root;
+        let intersect = |idom: &[usize], rpo_rank: &[usize], mut a: usize, mut b: usize| {
+            while a != b {
+                while rpo_rank[a] > rpo_rank[b] {
+                    a = idom[a];
+                }
+                while rpo_rank[b] > rpo_rank[a] {
+                    b = idom[b];
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &node in rpo.iter().skip(1) {
+                let mut new_idom = UNDEF;
+                for &p in &preds[node] {
+                    if idom[p] == UNDEF {
+                        continue;
+                    }
+                    new_idom = if new_idom == UNDEF {
+                        p
+                    } else {
+                        intersect(&idom, &rpo_rank, p, new_idom)
+                    };
+                }
+                if new_idom != UNDEF && idom[node] != new_idom {
+                    idom[node] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        let class_of: Vec<u32> = snapshot.objects.iter().map(|o| o.class).collect();
+        let bytes_of: Vec<u64> = snapshot
+            .objects
+            .iter()
+            .map(|o| u64::from(o.bytes))
+            .collect();
+        let stale_of: Vec<u8> = snapshot.objects.iter().map(|o| o.stale).collect();
+
+        // Bottom-up retained sizes: postorder guarantees every node is
+        // folded into its immediate dominator (a DFS ancestor) before
+        // that dominator is processed.
+        let mut retained = vec![0u64; n + 1];
+        for &node in &postorder {
+            if node != root {
+                retained[node] += bytes_of[node];
+            }
+        }
+        for &node in &postorder {
+            if node != root && idom[node] != UNDEF && idom[node] != node {
+                retained[idom[node]] += retained[node];
+            }
+        }
+
+        // BFS from the super-root for shortest retainer paths.
+        let mut bfs_parent = vec![UNDEF; n + 1];
+        bfs_parent[root] = root;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(node) = queue.pop_front() {
+            for &next in &succ[node] {
+                if bfs_parent[next] == UNDEF {
+                    bfs_parent[next] = node;
+                    queue.push_back(next);
+                }
+            }
+        }
+
+        Analysis {
+            slots,
+            index,
+            class_of,
+            bytes_of,
+            stale_of,
+            idom,
+            rpo_rank,
+            retained,
+            bfs_parent,
+            class_count: snapshot.classes.len(),
+        }
+    }
+
+    fn root(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn node(&self, slot: u32) -> Option<usize> {
+        self.index.get(&slot).copied()
+    }
+
+    fn is_reachable(&self, node: usize) -> bool {
+        self.rpo_rank[node] != UNDEF
+    }
+
+    /// Number of snapshot objects reachable from the roots.
+    pub fn reachable_objects(&self) -> usize {
+        (0..self.slots.len())
+            .filter(|&i| self.is_reachable(i))
+            .count()
+    }
+
+    /// Number of snapshot objects *not* reachable from the roots — e.g.
+    /// a subgraph disconnected by pruning but left in an edited file.
+    pub fn unreachable_objects(&self) -> usize {
+        self.slots.len() - self.reachable_objects()
+    }
+
+    /// Total bytes reachable from the roots (the super-root's retained
+    /// size).
+    pub fn reachable_bytes(&self) -> u64 {
+        self.retained[self.root()]
+    }
+
+    /// Retained size of the object at `slot`: the bytes that would become
+    /// unreachable if it were removed. `None` for slots absent from the
+    /// snapshot or unreachable from the roots.
+    pub fn retained_bytes(&self, slot: u32) -> Option<u64> {
+        let node = self.node(slot)?;
+        if self.is_reachable(node) {
+            Some(self.retained[node])
+        } else {
+            None
+        }
+    }
+
+    /// Immediate dominator of the object at `slot`, or `None` if the slot
+    /// is absent or unreachable.
+    pub fn immediate_dominator(&self, slot: u32) -> Option<Dominator> {
+        let node = self.node(slot)?;
+        if !self.is_reachable(node) {
+            return None;
+        }
+        let dom = self.idom[node];
+        Some(if dom == self.root() {
+            Dominator::Root
+        } else {
+            Dominator::Object(self.slots[dom])
+        })
+    }
+
+    /// The `k` reachable objects with the largest retained sizes, ties
+    /// broken toward lower slots.
+    pub fn top_dominators(&self, k: usize) -> Vec<DominatorEntry> {
+        let mut entries: Vec<DominatorEntry> = (0..self.slots.len())
+            .filter(|&i| self.is_reachable(i))
+            .map(|i| DominatorEntry {
+                slot: self.slots[i],
+                class: self.class_of[i],
+                shallow_bytes: self.bytes_of[i],
+                stale: self.stale_of[i],
+                retained_bytes: self.retained[i],
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            b.retained_bytes
+                .cmp(&a.retained_bytes)
+                .then(a.slot.cmp(&b.slot))
+        });
+        entries.truncate(k);
+        entries
+    }
+
+    /// Per-class aggregates, sorted by retained bytes descending (ties
+    /// toward lower class indices). Object counts, shallow bytes and
+    /// stale histograms cover every snapshot object; retained bytes cover
+    /// only reachable ones (unreachable objects retain nothing).
+    pub fn class_stats(&self) -> Vec<ClassStats> {
+        let mut stats: Vec<ClassStats> = (0..self.class_count)
+            .map(|class| ClassStats {
+                class: class as u32,
+                objects: 0,
+                shallow_bytes: 0,
+                retained_bytes: 0,
+                stale_histogram: [0; STALE_MAX as usize + 1],
+            })
+            .collect();
+        for i in 0..self.slots.len() {
+            let Some(entry) = stats.get_mut(self.class_of[i] as usize) else {
+                continue;
+            };
+            entry.objects += 1;
+            entry.shallow_bytes += self.bytes_of[i];
+            let stale = (self.stale_of[i] as usize).min(STALE_MAX as usize);
+            entry.stale_histogram[stale] += 1;
+            if !self.is_reachable(i) {
+                continue;
+            }
+            // Chain-top rule: attribute retained bytes only where the
+            // dominator chain enters the class, so same-class chains are
+            // not double counted.
+            let dom = self.idom[i];
+            if dom == self.root() || self.class_of[dom] != self.class_of[i] {
+                entry.retained_bytes += self.retained[i];
+            }
+        }
+        stats.retain(|s| s.objects > 0);
+        stats.sort_by(|a, b| {
+            b.retained_bytes
+                .cmp(&a.retained_bytes)
+                .then(a.class.cmp(&b.class))
+        });
+        stats
+    }
+
+    /// Shortest path (fewest edges) from a GC root to `slot`, as heap
+    /// slots starting at the root object. `None` if the slot is absent or
+    /// unreachable.
+    pub fn retainer_path(&self, slot: u32) -> Option<Vec<u32>> {
+        let mut node = self.node(slot)?;
+        if self.bfs_parent[node] == UNDEF {
+            return None;
+        }
+        let mut path = Vec::new();
+        while node != self.root() {
+            path.push(self.slots[node]);
+            node = self.bfs_parent[node];
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotObject;
+    use proptest::prelude::*;
+
+    /// Builds a snapshot from `(id, class, bytes, stale, refs)` tuples.
+    fn graph(
+        classes: &[&str],
+        roots: &[u32],
+        objects: &[(u32, u32, u32, u8, &[u32])],
+    ) -> HeapSnapshot {
+        HeapSnapshot {
+            gc_index: 1,
+            capacity: 1 << 20,
+            classes: classes.iter().map(|c| (*c).to_owned()).collect(),
+            roots: roots.to_vec(),
+            objects: objects
+                .iter()
+                .map(|&(id, class, bytes, stale, refs)| SnapshotObject {
+                    id,
+                    class,
+                    bytes,
+                    stale,
+                    refs: refs.to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Diamond: A→{B,C}, B→D, C→D. D is reachable two ways, so its
+    /// immediate dominator is A, not B or C.
+    #[test]
+    fn diamond_dominators_and_retained_sizes() {
+        let snap = graph(
+            &["X"],
+            &[0],
+            &[
+                (0, 0, 100, 0, &[1, 2]),
+                (1, 0, 10, 0, &[3]),
+                (2, 0, 20, 0, &[3]),
+                (3, 0, 40, 0, &[]),
+            ],
+        );
+        let a = Analysis::new(&snap);
+        assert_eq!(a.immediate_dominator(0), Some(Dominator::Root));
+        assert_eq!(a.immediate_dominator(1), Some(Dominator::Object(0)));
+        assert_eq!(a.immediate_dominator(2), Some(Dominator::Object(0)));
+        assert_eq!(a.immediate_dominator(3), Some(Dominator::Object(0)));
+        assert_eq!(a.retained_bytes(1), Some(10));
+        assert_eq!(a.retained_bytes(2), Some(20));
+        assert_eq!(a.retained_bytes(3), Some(40));
+        assert_eq!(a.retained_bytes(0), Some(170));
+        assert_eq!(a.reachable_bytes(), 170);
+        assert_eq!(a.top_dominators(1)[0].slot, 0);
+        assert_eq!(a.retainer_path(3).unwrap().len(), 3); // 0 → {1|2} → 3
+    }
+
+    /// Cycle via a back-edge: A→B→C→B. The cycle does not make C
+    /// dominate B; B still dominates C and retains the whole loop.
+    #[test]
+    fn cycle_back_edge_keeps_dominators_acyclic() {
+        let snap = graph(
+            &["X"],
+            &[0],
+            &[(0, 0, 8, 0, &[1]), (1, 0, 16, 0, &[2]), (2, 0, 32, 0, &[1])],
+        );
+        let a = Analysis::new(&snap);
+        assert_eq!(a.immediate_dominator(1), Some(Dominator::Object(0)));
+        assert_eq!(a.immediate_dominator(2), Some(Dominator::Object(1)));
+        assert_eq!(a.retained_bytes(1), Some(48));
+        assert_eq!(a.retained_bytes(2), Some(32));
+        assert_eq!(a.reachable_bytes(), 56);
+    }
+
+    /// A subgraph disconnected from the roots (as after a prune) retains
+    /// nothing and is reported as unreachable rather than crashing the
+    /// analysis.
+    #[test]
+    fn disconnected_subgraph_is_unreachable_not_fatal() {
+        let snap = graph(
+            &["X", "Y"],
+            &[0],
+            &[
+                (0, 0, 64, 0, &[]),
+                (7, 1, 128, 7, &[8]),
+                (8, 1, 256, 7, &[7]),
+            ],
+        );
+        let a = Analysis::new(&snap);
+        assert_eq!(a.reachable_objects(), 1);
+        assert_eq!(a.unreachable_objects(), 2);
+        assert_eq!(a.reachable_bytes(), 64);
+        assert_eq!(a.retained_bytes(7), None);
+        assert_eq!(a.immediate_dominator(8), None);
+        assert_eq!(a.retainer_path(7), None);
+        // Aggregates still count the disconnected objects shallowly.
+        let stats = a.class_stats();
+        let y = stats.iter().find(|s| s.class == 1).unwrap();
+        assert_eq!(y.objects, 2);
+        assert_eq!(y.shallow_bytes, 384);
+        assert_eq!(y.retained_bytes, 0);
+        assert_eq!(y.stale_histogram[7], 2);
+    }
+
+    /// Chain-top rule: a homogeneous linked list is attributed to its
+    /// class once, at the point the dominator chain enters the class —
+    /// not once per node, which would quadratically over-count.
+    #[test]
+    fn class_retained_uses_chain_top_rule() {
+        let snap = graph(
+            &["List", "Node"],
+            &[0],
+            &[
+                (0, 0, 24, 0, &[1]),
+                (1, 1, 100, 5, &[2]),
+                (2, 1, 100, 6, &[3]),
+                (3, 1, 100, 7, &[]),
+            ],
+        );
+        let a = Analysis::new(&snap);
+        let stats = a.class_stats();
+        assert_eq!(stats[0].class, 0); // List retains everything: 324
+        assert_eq!(stats[0].retained_bytes, 324);
+        let node = &stats[1];
+        assert_eq!(node.class, 1);
+        // One chain top (object 1) whose retained size is the whole chain.
+        assert_eq!(node.retained_bytes, 300);
+        assert_eq!(node.objects, 3);
+        assert_eq!(node.stale_histogram[5], 1);
+        assert_eq!(node.stale_histogram[6], 1);
+        assert_eq!(node.stale_histogram[7], 1);
+    }
+
+    /// Retainer paths are shortest and start at a root object.
+    #[test]
+    fn retainer_path_prefers_shortest_route() {
+        let snap = graph(
+            &["X"],
+            &[0, 4],
+            &[
+                (0, 0, 8, 0, &[1]),
+                (1, 0, 8, 0, &[2]),
+                (2, 0, 8, 0, &[3]),
+                (3, 0, 8, 0, &[]),
+                (4, 0, 8, 0, &[3]),
+            ],
+        );
+        let a = Analysis::new(&snap);
+        assert_eq!(a.retainer_path(3), Some(vec![4, 3]));
+        assert_eq!(a.retainer_path(0), Some(vec![0]));
+    }
+
+    fn arbitrary_snapshot(
+        n: usize,
+        edge_seeds: &[(usize, usize)],
+        root_seeds: &[usize],
+        byte_seeds: &[u32],
+    ) -> HeapSnapshot {
+        let objects = (0..n)
+            .map(|i| SnapshotObject {
+                id: i as u32,
+                class: (i % 3) as u32,
+                bytes: byte_seeds[i % byte_seeds.len()] % 4096 + 16,
+                stale: (i % (STALE_MAX as usize + 1)) as u8,
+                refs: edge_seeds
+                    .iter()
+                    .filter(|(s, _)| s % n == i)
+                    .map(|(_, t)| (t % n) as u32)
+                    .collect(),
+            })
+            .collect();
+        let mut roots: Vec<u32> = root_seeds.iter().map(|r| (r % n) as u32).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        HeapSnapshot {
+            gc_index: 1,
+            capacity: 1 << 24,
+            classes: vec!["A".to_owned(), "B".to_owned(), "C".to_owned()],
+            roots,
+            objects,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// On random graphs the retained sizes stay self-consistent:
+        /// top-level dominators partition exactly the reachable bytes,
+        /// every object retains at least its own footprint, and per-class
+        /// retained totals cover at least each class's reachable shallow
+        /// bytes while summing to at least the reachable total (chain
+        /// tops can nest, so the totals may legitimately overlap).
+        #[test]
+        fn prop_retained_sizes_are_consistent(
+            n in 1usize..30,
+            edge_seeds in proptest::collection::vec((0usize..30, 0usize..30), 0..90),
+            root_seeds in proptest::collection::vec(0usize..30, 1..4),
+            byte_seeds in proptest::collection::vec(1u32..10_000, 1..8),
+        ) {
+            let snap = arbitrary_snapshot(n, &edge_seeds, &root_seeds, &byte_seeds);
+            let analysis = Analysis::new(&snap);
+
+            let reachable = analysis.reachable_bytes();
+            prop_assert!(reachable <= snap.live_bytes());
+
+            let mut top_level_sum = 0u64;
+            let mut reachable_shallow = 0u64;
+            let mut class_reachable_shallow = [0u64; 3];
+            for object in &snap.objects {
+                match analysis.immediate_dominator(object.id) {
+                    None => {
+                        prop_assert_eq!(analysis.retained_bytes(object.id), None);
+                        continue;
+                    }
+                    Some(Dominator::Root) => {
+                        top_level_sum += analysis.retained_bytes(object.id).unwrap();
+                    }
+                    Some(Dominator::Object(dom)) => {
+                        // A dominator retains everything it dominates.
+                        prop_assert!(
+                            analysis.retained_bytes(dom).unwrap()
+                                > analysis.retained_bytes(object.id).unwrap()
+                                || u64::from(object.bytes) == 0
+                        );
+                    }
+                }
+                let retained = analysis.retained_bytes(object.id).unwrap();
+                prop_assert!(retained >= u64::from(object.bytes));
+                reachable_shallow += u64::from(object.bytes);
+                class_reachable_shallow[object.class as usize] += u64::from(object.bytes);
+            }
+            // Top-level dominator subtrees partition the reachable set.
+            prop_assert_eq!(top_level_sum, reachable);
+            prop_assert_eq!(reachable_shallow, reachable);
+
+            let stats = analysis.class_stats();
+            let class_sum: u64 = stats.iter().map(|s| s.retained_bytes).sum();
+            prop_assert!(class_sum >= reachable);
+            for class in &stats {
+                // Every reachable object sits under some same-class chain
+                // top, so a class retains at least its own shallow bytes.
+                prop_assert!(
+                    class.retained_bytes >= class_reachable_shallow[class.class as usize]
+                );
+            }
+        }
+    }
+}

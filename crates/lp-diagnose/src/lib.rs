@@ -1,0 +1,37 @@
+//! Heap diagnosis for the leak-pruning runtime: snapshots, dominator and
+//! retained-size analysis, and human-readable leak reports.
+//!
+//! Leak pruning (Bond & McKinley, ASPLOS 2009) *tolerates* leaks; this
+//! crate explains them. The pipeline has three stages:
+//!
+//! 1. **Capture** ([`HeapSnapshot::capture`]) piggybacks on the
+//!    stop-the-world mark phase: it runs the transitive closure itself
+//!    (skipping poisoned references, which the program can never follow
+//!    again) and dumps the live object graph — identity, class, size,
+//!    staleness, outgoing references — to a compact JSONL format with a
+//!    hand-rolled writer/parser, mirroring lp-telemetry's trace style.
+//! 2. **Analysis** ([`Analysis`]) computes the dominator tree
+//!    (Cooper–Harvey–Kennedy over a virtual super-root), per-object and
+//!    per-class retained sizes, per-class staleness histograms, and
+//!    shortest root-to-object retainer paths — entirely offline, from the
+//!    snapshot alone.
+//! 3. **Report** ([`render_report`]) joins the analysis with the
+//!    runtime's edge-table census and recent telemetry (Figure-2 state
+//!    history, last SELECT decision) into one text report, and
+//!    [`render_retained_gauges`] exposes `lp_retained_bytes{class=...}`
+//!    Prometheus gauges.
+//!
+//! The capture's pause cost is split into the closure (which a plain mark
+//! phase pays anyway) and the marginal graph dump, so `lp-bench` can
+//! report what snapshotting actually costs (see DESIGN.md, "Diagnosis").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod report;
+mod snapshot;
+
+pub use analysis::{Analysis, ClassStats, Dominator, DominatorEntry};
+pub use report::{fmt_bytes, render_report, render_retained_gauges, EdgeSummary};
+pub use snapshot::{Capture, HeapSnapshot, SnapshotObject, SNAPSHOT_VERSION};

@@ -1,0 +1,374 @@
+//! The human-readable leak report: joins snapshot analysis with the
+//! runtime's edge table and recent telemetry, and renders the per-class
+//! retained sizes as Prometheus gauges.
+
+use lp_heap::STALE_MAX;
+use lp_metrics::TextTable;
+use lp_telemetry::{escape_label_value, Event, TraceLine};
+
+use crate::analysis::{Analysis, Dominator};
+use crate::snapshot::HeapSnapshot;
+
+/// One edge-table entry with class indices already resolved to names —
+/// the report does not depend on the `leak-pruning` crate, so the caller
+/// hands over plain data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeSummary {
+    /// Source class name.
+    pub src: String,
+    /// Target class name.
+    pub tgt: String,
+    /// Saturating maximum staleness observed for the edge.
+    pub max_stale_use: u8,
+    /// Bytes attributed during the last SELECT window.
+    pub bytes_used: u64,
+}
+
+/// How many dominators/classes/edges each report section lists.
+const TOP_K: usize = 5;
+/// How many recent state transitions the telemetry section replays.
+const RECENT_STATES: usize = 6;
+
+/// Renders the full leak report. `edges` is the runtime's edge-table
+/// census (empty slice if unavailable, e.g. for an offline snapshot
+/// file), and `recent` the flight-recorder tail for the Figure-2 history
+/// and last SELECT decision.
+pub fn render_report(
+    snapshot: &HeapSnapshot,
+    analysis: &Analysis,
+    edges: &[EdgeSummary],
+    recent: &[TraceLine],
+) -> String {
+    let mut out = String::new();
+    out.push_str("LEAK REPORT\n===========\n");
+    out.push_str(&format!(
+        "snapshot: gc #{}, capacity {}, {} objects, {} edges, {} live\n",
+        snapshot.gc_index,
+        fmt_bytes(snapshot.capacity),
+        snapshot.object_count(),
+        snapshot.edge_count(),
+        fmt_bytes(snapshot.live_bytes()),
+    ));
+    out.push_str(&format!(
+        "reachable from {} roots: {} ({} objects); unreachable in file: {}\n",
+        snapshot.roots.len(),
+        fmt_bytes(analysis.reachable_bytes()),
+        analysis.reachable_objects(),
+        analysis.unreachable_objects(),
+    ));
+
+    out.push_str("\nRetained size by class\n----------------------\n");
+    let mut table = TextTable::new(
+        [
+            "class",
+            "objects",
+            "shallow",
+            "retained",
+            "% of live",
+            "max stale",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
+    );
+    let stats = analysis.class_stats();
+    let live = snapshot.live_bytes().max(1);
+    for class in stats.iter().take(TOP_K) {
+        let max_stale = class
+            .stale_histogram
+            .iter()
+            .rposition(|&count| count > 0)
+            .unwrap_or(0);
+        table.row(vec![
+            snapshot.class_name(class.class).to_owned(),
+            class.objects.to_string(),
+            fmt_bytes(class.shallow_bytes),
+            fmt_bytes(class.retained_bytes),
+            format!("{:.1}%", class.retained_bytes as f64 * 100.0 / live as f64),
+            max_stale.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    out.push_str("\nTop dominators by retained size\n-------------------------------\n");
+    let mut table = TextTable::new(
+        ["#", "object", "class", "shallow", "retained", "stale"]
+            .map(str::to_owned)
+            .to_vec(),
+    );
+    let dominators = analysis.top_dominators(TOP_K);
+    for (rank, entry) in dominators.iter().enumerate() {
+        table.row(vec![
+            (rank + 1).to_string(),
+            format!("#{}", entry.slot),
+            snapshot.class_name(entry.class).to_owned(),
+            fmt_bytes(entry.shallow_bytes),
+            fmt_bytes(entry.retained_bytes),
+            entry.stale.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    for entry in dominators.iter().take(2) {
+        if let Some(path) = analysis.retainer_path(entry.slot) {
+            out.push_str(&format!(
+                "retainer path to #{}: {}\n",
+                entry.slot,
+                render_path(snapshot, analysis, &path)
+            ));
+        }
+    }
+
+    out.push_str("\nStaleness by class (objects per stale level)\n");
+    out.push_str("--------------------------------------------\n");
+    let mut headers = vec!["class".to_owned()];
+    headers.extend((0..=STALE_MAX).map(|level| level.to_string()));
+    let mut table = TextTable::new(headers);
+    for class in stats.iter().take(TOP_K) {
+        let mut row = vec![snapshot.class_name(class.class).to_owned()];
+        row.extend(class.stale_histogram.iter().map(u64::to_string));
+        table.row(row);
+    }
+    out.push_str(&table.render());
+
+    out.push_str("\nEdge table (what SELECT would choose)\n");
+    out.push_str("-------------------------------------\n");
+    if edges.is_empty() {
+        out.push_str("no edge-table census available (offline snapshot)\n");
+    } else {
+        let mut ranked: Vec<&EdgeSummary> = edges.iter().collect();
+        ranked.sort_by_key(|edge| std::cmp::Reverse(edge.bytes_used));
+        let mut table = TextTable::new(
+            ["edge", "max stale use", "bytes used", ""]
+                .map(str::to_owned)
+                .to_vec(),
+        );
+        for (rank, edge) in ranked.iter().take(TOP_K).enumerate() {
+            table.row(vec![
+                format!("{} -> {}", edge.src, edge.tgt),
+                edge.max_stale_use.to_string(),
+                fmt_bytes(edge.bytes_used),
+                if rank == 0 {
+                    "<- would win SELECT".to_owned()
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+        out.push_str(&table.render());
+    }
+
+    out.push_str(&render_recent(snapshot, recent));
+    out
+}
+
+/// Renders the flight-recorder tail: the most recent Figure-2 state
+/// transitions and the last SELECT decision with its runner-ups.
+fn render_recent(snapshot: &HeapSnapshot, recent: &[TraceLine]) -> String {
+    let mut out = String::new();
+    out.push_str("\nRecent runtime history\n----------------------\n");
+    if recent.is_empty() {
+        out.push_str("no telemetry available (offline snapshot)\n");
+        return out;
+    }
+    let transitions: Vec<&TraceLine> = recent
+        .iter()
+        .filter(|line| matches!(line.event, Event::StateTransition { .. }))
+        .collect();
+    if transitions.is_empty() {
+        out.push_str("no state transitions recorded\n");
+    } else {
+        let mut table = TextTable::new(
+            ["gc", "transition", "occupancy"]
+                .map(str::to_owned)
+                .to_vec(),
+        );
+        let skip = transitions.len().saturating_sub(RECENT_STATES);
+        for line in &transitions[skip..] {
+            if let Event::StateTransition {
+                gc_index,
+                from,
+                to,
+                occupancy,
+                ..
+            } = &line.event
+            {
+                table.row(vec![
+                    gc_index.to_string(),
+                    format!("{from} -> {to}"),
+                    format!("{:.1}%", occupancy * 100.0),
+                ]);
+            }
+        }
+        out.push_str(&table.render());
+    }
+    let last_select = recent
+        .iter()
+        .rev()
+        .find(|line| matches!(line.event, Event::SelectionEdge { .. }));
+    if let Some(line) = last_select {
+        if let Event::SelectionEdge {
+            gc_index,
+            src,
+            tgt,
+            bytes,
+            runners_up,
+        } = &line.event
+        {
+            out.push_str(&format!(
+                "last SELECT (gc #{}): chose {} -> {} ({})\n",
+                gc_index,
+                snapshot.class_name(*src),
+                snapshot.class_name(*tgt),
+                fmt_bytes(*bytes),
+            ));
+            for runner in runners_up.iter().take(3) {
+                out.push_str(&format!(
+                    "  beat {} -> {} ({})\n",
+                    snapshot.class_name(runner.src),
+                    snapshot.class_name(runner.tgt),
+                    fmt_bytes(runner.bytes),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders per-class retained sizes in Prometheus text exposition format
+/// as `lp_retained_bytes{class="..."}` gauges, with label values escaped
+/// per the format's rules.
+pub fn render_retained_gauges(snapshot: &HeapSnapshot, analysis: &Analysis) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# HELP lp_retained_bytes Retained bytes per class from the last heap snapshot.\n",
+    );
+    out.push_str("# TYPE lp_retained_bytes gauge\n");
+    for class in analysis.class_stats() {
+        out.push_str(&format!(
+            "lp_retained_bytes{{class=\"{}\"}} {}\n",
+            escape_label_value(snapshot.class_name(class.class)),
+            class.retained_bytes,
+        ));
+    }
+    out
+}
+
+/// Renders a retainer path as `Class#slot -> Class#slot`, annotating each
+/// hop's retained size.
+fn render_path(snapshot: &HeapSnapshot, analysis: &Analysis, path: &[u32]) -> String {
+    path.iter()
+        .map(|&slot| {
+            let class = snapshot
+                .objects
+                .iter()
+                .find(|o| o.id == slot)
+                .map_or("<unknown>", |o| snapshot.class_name(o.class));
+            match analysis.immediate_dominator(slot) {
+                Some(Dominator::Root) => format!("(root) {class}#{slot}"),
+                _ => format!("{class}#{slot}"),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// Formats a byte count with a binary-prefix rendering next to the exact
+/// value, e.g. `1.5 MiB (1572864)`.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{:.1} {} ({})", value, UNITS[unit], bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotObject;
+
+    fn leaky_snapshot() -> HeapSnapshot {
+        HeapSnapshot {
+            gc_index: 9,
+            capacity: 1 << 20,
+            classes: vec!["List".to_owned(), "java.util.LinkedList$Node".to_owned()],
+            roots: vec![0],
+            objects: vec![
+                SnapshotObject {
+                    id: 0,
+                    class: 0,
+                    bytes: 24,
+                    stale: 0,
+                    refs: vec![1],
+                },
+                SnapshotObject {
+                    id: 1,
+                    class: 1,
+                    bytes: 300,
+                    stale: 7,
+                    refs: vec![2],
+                },
+                SnapshotObject {
+                    id: 2,
+                    class: 1,
+                    bytes: 300,
+                    stale: 7,
+                    refs: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_names_the_leak_and_shows_a_path() {
+        let snap = leaky_snapshot();
+        let analysis = Analysis::new(&snap);
+        let edges = vec![EdgeSummary {
+            src: "List".to_owned(),
+            tgt: "java.util.LinkedList$Node".to_owned(),
+            max_stale_use: 7,
+            bytes_used: 600,
+        }];
+        let report = render_report(&snap, &analysis, &edges, &[]);
+        assert!(report.contains("LEAK REPORT"), "{report}");
+        assert!(report.contains("java.util.LinkedList$Node"), "{report}");
+        assert!(report.contains("retainer path"), "{report}");
+        assert!(report.contains("would win SELECT"), "{report}");
+        // The list head dominates everything; the first Node dominates its
+        // tail — and the report's top dominator is the list head.
+        assert!(report.contains("(root) List#0"), "{report}");
+    }
+
+    #[test]
+    fn gauges_escape_and_rank_classes() {
+        let mut snap = leaky_snapshot();
+        snap.classes[0] = "odd\"class\\name".to_owned();
+        let analysis = Analysis::new(&snap);
+        let gauges = render_retained_gauges(&snap, &analysis);
+        assert!(
+            gauges.contains("# TYPE lp_retained_bytes gauge"),
+            "{gauges}"
+        );
+        assert!(
+            gauges.contains("lp_retained_bytes{class=\"odd\\\"class\\\\name\"} 624"),
+            "{gauges}"
+        );
+        assert!(
+            gauges.contains("lp_retained_bytes{class=\"java.util.LinkedList$Node\"} 600"),
+            "{gauges}"
+        );
+    }
+
+    #[test]
+    fn fmt_bytes_keeps_exact_value_visible() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(1536), "1.5 KiB (1536)");
+        assert_eq!(fmt_bytes(3 << 20), "3.0 MiB (3145728)");
+    }
+}

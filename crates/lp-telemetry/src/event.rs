@@ -222,6 +222,28 @@ pub enum Event {
         /// 0-based iteration index.
         index: u64,
     },
+    /// A heap-snapshot capture began. The capture piggybacks on a
+    /// stop-the-world collection, so `gc_index` names the collection whose
+    /// mark phase dumps the live object graph.
+    SnapshotBegin {
+        /// 1-based index of the snapshot collection.
+        gc_index: u64,
+    },
+    /// A heap-snapshot capture finished.
+    SnapshotEnd {
+        /// 1-based index of the snapshot collection.
+        gc_index: u64,
+        /// Objects recorded in the snapshot.
+        objects: u64,
+        /// Reference edges recorded in the snapshot.
+        edges: u64,
+        /// Total footprint of the recorded objects.
+        live_bytes: u64,
+        /// Wall-clock cost of the capture in nanoseconds — the transitive
+        /// closure plus the graph dump, i.e. the pause the snapshot turned
+        /// into compared to doing nothing at all.
+        nanos: u64,
+    },
 }
 
 impl Event {
@@ -241,6 +263,8 @@ impl Event {
             Event::Freed { .. } => "freed",
             Event::Exhausted { .. } => "exhausted",
             Event::Iteration { .. } => "iteration",
+            Event::SnapshotBegin { .. } => "snapshot_begin",
+            Event::SnapshotEnd { .. } => "snapshot_end",
         }
     }
 }
@@ -429,6 +453,22 @@ impl TraceLine {
             Event::Iteration { index } => {
                 field("index", JsonValue::from_u64(*index));
             }
+            Event::SnapshotBegin { gc_index } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+            }
+            Event::SnapshotEnd {
+                gc_index,
+                objects,
+                edges,
+                live_bytes,
+                nanos,
+            } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+                field("objects", JsonValue::from_u64(*objects));
+                field("edges", JsonValue::from_u64(*edges));
+                field("live_bytes", JsonValue::from_u64(*live_bytes));
+                field("nanos", JsonValue::from_u64(*nanos));
+            }
         }
         JsonValue::Obj(obj).to_string()
     }
@@ -550,6 +590,16 @@ impl TraceLine {
             },
             "iteration" => Event::Iteration {
                 index: need_u64(&value, "index")?,
+            },
+            "snapshot_begin" => Event::SnapshotBegin {
+                gc_index: need_u64(&value, "gc")?,
+            },
+            "snapshot_end" => Event::SnapshotEnd {
+                gc_index: need_u64(&value, "gc")?,
+                objects: need_u64(&value, "objects")?,
+                edges: need_u64(&value, "edges")?,
+                live_bytes: need_u64(&value, "live_bytes")?,
+                nanos: need_u64(&value, "nanos")?,
             },
             other => return Err(format!("unknown event kind {other:?}")),
         };
@@ -722,6 +772,14 @@ mod tests {
             capacity: 2_097_152,
         });
         round_trip(Event::Iteration { index: 1499 });
+        round_trip(Event::SnapshotBegin { gc_index: 14 });
+        round_trip(Event::SnapshotEnd {
+            gc_index: 14,
+            objects: 5000,
+            edges: 4999,
+            live_bytes: 1_600_000,
+            nanos: 750_000,
+        });
     }
 
     #[test]

@@ -30,4 +30,4 @@ mod sinks;
 
 pub use bus::{FlightRecorder, Sink, Telemetry};
 pub use event::{CensusEntry, EdgeShare, Event, GcPhase, TraceLine};
-pub use sinks::{JsonlSink, PauseHistogram, PrometheusSink};
+pub use sinks::{escape_label_value, JsonlSink, PauseHistogram, PrometheusSink};

@@ -48,6 +48,17 @@ impl JsonlSink<BufWriter<File>> {
     }
 }
 
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    /// Flushes on drop so short-lived processes (and buses torn down
+    /// without an explicit [`Telemetry::flush`](crate::Telemetry::flush))
+    /// never truncate the last trace records. A `BufWriter` flushes its
+    /// own buffer on drop, but silently swallows the error and does not
+    /// help writers without such a drop guard.
+    fn drop(&mut self) {
+        Sink::flush(self);
+    }
+}
+
 impl<W: Write + Send> Sink for JsonlSink<W> {
     fn record(&mut self, line: &TraceLine) {
         if self.error.is_some() {
@@ -77,26 +88,87 @@ impl<W: Write + Send> Sink for JsonlSink<W> {
 mod tests {
     use super::*;
     use crate::event::Event;
+    use std::sync::{Arc, Mutex};
 
-    #[test]
-    fn writes_one_parseable_line_per_event() {
-        let mut sink = JsonlSink::new(Vec::new());
-        for i in 0..3 {
-            sink.record(&TraceLine {
-                seq: i,
-                ts_nanos: i * 10,
-                event: Event::Iteration { index: i },
-            });
+    /// A writer that keeps everything in an internal buffer until `flush`
+    /// moves it to the shared handle — the behaviour of a `BufWriter`
+    /// whose buffer never fills, observable from outside the sink.
+    struct Buffered {
+        pending: Vec<u8>,
+        flushed: Arc<Mutex<Vec<u8>>>,
+    }
+
+    impl Buffered {
+        fn new() -> (Buffered, Arc<Mutex<Vec<u8>>>) {
+            let flushed = Arc::new(Mutex::new(Vec::new()));
+            (
+                Buffered {
+                    pending: Vec::new(),
+                    flushed: Arc::clone(&flushed),
+                },
+                flushed,
+            )
         }
-        sink.flush();
-        assert!(sink.error().is_none());
-        let text = String::from_utf8(sink.writer).unwrap();
+    }
+
+    impl Write for Buffered {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.pending.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            let mut out = self.flushed.lock().unwrap();
+            out.extend_from_slice(&self.pending);
+            self.pending.clear();
+            Ok(())
+        }
+    }
+
+    fn iteration(i: u64) -> TraceLine {
+        TraceLine {
+            seq: i,
+            ts_nanos: i * 10,
+            event: Event::Iteration { index: i },
+        }
+    }
+
+    fn assert_three_lines(flushed: &Arc<Mutex<Vec<u8>>>) {
+        let text = String::from_utf8(flushed.lock().unwrap().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         for (i, line) in lines.iter().enumerate() {
             let parsed = TraceLine::parse(line).unwrap();
             assert_eq!(parsed.seq, i as u64);
         }
+    }
+
+    #[test]
+    fn writes_one_parseable_line_per_event() {
+        let (writer, flushed) = Buffered::new();
+        let mut sink = JsonlSink::new(writer);
+        for i in 0..3 {
+            sink.record(&iteration(i));
+        }
+        sink.flush();
+        assert!(sink.error().is_none());
+        assert_three_lines(&flushed);
+    }
+
+    #[test]
+    fn drop_flushes_buffered_lines() {
+        // Regression test: a short-lived process that never calls flush
+        // must still get a complete trace when the sink is dropped.
+        let (writer, flushed) = Buffered::new();
+        let mut sink = JsonlSink::new(writer);
+        for i in 0..3 {
+            sink.record(&iteration(i));
+        }
+        assert!(
+            flushed.lock().unwrap().is_empty(),
+            "nothing reaches the backing store before a flush"
+        );
+        drop(sink);
+        assert_three_lines(&flushed);
     }
 
     struct FailingWriter;

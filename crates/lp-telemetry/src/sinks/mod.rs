@@ -7,4 +7,4 @@ mod prometheus;
 
 pub use histogram::PauseHistogram;
 pub use jsonl::JsonlSink;
-pub use prometheus::PrometheusSink;
+pub use prometheus::{escape_label_value, PrometheusSink};

@@ -8,6 +8,25 @@ use std::sync::{Arc, Mutex};
 use crate::bus::Sink;
 use crate::event::{Event, GcPhase, TraceLine};
 
+/// Escapes a label *value* per the Prometheus text exposition format
+/// (v0.0.4): backslash, double quote and newline must be written as `\\`,
+/// `\"` and `\n`. Class names are the labels that need this — real
+/// workloads register names like `java.util.LinkedList$Node` today, but
+/// nothing stops a VM from reporting generics, inner classes or
+/// path-like names containing any of the three.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[derive(Debug, Default)]
 struct Metrics {
     collections_total: u64,
@@ -29,6 +48,8 @@ struct Metrics {
     iterations_total: u64,
     state_transitions_total: u64,
     selections_total: u64,
+    snapshots_total: u64,
+    snapshot_nanos_total: u64,
     edge_types: u64,
     edge_table_footprint_bytes: u64,
     state: String,
@@ -135,6 +156,16 @@ impl PrometheusSink {
             "SELECT decisions made.",
             m.selections_total,
         );
+        counter(
+            "lp_heap_snapshots_total",
+            "Heap snapshots captured.",
+            m.snapshots_total,
+        );
+        counter(
+            "lp_heap_snapshot_nanos_total",
+            "Cumulative wall time spent capturing heap snapshots.",
+            m.snapshot_nanos_total,
+        );
         // Labeled family: HELP/TYPE once, one sample per label set.
         let _ = writeln!(
             out,
@@ -183,7 +214,11 @@ impl PrometheusSink {
         let _ = writeln!(out, "# TYPE lp_pruning_state gauge");
         for state in ["INACTIVE", "OBSERVE", "SELECT", "PRUNE"] {
             let active = u64::from(m.state == state);
-            let _ = writeln!(out, "lp_pruning_state{{state=\"{state}\"}} {active}");
+            let _ = writeln!(
+                out,
+                "lp_pruning_state{{state=\"{}\"}} {active}",
+                escape_label_value(state)
+            );
         }
         out
     }
@@ -252,7 +287,14 @@ impl Sink for PrometheusSink {
             Event::SelectionEdge { .. } | Event::SelectionStale { .. } => {
                 m.selections_total += 1;
             }
-            Event::ClassReg { .. } | Event::PhaseBegin { .. } | Event::Freed { .. } => {}
+            Event::SnapshotEnd { nanos, .. } => {
+                m.snapshots_total += 1;
+                m.snapshot_nanos_total += nanos;
+            }
+            Event::ClassReg { .. }
+            | Event::PhaseBegin { .. }
+            | Event::Freed { .. }
+            | Event::SnapshotBegin { .. } => {}
         }
     }
 }
@@ -314,5 +356,41 @@ mod tests {
         assert!(text.contains("lp_pruning_state{state=\"OBSERVE\"} 0"));
         assert!(text.contains("# TYPE lp_live_bytes gauge"));
         assert!(text.contains("# TYPE lp_collections_total counter"));
+    }
+
+    #[test]
+    fn snapshot_events_fold_into_counters() {
+        let mut sink = PrometheusSink::new();
+        let view = sink.clone();
+        sink.record(&line(0, Event::SnapshotBegin { gc_index: 3 }));
+        sink.record(&line(
+            1,
+            Event::SnapshotEnd {
+                gc_index: 3,
+                objects: 10,
+                edges: 9,
+                live_bytes: 4096,
+                nanos: 1500,
+            },
+        ));
+        let text = view.render();
+        assert!(text.contains("lp_heap_snapshots_total 1"));
+        assert!(text.contains("lp_heap_snapshot_nanos_total 1500"));
+    }
+
+    #[test]
+    fn label_values_escape_exposition_specials() {
+        // The three characters the exposition format requires escaping.
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("a\nb"), r"a\nb");
+        // Real class names pass through unchanged.
+        assert_eq!(
+            escape_label_value("java.util.LinkedList$Node"),
+            "java.util.LinkedList$Node"
+        );
+        assert_eq!(escape_label_value("Map<K,V>[]"), "Map<K,V>[]");
+        // All three at once, in order.
+        assert_eq!(escape_label_value("\"\\\n"), r#"\"\\\n"#);
     }
 }

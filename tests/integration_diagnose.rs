@@ -1,0 +1,140 @@
+//! End-to-end diagnosis: run the ListLeak workload, capture a heap
+//! snapshot from the live runtime, and check that the offline analysis
+//! pins the leak — the leaking node class tops the retained-size ranking,
+//! a root-to-dominator retainer path exists, and the whole pipeline
+//! round-trips through the snapshot file format.
+
+use leak_pruning::{PruningConfig, Runtime};
+use lp_diagnose::{Analysis, Dominator, EdgeSummary, HeapSnapshot};
+use lp_telemetry::Event;
+use lp_workloads::driver::Workload;
+use lp_workloads::leaks::ListLeak;
+
+const NODE_CLASS: &str = "java.util.LinkedList$Node";
+
+fn run_list_leak(iterations: u64) -> Runtime {
+    let mut rt = Runtime::new(PruningConfig::builder(2 << 20).flight_recorder(512).build());
+    let mut workload = ListLeak::new();
+    workload.setup(&mut rt).expect("setup fits");
+    rt.release_registers();
+    for i in 0..iterations {
+        workload
+            .iterate(&mut rt, i)
+            .expect("pruning keeps it alive");
+        rt.release_registers();
+    }
+    rt
+}
+
+#[test]
+fn snapshot_analysis_names_the_leaking_class() {
+    let mut rt = run_list_leak(4000);
+    let capture = rt.capture_snapshot();
+    let snapshot = capture.snapshot;
+
+    // Round-trip through the file format first: everything below analyses
+    // the *parsed* snapshot, proving the offline path sees the same graph.
+    let parsed = HeapSnapshot::parse(&snapshot.to_jsonl()).expect("snapshot parses");
+    assert_eq!(parsed, snapshot);
+
+    let analysis = Analysis::new(&parsed);
+    assert!(analysis.reachable_bytes() > 0);
+    assert_eq!(analysis.reachable_bytes(), rt.used_bytes());
+
+    // The leaking class must be the #1 retained-size class...
+    let stats = analysis.class_stats();
+    assert_eq!(parsed.class_name(stats[0].class), NODE_CLASS);
+    // ...and the top retained-size dominator object must be a node.
+    let top = analysis.top_dominators(1);
+    assert_eq!(parsed.class_name(top[0].class), NODE_CLASS);
+    assert!(top[0].retained_bytes >= stats[0].retained_bytes / 2);
+
+    // A retainer path from a GC root to the top dominator exists and is
+    // anchored at a root slot.
+    let path = analysis
+        .retainer_path(top[0].slot)
+        .expect("dominator is reachable");
+    assert!(!path.is_empty());
+    assert!(parsed.roots.contains(&path[0]));
+    assert_eq!(*path.last().unwrap(), top[0].slot);
+
+    // The dominator chain along the leaked list stays within the class:
+    // the second node's immediate dominator is another node.
+    if let Some(second) = analysis.top_dominators(2).get(1) {
+        match analysis.immediate_dominator(second.slot) {
+            Some(Dominator::Object(dom)) => {
+                let dom_class = parsed
+                    .objects
+                    .iter()
+                    .find(|o| o.id == dom)
+                    .map(|o| parsed.class_name(o.class));
+                assert_eq!(dom_class, Some(NODE_CLASS));
+            }
+            other => panic!("expected an object dominator, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn report_joins_snapshot_with_runtime_state() {
+    let mut rt = run_list_leak(4000);
+    let capture = rt.capture_snapshot();
+    let snapshot = capture.snapshot;
+    let analysis = Analysis::new(&snapshot);
+
+    let edges: Vec<EdgeSummary> = rt
+        .edge_table()
+        .iter()
+        .map(|entry| EdgeSummary {
+            src: rt.class_name(entry.key.src).to_owned(),
+            tgt: rt.class_name(entry.key.tgt).to_owned(),
+            max_stale_use: entry.max_stale_use,
+            bytes_used: entry.bytes_used,
+        })
+        .collect();
+    assert!(
+        !edges.is_empty(),
+        "4000 leaky iterations populate the table"
+    );
+    let recent = rt.telemetry().recorder_snapshot();
+
+    let report = lp_diagnose::render_report(&snapshot, &analysis, &edges, &recent);
+    assert!(report.contains(NODE_CLASS), "{report}");
+    assert!(report.contains("retainer path"), "{report}");
+    assert!(report.contains("would win SELECT"), "{report}");
+    // The flight recorder saw Figure-2 transitions during the leak.
+    assert!(
+        report.contains("OBSERVE") || report.contains("SELECT"),
+        "{report}"
+    );
+
+    let gauges = lp_diagnose::render_retained_gauges(&snapshot, &analysis);
+    let needle = format!("lp_retained_bytes{{class=\"{NODE_CLASS}\"}}");
+    assert!(gauges.contains(&needle), "{gauges}");
+}
+
+#[test]
+fn snapshot_pause_cost_is_measured_and_emitted() {
+    let mut rt = run_list_leak(2000);
+    let plain = rt.force_gc();
+    let capture = rt.capture_snapshot();
+
+    // Both components of the pause are measured...
+    assert!(capture.trace_nanos > 0);
+    assert!(capture.record_nanos > 0);
+    // ...and the SnapshotEnd event reports their sum.
+    let end = rt
+        .telemetry()
+        .recorder_snapshot()
+        .into_iter()
+        .rev()
+        .find_map(|line| match line.event {
+            Event::SnapshotEnd { nanos, objects, .. } => Some((nanos, objects)),
+            _ => None,
+        })
+        .expect("snapshot_end recorded");
+    assert_eq!(end.0, capture.trace_nanos + capture.record_nanos);
+    assert_eq!(end.1, capture.snapshot.object_count());
+    // The baseline the CSV compares against exists too.
+    assert!(plain.mark_time.as_nanos() > 0);
+}
