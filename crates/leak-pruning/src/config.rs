@@ -98,6 +98,7 @@ pub struct PruningConfig {
     flight_recorder_slots: Option<usize>,
     census_period: Option<u64>,
     snapshot_on_exhaustion: Option<PathBuf>,
+    verify_period: Option<u64>,
 }
 
 impl PruningConfig {
@@ -124,6 +125,11 @@ impl PruningConfig {
                 flight_recorder_slots: None,
                 census_period: None,
                 snapshot_on_exhaustion: None,
+                verify_period: if cfg!(debug_assertions) {
+                    Some(1)
+                } else {
+                    None
+                },
             },
         }
     }
@@ -240,6 +246,16 @@ impl PruningConfig {
     /// `lp-diagnose` format) to this path for offline leak diagnosis.
     pub fn snapshot_on_exhaustion(&self) -> Option<&Path> {
         self.snapshot_on_exhaustion.as_deref()
+    }
+
+    /// If set, the runtime runs the heap invariant sanitizer
+    /// ([`Runtime::verify_heap`](crate::Runtime::verify_heap)) after every
+    /// N-th full-heap collection and panics on any violation.
+    ///
+    /// Defaults to every collection in debug builds (so every test runs
+    /// under the sanitizer) and off in release builds.
+    pub fn verify_period(&self) -> Option<u64> {
+        self.verify_period
     }
 }
 
@@ -402,6 +418,25 @@ impl PruningConfigBuilder {
         self
     }
 
+    /// Runs the heap invariant sanitizer after every `period`-th full-heap
+    /// collection (see [`PruningConfig::verify_period`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn verify_every(mut self, period: u64) -> Self {
+        assert!(period > 0, "verify period must be positive");
+        self.config.verify_period = Some(period);
+        self
+    }
+
+    /// Disables the post-collection sanitizer (it is on by default in debug
+    /// builds).
+    pub fn verify_never(mut self) -> Self {
+        self.config.verify_period = None;
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> PruningConfig {
         self.config
@@ -427,6 +462,28 @@ mod tests {
         assert_eq!(c.flight_recorder_slots(), None);
         assert_eq!(c.census_period(), None);
         assert_eq!(c.snapshot_on_exhaustion(), None);
+        // The sanitizer guards every debug-build collection; release builds
+        // pay nothing unless asked.
+        let expected = if cfg!(debug_assertions) {
+            Some(1)
+        } else {
+            None
+        };
+        assert_eq!(c.verify_period(), expected);
+    }
+
+    #[test]
+    fn verify_knob_round_trips() {
+        let c = PruningConfig::builder(1024).verify_every(8).build();
+        assert_eq!(c.verify_period(), Some(8));
+        let off = PruningConfig::builder(1024).verify_never().build();
+        assert_eq!(off.verify_period(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "verify period must be positive")]
+    fn verify_rejects_zero() {
+        PruningConfig::builder(1).verify_every(0);
     }
 
     #[test]

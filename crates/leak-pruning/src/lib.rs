@@ -70,6 +70,7 @@ mod record;
 mod report;
 mod runtime;
 mod state;
+pub mod verify;
 
 pub use closures::Selection;
 pub use config::{BarrierMode, ForcedState, PredictionPolicy, PruningConfig, PruningConfigBuilder};

@@ -485,7 +485,44 @@ impl Runtime {
         self.history.push(record.clone());
         self.used_at_last_full = self.heap.used_bytes();
         self.emit_collection_events(&record);
+        if let Some(period) = self.config.verify_period() {
+            if record.gc_index.is_multiple_of(period) {
+                self.verify_after_collection(record.gc_index);
+            }
+        }
         record
+    }
+
+    /// The sanitizer hook: full structural + reachability verification,
+    /// telemetry, and a panic on any violation. Runs at the one point where
+    /// the reachability check is sound — the world is stopped and the sweep
+    /// just finished.
+    fn verify_after_collection(&self, gc_index: u64) {
+        let start = std::time::Instant::now();
+        let mut violations = self.verify_heap();
+        violations.extend(lp_gc::verify_post_collection(&self.heap, &self.roots));
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.telemetry.emit(|| Event::VerifyHeap {
+            gc_index,
+            violations: violations.len() as u64,
+            nanos,
+        });
+        if violations.is_empty() {
+            return;
+        }
+        for violation in &violations {
+            self.telemetry.emit(|| Event::VerifyViolation {
+                gc_index,
+                kind: violation.kind.to_owned(),
+                detail: violation.detail.clone(),
+            });
+        }
+        let summary: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+        panic!(
+            "heap verification failed after collection {gc_index}: {} violation(s)\n{}",
+            violations.len(),
+            summary.join("\n")
+        );
     }
 
     /// Per-collection telemetry: a `Collection` snapshot, a `CounterDelta`
@@ -772,6 +809,71 @@ impl Runtime {
         let mut census: Vec<(ClassId, u64)> = by_class.into_iter().collect();
         census.sort_by_key(|entry| std::cmp::Reverse(entry.1));
         census
+    }
+
+    /// Runs the heap invariant sanitizer and returns every violation found
+    /// (empty means the heap is sound).
+    ///
+    /// Composes the structural checks of [`lp_heap::Heap::verify`] — tag-bit
+    /// legality, slot-index validity, chunk summaries, free-list
+    /// disjointness, allocation accounting — with the two invariants only
+    /// the pruning runtime can state:
+    ///
+    /// * **[`edge-bytes`](crate::verify::EDGE_BYTES)** — the edge table's
+    ///   `bytes_used` windows are all zero outside a SELECT closure;
+    /// * **[`poison-state`](crate::verify::POISON_STATE)** — no stored
+    ///   reference is poisoned unless a PRUNE collection has run (the
+    ///   deferred out-of-memory error exists).
+    ///
+    /// Safe to call at any point the mutator could run; unlike the
+    /// post-collection hook ([`PruningConfig::verify_period`]) it does not
+    /// recompute reachability, which is only meaningful right after a full
+    /// collection.
+    pub fn verify_heap(&self) -> Vec<lp_heap::Violation> {
+        let mut violations = self.heap.verify();
+        for entry in self.pruner.table().iter() {
+            if entry.bytes_used != 0 {
+                violations.push(lp_heap::Violation::new(
+                    crate::verify::EDGE_BYTES,
+                    format!(
+                        "edge {} -> {} carries {} stale bytes outside a SELECT closure",
+                        entry.key.src.index(),
+                        entry.key.tgt.index(),
+                        entry.bytes_used
+                    ),
+                ));
+            }
+        }
+        if self.pruner.averted_oom().is_none() {
+            for (slot, object) in self.heap.iter() {
+                for (field, reference) in object.iter_refs() {
+                    if reference.is_poisoned() {
+                        violations.push(lp_heap::Violation::new(
+                            crate::verify::POISON_STATE,
+                            format!(
+                                "slot {slot} field {field} is poisoned but the \
+                                 runtime never entered PRUNE"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        violations
+    }
+
+    /// Direct heap access for invariant-sanitizer tests that need to plant
+    /// corruptions. Never used by the runtime itself.
+    #[doc(hidden)]
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Mutable variant of [`Runtime::heap`], for corruption hooks that need
+    /// `&mut Heap`.
+    #[doc(hidden)]
+    pub fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
     }
 
     /// Builds the end-of-run report (§3.2's optional diagnostics).

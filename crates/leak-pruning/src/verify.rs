@@ -1,0 +1,20 @@
+//! Runtime-level invariant kinds for the heap sanitizer.
+//!
+//! [`Runtime::verify_heap`](crate::Runtime::verify_heap) composes the
+//! structural checks of [`lp_heap::Heap::verify`] with two invariants only
+//! the pruning runtime can state, reported under the kinds below. The
+//! reachability check ([`lp_gc::verify_post_collection`]) is added on top by
+//! the automatic post-collection hook, since it is only meaningful at that
+//! point.
+
+/// Violation kind: an edge-table entry carries non-zero `bytes_used`
+/// outside a SELECT closure. The byte window is scratch space for one
+/// selection (§4.2) and every SELECT collection resets it before the world
+/// restarts; residue means a closure leaked its accounting.
+pub const EDGE_BYTES: &str = "edge-bytes";
+
+/// Violation kind: a stored reference is poisoned although the runtime
+/// never entered PRUNE (no deferred out-of-memory error exists). Poison can
+/// only be introduced by a PRUNE collection, which records the averted
+/// error first — a poisoned reference without one is corruption.
+pub const POISON_STATE: &str = "poison-state";

@@ -1,0 +1,101 @@
+//! Heap-sanitizer smoke check, used by CI.
+//!
+//! Runs the ListLeak workload with `verify_every(1)` — the full invariant
+//! sanitizer (structural heap checks, edge-table accounting, poison state,
+//! post-collection reachability) after **every** full-heap collection. Any
+//! violation panics inside the run, so reaching the end is the check.
+//!
+//! On top of pass/fail, the run reports the sanitizer's measured cost from
+//! the `verify` telemetry events (count, mean and max pause, and the share
+//! of total mark+sweep time), which is where DESIGN.md's quoted verify
+//! pause comes from. Exits non-zero if the run terminates abnormally or no
+//! verify event was seen.
+
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+
+use lp_telemetry::{Event, Sink, TraceLine};
+use lp_workloads::driver::{run_workload_with, Flavor, RunOptions, Termination, Workload};
+use lp_workloads::leaks::ListLeak;
+
+/// Collects the `verify` events' pause costs and violation counts.
+#[derive(Clone, Default)]
+struct VerifyStats {
+    samples: Arc<Mutex<Vec<(u64, u64)>>>, // (nanos, violations)
+}
+
+impl Sink for VerifyStats {
+    fn record(&mut self, line: &TraceLine) {
+        if let Event::VerifyHeap {
+            violations, nanos, ..
+        } = line.event
+        {
+            if let Ok(mut samples) = self.samples.lock() {
+                samples.push((nanos, violations));
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let iterations: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000);
+
+    let mut workload = ListLeak::new();
+    let config = leak_pruning::PruningConfig::builder(workload.default_heap())
+        .verify_every(1)
+        .build();
+    let stats = VerifyStats::default();
+    let handle = stats.clone();
+
+    eprintln!("running ListLeak for {iterations} iterations with verify_every(1) ...");
+    let opts = RunOptions::new(Flavor::Custom(Box::new(config))).iteration_cap(iterations);
+    let result = run_workload_with(&mut workload, &opts, move |rt| {
+        rt.telemetry().add_sink(Box::new(handle));
+    });
+
+    println!(
+        "run finished: {} iterations, {} collections, {} refs pruned, termination: {}",
+        result.iterations,
+        result.gc_count,
+        result.report.total_pruned_refs,
+        result.termination.describe()
+    );
+    if !matches!(
+        result.termination,
+        Termination::ReachedCap | Termination::Completed
+    ) {
+        eprintln!("verify_smoke: unexpected termination");
+        return ExitCode::FAILURE;
+    }
+
+    let samples = match stats.samples.lock() {
+        Ok(samples) => samples.clone(),
+        Err(_) => Vec::new(),
+    };
+    if samples.is_empty() {
+        eprintln!("verify_smoke: no verify events — the sanitizer never ran");
+        return ExitCode::FAILURE;
+    }
+    if let Some((_, violations)) = samples.iter().find(|(_, v)| *v > 0) {
+        // Unreachable in practice: the runtime panics before emitting a
+        // clean exit, but belt-and-braces for future non-panicking modes.
+        eprintln!("verify_smoke: {violations} violation(s) reported");
+        return ExitCode::FAILURE;
+    }
+
+    let total: u64 = samples.iter().map(|(n, _)| n).sum();
+    let max = samples.iter().map(|(n, _)| *n).max().unwrap_or(0);
+    let mean = total / samples.len() as u64;
+    println!(
+        "sanitizer: {} passes, mean {:.1} µs, max {:.1} µs, total {:.2} ms",
+        samples.len(),
+        mean as f64 / 1e3,
+        max as f64 / 1e3,
+        total as f64 / 1e6,
+    );
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,29 @@
+//! Lint fixture: a workload that reads reference fields straight off the
+//! heap instead of going through `Runtime::read_field`. The raw load skips
+//! the conditional read barrier, so staleness is never observed and a
+//! poisoned reference is followed instead of raising the deferred error.
+//! `lp-check` must flag every raw load here under R1.
+
+use lp_heap::{Handle, Heap, TaggedRef};
+
+/// Walks a list by loading fields directly — each load bypasses the
+/// barrier (R1).
+pub fn walk_list(heap: &Heap, mut node: Handle) -> usize {
+    let mut length = 0;
+    loop {
+        length += 1;
+        let next: TaggedRef = heap.object(node).load_ref(0);
+        match next.slot() {
+            Some(_) if !next.is_null() => match Handle::of(next) {
+                Some(n) => node = n,
+                None => return length,
+            },
+            _ => return length,
+        }
+    }
+}
+
+/// Reads a scalar payload word without the runtime — also R1.
+pub fn peek_word(heap: &Heap, node: Handle) -> u64 {
+    heap.object(node).load_word(0)
+}

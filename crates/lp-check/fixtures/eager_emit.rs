@@ -1,0 +1,17 @@
+//! Lint fixture: telemetry emitted eagerly. Building the event before the
+//! call means the allocation and formatting happen even when no sink is
+//! attached — on the hot allocation path that overhead is exactly what the
+//! lazy-closure contract exists to avoid. `lp-check` must flag the call
+//! under R4.
+
+use lp_telemetry::{Event, Telemetry};
+
+/// Emits an already-built event (R4: must be `emit(|| …)`).
+pub fn report_exhaustion(telemetry: &Telemetry, gc_index: u64, used: u64, capacity: u64) {
+    let event = Event::Exhausted {
+        gc_index,
+        used_bytes: used,
+        capacity,
+    };
+    telemetry.emit(event);
+}

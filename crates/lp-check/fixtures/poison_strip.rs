@@ -1,0 +1,21 @@
+//! Lint fixture: code that manufactures and launders poison outside the
+//! barrier/prune path. Stripping the poison bit turns a pruned reference
+//! back into a followable pointer to reclaimed memory — the exact bug class
+//! the poison bit exists to make impossible. `lp-check` must flag both
+//! helpers here under R2.
+
+use lp_heap::TaggedRef;
+
+/// "Un-prunes" a reference by dropping its tag bits (R2: poison strip).
+pub fn launder(reference: TaggedRef) -> TaggedRef {
+    if reference.is_poisoned() {
+        reference.without_tags()
+    } else {
+        reference
+    }
+}
+
+/// Hand-rolls a poisoned reference outside a PRUNE collection (R2).
+pub fn fake_prune(reference: TaggedRef) -> TaggedRef {
+    reference.with_poison()
+}

@@ -1,0 +1,337 @@
+//! Source scrubbing for the lint's token scans.
+//!
+//! The lint does not parse Rust; it scans for tokens. For that to be sound
+//! it must never match inside comments, string literals or char literals,
+//! and it must know which byte ranges belong to `#[cfg(test)]` items (most
+//! rules only constrain non-test code). [`Scrubbed`] provides both: a copy
+//! of the source with comment and literal *contents* replaced by spaces —
+//! byte-for-byte, so offsets and line numbers are preserved — plus the test
+//! ranges found by brace matching on the scrubbed text.
+
+/// A scrubbed view of one Rust source file.
+pub struct Scrubbed {
+    /// The source with comments and string/char literal bodies blanked.
+    /// Exactly as long as the input, so any offset into `code` is also an
+    /// offset into the original source.
+    pub code: String,
+    /// Byte ranges (start inclusive, end exclusive) covering
+    /// `#[cfg(test)]` items and their bodies.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Byte offset at which each line starts; index 0 is line 1.
+    line_starts: Vec<usize>,
+}
+
+impl Scrubbed {
+    /// Scrubs `source` and locates its test ranges.
+    pub fn new(source: &str) -> Self {
+        let code = scrub(source);
+        let test_ranges = find_test_ranges(&code);
+        let mut line_starts = vec![0];
+        for (i, b) in code.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Scrubbed {
+            code,
+            test_ranges,
+            line_starts,
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Whether the offset falls inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(start, end)| offset >= start && offset < end)
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Length of a raw string literal (`r"…"`, `r#"…"#`, `br"…"`) starting at
+/// `i`, or `None` if `i` does not start one.
+fn raw_string_len(bytes: &[u8], i: usize) -> Option<usize> {
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return None; // mid-identifier, e.g. the `r` of `for`
+    }
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    while j < bytes.len() {
+        if bytes[j] == b'"'
+            && bytes[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&b| b == b'#')
+                .count()
+                == hashes
+        {
+            return Some(j + 1 + hashes - i);
+        }
+        j += 1;
+    }
+    Some(bytes.len() - i) // unterminated: blank to the end
+}
+
+/// Replaces comment and literal contents with spaces, preserving newlines
+/// and the exact byte length of the input.
+fn scrub(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let blank = |b: u8| if b == b'\n' { b'\n' } else { b' ' };
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Line comment (also covers doc comments).
+        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, nested.
+        if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let mut depth = 0;
+            while i < bytes.len() {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(bytes[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (and raw byte) strings.
+        if b == b'r' || b == b'b' {
+            if let Some(len) = raw_string_len(bytes, i) {
+                for k in 0..len {
+                    out.push(blank(bytes[i + k]));
+                }
+                i += len;
+                continue;
+            }
+        }
+        // Plain (and byte) strings. A preceding `b` has already been
+        // emitted as code, which is harmless.
+        if b == b'"' {
+            out.push(b'"');
+            i += 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => {
+                        out.push(b' ');
+                        i += 1;
+                        if i < bytes.len() {
+                            out.push(blank(bytes[i]));
+                            i += 1;
+                        }
+                    }
+                    b'"' => {
+                        out.push(b'"');
+                        i += 1;
+                        break;
+                    }
+                    other => {
+                        out.push(blank(other));
+                        i += 1;
+                    }
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if b == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\\') {
+                // Escaped char literal: blank through the closing quote.
+                out.push(b'\'');
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    if bytes[i] == b'\\' {
+                        out.push(b' ');
+                        i += 1;
+                        if i < bytes.len() {
+                            out.push(blank(bytes[i]));
+                            i += 1;
+                        }
+                    } else {
+                        out.push(blank(bytes[i]));
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() {
+                    out.push(b'\'');
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes.get(i + 2) == Some(&b'\'') && bytes.get(i + 1) != Some(&b'\'') {
+                // 'x'
+                out.extend_from_slice(b"' '");
+                i += 3;
+                continue;
+            }
+            // Lifetime (or stray quote): pass through.
+            out.push(b'\'');
+            i += 1;
+            continue;
+        }
+        out.push(b);
+        i += 1;
+    }
+    debug_assert_eq!(out.len(), bytes.len());
+    // Blanked regions are ASCII and code regions are copied verbatim, so
+    // the result is valid UTF-8; fall back to lossless-enough replacement
+    // rather than panicking on a pathological input.
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+/// Finds `#[cfg(test)]` items in scrubbed code and returns the byte range
+/// from the attribute through the item's closing brace.
+fn find_test_ranges(code: &str) -> Vec<(usize, usize)> {
+    const ATTR: &str = "#[cfg(test)]";
+    let bytes = code.as_bytes();
+    let mut ranges = Vec::new();
+    let mut search = 0;
+    while let Some(pos) = code[search..].find(ATTR) {
+        let start = search + pos;
+        let mut i = start + ATTR.len();
+        // Scan to the item's opening brace; a `;` first means a braceless
+        // item (e.g. `mod tests;`), which has no in-file body to exclude.
+        while i < bytes.len() && bytes[i] != b'{' && bytes[i] != b';' {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] == b';' {
+            search = i;
+            continue;
+        }
+        let mut depth = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        ranges.push((start, i));
+        search = i;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let a = \"load_ref\"; // load_ref\nlet b = 1; /* load_ref */";
+        let s = Scrubbed::new(src);
+        assert_eq!(s.code.len(), src.len());
+        assert!(!s.code.contains("load_ref"));
+        assert!(s.code.contains("let a"));
+        assert!(s.code.contains("let b"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let a = r#\"load_ref \"quoted\" here\"#; let b = load_word;";
+        let s = Scrubbed::new(src);
+        assert!(!s.code.contains("load_ref"));
+        assert!(
+            s.code.contains("load_word"),
+            "code after the raw string survives"
+        );
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\"'; let d = '\\''; let e = load_ref; }";
+        let s = Scrubbed::new(src);
+        assert_eq!(s.code.len(), src.len());
+        assert!(s.code.contains("'a"), "lifetimes survive");
+        assert!(
+            s.code.contains("load_ref"),
+            "code after char literals is still code"
+        );
+        assert!(
+            !s.code.contains('"'),
+            "the quote char literal must not open a string"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;";
+        let s = Scrubbed::new(src);
+        assert!(!s.code.contains("comment"));
+        assert!(s.code.contains("let x"));
+    }
+
+    #[test]
+    fn test_mod_ranges_cover_the_body() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let x = \"{\"; }\n}\nfn after() {}";
+        let s = Scrubbed::new(src);
+        assert_eq!(s.test_ranges.len(), 1);
+        let live = src.find("live").unwrap();
+        let inner = src.find("fn t").unwrap();
+        let after = src.find("after").unwrap();
+        assert!(!s.in_test(live));
+        assert!(s.in_test(inner), "test-mod bodies are excluded");
+        assert!(
+            !s.in_test(after),
+            "the brace in the string must not derail matching"
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_stable() {
+        let src = "a\nb\nc load_ref";
+        let s = Scrubbed::new(src);
+        let off = s.code.find("load_ref").unwrap();
+        assert_eq!(s.line_of(off), 3);
+        assert_eq!(s.line_of(0), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! `lp-check` — barrier-discipline lint for the leak-pruning workspace.
+//!
+//! Leak pruning's correctness leans on a handful of conventions no compiler
+//! checks: every reference load outside the runtime stack goes through the
+//! conditional read barrier, nothing but the barrier and the prune path
+//! touches the tag bits, runtime code never panics on `Option`/`Result`,
+//! telemetry emission stays lazy, and no crate re-enables `unsafe`. This
+//! crate enforces them with a token-level scan (see [`rules`]) over a
+//! scrubbed view of each source file (see [`lexer`]) — no parser, no
+//! external dependencies, fast enough to run on every CI push.
+//!
+//! Exemptions live in a checked-in `lp-check.toml` (see [`waivers`]); each
+//! one names a rule, a file, and the justification for the exemption.
+//!
+//! Run the lint over the workspace:
+//!
+//! ```text
+//! cargo run -p lp-check -- lint
+//! ```
+//!
+//! or over explicit files (fixtures, pre-commit hooks):
+//!
+//! ```text
+//! cargo run -p lp-check -- lint crates/lp-check/fixtures/barrier_bypass.rs
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod waivers;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use lexer::Scrubbed;
+pub use rules::Finding;
+pub use waivers::{Waiver, WaiverError};
+
+/// Directory names never descended into when walking the workspace:
+/// `fixtures` holds deliberately bad snippets, `target` holds build output.
+const EXCLUDED_DIRS: &[&str] = &["fixtures", "target"];
+
+/// Collects every `.rs` file under `<root>/crates`, sorted, as
+/// workspace-relative forward-slash paths. Fixture and build directories
+/// are skipped; pass such files explicitly to lint them anyway.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !EXCLUDED_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    files.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints one file, addressed relative to the workspace root.
+pub fn lint_file(root: &Path, rel_path: &str) -> io::Result<Vec<Finding>> {
+    let source = std::fs::read_to_string(root.join(rel_path))?;
+    Ok(rules::check_file(rel_path, &Scrubbed::new(&source)))
+}
+
+/// Result of a whole lint run.
+pub struct LintOutcome {
+    /// Findings that survived the waivers, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by a waiver.
+    pub waived: Vec<Finding>,
+    /// Number of files linted.
+    pub files: usize,
+}
+
+/// Lints the given files (or the whole workspace when `paths` is empty)
+/// under the waivers of `<root>/lp-check.toml`.
+pub fn run_lint(root: &Path, paths: &[String]) -> Result<LintOutcome, String> {
+    let waivers = waivers::load(&root.join("lp-check.toml")).map_err(|e| e.to_string())?;
+    let files = if paths.is_empty() {
+        workspace_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?
+    } else {
+        paths.to_vec()
+    };
+    let mut all = Vec::new();
+    for file in &files {
+        let found = lint_file(root, file).map_err(|e| format!("reading {file}: {e}"))?;
+        all.extend(found);
+    }
+    let (mut findings, waived) = waivers::apply(all, &waivers);
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(LintOutcome {
+        findings,
+        waived,
+        files: files.len(),
+    })
+}
+
+/// The workspace root when running under cargo (tests, `cargo run`).
+#[doc(hidden)]
+pub fn manifest_workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(name: &str) -> String {
+        format!("crates/lp-check/fixtures/{name}")
+    }
+
+    fn lint_fixture(name: &str) -> Vec<Finding> {
+        lint_file(&manifest_workspace_root(), &fixture(name)).expect("fixture readable")
+    }
+
+    #[test]
+    fn barrier_bypass_fixture_is_flagged() {
+        let found = lint_fixture("barrier_bypass.rs");
+        assert!(
+            found.iter().any(|f| f.rule == "R1"),
+            "expected an R1 finding, got {found:?}"
+        );
+        assert!(found.iter().all(|f| f.line > 0));
+    }
+
+    #[test]
+    fn poison_strip_fixture_is_flagged() {
+        let found = lint_fixture("poison_strip.rs");
+        assert!(
+            found.iter().any(|f| f.rule == "R2"),
+            "expected an R2 finding, got {found:?}"
+        );
+    }
+
+    #[test]
+    fn eager_emit_fixture_is_flagged() {
+        let found = lint_fixture("eager_emit.rs");
+        assert!(
+            found.iter().any(|f| f.rule == "R4"),
+            "expected an R4 finding, got {found:?}"
+        );
+    }
+
+    #[test]
+    fn fixtures_are_excluded_from_the_workspace_walk() {
+        let files = workspace_files(&manifest_workspace_root()).unwrap();
+        assert!(
+            files.iter().all(|f| !f.contains("/fixtures/")),
+            "fixtures must not fail the workspace lint"
+        );
+        assert!(
+            files.iter().any(|f| f == "crates/lp-heap/src/heap.rs"),
+            "the walk must find real sources, got {} files",
+            files.len()
+        );
+    }
+
+    #[test]
+    fn real_workspace_is_clean_under_checked_in_waivers() {
+        let root = manifest_workspace_root();
+        let outcome = run_lint(&root, &[]).expect("lint runs");
+        assert!(
+            outcome.findings.is_empty(),
+            "the tree must lint clean; findings:\n{}",
+            outcome
+                .findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(outcome.files > 30, "sanity: the walk saw the workspace");
+    }
+
+    #[test]
+    fn every_checked_in_waiver_is_justified_and_used() {
+        let root = manifest_workspace_root();
+        let waivers = waivers::load(&root.join("lp-check.toml")).expect("waivers parse");
+        assert!(!waivers.is_empty(), "the tree relies on documented waivers");
+        let files = workspace_files(&root).unwrap();
+        let mut all = Vec::new();
+        for file in &files {
+            all.extend(lint_file(&root, file).unwrap());
+        }
+        let (_, waived) = waivers::apply(all, &waivers);
+        for waiver in &waivers {
+            assert!(
+                waived
+                    .iter()
+                    .any(|f| f.rule == waiver.rule && f.path == waiver.path),
+                "waiver for {} on {} no longer matches anything — remove it",
+                waiver.rule,
+                waiver.path
+            );
+        }
+    }
+}

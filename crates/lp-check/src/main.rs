@@ -1,0 +1,61 @@
+//! CLI for the `lp-check` lint. See the library docs for the rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lp-check lint [--root DIR] [FILE...]\n\n\
+         Lints FILEs (workspace-relative), or the whole workspace when none\n\
+         are given. Waivers are read from lp-check.toml at the root.\n\
+         Exits 0 when clean, 1 on findings, 2 on usage or config errors."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() != Some("lint") {
+        return usage();
+    }
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut rest = args;
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--root" => match rest.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            flag if flag.starts_with('-') => return usage(),
+            file => paths.push(file.to_owned()),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
+    match lp_check::run_lint(&root, &paths) {
+        Ok(outcome) => {
+            for finding in &outcome.findings {
+                println!("{finding}");
+            }
+            eprintln!(
+                "lp-check: {} file(s), {} finding(s), {} waived",
+                outcome.files,
+                outcome.findings.len(),
+                outcome.waived.len()
+            );
+            if outcome.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(message) => {
+            eprintln!("lp-check: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The lint rules.
+//!
+//! | Rule | Checks |
+//! |------|--------|
+//! | R1   | barrier discipline: raw barrier machinery (`load_ref`, `load_word`, unlogged-bit helpers) only inside the barrier allowlist |
+//! | R2   | poison safety: constructing or stripping the poison bit only inside the barrier/prune path |
+//! | R3   | no `unwrap()`/`expect()` in non-test runtime code (lp-heap, lp-gc, leak-pruning) |
+//! | R4   | `Telemetry::emit` calls must pass a lazy closure, never an eagerly built event |
+//! | R5   | every crate root keeps `#![forbid(unsafe_code)]` |
+//!
+//! Rules R1–R4 skip `#[cfg(test)]` items; R5 is a whole-file property of
+//! crate roots. Findings carry the rule ID and a `file:line` location so CI
+//! output is directly clickable.
+
+use std::fmt;
+
+use crate::lexer::Scrubbed;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule ID (`"R1"` … `"R5"`).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} {}",
+            self.rule, self.path, self.line, self.message
+        )
+    }
+}
+
+/// Tokens that bypass the conditional read barrier (R1). `read_field` is
+/// the only sanctioned way to load a reference outside the allowlist.
+const R1_TOKENS: &[&str] = &[
+    "load_ref",
+    "load_word",
+    "with_unlogged",
+    "without_unlogged",
+    "TAG_UNLOGGED",
+    "TAG_MASK",
+];
+
+/// Tokens that construct or strip the poison bit (R2).
+const R2_TOKENS: &[&str] = &["with_poison", "without_tags", "TAG_POISON"];
+
+/// Crates allowed to touch barrier and tag machinery directly: the heap
+/// that defines it, the collector closures that maintain it, and the
+/// pruning engine that implements the paper's barrier. Everything else —
+/// workloads, benches, diagnostics, telemetry — must go through
+/// `Runtime::read_field`.
+const BARRIER_ALLOWLIST: &[&str] = &[
+    "crates/lp-heap/src/",
+    "crates/lp-gc/src/",
+    "crates/leak-pruning/src/",
+];
+
+/// Crates whose non-test code must not panic via `unwrap()`/`expect()`
+/// (R3): the runtime stack, where a panic is heap-state loss.
+const NO_PANIC_SCOPE: &[&str] = &[
+    "crates/lp-heap/src/",
+    "crates/lp-gc/src/",
+    "crates/leak-pruning/src/",
+];
+
+fn in_prefix_list(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Next non-whitespace byte at or after `i`.
+fn next_nonws(bytes: &[u8], mut i: usize) -> Option<(usize, u8)> {
+    while i < bytes.len() {
+        if !bytes[i].is_ascii_whitespace() {
+            return Some((i, bytes[i]));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Previous non-whitespace byte strictly before `i`.
+fn prev_nonws(bytes: &[u8], i: usize) -> Option<u8> {
+    bytes[..i]
+        .iter()
+        .rev()
+        .copied()
+        .find(|b| !b.is_ascii_whitespace())
+}
+
+/// Runs rules R1–R5 over one scrubbed file.
+pub fn check_file(path: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let code = &scrubbed.code;
+    let bytes = code.as_bytes();
+
+    // Identifier scan for R1–R4.
+    let mut i = 0;
+    while i < bytes.len() {
+        if !is_ident_byte(bytes[i]) || (i > 0 && is_ident_byte(bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        let ident = &code[start..i];
+        if scrubbed.in_test(start) {
+            continue;
+        }
+        let line = scrubbed.line_of(start);
+
+        if R1_TOKENS.contains(&ident) && !in_prefix_list(path, BARRIER_ALLOWLIST) {
+            findings.push(Finding {
+                rule: "R1",
+                path: path.to_owned(),
+                line,
+                message: format!(
+                    "`{ident}` bypasses the conditional read barrier — use Runtime::read_field"
+                ),
+            });
+        }
+        if R2_TOKENS.contains(&ident) && !in_prefix_list(path, BARRIER_ALLOWLIST) {
+            findings.push(Finding {
+                rule: "R2",
+                path: path.to_owned(),
+                line,
+                message: format!(
+                    "`{ident}` constructs or strips the poison bit outside the barrier/prune path"
+                ),
+            });
+        }
+        if (ident == "unwrap" || ident == "expect")
+            && in_prefix_list(path, NO_PANIC_SCOPE)
+            && matches!(next_nonws(bytes, i), Some((_, b'(')))
+        {
+            findings.push(Finding {
+                rule: "R3",
+                path: path.to_owned(),
+                line,
+                message: format!(
+                    "`{ident}()` in runtime code — handle the failure or waive with justification"
+                ),
+            });
+        }
+        if ident == "emit" && prev_nonws(bytes, start) == Some(b'.') {
+            if let Some((open, b'(')) = next_nonws(bytes, i) {
+                let lazy = match next_nonws(bytes, open + 1) {
+                    Some((j, b'|')) => bytes.get(j + 1) == Some(&b'|'),
+                    Some((j, b'm')) => code[j..].starts_with("move"),
+                    _ => false,
+                };
+                if !lazy {
+                    findings.push(Finding {
+                        rule: "R4",
+                        path: path.to_owned(),
+                        line,
+                        message: "Telemetry::emit must take a lazy closure (`emit(|| Event::…)`) \
+                                  so disabled telemetry costs nothing"
+                            .to_owned(),
+                    });
+                }
+            }
+        }
+    }
+
+    // R5: crate roots must forbid unsafe code.
+    let is_crate_root = path.ends_with("/src/lib.rs") || path.ends_with("/src/main.rs");
+    if is_crate_root && !code.contains("#![forbid(unsafe_code)]") {
+        findings.push(Finding {
+            rule: "R5",
+            path: path.to_owned(),
+            line: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
+        });
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        check_file(path, &Scrubbed::new(src))
+    }
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn barrier_bypass_outside_allowlist_is_r1() {
+        let src = "fn f(h: &Heap, x: Handle) { let _ = h.object(x).load_ref(0); }";
+        let found = check("crates/lp-workloads/src/x.rs", src);
+        assert_eq!(rules(&found), vec!["R1"]);
+        assert_eq!(found[0].line, 1);
+        assert!(found[0].message.contains("read_field"));
+    }
+
+    #[test]
+    fn barrier_machinery_inside_allowlist_is_fine() {
+        let src = "fn f(h: &Heap, x: Handle) { let _ = h.object(x).load_ref(0); }";
+        assert_eq!(check("crates/lp-heap/src/x.rs", src), Vec::new());
+        assert_eq!(check("crates/leak-pruning/src/x.rs", src), Vec::new());
+    }
+
+    #[test]
+    fn poison_construction_outside_allowlist_is_r2() {
+        let src = "fn f(r: TaggedRef) -> TaggedRef { r.with_poison() }";
+        assert_eq!(rules(&check("crates/lp-bench/src/x.rs", src)), vec!["R2"]);
+        let strip = "fn g(r: TaggedRef) -> TaggedRef { r.without_tags() }";
+        assert_eq!(
+            rules(&check("crates/lp-diagnose/src/x.rs", strip)),
+            vec!["R2"]
+        );
+    }
+
+    #[test]
+    fn unwrap_in_runtime_code_is_r3() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(rules(&check("crates/lp-gc/src/x.rs", src)), vec!["R3"]);
+        // unwrap_or is a different, total method.
+        let or = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }";
+        assert_eq!(check("crates/lp-gc/src/x.rs", or), Vec::new());
+        // Outside the runtime stack the rule does not apply.
+        assert_eq!(check("crates/lp-metrics/src/x.rs", src), Vec::new());
+    }
+
+    #[test]
+    fn eager_emit_is_r4_lazy_forms_pass() {
+        let eager = "fn f(t: &Telemetry) { t.emit(Event::Tick { n: 1 }); }";
+        assert_eq!(
+            rules(&check("crates/lp-workloads/src/x.rs", eager)),
+            vec!["R4"]
+        );
+        let lazy = "fn f(t: &Telemetry) { t.emit(|| Event::Tick { n: 1 }); }";
+        assert_eq!(check("crates/lp-workloads/src/x.rs", lazy), Vec::new());
+        let moved = "fn f(t: &Telemetry, n: u64) { t.emit(move || Event::Tick { n }); }";
+        assert_eq!(check("crates/lp-workloads/src/x.rs", moved), Vec::new());
+        let multiline =
+            "fn f(t: &Telemetry) {\n    t.emit(\n        || Event::Tick { n: 1 },\n    );\n}";
+        assert_eq!(check("crates/lp-workloads/src/x.rs", multiline), Vec::new());
+    }
+
+    #[test]
+    fn emit_definitions_are_not_calls() {
+        let src = "impl Telemetry { pub fn emit<F: FnOnce() -> Event>(&self, f: F) {} }";
+        assert_eq!(check("crates/lp-telemetry/src/x.rs", src), Vec::new());
+    }
+
+    #[test]
+    fn missing_forbid_on_crate_root_is_r5() {
+        let src = "//! A crate.\npub fn f() {}";
+        assert_eq!(rules(&check("crates/lp-new/src/lib.rs", src)), vec!["R5"]);
+        let ok = "#![forbid(unsafe_code)]\npub fn f() {}";
+        assert_eq!(check("crates/lp-new/src/lib.rs", ok), Vec::new());
+        // Non-root files are not required to repeat the attribute.
+        assert_eq!(check("crates/lp-new/src/other.rs", src), Vec::new());
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_r1_to_r4() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(h: &Heap, x: Handle) { let _ = h.object(x).load_ref(0).with_poison(); }\n}";
+        assert_eq!(check("crates/lp-workloads/src/x.rs", src), Vec::new());
+    }
+
+    #[test]
+    fn comments_and_strings_never_trip_rules() {
+        let src = "// load_ref with_poison unwrap()\nfn f() { let _ = \"load_ref .emit(x)\"; }";
+        assert_eq!(check("crates/lp-workloads/src/x.rs", src), Vec::new());
+    }
+
+    #[test]
+    fn findings_render_rule_file_line() {
+        let src = "fn f(h: &Heap, x: Handle) -> TaggedRef {\n    h.object(x).load_ref(0)\n}";
+        let found = check("crates/lp-bench/src/x.rs", src);
+        let rendered = found[0].to_string();
+        assert!(
+            rendered.starts_with("R1 crates/lp-bench/src/x.rs:2 "),
+            "{rendered}"
+        );
+    }
+}

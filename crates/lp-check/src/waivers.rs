@@ -1,0 +1,219 @@
+//! The waiver file (`lp-check.toml`).
+//!
+//! A waiver grants one file an exemption from one rule, and must say why.
+//! The file is a restricted TOML subset parsed by hand (the workspace
+//! vendors no TOML crate): `[[waiver]]` tables with exactly the keys
+//! `rule`, `path` and `justification`, all double-quoted strings.
+//!
+//! ```toml
+//! [[waiver]]
+//! rule = "R3"
+//! path = "crates/lp-heap/src/heap.rs"
+//! justification = "slot lookups document the invariant that makes them total"
+//! ```
+//!
+//! A waiver with an empty justification is a configuration error — the
+//! lint refuses to run rather than silently accepting it.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::rules::Finding;
+
+/// One entry of `lp-check.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule ID the waiver applies to (`"R1"` … `"R5"`).
+    pub rule: String,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Why the exemption is sound. Must be non-empty.
+    pub justification: String,
+}
+
+/// A configuration error in the waiver file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverError {
+    /// 1-based line of the offending entry or line (0 for end-of-file).
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for WaiverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lp-check.toml:{}: {}", self.line, self.message)
+    }
+}
+
+const RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5"];
+
+/// Parses the waiver file contents.
+pub fn parse(text: &str) -> Result<Vec<Waiver>, WaiverError> {
+    let mut waivers = Vec::new();
+    let mut current: Option<(usize, Waiver)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[waiver]]" {
+            if let Some(entry) = current.take() {
+                waivers.push(validate(entry)?);
+            }
+            current = Some((
+                lineno,
+                Waiver {
+                    rule: String::new(),
+                    path: String::new(),
+                    justification: String::new(),
+                },
+            ));
+            continue;
+        }
+        let Some((key, value)) = parse_kv(line) else {
+            return Err(WaiverError {
+                line: lineno,
+                message: format!("expected `[[waiver]]` or `key = \"value\"`, got `{line}`"),
+            });
+        };
+        let Some((_, waiver)) = current.as_mut() else {
+            return Err(WaiverError {
+                line: lineno,
+                message: "key outside a [[waiver]] table".to_owned(),
+            });
+        };
+        match key {
+            "rule" => waiver.rule = value,
+            "path" => waiver.path = value,
+            "justification" => waiver.justification = value,
+            other => {
+                return Err(WaiverError {
+                    line: lineno,
+                    message: format!("unknown key `{other}` (expected rule/path/justification)"),
+                });
+            }
+        }
+    }
+    if let Some(entry) = current.take() {
+        waivers.push(validate(entry)?);
+    }
+    Ok(waivers)
+}
+
+/// Loads waivers from `path`; a missing file means no waivers.
+pub fn load(path: &Path) -> Result<Vec<Waiver>, WaiverError> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(WaiverError {
+            line: 0,
+            message: format!("cannot read {}: {e}", path.display()),
+        }),
+    }
+}
+
+/// Splits findings into (kept, waived) under the given waivers.
+pub fn apply(findings: Vec<Finding>, waivers: &[Waiver]) -> (Vec<Finding>, Vec<Finding>) {
+    findings
+        .into_iter()
+        .partition(|f| !waivers.iter().any(|w| w.rule == f.rule && w.path == f.path))
+}
+
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    if inner.contains('"') {
+        return None; // no escapes in this subset
+    }
+    Some((key.trim(), inner.to_owned()))
+}
+
+fn validate((line, waiver): (usize, Waiver)) -> Result<Waiver, WaiverError> {
+    if !RULES.contains(&waiver.rule.as_str()) {
+        return Err(WaiverError {
+            line,
+            message: format!("waiver needs a rule of {RULES:?}, got `{}`", waiver.rule),
+        });
+    }
+    if waiver.path.is_empty() {
+        return Err(WaiverError {
+            line,
+            message: "waiver needs a non-empty path".to_owned(),
+        });
+    }
+    if waiver.justification.trim().is_empty() {
+        return Err(WaiverError {
+            line,
+            message: format!(
+                "waiver for {} on {} has no justification — every exemption must say why",
+                waiver.rule, waiver.path
+            ),
+        });
+    }
+    Ok(waiver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_waivers() {
+        let text = "# comment\n\n[[waiver]]\nrule = \"R3\"\npath = \"crates/a/src/b.rs\"\njustification = \"documented invariant\"\n\n[[waiver]]\nrule = \"R1\"\npath = \"crates/c/src/d.rs\"\njustification = \"snapshot capture reads raw fields\"\n";
+        let waivers = parse(text).unwrap();
+        assert_eq!(waivers.len(), 2);
+        assert_eq!(waivers[0].rule, "R3");
+        assert_eq!(waivers[1].path, "crates/c/src/d.rs");
+    }
+
+    #[test]
+    fn empty_justification_is_rejected() {
+        let text =
+            "[[waiver]]\nrule = \"R3\"\npath = \"crates/a/src/b.rs\"\njustification = \"\"\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.message.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn missing_justification_is_rejected() {
+        let text = "[[waiver]]\nrule = \"R3\"\npath = \"crates/a/src/b.rs\"\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn unknown_rule_and_keys_are_rejected() {
+        assert!(parse("[[waiver]]\nrule = \"R9\"\npath = \"x\"\njustification = \"y\"\n").is_err());
+        assert!(parse("[[waiver]]\nseverity = \"low\"\n").is_err());
+        assert!(parse("rule = \"R1\"\n").is_err(), "key outside a table");
+    }
+
+    #[test]
+    fn waivers_suppress_matching_findings_only() {
+        let findings = vec![
+            Finding {
+                rule: "R3",
+                path: "crates/a/src/b.rs".into(),
+                line: 3,
+                message: "m".into(),
+            },
+            Finding {
+                rule: "R1",
+                path: "crates/a/src/b.rs".into(),
+                line: 4,
+                message: "m".into(),
+            },
+        ];
+        let waivers = vec![Waiver {
+            rule: "R3".into(),
+            path: "crates/a/src/b.rs".into(),
+            justification: "ok".into(),
+        }];
+        let (kept, waived) = apply(findings, &waivers);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, "R1");
+        assert_eq!(waived.len(), 1);
+    }
+}

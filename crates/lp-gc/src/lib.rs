@@ -52,9 +52,11 @@ mod minor;
 mod parallel;
 mod stats;
 mod tracer;
+pub mod verify;
 
 pub use collector::{CollectionOutcome, Collector};
 pub use minor::collect_minor;
 pub use parallel::{par_trace, par_trace_timed, ParEdgeVisitor};
 pub use stats::GcStats;
 pub use tracer::{trace, EdgeAction, EdgeVisitor, TraceAll, TraceStats};
+pub use verify::verify_post_collection;

@@ -650,6 +650,43 @@ impl Heap {
         outcome
     }
 
+    // ----- sanitizer support ---------------------------------------------
+
+    /// Current mark epoch (0 before the first collection). The sanitizer
+    /// gates mark-related checks on `epoch >= 1`: at epoch 0 every mark
+    /// word equals the epoch, so "marked" is meaningless.
+    pub(crate) fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Total slots in the slab, occupied or free.
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `(occupied, marked)` as recorded in chunk `ci`'s summary.
+    pub(crate) fn chunk_summary_counts(&self, ci: usize) -> (u32, u32) {
+        let chunk = &self.chunks[ci];
+        (chunk.occupied, chunk.marked.load(Ordering::Relaxed))
+    }
+
+    /// Test-only corruption hook: desyncs chunk `chunk`'s occupancy summary
+    /// from its slots. Exists so mutation-kill tests can prove the
+    /// sanitizer catches a broken summary; never called by runtime code.
+    #[doc(hidden)]
+    pub fn debug_corrupt_chunk_occupied(&mut self, chunk: usize) {
+        self.chunks[chunk].occupied += 1;
+    }
+
+    /// Test-only corruption hook: forces `slot`'s mark word to the current
+    /// epoch without updating the chunk's marked counter, simulating a mark
+    /// bit left set (or set outside the `try_mark` protocol). Never called
+    /// by runtime code.
+    #[doc(hidden)]
+    pub fn debug_force_mark(&self, slot: u32) {
+        self.marks[slot as usize].store(self.epoch, Ordering::Relaxed);
+    }
+
     /// Emits one `freed` event per sweep that actually reclaimed memory.
     /// Serial, parallel and nursery sweeps all funnel through here (the
     /// parallel sweep via [`Heap::finish_full_sweep`]), so a sweep is

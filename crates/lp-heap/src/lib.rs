@@ -53,6 +53,7 @@ mod object;
 mod roots;
 mod stats;
 mod tagged;
+pub mod verify;
 
 pub use class::{ClassId, ClassRegistry};
 pub use error::AllocError;
@@ -63,3 +64,4 @@ pub use object::{Object, STALE_MAX};
 pub use roots::{FrameId, RootSet, StaticId, REGISTER_FILE_SIZE};
 pub use stats::HeapStats;
 pub use tagged::{Handle, TaggedRef};
+pub use verify::Violation;

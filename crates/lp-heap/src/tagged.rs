@@ -169,13 +169,26 @@ impl TaggedRef {
         if self.is_null() {
             self
         } else {
-            TaggedRef(self.0 | TAG_POISON | TAG_UNLOGGED)
+            let poisoned = TaggedRef(self.0 | TAG_POISON | TAG_UNLOGGED);
+            debug_assert!(
+                poisoned.is_well_formed(),
+                "with_poison must uphold poison => unlogged"
+            );
+            poisoned
         }
     }
 
     /// This reference with the unlogged bit cleared (poison bit kept), as
     /// the read barrier's cold path stores back after logging a use.
+    ///
+    /// The barrier checks the poison bit *before* logging a use, so this is
+    /// never called on a poisoned reference — stripping the unlogged bit
+    /// from one would break the poison ⇒ unlogged invariant.
     pub fn without_unlogged(self) -> Self {
+        debug_assert!(
+            !self.is_poisoned(),
+            "barrier must not strip the unlogged bit from a poisoned reference"
+        );
         TaggedRef(self.0 & !TAG_UNLOGGED)
     }
 
@@ -188,6 +201,15 @@ impl TaggedRef {
     /// condition (`if (b & 0x3)` covering both §4.1 and §4.4 checks).
     pub fn is_tagged(self) -> bool {
         self.0 & TAG_MASK != 0
+    }
+
+    /// Whether the tag bits are legal: poison implies unlogged (§4.3 sets
+    /// both bits together, and the barrier never clears the unlogged bit of
+    /// a poisoned reference). A reference built with [`TaggedRef::from_raw`]
+    /// from a corrupted word can violate this; the heap sanitizer
+    /// ([`Heap::verify`](crate::Heap::verify)) reports such references.
+    pub fn is_well_formed(self) -> bool {
+        !self.is_poisoned() || self.is_unlogged()
     }
 }
 
@@ -251,6 +273,28 @@ mod tests {
         let r = TaggedRef::from_handle(Handle::from_parts(3, 0)).with_poison();
         assert!(r.is_poisoned());
         assert!(r.is_unlogged());
+    }
+
+    #[test]
+    fn well_formedness_tracks_poison_unlogged_pairing() {
+        let h = Handle::from_parts(9, 0);
+        assert!(TaggedRef::NULL.is_well_formed());
+        assert!(TaggedRef::from_handle(h).is_well_formed());
+        assert!(TaggedRef::from_handle(h).with_unlogged().is_well_formed());
+        assert!(TaggedRef::from_handle(h).with_poison().is_well_formed());
+        // Only a corrupted raw word can set poison without unlogged.
+        let corrupt = TaggedRef::from_raw(h.raw() | 0b10);
+        assert!(corrupt.is_poisoned());
+        assert!(!corrupt.is_unlogged());
+        assert!(!corrupt.is_well_formed());
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned reference")]
+    #[cfg(debug_assertions)]
+    fn stripping_unlogged_from_poisoned_ref_asserts() {
+        let r = TaggedRef::from_handle(Handle::from_parts(2, 0)).with_poison();
+        let _ = r.without_unlogged();
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Heap invariant sanitizer.
+//!
+//! [`Heap::verify`] walks the full slab — every slot, every reference field,
+//! every chunk summary — and recomputes from first principles what the
+//! incremental bookkeeping claims, reporting each discrepancy as a
+//! [`Violation`]. The checks here are *anytime-safe*: they hold at every
+//! quiescent point (no marker threads running), not just right after a
+//! collection, so tests and the runtime can call them whenever the heap is
+//! at rest. Reachability-based checks that are only meaningful immediately
+//! after a full collection live in `lp-gc`'s `verify` module; engine-level
+//! checks (edge-table reconciliation, poison/state agreement) live in
+//! `leak-pruning`.
+//!
+//! The sanitizer is deliberately read-only and allocation-light: one pass
+//! over the slots plus a few bitmaps sized by the slab. It must never call
+//! [`Heap::try_mark`] or any other mutating entry point — verification that
+//! perturbs the state it checks is worse than none.
+
+use crate::heap::{Heap, CHUNK_SLOTS};
+
+/// Violation kind: a stored reference has illegal tag bits (poison set
+/// without unlogged, breaking the §4.3 poison ⇒ unlogged invariant).
+pub const TAG_LEGALITY: &str = "tag-legality";
+/// Violation kind: a stored reference designates an out-of-bounds slot, or
+/// a non-poisoned reference designates an empty slot. (Poisoned references
+/// are allowed to dangle into reclaimed slots — that is what pruning does —
+/// but the slab never shrinks, so even they must stay in bounds.)
+pub const SLOT_VALID: &str = "slot-valid";
+/// Violation kind: a chunk summary's `occupied` count disagrees with the
+/// number of live slots in the chunk.
+pub const CHUNK_OCCUPIED: &str = "chunk-occupied";
+/// Violation kind: a chunk summary's `marked` count disagrees with the
+/// number of live slots marked in the current epoch.
+pub const CHUNK_MARKED: &str = "chunk-marked";
+/// Violation kind: an *empty* slot is marked in the current epoch — marking
+/// only ever targets live objects, so a swept slot must not stay marked.
+pub const MARK_STALE: &str = "mark-stale";
+/// Violation kind: the free list and the set of empty slots disagree
+/// (duplicate entry, live slot on the list, empty slot missing, or an
+/// out-of-bounds entry).
+pub const FREE_LIST: &str = "free-list";
+/// Violation kind: `used_bytes` or `live_objects` disagrees with a fresh
+/// census of the slots.
+pub const ACCOUNTING: &str = "accounting";
+/// Violation kind: the nursery bookkeeping (young list, per-slot flags,
+/// young byte total) is internally inconsistent.
+pub const YOUNG_ACCOUNTING: &str = "young-accounting";
+
+/// One invariant violation found by a sanitizer pass.
+///
+/// `kind` is a stable machine-readable tag (one of the `pub const`s in this
+/// module, or a kind defined by the `lp-gc` / `leak-pruning` verify layers);
+/// `detail` is a human-readable description pinpointing the slot, chunk or
+/// field involved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable machine-readable violation tag.
+    pub kind: &'static str,
+    /// Human-readable description of what disagreed, and where.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Creates a violation of `kind` with a human-readable `detail`.
+    pub fn new(kind: &'static str, detail: String) -> Self {
+        Violation { kind, detail }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.detail)
+    }
+}
+
+impl Heap {
+    /// Walks the full heap and checks every structural invariant the slab's
+    /// incremental bookkeeping is supposed to maintain, returning all
+    /// violations found (empty = healthy).
+    ///
+    /// Checks, in order: tag-bit legality and slot validity of every stored
+    /// reference, stale marks on empty slots, chunk occupancy/marked
+    /// summaries against a per-chunk recount, free list against the set of
+    /// empty slots, byte/object accounting against a fresh census, and
+    /// nursery bookkeeping. Mark-related checks are skipped before the
+    /// first collection (epoch 0), when every mark word spuriously equals
+    /// the epoch.
+    ///
+    /// Must be called at a quiescent point (no marker or sweep threads
+    /// running); the walk is read-only.
+    pub fn verify(&self) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let epoch = self.epoch();
+        let slot_count = self.slot_count();
+        let chunk_count = self.chunk_count();
+
+        let mut occupied = vec![0u32; chunk_count];
+        let mut marked = vec![0u32; chunk_count];
+        let mut used_bytes = 0u64;
+        let mut live_objects = 0u64;
+
+        for slot in 0..slot_count {
+            let chunk = slot / CHUNK_SLOTS;
+            let slot_u32 = u32::try_from(slot).unwrap_or(u32::MAX);
+            match self.object_by_slot(slot_u32) {
+                Some(object) => {
+                    occupied[chunk] += 1;
+                    used_bytes += u64::from(object.footprint());
+                    live_objects += 1;
+                    if epoch >= 1 && self.is_marked(slot_u32) {
+                        marked[chunk] += 1;
+                    }
+                    for (field, reference) in object.iter_refs() {
+                        if !reference.is_well_formed() {
+                            violations.push(Violation::new(
+                                TAG_LEGALITY,
+                                format!(
+                                    "slot {slot} field {field}: poison bit set without \
+                                     unlogged bit (raw {:#x})",
+                                    reference.raw()
+                                ),
+                            ));
+                        }
+                        if let Some(target) = reference.slot() {
+                            if target as usize >= slot_count {
+                                violations.push(Violation::new(
+                                    SLOT_VALID,
+                                    format!(
+                                        "slot {slot} field {field}: reference to \
+                                         out-of-bounds slot {target} (slab has {slot_count})"
+                                    ),
+                                ));
+                            } else if !reference.is_poisoned()
+                                && self.object_by_slot(target).is_none()
+                            {
+                                violations.push(Violation::new(
+                                    SLOT_VALID,
+                                    format!(
+                                        "slot {slot} field {field}: non-poisoned reference \
+                                         to empty slot {target}"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                None => {
+                    if epoch >= 1 && self.is_marked(slot_u32) {
+                        violations.push(Violation::new(
+                            MARK_STALE,
+                            format!("empty slot {slot} is marked in the current epoch {epoch}"),
+                        ));
+                    }
+                }
+            }
+        }
+
+        for chunk in 0..chunk_count {
+            let (summary_occupied, summary_marked) = self.chunk_summary_counts(chunk);
+            if summary_occupied != occupied[chunk] {
+                violations.push(Violation::new(
+                    CHUNK_OCCUPIED,
+                    format!(
+                        "chunk {chunk}: summary says {summary_occupied} occupied, \
+                         slots hold {}",
+                        occupied[chunk]
+                    ),
+                ));
+            }
+            if epoch >= 1 && summary_marked != marked[chunk] {
+                violations.push(Violation::new(
+                    CHUNK_MARKED,
+                    format!(
+                        "chunk {chunk}: summary says {summary_marked} marked, \
+                         recount finds {}",
+                        marked[chunk]
+                    ),
+                ));
+            }
+        }
+
+        let mut on_free_list = vec![false; slot_count];
+        for &free in self.free_slots() {
+            let Some(flag) = on_free_list.get_mut(free as usize) else {
+                violations.push(Violation::new(
+                    FREE_LIST,
+                    format!("free list holds out-of-bounds slot {free}"),
+                ));
+                continue;
+            };
+            if *flag {
+                violations.push(Violation::new(
+                    FREE_LIST,
+                    format!("slot {free} appears twice on the free list"),
+                ));
+            }
+            *flag = true;
+            if self.object_by_slot(free).is_some() {
+                violations.push(Violation::new(
+                    FREE_LIST,
+                    format!("live slot {free} is on the free list"),
+                ));
+            }
+        }
+        for (slot, &listed) in on_free_list.iter().enumerate() {
+            let slot_u32 = u32::try_from(slot).unwrap_or(u32::MAX);
+            if self.object_by_slot(slot_u32).is_none() && !listed {
+                violations.push(Violation::new(
+                    FREE_LIST,
+                    format!("empty slot {slot} is missing from the free list"),
+                ));
+            }
+        }
+
+        if used_bytes != self.used_bytes() {
+            violations.push(Violation::new(
+                ACCOUNTING,
+                format!(
+                    "used_bytes is {}, census of live footprints sums to {used_bytes}",
+                    self.used_bytes()
+                ),
+            ));
+        }
+        if live_objects != self.live_objects() {
+            violations.push(Violation::new(
+                ACCOUNTING,
+                format!(
+                    "live_objects is {}, census counts {live_objects}",
+                    self.live_objects()
+                ),
+            ));
+        }
+
+        let mut in_young_list = vec![false; slot_count];
+        let mut young_bytes = 0u64;
+        for &young in self.young_slots() {
+            let Some(seen) = in_young_list.get_mut(young as usize) else {
+                violations.push(Violation::new(
+                    YOUNG_ACCOUNTING,
+                    format!("nursery list holds out-of-bounds slot {young}"),
+                ));
+                continue;
+            };
+            if *seen {
+                violations.push(Violation::new(
+                    YOUNG_ACCOUNTING,
+                    format!("slot {young} appears twice in the nursery list"),
+                ));
+            }
+            *seen = true;
+            if !self.is_young(young) {
+                violations.push(Violation::new(
+                    YOUNG_ACCOUNTING,
+                    format!("slot {young} is in the nursery list but not flagged young"),
+                ));
+            }
+            match self.object_by_slot(young) {
+                Some(object) => young_bytes += u64::from(object.footprint()),
+                None => violations.push(Violation::new(
+                    YOUNG_ACCOUNTING,
+                    format!("empty slot {young} is in the nursery list"),
+                )),
+            }
+        }
+        for (slot, &listed) in in_young_list.iter().enumerate() {
+            let slot_u32 = u32::try_from(slot).unwrap_or(u32::MAX);
+            if self.is_young(slot_u32) && !listed {
+                violations.push(Violation::new(
+                    YOUNG_ACCOUNTING,
+                    format!("slot {slot} is flagged young but missing from the nursery list"),
+                ));
+            }
+        }
+        if young_bytes != self.young_bytes() {
+            violations.push(Violation::new(
+                YOUNG_ACCOUNTING,
+                format!(
+                    "young_bytes is {}, nursery census sums to {young_bytes}",
+                    self.young_bytes()
+                ),
+            ));
+        }
+
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassRegistry;
+    use crate::layout::AllocSpec;
+    use crate::tagged::TaggedRef;
+
+    fn heap_with_class() -> (Heap, crate::ClassId) {
+        let mut reg = ClassRegistry::new();
+        let cls = reg.register("T");
+        (Heap::new(1 << 24), cls)
+    }
+
+    fn kinds(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.kind).collect()
+    }
+
+    #[test]
+    fn empty_heap_verifies_clean() {
+        let (heap, _) = heap_with_class();
+        assert_eq!(heap.verify(), Vec::new());
+    }
+
+    #[test]
+    fn healthy_heap_verifies_clean_across_lifecycle() {
+        let (mut heap, cls) = heap_with_class();
+        let handles: Vec<_> = (0..64)
+            .map(|i| heap.alloc(cls, &AllocSpec::new(2, 1, i * 8)).unwrap())
+            .collect();
+        assert_eq!(heap.verify(), Vec::new(), "fresh allocations");
+
+        // Link some references, then collect keeping half.
+        for pair in handles.windows(2) {
+            heap.object(pair[0])
+                .store_ref(0, TaggedRef::from_handle(pair[1]).with_unlogged());
+        }
+        heap.begin_mark_epoch();
+        for h in &handles[..32] {
+            heap.try_mark(h.slot());
+        }
+        heap.sweep();
+        // handles[31] points at reclaimed handles[32]: poison it, as the
+        // pruning engine would, so the dangling edge is legal.
+        heap.object(handles[31])
+            .store_ref(0, heap.object(handles[31]).load_ref(0).with_poison());
+        assert_eq!(heap.verify(), Vec::new(), "after sweep + poison");
+
+        // Recycle a slot and verify again.
+        heap.alloc(cls, &AllocSpec::leaf(16)).unwrap();
+        assert_eq!(heap.verify(), Vec::new(), "after recycling");
+    }
+
+    #[test]
+    fn ill_formed_tag_bits_are_reported() {
+        let (mut heap, cls) = heap_with_class();
+        let a = heap.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+        let b = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        // Poison without unlogged: only constructible from a raw word.
+        heap.object(a).store_ref(
+            0,
+            TaggedRef::from_raw(TaggedRef::from_handle(b).raw() | 0b10),
+        );
+        assert_eq!(kinds(&heap.verify()), vec![TAG_LEGALITY]);
+    }
+
+    #[test]
+    fn dangling_reference_is_reported() {
+        let (mut heap, cls) = heap_with_class();
+        let a = heap.alloc(cls, &AllocSpec::with_refs(2)).unwrap();
+        let b = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        heap.object(a).store_ref(0, TaggedRef::from_handle(b));
+        heap.begin_mark_epoch();
+        heap.try_mark(a.slot());
+        heap.sweep(); // b dies; a's field 0 now dangles, un-poisoned
+        let found = heap.verify();
+        assert_eq!(kinds(&found), vec![SLOT_VALID]);
+        assert!(found[0].detail.contains("empty slot"));
+    }
+
+    #[test]
+    fn out_of_bounds_reference_is_reported() {
+        let (mut heap, cls) = heap_with_class();
+        let a = heap.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+        heap.object(a)
+            .store_ref(0, TaggedRef::from_raw(1_000_000 << 2));
+        assert_eq!(kinds(&heap.verify()), vec![SLOT_VALID]);
+    }
+
+    #[test]
+    fn poisoned_dangle_is_legal_but_out_of_bounds_poison_is_not() {
+        let (mut heap, cls) = heap_with_class();
+        let a = heap.alloc(cls, &AllocSpec::with_refs(2)).unwrap();
+        let b = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        heap.object(a)
+            .store_ref(0, TaggedRef::from_handle(b).with_poison());
+        heap.begin_mark_epoch();
+        heap.try_mark(a.slot());
+        heap.sweep(); // b reclaimed; the poisoned edge may dangle
+        assert_eq!(heap.verify(), Vec::new());
+
+        heap.object(a)
+            .store_ref(1, TaggedRef::from_raw((1_000_000 << 2) | 0b11));
+        assert_eq!(kinds(&heap.verify()), vec![SLOT_VALID]);
+    }
+
+    #[test]
+    fn corrupted_chunk_summary_is_reported() {
+        let (mut heap, cls) = heap_with_class();
+        heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        heap.debug_corrupt_chunk_occupied(0);
+        assert_eq!(kinds(&heap.verify()), vec![CHUNK_OCCUPIED]);
+    }
+
+    #[test]
+    fn forced_mark_desyncs_chunk_marked_counter() {
+        let (mut heap, cls) = heap_with_class();
+        let a = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        heap.begin_mark_epoch();
+        heap.debug_force_mark(a.slot()); // marks without bumping the counter
+        assert_eq!(kinds(&heap.verify()), vec![CHUNK_MARKED]);
+    }
+
+    #[test]
+    fn stale_mark_on_empty_slot_is_reported() {
+        let (mut heap, cls) = heap_with_class();
+        let a = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        heap.begin_mark_epoch();
+        heap.sweep(); // a dies
+        heap.debug_force_mark(a.slot());
+        assert_eq!(kinds(&heap.verify()), vec![MARK_STALE]);
+    }
+
+    #[test]
+    fn mark_checks_are_gated_before_the_first_epoch() {
+        let (mut heap, cls) = heap_with_class();
+        // At epoch 0 every mark word equals the epoch; neither the forced
+        // mark nor the spurious "marked" state may be reported.
+        let a = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        heap.debug_force_mark(a.slot());
+        assert_eq!(heap.verify(), Vec::new());
+    }
+
+    #[test]
+    fn violation_display_includes_kind_and_detail() {
+        let v = Violation::new(ACCOUNTING, "census disagrees".to_string());
+        assert_eq!(v.to_string(), "[accounting] census disagrees");
+    }
+}

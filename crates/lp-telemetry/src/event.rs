@@ -244,6 +244,28 @@ pub enum Event {
         /// into compared to doing nothing at all.
         nanos: u64,
     },
+    /// A heap-sanitizer pass ran (see `Runtime::verify_heap`). Emitted
+    /// whether or not violations were found, so a trace shows both the
+    /// verification cadence and its cost.
+    VerifyHeap {
+        /// 1-based index of the collection the pass ran after.
+        gc_index: u64,
+        /// Number of invariant violations found (0 = healthy).
+        violations: u64,
+        /// Wall-clock cost of the pass in nanoseconds.
+        nanos: u64,
+    },
+    /// One invariant violation found by a heap-sanitizer pass. Emitted
+    /// before the runtime panics, so the trace records *what* was corrupted
+    /// even when the process dies.
+    VerifyViolation {
+        /// 1-based index of the collection the pass ran after.
+        gc_index: u64,
+        /// Stable violation kind tag (e.g. `"tag-legality"`).
+        kind: String,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
 }
 
 impl Event {
@@ -265,6 +287,8 @@ impl Event {
             Event::Iteration { .. } => "iteration",
             Event::SnapshotBegin { .. } => "snapshot_begin",
             Event::SnapshotEnd { .. } => "snapshot_end",
+            Event::VerifyHeap { .. } => "verify",
+            Event::VerifyViolation { .. } => "verify_violation",
         }
     }
 }
@@ -469,6 +493,24 @@ impl TraceLine {
                 field("live_bytes", JsonValue::from_u64(*live_bytes));
                 field("nanos", JsonValue::from_u64(*nanos));
             }
+            Event::VerifyHeap {
+                gc_index,
+                violations,
+                nanos,
+            } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+                field("violations", JsonValue::from_u64(*violations));
+                field("nanos", JsonValue::from_u64(*nanos));
+            }
+            Event::VerifyViolation {
+                gc_index,
+                kind,
+                detail,
+            } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+                field("kind", JsonValue::Str(kind.clone()));
+                field("detail", JsonValue::Str(detail.clone()));
+            }
         }
         JsonValue::Obj(obj).to_string()
     }
@@ -600,6 +642,16 @@ impl TraceLine {
                 edges: need_u64(&value, "edges")?,
                 live_bytes: need_u64(&value, "live_bytes")?,
                 nanos: need_u64(&value, "nanos")?,
+            },
+            "verify" => Event::VerifyHeap {
+                gc_index: need_u64(&value, "gc")?,
+                violations: need_u64(&value, "violations")?,
+                nanos: need_u64(&value, "nanos")?,
+            },
+            "verify_violation" => Event::VerifyViolation {
+                gc_index: need_u64(&value, "gc")?,
+                kind: need_str(&value, "kind")?.to_owned(),
+                detail: need_str(&value, "detail")?.to_owned(),
             },
             other => return Err(format!("unknown event kind {other:?}")),
         };
@@ -779,6 +831,16 @@ mod tests {
             edges: 4999,
             live_bytes: 1_600_000,
             nanos: 750_000,
+        });
+        round_trip(Event::VerifyHeap {
+            gc_index: 15,
+            violations: 0,
+            nanos: 42_000,
+        });
+        round_trip(Event::VerifyViolation {
+            gc_index: 15,
+            kind: "tag-legality".to_owned(),
+            detail: "slot 7 field 0: poison bit set without unlogged bit".to_owned(),
         });
     }
 

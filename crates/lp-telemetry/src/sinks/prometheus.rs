@@ -50,6 +50,9 @@ struct Metrics {
     selections_total: u64,
     snapshots_total: u64,
     snapshot_nanos_total: u64,
+    verify_passes_total: u64,
+    verify_nanos_total: u64,
+    verify_violations_total: u64,
     edge_types: u64,
     edge_table_footprint_bytes: u64,
     state: String,
@@ -165,6 +168,21 @@ impl PrometheusSink {
             "lp_heap_snapshot_nanos_total",
             "Cumulative wall time spent capturing heap snapshots.",
             m.snapshot_nanos_total,
+        );
+        counter(
+            "lp_verify_passes_total",
+            "Heap-sanitizer passes run.",
+            m.verify_passes_total,
+        );
+        counter(
+            "lp_verify_nanos_total",
+            "Cumulative wall time spent in heap-sanitizer passes.",
+            m.verify_nanos_total,
+        );
+        counter(
+            "lp_verify_violations_total",
+            "Heap invariant violations reported by the sanitizer.",
+            m.verify_violations_total,
         );
         // Labeled family: HELP/TYPE once, one sample per label set.
         let _ = writeln!(
@@ -291,10 +309,18 @@ impl Sink for PrometheusSink {
                 m.snapshots_total += 1;
                 m.snapshot_nanos_total += nanos;
             }
+            Event::VerifyHeap {
+                violations, nanos, ..
+            } => {
+                m.verify_passes_total += 1;
+                m.verify_nanos_total += nanos;
+                m.verify_violations_total += violations;
+            }
             Event::ClassReg { .. }
             | Event::PhaseBegin { .. }
             | Event::Freed { .. }
-            | Event::SnapshotBegin { .. } => {}
+            | Event::SnapshotBegin { .. }
+            | Event::VerifyViolation { .. } => {}
         }
     }
 }

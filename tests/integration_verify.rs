@@ -1,0 +1,237 @@
+//! Integration: the heap invariant sanitizer.
+//!
+//! Two directions, both necessary:
+//!
+//! * **Soundness** — the sanitizer stays silent on every healthy heap: all
+//!   standard leak workloads run under `verify_every(1)` (the debug-build
+//!   default), and randomized leak programs end with a clean
+//!   [`Runtime::verify_heap`].
+//! * **Sensitivity** (mutation-kill) — each deliberately planted corruption
+//!   is caught and reported under the right violation kind. A sanitizer
+//!   that never fires is indistinguishable from one that checks nothing,
+//!   so every check has a test that forces it to fire.
+
+use leak_pruning::{EdgeKey, PruningConfig, Runtime};
+use lp_heap::{AllocSpec, Handle, TaggedRef};
+use lp_workloads::driver::{run_workload, Flavor, RunOptions};
+use lp_workloads::leaks::standard_leaks;
+use proptest::prelude::*;
+
+/// The poison tag bit, as `lp-heap` packs it (kept private there; the
+/// mutation tests need it to forge an ill-formed word).
+const RAW_POISON_BIT: u32 = 0b10;
+
+fn kinds(violations: &[lp_heap::Violation]) -> Vec<&'static str> {
+    violations.iter().map(|v| v.kind).collect()
+}
+
+/// A small rooted heap: a static -> `a`, plus an unrooted `b`, collected
+/// once so the mark epoch is live.
+fn rooted_pair(config: PruningConfig) -> (Runtime, Handle, Handle) {
+    let mut rt = Runtime::new(config);
+    let cls = rt.register_class("Node");
+    let a = rt.alloc(cls, &AllocSpec::with_refs(2)).expect("fits");
+    let b = rt.alloc(cls, &AllocSpec::with_refs(1)).expect("fits");
+    let root = rt.add_static();
+    rt.set_static(root, Some(a));
+    rt.write_field(a, 0, Some(b));
+    rt.release_registers();
+    rt.force_gc();
+    assert_eq!(rt.verify_heap(), Vec::new(), "healthy heap must verify");
+    (rt, a, b)
+}
+
+// ----- soundness ----------------------------------------------------------
+
+#[test]
+fn sanitizer_is_clean_across_all_standard_workloads() {
+    // verify_every(1) is the debug default, but pin it so this test means
+    // the same thing in release runs; a violation panics inside the run.
+    for mut workload in standard_leaks() {
+        // A quarter of the workload's default heap: every leak then fills
+        // it within the cap, so each run exercises the sanitizer.
+        let config = PruningConfig::builder(workload.default_heap() / 4)
+            .verify_every(1)
+            .build();
+        let opts = RunOptions::new(Flavor::Custom(Box::new(config))).iteration_cap(400);
+        let result = run_workload(workload.as_mut(), &opts);
+        assert!(
+            result.gc_count > 0,
+            "{}: the sanitizer must actually have run",
+            result.workload
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn random_leak_programs_end_with_a_clean_heap(
+        heap_kb in 64u64..256,
+        payload in 0u32..900,
+        scratch in 1u32..4000,
+        keep_every in 1u64..5,
+        iterations in 50u64..400,
+    ) {
+        let mut rt = Runtime::new(
+            PruningConfig::builder(heap_kb * 1024).verify_every(1).build(),
+        );
+        let node = rt.register_class("Node");
+        let scratch_cls = rt.register_class("Scratch");
+        let head = rt.add_static();
+        for i in 0..iterations {
+            let unit = rt
+                .alloc(node, &AllocSpec::new(1, 0, payload))
+                .and_then(|n| {
+                    if i.is_multiple_of(keep_every) {
+                        rt.write_field(n, 0, rt.static_ref(head));
+                        rt.set_static(head, Some(n));
+                    }
+                    rt.alloc(scratch_cls, &AllocSpec::leaf(scratch))
+                });
+            rt.release_registers();
+            if unit.is_err() {
+                break; // OOM or pruned access: both leave a verifiable heap
+            }
+        }
+        prop_assert_eq!(rt.verify_heap(), Vec::new());
+    }
+}
+
+// ----- sensitivity: the six planted corruptions ---------------------------
+
+#[test]
+fn flipped_tag_bit_is_reported_as_tag_legality() {
+    let (rt, a, b) = rooted_pair(PruningConfig::builder(1 << 20).build());
+    // Poison without unlogged: a bit pattern no runtime path can produce.
+    let forged = TaggedRef::from_raw(TaggedRef::from_handle(b).raw() | RAW_POISON_BIT);
+    rt.heap().object(a).store_ref(0, forged);
+    assert!(
+        kinds(&rt.verify_heap()).contains(&lp_heap::verify::TAG_LEGALITY),
+        "got {:?}",
+        rt.verify_heap()
+    );
+}
+
+#[test]
+fn corrupted_chunk_summary_is_reported_as_chunk_occupied() {
+    let (mut rt, _a, _b) = rooted_pair(PruningConfig::builder(1 << 20).build());
+    rt.heap_mut().debug_corrupt_chunk_occupied(0);
+    assert!(
+        kinds(&rt.verify_heap()).contains(&lp_heap::verify::CHUNK_OCCUPIED),
+        "got {:?}",
+        rt.verify_heap()
+    );
+}
+
+#[test]
+fn desynced_edge_table_bytes_are_reported_as_edge_bytes() {
+    let (mut rt, _a, _b) = rooted_pair(PruningConfig::builder(1 << 20).build());
+    let src = rt.register_class("Src");
+    let tgt = rt.register_class("Tgt");
+    // bytes_used is SELECT-closure scratch; residue outside one is a leak
+    // of the selection accounting.
+    rt.edge_table().add_bytes(EdgeKey::new(src, tgt), 4096);
+    assert!(
+        kinds(&rt.verify_heap()).contains(&leak_pruning::verify::EDGE_BYTES),
+        "got {:?}",
+        rt.verify_heap()
+    );
+}
+
+#[test]
+fn dangling_slot_index_is_reported_as_slot_valid() {
+    let (mut rt, a, b) = rooted_pair(PruningConfig::builder(1 << 20).build());
+    // Unlink b and collect: its slot empties while we keep the old handle.
+    rt.write_field(a, 0, None);
+    rt.force_gc();
+    assert!(!rt.is_live(b));
+    rt.heap().object(a).store_ref(0, TaggedRef::from_handle(b));
+    assert!(
+        kinds(&rt.verify_heap()).contains(&lp_heap::verify::SLOT_VALID),
+        "got {:?}",
+        rt.verify_heap()
+    );
+}
+
+#[test]
+fn stale_mark_on_a_reclaimed_slot_is_reported() {
+    let (mut rt, a, b) = rooted_pair(PruningConfig::builder(1 << 20).build());
+    rt.write_field(a, 0, None);
+    rt.force_gc();
+    assert!(!rt.is_live(b));
+    // A mark bit left set on an empty slot would let a recycled object
+    // masquerade as already-marked in this epoch.
+    rt.heap().debug_force_mark(b.slot());
+    assert!(
+        kinds(&rt.verify_heap()).contains(&lp_heap::verify::MARK_STALE),
+        "got {:?}",
+        rt.verify_heap()
+    );
+}
+
+#[test]
+fn poison_without_pruning_is_reported_as_poison_state() {
+    // Pruning disabled: no PRUNE collection can ever have run, so no
+    // stored reference may carry the poison bit.
+    let (rt, a, b) = rooted_pair(PruningConfig::base(1 << 20));
+    assert!(rt.averted_oom().is_none());
+    rt.heap()
+        .object(a)
+        .store_ref(0, TaggedRef::from_handle(b).with_poison());
+    assert!(
+        kinds(&rt.verify_heap()).contains(&leak_pruning::verify::POISON_STATE),
+        "got {:?}",
+        rt.verify_heap()
+    );
+}
+
+// ----- the automatic hook -------------------------------------------------
+
+#[test]
+#[should_panic(expected = "heap verification failed")]
+fn auto_verify_panics_on_a_corrupted_collection() {
+    let mut rt = Runtime::new(
+        PruningConfig::builder(1 << 20)
+            .pruning(false)
+            .verify_every(1)
+            .build(),
+    );
+    let cls = rt.register_class("Node");
+    let a = rt.alloc(cls, &AllocSpec::with_refs(1)).expect("fits");
+    let b = rt.alloc(cls, &AllocSpec::leaf(0)).expect("fits");
+    let root = rt.add_static();
+    rt.set_static(root, Some(a));
+    rt.heap()
+        .object(a)
+        .store_ref(0, TaggedRef::from_handle(b).with_poison());
+    rt.force_gc(); // the post-collection sanitizer must catch the poison
+}
+
+#[test]
+fn verify_events_reach_telemetry() {
+    use std::sync::{Arc, Mutex};
+
+    struct Capture(Arc<Mutex<Vec<String>>>);
+    impl lp_telemetry::Sink for Capture {
+        fn record(&mut self, line: &lp_telemetry::TraceLine) {
+            self.0
+                .lock()
+                .expect("no poisoned lock in test")
+                .push(line.event.kind().to_owned());
+        }
+    }
+
+    let mut rt = Runtime::new(PruningConfig::builder(1 << 20).verify_every(1).build());
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    rt.telemetry().add_sink(Box::new(Capture(seen.clone())));
+    let cls = rt.register_class("Node");
+    let a = rt.alloc(cls, &AllocSpec::leaf(0)).expect("fits");
+    let root = rt.add_static();
+    rt.set_static(root, Some(a));
+    rt.force_gc();
+    assert!(
+        seen.lock().unwrap().iter().any(|k| k == "verify"),
+        "each sanitized collection must emit a verify event"
+    );
+}
