@@ -383,6 +383,53 @@ impl Runtime {
         self.run_collection(true)
     }
 
+    /// Forces collections — escalating through the Figure-2 state machine
+    /// to pruning when plain collection is not enough — until used bytes
+    /// drop to `target_bytes` or no further progress is possible. Returns
+    /// the used bytes afterwards.
+    ///
+    /// This is the hook a multi-tenant host's memory arbiter calls on the
+    /// heaviest tenants when *aggregate* pressure crosses the shared limit:
+    /// unlike [`Runtime::alloc`]'s internal collect-until-fits path it never
+    /// surfaces an error, because failing to reach an externally imposed
+    /// target is not an out-of-memory condition for this tenant — the
+    /// arbiter simply moves on to the next one. Escalation goes through
+    /// `note_exhausted`, so pruned references throw the same deferred OOM
+    /// they would after a real exhaustion.
+    pub fn reclaim_to(&mut self, target_bytes: u64) -> u64 {
+        if self.heap.used_bytes() <= target_bytes {
+            return self.heap.used_bytes();
+        }
+        let mut no_progress = 0u32;
+        for _ in 0..self.config.max_gc_attempts_per_alloc() {
+            let record = self.run_collection(true);
+            let progress =
+                record.freed_bytes > 0 || record.pruned_refs > 0 || record.selected.is_some();
+            if self.heap.used_bytes() <= target_bytes {
+                break;
+            }
+            self.pruner.note_exhausted(
+                record.gc_index,
+                self.heap.used_bytes(),
+                self.heap.capacity(),
+            );
+            if !self.config.pruning_enabled() {
+                break;
+            }
+            if progress {
+                no_progress = 0;
+            } else {
+                no_progress += 1;
+                if no_progress >= 3 {
+                    // A full OBSERVE -> SELECT -> PRUNE cycle achieved
+                    // nothing; what remains is live or unprunable.
+                    break;
+                }
+            }
+        }
+        self.heap.used_bytes()
+    }
+
     /// Captures a heap snapshot for offline diagnosis (`lp-diagnose`).
     ///
     /// The capture piggybacks on a stop-the-world collection: it runs the
@@ -750,6 +797,23 @@ impl Runtime {
         self.heap.occupancy()
     }
 
+    /// Registers (or clears) an advisory byte budget on the heap — see
+    /// [`lp_heap::Heap::set_soft_budget`]. A multi-tenant host registers
+    /// each tenant's share of the global limit here.
+    pub fn set_byte_budget(&mut self, budget: Option<u64>) {
+        self.heap.set_soft_budget(budget);
+    }
+
+    /// The registered advisory byte budget, if any.
+    pub fn byte_budget(&self) -> Option<u64> {
+        self.heap.soft_budget()
+    }
+
+    /// Whether current usage exceeds the registered byte budget.
+    pub fn over_budget(&self) -> bool {
+        self.heap.over_soft_budget()
+    }
+
     /// Live object count.
     pub fn live_objects(&self) -> u64 {
         self.heap.live_objects()
@@ -956,6 +1020,56 @@ mod tests {
         // The pruned reference type is Node -> Node.
         assert_eq!(report.pruned_edges[0].src, "Node");
         assert_eq!(report.pruned_edges[0].tgt, "Node");
+    }
+
+    #[test]
+    fn reclaim_to_escalates_to_pruning_and_reaches_target() {
+        // Build a list leak that plain collection cannot shrink: every node
+        // stays reachable from the static head, so only pruning can get
+        // used bytes under the target.
+        let (mut rt, iters, err) = run_list_leak(PruningConfig::builder(256 * KB).build(), 300);
+        assert!(err.is_none());
+        assert_eq!(iters, 300);
+        // Registers still root the most recent allocations; an idle tenant
+        // would have released them at the end of its last request.
+        rt.release_registers();
+        let target = 64 * KB;
+        let after = rt.reclaim_to(target);
+        assert!(
+            after <= target,
+            "reclaim_to left {after} bytes, target {target}"
+        );
+        assert!(rt.prune_report().total_pruned_refs > 0);
+        // Already under target: a no-op that runs no collection.
+        let gcs = rt.gc_count();
+        assert_eq!(rt.reclaim_to(target), after);
+        assert_eq!(rt.gc_count(), gcs);
+    }
+
+    #[test]
+    fn reclaim_to_without_pruning_stops_at_live_data() {
+        let (mut rt, _, err) = run_list_leak(PruningConfig::base(1024 * KB), 500);
+        assert!(err.is_none());
+        let before = rt.used_bytes();
+        // Everything reachable, pruning disabled: the call must terminate
+        // and report the (unchanged modulo transients) usage.
+        let after = rt.reclaim_to(1);
+        assert!(after > 1, "live data cannot be collected away");
+        assert!(after <= before);
+    }
+
+    #[test]
+    fn byte_budget_is_advisory() {
+        let mut rt = Runtime::new(PruningConfig::base(256 * KB));
+        assert_eq!(rt.byte_budget(), None);
+        assert!(!rt.over_budget());
+        rt.set_byte_budget(Some(KB));
+        let cls = rt.register_class("T");
+        let root = rt.add_static();
+        let h = rt.alloc(cls, &AllocSpec::leaf(4096)).unwrap();
+        rt.set_static(root, Some(h));
+        assert!(rt.over_budget(), "4 KiB used against a 1 KiB budget");
+        assert_eq!(rt.byte_budget(), Some(KB));
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! HTTP load generator for a `serve_smoke --listen` host, used by CI.
+//!
+//! Reads the host's ops address from a port file, drives a fixed number
+//! of requests through `POST /inject` in batches across the fleet's
+//! tenants, scrapes `/metrics` once, asserts non-zero admissions with
+//! per-tenant labels, and finally requests a clean shutdown with
+//! `POST /shutdown`.
+//!
+//! Usage: `load_gen PORT_FILE [TOTAL_REQUESTS]` (default 2000).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn request(addr: &str, method: &str, target: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    let head = format!("{method} {target} HTTP/1.1\r\nHost: lp\r\nConnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes()).ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    response.split_once("\r\n\r\n").map(|(_, b)| b.to_string())
+}
+
+/// Reads `"admitted":N` out of an inject response.
+fn admitted_of(body: &str) -> u64 {
+    body.split("\"admitted\":")
+        .nth(1)
+        .and_then(|rest| {
+            rest.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .ok()
+        })
+        .unwrap_or(0)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(port_file) = args.get(1) else {
+        eprintln!("usage: load_gen PORT_FILE [TOTAL_REQUESTS]");
+        return ExitCode::FAILURE;
+    };
+    let total: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+
+    // The host writes its ephemeral address to the port file at boot;
+    // wait briefly in case we raced it.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        match std::fs::read_to_string(port_file) {
+            Ok(addr) if !addr.trim().is_empty() => break addr.trim().to_string(),
+            _ if Instant::now() > deadline => {
+                eprintln!("load_gen: no address in {port_file} after 30s");
+                return ExitCode::FAILURE;
+            }
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    eprintln!("load_gen: driving {total} requests at {addr}");
+
+    let tenants = ["leaky", "healthy-a", "healthy-b", "healthy-c"];
+    let mut offered = 0u64;
+    let mut admitted = 0u64;
+    let batch = 25u64;
+    let mut tenant_index = 0usize;
+    let deadline = Instant::now() + Duration::from_secs(55);
+    while offered < total {
+        if Instant::now() > deadline {
+            eprintln!("load_gen: timed out after {offered} offered requests");
+            return ExitCode::FAILURE;
+        }
+        let n = batch.min(total - offered);
+        let tenant = tenants[tenant_index % tenants.len()];
+        tenant_index += 1;
+        let target = format!("/inject?tenant={tenant}&n={n}");
+        match request(&addr, "POST", &target) {
+            Some(body) => {
+                offered += n;
+                admitted += admitted_of(&body);
+            }
+            None => {
+                eprintln!("load_gen: inject failed, retrying");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+        // Bounded queues shed what the fleet cannot absorb; pace the
+        // injection so most of the load is admitted rather than shed.
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let Some(metrics) = request(&addr, "GET", "/metrics") else {
+        eprintln!("load_gen: /metrics scrape failed");
+        return ExitCode::FAILURE;
+    };
+    let mut failures = Vec::new();
+    if admitted == 0 {
+        failures.push("no requests were admitted".to_string());
+    }
+    for tenant in &tenants {
+        let needle = format!("lp_server_admitted_total{{tenant=\"{tenant}\"}}");
+        let Some(line) = metrics
+            .lines()
+            .find(|line| line.starts_with(needle.as_str()))
+        else {
+            failures.push(format!("/metrics lacks {needle}"));
+            continue;
+        };
+        let value: u64 = line
+            .rsplit(' ')
+            .next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if value == 0 {
+            failures.push(format!("{tenant} admitted nothing"));
+        }
+    }
+
+    let shutdown = request(&addr, "POST", "/shutdown");
+    if shutdown.is_none() {
+        failures.push("/shutdown failed".to_string());
+    }
+
+    if failures.is_empty() {
+        eprintln!("load_gen: OK ({offered} offered, {admitted} admitted)");
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("load_gen: FAILED: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

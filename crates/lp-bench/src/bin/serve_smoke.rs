@@ -1,0 +1,227 @@
+//! Multi-tenant serving smoke check, used by CI.
+//!
+//! Two modes:
+//!
+//! - **Default (deterministic run)**: boots a four-tenant host (one
+//!   leaky, three healthy) with a fixed seed, drives it to completion
+//!   with the built-in open-loop generator, scrapes its own `/metrics`
+//!   endpoint over real TCP, writes a per-round throughput CSV to
+//!   `bench_out/serve_throughput.csv`, and prints per-tenant
+//!   `admit/shed/prune` counts to **stdout** in a stable format — two
+//!   runs of this binary must produce byte-identical stdout, which CI
+//!   checks with `diff`.
+//! - **`--listen PORT_FILE`**: boots the same fleet with no built-in
+//!   arrivals, writes the bound ops address to `PORT_FILE`, and serves
+//!   rounds until `POST /shutdown` — the `load_gen` binary drives it
+//!   over HTTP.
+//!
+//! Exits non-zero if the run violates the serving invariants (leaky
+//! tenant not quarantined, healthy tenants shed or pruned, too few
+//! requests processed).
+
+use std::io::{Read, Write as IoWrite};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use lp_bench::output_dir;
+use lp_server::{Host, HostConfig, TenantSpec, TenantState};
+use lp_workloads::{HealthyService, LeakyService};
+
+const KB: u64 = 1024;
+
+/// The reference fleet: one leaky tenant next to three healthy ones,
+/// budgets summing exactly to the host limit.
+fn fleet() -> (HostConfig, Vec<TenantSpec>) {
+    let cfg = HostConfig::new(200 * KB)
+        .high_water(0.85)
+        .storm_threshold(2)
+        .cooldown_rounds(6)
+        .seed(42)
+        .ops("127.0.0.1:0");
+    let tenants = vec![
+        TenantSpec::new("leaky", Box::new(LeakyService::new()))
+            .heap_capacity(256 * KB)
+            .byte_budget(80 * KB)
+            .arrival_rate(16)
+            .service_rate(16)
+            .queue_capacity(64)
+            .total_requests(1_400),
+        TenantSpec::new("healthy-a", Box::new(HealthyService::new()))
+            .heap_capacity(64 * KB)
+            .byte_budget(40 * KB)
+            .arrival_rate(6)
+            .service_rate(16)
+            .queue_capacity(64)
+            .total_requests(400),
+        TenantSpec::new("healthy-b", Box::new(HealthyService::new()))
+            .heap_capacity(64 * KB)
+            .byte_budget(40 * KB)
+            .arrival_rate(6)
+            .service_rate(16)
+            .queue_capacity(64)
+            .total_requests(400),
+        TenantSpec::new("healthy-c", Box::new(HealthyService::new()))
+            .heap_capacity(64 * KB)
+            .byte_budget(40 * KB)
+            .arrival_rate(6)
+            .service_rate(16)
+            .queue_capacity(64)
+            .total_requests(400),
+    ];
+    (cfg, tenants)
+}
+
+fn scrape(addr: std::net::SocketAddr, target: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    let request = format!("GET {target} HTTP/1.1\r\nHost: lp\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    response.split_once("\r\n\r\n").map(|(_, b)| b.to_string())
+}
+
+fn listen_mode(port_file: &str) -> ExitCode {
+    let (cfg, tenants) = fleet();
+    // External load only: the load generator owns the schedule.
+    let tenants = tenants
+        .into_iter()
+        .map(|t| t.arrival_rate(0))
+        .collect::<Vec<_>>();
+    // An unbounded schedule: listen mode ends on POST /shutdown.
+    let mut host = match Host::new(cfg, tenants) {
+        Ok(host) => host,
+        Err(error) => {
+            eprintln!("serve_smoke: boot failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = host.ops_addr().expect("ops plane is always configured");
+    if let Err(error) = std::fs::write(port_file, addr.to_string()) {
+        eprintln!("serve_smoke: cannot write {port_file}: {error}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("serve_smoke: listening on {addr} (wrote {port_file})");
+    host.serve();
+    let summary = host.summary();
+    host.shutdown();
+    let processed: u64 = summary.iter().map(|t| t.processed).sum();
+    eprintln!("serve_smoke: shut down after {processed} requests");
+    ExitCode::SUCCESS
+}
+
+fn deterministic_run() -> ExitCode {
+    let (cfg, tenants) = fleet();
+    let mut host = match Host::new(cfg, tenants) {
+        Ok(host) => host,
+        Err(error) => {
+            eprintln!("serve_smoke: boot failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = host.ops_addr().expect("ops plane is always configured");
+
+    // Drive the fleet, recording per-round cumulative throughput.
+    let mut csv = String::from("round,processed_total,aggregate_bytes\n");
+    let mut processed_total = 0u64;
+    let mut rounds = 0u64;
+    while !host.all_done() && rounds < 600 {
+        processed_total += host.run_round();
+        rounds += 1;
+        csv.push_str(&format!(
+            "{rounds},{processed_total},{}\n",
+            host.aggregate_bytes()
+        ));
+    }
+
+    // Scrape our own ops plane while the fleet is still up.
+    let metrics = scrape(addr, "/metrics").unwrap_or_default();
+    let summary = host.summary();
+    host.shutdown();
+
+    let out = output_dir().join("serve_throughput.csv");
+    if let Err(error) = std::fs::write(&out, &csv) {
+        eprintln!("serve_smoke: cannot write {}: {error}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("serve_smoke: wrote {} ({rounds} rounds)", out.display());
+
+    // Stable stdout: the determinism check diffs two runs of this.
+    for t in &summary {
+        println!(
+            "{} state={} admitted={} shed_queue_full={} shed_quarantined={} processed={} prune_events={} pruned_refs={} quarantines={}",
+            t.name,
+            t.state.tag(),
+            t.admitted,
+            t.shed_queue_full,
+            t.shed_quarantined,
+            t.processed,
+            t.prune_events,
+            t.pruned_refs,
+            t.quarantines
+        );
+    }
+
+    // Invariants the smoke check enforces.
+    let mut failures = Vec::new();
+    let leaky = &summary[0];
+    if leaky.state != TenantState::Finished {
+        failures.push(format!("leaky tenant did not finish: {:?}", leaky.state));
+    }
+    if leaky.pruned_refs == 0 {
+        failures.push("leaky tenant was never pruned".into());
+    }
+    if leaky.quarantines == 0 {
+        failures.push("leaky tenant was never quarantined".into());
+    }
+    for t in &summary[1..] {
+        if t.state != TenantState::Finished {
+            failures.push(format!("{} did not finish: {:?}", t.name, t.state));
+        }
+        if t.shed_queue_full + t.shed_quarantined != 0 {
+            failures.push(format!("{} shed requests", t.name));
+        }
+        if t.pruned_refs != 0 {
+            failures.push(format!("{} was pruned", t.name));
+        }
+    }
+    if processed_total < 2_000 {
+        failures.push(format!(
+            "only {processed_total} requests processed (< 2000)"
+        ));
+    }
+    if !metrics.contains("lp_live_bytes{tenant=\"leaky\"}") {
+        failures.push("/metrics lacks per-tenant runtime gauges".into());
+    }
+    if !metrics.contains("lp_server_admitted_total{tenant=\"leaky\"}") {
+        failures.push("/metrics lacks host-plane admission counters".into());
+    }
+
+    if failures.is_empty() {
+        eprintln!("serve_smoke: OK ({processed_total} requests, {rounds} rounds)");
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("serve_smoke: FAILED: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("--listen") => match args.get(2) {
+            Some(port_file) => listen_mode(port_file),
+            None => {
+                eprintln!("usage: serve_smoke [--listen PORT_FILE]");
+                ExitCode::FAILURE
+            }
+        },
+        Some(other) => {
+            eprintln!("serve_smoke: unknown argument {other}");
+            eprintln!("usage: serve_smoke [--listen PORT_FILE]");
+            ExitCode::FAILURE
+        }
+        None => deterministic_run(),
+    }
+}

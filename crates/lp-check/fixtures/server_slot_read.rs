@@ -1,0 +1,29 @@
+//! Lint fixture: host-side code that breaks the opaque-tenant contract.
+//! The server meters bytes and sends commands over channels; it must
+//! never reach into a tenant's object graph. Reading slots raw skips
+//! `Runtime::read_field` (no staleness bookkeeping, no poison check),
+//! and forging a `TaggedRef` from raw bits can manufacture a poisoned
+//! pattern outside the prune path. `server_*` fixtures are linted under
+//! the server crate's stricter token sets, so `lp-check` must flag the
+//! slot reads here under R1 and the reference forging under R2.
+
+use lp_heap::{Handle, Heap, TaggedRef};
+
+/// Peeks at a tenant's heap from the arbiter to "estimate" retained
+/// size — a raw slot read that bypasses the barrier (R1).
+pub fn estimate_retained(heap: &Heap, root: Handle) -> u64 {
+    let first: TaggedRef = heap.object(root).load_ref(0);
+    first.slot().map(|s| s as u64).unwrap_or(0)
+}
+
+/// Rewrites a tenant edge from the host side — a raw slot write the
+/// server has no business performing (R1).
+pub fn sever_edge(heap: &mut Heap, node: Handle, replacement: TaggedRef) {
+    heap.store_ref(node, 0, replacement);
+}
+
+/// Forges a reference out of raw bits to "pre-poison" a tenant slot —
+/// poison patterns belong to the prune path alone (R2).
+pub fn forge_poisoned(bits: u64) -> TaggedRef {
+    TaggedRef::from_raw(bits).with_poison()
+}

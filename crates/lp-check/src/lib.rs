@@ -146,6 +146,19 @@ mod tests {
     }
 
     #[test]
+    fn server_slot_read_fixture_is_flagged() {
+        let found = lint_fixture("server_slot_read.rs");
+        assert!(
+            found.iter().any(|f| f.rule == "R1"),
+            "expected an R1 finding, got {found:?}"
+        );
+        assert!(
+            found.iter().any(|f| f.rule == "R2"),
+            "expected an R2 finding, got {found:?}"
+        );
+    }
+
+    #[test]
     fn eager_emit_fixture_is_flagged() {
         let found = lint_fixture("eager_emit.rs");
         assert!(

@@ -53,6 +53,31 @@ const R1_TOKENS: &[&str] = &[
 /// Tokens that construct or strip the poison bit (R2).
 const R2_TOKENS: &[&str] = &["with_poison", "without_tags", "TAG_POISON"];
 
+/// Additional R1 tokens denied specifically to the server crate. A
+/// multi-tenant host must treat tenant heaps as opaque: it meters bytes
+/// and sends commands, it never reaches into a runtime's object graph.
+/// These are the `lp_heap` accessors that would let it read slots raw,
+/// skipping `Runtime::read_field` and with it the staleness bookkeeping
+/// and poison checks.
+const R1_SERVER_TOKENS: &[&str] = &[
+    "object",
+    "object_checked",
+    "object_by_slot",
+    "handle_at",
+    "heap_mut",
+    "store_ref",
+];
+
+/// Additional R2 tokens denied to the server crate: forging a tagged
+/// reference from raw bits is how host-side code would manufacture a
+/// poisoned (or unlogged) pattern outside the prune path.
+const R2_SERVER_TOKENS: &[&str] = &["from_raw"];
+
+/// Paths held to the server crate's stricter R1/R2 token sets: the
+/// server source tree itself, plus the `server_*` lint fixtures, which
+/// are deliberately-bad host code linted under the same contract.
+const SERVER_SCOPE: &[&str] = &["crates/lp-server/src/", "crates/lp-check/fixtures/server_"];
+
 /// Crates allowed to touch barrier and tag machinery directly: the heap
 /// that defines it, the collector closures that maintain it, and the
 /// pruning engine that implements the paper's barrier. Everything else —
@@ -65,11 +90,13 @@ const BARRIER_ALLOWLIST: &[&str] = &[
 ];
 
 /// Crates whose non-test code must not panic via `unwrap()`/`expect()`
-/// (R3): the runtime stack, where a panic is heap-state loss.
+/// (R3): the runtime stack, where a panic is heap-state loss — and the
+/// server host, where a panic on the round loop takes every tenant down.
 const NO_PANIC_SCOPE: &[&str] = &[
     "crates/lp-heap/src/",
     "crates/lp-gc/src/",
     "crates/leak-pruning/src/",
+    "crates/lp-server/src/",
 ];
 
 fn in_prefix_list(path: &str, prefixes: &[&str]) -> bool {
@@ -142,6 +169,30 @@ pub fn check_file(path: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
                     "`{ident}` constructs or strips the poison bit outside the barrier/prune path"
                 ),
             });
+        }
+        if in_prefix_list(path, SERVER_SCOPE) {
+            if R1_SERVER_TOKENS.contains(&ident) {
+                findings.push(Finding {
+                    rule: "R1",
+                    path: path.to_owned(),
+                    line,
+                    message: format!(
+                        "`{ident}` reads tenant heap slots raw — the host must stay behind \
+                         Runtime::read_field and the command channel"
+                    ),
+                });
+            }
+            if R2_SERVER_TOKENS.contains(&ident) {
+                findings.push(Finding {
+                    rule: "R2",
+                    path: path.to_owned(),
+                    line,
+                    message: format!(
+                        "`{ident}` forges tagged-reference bits in the server — poison patterns \
+                         are the prune path's alone"
+                    ),
+                });
+            }
         }
         if (ident == "unwrap" || ident == "expect")
             && in_prefix_list(path, NO_PANIC_SCOPE)
@@ -228,6 +279,38 @@ mod tests {
             rules(&check("crates/lp-diagnose/src/x.rs", strip)),
             vec!["R2"]
         );
+    }
+
+    #[test]
+    fn raw_slot_access_in_server_code_is_r1() {
+        // `object` alone does not trip the general R1 token set, but the
+        // server crate is held to the stricter opaque-tenant contract.
+        let src = "fn f(h: &Heap, x: Handle) { let _ = h.object(x); }";
+        let found = check("crates/lp-server/src/x.rs", src);
+        assert_eq!(rules(&found), vec!["R1"]);
+        assert!(found[0].message.contains("read_field"));
+        assert_eq!(check("crates/lp-workloads/src/x.rs", src), Vec::new());
+
+        let write = "fn g(h: &mut Heap, x: Handle, r: TaggedRef) { h.store_ref(x, 0, r); }";
+        assert_eq!(
+            rules(&check("crates/lp-server/src/x.rs", write)),
+            vec!["R1"]
+        );
+    }
+
+    #[test]
+    fn reference_forging_in_server_code_is_r2() {
+        let src = "fn f(bits: u64) -> TaggedRef { TaggedRef::from_raw(bits) }";
+        assert_eq!(rules(&check("crates/lp-server/src/x.rs", src)), vec!["R2"]);
+        // Elsewhere `from_raw` stays legal (the heap itself needs it).
+        assert_eq!(check("crates/lp-heap/src/x.rs", src), Vec::new());
+        assert_eq!(check("crates/lp-diagnose/src/x.rs", src), Vec::new());
+    }
+
+    #[test]
+    fn unwrap_in_server_code_is_r3() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(rules(&check("crates/lp-server/src/x.rs", src)), vec!["R3"]);
     }
 
     #[test]

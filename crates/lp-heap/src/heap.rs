@@ -113,6 +113,10 @@ pub struct Heap {
     used_bytes: u64,
     live_objects: u64,
     capacity: u64,
+    /// Advisory byte budget registered by a multi-tenant host: allocation
+    /// never fails against it, but [`Heap::over_soft_budget`] lets an
+    /// external arbiter notice pressure before the hard capacity is hit.
+    soft_budget: Option<u64>,
     stats: HeapStats,
     /// Slots allocated since the last collection — the nursery of a
     /// generational configuration. Empty when the heap is run
@@ -144,6 +148,7 @@ impl Heap {
             used_bytes: 0,
             live_objects: 0,
             capacity,
+            soft_budget: None,
             stats: HeapStats::default(),
             young: Vec::new(),
             young_flags: Vec::new(),
@@ -193,6 +198,23 @@ impl Heap {
     /// Whether an allocation of `bytes` would fit without collection.
     pub fn fits(&self, bytes: u64) -> bool {
         self.used_bytes.saturating_add(bytes) <= self.capacity
+    }
+
+    /// Registers (or clears) an advisory byte budget. The budget never
+    /// rejects allocations — it only drives [`Heap::over_soft_budget`].
+    pub fn set_soft_budget(&mut self, budget: Option<u64>) {
+        self.soft_budget = budget;
+    }
+
+    /// The advisory byte budget, if one is registered.
+    pub fn soft_budget(&self) -> Option<u64> {
+        self.soft_budget
+    }
+
+    /// Whether current usage exceeds the registered soft budget. Always
+    /// `false` when no budget is registered.
+    pub fn over_soft_budget(&self) -> bool {
+        self.soft_budget.is_some_and(|b| self.used_bytes > b)
     }
 
     /// Cumulative allocation statistics.

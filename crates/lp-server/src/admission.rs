@@ -1,0 +1,153 @@
+//! Admission control: bounded queues, typed rejection, live counters.
+//!
+//! Every tenant fronts its worker with a bounded queue. Arrivals that
+//! don't fit — or that target a quarantined tenant — are shed
+//! immediately with a typed [`RejectReason`] instead of growing an
+//! unbounded backlog, so one leaky tenant's latency never propagates to
+//! the host. [`TenantCounters`] are plain atomics shared with the ops
+//! plane, so `/tenants` and `/metrics` read live values without stopping
+//! the round loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+
+/// Why an arrival was shed instead of admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The tenant's bounded admission queue was full.
+    QueueFull,
+    /// The tenant is quarantined by the arbiter and not accepting work.
+    Quarantined,
+}
+
+impl RejectReason {
+    /// Stable label used in metrics and JSON.
+    pub fn tag(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Live admission counters for one tenant, shared between the round
+/// loop, the worker thread, and the ops plane.
+#[derive(Debug, Default)]
+pub struct TenantCounters {
+    admitted: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_quarantined: AtomicU64,
+    processed: AtomicU64,
+}
+
+impl TenantCounters {
+    /// A zeroed counter block.
+    pub fn new() -> TenantCounters {
+        TenantCounters::default()
+    }
+
+    /// Requests accepted into the queue so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed because the queue was full.
+    pub fn shed_queue_full(&self) -> u64 {
+        self.shed_queue_full.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed because the tenant was quarantined.
+    pub fn shed_quarantined(&self) -> u64 {
+        self.shed_quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Total requests shed for any reason.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full() + self.shed_quarantined()
+    }
+
+    /// Requests the worker has finished handling.
+    pub fn processed(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Admitted but not yet processed — the live queue depth.
+    pub fn queue_depth(&self) -> u64 {
+        self.admitted().saturating_sub(self.processed())
+    }
+
+    pub(crate) fn note_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_shed(&self, reason: RejectReason) {
+        match reason {
+            RejectReason::QueueFull => &self.shed_queue_full,
+            RejectReason::Quarantined => &self.shed_quarantined,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_processed(&self) {
+        self.processed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Offers one arrival to `queue`, updating `counters`. Quarantined
+/// tenants shed without touching the queue. Returns the shed reason, or
+/// `None` when the request was admitted.
+pub(crate) fn offer(
+    queue: &SyncSender<()>,
+    counters: &TenantCounters,
+    quarantined: bool,
+) -> Option<RejectReason> {
+    if quarantined {
+        counters.note_shed(RejectReason::Quarantined);
+        return Some(RejectReason::Quarantined);
+    }
+    match queue.try_send(()) {
+        Ok(()) => {
+            counters.note_admitted();
+            None
+        }
+        Err(TrySendError::Full(())) | Err(TrySendError::Disconnected(())) => {
+            counters.note_shed(RejectReason::QueueFull);
+            Some(RejectReason::QueueFull)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    #[test]
+    fn offers_admit_until_the_queue_fills_then_shed() {
+        let (tx, _rx) = sync_channel(2);
+        let counters = TenantCounters::new();
+        assert_eq!(offer(&tx, &counters, false), None);
+        assert_eq!(offer(&tx, &counters, false), None);
+        assert_eq!(offer(&tx, &counters, false), Some(RejectReason::QueueFull));
+        assert_eq!(counters.admitted(), 2);
+        assert_eq!(counters.shed_queue_full(), 1);
+        assert_eq!(counters.queue_depth(), 2);
+    }
+
+    #[test]
+    fn quarantine_sheds_without_consuming_queue_space() {
+        let (tx, _rx) = sync_channel(1);
+        let counters = TenantCounters::new();
+        assert_eq!(offer(&tx, &counters, true), Some(RejectReason::Quarantined));
+        assert_eq!(counters.admitted(), 0);
+        assert_eq!(counters.shed_quarantined(), 1);
+        // The slot is still free for when quarantine lifts.
+        assert_eq!(offer(&tx, &counters, false), None);
+    }
+
+    #[test]
+    fn reject_tags_are_stable() {
+        assert_eq!(RejectReason::QueueFull.tag(), "queue_full");
+        assert_eq!(RejectReason::Quarantined.tag(), "quarantined");
+    }
+}

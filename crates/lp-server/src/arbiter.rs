@@ -1,0 +1,430 @@
+//! The global memory arbiter.
+//!
+//! Tenants register byte budgets against a shared host limit. The
+//! arbiter watches aggregate usage each round and intervenes *before*
+//! any tenant hits a real out-of-memory error, in escalating order:
+//!
+//! 1. **Collect** — above the high-water mark it forces full collections
+//!    on the heaviest tenants (over-budget tenants first). Forced
+//!    collections also advance the staleness clock, aging leaked
+//!    references toward prunability.
+//! 2. **Prune** — if collections alone cannot bring the aggregate under
+//!    the hard limit, it drives [`leak_pruning::Runtime::reclaim_to`] on
+//!    the heaviest tenants, which escalates to the OBSERVE→SELECT→PRUNE
+//!    exhaustion path and reclaims leaked subtrees.
+//! 3. **Quarantine** — a tenant that keeps pruning (a *prune storm*) is
+//!    quarantined: its arrivals are shed with
+//!    [`crate::RejectReason::Quarantined`] and it serves nothing for a
+//!    cooldown, after which the arbiter resumes it with a fresh storm
+//!    window.
+//!
+//! The policy is pure: it talks to tenants only through
+//! [`TenantControl`], so tests can drive it against a model fleet and
+//! property-check the invariant *aggregate live bytes never exceed the
+//! host limit after a rebalance* (whenever the tenants' irreducible live
+//! sets fit at all).
+
+/// One tenant's state as the arbiter sees it at rebalance time.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantView {
+    /// Live bytes in the tenant's heap.
+    pub used_bytes: u64,
+    /// The byte budget the tenant registered at admission.
+    pub budget_bytes: u64,
+    /// Cumulative collections that pruned at least one reference.
+    pub prune_events: u64,
+    /// Whether the tenant is currently quarantined.
+    pub quarantined: bool,
+    /// Whether the tenant has completed its schedule (or failed); the
+    /// arbiter never targets finished tenants.
+    pub finished: bool,
+}
+
+impl TenantView {
+    /// Whether the tenant is using more than it budgeted for.
+    pub fn over_budget(&self) -> bool {
+        self.used_bytes > self.budget_bytes
+    }
+}
+
+/// The mutating half of the arbiter's world: what it can observe and do
+/// to each tenant. Implemented by the live host (commands to worker
+/// threads) and by the model fleet in property tests.
+pub trait TenantControl {
+    /// Number of tenants (stable for the host's lifetime).
+    fn tenant_count(&self) -> usize;
+    /// A snapshot of tenant `index`.
+    fn view(&self, index: usize) -> TenantView;
+    /// Forces a full collection on tenant `index`; returns its live
+    /// bytes afterwards.
+    fn force_collect(&mut self, index: usize) -> u64;
+    /// Drives collection (escalating to pruning) on tenant `index` until
+    /// its live bytes are at most `target_bytes` or no progress is
+    /// possible; returns its live bytes afterwards.
+    fn force_prune(&mut self, index: usize, target_bytes: u64) -> u64;
+    /// Sets tenant `index`'s quarantine flag.
+    fn set_quarantined(&mut self, index: usize, quarantined: bool);
+}
+
+/// One action the arbiter took during a rebalance, for telemetry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ActionRecord {
+    /// Index of the tenant acted on.
+    pub tenant: usize,
+    /// `"collect"`, `"prune"`, `"quarantine"` or `"resume"` — the
+    /// interned action names of `lp_telemetry::Event::ArbiterAction`.
+    pub action: &'static str,
+    /// The tenant's live bytes after the action.
+    pub used_bytes: u64,
+    /// Aggregate live bytes across all tenants after the action.
+    pub aggregate_bytes: u64,
+}
+
+/// Policy knobs for the arbiter (extracted from
+/// [`crate::HostConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ArbiterPolicy {
+    /// The hard aggregate limit in bytes.
+    pub host_limit: u64,
+    /// Fraction of `host_limit` above which forced collections start.
+    pub high_water: f64,
+    /// Prune events within one window that trigger quarantine.
+    pub storm_threshold: u64,
+    /// Rounds a quarantined tenant sits out.
+    pub cooldown_rounds: u64,
+}
+
+/// The arbiter's own state: per-tenant storm windows and quarantine
+/// deadlines.
+#[derive(Debug)]
+pub struct Arbiter {
+    policy: ArbiterPolicy,
+    /// Round at which each quarantined tenant resumes.
+    release_round: Vec<Option<u64>>,
+    /// `prune_events` at the start of each tenant's current storm
+    /// window; the window resets on quarantine entry and exit.
+    storm_baseline: Vec<u64>,
+    /// Times each tenant has been quarantined.
+    quarantine_count: Vec<u64>,
+}
+
+impl Arbiter {
+    /// An arbiter over `tenant_count` tenants.
+    pub fn new(policy: ArbiterPolicy, tenant_count: usize) -> Arbiter {
+        Arbiter {
+            policy,
+            release_round: vec![None; tenant_count],
+            storm_baseline: vec![0; tenant_count],
+            quarantine_count: vec![0; tenant_count],
+        }
+    }
+
+    /// The policy this arbiter runs.
+    pub fn policy(&self) -> ArbiterPolicy {
+        self.policy
+    }
+
+    /// How many times tenant `index` has been quarantined.
+    pub fn quarantine_count(&self, index: usize) -> u64 {
+        self.quarantine_count[index]
+    }
+
+    /// The high-water mark in bytes.
+    fn high_water_bytes(&self) -> u64 {
+        (self.policy.host_limit as f64 * self.policy.high_water) as u64
+    }
+
+    /// Picks the next victim: over-budget tenants first, then heaviest,
+    /// ties to the lowest index; skips finished tenants, empty heaps and
+    /// anything in `tried`.
+    fn pick_victim(control: &dyn TenantControl, tried: &[bool]) -> Option<usize> {
+        let mut best: Option<(bool, u64, usize)> = None;
+        for (index, &already_tried) in tried.iter().enumerate().take(control.tenant_count()) {
+            if already_tried {
+                continue;
+            }
+            let view = control.view(index);
+            if view.finished || view.used_bytes == 0 {
+                continue;
+            }
+            let key = (view.over_budget(), view.used_bytes, index);
+            best = match best {
+                None => Some(key),
+                // Prefer over-budget, then more bytes, then lower index.
+                Some(cur) if (key.0, key.1, cur.2) > (cur.0, cur.1, key.2) => Some(key),
+                Some(cur) => Some(cur),
+            };
+        }
+        best.map(|(_, _, index)| index)
+    }
+
+    /// Runs one rebalance pass for `round`, in deterministic order:
+    /// resume expired quarantines, quarantine storming tenants, then
+    /// collect and finally prune the heaviest tenants until the
+    /// aggregate fits. Returns the actions taken.
+    pub fn rebalance(&mut self, round: u64, control: &mut dyn TenantControl) -> Vec<ActionRecord> {
+        let count = control.tenant_count();
+        let mut actions = Vec::new();
+        let aggregate = |control: &dyn TenantControl| -> u64 {
+            (0..count).map(|i| control.view(i).used_bytes).sum()
+        };
+
+        // 1. Resume tenants whose cooldown has expired, opening a fresh
+        //    storm window so old prune events are not double-counted.
+        for index in 0..count {
+            if self.release_round[index].is_some_and(|release| round >= release) {
+                control.set_quarantined(index, false);
+                self.release_round[index] = None;
+                self.storm_baseline[index] = control.view(index).prune_events;
+                actions.push(ActionRecord {
+                    tenant: index,
+                    action: "resume",
+                    used_bytes: control.view(index).used_bytes,
+                    aggregate_bytes: aggregate(control),
+                });
+            }
+        }
+
+        // 2. Quarantine prune storms.
+        for index in 0..count {
+            let view = control.view(index);
+            if view.quarantined || view.finished {
+                continue;
+            }
+            let window = view.prune_events.saturating_sub(self.storm_baseline[index]);
+            if window >= self.policy.storm_threshold {
+                control.set_quarantined(index, true);
+                self.release_round[index] = Some(round + self.policy.cooldown_rounds);
+                self.storm_baseline[index] = view.prune_events;
+                self.quarantine_count[index] += 1;
+                actions.push(ActionRecord {
+                    tenant: index,
+                    action: "quarantine",
+                    used_bytes: view.used_bytes,
+                    aggregate_bytes: aggregate(control),
+                });
+            }
+        }
+
+        // 3. Above the high-water mark: force collections, heaviest
+        //    first, until the aggregate drops below it or every live
+        //    tenant has been collected once.
+        let high_water = self.high_water_bytes();
+        let mut tried = vec![false; count];
+        while aggregate(control) > high_water {
+            let Some(victim) = Arbiter::pick_victim(control, &tried) else {
+                break;
+            };
+            tried[victim] = true;
+            let used = control.force_collect(victim);
+            actions.push(ActionRecord {
+                tenant: victim,
+                action: "collect",
+                used_bytes: used,
+                aggregate_bytes: aggregate(control),
+            });
+        }
+
+        // 4. Still over the hard limit: prune, heaviest first. Each
+        //    victim is asked to shed the whole remaining deficit (floor
+        //    0), since its prunable bytes are unknown up front.
+        let mut tried = vec![false; count];
+        loop {
+            let total = aggregate(control);
+            if total <= self.policy.host_limit {
+                break;
+            }
+            let Some(victim) = Arbiter::pick_victim(control, &tried) else {
+                break;
+            };
+            tried[victim] = true;
+            let deficit = total - self.policy.host_limit;
+            let target = control.view(victim).used_bytes.saturating_sub(deficit);
+            let used = control.force_prune(victim, target);
+            actions.push(ActionRecord {
+                tenant: victim,
+                action: "prune",
+                used_bytes: used,
+                aggregate_bytes: aggregate(control),
+            });
+        }
+
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model fleet: `floor` is the irreducible live set, `slack` is
+    /// collectible garbage, `prunable` is leaked-but-reclaimable data.
+    struct ModelFleet {
+        tenants: Vec<ModelTenant>,
+    }
+
+    struct ModelTenant {
+        floor: u64,
+        slack: u64,
+        prunable: u64,
+        budget: u64,
+        prune_events: u64,
+        quarantined: bool,
+        finished: bool,
+    }
+
+    impl ModelTenant {
+        fn used(&self) -> u64 {
+            self.floor + self.slack + self.prunable
+        }
+    }
+
+    impl TenantControl for ModelFleet {
+        fn tenant_count(&self) -> usize {
+            self.tenants.len()
+        }
+        fn view(&self, index: usize) -> TenantView {
+            let t = &self.tenants[index];
+            TenantView {
+                used_bytes: t.used(),
+                budget_bytes: t.budget,
+                prune_events: t.prune_events,
+                quarantined: t.quarantined,
+                finished: t.finished,
+            }
+        }
+        fn force_collect(&mut self, index: usize) -> u64 {
+            let t = &mut self.tenants[index];
+            t.slack = 0;
+            t.used()
+        }
+        fn force_prune(&mut self, index: usize, target: u64) -> u64 {
+            let t = &mut self.tenants[index];
+            t.slack = 0;
+            if t.used() > target && t.prunable > 0 {
+                let over = t.used() - target;
+                let cut = over.min(t.prunable);
+                t.prunable -= cut;
+                t.prune_events += 1;
+            }
+            t.used()
+        }
+        fn set_quarantined(&mut self, index: usize, quarantined: bool) {
+            self.tenants[index].quarantined = quarantined;
+        }
+    }
+
+    fn tenant(floor: u64, slack: u64, prunable: u64, budget: u64) -> ModelTenant {
+        ModelTenant {
+            floor,
+            slack,
+            prunable,
+            budget,
+            prune_events: 0,
+            quarantined: false,
+            finished: false,
+        }
+    }
+
+    fn policy(limit: u64) -> ArbiterPolicy {
+        ArbiterPolicy {
+            host_limit: limit,
+            high_water: 0.85,
+            storm_threshold: 3,
+            cooldown_rounds: 8,
+        }
+    }
+
+    #[test]
+    fn below_high_water_the_arbiter_is_idle() {
+        let mut fleet = ModelFleet {
+            tenants: vec![tenant(100, 100, 0, 500), tenant(100, 100, 0, 500)],
+        };
+        let mut arbiter = Arbiter::new(policy(1000), 2);
+        let actions = arbiter.rebalance(1, &mut fleet);
+        assert!(
+            actions.is_empty(),
+            "took actions below high water: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn collections_relieve_high_water_pressure_heaviest_first() {
+        // 950 aggregate vs 850 high-water; collecting tenant 1 (the
+        // heaviest) sheds its 400 bytes of slack and is enough.
+        let mut fleet = ModelFleet {
+            tenants: vec![tenant(200, 100, 0, 500), tenant(250, 400, 0, 500)],
+        };
+        let mut arbiter = Arbiter::new(policy(1000), 2);
+        let actions = arbiter.rebalance(1, &mut fleet);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].tenant, 1);
+        assert_eq!(actions[0].action, "collect");
+        assert_eq!(fleet.tenants[1].slack, 0);
+        assert_eq!(fleet.tenants[0].slack, 100, "light tenant untouched");
+    }
+
+    #[test]
+    fn over_budget_tenants_are_collected_before_heavier_in_budget_ones() {
+        // Tenant 0 is over its 100-byte budget; tenant 1 is heavier but
+        // within budget. Over-budget goes first.
+        let mut fleet = ModelFleet {
+            tenants: vec![tenant(50, 250, 0, 100), tenant(300, 300, 0, 700)],
+        };
+        let mut arbiter = Arbiter::new(policy(1000), 2);
+        let actions = arbiter.rebalance(1, &mut fleet);
+        assert_eq!(actions[0].tenant, 0);
+    }
+
+    #[test]
+    fn pruning_kicks_in_when_collection_cannot_fit_the_limit() {
+        // Floors + prunable exceed the limit even with zero slack, so
+        // the arbiter must escalate to pruning the leaky tenant.
+        let mut fleet = ModelFleet {
+            tenants: vec![tenant(100, 0, 800, 400), tenant(200, 50, 0, 600)],
+        };
+        let mut arbiter = Arbiter::new(policy(1000), 2);
+        let actions = arbiter.rebalance(1, &mut fleet);
+        assert!(actions.iter().any(|a| a.action == "prune" && a.tenant == 0));
+        let total: u64 = (0..2).map(|i| fleet.view(i).used_bytes).sum();
+        assert!(total <= 1000, "still over limit: {total}");
+    }
+
+    #[test]
+    fn prune_storms_lead_to_quarantine_and_cooldown_resumes() {
+        let mut fleet = ModelFleet {
+            tenants: vec![tenant(10, 0, 0, 100)],
+        };
+        fleet.tenants[0].prune_events = 3; // storm: 3 events, baseline 0
+        let mut arbiter = Arbiter::new(policy(1000), 1);
+        let actions = arbiter.rebalance(5, &mut fleet);
+        assert_eq!(actions[0].action, "quarantine");
+        assert!(fleet.tenants[0].quarantined);
+        assert_eq!(arbiter.quarantine_count(0), 1);
+
+        // Cooldown not yet expired: nothing happens.
+        let actions = arbiter.rebalance(12, &mut fleet);
+        assert!(actions.is_empty());
+        // Round 13 = 5 + 8: resume with a fresh storm window, so the old
+        // three events do not immediately re-quarantine.
+        let actions = arbiter.rebalance(13, &mut fleet);
+        assert_eq!(actions[0].action, "resume");
+        assert!(!fleet.tenants[0].quarantined);
+        let actions = arbiter.rebalance(14, &mut fleet);
+        assert!(actions.is_empty(), "re-quarantined without new prunes");
+    }
+
+    #[test]
+    fn finished_tenants_are_never_targeted() {
+        let mut fleet = ModelFleet {
+            tenants: vec![tenant(500, 400, 0, 500), tenant(100, 0, 0, 500)],
+        };
+        fleet.tenants[0].finished = true;
+        let mut arbiter = Arbiter::new(policy(1000), 2);
+        let actions = arbiter.rebalance(1, &mut fleet);
+        assert!(
+            actions.iter().all(|a| a.tenant != 0),
+            "acted on a finished tenant: {actions:?}"
+        );
+    }
+}

@@ -1,0 +1,428 @@
+//! The multi-tenant host: lockstep round loop over tenant workers.
+//!
+//! A round has four phases, each deterministic given the seed:
+//!
+//! 1. **Admission** — the open-loop generator offers each tenant its
+//!    arrivals for the round; arrivals are admitted to the bounded queue
+//!    or shed (emitting `TenantAdmit` / `TenantShed` events).
+//! 2. **Service** — every worker is told to serve up to its service
+//!    rate (zero while quarantined); the host waits for every report,
+//!    making the round a barrier.
+//! 3. **Arbitration** — the global arbiter inspects the fleet and
+//!    forces collections, pruning, quarantines or resumes (emitting
+//!    `ArbiterAction` events).
+//! 4. **Publication** — aggregate and per-tenant state is stored into
+//!    the shared ops snapshot for `/metrics` and `/tenants`.
+
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use lp_telemetry::{Event, Telemetry};
+
+use crate::admission::{offer, RejectReason};
+use crate::arbiter::{Arbiter, ArbiterPolicy, TenantControl, TenantView};
+use crate::config::{HostConfig, TenantSpec};
+use crate::loadgen;
+use crate::ops::{OpsServer, OpsState, TenantOps, TenantState};
+use crate::tenant::{Command, TenantWorker};
+
+/// Why a host could not be constructed.
+#[derive(Debug)]
+pub enum HostError {
+    /// No tenants were supplied.
+    NoTenants,
+    /// The tenants' byte budgets add up to more than the host limit.
+    BudgetOverCommitted {
+        /// Sum of the registered tenant budgets.
+        budgeted: u64,
+        /// The configured host limit.
+        host_limit: u64,
+    },
+    /// Spawning a worker or binding the ops listener failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::NoTenants => write!(f, "a host needs at least one tenant"),
+            HostError::BudgetOverCommitted {
+                budgeted,
+                host_limit,
+            } => write!(
+                f,
+                "tenant budgets total {budgeted} bytes, over the host limit of {host_limit}"
+            ),
+            HostError::Io(error) => write!(f, "host i/o: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+impl From<std::io::Error> for HostError {
+    fn from(error: std::io::Error) -> HostError {
+        HostError::Io(error)
+    }
+}
+
+/// Final per-tenant accounting, returned by [`Host::summary`].
+#[derive(Clone, Debug)]
+pub struct TenantSummary {
+    /// Tenant name.
+    pub name: String,
+    /// Lifecycle state at summary time.
+    pub state: TenantState,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests shed because the queue was full.
+    pub shed_queue_full: u64,
+    /// Requests shed while quarantined.
+    pub shed_quarantined: u64,
+    /// Requests processed.
+    pub processed: u64,
+    /// Live bytes at the last report.
+    pub used_bytes: u64,
+    /// Collections run.
+    pub gc_count: u64,
+    /// Collections that pruned at least one reference.
+    pub prune_events: u64,
+    /// Total references pruned.
+    pub pruned_refs: u64,
+    /// Times the arbiter quarantined this tenant.
+    pub quarantines: u64,
+}
+
+/// The running host.
+pub struct Host {
+    cfg: HostConfig,
+    workers: Vec<TenantWorker>,
+    arbiter: Arbiter,
+    round: u64,
+    telemetry: Telemetry,
+    ops_state: Arc<OpsState>,
+    ops_server: Option<OpsServer>,
+}
+
+/// Adapter giving the arbiter command-driven control over the worker
+/// fleet.
+struct WorkerControl<'a> {
+    workers: &'a mut Vec<TenantWorker>,
+}
+
+impl TenantControl for WorkerControl<'_> {
+    fn tenant_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn view(&self, index: usize) -> TenantView {
+        let w = &self.workers[index];
+        TenantView {
+            used_bytes: w.last_report.used_bytes,
+            budget_bytes: w.byte_budget,
+            prune_events: w.last_report.prune_events,
+            quarantined: w.quarantined,
+            finished: !w.active(),
+        }
+    }
+
+    fn force_collect(&mut self, index: usize) -> u64 {
+        let w = &mut self.workers[index];
+        if w.send(Command::ForceCollect) {
+            w.wait();
+        }
+        w.last_report.used_bytes
+    }
+
+    fn force_prune(&mut self, index: usize, target_bytes: u64) -> u64 {
+        let w = &mut self.workers[index];
+        if w.send(Command::Reclaim { target_bytes }) {
+            w.wait();
+        }
+        w.last_report.used_bytes
+    }
+
+    fn set_quarantined(&mut self, index: usize, quarantined: bool) {
+        self.workers[index].quarantined = quarantined;
+    }
+}
+
+impl Host {
+    /// Boots a host: validates the budget registry, spawns one worker
+    /// per tenant, and starts the ops plane if configured.
+    pub fn new(cfg: HostConfig, specs: Vec<TenantSpec>) -> Result<Host, HostError> {
+        if specs.is_empty() {
+            return Err(HostError::NoTenants);
+        }
+        let budgeted: u64 = specs.iter().map(|s| s.byte_budget).sum();
+        if budgeted > cfg.host_limit {
+            return Err(HostError::BudgetOverCommitted {
+                budgeted,
+                host_limit: cfg.host_limit,
+            });
+        }
+
+        let mut workers = Vec::with_capacity(specs.len());
+        for spec in specs {
+            workers.push(TenantWorker::spawn(spec)?);
+        }
+
+        let tenants = workers
+            .iter()
+            .map(|w| {
+                TenantOps::new(
+                    w.name.clone(),
+                    Arc::clone(&w.counters),
+                    w.sink.clone(),
+                    Arc::clone(&w.used_bytes),
+                    w.queue.clone(),
+                )
+            })
+            .collect();
+        let ops_state = Arc::new(OpsState {
+            shutdown: AtomicBool::new(false),
+            round: AtomicU64::new(0),
+            aggregate_bytes: AtomicU64::new(0),
+            host_limit: cfg.host_limit,
+            tenants,
+        });
+        let ops_server = match &cfg.ops_addr {
+            Some(addr) => Some(OpsServer::start(addr, Arc::clone(&ops_state))?),
+            None => None,
+        };
+
+        let policy = ArbiterPolicy {
+            host_limit: cfg.host_limit,
+            high_water: cfg.high_water,
+            storm_threshold: cfg.storm_threshold,
+            cooldown_rounds: cfg.cooldown_rounds,
+        };
+        let arbiter = Arbiter::new(policy, workers.len());
+
+        Ok(Host {
+            cfg,
+            workers,
+            arbiter,
+            round: 0,
+            telemetry: Telemetry::new(),
+            ops_state,
+            ops_server,
+        })
+    }
+
+    /// The host-plane telemetry bus (`TenantAdmit`, `TenantShed`,
+    /// `ArbiterAction` events); attach sinks before running rounds.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The bound address of the ops plane, if enabled.
+    pub fn ops_addr(&self) -> Option<SocketAddr> {
+        self.ops_server.as_ref().map(|s| s.addr)
+    }
+
+    /// Rounds completed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Live bytes summed across all tenant heaps, as of the last round.
+    pub fn aggregate_bytes(&self) -> u64 {
+        self.workers.iter().map(|w| w.last_report.used_bytes).sum()
+    }
+
+    /// The current `/metrics` exposition (also served over HTTP when the
+    /// ops plane is enabled).
+    pub fn metrics(&self) -> String {
+        self.ops_state.metrics()
+    }
+
+    /// Whether every tenant has finished its schedule or failed.
+    pub fn all_done(&self) -> bool {
+        self.workers.iter().all(|w| !w.active())
+    }
+
+    /// Whether a shutdown has been requested (via [`Host::shutdown`] or
+    /// `POST /shutdown` on the ops plane).
+    pub fn shutdown_requested(&self) -> bool {
+        self.ops_state.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Runs one lockstep round: admission, service, arbitration,
+    /// publication. Returns the number of requests processed across the
+    /// fleet this round.
+    pub fn run_round(&mut self) -> u64 {
+        self.round += 1;
+        let round = self.round;
+
+        // Phase 1: admission.
+        for (index, w) in self.workers.iter_mut().enumerate() {
+            if !w.active() {
+                continue;
+            }
+            let mut arrivals =
+                loadgen::arrivals(self.cfg.seed, index as u64, round, w.arrival_rate);
+            if let Some(total) = w.total_requests {
+                arrivals = arrivals.min(total.saturating_sub(w.offered));
+            }
+            w.offered += arrivals;
+            let mut admitted = 0u64;
+            let mut queue_full = 0u64;
+            let mut quarantined = 0u64;
+            for _ in 0..arrivals {
+                match offer(&w.queue, &w.counters, w.quarantined) {
+                    None => admitted += 1,
+                    Some(RejectReason::QueueFull) => queue_full += 1,
+                    Some(RejectReason::Quarantined) => quarantined += 1,
+                }
+            }
+            let tenant = &w.name;
+            if admitted > 0 {
+                self.telemetry.emit(|| Event::TenantAdmit {
+                    round,
+                    tenant: tenant.clone(),
+                    admitted,
+                });
+            }
+            if queue_full + quarantined > 0 {
+                self.telemetry.emit(|| Event::TenantShed {
+                    round,
+                    tenant: tenant.clone(),
+                    queue_full,
+                    quarantined,
+                });
+            }
+        }
+
+        // Phase 2: service. Every worker gets a command and owes a
+        // report — the recv loop is the round barrier.
+        for w in &self.workers {
+            let max_requests = if w.quarantined || !w.active() {
+                0
+            } else {
+                w.service_rate
+            };
+            w.send(Command::Round { max_requests });
+        }
+        let mut processed_this_round = 0;
+        for w in &mut self.workers {
+            match w.wait() {
+                Some(report) => processed_this_round += report.processed,
+                None => {
+                    if w.failed.is_none() {
+                        w.failed = Some("worker thread lost".into());
+                    }
+                }
+            }
+            w.update_finished();
+        }
+
+        // Phase 3: arbitration.
+        let actions = {
+            let mut control = WorkerControl {
+                workers: &mut self.workers,
+            };
+            self.arbiter.rebalance(round, &mut control)
+        };
+        let limit_bytes = self.cfg.host_limit;
+        for action in &actions {
+            let tenant = self.workers[action.tenant].name.clone();
+            self.telemetry.emit(|| Event::ArbiterAction {
+                round,
+                tenant,
+                action: action.action,
+                used_bytes: action.used_bytes,
+                aggregate_bytes: action.aggregate_bytes,
+                limit_bytes,
+            });
+        }
+
+        // Phase 4: publication.
+        self.publish();
+        processed_this_round
+    }
+
+    /// Copies the fleet state into the shared ops snapshot.
+    fn publish(&self) {
+        self.ops_state.round.store(self.round, Ordering::Relaxed);
+        self.ops_state
+            .aggregate_bytes
+            .store(self.aggregate_bytes(), Ordering::Relaxed);
+        for (w, ops) in self.workers.iter().zip(&self.ops_state.tenants) {
+            let state = if w.failed.is_some() {
+                TenantState::Failed
+            } else if w.finished {
+                TenantState::Finished
+            } else if w.quarantined {
+                TenantState::Quarantined
+            } else {
+                TenantState::Running
+            };
+            ops.set_state(state);
+            ops.set_prune_events(w.last_report.prune_events);
+        }
+    }
+
+    /// Runs rounds until every tenant is done (or `max_rounds` is hit);
+    /// returns the number of rounds executed.
+    pub fn run_to_completion(&mut self, max_rounds: u64) -> u64 {
+        let start = self.round;
+        while !self.all_done() && self.round - start < max_rounds {
+            self.run_round();
+        }
+        self.round - start
+    }
+
+    /// Serves rounds until a shutdown is requested (listen mode: tenants
+    /// usually have no built-in arrival schedule and requests come from
+    /// `POST /inject`). Paces rounds with a small sleep so an idle host
+    /// does not spin.
+    pub fn serve(&mut self) {
+        while !self.shutdown_requested() {
+            self.run_round();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Final accounting for every tenant, in boot order.
+    pub fn summary(&self) -> Vec<TenantSummary> {
+        self.workers
+            .iter()
+            .enumerate()
+            .map(|(index, w)| TenantSummary {
+                name: w.name.clone(),
+                state: self.ops_state.tenants[index].state(),
+                admitted: w.counters.admitted(),
+                shed_queue_full: w.counters.shed_queue_full(),
+                shed_quarantined: w.counters.shed_quarantined(),
+                processed: w.counters.processed(),
+                used_bytes: w.last_report.used_bytes,
+                gc_count: w.last_report.gc_count,
+                prune_events: w.last_report.prune_events,
+                pruned_refs: w.last_report.pruned_refs,
+                quarantines: self.arbiter.quarantine_count(index),
+            })
+            .collect()
+    }
+
+    /// Stops the ops plane and joins every worker thread.
+    pub fn shutdown(&mut self) {
+        self.ops_state.shutdown.store(true, Ordering::Relaxed);
+        if let Some(server) = &mut self.ops_server {
+            server.join();
+        }
+        for w in &mut self.workers {
+            w.join();
+        }
+        self.publish();
+    }
+}
+
+impl Drop for Host {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,63 @@
+//! A multi-tenant serving host for leak-pruning runtimes.
+//!
+//! The leak-pruning paper (§6) argues the technique's payoff is highest
+//! in *server* settings: long-lived processes whose slow leaks
+//! eventually kill them, where bounded-time remediation (prune the leak,
+//! keep serving) beats a crash. This crate builds that setting. A
+//! [`Host`] runs N isolated [`leak_pruning::Runtime`] tenants, each on
+//! its own worker thread with its own heap and
+//! [`lp_workloads::Service`], and wraps them in the three things a real
+//! multi-tenant deployment adds:
+//!
+//! - a **global memory arbiter** ([`arbiter`]) that holds the fleet's
+//!   aggregate live bytes under a host-wide limit — forcing collections
+//!   above a high-water mark, escalating to leak pruning on exhaustion,
+//!   and quarantining tenants that prune repeatedly;
+//! - **admission control** ([`admission`]) — a bounded queue per tenant
+//!   fed by a deterministic open-loop load generator ([`loadgen`]),
+//!   shedding excess arrivals with typed [`RejectReason`]s instead of
+//!   queueing without bound;
+//! - a **wire-visible ops plane** ([`ops`]) — `GET /healthz`,
+//!   `GET /metrics` (every tenant's runtime metrics merged under a
+//!   `tenant` label) and `GET /tenants` over plain HTTP/1.1, plus
+//!   `POST /inject` for external load generators.
+//!
+//! Everything is dependency-free (std plus the workspace's own crates),
+//! and the round loop is a lockstep barrier, so a fixed seed yields
+//! byte-identical admission, shedding and pruning counts across runs —
+//! even though tenants are real threads.
+//!
+//! # Example
+//!
+//! ```
+//! use lp_server::{Host, HostConfig, TenantSpec};
+//! use lp_workloads::HealthyService;
+//!
+//! let cfg = HostConfig::new(4 << 20).seed(7);
+//! let tenants = vec![
+//!     TenantSpec::new("web", Box::new(HealthyService::new()))
+//!         .total_requests(100),
+//! ];
+//! let mut host = Host::new(cfg, tenants).unwrap();
+//! host.run_to_completion(1_000);
+//! let summary = host.summary();
+//! assert_eq!(summary[0].processed, 100);
+//! host.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod arbiter;
+pub mod config;
+pub mod host;
+pub mod loadgen;
+pub mod ops;
+mod tenant;
+
+pub use admission::{RejectReason, TenantCounters};
+pub use arbiter::{ActionRecord, Arbiter, ArbiterPolicy, TenantControl, TenantView};
+pub use config::{HostConfig, TenantSpec};
+pub use host::{Host, HostError, TenantSummary};
+pub use ops::TenantState;

@@ -1,0 +1,363 @@
+//! Tenant worker threads.
+//!
+//! Each tenant runs on its own thread, owning a private
+//! [`leak_pruning::Runtime`] and the [`Service`] that does its
+//! per-request heap work. The host drives workers in lockstep: it sends
+//! one [`Command`] per phase and waits for the matching [`Report`], so
+//! rounds are a barrier and the whole fleet is deterministic even though
+//! the tenants are real threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use leak_pruning::{PruningConfig, Runtime};
+use lp_telemetry::PrometheusSink;
+use lp_workloads::Service;
+
+use crate::admission::TenantCounters;
+use crate::config::TenantSpec;
+
+/// A host-to-worker command. Every command is answered with exactly one
+/// [`Report`], which is what makes the round loop a barrier.
+pub(crate) enum Command {
+    /// Serve up to `max_requests` queued requests.
+    Round {
+        /// Cap on requests drained from the admission queue.
+        max_requests: u64,
+    },
+    /// Run one full collection (arbiter high-water relief).
+    ForceCollect,
+    /// Reclaim down to `target_bytes`, escalating to pruning.
+    Reclaim {
+        /// Live-byte target for [`Runtime::reclaim_to`].
+        target_bytes: u64,
+    },
+    /// Exit the worker loop after a final report.
+    Shutdown,
+}
+
+/// A worker-to-host report: the tenant's state after one command.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Report {
+    /// Requests handled while executing this command.
+    pub processed: u64,
+    /// Live bytes in the tenant heap.
+    pub used_bytes: u64,
+    /// Cumulative collections so far.
+    pub gc_count: u64,
+    /// Cumulative collections that pruned at least one reference.
+    pub prune_events: u64,
+    /// Cumulative references pruned.
+    pub pruned_refs: u64,
+    /// Fatal error, if the service failed (tenant is then done).
+    pub failed: Option<String>,
+}
+
+/// Host-side handle to one worker thread plus its shared state.
+pub(crate) struct TenantWorker {
+    /// Tenant name (from the spec).
+    pub name: String,
+    /// Registered byte budget.
+    pub byte_budget: u64,
+    /// Requests served per round.
+    pub service_rate: u64,
+    /// Mean arrivals per round for the built-in load generator.
+    pub arrival_rate: u64,
+    /// Offered-load cap, if the schedule is finite.
+    pub total_requests: Option<u64>,
+    /// Requests offered by the built-in generator so far.
+    pub offered: u64,
+    /// Admission queue into the worker.
+    pub queue: SyncSender<()>,
+    /// Live admission counters (shared with the ops plane).
+    pub counters: Arc<TenantCounters>,
+    /// This tenant's metrics sink (shared with the ops plane).
+    pub sink: PrometheusSink,
+    /// Live bytes as of the last report (shared with the ops plane).
+    pub used_bytes: Arc<AtomicU64>,
+    /// Quarantine flag, owned by the host's arbiter.
+    pub quarantined: bool,
+    /// Set once the schedule is exhausted and the backlog drained.
+    pub finished: bool,
+    /// Set when the service returned a fatal error.
+    pub failed: Option<String>,
+    /// Latest cumulative stats from the worker.
+    pub last_report: Report,
+    commands: SyncSender<Command>,
+    reports: Receiver<Report>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TenantWorker {
+    /// Spawns the worker thread for `spec`. The runtime is constructed
+    /// on the worker thread; the host keeps only channels and shared
+    /// counters.
+    pub fn spawn(spec: TenantSpec) -> std::io::Result<TenantWorker> {
+        let TenantSpec {
+            name,
+            heap_capacity,
+            byte_budget,
+            queue_capacity,
+            service_rate,
+            arrival_rate,
+            total_requests,
+            pruning,
+            service,
+        } = spec;
+        let (queue_tx, queue_rx) = sync_channel::<()>(queue_capacity);
+        let (command_tx, command_rx) = sync_channel::<Command>(1);
+        let (report_tx, report_rx) = sync_channel::<Report>(1);
+        let counters = Arc::new(TenantCounters::new());
+        let sink = PrometheusSink::new();
+        let used_bytes = Arc::new(AtomicU64::new(0));
+
+        let worker_counters = Arc::clone(&counters);
+        let worker_sink = sink.clone();
+        let worker_used = Arc::clone(&used_bytes);
+        let thread = std::thread::Builder::new()
+            .name(format!("tenant-{name}"))
+            .spawn(move || {
+                let config = PruningConfig::builder(heap_capacity)
+                    .pruning(pruning)
+                    .build();
+                let mut rt = Runtime::new(config);
+                rt.set_byte_budget(Some(byte_budget));
+                rt.telemetry().add_sink(Box::new(worker_sink));
+                worker_main(
+                    rt,
+                    service,
+                    queue_rx,
+                    command_rx,
+                    report_tx,
+                    worker_counters,
+                    worker_used,
+                );
+            })?;
+
+        Ok(TenantWorker {
+            name,
+            byte_budget,
+            service_rate,
+            arrival_rate,
+            total_requests,
+            offered: 0,
+            queue: queue_tx,
+            counters,
+            sink,
+            used_bytes,
+            quarantined: false,
+            finished: false,
+            failed: None,
+            last_report: Report::default(),
+            commands: command_tx,
+            reports: report_rx,
+            thread: None,
+        }
+        .with_thread(thread))
+    }
+
+    fn with_thread(mut self, thread: JoinHandle<()>) -> TenantWorker {
+        self.thread = Some(thread);
+        self
+    }
+
+    /// Sends `command` to the worker. Returns `false` if the worker is
+    /// gone (channel disconnected).
+    pub fn send(&self, command: Command) -> bool {
+        self.commands.send(command).is_ok()
+    }
+
+    /// Waits for the worker's report to the last command and folds it
+    /// into the host-visible state. Returns the report, or `None` if the
+    /// worker is gone.
+    pub fn wait(&mut self) -> Option<Report> {
+        let report = self.reports.recv().ok()?;
+        if report.failed.is_some() && self.failed.is_none() {
+            self.failed.clone_from(&report.failed);
+        }
+        self.last_report = report.clone();
+        Some(report)
+    }
+
+    /// Whether this tenant still participates in rounds.
+    pub fn active(&self) -> bool {
+        !self.finished && self.failed.is_none()
+    }
+
+    /// Marks the tenant finished once its (finite) schedule has been
+    /// fully offered and the queue has drained.
+    pub fn update_finished(&mut self) {
+        if let Some(total) = self.total_requests {
+            if self.offered >= total && self.counters.queue_depth() == 0 {
+                self.finished = true;
+            }
+        }
+    }
+
+    /// Shuts the worker down and joins the thread.
+    pub fn join(&mut self) {
+        if self.thread.is_some() {
+            if self.send(Command::Shutdown) {
+                let _ = self.reports.recv();
+            }
+            if let Some(thread) = self.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+impl Drop for TenantWorker {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+/// Cumulative pruning stats derived from the runtime's GC history.
+fn prune_stats(rt: &Runtime) -> (u64, u64) {
+    let mut events = 0;
+    let mut refs = 0;
+    for record in rt.history() {
+        if record.pruned_refs > 0 {
+            events += 1;
+            refs += record.pruned_refs;
+        }
+    }
+    (events, refs)
+}
+
+fn report_of(rt: &Runtime, processed: u64, failed: Option<String>) -> Report {
+    let (prune_events, pruned_refs) = prune_stats(rt);
+    Report {
+        processed,
+        used_bytes: rt.used_bytes(),
+        gc_count: rt.gc_count(),
+        prune_events,
+        pruned_refs,
+        failed,
+    }
+}
+
+fn worker_main(
+    mut rt: Runtime,
+    mut service: Box<dyn Service>,
+    requests: Receiver<()>,
+    commands: Receiver<Command>,
+    reports: SyncSender<Report>,
+    counters: Arc<TenantCounters>,
+    used_bytes: Arc<AtomicU64>,
+) {
+    let mut failed: Option<String> = None;
+    if let Err(error) = service.setup(&mut rt) {
+        failed = Some(format!("setup: {error}"));
+    }
+    rt.release_registers();
+    let mut request_seq: u64 = 0;
+
+    while let Ok(command) = commands.recv() {
+        let mut processed = 0;
+        match command {
+            Command::Round { max_requests } => {
+                while failed.is_none() && processed < max_requests {
+                    if requests.try_recv().is_err() {
+                        break;
+                    }
+                    match service.handle(&mut rt, request_seq) {
+                        Ok(()) => {
+                            request_seq += 1;
+                            processed += 1;
+                            counters.note_processed();
+                        }
+                        Err(error) => {
+                            failed = Some(format!("request {request_seq}: {error}"));
+                        }
+                    }
+                    // An idle register file between requests: only data
+                    // the service rooted explicitly stays live, so
+                    // arbiter-forced collections see the true live set.
+                    rt.release_registers();
+                }
+            }
+            Command::ForceCollect => {
+                rt.force_gc();
+            }
+            Command::Reclaim { target_bytes } => {
+                rt.reclaim_to(target_bytes);
+            }
+            Command::Shutdown => {
+                let report = report_of(&rt, 0, failed.clone());
+                used_bytes.store(report.used_bytes, Ordering::Relaxed);
+                let _ = reports.send(report);
+                break;
+            }
+        }
+        let report = report_of(&rt, processed, failed.clone());
+        used_bytes.store(report.used_bytes, Ordering::Relaxed);
+        if reports.send(report).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::offer;
+    use lp_workloads::{HealthyService, LeakyService};
+
+    fn spec(service: Box<dyn Service>) -> TenantSpec {
+        TenantSpec::new("t", service).queue_capacity(128)
+    }
+
+    #[test]
+    fn a_round_drains_at_most_the_service_rate() {
+        let mut worker = TenantWorker::spawn(spec(Box::new(HealthyService::new()))).unwrap();
+        for _ in 0..10 {
+            assert!(offer(&worker.queue, &worker.counters, false).is_none());
+        }
+        assert!(worker.send(Command::Round { max_requests: 4 }));
+        let report = worker.wait().unwrap();
+        assert_eq!(report.processed, 4);
+        assert_eq!(worker.counters.processed(), 4);
+        assert_eq!(worker.counters.queue_depth(), 6);
+        worker.join();
+    }
+
+    #[test]
+    fn force_collect_reports_post_collection_usage() {
+        let mut worker = TenantWorker::spawn(spec(Box::new(LeakyService::new()))).unwrap();
+        for _ in 0..64 {
+            let _ = offer(&worker.queue, &worker.counters, false);
+        }
+        worker.send(Command::Round { max_requests: 64 });
+        let busy = worker.wait().unwrap();
+        worker.send(Command::ForceCollect);
+        let collected = worker.wait().unwrap();
+        assert!(collected.gc_count > busy.gc_count);
+        assert_eq!(collected.processed, 0);
+        worker.join();
+    }
+
+    #[test]
+    fn reclaim_command_prunes_a_leaky_tenant() {
+        let mut worker = TenantWorker::spawn(spec(Box::new(LeakyService::new()))).unwrap();
+        // Push enough leaked sessions that the heap cannot fit the
+        // target without pruning.
+        for _ in 0..4 {
+            for _ in 0..128 {
+                let _ = offer(&worker.queue, &worker.counters, false);
+            }
+            worker.send(Command::Round { max_requests: 128 });
+            worker.wait().unwrap();
+        }
+        worker.send(Command::Reclaim {
+            target_bytes: 8 * 1024,
+        });
+        let report = worker.wait().unwrap();
+        assert!(report.pruned_refs > 0, "reclaim never pruned: {report:?}");
+        assert!(report.used_bytes <= 8 * 1024, "missed target: {report:?}");
+        worker.join();
+    }
+}

@@ -266,6 +266,55 @@ pub enum Event {
         /// Human-readable description of the violation.
         detail: String,
     },
+    /// A multi-tenant host admitted requests into a tenant's queue.
+    /// Aggregated per admission round, emitted only when non-zero.
+    TenantAdmit {
+        /// 0-based host round the admissions happened in.
+        round: u64,
+        /// Tenant name.
+        tenant: String,
+        /// Requests admitted this round.
+        admitted: u64,
+    },
+    /// A multi-tenant host shed requests instead of admitting them.
+    /// Aggregated per admission round, emitted only when non-zero.
+    TenantShed {
+        /// 0-based host round the sheds happened in.
+        round: u64,
+        /// Tenant name.
+        tenant: String,
+        /// Requests rejected because the bounded queue was full.
+        queue_full: u64,
+        /// Requests rejected because the tenant was quarantined.
+        quarantined: u64,
+    },
+    /// The global memory arbiter acted on a tenant (forced a collection,
+    /// forced pruning, quarantined it, or resumed it from quarantine).
+    ArbiterAction {
+        /// 0-based host round the action was taken in.
+        round: u64,
+        /// Tenant the action targeted.
+        tenant: String,
+        /// Stable action tag: `"collect"`, `"prune"`, `"quarantine"` or
+        /// `"resume"`.
+        action: &'static str,
+        /// The tenant's used bytes after the action.
+        used_bytes: u64,
+        /// Aggregate used bytes across all tenants after the action.
+        aggregate_bytes: u64,
+        /// The shared host byte limit the arbiter enforces.
+        limit_bytes: u64,
+    },
+    /// A workload run finished; the terminal companion to the per-step
+    /// [`Event::Iteration`] stream, carrying *why* the run ended so a trace
+    /// is self-describing without the in-process `RunResult`.
+    RunEnd {
+        /// Iterations completed before termination.
+        iterations: u64,
+        /// Stable termination tag: `"reached_cap"`, `"completed"`,
+        /// `"out_of_memory"` or `"pruned_access"`.
+        termination: &'static str,
+    },
 }
 
 impl Event {
@@ -289,6 +338,10 @@ impl Event {
             Event::SnapshotEnd { .. } => "snapshot_end",
             Event::VerifyHeap { .. } => "verify",
             Event::VerifyViolation { .. } => "verify_violation",
+            Event::TenantAdmit { .. } => "tenant_admit",
+            Event::TenantShed { .. } => "tenant_shed",
+            Event::ArbiterAction { .. } => "arbiter",
+            Event::RunEnd { .. } => "run_end",
         }
     }
 }
@@ -511,6 +564,48 @@ impl TraceLine {
                 field("kind", JsonValue::Str(kind.clone()));
                 field("detail", JsonValue::Str(detail.clone()));
             }
+            Event::TenantAdmit {
+                round,
+                tenant,
+                admitted,
+            } => {
+                field("round", JsonValue::from_u64(*round));
+                field("tenant", JsonValue::Str(tenant.clone()));
+                field("admitted", JsonValue::from_u64(*admitted));
+            }
+            Event::TenantShed {
+                round,
+                tenant,
+                queue_full,
+                quarantined,
+            } => {
+                field("round", JsonValue::from_u64(*round));
+                field("tenant", JsonValue::Str(tenant.clone()));
+                field("queue_full", JsonValue::from_u64(*queue_full));
+                field("quarantined", JsonValue::from_u64(*quarantined));
+            }
+            Event::ArbiterAction {
+                round,
+                tenant,
+                action,
+                used_bytes,
+                aggregate_bytes,
+                limit_bytes,
+            } => {
+                field("round", JsonValue::from_u64(*round));
+                field("tenant", JsonValue::Str(tenant.clone()));
+                field("action", JsonValue::Str((*action).to_owned()));
+                field("used", JsonValue::from_u64(*used_bytes));
+                field("aggregate", JsonValue::from_u64(*aggregate_bytes));
+                field("limit", JsonValue::from_u64(*limit_bytes));
+            }
+            Event::RunEnd {
+                iterations,
+                termination,
+            } => {
+                field("iterations", JsonValue::from_u64(*iterations));
+                field("termination", JsonValue::Str((*termination).to_owned()));
+            }
         }
         JsonValue::Obj(obj).to_string()
     }
@@ -653,6 +748,29 @@ impl TraceLine {
                 kind: need_str(&value, "kind")?.to_owned(),
                 detail: need_str(&value, "detail")?.to_owned(),
             },
+            "tenant_admit" => Event::TenantAdmit {
+                round: need_u64(&value, "round")?,
+                tenant: need_str(&value, "tenant")?.to_owned(),
+                admitted: need_u64(&value, "admitted")?,
+            },
+            "tenant_shed" => Event::TenantShed {
+                round: need_u64(&value, "round")?,
+                tenant: need_str(&value, "tenant")?.to_owned(),
+                queue_full: need_u64(&value, "queue_full")?,
+                quarantined: need_u64(&value, "quarantined")?,
+            },
+            "arbiter" => Event::ArbiterAction {
+                round: need_u64(&value, "round")?,
+                tenant: need_str(&value, "tenant")?.to_owned(),
+                action: arbiter_action_name(need_str(&value, "action")?)?,
+                used_bytes: need_u64(&value, "used")?,
+                aggregate_bytes: need_u64(&value, "aggregate")?,
+                limit_bytes: need_u64(&value, "limit")?,
+            },
+            "run_end" => Event::RunEnd {
+                iterations: need_u64(&value, "iterations")?,
+                termination: termination_name(need_str(&value, "termination")?)?,
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok(TraceLine {
@@ -709,6 +827,28 @@ fn state_name(name: &str) -> Result<&'static str, String> {
         "SELECT" => Ok("SELECT"),
         "PRUNE" => Ok("PRUNE"),
         other => Err(format!("unknown state {other:?}")),
+    }
+}
+
+/// Interns a parsed arbiter action tag (see [`Event::ArbiterAction`]).
+fn arbiter_action_name(name: &str) -> Result<&'static str, String> {
+    match name {
+        "collect" => Ok("collect"),
+        "prune" => Ok("prune"),
+        "quarantine" => Ok("quarantine"),
+        "resume" => Ok("resume"),
+        other => Err(format!("unknown arbiter action {other:?}")),
+    }
+}
+
+/// Interns a parsed termination tag (see [`Event::RunEnd`]).
+fn termination_name(name: &str) -> Result<&'static str, String> {
+    match name {
+        "reached_cap" => Ok("reached_cap"),
+        "completed" => Ok("completed"),
+        "out_of_memory" => Ok("out_of_memory"),
+        "pruned_access" => Ok("pruned_access"),
+        other => Err(format!("unknown termination {other:?}")),
     }
 }
 
@@ -842,6 +982,29 @@ mod tests {
             kind: "tag-legality".to_owned(),
             detail: "slot 7 field 0: poison bit set without unlogged bit".to_owned(),
         });
+        round_trip(Event::TenantAdmit {
+            round: 17,
+            tenant: "checkout\"svc\"".to_owned(),
+            admitted: 12,
+        });
+        round_trip(Event::TenantShed {
+            round: 17,
+            tenant: "checkout".to_owned(),
+            queue_full: 3,
+            quarantined: 9,
+        });
+        round_trip(Event::ArbiterAction {
+            round: 18,
+            tenant: "checkout".to_owned(),
+            action: "prune",
+            used_bytes: 40_960,
+            aggregate_bytes: 900_000,
+            limit_bytes: 1_048_576,
+        });
+        round_trip(Event::RunEnd {
+            iterations: 2_000,
+            termination: "pruned_access",
+        });
     }
 
     #[test]
@@ -854,6 +1017,15 @@ mod tests {
         // A state transition naming an unknown state.
         assert!(TraceLine::parse(
             r#"{"seq":1,"ts_ns":2,"ev":"state","gc":1,"from":"LIMBO","to":"SELECT","occupancy":0.5,"expected":0.8,"nearly_full":0.9,"exhausted_once":false}"#
+        )
+        .is_err());
+        // An arbiter action / termination outside the interned tag sets.
+        assert!(TraceLine::parse(
+            r#"{"seq":1,"ts_ns":2,"ev":"arbiter","round":1,"tenant":"a","action":"evict","used":1,"aggregate":2,"limit":3}"#
+        )
+        .is_err());
+        assert!(TraceLine::parse(
+            r#"{"seq":1,"ts_ns":2,"ev":"run_end","iterations":5,"termination":"crashed"}"#
         )
         .is_err());
     }

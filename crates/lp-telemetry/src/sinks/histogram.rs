@@ -88,6 +88,31 @@ impl PauseHistogram {
             .copied()
             .map(Duration::from_nanos)
     }
+
+    /// Folds `other`'s samples into `self`, respecting the sample cap:
+    /// samples that no longer fit count as truncated, and `other`'s own
+    /// truncation count carries over. Percentiles over the merged histogram
+    /// answer host-wide questions ("p95 pause across all tenants") that
+    /// per-tenant histograms cannot. Merging a histogram with itself (same
+    /// shared state) is a no-op rather than a double-count.
+    pub fn merge(&self, other: &PauseHistogram) {
+        if Arc::ptr_eq(&self.samples, &other.samples) {
+            return;
+        }
+        let (pauses, truncated) = {
+            let theirs = other.lock();
+            (theirs.pauses.clone(), theirs.truncated)
+        };
+        let mut mine = self.lock();
+        for pause in pauses {
+            if mine.pauses.len() < MAX_SAMPLES {
+                mine.pauses.push(pause);
+            } else {
+                mine.truncated += 1;
+            }
+        }
+        mine.truncated += truncated;
+    }
 }
 
 impl Sink for PauseHistogram {
@@ -152,6 +177,29 @@ mod tests {
         assert_eq!(view.max(), Some(Duration::from_nanos(1000)));
         assert_eq!(view.percentile(0.0), Some(Duration::from_nanos(100)));
         assert_eq!(view.percentile(1.0), Some(Duration::from_nanos(1000)));
+    }
+
+    #[test]
+    fn merge_combines_samples_and_truncation() {
+        let mut a = PauseHistogram::new();
+        let mut b = PauseHistogram::new();
+        for pause in [100, 200] {
+            a.record(&collection(pause));
+        }
+        for pause in [300, 400, 1000] {
+            b.record(&collection(pause));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.p50(), Some(Duration::from_nanos(300)));
+        assert_eq!(a.max(), Some(Duration::from_nanos(1000)));
+        // b is untouched.
+        assert_eq!(b.count(), 3);
+
+        // Self-merge through a clone must not double-count.
+        let alias = a.clone();
+        a.merge(&alias);
+        assert_eq!(a.count(), 5);
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! Prometheus-style text exposition: the sink folds the event stream into
 //! a small set of counters/gauges and renders them on demand in the
 //! `text/plain; version=0.0.4` format a scraper would ingest.
+//!
+//! Multi-tenant hosts keep one sink per tenant and either fold them into a
+//! host-wide aggregate with [`PrometheusSink::merge`] or render one merged
+//! exposition with an injected `tenant` label via
+//! [`PrometheusSink::merged_exposition`] — both go through the same typed
+//! sample model, so label values are escaped exactly once and `# HELP` /
+//! `# TYPE` headers appear once per family no matter how many tenants
+//! contribute samples.
 
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
@@ -13,7 +21,9 @@ use crate::event::{Event, GcPhase, TraceLine};
 /// `\"` and `\n`. Class names are the labels that need this — real
 /// workloads register names like `java.util.LinkedList$Node` today, but
 /// nothing stops a VM from reporting generics, inner classes or
-/// path-like names containing any of the three.
+/// path-like names containing any of the three — and tenant names
+/// injected by a multi-tenant host are operator input, so they get the
+/// same treatment.
 pub fn escape_label_value(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
     for c in value.chars() {
@@ -27,7 +37,34 @@ pub fn escape_label_value(value: &str) -> String {
     out
 }
 
-#[derive(Debug, Default)]
+/// Exposition metric kind (the `# TYPE` line).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MetricKind {
+    Counter,
+    Gauge,
+}
+
+impl MetricKind {
+    fn tag(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One typed sample: a family (name/help/kind) plus this sample's own
+/// labels and value. The renderers work on these instead of splicing
+/// strings, so injected labels compose with per-sample labels uniformly.
+struct Sample {
+    name: &'static str,
+    help: &'static str,
+    kind: MetricKind,
+    labels: Vec<(&'static str, String)>,
+    value: u64,
+}
+
+#[derive(Debug, Default, Clone)]
 struct Metrics {
     collections_total: u64,
     minor_collections_total: u64,
@@ -58,6 +95,265 @@ struct Metrics {
     state: String,
 }
 
+impl Metrics {
+    /// The snapshot as typed samples, in a fixed family order. Every
+    /// `Metrics` yields the same families in the same order, which is what
+    /// lets the merged renderer zip per-tenant sample lists family by
+    /// family.
+    fn samples(&self) -> Vec<Sample> {
+        let mut out = Vec::with_capacity(32);
+        let mut counter = |name, help, value| {
+            out.push(Sample {
+                name,
+                help,
+                kind: MetricKind::Counter,
+                labels: Vec::new(),
+                value,
+            })
+        };
+        counter(
+            "lp_collections_total",
+            "Full garbage collections performed.",
+            self.collections_total,
+        );
+        counter(
+            "lp_minor_collections_total",
+            "Nursery collections performed.",
+            self.minor_collections_total,
+        );
+        counter(
+            "lp_freed_bytes_total",
+            "Bytes reclaimed by sweeps.",
+            self.freed_bytes_total,
+        );
+        counter(
+            "lp_freed_objects_total",
+            "Objects reclaimed by sweeps.",
+            self.freed_objects_total,
+        );
+        counter(
+            "lp_pruned_refs_total",
+            "References poisoned by PRUNE collections.",
+            self.pruned_refs_total,
+        );
+        counter(
+            "lp_ref_reads_total",
+            "Reference loads through the conditional read barrier.",
+            self.ref_reads_total,
+        );
+        counter(
+            "lp_barrier_cold_hits_total",
+            "Cold-path executions of the read barrier.",
+            self.barrier_cold_hits_total,
+        );
+        counter(
+            "lp_stale_use_updates_total",
+            "Stale-use observations recorded in the edge table.",
+            self.stale_use_updates_total,
+        );
+        counter(
+            "lp_pruned_access_throws_total",
+            "Accesses to poisoned references that threw.",
+            self.pruned_access_throws_total,
+        );
+        counter(
+            "lp_allocations_total",
+            "Objects allocated.",
+            self.allocations_total,
+        );
+        counter(
+            "lp_allocated_bytes_total",
+            "Bytes allocated.",
+            self.allocated_bytes_total,
+        );
+        counter(
+            "lp_heap_exhaustions_total",
+            "Allocation failures after collection.",
+            self.exhaustions_total,
+        );
+        counter(
+            "lp_workload_iterations_total",
+            "Workload driver iterations completed.",
+            self.iterations_total,
+        );
+        counter(
+            "lp_state_transitions_total",
+            "Figure-2 state machine transitions.",
+            self.state_transitions_total,
+        );
+        counter(
+            "lp_selections_total",
+            "SELECT decisions made.",
+            self.selections_total,
+        );
+        counter(
+            "lp_heap_snapshots_total",
+            "Heap snapshots captured.",
+            self.snapshots_total,
+        );
+        counter(
+            "lp_heap_snapshot_nanos_total",
+            "Cumulative wall time spent capturing heap snapshots.",
+            self.snapshot_nanos_total,
+        );
+        counter(
+            "lp_verify_passes_total",
+            "Heap-sanitizer passes run.",
+            self.verify_passes_total,
+        );
+        counter(
+            "lp_verify_nanos_total",
+            "Cumulative wall time spent in heap-sanitizer passes.",
+            self.verify_nanos_total,
+        );
+        counter(
+            "lp_verify_violations_total",
+            "Heap invariant violations reported by the sanitizer.",
+            self.verify_violations_total,
+        );
+        // Labeled family: HELP/TYPE once, one sample per label set.
+        for (phase, nanos) in [
+            ("mark", self.mark_nanos_total),
+            ("sweep", self.sweep_nanos_total),
+        ] {
+            out.push(Sample {
+                name: "lp_gc_phase_nanos_total",
+                help: "Cumulative wall time per GC phase in nanoseconds.",
+                kind: MetricKind::Counter,
+                labels: vec![("phase", phase.to_owned())],
+                value: nanos,
+            });
+        }
+        let mut gauge = |name, help, value| {
+            out.push(Sample {
+                name,
+                help,
+                kind: MetricKind::Gauge,
+                labels: Vec::new(),
+                value,
+            })
+        };
+        gauge(
+            "lp_live_bytes",
+            "Live bytes after the most recent collection.",
+            self.live_bytes,
+        );
+        gauge(
+            "lp_live_objects",
+            "Live objects after the most recent collection.",
+            self.live_objects,
+        );
+        gauge(
+            "lp_edge_types",
+            "Live entries in the edge table.",
+            self.edge_types,
+        );
+        gauge(
+            "lp_edge_table_footprint_bytes",
+            "Edge table footprint in bytes.",
+            self.edge_table_footprint_bytes,
+        );
+        for state in ["INACTIVE", "OBSERVE", "SELECT", "PRUNE"] {
+            out.push(Sample {
+                name: "lp_pruning_state",
+                help: "1 for the current Figure-2 state, 0 otherwise.",
+                kind: MetricKind::Gauge,
+                labels: vec![("state", state.to_owned())],
+                value: u64::from(self.state == state),
+            });
+        }
+        out
+    }
+
+    /// Folds `other` into `self`: counters and byte/object gauges sum; the
+    /// state label keeps `self`'s value unless it was never set (an
+    /// aggregate of several state machines has no single state — callers
+    /// that need per-tenant states should use
+    /// [`PrometheusSink::merged_exposition`] instead).
+    fn merge_from(&mut self, other: &Metrics) {
+        self.collections_total += other.collections_total;
+        self.minor_collections_total += other.minor_collections_total;
+        self.mark_nanos_total += other.mark_nanos_total;
+        self.sweep_nanos_total += other.sweep_nanos_total;
+        self.live_bytes += other.live_bytes;
+        self.live_objects += other.live_objects;
+        self.freed_bytes_total += other.freed_bytes_total;
+        self.freed_objects_total += other.freed_objects_total;
+        self.pruned_refs_total += other.pruned_refs_total;
+        self.ref_reads_total += other.ref_reads_total;
+        self.barrier_cold_hits_total += other.barrier_cold_hits_total;
+        self.stale_use_updates_total += other.stale_use_updates_total;
+        self.pruned_access_throws_total += other.pruned_access_throws_total;
+        self.allocations_total += other.allocations_total;
+        self.allocated_bytes_total += other.allocated_bytes_total;
+        self.exhaustions_total += other.exhaustions_total;
+        self.iterations_total += other.iterations_total;
+        self.state_transitions_total += other.state_transitions_total;
+        self.selections_total += other.selections_total;
+        self.snapshots_total += other.snapshots_total;
+        self.snapshot_nanos_total += other.snapshot_nanos_total;
+        self.verify_passes_total += other.verify_passes_total;
+        self.verify_nanos_total += other.verify_nanos_total;
+        self.verify_violations_total += other.verify_violations_total;
+        self.edge_types += other.edge_types;
+        self.edge_table_footprint_bytes += other.edge_table_footprint_bytes;
+        if self.state.is_empty() {
+            self.state = other.state.clone();
+        }
+    }
+}
+
+/// A group of samples with the label set to prepend to each of them.
+type SampleGroup<'a> = (Vec<(&'a str, &'a str)>, Vec<Sample>);
+
+/// Renders sample groups family-major: `# HELP`/`# TYPE` once per family
+/// (in the order the first group introduces them), then every group's
+/// samples for that family with the group's extra labels prepended. All
+/// label values are escaped here, in one place.
+fn render_groups(groups: &[SampleGroup<'_>]) -> String {
+    let mut order: Vec<&'static str> = Vec::new();
+    for (_, samples) in groups {
+        for sample in samples {
+            if !order.contains(&sample.name) {
+                order.push(sample.name);
+            }
+        }
+    }
+    let mut out = String::new();
+    for name in order {
+        let Some(first) = groups
+            .iter()
+            .flat_map(|(_, s)| s.iter())
+            .find(|s| s.name == name)
+        else {
+            continue;
+        };
+        let _ = writeln!(out, "# HELP {name} {}", first.help);
+        let _ = writeln!(out, "# TYPE {name} {}", first.kind.tag());
+        for (extra, samples) in groups {
+            for sample in samples.iter().filter(|s| s.name == name) {
+                let mut labels = String::new();
+                for (k, v) in extra
+                    .iter()
+                    .map(|(k, v)| (*k, (*v).to_owned()))
+                    .chain(sample.labels.iter().map(|(k, v)| (*k, v.clone())))
+                {
+                    if !labels.is_empty() {
+                        labels.push(',');
+                    }
+                    let _ = write!(labels, "{k}=\"{}\"", escape_label_value(&v));
+                }
+                if labels.is_empty() {
+                    let _ = writeln!(out, "{name} {}", sample.value);
+                } else {
+                    let _ = writeln!(out, "{name}{{{labels}}} {}", sample.value);
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Aggregating sink whose [`render`](PrometheusSink::render) produces a
 /// Prometheus text-exposition snapshot. Clones share state, so keep one
 /// clone to render from while the bus owns the other.
@@ -72,173 +368,53 @@ impl PrometheusSink {
         PrometheusSink::default()
     }
 
+    fn snapshot(&self) -> Metrics {
+        match self.metrics.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
     /// Renders the current snapshot in Prometheus text exposition format.
     pub fn render(&self) -> String {
-        let m = match self.metrics.lock() {
+        render_groups(&[(Vec::new(), self.snapshot().samples())])
+    }
+
+    /// Renders the current snapshot with `labels` injected into every
+    /// sample (before each sample's own labels). Values are escaped; use
+    /// this to expose one tenant's metrics as e.g.
+    /// `lp_live_bytes{tenant="checkout"}`.
+    pub fn render_labeled(&self, labels: &[(&str, &str)]) -> String {
+        render_groups(&[(labels.to_vec(), self.snapshot().samples())])
+    }
+
+    /// Folds `other`'s counters and gauges into `self` (summing; see
+    /// `Metrics::merge_from` for the state label). Merging a sink with
+    /// itself (same shared state) is a no-op rather than a double-count.
+    pub fn merge(&self, other: &PrometheusSink) {
+        if Arc::ptr_eq(&self.metrics, &other.metrics) {
+            return;
+        }
+        let theirs = other.snapshot();
+        let mut mine = match self.metrics.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         };
-        let mut out = String::new();
-        let mut counter = |name: &str, help: &str, value: u64| {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {value}");
-        };
-        counter(
-            "lp_collections_total",
-            "Full garbage collections performed.",
-            m.collections_total,
-        );
-        counter(
-            "lp_minor_collections_total",
-            "Nursery collections performed.",
-            m.minor_collections_total,
-        );
-        counter(
-            "lp_freed_bytes_total",
-            "Bytes reclaimed by sweeps.",
-            m.freed_bytes_total,
-        );
-        counter(
-            "lp_freed_objects_total",
-            "Objects reclaimed by sweeps.",
-            m.freed_objects_total,
-        );
-        counter(
-            "lp_pruned_refs_total",
-            "References poisoned by PRUNE collections.",
-            m.pruned_refs_total,
-        );
-        counter(
-            "lp_ref_reads_total",
-            "Reference loads through the conditional read barrier.",
-            m.ref_reads_total,
-        );
-        counter(
-            "lp_barrier_cold_hits_total",
-            "Cold-path executions of the read barrier.",
-            m.barrier_cold_hits_total,
-        );
-        counter(
-            "lp_stale_use_updates_total",
-            "Stale-use observations recorded in the edge table.",
-            m.stale_use_updates_total,
-        );
-        counter(
-            "lp_pruned_access_throws_total",
-            "Accesses to poisoned references that threw.",
-            m.pruned_access_throws_total,
-        );
-        counter(
-            "lp_allocations_total",
-            "Objects allocated.",
-            m.allocations_total,
-        );
-        counter(
-            "lp_allocated_bytes_total",
-            "Bytes allocated.",
-            m.allocated_bytes_total,
-        );
-        counter(
-            "lp_heap_exhaustions_total",
-            "Allocation failures after collection.",
-            m.exhaustions_total,
-        );
-        counter(
-            "lp_workload_iterations_total",
-            "Workload driver iterations completed.",
-            m.iterations_total,
-        );
-        counter(
-            "lp_state_transitions_total",
-            "Figure-2 state machine transitions.",
-            m.state_transitions_total,
-        );
-        counter(
-            "lp_selections_total",
-            "SELECT decisions made.",
-            m.selections_total,
-        );
-        counter(
-            "lp_heap_snapshots_total",
-            "Heap snapshots captured.",
-            m.snapshots_total,
-        );
-        counter(
-            "lp_heap_snapshot_nanos_total",
-            "Cumulative wall time spent capturing heap snapshots.",
-            m.snapshot_nanos_total,
-        );
-        counter(
-            "lp_verify_passes_total",
-            "Heap-sanitizer passes run.",
-            m.verify_passes_total,
-        );
-        counter(
-            "lp_verify_nanos_total",
-            "Cumulative wall time spent in heap-sanitizer passes.",
-            m.verify_nanos_total,
-        );
-        counter(
-            "lp_verify_violations_total",
-            "Heap invariant violations reported by the sanitizer.",
-            m.verify_violations_total,
-        );
-        // Labeled family: HELP/TYPE once, one sample per label set.
-        let _ = writeln!(
-            out,
-            "# HELP lp_gc_phase_nanos_total Cumulative wall time per GC phase in nanoseconds."
-        );
-        let _ = writeln!(out, "# TYPE lp_gc_phase_nanos_total counter");
-        let _ = writeln!(
-            out,
-            "lp_gc_phase_nanos_total{{phase=\"mark\"}} {}",
-            m.mark_nanos_total
-        );
-        let _ = writeln!(
-            out,
-            "lp_gc_phase_nanos_total{{phase=\"sweep\"}} {}",
-            m.sweep_nanos_total
-        );
-        let mut gauge = |name: &str, help: &str, value: u64| {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {value}");
-        };
-        gauge(
-            "lp_live_bytes",
-            "Live bytes after the most recent collection.",
-            m.live_bytes,
-        );
-        gauge(
-            "lp_live_objects",
-            "Live objects after the most recent collection.",
-            m.live_objects,
-        );
-        gauge(
-            "lp_edge_types",
-            "Live entries in the edge table.",
-            m.edge_types,
-        );
-        gauge(
-            "lp_edge_table_footprint_bytes",
-            "Edge table footprint in bytes.",
-            m.edge_table_footprint_bytes,
-        );
-        let _ = writeln!(
-            out,
-            "# HELP lp_pruning_state 1 for the current Figure-2 state, 0 otherwise."
-        );
-        let _ = writeln!(out, "# TYPE lp_pruning_state gauge");
-        for state in ["INACTIVE", "OBSERVE", "SELECT", "PRUNE"] {
-            let active = u64::from(m.state == state);
-            let _ = writeln!(
-                out,
-                "lp_pruning_state{{state=\"{}\"}} {active}",
-                escape_label_value(state)
-            );
-        }
-        out
+        mine.merge_from(&theirs);
+    }
+
+    /// Renders one exposition from several per-tenant sinks, injecting the
+    /// given label (typically `"tenant"`) with each sink's value. `# HELP`
+    /// and `# TYPE` appear once per family; every sample of every tenant
+    /// carries its tenant label, so per-tenant states and counters stay
+    /// distinguishable — the exposition a multi-tenant host's `/metrics`
+    /// endpoint serves.
+    pub fn merged_exposition(label: &str, parts: &[(&str, &PrometheusSink)]) -> String {
+        let groups: Vec<SampleGroup<'_>> = parts
+            .iter()
+            .map(|(value, sink)| (vec![(label, *value)], sink.snapshot().samples()))
+            .collect();
+        render_groups(&groups)
     }
 }
 
@@ -316,11 +492,18 @@ impl Sink for PrometheusSink {
                 m.verify_nanos_total += nanos;
                 m.verify_violations_total += violations;
             }
+            // Host-plane events (admission, arbitration, run terminations)
+            // are counted by the host's own exposition, not the per-tenant
+            // runtime sink.
             Event::ClassReg { .. }
             | Event::PhaseBegin { .. }
             | Event::Freed { .. }
             | Event::SnapshotBegin { .. }
-            | Event::VerifyViolation { .. } => {}
+            | Event::VerifyViolation { .. }
+            | Event::TenantAdmit { .. }
+            | Event::TenantShed { .. }
+            | Event::ArbiterAction { .. }
+            | Event::RunEnd { .. } => {}
         }
     }
 }
@@ -334,6 +517,20 @@ mod tests {
             seq,
             ts_nanos: seq,
             event,
+        }
+    }
+
+    fn collection(live_bytes: u64, state: &str) -> Event {
+        Event::Collection {
+            gc_index: 1,
+            state: state.to_owned(),
+            live_bytes_after: live_bytes,
+            live_objects_after: 10,
+            freed_bytes: 512,
+            freed_objects: 2,
+            pruned_refs: 1,
+            mark_nanos: 10,
+            sweep_nanos: 20,
         }
     }
 
@@ -380,6 +577,7 @@ mod tests {
         assert!(text.contains("lp_allocated_bytes_total 100"));
         assert!(text.contains("lp_pruning_state{state=\"SELECT\"} 1"));
         assert!(text.contains("lp_pruning_state{state=\"OBSERVE\"} 0"));
+        assert!(text.contains("lp_gc_phase_nanos_total{phase=\"mark\"} 0"));
         assert!(text.contains("# TYPE lp_live_bytes gauge"));
         assert!(text.contains("# TYPE lp_collections_total counter"));
     }
@@ -418,5 +616,82 @@ mod tests {
         assert_eq!(escape_label_value("Map<K,V>[]"), "Map<K,V>[]");
         // All three at once, in order.
         assert_eq!(escape_label_value("\"\\\n"), r#"\"\\\n"#);
+    }
+
+    #[test]
+    fn render_labeled_injects_and_escapes_the_tenant_label() {
+        let mut sink = PrometheusSink::new();
+        sink.record(&line(0, collection(4096, "OBSERVE")));
+        sink.record(&line(
+            1,
+            Event::PhaseEnd {
+                gc_index: 1,
+                phase: GcPhase::Mark,
+                nanos: 10,
+                threads: 1,
+                busy_nanos: 10,
+            },
+        ));
+        let text = sink.render_labeled(&[("tenant", "a\"b\\c\nd")]);
+        // The injected value is escaped once, exactly.
+        assert!(
+            text.contains(r#"lp_live_bytes{tenant="a\"b\\c\nd"} 4096"#),
+            "{text}"
+        );
+        // Injected labels compose with per-sample labels.
+        assert!(text.contains(r#"lp_pruning_state{tenant="a\"b\\c\nd",state="OBSERVE"} 1"#));
+        assert!(text.contains(r#"lp_gc_phase_nanos_total{tenant="a\"b\\c\nd",phase="mark"} 10"#));
+        // Headers are unlabeled.
+        assert!(text.contains("# TYPE lp_live_bytes gauge"));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_is_self_merge_safe() {
+        let mut a = PrometheusSink::new();
+        let mut b = PrometheusSink::new();
+        a.record(&line(0, collection(1000, "OBSERVE")));
+        b.record(&line(0, collection(2000, "SELECT")));
+        b.record(&line(
+            1,
+            Event::Alloc {
+                class: 1,
+                bytes: 64,
+            },
+        ));
+        a.merge(&b);
+        let text = a.render();
+        assert!(text.contains("lp_collections_total 2"), "{text}");
+        assert!(text.contains("lp_live_bytes 3000"));
+        assert!(text.contains("lp_freed_bytes_total 1024"));
+        assert!(text.contains("lp_allocations_total 1"));
+        // The aggregate keeps self's state label.
+        assert!(text.contains("lp_pruning_state{state=\"OBSERVE\"} 1"));
+
+        // Merging a clone (shared state) must not double-count.
+        let alias = a.clone();
+        a.merge(&alias);
+        assert!(a.render().contains("lp_collections_total 2"));
+    }
+
+    #[test]
+    fn merged_exposition_emits_help_once_and_labels_every_sample() {
+        let mut a = PrometheusSink::new();
+        let mut b = PrometheusSink::new();
+        a.record(&line(0, collection(1000, "OBSERVE")));
+        b.record(&line(0, collection(2000, "PRUNE")));
+        let text =
+            PrometheusSink::merged_exposition("tenant", &[("checkout", &a), ("search\"2\"", &b)]);
+        assert_eq!(text.matches("# HELP lp_live_bytes ").count(), 1);
+        assert_eq!(text.matches("# TYPE lp_live_bytes gauge").count(), 1);
+        assert!(text.contains("lp_live_bytes{tenant=\"checkout\"} 1000"));
+        assert!(text.contains(r#"lp_live_bytes{tenant="search\"2\""} 2000"#));
+        // Per-tenant states survive, unlike a summed merge.
+        assert!(text.contains("lp_pruning_state{tenant=\"checkout\",state=\"OBSERVE\"} 1"));
+        assert!(text.contains(r#"lp_pruning_state{tenant="search\"2\"",state="PRUNE"} 1"#));
+        // Families stay contiguous: each family header appears before any
+        // sample of the next family.
+        let help_count = text.matches("# HELP ").count();
+        let type_count = text.matches("# TYPE ").count();
+        assert_eq!(help_count, type_count);
     }
 }

@@ -92,6 +92,17 @@ impl Termination {
             Termination::PrunedAccess => "accessed pruned reference",
         }
     }
+
+    /// Stable snake_case tag carried by the terminal [`Event::RunEnd`]
+    /// trace event (and validated by its parser).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Termination::ReachedCap => "reached_cap",
+            Termination::Completed => "completed",
+            Termination::OutOfMemory => "out_of_memory",
+            Termination::PrunedAccess => "pruned_access",
+        }
+    }
 }
 
 /// Options for one run.
@@ -262,6 +273,13 @@ pub fn run_workload_with(
         Err(RuntimeError::OutOfMemory(_)) => termination = Termination::OutOfMemory,
         Err(RuntimeError::PrunedAccess(_)) => termination = Termination::PrunedAccess,
     }
+
+    // The terminal companion to the Iteration stream: a trace alone says
+    // why the run ended, not just that events stopped.
+    rt.telemetry().emit(|| Event::RunEnd {
+        iterations,
+        termination: termination.tag(),
+    });
 
     RunResult {
         workload: workload.name().to_owned(),

@@ -36,7 +36,9 @@
 pub mod dacapo;
 pub mod driver;
 pub mod leaks;
+pub mod service;
 
 pub use driver::{
     run_workload, run_workload_with, Flavor, RunOptions, RunResult, Termination, Workload,
 };
+pub use service::{HealthyService, LeakyService, Service, ServiceWorkload};

@@ -1,0 +1,263 @@
+//! Request-shaped workload steps for a multi-tenant serving host.
+//!
+//! The paper's evaluation (§6) runs *server-style* programs — long-lived
+//! processes handling a stream of requests, some of which leak a little
+//! per request. A [`Service`] is that shape: [`Service::handle`] performs
+//! the heap work of one request, so a host can meter work in requests
+//! (admission, queue depth, service rate) instead of bare iterations.
+//! [`ServiceWorkload`] adapts any service back to the [`Workload`] driver
+//! for single-process runs.
+
+use leak_pruning::{Runtime, RuntimeError};
+use lp_heap::{AllocSpec, ClassId, StaticId};
+
+use crate::driver::Workload;
+
+/// A request-handling program: one [`Service::handle`] call is the heap
+/// work of one admitted request.
+pub trait Service: Send {
+    /// Service name (doubles as the default tenant name).
+    fn name(&self) -> &str;
+
+    /// The heap this service would be provisioned with on its own.
+    fn default_heap(&self) -> u64;
+
+    /// One-time setup (register classes, create long-lived structures).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (e.g. the heap cannot hold the initial
+    /// structures).
+    fn setup(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError>;
+
+    /// Handles request number `request` (a monotonically increasing,
+    /// per-tenant sequence number).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors; the host marks the tenant failed.
+    fn handle(&mut self, rt: &mut Runtime, request: u64) -> Result<(), RuntimeError>;
+}
+
+/// A service that leaks a session record per request: each record is
+/// chained into a registry reachable from a static root and never read
+/// again — the paper's "forgotten reference" shape, so the records go
+/// stale and leak pruning can reclaim them. Scratch allocations model the
+/// request's transient working set.
+pub struct LeakyService {
+    record: Option<ClassId>,
+    scratch: Option<ClassId>,
+    head: Option<StaticId>,
+    record_bytes: u32,
+    scratch_bytes: u32,
+}
+
+impl LeakyService {
+    /// A leaky service with 256-byte leaked records and 1 KiB of scratch
+    /// per request.
+    pub fn new() -> LeakyService {
+        LeakyService::with_sizes(256, 1024)
+    }
+
+    /// A leaky service leaking `record_bytes` and churning `scratch_bytes`
+    /// per request.
+    pub fn with_sizes(record_bytes: u32, scratch_bytes: u32) -> LeakyService {
+        LeakyService {
+            record: None,
+            scratch: None,
+            head: None,
+            record_bytes,
+            scratch_bytes,
+        }
+    }
+}
+
+impl Default for LeakyService {
+    fn default() -> Self {
+        LeakyService::new()
+    }
+}
+
+impl Service for LeakyService {
+    fn name(&self) -> &str {
+        "LeakySessionService"
+    }
+
+    fn default_heap(&self) -> u64 {
+        256 * 1024
+    }
+
+    fn setup(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        self.record = Some(rt.register_class("session.Record"));
+        self.scratch = Some(rt.register_class("request.Scratch"));
+        self.head = Some(rt.add_static());
+        Ok(())
+    }
+
+    fn handle(&mut self, rt: &mut Runtime, _request: u64) -> Result<(), RuntimeError> {
+        let (Some(record), Some(scratch), Some(head)) = (self.record, self.scratch, self.head)
+        else {
+            return Ok(());
+        };
+        // Chain the new record in front of the registry and forget it.
+        let n = rt.alloc(record, &AllocSpec::new(1, 0, self.record_bytes))?;
+        rt.write_field(n, 0, rt.static_ref(head));
+        rt.set_static(head, Some(n));
+        // Transient working set, dead as soon as the request finishes.
+        rt.alloc(scratch, &AllocSpec::leaf(self.scratch_bytes))?;
+        Ok(())
+    }
+}
+
+/// A service with a bounded working set: sessions live in a fixed-size
+/// table, each request overwrites the oldest slot (making the evicted
+/// session garbage) and reads a neighbour back through the read barrier.
+/// Its heap usage plateaus at `window` live sessions — the control group
+/// next to [`LeakyService`] in multi-tenant scenarios.
+pub struct HealthyService {
+    session: Option<ClassId>,
+    table_class: Option<ClassId>,
+    table: Option<StaticId>,
+    window: u32,
+    session_bytes: u32,
+}
+
+impl HealthyService {
+    /// A healthy service with a 32-session window of 512-byte sessions.
+    pub fn new() -> HealthyService {
+        HealthyService::with_shape(32, 512)
+    }
+
+    /// A healthy service keeping the last `window` sessions of
+    /// `session_bytes` each alive.
+    pub fn with_shape(window: u32, session_bytes: u32) -> HealthyService {
+        HealthyService {
+            session: None,
+            table_class: None,
+            table: None,
+            window: window.max(1),
+            session_bytes,
+        }
+    }
+}
+
+impl Default for HealthyService {
+    fn default() -> Self {
+        HealthyService::new()
+    }
+}
+
+impl Service for HealthyService {
+    fn name(&self) -> &str {
+        "HealthySessionService"
+    }
+
+    fn default_heap(&self) -> u64 {
+        256 * 1024
+    }
+
+    fn setup(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        self.session = Some(rt.register_class("session.Session"));
+        let table_class = rt.register_class("session.Table");
+        self.table_class = Some(table_class);
+        let root = rt.add_static();
+        self.table = Some(root);
+        let table = rt.alloc(table_class, &AllocSpec::with_refs(self.window))?;
+        rt.set_static(root, Some(table));
+        Ok(())
+    }
+
+    fn handle(&mut self, rt: &mut Runtime, request: u64) -> Result<(), RuntimeError> {
+        let (Some(session), Some(root)) = (self.session, self.table) else {
+            return Ok(());
+        };
+        let Some(table) = rt.static_ref(root) else {
+            return Ok(());
+        };
+        let slot = (request % u64::from(self.window)) as usize;
+        let s = rt.alloc(session, &AllocSpec::leaf(self.session_bytes))?;
+        // Overwriting evicts the session stored `window` requests ago.
+        rt.write_field(table, slot, Some(s));
+        // Touch the previous slot through the read barrier, so this
+        // service's references never go stale enough to select.
+        let neighbour = (slot + 1) % self.window as usize;
+        let _ = rt.read_field(table, neighbour)?;
+        Ok(())
+    }
+}
+
+/// Adapts a [`Service`] to the iteration [`Workload`] driver: iteration
+/// `i` handles request `i`. Lets the single-process driver, its
+/// termination taxonomy and the trace tooling run request-shaped programs
+/// unchanged.
+pub struct ServiceWorkload<S: Service> {
+    service: S,
+}
+
+impl<S: Service> ServiceWorkload<S> {
+    /// Wraps `service` as a workload.
+    pub fn new(service: S) -> ServiceWorkload<S> {
+        ServiceWorkload { service }
+    }
+}
+
+impl<S: Service> Workload for ServiceWorkload<S> {
+    fn name(&self) -> &str {
+        self.service.name()
+    }
+
+    fn default_heap(&self) -> u64 {
+        self.service.default_heap()
+    }
+
+    fn setup(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        self.service.setup(rt)
+    }
+
+    fn iterate(&mut self, rt: &mut Runtime, iteration: u64) -> Result<(), RuntimeError> {
+        self.service.handle(rt, iteration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_workload, Flavor, RunOptions, Termination};
+
+    #[test]
+    fn leaky_service_oomes_under_base_and_survives_under_pruning() {
+        let opts = RunOptions::new(Flavor::Base).iteration_cap(5_000);
+        let base = run_workload(&mut ServiceWorkload::new(LeakyService::new()), &opts);
+        assert_eq!(base.termination, Termination::OutOfMemory);
+
+        let opts = RunOptions::new(Flavor::pruning()).iteration_cap(5_000);
+        let pruned = run_workload(&mut ServiceWorkload::new(LeakyService::new()), &opts);
+        assert_eq!(pruned.termination, Termination::ReachedCap);
+        assert!(pruned.report.total_pruned_refs > 0);
+        assert!(pruned.iterations > base.iterations);
+    }
+
+    #[test]
+    fn healthy_service_stays_bounded_without_pruning() {
+        let opts = RunOptions::new(Flavor::Base).iteration_cap(5_000);
+        let result = run_workload(&mut ServiceWorkload::new(HealthyService::new()), &opts);
+        assert_eq!(result.termination, Termination::ReachedCap);
+        assert_eq!(result.iterations, 5_000);
+        assert_eq!(result.report.total_pruned_refs, 0);
+    }
+
+    #[test]
+    fn healthy_service_working_set_matches_its_window() {
+        let mut svc = HealthyService::with_shape(8, 1024);
+        let mut rt = Runtime::new(leak_pruning::PruningConfig::base(1 << 20));
+        svc.setup(&mut rt).unwrap();
+        for i in 0..500 {
+            svc.handle(&mut rt, i).unwrap();
+            rt.release_registers();
+        }
+        rt.force_gc();
+        // Table + at most `window` live sessions survive a collection.
+        let live = rt.used_bytes();
+        assert!(live < 16 * 1024, "healthy working set grew: {live} bytes");
+    }
+}

@@ -57,6 +57,21 @@ fn jsonl_trace_replays_the_in_process_history_exactly() {
     // the driver recorded in process.
     let replayed = trace.reachable_memory("replay");
     assert_eq!(replayed.points(), result.reachable_memory.points());
+
+    // The trace is self-describing about *why* the run ended: its final
+    // event is the terminal RunEnd companion, matching the in-process
+    // RunResult.
+    let last = trace.lines().last().expect("trace has events");
+    match &last.event {
+        Event::RunEnd {
+            iterations,
+            termination,
+        } => {
+            assert_eq!(*iterations, result.iterations);
+            assert_eq!(*termination, result.termination.tag());
+        }
+        other => panic!("trace must end with run_end, got {other:?}"),
+    }
 }
 
 #[test]
