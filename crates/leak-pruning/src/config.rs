@@ -99,6 +99,7 @@ pub struct PruningConfig {
     census_period: Option<u64>,
     snapshot_on_exhaustion: Option<PathBuf>,
     verify_period: Option<u64>,
+    incremental_mark_budget: Option<usize>,
 }
 
 impl PruningConfig {
@@ -130,6 +131,7 @@ impl PruningConfig {
                 } else {
                     None
                 },
+                incremental_mark_budget: None,
             },
         }
     }
@@ -256,6 +258,17 @@ impl PruningConfig {
     /// under the sanitizer) and off in release builds.
     pub fn verify_period(&self) -> Option<u64> {
         self.verify_period
+    }
+
+    /// If set, INACTIVE and OBSERVE full-heap collections mark
+    /// incrementally: the transitive closure runs in bounded quanta of at
+    /// most this many objects, interleaved with mutator work between
+    /// allocations, with only a short stop-the-world flush and sweep at the
+    /// end. SELECT and PRUNE collections stay fully stop-the-world (their
+    /// selection needs an atomic view of staleness). Off by default — the
+    /// paper's collector is stop-the-world.
+    pub fn incremental_mark_budget(&self) -> Option<usize> {
+        self.incremental_mark_budget
     }
 }
 
@@ -437,6 +450,19 @@ impl PruningConfigBuilder {
         self
     }
 
+    /// Marks INACTIVE/OBSERVE full-heap collections incrementally, at most
+    /// `budget` objects per quantum (see
+    /// [`PruningConfig::incremental_mark_budget`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn incremental_mark(mut self, budget: usize) -> Self {
+        assert!(budget > 0, "mark quantum budget must be positive");
+        self.config.incremental_mark_budget = Some(budget);
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> PruningConfig {
         self.config
@@ -462,6 +488,7 @@ mod tests {
         assert_eq!(c.flight_recorder_slots(), None);
         assert_eq!(c.census_period(), None);
         assert_eq!(c.snapshot_on_exhaustion(), None);
+        assert_eq!(c.incremental_mark_budget(), None);
         // The sanitizer guards every debug-build collection; release builds
         // pay nothing unless asked.
         let expected = if cfg!(debug_assertions) {
@@ -484,6 +511,18 @@ mod tests {
     #[should_panic(expected = "verify period must be positive")]
     fn verify_rejects_zero() {
         PruningConfig::builder(1).verify_every(0);
+    }
+
+    #[test]
+    fn incremental_mark_knob_round_trips() {
+        let c = PruningConfig::builder(1024).incremental_mark(512).build();
+        assert_eq!(c.incremental_mark_budget(), Some(512));
+    }
+
+    #[test]
+    #[should_panic(expected = "mark quantum budget must be positive")]
+    fn incremental_mark_rejects_zero() {
+        PruningConfig::builder(1).incremental_mark(0);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! deferred out-of-memory error.
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
-use lp_gc::{trace, CollectionOutcome, Collector, TraceAll};
+use lp_gc::{trace, CollectionOutcome, Collector, IncrementalMarker, QuantumReport, TraceAll};
 use lp_heap::{Heap, RootSet};
 use lp_telemetry::{EdgeShare, Event, Telemetry};
 
@@ -43,9 +44,28 @@ pub(crate) struct Pruner {
     stale_clock: u64,
     decay_period: Option<u64>,
     select_collections: u64,
+    /// The in-flight incremental mark cycle, if one is active. Only
+    /// INACTIVE and OBSERVE collections run incrementally; SELECT and
+    /// PRUNE need an atomic view of staleness and stay stop-the-world.
+    cycle: Option<IncrementalCycle>,
     /// Shared event bus (the runtime's); state transitions, SELECT
     /// decisions and exhaustion events go out on it.
     telemetry: Telemetry,
+}
+
+/// State of one in-flight incremental full collection: the marker's
+/// worklist plus everything [`Pruner::collect`] would otherwise compute at
+/// a single stop-the-world point — the state and staleness clock are
+/// snapshotted at cycle start so every quantum observes with the same
+/// clock, and the collection is attributed to the state it *began* in.
+struct IncrementalCycle {
+    marker: IncrementalMarker,
+    state: State,
+    observing: bool,
+    stale_clock: Option<u64>,
+    gc_index: u64,
+    /// Accumulated marking wall time across the start scan and quanta.
+    mark_time: Duration,
 }
 
 impl Pruner {
@@ -68,6 +88,7 @@ impl Pruner {
             stale_clock: 0,
             decay_period: config.decay_max_stale_use_every(),
             select_collections: 0,
+            cycle: None,
             telemetry,
         }
     }
@@ -197,12 +218,15 @@ impl Pruner {
             }
         };
 
-        self.advance_state(state, heap, outcome.gc_index);
+        // Full collections always carry an index; `None` is the minor
+        // collector's marker and never reaches this path.
+        let gc_index = outcome.gc_index.unwrap_or_default();
+        self.advance_state(state, heap, gc_index);
 
         let mut outcome = outcome;
         let finalized = std::mem::take(&mut outcome.swept.finalized);
         let record = GcRecord {
-            gc_index: outcome.gc_index,
+            gc_index,
             state,
             live_bytes_after: outcome.live_bytes_after,
             live_objects_after: outcome.live_objects_after,
@@ -212,8 +236,138 @@ impl Pruner {
             selected,
             mark_time: outcome.mark_time,
             sweep_time: outcome.sweep_time,
+            flush_time: None,
         };
         (record, finalized)
+    }
+
+    /// Whether an incremental mark cycle is in flight.
+    pub fn incremental_active(&self) -> bool {
+        self.cycle.is_some()
+    }
+
+    /// Starts an incremental full collection if the current state admits
+    /// one: snapshots the state and staleness clock, opens the mark epoch,
+    /// activates the SATB log, and marks the roots grey. Returns `false`
+    /// (and starts nothing) in SELECT or PRUNE, whose closures need an
+    /// atomic view of staleness — the caller falls back to
+    /// [`Pruner::collect`].
+    pub fn begin_incremental_cycle(
+        &mut self,
+        heap: &mut Heap,
+        roots: &RootSet,
+        collector: &mut Collector,
+        budget: usize,
+        mutator_ran: bool,
+    ) -> bool {
+        debug_assert!(self.cycle.is_none(), "incremental cycle already active");
+        let state = self.state;
+        if self.pruning_enabled && matches!(state, State::Select | State::Prune) {
+            return false;
+        }
+        let observing = self.pruning_enabled && state == State::Observe;
+        let stale_clock = if mutator_ran {
+            self.stale_clock += 1;
+            Some(self.stale_clock)
+        } else {
+            None
+        };
+        let gc_index = collector.begin_incremental(heap);
+        let started = Instant::now();
+        let marker = if observing {
+            let mut visitor = ObserveVisitor { stale_clock };
+            IncrementalMarker::start(heap, roots, budget, &mut visitor)
+        } else {
+            IncrementalMarker::start(heap, roots, budget, &mut TraceAll)
+        };
+        self.cycle = Some(IncrementalCycle {
+            marker,
+            state,
+            observing,
+            stale_clock,
+            gc_index,
+            mark_time: started.elapsed(),
+        });
+        true
+    }
+
+    /// Runs one bounded mark quantum of the active cycle and emits its
+    /// telemetry. `None` with no active cycle; the report's `done` flag
+    /// says the worklist is drained and [`Pruner::finish_cycle`] can run.
+    pub fn cycle_quantum(&mut self, heap: &mut Heap) -> Option<QuantumReport> {
+        let cycle = self.cycle.as_mut()?;
+        let started = Instant::now();
+        let report = if cycle.observing {
+            let mut visitor = ObserveVisitor {
+                stale_clock: cycle.stale_clock,
+            };
+            cycle.marker.quantum(heap, &mut visitor)
+        } else {
+            cycle.marker.quantum(heap, &mut TraceAll)
+        };
+        let elapsed = started.elapsed();
+        cycle.mark_time += elapsed;
+        let gc_index = cycle.gc_index;
+        self.telemetry.emit(|| Event::MarkQuantum {
+            gc_index,
+            objects: report.objects,
+            bytes: report.bytes,
+            satb_drained: report.satb_drained,
+            nanos: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+        });
+        Some(report)
+    }
+
+    /// Closes the active cycle: a short stop-the-world flush (drain the
+    /// SATB log, re-scan the roots, finish the closure), then the sweep.
+    /// Returns the collection record exactly like [`Pruner::collect`],
+    /// with `flush_time` carrying the terminal pause's mark component.
+    /// `None` with no active cycle.
+    pub fn finish_cycle(
+        &mut self,
+        heap: &mut Heap,
+        roots: &RootSet,
+        collector: &mut Collector,
+    ) -> Option<(GcRecord, lp_heap::FinalizeLog)> {
+        let mut cycle = self.cycle.take()?;
+        let flush_started = Instant::now();
+        if cycle.observing {
+            let mut visitor = ObserveVisitor {
+                stale_clock: cycle.stale_clock,
+            };
+            cycle.marker.flush(heap, roots, &mut visitor);
+        } else {
+            cycle.marker.flush(heap, roots, &mut TraceAll);
+        }
+        let flush_time = flush_started.elapsed();
+        let mark_time = cycle.mark_time + flush_time;
+
+        let outcome = collector.finish_incremental(
+            heap,
+            cycle.gc_index,
+            cycle.marker.stats(),
+            mark_time,
+            cycle.marker.quanta(),
+            cycle.marker.budget_overruns(),
+        );
+        self.advance_state(cycle.state, heap, cycle.gc_index);
+
+        let mut outcome = outcome;
+        let finalized = std::mem::take(&mut outcome.swept.finalized);
+        let record = GcRecord {
+            gc_index: cycle.gc_index,
+            state: cycle.state,
+            live_bytes_after: outcome.live_bytes_after,
+            live_objects_after: outcome.live_objects_after,
+            freed_bytes: outcome.swept.freed_bytes,
+            freed_objects: outcome.swept.freed_objects,
+            pruned_refs: 0,
+            selected: None,
+            mark_time: outcome.mark_time,
+            sweep_time: outcome.sweep_time,
+            flush_time: Some(flush_time),
+        };
+        Some((record, finalized))
     }
 
     fn advance_state(&mut self, performed: State, heap: &Heap, gc_index: u64) {

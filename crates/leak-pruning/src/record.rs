@@ -52,16 +52,29 @@ pub struct GcRecord {
     /// What SELECT chose, if this was a SELECT collection that found a
     /// target.
     pub selected: Option<SelectionInfo>,
-    /// Wall-clock marking time.
+    /// Wall-clock marking time. For a collection whose mark phase ran
+    /// incrementally, this accumulates every quantum plus the final flush —
+    /// mutator work ran inside it, so it is *work*, not a pause.
     pub mark_time: Duration,
     /// Wall-clock sweep time.
     pub sweep_time: Duration,
+    /// Wall-clock time of the final stop-the-world flush, present only
+    /// when the mark phase ran incrementally. The collection's terminal
+    /// mutator pause is `flush_time + sweep_time`.
+    pub flush_time: Option<Duration>,
 }
 
 impl GcRecord {
-    /// Total wall-clock collection time.
+    /// Total wall-clock collection time (mark work + sweep; the flush is
+    /// part of `mark_time`).
     pub fn gc_time(&self) -> Duration {
         self.mark_time + self.sweep_time
+    }
+
+    /// The collection's terminal stop-the-world pause: mark + sweep when
+    /// fully stop-the-world, flush + sweep when marking ran incrementally.
+    pub fn pause_time(&self) -> Duration {
+        self.flush_time.unwrap_or(self.mark_time) + self.sweep_time
     }
 }
 
@@ -98,7 +111,18 @@ mod tests {
             selected: None,
             mark_time: Duration::from_millis(3),
             sweep_time: Duration::from_millis(2),
+            flush_time: None,
         };
         assert_eq!(r.gc_time(), Duration::from_millis(5));
+        assert_eq!(r.pause_time(), Duration::from_millis(5));
+        let incremental = GcRecord {
+            flush_time: Some(Duration::from_micros(100)),
+            ..r
+        };
+        assert_eq!(incremental.gc_time(), Duration::from_millis(5));
+        assert_eq!(
+            incremental.pause_time(),
+            Duration::from_micros(100) + Duration::from_millis(2)
+        );
     }
 }

@@ -110,6 +110,14 @@ pub struct Runtime {
     /// Whether the one-shot exhaustion snapshot
     /// ([`PruningConfig::snapshot_on_exhaustion`]) has been written.
     exhaustion_snapshot_done: bool,
+    /// Edge trigger for allocation-driven incremental cycles: set while
+    /// free space sits above the start threshold, cleared when a cycle
+    /// starts. Firing only on the armed->low transition means a cycle
+    /// whose sweep fails to recover headroom is not immediately followed
+    /// by another full mark — the next collection comes from exhaustion,
+    /// where the escalation logic lives, exactly as in stop-the-world
+    /// mode.
+    incremental_armed: bool,
 }
 
 /// Fraction of the heap the mutator must allocate between two collections
@@ -170,6 +178,7 @@ impl Runtime {
             telemetry,
             counters_at_last_emit: MutatorCounters::default(),
             exhaustion_snapshot_done: false,
+            incremental_armed: true,
             config,
         }
     }
@@ -265,17 +274,28 @@ impl Runtime {
         // trace. Leak pruning is untouched by minor collections (§5: the
         // paper's collector is generational; pruning piggybacks on
         // full-heap collections only).
+        // Incremental mode: one bounded mark quantum per allocation slice
+        // keeps the cycle progressing at mutator speed.
+        self.pump_incremental();
         if let Some(fraction) = self.config.nursery_fraction() {
             let nursery_capacity = (self.heap.capacity() as f64 * fraction) as u64;
-            if self.heap.young_bytes().saturating_add(bytes) > nursery_capacity {
+            // Minor collections are suppressed while an incremental cycle
+            // is active: they would open a new mark epoch and destroy the
+            // cycle's marks. The cycle's own sweep empties the nursery.
+            if self.heap.young_bytes().saturating_add(bytes) > nursery_capacity
+                && !self.pruner.incremental_active()
+            {
                 self.run_minor_collection();
                 // Old-generation growth triggers full collections (the
                 // standard generational heuristic): without it, minor
                 // collections would defer the first full-heap collection —
                 // and with it all staleness observation — until the heap
-                // is nearly exhausted.
+                // is nearly exhausted. In incremental mode the same
+                // trigger starts a cycle from `pump_incremental` instead.
                 let growth_step = self.heap.capacity() / 8;
-                if self.heap.used_bytes() > self.used_at_last_full.saturating_add(growth_step) {
+                if self.config.incremental_mark_budget().is_none()
+                    && self.heap.used_bytes() > self.used_at_last_full.saturating_add(growth_step)
+                {
                     self.run_collection(false);
                 }
             }
@@ -311,6 +331,14 @@ impl Runtime {
     }
 
     fn collect_until_fits(&mut self, bytes: u64) -> Result<(), RuntimeError> {
+        // Closing an in-flight incremental cycle is itself a full
+        // collection and may already make room.
+        if self.pruner.incremental_active() {
+            self.finish_incremental_collection();
+            if self.heap.fits(bytes) {
+                return Ok(());
+            }
+        }
         let mut no_progress = 0u32;
         for _ in 0..self.config.max_gc_attempts_per_alloc() {
             // Whether this collection ages objects is decided by how much
@@ -378,9 +406,112 @@ impl Runtime {
     }
 
     /// Forces a full-heap collection (driver/test hook). Forced collections
-    /// always advance the staleness clock.
+    /// always advance the staleness clock. An in-flight incremental cycle
+    /// is closed first, so the returned record is always stop-the-world.
     pub fn force_gc(&mut self) -> GcRecord {
         self.run_collection(true)
+    }
+
+    /// Whether an incremental mark cycle is currently in flight.
+    pub fn incremental_active(&self) -> bool {
+        self.pruner.incremental_active()
+    }
+
+    /// Starts an incremental full collection now. Returns `false` — and
+    /// starts nothing — unless [`PruningConfig::incremental_mark_budget`]
+    /// is set, no cycle is already active, and the current state marks
+    /// incrementally (INACTIVE and OBSERVE do; SELECT and PRUNE stay
+    /// stop-the-world). The runtime normally starts cycles itself from the
+    /// allocation path; this is the driver/host hook.
+    pub fn start_incremental_cycle(&mut self) -> bool {
+        let Some(budget) = self.config.incremental_mark_budget() else {
+            return false;
+        };
+        if self.pruner.incremental_active() {
+            return false;
+        }
+        let byte_threshold = (self.heap.capacity() / MUTATOR_PROGRESS_DIVISOR).max(1);
+        let mutator_ran =
+            self.bytes_since_gc >= byte_threshold || self.reads_since_gc >= MUTATOR_PROGRESS_READS;
+        if !self.pruner.begin_incremental_cycle(
+            &mut self.heap,
+            &self.roots,
+            &mut self.collector,
+            budget,
+            mutator_ran,
+        ) {
+            return false;
+        }
+        self.bytes_since_gc = 0;
+        self.reads_since_gc = 0;
+        true
+    }
+
+    /// Runs up to `max_quanta` bounded mark quanta of the active
+    /// incremental cycle, closing the collection (stop-the-world flush +
+    /// sweep) when the closure completes. Returns the number of quanta
+    /// run (0 with no active cycle). A multi-tenant host calls this
+    /// between requests so marking progresses even while a tenant is not
+    /// allocating.
+    pub fn step_incremental(&mut self, max_quanta: u32) -> u32 {
+        let mut ran = 0;
+        while ran < max_quanta {
+            let Some(report) = self.pruner.cycle_quantum(&mut self.heap) else {
+                break;
+            };
+            ran += 1;
+            if report.done {
+                self.finish_incremental_collection();
+                break;
+            }
+        }
+        ran
+    }
+
+    /// Drives the incremental collector between mutator steps: one pending
+    /// quantum if a cycle is active, or a new cycle once free space drops
+    /// below a capacity-eighth. Starting only on the approach to
+    /// exhaustion keeps total mark work at stop-the-world parity: the
+    /// cycle that begins here is the same collection exhaustion was about
+    /// to force, just spread over the remaining allocation slack
+    /// ([`Runtime::collect_until_fits`] closes it and returns without a
+    /// second mark when the sweep makes room). No-op unless
+    /// [`PruningConfig::incremental_mark_budget`] is set.
+    fn pump_incremental(&mut self) {
+        if self.config.incremental_mark_budget().is_none() {
+            return;
+        }
+        if self.pruner.incremental_active() {
+            self.step_incremental(1);
+        } else {
+            let capacity = self.heap.capacity();
+            let headroom = (capacity / 16).max(1);
+            if capacity.saturating_sub(self.heap.used_bytes()) >= headroom {
+                self.incremental_armed = true;
+            } else if self.incremental_armed && self.start_incremental_cycle() {
+                self.incremental_armed = false;
+            }
+        }
+    }
+
+    /// Closes the active incremental cycle: final stop-the-world flush,
+    /// sweep, history, telemetry, and (relaxed) verification.
+    fn finish_incremental_collection(&mut self) {
+        let Some((record, finalized)) =
+            self.pruner
+                .finish_cycle(&mut self.heap, &self.roots, &mut self.collector)
+        else {
+            return;
+        };
+        self.dispatch_finalizers(finalized);
+        self.history.push(record.clone());
+        self.used_at_last_full = self.heap.used_bytes();
+        self.emit_collection_events(&record);
+        if let Some(period) = self.config.verify_period() {
+            if record.gc_index.is_multiple_of(period) {
+                self.verify_after_collection(record.gc_index, true);
+            }
+        }
     }
 
     /// Forces collections — escalating through the Figure-2 state machine
@@ -443,6 +574,11 @@ impl Runtime {
     /// Emits [`Event::SnapshotBegin`]/[`Event::SnapshotEnd`] around the
     /// capture; the end event carries the pause cost in nanoseconds.
     pub fn capture_snapshot(&mut self) -> Capture {
+        // The capture's collection needs its own mark epoch; close any
+        // in-flight incremental cycle first.
+        if self.pruner.incremental_active() {
+            self.finish_incremental_collection();
+        }
         let gc_index = self.collector.next_gc_index();
         self.telemetry.emit(|| Event::SnapshotBegin { gc_index });
         let roots = &self.roots;
@@ -456,20 +592,7 @@ impl Runtime {
         let capture = captured.expect("mark closure ran");
         // The sweep may reclaim finalizable garbage; honour the hook just
         // like an ordinary collection.
-        let mut finalized = outcome.swept.finalized;
-        if !finalized.is_empty() {
-            let pruning_started = self.pruner.averted_oom().is_some();
-            if pruning_started && !self.config.run_finalizers_after_prune() {
-                self.counters.finalizers_skipped += finalized.len() as u64;
-            } else {
-                self.counters.finalizers_run += finalized.len() as u64;
-                if let Some(hook) = self.finalizer_hook.as_mut() {
-                    for class in finalized.drain() {
-                        hook(class);
-                    }
-                }
-            }
-        }
+        self.dispatch_finalizers(outcome.swept.finalized);
         self.used_at_last_full = self.heap.used_bytes();
         let snapshot = &capture.snapshot;
         self.telemetry.emit(|| Event::SnapshotEnd {
@@ -485,23 +608,43 @@ impl Runtime {
     fn run_minor_collection(&mut self) {
         let outcome = lp_gc::collect_minor(&mut self.heap, &self.roots);
         self.counters.minor_collections += 1;
-        let mut finalized = outcome.swept.finalized;
-        if !finalized.is_empty() {
-            let pruning_started = self.pruner.averted_oom().is_some();
-            if pruning_started && !self.config.run_finalizers_after_prune() {
-                self.counters.finalizers_skipped += finalized.len() as u64;
-            } else {
-                self.counters.finalizers_run += finalized.len() as u64;
-                if let Some(hook) = self.finalizer_hook.as_mut() {
-                    for class in finalized.drain() {
-                        hook(class);
-                    }
+        // Minor collections get their own event kind: they carry no
+        // `gc_index` because they do not advance the full-heap numbering,
+        // and a `collection` event would misattribute them to one.
+        self.telemetry.emit(|| Event::MinorCollection {
+            freed_objects: outcome.swept.freed_objects,
+            freed_bytes: outcome.swept.freed_bytes,
+            mark_nanos: outcome.mark_time.as_nanos() as u64,
+            sweep_nanos: outcome.sweep_time.as_nanos() as u64,
+        });
+        self.dispatch_finalizers(outcome.swept.finalized);
+    }
+
+    /// Runs or skips the finalizers of reclaimed finalizable objects,
+    /// honouring [`PruningConfig::run_finalizers_after_prune`].
+    fn dispatch_finalizers(&mut self, mut finalized: lp_heap::FinalizeLog) {
+        if finalized.is_empty() {
+            return;
+        }
+        let pruning_started = self.pruner.averted_oom().is_some();
+        if pruning_started && !self.config.run_finalizers_after_prune() {
+            self.counters.finalizers_skipped += finalized.len() as u64;
+        } else {
+            self.counters.finalizers_run += finalized.len() as u64;
+            if let Some(hook) = self.finalizer_hook.as_mut() {
+                for class in finalized.drain() {
+                    hook(class);
                 }
             }
         }
     }
 
     fn run_collection(&mut self, force_tick: bool) -> GcRecord {
+        // A stop-the-world collection needs its own mark epoch; an
+        // in-flight incremental cycle must close first.
+        if self.pruner.incremental_active() {
+            self.finish_incremental_collection();
+        }
         // (used_at_last_full is refreshed after the sweep, below.)
         let byte_threshold = (self.heap.capacity() / MUTATOR_PROGRESS_DIVISOR).max(1);
         let mutator_ran = force_tick
@@ -509,32 +652,20 @@ impl Runtime {
             || self.reads_since_gc >= MUTATOR_PROGRESS_READS;
         self.bytes_since_gc = 0;
         self.reads_since_gc = 0;
-        let (record, mut finalized) = self.pruner.collect(
+        let (record, finalized) = self.pruner.collect(
             &mut self.heap,
             &self.roots,
             &mut self.collector,
             self.config.marker_threads(),
             mutator_ran,
         );
-        if !finalized.is_empty() {
-            let pruning_started = self.pruner.averted_oom().is_some();
-            if pruning_started && !self.config.run_finalizers_after_prune() {
-                self.counters.finalizers_skipped += finalized.len() as u64;
-            } else {
-                self.counters.finalizers_run += finalized.len() as u64;
-                if let Some(hook) = self.finalizer_hook.as_mut() {
-                    for class in finalized.drain() {
-                        hook(class);
-                    }
-                }
-            }
-        }
+        self.dispatch_finalizers(finalized);
         self.history.push(record.clone());
         self.used_at_last_full = self.heap.used_bytes();
         self.emit_collection_events(&record);
         if let Some(period) = self.config.verify_period() {
             if record.gc_index.is_multiple_of(period) {
-                self.verify_after_collection(record.gc_index);
+                self.verify_after_collection(record.gc_index, false);
             }
         }
         record
@@ -543,11 +674,17 @@ impl Runtime {
     /// The sanitizer hook: full structural + reachability verification,
     /// telemetry, and a panic on any violation. Runs at the one point where
     /// the reachability check is sound — the world is stopped and the sweep
-    /// just finished.
-    fn verify_after_collection(&self, gc_index: u64) {
+    /// just finished. After an incremental collection the relaxed variant
+    /// applies: floating garbage (marked but unreachable by the flush) is
+    /// legitimate there.
+    fn verify_after_collection(&self, gc_index: u64, incremental: bool) {
         let start = std::time::Instant::now();
         let mut violations = self.verify_heap();
-        violations.extend(lp_gc::verify_post_collection(&self.heap, &self.roots));
+        violations.extend(if incremental {
+            lp_gc::verify_post_incremental_collection(&self.heap, &self.roots)
+        } else {
+            lp_gc::verify_post_collection(&self.heap, &self.roots)
+        });
         let nanos = start.elapsed().as_nanos() as u64;
         self.telemetry.emit(|| Event::VerifyHeap {
             gc_index,
@@ -591,6 +728,7 @@ impl Runtime {
             pruned_refs: record.pruned_refs,
             mark_nanos: record.mark_time.as_nanos() as u64,
             sweep_nanos: record.sweep_time.as_nanos() as u64,
+            flush_nanos: record.flush_time.map(|d| d.as_nanos() as u64),
         });
         let now = self.counters;
         let last = self.counters_at_last_emit;
@@ -732,6 +870,23 @@ impl Runtime {
                 if self.heap.is_young(target.slot()) && !self.heap.is_young(src.slot()) {
                     self.heap.note_old_to_young(src.slot());
                     self.counters.remembered_stores += 1;
+                }
+            }
+        }
+        // SATB deleted-reference barrier: while an incremental mark cycle
+        // is active, log the reference being overwritten so the closure
+        // still covers everything reachable at the cycle's start — without
+        // it, the only path to a snapshot-reachable object could be copied
+        // into an already-scanned object and then severed here, hiding the
+        // object from the marker. Unconditional in every barrier mode: it
+        // is a soundness barrier, not bookkeeping. Root writes need no
+        // logging (the final flush re-scans the roots), and poisoned
+        // references are skipped exactly as the closures skip them.
+        if self.heap.satb_active() {
+            let old = self.heap.object(src).load_ref(field);
+            if !old.is_poisoned() {
+                if let Some(slot) = old.slot() {
+                    self.heap.satb_push(slot);
                 }
             }
         }
@@ -1721,5 +1876,158 @@ mod generational_tests {
         }
         assert!(rt.counters().minor_collections > before);
         assert_eq!(rt.gc_count(), 1, "only the forced full collection");
+    }
+}
+
+#[cfg(test)]
+mod incremental_tests {
+    use super::*;
+
+    const KB: u64 = 1024;
+
+    fn incremental_config(capacity: u64) -> PruningConfig {
+        PruningConfig::builder(capacity)
+            .incremental_mark(256)
+            .build()
+    }
+
+    /// The headline behaviour: with bounded mark quanta the list leak is
+    /// still tolerated indefinitely, and at least some full collections
+    /// complete incrementally, recording a short terminal flush instead of
+    /// a full-heap mark pause.
+    #[test]
+    fn incremental_mode_tolerates_list_leak() {
+        let mut rt = Runtime::new(incremental_config(256 * KB));
+        let node = rt.register_class("Node");
+        let scratch = rt.register_class("Scratch");
+        let head = rt.add_static();
+        for _ in 0..5000 {
+            let n = rt.alloc(node, &AllocSpec::new(1, 0, 512)).unwrap();
+            rt.write_field(n, 0, rt.static_ref(head));
+            rt.set_static(head, Some(n));
+            rt.alloc(scratch, &AllocSpec::leaf(2048)).unwrap();
+            rt.release_registers();
+        }
+        assert!(rt.prune_report().total_pruned_refs > 0, "leak pruned");
+        let incremental = rt
+            .history()
+            .iter()
+            .filter(|r| r.flush_time.is_some())
+            .count();
+        assert!(incremental > 0, "some collections ran incrementally");
+        // SELECT and PRUNE stay stop-the-world, so not every record
+        // carries a flush.
+        assert!(incremental < rt.history().len());
+    }
+
+    /// Severing the only reference to an object *during* a cycle must not
+    /// hide it from the closure: the deleted-reference barrier logs the
+    /// overwritten target, so the snapshot is retained until the next
+    /// stop-the-world collection.
+    #[test]
+    fn satb_barrier_retains_snapshot_reachable_objects() {
+        let mut rt = Runtime::new(incremental_config(1 << 20));
+        let cls = rt.register_class("T");
+        let root = rt.add_static();
+        let holder = rt.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+        rt.set_static(root, Some(holder));
+        let victim = rt.alloc(cls, &AllocSpec::leaf(64)).unwrap();
+        rt.write_field(holder, 0, Some(victim));
+        rt.release_registers();
+        rt.force_gc(); // both objects are old and unmarked
+
+        assert!(rt.start_incremental_cycle());
+        // The holder is grey but unscanned; without the barrier this store
+        // would make the victim invisible to the rest of the mark.
+        rt.write_field(holder, 0, None);
+        while rt.incremental_active() {
+            rt.step_incremental(8);
+        }
+        assert!(rt.is_live(victim), "SATB retains the cycle's snapshot");
+        assert!(rt.history().last().unwrap().flush_time.is_some());
+
+        // The next stop-the-world collection sees the severed heap and
+        // reclaims the floating garbage.
+        rt.force_gc();
+        assert!(!rt.is_live(victim));
+    }
+
+    /// A heap bigger than one quantum's budget is marked across many
+    /// bounded steps, each reported as its own telemetry event.
+    #[test]
+    fn mark_work_is_split_into_bounded_quanta() {
+        let mut rt = Runtime::new(
+            PruningConfig::builder(1 << 20)
+                .incremental_mark(64)
+                .flight_recorder(4096)
+                .build(),
+        );
+        let cls = rt.register_class("T");
+        let root = rt.add_static();
+        let hub = rt.alloc(cls, &AllocSpec::with_refs(1000)).unwrap();
+        rt.set_static(root, Some(hub));
+        for i in 0..1000 {
+            let o = rt.alloc(cls, &AllocSpec::leaf(64)).unwrap();
+            rt.write_field(hub, i, Some(o));
+        }
+        rt.release_registers();
+
+        assert!(rt.start_incremental_cycle());
+        let mut quanta = 0u32;
+        while rt.incremental_active() {
+            quanta += rt.step_incremental(1);
+        }
+        assert!(quanta >= 10, "1001 objects at 64/quantum, got {quanta}");
+        let lines = rt.telemetry().recorder_snapshot();
+        let quantum_events = lines
+            .iter()
+            .filter(|l| matches!(l.event, Event::MarkQuantum { .. }))
+            .count();
+        assert_eq!(quantum_events as u32, quanta);
+        // The closing collection event carries the flush pause.
+        assert!(lines.iter().any(|l| matches!(
+            l.event,
+            Event::Collection {
+                flush_nanos: Some(_),
+                ..
+            }
+        )));
+        assert!(rt.is_live(hub));
+    }
+
+    /// Stop-the-world entry points (forced collections, snapshots) close an
+    /// in-flight cycle first instead of corrupting its mark state.
+    #[test]
+    fn forced_collection_closes_an_active_cycle_first() {
+        let mut rt = Runtime::new(incremental_config(1 << 20));
+        let cls = rt.register_class("T");
+        let root = rt.add_static();
+        let mut prev = None;
+        for _ in 0..600 {
+            let n = rt.alloc(cls, &AllocSpec::new(1, 0, 64)).unwrap();
+            rt.write_field(n, 0, prev);
+            rt.set_static(root, Some(n));
+            prev = Some(n);
+        }
+        rt.release_registers();
+
+        assert!(rt.start_incremental_cycle());
+        assert!(rt.incremental_active());
+        let record = rt.force_gc();
+        assert!(!rt.incremental_active());
+        assert!(record.flush_time.is_none(), "forced record is STW");
+        let n = rt.history().len();
+        assert!(n >= 2, "closed cycle + forced collection");
+        assert!(rt.history()[n - 2].flush_time.is_some());
+    }
+
+    /// Without the config knob the public hooks are inert.
+    #[test]
+    fn incremental_hooks_are_inert_without_the_knob() {
+        let mut rt = Runtime::new(PruningConfig::builder(1 << 20).build());
+        assert!(!rt.start_incremental_cycle());
+        assert!(!rt.incremental_active());
+        assert_eq!(rt.step_incremental(4), 0);
+        assert_eq!(rt.gc_count(), 0);
     }
 }

@@ -1,0 +1,183 @@
+//! Barrier microbenchmarks: the per-operation cost of the read barrier's
+//! fast and cold paths, and of the store path with and without an active
+//! incremental mark cycle (the SATB deleted-reference barrier).
+//!
+//! Four fixed-iteration measurements over one object web:
+//!
+//! * `read_cold` — `read_field` immediately after a full collection, when
+//!   every reference still carries the unlogged bit: the slow path that
+//!   updates staleness bookkeeping.
+//! * `read_warm` — the same reads again: the fast path (tag check only).
+//! * `write_idle` — `write_field` with no mark cycle in flight: the plain
+//!   store plus the generational/remembered-set check.
+//! * `write_marking` — the same stores while an incremental cycle is
+//!   active: each overwrite of a non-null reference also pushes the old
+//!   target onto the SATB log. The delta against `write_idle` is the whole
+//!   cost the tentpole adds to the mutator's store path.
+//!
+//! Writes per sample stay well under the SATB log capacity, and the log is
+//! drained (one mark quantum) between samples so no trial measures an
+//! overflowing log.
+//!
+//! Usage: `microbench [trials]` (default 30). Writes
+//! `bench_out/microbench.csv`.
+
+use std::io::Write as _;
+
+use leak_pruning::{ForcedState, PruningConfig, Runtime};
+use lp_bench::micro::{measure_in, MicroStats, CSV_HEADER};
+use lp_bench::output_dir;
+use lp_heap::{AllocSpec, Handle};
+
+/// Fields read or written per timed sample: big enough to amortize timer
+/// overhead, far below the SATB log capacity (65 536).
+const OPS: u64 = 4096;
+
+fn build_web(rt: &mut Runtime) -> (Handle, Vec<Handle>) {
+    let hub_cls = rt.register_class("Hub");
+    let leaf_cls = rt.register_class("Leaf");
+    let root = rt.add_static();
+    let hub = rt
+        .alloc(hub_cls, &AllocSpec::with_refs(OPS as u32))
+        .expect("hub fits");
+    rt.set_static(root, Some(hub));
+    let mut leaves = Vec::with_capacity(OPS as usize);
+    for i in 0..OPS as usize {
+        let leaf = rt.alloc(leaf_cls, &AllocSpec::leaf(16)).expect("leaf fits");
+        rt.write_field(hub, i, Some(leaf));
+        leaves.push(leaf);
+    }
+    rt.release_registers();
+    (hub, leaves)
+}
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+
+    let mut results: Vec<(&str, MicroStats)> = Vec::new();
+
+    // Read benchmarks run in a forced-SELECT runtime: the paper's
+    // worst-case configuration, where every collection re-tags each
+    // reference unlogged and the next read of it takes the logging slow
+    // path (the same setup Figure 6 measures whole-program).
+    let mut read_rt = Runtime::new(
+        PruningConfig::builder(4 << 20)
+            .force_state(ForcedState::Select)
+            .build(),
+    );
+    let (hub, _leaves) = build_web(&mut read_rt);
+
+    // Read barrier, cold: a full collection re-tags every reference
+    // unlogged, so each first read takes the logging slow path.
+    let cold = measure_in(
+        trials,
+        OPS,
+        &mut read_rt,
+        |rt| {
+            rt.force_gc();
+        },
+        |rt| {
+            for i in 0..OPS as usize {
+                std::hint::black_box(rt.read_field(hub, i).expect("live"));
+            }
+            rt.release_registers();
+        },
+    );
+    results.push(("read_cold", cold));
+
+    // Read barrier, warm: the unlogged bits are clear; only the tag check
+    // remains.
+    read_rt.force_gc();
+    for i in 0..OPS as usize {
+        let _ = read_rt.read_field(hub, i).expect("live");
+    }
+    read_rt.release_registers();
+    let warm = measure_in(
+        trials,
+        OPS,
+        &mut read_rt,
+        |_| {},
+        |rt| {
+            for i in 0..OPS as usize {
+                std::hint::black_box(rt.read_field(hub, i).expect("live"));
+            }
+            rt.release_registers();
+        },
+    );
+    results.push(("read_warm", warm));
+
+    // Write benchmarks run in an incremental-marking runtime. The quantum
+    // budget is small enough that a cycle over this web spans many quanta,
+    // keeping `write_marking` trials inside an active cycle.
+    let mut write_rt = Runtime::new(PruningConfig::builder(4 << 20).incremental_mark(64).build());
+    let (hub, leaves) = build_web(&mut write_rt);
+
+    // Store path, idle: no cycle in flight, the SATB branch is one
+    // predicted-not-taken test.
+    assert!(!write_rt.incremental_active());
+    let idle = measure_in(
+        trials,
+        OPS,
+        &mut write_rt,
+        |_| {},
+        |rt| {
+            for (i, &leaf) in leaves.iter().enumerate() {
+                rt.write_field(hub, i, Some(leaf));
+            }
+        },
+    );
+    results.push(("write_idle", idle));
+
+    // Store path, marking: every overwrite of a non-null old value pushes
+    // the deleted reference onto the SATB log. Between samples one mark
+    // quantum drains the log (and the cycle is restarted if it finished).
+    let marking = measure_in(
+        trials,
+        OPS,
+        &mut write_rt,
+        |rt| {
+            if !rt.incremental_active() {
+                assert!(rt.start_incremental_cycle(), "cycle must start");
+            }
+            rt.step_incremental(1);
+            assert!(rt.incremental_active(), "cycle must outlive the sample");
+        },
+        |rt| {
+            for (i, &leaf) in leaves.iter().enumerate() {
+                rt.write_field(hub, i, Some(leaf));
+            }
+        },
+    );
+    results.push(("write_marking", marking));
+
+    // Let the cycle finish so the runtime ends in a steady state.
+    while write_rt.incremental_active() {
+        write_rt.step_incremental(64);
+    }
+
+    let path = output_dir().join("microbench.csv");
+    let mut file = std::fs::File::create(&path).expect("create csv");
+    writeln!(file, "{CSV_HEADER}").expect("write header");
+    println!("barrier microbenchmarks ({trials} trials x {OPS} ops)\n");
+    println!(
+        "{:>14}  {:>10}  {:>10}  {:>8}",
+        "benchmark", "min ns/op", "med ns/op", "MAD ns"
+    );
+    for (name, stats) in &results {
+        writeln!(file, "{}", stats.csv_row(name)).expect("write row");
+        println!(
+            "{name:>14}  {:>10.2}  {:>10.2}  {:>8.2}",
+            stats.min_ns, stats.median_ns, stats.mad_ns
+        );
+    }
+    let idle_med = results[2].1.median_ns;
+    let marking_med = results[3].1.median_ns;
+    println!(
+        "\nSATB barrier adds {:.2} ns/store while marking (idle {idle_med:.2} -> marking {marking_med:.2})",
+        marking_med - idle_med
+    );
+    println!("wrote {}", path.display());
+}

@@ -11,6 +11,7 @@
 
 use std::path::PathBuf;
 
+pub mod micro;
 pub mod trace;
 
 /// Where experiment binaries write their CSV artifacts.

@@ -128,6 +128,7 @@ mod tests {
             pruned_refs: 0,
             mark_nanos: 5,
             sweep_nanos: 5,
+            flush_nanos: None,
         }
     }
 

@@ -1,0 +1,24 @@
+//! Lint fixture: host-side code meddling with a tenant's SATB log.
+//! The deleted-reference log is the incremental mark cycle's soundness
+//! record: the runtime's store path pushes overwritten references, the
+//! collector drains them. A host that pushes entries of its own invents
+//! snapshot edges that never existed (retaining arbitrary garbage), and
+//! one that drains entries starves the cycle of real ones (freeing live
+//! objects). `server_*` fixtures are linted under the server contract,
+//! so `lp-check` must flag every `satb_*` touch here under R1.
+
+use lp_heap::Heap;
+
+/// "Helps" a slow tenant cycle along from the arbiter by force-feeding
+/// its SATB log — manufactured snapshot edges (R1).
+pub fn pin_tenant_object(heap: &mut Heap, slot: usize) {
+    if heap.satb_active() {
+        heap.satb_push(slot);
+    }
+}
+
+/// Drops a stalled tenant's barrier backlog from the ops plane — starving
+/// the cycle of the deleted references it must still mark (R1).
+pub fn drop_backlog(heap: &mut Heap) -> usize {
+    heap.satb_drain(usize::MAX).len()
+}

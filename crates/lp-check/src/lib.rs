@@ -159,6 +159,16 @@ mod tests {
     }
 
     #[test]
+    fn server_satb_push_fixture_is_flagged() {
+        let found = lint_fixture("server_satb_push.rs");
+        let satb = found
+            .iter()
+            .filter(|f| f.rule == "R1" && f.message.contains("SATB"))
+            .count();
+        assert!(satb >= 3, "expected SATB R1 findings, got {found:?}");
+    }
+
+    #[test]
     fn eager_emit_fixture_is_flagged() {
         let found = lint_fixture("eager_emit.rs");
         assert!(

@@ -50,6 +50,19 @@ const R1_TOKENS: &[&str] = &[
     "TAG_MASK",
 ];
 
+/// SATB write-barrier machinery (R1). The deleted-reference log is part
+/// of the incremental mark cycle's soundness argument: only the heap that
+/// owns it, the collector that drains it, and the runtime's store path may
+/// touch it. Code anywhere else pushing or draining entries could silently
+/// extend (or starve) a cycle's snapshot.
+const R1_SATB_TOKENS: &[&str] = &[
+    "satb_begin",
+    "satb_push",
+    "satb_drain",
+    "satb_end",
+    "satb_active",
+];
+
 /// Tokens that construct or strip the poison bit (R2).
 const R2_TOKENS: &[&str] = &["with_poison", "without_tags", "TAG_POISON"];
 
@@ -157,6 +170,17 @@ pub fn check_file(path: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
                 line,
                 message: format!(
                     "`{ident}` bypasses the conditional read barrier — use Runtime::read_field"
+                ),
+            });
+        }
+        if R1_SATB_TOKENS.contains(&ident) && !in_prefix_list(path, BARRIER_ALLOWLIST) {
+            findings.push(Finding {
+                rule: "R1",
+                path: path.to_owned(),
+                line,
+                message: format!(
+                    "`{ident}` touches the SATB deleted-reference log — only the heap, the \
+                     collector, and the runtime store path may drive incremental mark cycles"
                 ),
             });
         }
@@ -268,6 +292,19 @@ mod tests {
         let src = "fn f(h: &Heap, x: Handle) { let _ = h.object(x).load_ref(0); }";
         assert_eq!(check("crates/lp-heap/src/x.rs", src), Vec::new());
         assert_eq!(check("crates/leak-pruning/src/x.rs", src), Vec::new());
+    }
+
+    #[test]
+    fn satb_log_access_outside_allowlist_is_r1() {
+        let src = "fn f(h: &mut Heap, s: usize) { if h.satb_active() { h.satb_push(s); } }";
+        let found = check("crates/lp-server/src/x.rs", src);
+        assert_eq!(rules(&found), vec!["R1", "R1"]);
+        assert!(found[0].message.contains("SATB"));
+        // The runtime's own store path is the sanctioned call site.
+        assert_eq!(check("crates/leak-pruning/src/x.rs", src), Vec::new());
+        let drain = "fn g(h: &mut Heap) { let _ = h.satb_drain(16); }";
+        assert_eq!(rules(&check("crates/lp-bench/src/x.rs", drain)), vec!["R1"]);
+        assert_eq!(check("crates/lp-gc/src/x.rs", drain), Vec::new());
     }
 
     #[test]

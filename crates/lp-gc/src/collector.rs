@@ -9,12 +9,28 @@ use crate::parallel::{par_trace_timed, ParEdgeVisitor};
 use crate::stats::GcStats;
 use crate::tracer::{trace, EdgeVisitor, TraceStats};
 
-/// The result of one full-heap collection.
+/// Which flavor of collection produced a [`CollectionOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectionKind {
+    /// A monolithic stop-the-world full-heap collection.
+    Full,
+    /// A full-heap collection whose mark phase ran as bounded incremental
+    /// quanta, finished by a short stop-the-world flush before the sweep.
+    IncrementalFull,
+    /// A nursery-only minor collection.
+    Minor,
+}
+
+/// The result of one collection.
 #[derive(Debug, Clone)]
 pub struct CollectionOutcome {
     /// 1-based index of this collection — the paper's full-heap collection
     /// number `i` used by the logarithmic stale-counter increment rule.
-    pub gc_index: u64,
+    /// `None` for minor collections, which do not advance the full-heap
+    /// numbering that drives staleness.
+    pub gc_index: Option<u64>,
+    /// What flavor of collection this was.
+    pub kind: CollectionKind,
     /// Marking statistics (reachable objects/bytes).
     pub trace: TraceStats,
     /// What the sweep reclaimed.
@@ -204,7 +220,98 @@ impl Collector {
         );
 
         CollectionOutcome {
-            gc_index: self.gc_count,
+            gc_index: Some(self.gc_count),
+            kind: CollectionKind::Full,
+            trace: trace_stats,
+            swept,
+            live_bytes_after: heap.used_bytes(),
+            live_objects_after: heap.live_objects(),
+            mark_time,
+            sweep_time,
+            mark_thread_times,
+            sweep_thread_times,
+        }
+    }
+
+    /// Opens an incremental full collection: claims the next collection
+    /// index, begins a fresh mark epoch, and emits the `Mark` phase-begin
+    /// span. The caller drives an [`IncrementalMarker`] through its quanta
+    /// (starting it with [`IncrementalMarker::start`], which opens the SATB
+    /// log) and closes the collection with
+    /// [`Collector::finish_incremental`].
+    ///
+    /// Between `begin_incremental` and `finish_incremental` no other
+    /// collection — full, minor, or nested incremental — may run on this
+    /// heap: any of them would begin a new mark epoch and destroy the
+    /// cycle's accumulated marks.
+    ///
+    /// [`IncrementalMarker`]: crate::IncrementalMarker
+    /// [`IncrementalMarker::start`]: crate::IncrementalMarker::start
+    pub fn begin_incremental(&mut self, heap: &mut Heap) -> u64 {
+        self.gc_count += 1;
+        let gc_index = self.gc_count;
+        heap.begin_mark_epoch();
+        heap.telemetry().emit(|| Event::PhaseBegin {
+            gc_index,
+            phase: GcPhase::Mark,
+        });
+        gc_index
+    }
+
+    /// Closes an incremental full collection opened by
+    /// [`Collector::begin_incremental`], after the marker's final flush:
+    /// emits the `Mark` phase-end span (whose `nanos` is the *accumulated
+    /// marking time* across all quanta plus the flush, not the span's
+    /// wall-clock extent — the mutator ran inside it), sweeps with the
+    /// usual `Sweep` spans, and records statistics.
+    pub fn finish_incremental(
+        &mut self,
+        heap: &mut Heap,
+        gc_index: u64,
+        trace_stats: TraceStats,
+        mark_time: Duration,
+        quanta: u64,
+        budget_overruns: u64,
+    ) -> CollectionOutcome {
+        let mark_thread_times = vec![mark_time];
+        heap.telemetry().emit(|| Event::PhaseEnd {
+            gc_index,
+            phase: GcPhase::Mark,
+            nanos: duration_nanos(mark_time),
+            threads: 1,
+            busy_nanos: duration_nanos(mark_time),
+        });
+
+        heap.telemetry().emit(|| Event::PhaseBegin {
+            gc_index,
+            phase: GcPhase::Sweep,
+        });
+        let sweep_start = Instant::now();
+        let (swept, sweep_thread_times) = heap.sweep_parallel_timed(self.sweep_threads);
+        let sweep_time = sweep_start.elapsed();
+        heap.telemetry().emit(|| Event::PhaseEnd {
+            gc_index,
+            phase: GcPhase::Sweep,
+            nanos: duration_nanos(sweep_time),
+            threads: sweep_thread_times.len() as u64,
+            busy_nanos: busy_nanos(&sweep_thread_times),
+        });
+
+        self.stats.record(
+            mark_time,
+            sweep_time,
+            &mark_thread_times,
+            &sweep_thread_times,
+            trace_stats.objects_marked,
+            trace_stats.bytes_marked,
+            swept.freed_objects,
+            swept.freed_bytes,
+        );
+        self.stats.record_incremental(quanta, budget_overruns);
+
+        CollectionOutcome {
+            gc_index: Some(gc_index),
+            kind: CollectionKind::IncrementalFull,
             trace: trace_stats,
             swept,
             live_bytes_after: heap.used_bytes(),
@@ -253,7 +360,8 @@ mod tests {
         let mut collector = Collector::new();
         assert_eq!(collector.next_gc_index(), 1);
         let outcome = collector.collect(&mut heap, &roots, &mut TraceAll);
-        assert_eq!(outcome.gc_index, 1);
+        assert_eq!(outcome.gc_index, Some(1));
+        assert_eq!(outcome.kind, CollectionKind::Full);
         assert_eq!(outcome.swept.freed_objects, 1);
         assert_eq!(outcome.trace.objects_marked, 2);
         assert_eq!(outcome.live_objects_after, 2);
@@ -405,6 +513,70 @@ mod tests {
                 (1, GcPhase::Sweep, true),
             ]
         );
+    }
+
+    #[test]
+    fn incremental_collections_number_and_sweep_like_stw_ones() {
+        use crate::IncrementalMarker;
+
+        let (mut heap, mut roots, cls) = setup();
+        let telemetry = lp_telemetry::Telemetry::with_recorder(64);
+        heap.set_telemetry(telemetry.clone());
+        let live = heap.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+        let child = heap.alloc(cls, &AllocSpec::default()).unwrap();
+        heap.object(live)
+            .store_ref(0, TaggedRef::from_handle(child));
+        heap.alloc(cls, &AllocSpec::leaf(100)).unwrap(); // garbage
+        let s = roots.add_static();
+        roots.set_static(s, Some(live));
+
+        let mut collector = Collector::new();
+        let gc_index = collector.begin_incremental(&mut heap);
+        assert_eq!(gc_index, 1);
+        let mut marker = IncrementalMarker::start(&mut heap, &roots, 1, &mut TraceAll);
+        while !marker.quantum(&mut heap, &mut TraceAll).done {}
+        marker.flush(&mut heap, &roots, &mut TraceAll);
+        let outcome = collector.finish_incremental(
+            &mut heap,
+            gc_index,
+            marker.stats(),
+            Duration::from_micros(7),
+            marker.quanta(),
+            marker.budget_overruns(),
+        );
+
+        assert_eq!(outcome.gc_index, Some(1));
+        assert_eq!(outcome.kind, CollectionKind::IncrementalFull);
+        assert_eq!(outcome.swept.freed_objects, 1);
+        assert_eq!(outcome.trace.objects_marked, 2);
+        assert_eq!(collector.collections(), 1);
+        assert_eq!(collector.stats().incremental_cycles(), 1);
+        assert_eq!(collector.stats().mark_quanta(), marker.quanta());
+
+        let spans: Vec<_> = telemetry
+            .recorder_snapshot()
+            .into_iter()
+            .filter_map(|line| match line.event {
+                Event::PhaseBegin { gc_index, phase } => Some((gc_index, phase, false)),
+                Event::PhaseEnd {
+                    gc_index, phase, ..
+                } => Some((gc_index, phase, true)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            spans,
+            vec![
+                (1, GcPhase::Mark, false),
+                (1, GcPhase::Mark, true),
+                (1, GcPhase::Sweep, false),
+                (1, GcPhase::Sweep, true),
+            ]
+        );
+
+        // The next stop-the-world collection continues the numbering.
+        let next = collector.collect(&mut heap, &roots, &mut TraceAll);
+        assert_eq!(next.gc_index, Some(2));
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   overhead figure).
 //! * [`collect_minor`] — nursery collections for the generational
 //!   configuration, scanning only young objects plus the remembered set.
+//! * [`IncrementalMarker`] — the same closure split into bounded quanta
+//!   interleaved with mutator work, kept sound by the heap's SATB
+//!   (snapshot-at-the-beginning) deleted-reference log and a short final
+//!   stop-the-world flush. See [`Collector::begin_incremental`].
 //!
 //! # Example
 //!
@@ -48,15 +52,17 @@
 #![warn(missing_docs)]
 
 mod collector;
+mod incremental;
 mod minor;
 mod parallel;
 mod stats;
 mod tracer;
 pub mod verify;
 
-pub use collector::{CollectionOutcome, Collector};
+pub use collector::{CollectionKind, CollectionOutcome, Collector};
+pub use incremental::{IncrementalMarker, QuantumReport};
 pub use minor::collect_minor;
 pub use parallel::{par_trace, par_trace_timed, ParEdgeVisitor};
 pub use stats::GcStats;
 pub use tracer::{trace, EdgeAction, EdgeVisitor, TraceAll, TraceStats};
-pub use verify::verify_post_collection;
+pub use verify::{verify_post_collection, verify_post_incremental_collection};

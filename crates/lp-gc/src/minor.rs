@@ -17,14 +17,16 @@ use std::time::Instant;
 
 use lp_heap::{Heap, RootSet};
 
-use crate::collector::CollectionOutcome;
+use crate::collector::{CollectionKind, CollectionOutcome};
 use crate::tracer::TraceStats;
 
 /// Runs a minor collection: marks reachable nursery objects from the
 /// program roots plus the remembered set, then sweeps the nursery.
 ///
-/// Returns an outcome whose `gc_index` is 0 — minor collections do not
-/// advance the full-heap collection numbering that drives staleness.
+/// Returns an outcome whose `gc_index` is `None` and whose `kind` is
+/// [`CollectionKind::Minor`] — minor collections do not advance the
+/// full-heap collection numbering that drives staleness, and telemetry
+/// consumers must never attribute them to a numbered full collection.
 pub fn collect_minor(heap: &mut Heap, roots: &RootSet) -> CollectionOutcome {
     heap.begin_mark_epoch();
 
@@ -54,7 +56,8 @@ pub fn collect_minor(heap: &mut Heap, roots: &RootSet) -> CollectionOutcome {
     let sweep_time = sweep_start.elapsed();
 
     CollectionOutcome {
-        gc_index: 0,
+        gc_index: None,
+        kind: CollectionKind::Minor,
         trace: stats,
         swept,
         live_bytes_after: heap.used_bytes(),

@@ -21,6 +21,9 @@ pub struct GcStats {
     total_marked_bytes: u64,
     total_freed_bytes: u64,
     total_freed_objects: u64,
+    incremental_cycles: u64,
+    mark_quanta: u64,
+    budget_overruns: u64,
 }
 
 impl GcStats {
@@ -88,6 +91,25 @@ impl GcStats {
         self.total_freed_objects
     }
 
+    /// Full collections whose mark phase ran incrementally (a subset of
+    /// [`GcStats::collections`]).
+    pub fn incremental_cycles(&self) -> u64 {
+        self.incremental_cycles
+    }
+
+    /// Bounded mark quanta run across all incremental cycles (final
+    /// flushes are not quanta).
+    pub fn mark_quanta(&self) -> u64 {
+        self.mark_quanta
+    }
+
+    /// Quanta that processed more objects than their budget — an
+    /// oversized SATB drain is worked off immediately rather than
+    /// deferred, so it shows up here instead of stretching the log.
+    pub fn budget_overruns(&self) -> u64 {
+        self.budget_overruns
+    }
+
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn record(
         &mut self,
@@ -111,6 +133,12 @@ impl GcStats {
         self.total_marked_bytes += marked_bytes;
         self.total_freed_objects += freed_objects;
         self.total_freed_bytes += freed_bytes;
+    }
+
+    pub(crate) fn record_incremental(&mut self, quanta: u64, budget_overruns: u64) {
+        self.incremental_cycles += 1;
+        self.mark_quanta += quanta;
+        self.budget_overruns += budget_overruns;
     }
 }
 
@@ -170,5 +198,16 @@ mod tests {
         assert_eq!(s.sweep_thread_busy(), Duration::from_millis(4));
         assert_eq!(s.max_mark_threads(), 2);
         assert_eq!(s.max_sweep_threads(), 3);
+    }
+
+    #[test]
+    fn incremental_counters_accumulate_separately() {
+        let mut s = GcStats::default();
+        assert_eq!(s.incremental_cycles(), 0);
+        s.record_incremental(12, 1);
+        s.record_incremental(7, 0);
+        assert_eq!(s.incremental_cycles(), 2);
+        assert_eq!(s.mark_quanta(), 19);
+        assert_eq!(s.budget_overruns(), 1);
     }
 }

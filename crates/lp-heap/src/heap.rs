@@ -42,6 +42,13 @@ pub struct SweepOutcome {
 /// skip the bulk of its capacity.
 pub const CHUNK_SLOTS: usize = 4096;
 
+/// Capacity of the SATB (snapshot-at-the-beginning) log used by incremental
+/// mark cycles. The log is drained at every mark quantum, so it only needs
+/// to absorb the overwrites of one mutator slice; pushes beyond the cap are
+/// counted as overflow and force the cycle to degrade to a full stop-the-
+/// world re-mark at its final flush (soundness over latency).
+pub const SATB_LOG_CAP: usize = 1 << 16;
+
 /// Per-chunk summary: how many slots hold an object, and how many of those
 /// have been marked in the current epoch.
 ///
@@ -131,6 +138,20 @@ pub struct Heap {
     /// One summary per [`CHUNK_SLOTS`] run of slots; lets sweeps and
     /// iteration skip empty and fully-live chunks.
     chunks: Vec<ChunkSummary>,
+    /// SATB log for an active incremental mark cycle: slots whose incoming
+    /// references were overwritten since the cycle's snapshot. Drained each
+    /// mark quantum; bounded at [`SATB_LOG_CAP`].
+    satb: Vec<u32>,
+    /// Whether an incremental mark cycle is active (the write barrier's
+    /// cheap guard).
+    satb_active: bool,
+    /// Pushes dropped because the log was full. Non-zero at flush time
+    /// means the snapshot is incomplete and the cycle must re-mark STW.
+    satb_overflow: u64,
+    /// `young.len()` when the cycle began: nursery entries past this index
+    /// were allocated during the cycle and are marked live at the flush
+    /// (SATB allocates grey).
+    satb_young_watermark: usize,
     /// Event bus for allocation/free accounting events. Disabled (one
     /// relaxed load per emission) until the owner attaches a listener.
     telemetry: Telemetry,
@@ -155,6 +176,10 @@ impl Heap {
             young_bytes: 0,
             remembered: Vec::new(),
             chunks: Vec::new(),
+            satb: Vec::new(),
+            satb_active: false,
+            satb_overflow: 0,
+            satb_young_watermark: 0,
             telemetry: Telemetry::new(),
         }
     }
@@ -381,6 +406,77 @@ impl Heap {
         &self.remembered
     }
 
+    // ----- incremental marking (SATB) support ----------------------------
+
+    /// Opens an incremental mark cycle: arms the SATB write barrier and
+    /// records the nursery watermark so objects allocated during the cycle
+    /// can be treated as live at the final flush ("allocate grey").
+    ///
+    /// Must be called after [`Heap::begin_mark_epoch`] for the cycle, and
+    /// balanced by [`Heap::satb_end`] before the cycle's sweep.
+    pub fn satb_begin(&mut self) {
+        debug_assert!(!self.satb_active, "nested incremental mark cycle");
+        self.satb.clear();
+        self.satb_active = true;
+        self.satb_overflow = 0;
+        self.satb_young_watermark = self.young.len();
+    }
+
+    /// Whether an incremental mark cycle (and hence the SATB write barrier)
+    /// is active.
+    pub fn satb_active(&self) -> bool {
+        self.satb_active
+    }
+
+    /// Logs `slot` as the target of an overwritten reference. The snapshot
+    /// invariant needs the *old* target of every store during a cycle:
+    /// everything reachable when the cycle began stays live until the
+    /// cycle's sweep. A no-op when no cycle is active; pushes beyond
+    /// [`SATB_LOG_CAP`] are counted as overflow instead of growing the log.
+    pub fn satb_push(&mut self, slot: u32) {
+        if !self.satb_active {
+            return;
+        }
+        if self.satb.len() < SATB_LOG_CAP {
+            self.satb.push(slot);
+        } else {
+            self.satb_overflow += 1;
+        }
+    }
+
+    /// Takes the pending SATB entries (possibly duplicated; callers
+    /// deduplicate through [`Heap::try_mark`]).
+    pub fn satb_drain(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.satb)
+    }
+
+    /// Number of pending SATB entries.
+    pub fn satb_len(&self) -> usize {
+        self.satb.len()
+    }
+
+    /// Pushes dropped on a full log since [`Heap::satb_begin`]. Non-zero
+    /// means the snapshot is incomplete: the cycle must re-mark from the
+    /// roots stop-the-world before sweeping.
+    pub fn satb_overflowed(&self) -> u64 {
+        self.satb_overflow
+    }
+
+    /// Nursery slots allocated *during* the active cycle (past the
+    /// watermark recorded by [`Heap::satb_begin`]). These are marked at the
+    /// final flush regardless of reachability — SATB allocates grey.
+    pub fn satb_young_suffix(&self) -> &[u32] {
+        &self.young[self.satb_young_watermark.min(self.young.len())..]
+    }
+
+    /// Closes the incremental mark cycle: disarms the write barrier and
+    /// clears any remaining log entries.
+    pub fn satb_end(&mut self) {
+        self.satb_active = false;
+        self.satb.clear();
+        self.satb_young_watermark = 0;
+    }
+
     /// Reclaims every *nursery* object not marked in the current epoch and
     /// promotes the survivors to the old generation; the remembered set is
     /// cleared (no old-to-young references remain once everything young is
@@ -455,6 +551,13 @@ impl Heap {
     /// Starts a new mark epoch (a new collection) and returns it. All
     /// objects become unmarked.
     pub fn begin_mark_epoch(&mut self) -> u32 {
+        // A new epoch would silently unmark everything an active
+        // incremental cycle has marked so far; the cycle must be flushed
+        // (or abandoned via `satb_end`) first.
+        debug_assert!(
+            !self.satb_active,
+            "begin_mark_epoch during an active incremental mark cycle"
+        );
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // Extremely long-running processes wrap the epoch; reset all
@@ -1205,5 +1308,80 @@ mod nursery_tests {
         let b = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
         assert_eq!(a.slot(), b.slot());
         assert!(heap.is_young(b.slot()));
+    }
+}
+
+#[cfg(test)]
+mod satb_tests {
+    use super::*;
+    use crate::class::ClassRegistry;
+
+    fn heap_with_class() -> (Heap, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let cls = reg.register("T");
+        (Heap::new(1 << 20), cls)
+    }
+
+    #[test]
+    fn pushes_are_ignored_outside_a_cycle() {
+        let (mut heap, cls) = heap_with_class();
+        let a = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        assert!(!heap.satb_active());
+        heap.satb_push(a.slot());
+        assert_eq!(heap.satb_len(), 0);
+    }
+
+    #[test]
+    fn log_accumulates_and_drains_during_a_cycle() {
+        let (mut heap, cls) = heap_with_class();
+        let a = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        let b = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        heap.begin_mark_epoch();
+        heap.satb_begin();
+        heap.satb_push(a.slot());
+        heap.satb_push(b.slot());
+        assert_eq!(heap.satb_len(), 2);
+        assert_eq!(heap.satb_drain(), vec![a.slot(), b.slot()]);
+        assert_eq!(heap.satb_len(), 0);
+        heap.satb_end();
+        assert!(!heap.satb_active());
+    }
+
+    #[test]
+    fn overflow_is_counted_not_grown() {
+        let (mut heap, cls) = heap_with_class();
+        let a = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        heap.begin_mark_epoch();
+        heap.satb_begin();
+        for _ in 0..(SATB_LOG_CAP + 3) {
+            heap.satb_push(a.slot());
+        }
+        assert_eq!(heap.satb_len(), SATB_LOG_CAP);
+        assert_eq!(heap.satb_overflowed(), 3);
+        heap.satb_end();
+        assert_eq!(heap.satb_len(), 0);
+    }
+
+    #[test]
+    fn young_suffix_tracks_allocations_during_the_cycle() {
+        let (mut heap, cls) = heap_with_class();
+        heap.alloc(cls, &AllocSpec::leaf(0)).unwrap(); // pre-cycle nursery
+        heap.begin_mark_epoch();
+        heap.satb_begin();
+        assert!(heap.satb_young_suffix().is_empty());
+        let b = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        let c = heap.alloc(cls, &AllocSpec::leaf(0)).unwrap();
+        assert_eq!(heap.satb_young_suffix(), &[b.slot(), c.slot()]);
+        heap.satb_end();
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_mark_epoch during an active incremental mark cycle")]
+    #[cfg(debug_assertions)]
+    fn a_new_epoch_inside_a_cycle_is_rejected() {
+        let (mut heap, _cls) = heap_with_class();
+        heap.begin_mark_epoch();
+        heap.satb_begin();
+        heap.begin_mark_epoch();
     }
 }

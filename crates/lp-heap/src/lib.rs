@@ -58,7 +58,7 @@ pub mod verify;
 pub use class::{ClassId, ClassRegistry};
 pub use error::AllocError;
 pub use finalizer::FinalizeLog;
-pub use heap::{Heap, SweepOutcome, CHUNK_SLOTS};
+pub use heap::{Heap, SweepOutcome, CHUNK_SLOTS, SATB_LOG_CAP};
 pub use layout::{AllocSpec, HEADER_BYTES, REF_BYTES, WORD_BYTES};
 pub use object::{Object, STALE_MAX};
 pub use roots::{FrameId, RootSet, StaticId, REGISTER_FILE_SIZE};

@@ -20,6 +20,7 @@ pub struct TenantSpec {
     pub(crate) arrival_rate: u64,
     pub(crate) total_requests: Option<u64>,
     pub(crate) pruning: bool,
+    pub(crate) incremental_mark: Option<usize>,
     pub(crate) service: Box<dyn Service>,
 }
 
@@ -39,6 +40,7 @@ impl TenantSpec {
             arrival_rate: 8,
             total_requests: None,
             pruning: true,
+            incremental_mark: None,
             service,
         }
     }
@@ -88,6 +90,16 @@ impl TenantSpec {
     /// Enables or disables leak pruning in this tenant's runtime.
     pub fn pruning(mut self, enabled: bool) -> TenantSpec {
         self.pruning = enabled;
+        self
+    }
+
+    /// Marks this tenant's full collections incrementally, at most
+    /// `budget` objects per mark quantum, instead of stop-the-world. The
+    /// worker interleaves quanta with request processing, so other
+    /// tenants' rounds — and this tenant's own requests — no longer sit
+    /// behind a full-heap mark pause.
+    pub fn incremental_mark(mut self, budget: usize) -> TenantSpec {
+        self.incremental_mark = Some(budget);
         self
     }
 
@@ -172,7 +184,12 @@ mod tests {
         assert_eq!(spec.heap_capacity, 256 * 1024);
         assert_eq!(spec.byte_budget, spec.heap_capacity);
         assert!(spec.pruning);
-        assert_eq!(spec.name_str(), "t0");
+        assert_eq!(spec.incremental_mark, None);
+        assert_eq!(
+            spec.incremental_mark(512).incremental_mark,
+            Some(512),
+            "builder sets the quantum budget"
+        );
     }
 
     #[test]

@@ -104,6 +104,7 @@ impl TenantWorker {
             arrival_rate,
             total_requests,
             pruning,
+            incremental_mark,
             service,
         } = spec;
         let (queue_tx, queue_rx) = sync_channel::<()>(queue_capacity);
@@ -119,10 +120,11 @@ impl TenantWorker {
         let thread = std::thread::Builder::new()
             .name(format!("tenant-{name}"))
             .spawn(move || {
-                let config = PruningConfig::builder(heap_capacity)
-                    .pruning(pruning)
-                    .build();
-                let mut rt = Runtime::new(config);
+                let mut builder = PruningConfig::builder(heap_capacity).pruning(pruning);
+                if let Some(budget) = incremental_mark {
+                    builder = builder.incremental_mark(budget);
+                }
+                let mut rt = Runtime::new(builder.build());
                 rt.set_byte_budget(Some(byte_budget));
                 rt.telemetry().add_sink(Box::new(worker_sink));
                 worker_main(
@@ -279,6 +281,11 @@ fn worker_main(
                     // arbiter-forced collections see the true live set.
                     rt.release_registers();
                 }
+                // Marking progresses even when the queue is empty: a few
+                // quanta per round keep an in-flight incremental cycle
+                // moving toward its flush for idle tenants too. No-op
+                // unless the spec enabled incremental marking.
+                rt.step_incremental(4);
             }
             Command::ForceCollect => {
                 rt.force_gc();
@@ -337,6 +344,25 @@ mod tests {
         let collected = worker.wait().unwrap();
         assert!(collected.gc_count > busy.gc_count);
         assert_eq!(collected.processed, 0);
+        worker.join();
+    }
+
+    #[test]
+    fn incremental_tenant_serves_a_leak_without_failing() {
+        let mut worker =
+            TenantWorker::spawn(spec(Box::new(LeakyService::new())).incremental_mark(256)).unwrap();
+        let mut processed = 0;
+        for _ in 0..40 {
+            for _ in 0..64 {
+                let _ = offer(&worker.queue, &worker.counters, false);
+            }
+            worker.send(Command::Round { max_requests: 64 });
+            processed += worker.wait().unwrap().processed;
+        }
+        let report = &worker.last_report;
+        assert!(report.failed.is_none(), "{report:?}");
+        assert!(processed > 0);
+        assert!(report.gc_count > 0, "collections ran incrementally");
         worker.join();
     }
 

@@ -154,6 +154,43 @@ pub enum Event {
         freed_objects: u64,
         /// References poisoned by the collection.
         pruned_refs: u64,
+        /// Mark-phase wall time in nanoseconds. For incremental
+        /// collections this is the *accumulated* marking time across all
+        /// quanta plus the final flush — mutator work ran inside it, so it
+        /// is not a pause.
+        mark_nanos: u64,
+        /// Sweep-phase wall time in nanoseconds.
+        sweep_nanos: u64,
+        /// Wall time of the final stop-the-world flush in nanoseconds,
+        /// present only for incremental collections. The collection's
+        /// longest mutator pause is `flush_nanos + sweep_nanos`; for
+        /// stop-the-world collections (`None`) it is
+        /// `mark_nanos + sweep_nanos`.
+        flush_nanos: Option<u64>,
+    },
+    /// One bounded increment of an incremental mark cycle ran between
+    /// mutator slices. Each quantum is a short mutator pause of its own,
+    /// which is why it carries its wall time.
+    MarkQuantum {
+        /// 1-based index of the collection the quantum belongs to.
+        gc_index: u64,
+        /// Objects newly marked during the quantum.
+        objects: u64,
+        /// Bytes of the objects newly marked during the quantum.
+        bytes: u64,
+        /// SATB log entries drained at the start of the quantum.
+        satb_drained: u64,
+        /// Wall-clock duration of the quantum in nanoseconds.
+        nanos: u64,
+    },
+    /// A minor (nursery) collection ran. Deliberately carries no
+    /// `gc_index`: minor collections do not advance the full-heap
+    /// numbering, and consumers must never attribute them to one.
+    MinorCollection {
+        /// Objects reclaimed from the nursery.
+        freed_objects: u64,
+        /// Bytes reclaimed from the nursery.
+        freed_bytes: u64,
         /// Mark-phase wall time in nanoseconds.
         mark_nanos: u64,
         /// Sweep-phase wall time in nanoseconds.
@@ -328,6 +365,8 @@ impl Event {
             Event::SelectionEdge { .. } => "select_edge",
             Event::SelectionStale { .. } => "select_stale",
             Event::Collection { .. } => "collection",
+            Event::MarkQuantum { .. } => "mark_quantum",
+            Event::MinorCollection { .. } => "minor_collection",
             Event::CounterDelta { .. } => "counters",
             Event::EdgeCensus { .. } => "census",
             Event::Alloc { .. } => "alloc",
@@ -451,6 +490,7 @@ impl TraceLine {
                 pruned_refs,
                 mark_nanos,
                 sweep_nanos,
+                flush_nanos,
             } => {
                 field("gc", JsonValue::from_u64(*gc_index));
                 field("state", JsonValue::Str(state.clone()));
@@ -459,6 +499,35 @@ impl TraceLine {
                 field("freed_bytes", JsonValue::from_u64(*freed_bytes));
                 field("freed_objects", JsonValue::from_u64(*freed_objects));
                 field("pruned_refs", JsonValue::from_u64(*pruned_refs));
+                field("mark_ns", JsonValue::from_u64(*mark_nanos));
+                field("sweep_ns", JsonValue::from_u64(*sweep_nanos));
+                // Absent (not null) for stop-the-world collections, so
+                // pre-incremental traces parse unchanged.
+                if let Some(flush) = flush_nanos {
+                    field("flush_ns", JsonValue::from_u64(*flush));
+                }
+            }
+            Event::MarkQuantum {
+                gc_index,
+                objects,
+                bytes,
+                satb_drained,
+                nanos,
+            } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+                field("objects", JsonValue::from_u64(*objects));
+                field("bytes", JsonValue::from_u64(*bytes));
+                field("satb_drained", JsonValue::from_u64(*satb_drained));
+                field("ns", JsonValue::from_u64(*nanos));
+            }
+            Event::MinorCollection {
+                freed_objects,
+                freed_bytes,
+                mark_nanos,
+                sweep_nanos,
+            } => {
+                field("freed_objects", JsonValue::from_u64(*freed_objects));
+                field("freed_bytes", JsonValue::from_u64(*freed_bytes));
                 field("mark_ns", JsonValue::from_u64(*mark_nanos));
                 field("sweep_ns", JsonValue::from_u64(*sweep_nanos));
             }
@@ -677,6 +746,20 @@ impl TraceLine {
                 freed_bytes: need_u64(&value, "freed_bytes")?,
                 freed_objects: need_u64(&value, "freed_objects")?,
                 pruned_refs: need_u64(&value, "pruned_refs")?,
+                mark_nanos: need_u64(&value, "mark_ns")?,
+                sweep_nanos: need_u64(&value, "sweep_ns")?,
+                flush_nanos: value.get("flush_ns").and_then(JsonValue::as_u64),
+            },
+            "mark_quantum" => Event::MarkQuantum {
+                gc_index: need_u64(&value, "gc")?,
+                objects: need_u64(&value, "objects")?,
+                bytes: need_u64(&value, "bytes")?,
+                satb_drained: need_u64(&value, "satb_drained")?,
+                nanos: need_u64(&value, "ns")?,
+            },
+            "minor_collection" => Event::MinorCollection {
+                freed_objects: need_u64(&value, "freed_objects")?,
+                freed_bytes: need_u64(&value, "freed_bytes")?,
                 mark_nanos: need_u64(&value, "mark_ns")?,
                 sweep_nanos: need_u64(&value, "sweep_ns")?,
             },
@@ -926,6 +1009,34 @@ mod tests {
             pruned_refs: 3,
             mark_nanos: 500_000,
             sweep_nanos: 250_000,
+            flush_nanos: None,
+        });
+        // Incremental collections carry the final-flush pause as an extra,
+        // optional key; both shapes must survive the wire.
+        round_trip(Event::Collection {
+            gc_index: 13,
+            state: "INACTIVE".to_owned(),
+            live_bytes_after: 1_048_576,
+            live_objects_after: 4096,
+            freed_bytes: 2_097_152,
+            freed_objects: 8192,
+            pruned_refs: 0,
+            mark_nanos: 500_000,
+            sweep_nanos: 250_000,
+            flush_nanos: Some(40_000),
+        });
+        round_trip(Event::MarkQuantum {
+            gc_index: 13,
+            objects: 256,
+            bytes: 65_536,
+            satb_drained: 9,
+            nanos: 12_345,
+        });
+        round_trip(Event::MinorCollection {
+            freed_objects: 300,
+            freed_bytes: 24_000,
+            mark_nanos: 30_000,
+            sweep_nanos: 15_000,
         });
         round_trip(Event::CounterDelta {
             gc_index: 12,

@@ -13,8 +13,9 @@ const MAX_SAMPLES: usize = 1 << 20;
 
 #[derive(Debug, Default)]
 struct Samples {
-    /// Per-collection pause (mark + sweep wall time), nanoseconds,
-    /// in arrival order.
+    /// Mutator pauses in nanoseconds, in arrival order: one per
+    /// `collection` event (mark + sweep, or flush + sweep when the mark
+    /// phase ran incrementally) and one per `mark_quantum` event.
     pauses: Vec<u64>,
     /// Collections observed after the sample cap was hit.
     truncated: u64,
@@ -117,18 +118,27 @@ impl PauseHistogram {
 
 impl Sink for PauseHistogram {
     fn record(&mut self, line: &TraceLine) {
-        if let Event::Collection {
-            mark_nanos,
-            sweep_nanos,
-            ..
-        } = line.event
-        {
-            let mut samples = self.lock();
-            if samples.pauses.len() < MAX_SAMPLES {
-                samples.pauses.push(mark_nanos.saturating_add(sweep_nanos));
-            } else {
-                samples.truncated += 1;
-            }
+        // A stop-the-world collection pauses the mutator for mark + sweep.
+        // An incremental collection's terminal pause is flush + sweep (the
+        // accumulated mark time ran interleaved with the mutator); each of
+        // its quanta is a separate short pause and gets its own sample.
+        let pause = match line.event {
+            Event::Collection {
+                mark_nanos,
+                sweep_nanos,
+                flush_nanos,
+                ..
+            } => flush_nanos
+                .unwrap_or(mark_nanos)
+                .saturating_add(sweep_nanos),
+            Event::MarkQuantum { nanos, .. } => nanos,
+            _ => return,
+        };
+        let mut samples = self.lock();
+        if samples.pauses.len() < MAX_SAMPLES {
+            samples.pauses.push(pause);
+        } else {
+            samples.truncated += 1;
         }
     }
 }
@@ -151,6 +161,7 @@ mod tests {
                 pruned_refs: 0,
                 mark_nanos: pause_nanos / 2,
                 sweep_nanos: pause_nanos - pause_nanos / 2,
+                flush_nanos: None,
             },
         }
     }
@@ -200,6 +211,42 @@ mod tests {
         let alias = a.clone();
         a.merge(&alias);
         assert_eq!(a.count(), 5);
+    }
+
+    #[test]
+    fn incremental_collections_sample_flush_plus_sweep_and_each_quantum() {
+        let mut h = PauseHistogram::new();
+        h.record(&TraceLine {
+            seq: 0,
+            ts_nanos: 0,
+            event: Event::MarkQuantum {
+                gc_index: 1,
+                objects: 64,
+                bytes: 4096,
+                satb_drained: 2,
+                nanos: 700,
+            },
+        });
+        h.record(&TraceLine {
+            seq: 1,
+            ts_nanos: 0,
+            event: Event::Collection {
+                gc_index: 1,
+                state: "OBSERVE".to_owned(),
+                live_bytes_after: 0,
+                live_objects_after: 0,
+                freed_bytes: 0,
+                freed_objects: 0,
+                pruned_refs: 0,
+                // Accumulated mark time is huge but ran interleaved with
+                // the mutator; the pause sample must ignore it.
+                mark_nanos: 1_000_000,
+                sweep_nanos: 300,
+                flush_nanos: Some(200),
+            },
+        });
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(Duration::from_nanos(700)));
     }
 
     #[test]

@@ -494,9 +494,14 @@ impl Sink for PrometheusSink {
             }
             // Host-plane events (admission, arbitration, run terminations)
             // are counted by the host's own exposition, not the per-tenant
-            // runtime sink.
+            // runtime sink. Mark quanta and minor collections are already
+            // rolled up elsewhere: quantum mark time lands in the Mark
+            // `PhaseEnd`, and minor-collection counts arrive via
+            // `CounterDelta::minor_collections`.
             Event::ClassReg { .. }
             | Event::PhaseBegin { .. }
+            | Event::MarkQuantum { .. }
+            | Event::MinorCollection { .. }
             | Event::Freed { .. }
             | Event::SnapshotBegin { .. }
             | Event::VerifyViolation { .. }
@@ -531,6 +536,7 @@ mod tests {
             pruned_refs: 1,
             mark_nanos: 10,
             sweep_nanos: 20,
+            flush_nanos: None,
         }
     }
 
@@ -557,6 +563,7 @@ mod tests {
                 pruned_refs: 0,
                 mark_nanos: 10,
                 sweep_nanos: 20,
+                flush_nanos: None,
             },
         ));
         sink.record(&line(

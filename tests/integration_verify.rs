@@ -63,6 +63,27 @@ fn sanitizer_is_clean_across_all_standard_workloads() {
     }
 }
 
+#[test]
+fn sanitizer_is_clean_with_incremental_marking() {
+    // Same sweep with bounded mark quanta: every collection that completes
+    // incrementally is verified with the floating-garbage-tolerant checks,
+    // and stop-the-world escalations keep the exact-reachability check.
+    // A violation in either panics inside the run.
+    for mut workload in standard_leaks() {
+        let config = PruningConfig::builder(workload.default_heap() / 4)
+            .verify_every(1)
+            .incremental_mark(128)
+            .build();
+        let opts = RunOptions::new(Flavor::Custom(Box::new(config))).iteration_cap(400);
+        let result = run_workload(workload.as_mut(), &opts);
+        assert!(
+            result.gc_count > 0,
+            "{}: the sanitizer must actually have run",
+            result.workload
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
     #[test]
