@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use lp_gc::{trace, CollectionOutcome, Collector, IncrementalMarker, QuantumReport, TraceAll};
 use lp_heap::{Heap, RootSet};
-use lp_telemetry::{EdgeShare, Event, Telemetry};
+use lp_telemetry::{EdgeShare, Event, SpanGuard, Telemetry};
 
 use crate::closures::{
     InUseVisitor, MostStaleVisitor, ObserveVisitor, PruneVisitor, Selection, StaleVisitor,
@@ -48,6 +48,13 @@ pub(crate) struct Pruner {
     /// INACTIVE and OBSERVE collections run incrementally; SELECT and
     /// PRUNE need an atomic view of staleness and stay stop-the-world.
     cycle: Option<IncrementalCycle>,
+    /// Span covering the in-flight incremental cycle, from
+    /// [`Pruner::begin_incremental_cycle`] to the terminal events of the
+    /// flush. Detached (no stack parent): the cycle outlives the
+    /// `collect_until_fits` scope that opened it, so parenting it there
+    /// would break well-nesting. Quantum and flush spans parent under it
+    /// explicitly. Inert when no cycle is active.
+    cycle_span: SpanGuard,
     /// Shared event bus (the runtime's); state transitions, SELECT
     /// decisions and exhaustion events go out on it.
     telemetry: Telemetry,
@@ -89,6 +96,7 @@ impl Pruner {
             decay_period: config.decay_max_stale_use_every(),
             select_collections: 0,
             cycle: None,
+            cycle_span: SpanGuard::inert(),
             telemetry,
         }
     }
@@ -288,6 +296,7 @@ impl Pruner {
             gc_index,
             mark_time: started.elapsed(),
         });
+        self.cycle_span = self.telemetry.span_detached("cycle", gc_index);
         true
     }
 
@@ -296,6 +305,9 @@ impl Pruner {
     /// says the worklist is drained and [`Pruner::finish_cycle`] can run.
     pub fn cycle_quantum(&mut self, heap: &mut Heap) -> Option<QuantumReport> {
         let cycle = self.cycle.as_mut()?;
+        let _quantum_span = self
+            .telemetry
+            .span_under(&self.cycle_span, "quantum", cycle.gc_index);
         let started = Instant::now();
         let report = if cycle.observing {
             let mut visitor = ObserveVisitor {
@@ -330,6 +342,9 @@ impl Pruner {
         collector: &mut Collector,
     ) -> Option<(GcRecord, lp_heap::FinalizeLog)> {
         let mut cycle = self.cycle.take()?;
+        let flush_span = self
+            .telemetry
+            .span_under(&self.cycle_span, "flush", cycle.gc_index);
         let flush_started = Instant::now();
         if cycle.observing {
             let mut visitor = ObserveVisitor {
@@ -340,6 +355,7 @@ impl Pruner {
             cycle.marker.flush(heap, roots, &mut TraceAll);
         }
         let flush_time = flush_started.elapsed();
+        drop(flush_span);
         let mark_time = cycle.mark_time + flush_time;
 
         let outcome = collector.finish_incremental(
@@ -370,6 +386,15 @@ impl Pruner {
         Some((record, finalized))
     }
 
+    /// Closes the cycle span opened by
+    /// [`Pruner::begin_incremental_cycle`]. The runtime calls this after
+    /// emitting the cycle's terminal `Collection` events so they land
+    /// inside the span; dropping the pruner closes it as a fallback,
+    /// keeping traces balanced even on abandoned cycles.
+    pub fn close_cycle_span(&mut self) {
+        self.cycle_span = SpanGuard::inert();
+    }
+
     fn advance_state(&mut self, performed: State, heap: &Heap, gc_index: u64) {
         if let Some(forced) = self.forced {
             self.state = forced;
@@ -387,6 +412,7 @@ impl Pruner {
         };
         let next = next_state(performed, &ctx);
         if next != performed {
+            let _state_span = self.telemetry.span("state", gc_index);
             self.telemetry.emit(|| Event::StateTransition {
                 gc_index,
                 from: performed.name(),
@@ -448,6 +474,7 @@ impl Pruner {
         // The selection events below are emitted from inside the mark
         // closure, where the collector has already claimed this index.
         let gc_index = collector.next_gc_index();
+        let _select_span = telemetry.span("select", gc_index);
         let mut info = None;
 
         let root_handles: Vec<lp_heap::Handle> = roots.iter().collect();
@@ -537,6 +564,7 @@ impl Pruner {
             return (collector.collect(heap, roots, &mut visitor), 0);
         };
 
+        let _prune_span = self.telemetry.span("prune", collector.next_gc_index());
         let selection: Selection = selected.selection();
         let table = &self.table;
 

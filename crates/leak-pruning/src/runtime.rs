@@ -331,6 +331,10 @@ impl Runtime {
     }
 
     fn collect_until_fits(&mut self, bytes: u64) -> Result<(), RuntimeError> {
+        // The span carries the allocation size that forced collection, so
+        // a trace ties every pause (and any prune storm) back to the
+        // request that could not fit.
+        let _span = self.telemetry.span("collect_until_fits", bytes);
         // Closing an in-flight incremental cycle is itself a full
         // collection and may already make room.
         if self.pruner.incremental_active() {
@@ -507,6 +511,9 @@ impl Runtime {
         self.history.push(record.clone());
         self.used_at_last_full = self.heap.used_bytes();
         self.emit_collection_events(&record);
+        // The terminal Collection/CounterDelta events above belong to the
+        // cycle; only now does its span close.
+        self.pruner.close_cycle_span();
         if let Some(period) = self.config.verify_period() {
             if record.gc_index.is_multiple_of(period) {
                 self.verify_after_collection(record.gc_index, true);
@@ -580,6 +587,7 @@ impl Runtime {
             self.finish_incremental_collection();
         }
         let gc_index = self.collector.next_gc_index();
+        let snapshot_span = self.telemetry.span("snapshot", gc_index);
         self.telemetry.emit(|| Event::SnapshotBegin { gc_index });
         let roots = &self.roots;
         let classes = &self.classes;
@@ -602,6 +610,7 @@ impl Runtime {
             live_bytes: snapshot.live_bytes(),
             nanos: capture.trace_nanos + capture.record_nanos,
         });
+        drop(snapshot_span);
         capture
     }
 
@@ -652,6 +661,11 @@ impl Runtime {
             || self.reads_since_gc >= MUTATOR_PROGRESS_READS;
         self.bytes_since_gc = 0;
         self.reads_since_gc = 0;
+        // The span's arg is the index this collection is about to claim;
+        // the terminal Collection/CounterDelta events land inside it.
+        let _collection_span = self
+            .telemetry
+            .span("collection", self.collector.next_gc_index());
         let (record, finalized) = self.pruner.collect(
             &mut self.heap,
             &self.roots,

@@ -1,6 +1,6 @@
 //! Generates a human-readable leak report from a heap snapshot.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! - `leak_report <snapshot.jsonl>` — offline: analyse an existing
 //!   snapshot file (e.g. one written by
@@ -9,18 +9,23 @@
 //! - `leak_report --live [iterations]` — run the ListLeak workload for
 //!   `iterations` (default 4000) iterations, capture a snapshot from the
 //!   live runtime, and join it with the runtime's edge table and flight
-//!   recorder. Writes the snapshot, the report, the
-//!   `lp_retained_bytes{class=...}` gauges and a snapshot pause-cost CSV
-//!   to `bench_out/`.
+//!   recorder. Writes the snapshot (plus a mid-run snapshot for
+//!   diffing), the report, the `lp_retained_bytes{class=...}` gauges and
+//!   a snapshot pause-cost CSV to `bench_out/`.
+//! - `leak_report --diff <a.jsonl> <b.jsonl>` — diff two snapshots of
+//!   the same heap: per-class and per-dominator retained-size deltas
+//!   with grown/new/shrunk/freed attribution. Writes `leak_diff.txt`.
 //!
 //! `--expect-class <name>` (CI hook) exits non-zero unless the #1
-//! retained-size dominator is of that class.
+//! retained-size dominator is of that class — or, with `--diff`, unless
+//! that class carries at least `--min-growth-share` percent (default 90)
+//! of the retained growth.
 
 use std::process::ExitCode;
 
 use leak_pruning::{PruningConfig, Runtime};
 use lp_bench::output_dir;
-use lp_diagnose::{Analysis, EdgeSummary, HeapSnapshot};
+use lp_diagnose::{Analysis, EdgeSummary, HeapSnapshot, SnapshotDiff};
 use lp_workloads::driver::Workload;
 use lp_workloads::leaks::ListLeak;
 
@@ -30,23 +35,37 @@ const LIVE_HEAP: u64 = 2 << 20;
 struct Args {
     snapshot_path: Option<String>,
     live: bool,
+    diff: Option<(String, String)>,
     iterations: u64,
     expect_class: Option<String>,
+    min_growth_share: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         snapshot_path: None,
         live: false,
+        diff: None,
         iterations: 4000,
         expect_class: None,
+        min_growth_share: 90.0,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--live" => args.live = true,
+            "--diff" => {
+                let a = argv.next().ok_or("--diff needs two snapshot paths")?;
+                let b = argv.next().ok_or("--diff needs two snapshot paths")?;
+                args.diff = Some((a, b));
+            }
             "--expect-class" => {
                 args.expect_class = Some(argv.next().ok_or("--expect-class needs a class name")?);
+            }
+            "--min-growth-share" => {
+                let pct = argv.next().ok_or("--min-growth-share needs a percentage")?;
+                args.min_growth_share =
+                    pct.parse().map_err(|_| format!("bad percentage {pct:?}"))?;
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
@@ -62,16 +81,23 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
-    if args.live == args.snapshot_path.is_some() {
-        return Err("pass exactly one of <snapshot.jsonl> or --live [iterations]".to_owned());
+    let modes = usize::from(args.live)
+        + usize::from(args.diff.is_some())
+        + usize::from(args.snapshot_path.is_some());
+    if modes != 1 {
+        return Err(
+            "pass exactly one of <snapshot.jsonl>, --live [iterations], or --diff <a> <b>"
+                .to_owned(),
+        );
     }
     Ok(args)
 }
 
-/// Runs ListLeak and returns the runtime plus the wall time of the last
-/// plain (non-snapshot) collection's mark phase, for the pause-cost
-/// comparison.
-fn run_live(iterations: u64) -> Result<(Runtime, u64), String> {
+/// Runs ListLeak and returns the runtime, the wall time of the last
+/// plain (non-snapshot) collection's mark phase (for the pause-cost
+/// comparison), and a snapshot captured halfway through the run — the
+/// earlier endpoint for `--diff`, so CI can check growth attribution.
+fn run_live(iterations: u64) -> Result<(Runtime, u64, HeapSnapshot), String> {
     let config = PruningConfig::builder(LIVE_HEAP)
         .flight_recorder(512)
         .build();
@@ -79,17 +105,77 @@ fn run_live(iterations: u64) -> Result<(Runtime, u64), String> {
     let mut workload = ListLeak::new();
     workload.setup(&mut rt).map_err(|e| format!("setup: {e}"))?;
     rt.release_registers();
+    let mut mid = None;
     for i in 0..iterations {
         workload
             .iterate(&mut rt, i)
             .map_err(|e| format!("iteration {i}: {e}"))?;
         rt.release_registers();
+        if i + 1 == iterations / 2 {
+            mid = Some(rt.capture_snapshot().snapshot);
+        }
     }
+    let mid = mid.unwrap_or_else(|| rt.capture_snapshot().snapshot);
     // A plain forced collection right before the snapshot: its mark time
     // is the baseline the snapshot's pause is compared against.
     let plain = rt.force_gc();
     let plain_mark_nanos = u64::try_from(plain.mark_time.as_nanos()).unwrap_or(u64::MAX);
-    Ok((rt, plain_mark_nanos))
+    Ok((rt, plain_mark_nanos, mid))
+}
+
+/// `--diff` mode: attribute retained growth between two snapshot files.
+fn run_diff(path_a: &str, path_b: &str, args: &Args) -> ExitCode {
+    let load = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| HeapSnapshot::parse(&text).map_err(|e| format!("{path}: {e}")))
+    };
+    let (a, b) = match (load(path_a), load(path_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("leak_report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diff = SnapshotDiff::new(&a, &b);
+    let rendered = diff.render();
+    print!("{rendered}");
+    match write_out("leak_diff.txt", &rendered) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("leak_report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(expected) = &args.expect_class {
+        match diff.growth_share(expected) {
+            Some(share) if share * 100.0 >= args.min_growth_share => {
+                println!(
+                    "growth attribution check passed: {expected} carries {:.1}% of {} bytes growth",
+                    share * 100.0,
+                    diff.growth(),
+                );
+            }
+            Some(share) => {
+                eprintln!(
+                    "leak_report: {expected} carries only {:.1}% of the growth \
+                     (need {:.1}%)",
+                    share * 100.0,
+                    args.min_growth_share,
+                );
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!(
+                    "leak_report: heap did not grow between gc #{} and gc #{}",
+                    diff.gc_indices.0, diff.gc_indices.1
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn write_out(name: &str, contents: &str) -> Result<std::path::PathBuf, String> {
@@ -105,11 +191,16 @@ fn main() -> ExitCode {
             eprintln!("leak_report: {e}");
             eprintln!(
                 "usage: leak_report <snapshot.jsonl> | --live [iterations] \
-                 [--expect-class <name>]"
+                 | --diff <a.jsonl> <b.jsonl> \
+                 [--expect-class <name>] [--min-growth-share <percent>]"
             );
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some((path_a, path_b)) = args.diff.clone() {
+        return run_diff(&path_a, &path_b, &args);
+    }
 
     let result = if args.live {
         eprintln!(
@@ -117,7 +208,7 @@ fn main() -> ExitCode {
             args.iterations
         );
         match run_live(args.iterations) {
-            Ok((mut rt, plain_mark_nanos)) => {
+            Ok((mut rt, plain_mark_nanos, mid)) => {
                 let capture = rt.capture_snapshot();
                 let snapshot = capture.snapshot.clone();
                 let edges: Vec<EdgeSummary> = rt
@@ -132,7 +223,12 @@ fn main() -> ExitCode {
                     .collect();
                 let recent = rt.telemetry().recorder_snapshot();
 
-                let mut files = vec![("list_leak_snapshot.jsonl", snapshot.to_jsonl())];
+                let mut files = vec![
+                    ("list_leak_snapshot.jsonl", snapshot.to_jsonl()),
+                    // The mid-run capture: `--diff` it against the final
+                    // snapshot to see the leak as a *trend*.
+                    ("list_leak_snapshot_mid.jsonl", mid.to_jsonl()),
+                ];
                 // Pause-cost record: what the snapshot collection's mark
                 // phase cost versus an ordinary one (see DESIGN.md,
                 // "Diagnosis" — methodology).

@@ -2,7 +2,7 @@
 //! fast and cold paths, and of the store path with and without an active
 //! incremental mark cycle (the SATB deleted-reference barrier).
 //!
-//! Four fixed-iteration measurements over one object web:
+//! Five fixed-iteration measurements, four over one object web:
 //!
 //! * `read_cold` — `read_field` immediately after a full collection, when
 //!   every reference still carries the unlogged bit: the slow path that
@@ -14,6 +14,11 @@
 //!   active: each overwrite of a non-null reference also pushes the old
 //!   target onto the SATB log. The delta against `write_idle` is the whole
 //!   cost the tentpole adds to the mutator's store path.
+//! * `loop_baseline` / `span_disabled` — a bare counting loop, then the
+//!   same loop opening and dropping a span guard on a bus with no sinks
+//!   attached: one relaxed load and an inert guard. The delta is the
+//!   price every instrumented hot path pays when tracing is off, and it
+//!   must stay within the lazy-emit bound (~1 ns).
 //!
 //! Writes per sample stay well under the SATB log capacity, and the log is
 //! drained (one mark quantum) between samples so no trial measures an
@@ -25,7 +30,7 @@
 use std::io::Write as _;
 
 use leak_pruning::{ForcedState, PruningConfig, Runtime};
-use lp_bench::micro::{measure_in, MicroStats, CSV_HEADER};
+use lp_bench::micro::{measure, measure_in, MicroStats, CSV_HEADER};
 use lp_bench::output_dir;
 use lp_heap::{AllocSpec, Handle};
 
@@ -158,6 +163,30 @@ fn main() {
         write_rt.step_incremental(64);
     }
 
+    // Span guard, disabled: a fresh bus with no sinks never assigns ids
+    // or takes the state lock — the guard is one relaxed load, a
+    // not-taken branch and an inert value. Measured as a delta against
+    // the identical loop without the guard (the same methodology as the
+    // SATB idle/marking pair), so loop and black-box overhead cancel.
+    let baseline = measure(trials, OPS, || {
+        for i in 0..OPS {
+            std::hint::black_box(i);
+        }
+    });
+    results.push(("loop_baseline", baseline));
+    let bus = lp_telemetry::Telemetry::new();
+    assert!(!bus.is_enabled(), "a sinkless bus must be disabled");
+    let span_disabled = measure(trials, OPS, || {
+        for i in 0..OPS {
+            // Bound and dropped like a real call site (`let _span = …`),
+            // not black-boxed: forcing the 24-byte guard through memory
+            // would charge the measurement for spills no caller pays.
+            let _span = bus.span("request", i);
+            std::hint::black_box(i);
+        }
+    });
+    results.push(("span_disabled", span_disabled));
+
     let path = output_dir().join("microbench.csv");
     let mut file = std::fs::File::create(&path).expect("create csv");
     writeln!(file, "{CSV_HEADER}").expect("write header");
@@ -178,6 +207,12 @@ fn main() {
     println!(
         "\nSATB barrier adds {:.2} ns/store while marking (idle {idle_med:.2} -> marking {marking_med:.2})",
         marking_med - idle_med
+    );
+    let baseline_med = results[4].1.median_ns;
+    let span_med = results[5].1.median_ns;
+    println!(
+        "disabled span guard adds {:.2} ns/span (loop {baseline_med:.2} -> guarded {span_med:.2}; bound: 1 ns)",
+        span_med - baseline_med
     );
     println!("wrote {}", path.display());
 }

@@ -14,17 +14,27 @@
 //!   arrivals, writes the bound ops address to `PORT_FILE`, and serves
 //!   rounds until `POST /shutdown` — the `load_gen` binary drives it
 //!   over HTTP.
+//! - **`--trace TRACE_DIR`**: the deterministic run, additionally
+//!   writing JSONL traces (`serve_host.jsonl` plus one per tenant) to
+//!   `TRACE_DIR` and asserting the causal span story: a prune on the
+//!   leaky worker nests under the request that forced it, and host
+//!   service spans nest under round spans. Feed the traces to
+//!   `trace_export` for Perfetto.
 //!
 //! Exits non-zero if the run violates the serving invariants (leaky
 //! tenant not quarantined, healthy tenants shed or pruned, too few
 //! requests processed).
 
+use std::collections::BTreeMap;
 use std::io::{Read, Write as IoWrite};
 use std::net::TcpStream;
+use std::path::Path;
 use std::process::ExitCode;
 
 use lp_bench::output_dir;
+use lp_bench::trace::Trace;
 use lp_server::{Host, HostConfig, TenantSpec, TenantState};
+use lp_telemetry::Event;
 use lp_workloads::{HealthyService, LeakyService};
 
 const KB: u64 = 1024;
@@ -109,8 +119,104 @@ fn listen_mode(port_file: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn deterministic_run() -> ExitCode {
+/// Loads a JSONL trace, validates span discipline, and returns
+/// `span id -> (name, parent)` for ancestry checks.
+fn load_spans(path: &Path) -> Result<BTreeMap<u64, (&'static str, Option<u64>)>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let trace = Trace::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    trace
+        .check_spans()
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut spans = BTreeMap::new();
+    for line in trace.lines() {
+        if let Event::SpanBegin {
+            id, parent, name, ..
+        } = &line.event
+        {
+            spans.insert(*id, (*name, *parent));
+        }
+    }
+    Ok(spans)
+}
+
+/// Whether any span named `needle` has an ancestor named `ancestor`.
+fn nested_under(
+    spans: &BTreeMap<u64, (&'static str, Option<u64>)>,
+    needle: &str,
+    ancestor: &str,
+) -> bool {
+    spans.values().any(|&(name, mut parent)| {
+        if name != needle {
+            return false;
+        }
+        while let Some(p) = parent {
+            let Some(&(pname, pparent)) = spans.get(&p) else {
+                return false;
+            };
+            if pname == ancestor {
+                return true;
+            }
+            parent = pparent;
+        }
+        false
+    })
+}
+
+/// Checks the causal story the traces must tell: on the leaky worker's
+/// bus a prune span nests (transitively) under the request span that
+/// forced the collection, and on the host bus service spans nest under
+/// round spans.
+fn check_traces(dir: &Path) -> Vec<String> {
+    let mut failures = Vec::new();
+    match load_spans(&dir.join("serve_leaky.jsonl")) {
+        Ok(spans) => {
+            if !nested_under(&spans, "prune", "request") {
+                failures.push("leaky trace has no prune span nested under a request span".into());
+            }
+            if !nested_under(&spans, "prune", "collect_until_fits") {
+                failures
+                    .push("leaky trace has no prune span inside a collect_until_fits span".into());
+            }
+        }
+        Err(e) => failures.push(format!("leaky trace: {e}")),
+    }
+    match load_spans(&dir.join("serve_host.jsonl")) {
+        Ok(spans) => {
+            if !nested_under(&spans, "service", "round") {
+                failures.push("host trace has no service span nested under a round span".into());
+            }
+        }
+        Err(e) => failures.push(format!("host trace: {e}")),
+    }
+    failures
+}
+
+fn deterministic_run(trace_dir: Option<&Path>) -> ExitCode {
     let (cfg, tenants) = fleet();
+    let (cfg, tenants) = match trace_dir {
+        Some(dir) => (
+            cfg.trace_path(dir.join("serve_host.jsonl")),
+            tenants
+                .into_iter()
+                .enumerate()
+                .map(|(index, t)| {
+                    // A tight heap for the leaky tenant, so exhaustion —
+                    // and the prune that clears it — happens *inside*
+                    // request handling: that is the request -> collection
+                    // -> prune causal chain the trace must exhibit.
+                    let t = if index == 0 {
+                        t.heap_capacity(48 * KB)
+                    } else {
+                        t
+                    };
+                    let path = dir.join(format!("serve_{}.jsonl", t.name_str()));
+                    t.trace_path(path)
+                })
+                .collect(),
+        ),
+        None => (cfg, tenants),
+    };
     let mut host = match Host::new(cfg, tenants) {
         Ok(host) => host,
         Err(error) => {
@@ -135,8 +241,12 @@ fn deterministic_run() -> ExitCode {
 
     // Scrape our own ops plane while the fleet is still up.
     let metrics = scrape(addr, "/metrics").unwrap_or_default();
+    let timeseries = scrape(addr, "/timeseries").unwrap_or_default();
     let summary = host.summary();
     host.shutdown();
+    // Dropping the host drops its bus, flushing the host-trace sink;
+    // the worker sinks already flushed when shutdown joined the workers.
+    drop(host);
 
     let out = output_dir().join("serve_throughput.csv");
     if let Err(error) = std::fs::write(&out, &csv) {
@@ -195,6 +305,20 @@ fn deterministic_run() -> ExitCode {
     if !metrics.contains("lp_server_admitted_total{tenant=\"leaky\"}") {
         failures.push("/metrics lacks host-plane admission counters".into());
     }
+    if !metrics.contains("lp_server_request_nanos{tenant=\"leaky\"") {
+        failures.push("/metrics lacks request-latency quantiles".into());
+    }
+    if !timeseries.contains("\"name\":\"leaky\"") || !timeseries.contains("\"buckets\"") {
+        failures.push("/timeseries lacks per-tenant trend buckets".into());
+    }
+    // The workers and the host bus dropped their JSONL sinks at
+    // shutdown; the traces are complete on disk.
+    if let Some(dir) = trace_dir {
+        failures.extend(check_traces(dir));
+        if failures.is_empty() {
+            eprintln!("serve_smoke: traces ok in {}", dir.display());
+        }
+    }
 
     if failures.is_empty() {
         eprintln!("serve_smoke: OK ({processed_total} requests, {rounds} rounds)");
@@ -217,11 +341,18 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("--trace") => match args.get(2) {
+            Some(dir) => deterministic_run(Some(Path::new(dir))),
+            None => {
+                eprintln!("usage: serve_smoke --trace TRACE_DIR");
+                ExitCode::FAILURE
+            }
+        },
         Some(other) => {
             eprintln!("serve_smoke: unknown argument {other}");
-            eprintln!("usage: serve_smoke [--listen PORT_FILE]");
+            eprintln!("usage: serve_smoke [--listen PORT_FILE | --trace TRACE_DIR]");
             ExitCode::FAILURE
         }
-        None => deterministic_run(),
+        None => deterministic_run(None),
     }
 }

@@ -86,6 +86,33 @@ fn main() -> ExitCode {
         trace_path.display()
     );
 
+    // Span discipline: the live run must produce a well-nested span tree,
+    // and the workload must actually exercise spans (collections emit
+    // them), or this check would pass vacuously.
+    if let Err(e) = trace.check_spans() {
+        eprintln!("telemetry_smoke: span check failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let span_begins = trace.kind_counts().get("span_begin").copied().unwrap_or(0);
+    if span_begins == 0 {
+        eprintln!("telemetry_smoke: trace carries no spans — instrumentation regressed");
+        return ExitCode::FAILURE;
+    }
+    println!("spans: {span_begins} well-nested spans");
+
+    // Exact replay: re-serialising every parsed line must reproduce the
+    // file byte for byte, spans included.
+    let reserialized: String = trace
+        .lines()
+        .iter()
+        .map(|line| format!("{}\n", line.to_json()))
+        .collect();
+    if reserialized != text {
+        eprintln!("telemetry_smoke: re-serialised trace differs from the file");
+        return ExitCode::FAILURE;
+    }
+    println!("re-serialisation is byte-identical");
+
     let replayed = trace.live_bytes_sequence();
     if replayed != expected {
         eprintln!(

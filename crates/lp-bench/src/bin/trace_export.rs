@@ -1,0 +1,263 @@
+//! Converts a JSONL telemetry trace into Chrome trace-event JSON, the
+//! format Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`
+//! open directly.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace_export <trace.jsonl> [out.json]   # convert (default out: bench_out/<stem>.trace.json)
+//! trace_export --check <out.json>         # strict-parse a produced file
+//! ```
+//!
+//! Mapping:
+//!
+//! - `span_begin` / `span_end` become duration events (`"ph":"B"`/`"E"`).
+//!   Chrome requires B/E to nest LIFO per thread, but a detached GC-cycle
+//!   span legitimately overlaps unrelated stack spans, so spans are routed
+//!   by their *root ancestor*: cycle trees render on tid 2, everything
+//!   else on tid 1. Within each tid the spans are strictly nested.
+//! - `collection` events become a `live_bytes` counter track (`"ph":"C"`),
+//!   the reachable-memory curve over trace time.
+//! - every other event becomes a thread-scoped instant (`"ph":"i"`), so
+//!   prunes, sheds and state transitions stay visible inside the spans
+//!   that caused them.
+//!
+//! Timestamps are microseconds (Chrome's unit), kept fractional so the
+//! nanosecond clock is not truncated.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+use lp_bench::output_dir;
+use lp_bench::trace::Trace;
+use lp_telemetry::json::{self, JsonValue};
+use lp_telemetry::Event;
+
+/// Trace timestamps are nanoseconds; Chrome's `ts` is microseconds.
+fn micros(ts_nanos: u64) -> JsonValue {
+    JsonValue::Float(ts_nanos as f64 / 1000.0)
+}
+
+fn trace_event(
+    name: &str,
+    ph: &str,
+    ts_nanos: u64,
+    tid: i64,
+    args: Vec<(String, JsonValue)>,
+) -> JsonValue {
+    let mut members = vec![
+        ("name".to_owned(), JsonValue::Str(name.to_owned())),
+        ("ph".to_owned(), JsonValue::Str(ph.to_owned())),
+        ("ts".to_owned(), micros(ts_nanos)),
+        ("pid".to_owned(), JsonValue::Int(1)),
+        ("tid".to_owned(), JsonValue::Int(tid)),
+    ];
+    if ph == "i" {
+        members.push(("s".to_owned(), JsonValue::Str("t".to_owned())));
+    }
+    if !args.is_empty() {
+        members.push(("args".to_owned(), JsonValue::Obj(args)));
+    }
+    JsonValue::Obj(members)
+}
+
+fn thread_name(tid: i64, name: &str) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("name".to_owned(), JsonValue::Str("thread_name".to_owned())),
+        ("ph".to_owned(), JsonValue::Str("M".to_owned())),
+        ("pid".to_owned(), JsonValue::Int(1)),
+        ("tid".to_owned(), JsonValue::Int(tid)),
+        (
+            "args".to_owned(),
+            JsonValue::Obj(vec![("name".to_owned(), JsonValue::Str(name.to_owned()))]),
+        ),
+    ])
+}
+
+/// Builds the `traceEvents` array from a validated trace.
+fn export(trace: &Trace) -> JsonValue {
+    // Root name per span id, so each span lands on the tid of its tree.
+    // Detached cycle spans overlap stack spans; separating the trees is
+    // what makes B/E nesting valid per tid.
+    let mut root_name: BTreeMap<u64, &'static str> = BTreeMap::new();
+    let mut names: BTreeMap<u64, &'static str> = BTreeMap::new();
+    for line in trace.lines() {
+        if let Event::SpanBegin {
+            id, parent, name, ..
+        } = &line.event
+        {
+            names.insert(*id, name);
+            let root = parent
+                .and_then(|p| root_name.get(&p).copied())
+                .unwrap_or(name);
+            root_name.insert(*id, root);
+        }
+    }
+    let tid_of = |id: &u64| -> i64 {
+        if root_name.get(id).copied() == Some("cycle") {
+            2
+        } else {
+            1
+        }
+    };
+
+    let mut events = vec![
+        thread_name(1, "mutator / requests"),
+        thread_name(2, "gc cycles"),
+    ];
+    for line in trace.lines() {
+        let ts = line.ts_nanos;
+        events.push(match &line.event {
+            Event::SpanBegin {
+                id,
+                parent,
+                name,
+                arg,
+            } => {
+                let mut args = vec![
+                    ("id".to_owned(), JsonValue::from_u64(*id)),
+                    ("arg".to_owned(), JsonValue::from_u64(*arg)),
+                ];
+                if let Some(parent) = parent {
+                    args.push(("parent".to_owned(), JsonValue::from_u64(*parent)));
+                }
+                trace_event(name, "B", ts, tid_of(id), args)
+            }
+            Event::SpanEnd { id } => {
+                let name = names.get(id).copied().unwrap_or("span");
+                trace_event(name, "E", ts, tid_of(id), Vec::new())
+            }
+            Event::Collection {
+                live_bytes_after, ..
+            } => trace_event(
+                "live_bytes",
+                "C",
+                ts,
+                1,
+                vec![(
+                    "live_bytes".to_owned(),
+                    JsonValue::from_u64(*live_bytes_after),
+                )],
+            ),
+            other => trace_event(other.kind(), "i", ts, 1, Vec::new()),
+        });
+    }
+    JsonValue::Obj(vec![("traceEvents".to_owned(), JsonValue::Arr(events))])
+}
+
+/// Strict-parses a produced file: top-level object, `traceEvents` array,
+/// every entry an object with `name`, `ph` and (for non-metadata) `ts`.
+fn check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("trace_export: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let value = match json::parse(&text) {
+        Ok(value) => value,
+        Err(e) => {
+            eprintln!("trace_export: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(events) = value.get("traceEvents").and_then(JsonValue::as_arr) else {
+        eprintln!("trace_export: {path}: no traceEvents array");
+        return ExitCode::FAILURE;
+    };
+    let mut phases: BTreeMap<String, u64> = BTreeMap::new();
+    for (idx, event) in events.iter().enumerate() {
+        let Some(ph) = event.get("ph").and_then(JsonValue::as_str) else {
+            eprintln!("trace_export: {path}: event {idx} has no ph");
+            return ExitCode::FAILURE;
+        };
+        if event.get("name").and_then(JsonValue::as_str).is_none() {
+            eprintln!("trace_export: {path}: event {idx} has no name");
+            return ExitCode::FAILURE;
+        }
+        if ph != "M" && event.get("ts").and_then(JsonValue::as_f64).is_none() {
+            eprintln!("trace_export: {path}: event {idx} has no ts");
+            return ExitCode::FAILURE;
+        }
+        *phases.entry(ph.to_owned()).or_insert(0) += 1;
+    }
+    if phases.get("B") != phases.get("E") {
+        eprintln!(
+            "trace_export: {path}: {} B events but {} E events",
+            phases.get("B").copied().unwrap_or(0),
+            phases.get("E").copied().unwrap_or(0),
+        );
+        return ExitCode::FAILURE;
+    }
+    print!("{path}: {} events ok (", events.len());
+    let summary: Vec<String> = phases.iter().map(|(ph, n)| format!("{ph}:{n}")).collect();
+    println!("{})", summary.join(" "));
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(first) = args.next() else {
+        eprintln!("usage: trace_export <trace.jsonl> [out.json] | trace_export --check <out.json>");
+        return ExitCode::FAILURE;
+    };
+    if first == "--check" {
+        let Some(path) = args.next() else {
+            eprintln!("usage: trace_export --check <out.json>");
+            return ExitCode::FAILURE;
+        };
+        return check(&path);
+    }
+
+    let in_path = first;
+    let out_path = match args.next() {
+        Some(path) => path.into(),
+        None => {
+            let stem = Path::new(&in_path)
+                .file_stem()
+                .map_or_else(|| "trace".to_owned(), |s| s.to_string_lossy().into_owned());
+            output_dir().join(format!("{stem}.trace.json"))
+        }
+    };
+
+    let text = match std::fs::read_to_string(&in_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("trace_export: cannot read {in_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match Trace::parse(&text) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("trace_export: {in_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // A trace whose spans do not nest would export malformed B/E pairs;
+    // reject it the same way trace_replay does.
+    if let Err(e) = trace.check_spans() {
+        eprintln!("trace_export: {in_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let doc = export(&trace);
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .map_or(0, <[JsonValue]>::len);
+    if let Err(e) = std::fs::write(&out_path, format!("{doc}\n")) {
+        eprintln!("trace_export: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "exported {} trace events from {} lines -> {}",
+        events,
+        trace.lines().len(),
+        out_path.display()
+    );
+    println!("open in https://ui.perfetto.dev or chrome://tracing");
+    ExitCode::SUCCESS
+}

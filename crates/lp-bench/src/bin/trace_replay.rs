@@ -60,6 +60,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Span discipline is part of the wire contract: a trace whose spans
+    // do not nest is corrupt even if every line parses.
+    if let Err(e) = trace.check_spans() {
+        eprintln!("trace_replay: {path}: {e}");
+        return ExitCode::FAILURE;
+    }
 
     println!("trace: {path} ({} events)", trace.lines().len());
     for (kind, count) in trace.kind_counts() {

@@ -76,6 +76,68 @@ impl Trace {
             .collect()
     }
 
+    /// Validates span discipline over the whole trace:
+    ///
+    /// - every `span_end` closes a span some `span_begin` opened, at most
+    ///   once;
+    /// - span ids are never reused;
+    /// - a child's parent is open when the child begins;
+    /// - a span ends only after all of its children have ended (interval
+    ///   containment — NOT strict LIFO: a detached cycle span legitimately
+    ///   overlaps unrelated stack spans that open and close inside its
+    ///   lifetime, and that is fine because neither is the other's parent);
+    /// - every span is closed by the end of the trace.
+    ///
+    /// A trace with no span events passes trivially, so pre-span fixtures
+    /// stay valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns `"seq N: <violation>"` for the first violation.
+    pub fn check_spans(&self) -> Result<(), String> {
+        // Open spans: id -> parent id.
+        let mut open: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+        let mut seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for line in &self.lines {
+            match &line.event {
+                Event::SpanBegin { id, parent, .. } => {
+                    if !seen.insert(*id) {
+                        return Err(format!("seq {}: span id {id} reused", line.seq));
+                    }
+                    if let Some(parent) = parent {
+                        if !open.contains_key(parent) {
+                            return Err(format!(
+                                "seq {}: span {id} begins under span {parent}, which is not open",
+                                line.seq
+                            ));
+                        }
+                    }
+                    open.insert(*id, *parent);
+                }
+                Event::SpanEnd { id } => {
+                    if open.remove(id).is_none() {
+                        return Err(format!(
+                            "seq {}: span_end {id} without a matching open span_begin",
+                            line.seq
+                        ));
+                    }
+                    if let Some((child, _)) = open.iter().find(|(_, parent)| **parent == Some(*id))
+                    {
+                        return Err(format!(
+                            "seq {}: span {id} ends while its child {child} is still open",
+                            line.seq
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some((id, _)) = open.iter().next() {
+            return Err(format!("span {id} is never closed"));
+        }
+        Ok(())
+    }
+
     /// Rebuilds the Figure 1/9 reachable-memory curve: each collection's
     /// `live_bytes_after` against the workload iteration it ran during.
     ///
@@ -165,5 +227,172 @@ mod tests {
     fn reports_bad_line_number() {
         let err = Trace::parse("\n{\"seq\":0}\n").unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    fn span_begin(id: u64, parent: Option<u64>) -> Event {
+        Event::SpanBegin {
+            id,
+            parent,
+            name: lp_telemetry::span_name("collection").unwrap(),
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn well_nested_spans_pass_including_detached_overlap() {
+        // Span 1 is a detached cycle span: it overlaps the unrelated span
+        // 2 (neither contains the other) and parents span 3 explicitly.
+        // Overlap between non-ancestors is legal; only parent/child
+        // containment is enforced.
+        let trace = trace_from(&[
+            (0, span_begin(1, None)),
+            (1, span_begin(2, None)),
+            (2, span_begin(3, Some(1))),
+            (3, Event::SpanEnd { id: 3 }),
+            (4, Event::SpanEnd { id: 2 }),
+            (5, span_begin(4, Some(1))),
+            (6, Event::SpanEnd { id: 4 }),
+            (7, Event::SpanEnd { id: 1 }),
+        ]);
+        trace.check_spans().expect("well-nested");
+        // A trace without spans passes trivially.
+        trace_from(&[(0, collection(1, 64))])
+            .check_spans()
+            .expect("span-free");
+    }
+
+    #[test]
+    fn span_violations_are_rejected() {
+        let end_without_begin = trace_from(&[(0, Event::SpanEnd { id: 9 })]);
+        assert!(end_without_begin
+            .check_spans()
+            .unwrap_err()
+            .contains("without a matching open span_begin"));
+
+        let never_closed = trace_from(&[(0, span_begin(1, None))]);
+        assert!(never_closed
+            .check_spans()
+            .unwrap_err()
+            .contains("never closed"));
+
+        let parent_not_open = trace_from(&[
+            (0, span_begin(1, None)),
+            (1, Event::SpanEnd { id: 1 }),
+            (2, span_begin(2, Some(1))),
+            (3, Event::SpanEnd { id: 2 }),
+        ]);
+        assert!(parent_not_open
+            .check_spans()
+            .unwrap_err()
+            .contains("is not open"));
+
+        let child_outlives_parent = trace_from(&[
+            (0, span_begin(1, None)),
+            (1, span_begin(2, Some(1))),
+            (2, Event::SpanEnd { id: 1 }),
+            (3, Event::SpanEnd { id: 2 }),
+        ]);
+        assert!(child_outlives_parent
+            .check_spans()
+            .unwrap_err()
+            .contains("child 2 is still open"));
+
+        let id_reused = trace_from(&[
+            (0, span_begin(1, None)),
+            (1, Event::SpanEnd { id: 1 }),
+            (2, span_begin(1, None)),
+            (3, Event::SpanEnd { id: 1 }),
+        ]);
+        assert!(id_reused.check_spans().unwrap_err().contains("reused"));
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any program of nested, detached and parented span guards —
+        /// opened in random interleavings and torn down in guard (LIFO)
+        /// order — serializes to a trace the span checker accepts, with
+        /// every `span_begin` matched by exactly one `span_end`.
+        #[test]
+        fn prop_random_span_workloads_are_well_nested(
+            ops in proptest::collection::vec(0u8..5, 0..64),
+        ) {
+            use std::sync::{Arc, Mutex};
+
+            struct CollectingSink(Arc<Mutex<Vec<String>>>);
+            impl lp_telemetry::Sink for CollectingSink {
+                fn record(&mut self, line: &TraceLine) {
+                    self.0.lock().expect("test sink").push(line.to_json());
+                }
+                fn flush(&mut self) {}
+            }
+
+            let lines = Arc::new(Mutex::new(Vec::new()));
+            let bus = lp_telemetry::Telemetry::new();
+            bus.add_sink(Box::new(CollectingSink(Arc::clone(&lines))));
+
+            const STACK_NAMES: &[&str] =
+                &["round", "service", "request", "mark", "sweep", "select"];
+            let mut open: Vec<lp_telemetry::SpanGuard> = Vec::new();
+            let mut detached: Vec<lp_telemetry::SpanGuard> = Vec::new();
+            let mut begins = 0u64;
+            for (i, op) in ops.iter().enumerate() {
+                let arg = i as u64;
+                match op {
+                    0 => {
+                        open.push(bus.span(STACK_NAMES[i % STACK_NAMES.len()], arg));
+                        begins += 1;
+                    }
+                    1 => {
+                        // Close the innermost open span, as scope exit would.
+                        drop(open.pop());
+                    }
+                    2 => {
+                        detached.push(bus.span_detached("cycle", arg));
+                        begins += 1;
+                    }
+                    3 => {
+                        // A quantum parented under the most recent cycle; the
+                        // guard still joins the stack, so LIFO teardown keeps
+                        // it inside its parent's interval.
+                        if let Some(cycle) = detached.last() {
+                            open.push(bus.span_under(cycle, "quantum", arg));
+                            begins += 1;
+                        }
+                    }
+                    _ => {
+                        // Unwind the whole stack, innermost first.
+                        while open.pop().is_some() {}
+                    }
+                }
+            }
+            // Teardown mirrors real shutdown: stack guards innermost-first,
+            // then the detached cycles they were parented under.
+            while open.pop().is_some() {}
+            while detached.pop().is_some() {}
+
+            let text: String = lines
+                .lock()
+                .expect("test sink")
+                .iter()
+                .map(|line| format!("{line}\n"))
+                .collect();
+            let trace = Trace::parse(&text).expect("bus output parses");
+            prop_assert_eq!(trace.check_spans(), Ok(()));
+            let counts = trace.kind_counts();
+            prop_assert_eq!(counts.get("span_begin").copied().unwrap_or(0), begins);
+            prop_assert_eq!(counts.get("span_end").copied().unwrap_or(0), begins);
+        }
+    }
+
+    #[test]
+    fn unbalanced_fixture_parses_but_fails_the_span_check() {
+        // The committed fixture is syntactically valid JSONL — only the
+        // span discipline is broken (the round span ends while its
+        // request child is open, which is also never closed).
+        let text = include_str!("../fixtures/unbalanced_spans.jsonl");
+        let trace = Trace::parse(text).expect("fixture is well-formed JSONL");
+        let err = trace.check_spans().unwrap_err();
+        assert!(err.contains("child 2 is still open"), "{err}");
     }
 }

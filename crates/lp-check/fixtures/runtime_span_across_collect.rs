@@ -1,0 +1,26 @@
+//! Lint fixture: phase span guards held across a blocking collection.
+//! `collect_until_fits` stalls the mutator for up to a whole prune storm
+//! of full collections, and it opens its own span so traces tie the pause
+//! to the allocation that could not fit. A fine-grained phase span still
+//! live at the call swallows that stall instead, attributing seconds of
+//! collection time to a phase that did microseconds of work — and parents
+//! the stall under a span that should already have closed. `runtime_*`
+//! fixtures are linted under the runtime-crate span contract, so
+//! `lp-check` must flag both call sites here under R4.
+
+use leak_pruning::{Runtime, RuntimeError};
+
+/// Holds the select-phase span across the stall it goes on to trigger:
+/// the whole collection storm lands inside `select` (R4).
+pub fn select_then_stall(rt: &mut Runtime, gc_index: u64) -> Result<(), RuntimeError> {
+    let _select = rt.telemetry().span("select", gc_index);
+    rt.collect_until_fits(4096)
+}
+
+/// A detached cycle span plus a parented quantum span, both still live
+/// when the stall begins — the quantum swallows the pause (R4).
+pub fn quantum_then_stall(rt: &mut Runtime, gc_index: u64) -> Result<(), RuntimeError> {
+    let cycle = rt.telemetry().span_detached("cycle", gc_index);
+    let _quantum = rt.telemetry().span_under(&cycle, "quantum", gc_index);
+    rt.collect_until_fits(1024)
+}

@@ -178,6 +178,19 @@ mod tests {
     }
 
     #[test]
+    fn runtime_span_across_collect_fixture_is_flagged() {
+        let found = lint_fixture("runtime_span_across_collect.rs");
+        let spans = found
+            .iter()
+            .filter(|f| f.rule == "R4" && f.message.contains("collect_until_fits"))
+            .count();
+        assert!(
+            spans >= 2,
+            "expected span-across-collect R4 findings, got {found:?}"
+        );
+    }
+
+    #[test]
     fn fixtures_are_excluded_from_the_workspace_walk() {
         let files = workspace_files(&manifest_workspace_root()).unwrap();
         assert!(

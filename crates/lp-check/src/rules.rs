@@ -5,7 +5,7 @@
 //! | R1   | barrier discipline: raw barrier machinery (`load_ref`, `load_word`, unlogged-bit helpers) only inside the barrier allowlist |
 //! | R2   | poison safety: constructing or stripping the poison bit only inside the barrier/prune path |
 //! | R3   | no `unwrap()`/`expect()` in non-test runtime code (lp-heap, lp-gc, leak-pruning) |
-//! | R4   | `Telemetry::emit` calls must pass a lazy closure, never an eagerly built event |
+//! | R4   | `Telemetry::emit` calls must pass a lazy closure, never an eagerly built event; runtime-crate span guards must not be held across `collect_until_fits` |
 //! | R5   | every crate root keeps `#![forbid(unsafe_code)]` |
 //!
 //! Rules R1–R4 skip `#[cfg(test)]` items; R5 is a whole-file property of
@@ -112,6 +112,26 @@ const NO_PANIC_SCOPE: &[&str] = &[
     "crates/lp-server/src/",
 ];
 
+/// Span-guard constructors on the telemetry bus (R4 span discipline).
+const SPAN_GUARDS: &[&str] = &["span", "span_detached", "span_under"];
+
+/// Crates whose `let`-bound span guards must not be live across a
+/// `collect_until_fits` call (the R4 span-discipline extension): the
+/// runtime stack and the server host, which open fine-grained phase
+/// spans, plus the `runtime_*` lint fixtures. `collect_until_fits`
+/// stalls the mutator for up to a whole prune storm of full
+/// collections; a phase span still open at the call swallows that
+/// stall, so the trace attributes the pause to the phase instead of to
+/// the allocation that could not fit. The stall has its own span —
+/// phase guards must end before it opens.
+const RUNTIME_SPAN_SCOPE: &[&str] = &[
+    "crates/lp-heap/src/",
+    "crates/lp-gc/src/",
+    "crates/leak-pruning/src/",
+    "crates/lp-server/src/",
+    "crates/lp-check/fixtures/runtime_",
+];
+
 fn in_prefix_list(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| path.starts_with(p))
 }
@@ -138,6 +158,90 @@ fn prev_nonws(bytes: &[u8], i: usize) -> Option<u8> {
         .rev()
         .copied()
         .find(|b| !b.is_ascii_whitespace())
+}
+
+/// Whether the statement containing the token at `start` is a `let`
+/// binding to a pattern that holds its value. `let _ = …` drops the
+/// guard on the spot, so it never spans anything.
+fn is_held_let_binding(code: &str, start: usize) -> bool {
+    let bytes = code.as_bytes();
+    let stmt = bytes[..start]
+        .iter()
+        .rposition(|&b| b == b';' || b == b'{' || b == b'}')
+        .map_or(0, |i| i + 1);
+    let Some((i, _)) = next_nonws(bytes, stmt) else {
+        return false;
+    };
+    if !code[i..].starts_with("let") || bytes.get(i + 3).copied().is_some_and(is_ident_byte) {
+        return false;
+    }
+    match next_nonws(bytes, i + 3) {
+        Some((j, b'_')) => bytes.get(j + 1).copied().is_some_and(is_ident_byte),
+        _ => true,
+    }
+}
+
+/// Whether the identifier at `start` is a definition (`fn name`) rather
+/// than a call.
+fn ident_is_definition(code: &str, start: usize) -> bool {
+    let bytes = code.as_bytes();
+    let mut i = start;
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    i >= 2 && &code[i - 2..i] == "fn" && (i == 2 || !is_ident_byte(bytes[i - 3]))
+}
+
+/// Scans forward from the end of the span-guard binding whose
+/// initializer continues at `after`, looking for a `collect_until_fits`
+/// call that happens while the guard is still live — i.e. before the
+/// enclosing block closes. Returns the call's byte offset.
+fn collect_call_in_scope(code: &str, after: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    // Step past the binding statement itself (its initializer may hold
+    // brackets of its own): the `;` at bracket depth 0 ends it.
+    let mut i = after;
+    let mut depth = 0i32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b';' if depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i += 1;
+    // The guard drops when the block that bound it closes.
+    let mut braces = 0i32;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'{' => braces += 1,
+            b'}' => {
+                braces -= 1;
+                if braces < 0 {
+                    return None;
+                }
+            }
+            _ => {}
+        }
+        if is_ident_byte(b) && !(i > 0 && is_ident_byte(bytes[i - 1])) {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            if &code[start..i] == "collect_until_fits"
+                && matches!(next_nonws(bytes, i), Some((_, b'(')))
+                && !ident_is_definition(code, start)
+            {
+                return Some(start);
+            }
+            continue;
+        }
+        i += 1;
+    }
+    None
 }
 
 /// Runs rules R1–R5 over one scrubbed file.
@@ -230,6 +334,25 @@ pub fn check_file(path: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
                     "`{ident}()` in runtime code — handle the failure or waive with justification"
                 ),
             });
+        }
+        if SPAN_GUARDS.contains(&ident)
+            && in_prefix_list(path, RUNTIME_SPAN_SCOPE)
+            && prev_nonws(bytes, start) == Some(b'.')
+            && matches!(next_nonws(bytes, i), Some((_, b'(')))
+            && is_held_let_binding(code, start)
+        {
+            if let Some(call) = collect_call_in_scope(code, i) {
+                findings.push(Finding {
+                    rule: "R4",
+                    path: path.to_owned(),
+                    line: scrubbed.line_of(call),
+                    message: format!(
+                        "`collect_until_fits` called while the span guard bound on line {line} \
+                         is still live — the stall opens its own span; end phase spans before \
+                         a blocking collection"
+                    ),
+                });
+            }
         }
         if ident == "emit" && prev_nonws(bytes, start) == Some(b'.') {
             if let Some((open, b'(')) = next_nonws(bytes, i) {
@@ -375,6 +498,41 @@ mod tests {
         let multiline =
             "fn f(t: &Telemetry) {\n    t.emit(\n        || Event::Tick { n: 1 },\n    );\n}";
         assert_eq!(check("crates/lp-workloads/src/x.rs", multiline), Vec::new());
+    }
+
+    #[test]
+    fn span_guard_across_collect_in_runtime_code_is_r4() {
+        let src = "fn f(rt: &mut Runtime) {\n    let _mark = rt.telemetry.span(\"mark\", 1);\n    rt.collect_until_fits(64);\n}";
+        let found = check("crates/leak-pruning/src/x.rs", src);
+        assert_eq!(rules(&found), vec!["R4"]);
+        assert_eq!(found[0].line, 3, "flagged at the call site");
+        assert!(found[0].message.contains("line 2"), "{}", found[0].message);
+        // Detached and parented guards are held just the same.
+        let detached = "fn f(rt: &mut Runtime) { let c = rt.telemetry.span_detached(\"cycle\", 1); rt.collect_until_fits(64); }";
+        assert_eq!(
+            rules(&check("crates/lp-server/src/x.rs", detached)),
+            vec!["R4"]
+        );
+        // Outside the runtime scope the rule does not apply.
+        assert_eq!(check("crates/lp-workloads/src/x.rs", src), Vec::new());
+    }
+
+    #[test]
+    fn span_guard_dropped_before_collect_is_fine() {
+        // The guard's block closes before the stall.
+        let scoped = "fn f(rt: &mut Runtime) {\n    { let _mark = rt.telemetry.span(\"mark\", 1); }\n    rt.collect_until_fits(64);\n}";
+        assert_eq!(check("crates/leak-pruning/src/x.rs", scoped), Vec::new());
+        // `let _ = …` drops the guard on the spot.
+        let dropped = "fn f(rt: &mut Runtime) { let _ = rt.telemetry.span(\"mark\", 1); rt.collect_until_fits(64); }";
+        assert_eq!(check("crates/leak-pruning/src/x.rs", dropped), Vec::new());
+    }
+
+    #[test]
+    fn collects_own_stall_span_is_fine() {
+        // `collect_until_fits` opens its own span first thing; the
+        // function name before the binding is a definition, not a call.
+        let src = "fn collect_until_fits(&mut self, bytes: u64) {\n    let _span = self.telemetry.span(\"collect_until_fits\", bytes);\n    self.run_collection(false);\n}";
+        assert_eq!(check("crates/leak-pruning/src/x.rs", src), Vec::new());
     }
 
     #[test]

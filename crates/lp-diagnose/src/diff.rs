@@ -1,0 +1,450 @@
+//! Snapshot diffing: where did the retained heap grow between two
+//! captures?
+//!
+//! A single snapshot says what retains memory *now*; a leak is a trend.
+//! [`SnapshotDiff`] composes two [`Analysis`] passes and attributes the
+//! retained-size delta per class (matched by *name*, so the two snapshots
+//! may have different class tables) and per dominator (matched by heap
+//! slot). The per-class attribution is what a leak hunt actually needs:
+//! in a ListLeak run, nearly all growth lands on the leaking node class.
+
+use lp_metrics::TextTable;
+
+use crate::analysis::Analysis;
+use crate::report::fmt_bytes;
+use crate::snapshot::HeapSnapshot;
+
+/// How a class or dominator changed between the two snapshots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// Present only in the second snapshot.
+    New,
+    /// Present only in the first snapshot.
+    Freed,
+    /// Retained size increased.
+    Grown,
+    /// Retained size decreased.
+    Shrunk,
+    /// Retained size unchanged.
+    Stable,
+}
+
+impl DeltaKind {
+    fn of(before: Option<u64>, after: Option<u64>) -> DeltaKind {
+        match (before, after) {
+            (None, _) => DeltaKind::New,
+            (_, None) => DeltaKind::Freed,
+            (Some(a), Some(b)) if b > a => DeltaKind::Grown,
+            (Some(a), Some(b)) if b < a => DeltaKind::Shrunk,
+            _ => DeltaKind::Stable,
+        }
+    }
+
+    /// Short tag for tables: `new`, `freed`, `grown`, `shrunk`, `stable`.
+    pub fn tag(self) -> &'static str {
+        match self {
+            DeltaKind::New => "new",
+            DeltaKind::Freed => "freed",
+            DeltaKind::Grown => "grown",
+            DeltaKind::Shrunk => "shrunk",
+            DeltaKind::Stable => "stable",
+        }
+    }
+}
+
+/// Per-class change between the two snapshots. Absent-in-one-snapshot is
+/// represented as zero objects / zero bytes on that side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassDelta {
+    /// Class name (the matching key across the two snapshots).
+    pub name: String,
+    /// Object counts in (first, second) snapshot.
+    pub objects: (u64, u64),
+    /// Shallow bytes in (first, second) snapshot.
+    pub shallow: (u64, u64),
+    /// Retained bytes (chain-top rule) in (first, second) snapshot.
+    pub retained: (u64, u64),
+    /// Growth classification.
+    pub kind: DeltaKind,
+}
+
+impl ClassDelta {
+    /// Signed retained-size change.
+    pub fn retained_delta(&self) -> i64 {
+        self.retained.1 as i64 - self.retained.0 as i64
+    }
+}
+
+/// Per-dominator change, matched by heap slot. Slots are stable while an
+/// object lives; a recycled slot shows up as `freed` + `new` of different
+/// classes rather than a bogus growth.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DominatorDelta {
+    /// Heap slot of the dominating object.
+    pub slot: u32,
+    /// Class name (from the second snapshot when present, else the first).
+    pub class: String,
+    /// Retained bytes in (first, second) snapshot; zero when absent.
+    pub retained: (u64, u64),
+    /// Growth classification.
+    pub kind: DeltaKind,
+}
+
+impl DominatorDelta {
+    /// Signed retained-size change.
+    pub fn retained_delta(&self) -> i64 {
+        self.retained.1 as i64 - self.retained.0 as i64
+    }
+}
+
+/// How many rows the rendered diff tables list.
+const TOP_K: usize = 5;
+
+/// The retained-size delta between two snapshots of the same heap.
+#[derive(Clone, Debug)]
+pub struct SnapshotDiff {
+    /// `gc_index` of the (first, second) snapshot.
+    pub gc_indices: (u64, u64),
+    /// Reachable bytes in the (first, second) snapshot.
+    pub reachable: (u64, u64),
+    /// Per-class deltas, sorted by signed retained delta descending.
+    pub classes: Vec<ClassDelta>,
+    /// Per-dominator deltas, sorted by absolute retained delta
+    /// descending; `stable` entries are omitted.
+    pub dominators: Vec<DominatorDelta>,
+}
+
+impl SnapshotDiff {
+    /// Diffs `a` (earlier) against `b` (later), running a fresh
+    /// [`Analysis`] over each.
+    pub fn new(a: &HeapSnapshot, b: &HeapSnapshot) -> SnapshotDiff {
+        SnapshotDiff::from_analyses(a, &Analysis::new(a), b, &Analysis::new(b))
+    }
+
+    /// Diffs two snapshots whose analyses the caller already built.
+    pub fn from_analyses(
+        a: &HeapSnapshot,
+        analysis_a: &Analysis,
+        b: &HeapSnapshot,
+        analysis_b: &Analysis,
+    ) -> SnapshotDiff {
+        // Classes are matched by name: the class *table* is
+        // registration-ordered and may differ between captures.
+        let mut by_name: std::collections::BTreeMap<String, ClassDelta> =
+            std::collections::BTreeMap::new();
+        for stats in analysis_a.class_stats() {
+            let name = a.class_name(stats.class).to_owned();
+            by_name.insert(
+                name.clone(),
+                ClassDelta {
+                    name,
+                    objects: (stats.objects, 0),
+                    shallow: (stats.shallow_bytes, 0),
+                    retained: (stats.retained_bytes, 0),
+                    kind: DeltaKind::Freed,
+                },
+            );
+        }
+        for stats in analysis_b.class_stats() {
+            let name = b.class_name(stats.class).to_owned();
+            let entry = by_name.entry(name.clone()).or_insert(ClassDelta {
+                name,
+                objects: (0, 0),
+                shallow: (0, 0),
+                retained: (0, 0),
+                kind: DeltaKind::New,
+            });
+            entry.objects.1 = stats.objects;
+            entry.shallow.1 = stats.shallow_bytes;
+            entry.retained.1 = stats.retained_bytes;
+            if entry.kind != DeltaKind::New {
+                entry.kind = DeltaKind::of(Some(entry.retained.0), Some(entry.retained.1));
+            }
+        }
+        let mut classes: Vec<ClassDelta> = by_name.into_values().collect();
+        classes.sort_by(|x, y| {
+            y.retained_delta()
+                .cmp(&x.retained_delta())
+                .then_with(|| x.name.cmp(&y.name))
+        });
+
+        // Dominators are matched by slot. `usize::MAX` asks for every
+        // reachable object; both lists are snapshot-sized.
+        let mut dominators: std::collections::BTreeMap<u32, DominatorDelta> =
+            std::collections::BTreeMap::new();
+        for entry in analysis_a.top_dominators(usize::MAX) {
+            dominators.insert(
+                entry.slot,
+                DominatorDelta {
+                    slot: entry.slot,
+                    class: a.class_name(entry.class).to_owned(),
+                    retained: (entry.retained_bytes, 0),
+                    kind: DeltaKind::Freed,
+                },
+            );
+        }
+        // Old entries displaced by slot recycling; they cannot share the
+        // map key with the object that took the slot over.
+        let mut displaced: Vec<DominatorDelta> = Vec::new();
+        for entry in analysis_b.top_dominators(usize::MAX) {
+            let class = b.class_name(entry.class).to_owned();
+            let new_entry = DominatorDelta {
+                slot: entry.slot,
+                class: class.clone(),
+                retained: (0, entry.retained_bytes),
+                kind: DeltaKind::New,
+            };
+            match dominators.get_mut(&entry.slot) {
+                Some(delta) if delta.class == class => {
+                    delta.retained.1 = entry.retained_bytes;
+                    delta.kind = DeltaKind::of(Some(delta.retained.0), Some(delta.retained.1));
+                }
+                Some(delta) => {
+                    // Slot recycled for a different class: the old object
+                    // was freed, the new one is new — never a bogus
+                    // same-object growth.
+                    displaced.push(std::mem::replace(delta, new_entry));
+                }
+                None => {
+                    dominators.insert(entry.slot, new_entry);
+                }
+            }
+        }
+        let mut dominators: Vec<DominatorDelta> = dominators
+            .into_values()
+            .chain(displaced)
+            .filter(|d| d.kind != DeltaKind::Stable)
+            .collect();
+        dominators.sort_by(|x, y| {
+            y.retained_delta()
+                .abs()
+                .cmp(&x.retained_delta().abs())
+                .then_with(|| x.slot.cmp(&y.slot))
+        });
+
+        SnapshotDiff {
+            gc_indices: (a.gc_index, b.gc_index),
+            reachable: (analysis_a.reachable_bytes(), analysis_b.reachable_bytes()),
+            classes,
+            dominators,
+        }
+    }
+
+    /// Signed total reachable-bytes change.
+    pub fn growth(&self) -> i64 {
+        self.reachable.1 as i64 - self.reachable.0 as i64
+    }
+
+    /// The class with the largest retained growth, if any grew.
+    pub fn top_growth_class(&self) -> Option<&ClassDelta> {
+        self.classes.first().filter(|c| c.retained_delta() > 0)
+    }
+
+    /// The fraction of total reachable growth attributed to `name`'s
+    /// retained delta, in `[0, ..]` (chain tops can overlap, so a share
+    /// slightly above 1 is possible). `None` when the heap did not grow.
+    pub fn growth_share(&self, name: &str) -> Option<f64> {
+        let growth = self.growth();
+        if growth <= 0 {
+            return None;
+        }
+        let delta = self
+            .classes
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, ClassDelta::retained_delta);
+        Some(delta as f64 / growth as f64)
+    }
+
+    /// Renders the diff as a text report section.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("SNAPSHOT DIFF\n=============\n");
+        out.push_str(&format!(
+            "a: gc #{}, reachable {}\nb: gc #{}, reachable {}\ngrowth: {}\n",
+            self.gc_indices.0,
+            fmt_bytes(self.reachable.0),
+            self.gc_indices.1,
+            fmt_bytes(self.reachable.1),
+            fmt_delta(self.growth()),
+        ));
+
+        out.push_str("\nRetained delta by class\n-----------------------\n");
+        let mut table = TextTable::new(
+            [
+                "class",
+                "kind",
+                "objects",
+                "retained a",
+                "retained b",
+                "delta",
+                "share",
+            ]
+            .map(str::to_owned)
+            .to_vec(),
+        );
+        for class in self.classes.iter().take(TOP_K) {
+            let share = self
+                .growth_share(&class.name)
+                .filter(|_| class.retained_delta() > 0)
+                .map_or(String::new(), |s| format!("{:.1}%", s * 100.0));
+            table.row(vec![
+                class.name.clone(),
+                class.kind.tag().to_owned(),
+                format!("{} -> {}", class.objects.0, class.objects.1),
+                fmt_bytes(class.retained.0),
+                fmt_bytes(class.retained.1),
+                fmt_delta(class.retained_delta()),
+                share,
+            ]);
+        }
+        out.push_str(&table.render());
+
+        out.push_str("\nTop dominator deltas\n--------------------\n");
+        if self.dominators.is_empty() {
+            out.push_str("no dominator changed\n");
+            return out;
+        }
+        let mut table = TextTable::new(
+            [
+                "object",
+                "class",
+                "kind",
+                "retained a",
+                "retained b",
+                "delta",
+            ]
+            .map(str::to_owned)
+            .to_vec(),
+        );
+        for dom in self.dominators.iter().take(TOP_K) {
+            table.row(vec![
+                format!("#{}", dom.slot),
+                dom.class.clone(),
+                dom.kind.tag().to_owned(),
+                fmt_bytes(dom.retained.0),
+                fmt_bytes(dom.retained.1),
+                fmt_delta(dom.retained_delta()),
+            ]);
+        }
+        out.push_str(&table.render());
+        out
+    }
+}
+
+/// Formats a signed byte delta with an explicit sign.
+fn fmt_delta(delta: i64) -> String {
+    if delta < 0 {
+        format!("-{}", fmt_bytes(delta.unsigned_abs()))
+    } else {
+        format!("+{}", fmt_bytes(delta.unsigned_abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotObject;
+
+    fn object(id: u32, class: u32, bytes: u32, refs: &[u32]) -> SnapshotObject {
+        SnapshotObject {
+            id,
+            class,
+            bytes,
+            stale: 0,
+            refs: refs.to_vec(),
+        }
+    }
+
+    /// A list head (class `List`) chaining `nodes` leak records (class
+    /// `Node`) plus one transient `Scratch` object.
+    fn snapshot(gc_index: u64, nodes: u32, with_scratch: bool) -> HeapSnapshot {
+        let mut objects = vec![object(0, 0, 24, &[1])];
+        for i in 1..=nodes {
+            let refs: &[u32] = if i < nodes { &[i + 1] } else { &[] };
+            objects.push(object(i, 1, 100, refs));
+        }
+        if with_scratch {
+            objects.push(object(1000, 2, 64, &[]));
+        }
+        let mut roots = vec![0];
+        if with_scratch {
+            roots.push(1000);
+        }
+        HeapSnapshot {
+            gc_index,
+            capacity: 1 << 20,
+            classes: vec!["List".to_owned(), "Node".to_owned(), "Scratch".to_owned()],
+            roots,
+            objects,
+        }
+    }
+
+    #[test]
+    fn growth_is_attributed_to_the_leaking_class() {
+        let a = snapshot(10, 3, true);
+        let b = snapshot(20, 9, false);
+        let diff = SnapshotDiff::new(&a, &b);
+        // 6 new nodes (+600) minus the freed scratch (-64).
+        assert_eq!(diff.growth(), 536);
+        // The list head's retained delta ties the node chain's (chain
+        // tops overlap); what matters is that the node class carries the
+        // growth.
+        let top = diff.top_growth_class().expect("heap grew");
+        assert_eq!(top.retained_delta(), 600);
+        let node = diff.classes.iter().find(|c| c.name == "Node").unwrap();
+        assert_eq!(node.kind, DeltaKind::Grown);
+        assert_eq!(node.objects, (3, 9));
+        assert_eq!(node.retained_delta(), 600);
+        let share = diff.growth_share("Node").unwrap();
+        assert!(share > 1.0, "Node outgrew the net total: {share}");
+        // Scratch vanished entirely.
+        let scratch = diff.classes.iter().find(|c| c.name == "Scratch").unwrap();
+        assert_eq!(scratch.kind, DeltaKind::Freed);
+        assert_eq!(scratch.retained_delta(), -64);
+    }
+
+    #[test]
+    fn dominator_deltas_track_slots_and_recycling() {
+        let a = snapshot(1, 2, true);
+        let mut b = snapshot(2, 2, false);
+        // Recycle the scratch slot as a Node unreachable-from-list (its
+        // own root), so the slot changes class.
+        b.objects.push(object(1000, 1, 100, &[]));
+        b.roots.push(1000);
+        let diff = SnapshotDiff::new(&a, &b);
+        let recycled: Vec<&DominatorDelta> =
+            diff.dominators.iter().filter(|d| d.slot == 1000).collect();
+        assert_eq!(recycled.len(), 2, "{recycled:?}");
+        assert!(recycled
+            .iter()
+            .any(|d| d.class == "Scratch" && d.kind == DeltaKind::Freed));
+        assert!(recycled
+            .iter()
+            .any(|d| d.class == "Node" && d.kind == DeltaKind::New));
+        // Unchanged dominators (the list chain) are omitted.
+        assert!(diff.dominators.iter().all(|d| d.slot == 1000));
+    }
+
+    #[test]
+    fn render_names_growth_and_shares() {
+        let a = snapshot(10, 3, false);
+        let b = snapshot(30, 10, false);
+        let text = SnapshotDiff::new(&a, &b).render();
+        assert!(text.contains("SNAPSHOT DIFF"), "{text}");
+        assert!(text.contains("growth: +700 B"), "{text}");
+        assert!(text.contains("Node"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
+        assert!(text.contains("grown"), "{text}");
+    }
+
+    #[test]
+    fn shrinking_heap_has_no_growth_share() {
+        let a = snapshot(5, 8, false);
+        let b = snapshot(9, 2, false);
+        let diff = SnapshotDiff::new(&a, &b);
+        assert!(diff.growth() < 0);
+        assert_eq!(diff.growth_share("Node"), None);
+        assert!(diff.top_growth_class().is_none());
+    }
+}

@@ -20,6 +20,9 @@
 //!    history, last SELECT decision) into one text report, and
 //!    [`render_retained_gauges`] exposes `lp_retained_bytes{class=...}`
 //!    Prometheus gauges.
+//! 4. **Diff** ([`SnapshotDiff`]) compares two snapshots of the same
+//!    heap and attributes the retained-size delta per class and per
+//!    dominator — a leak is a *trend*, and the diff is what names it.
 //!
 //! The capture's pause cost is split into the closure (which a plain mark
 //! phase pays anyway) and the marginal graph dump, so `lp-bench` can
@@ -29,9 +32,11 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod diff;
 mod report;
 mod snapshot;
 
 pub use analysis::{Analysis, ClassStats, Dominator, DominatorEntry};
+pub use diff::{ClassDelta, DeltaKind, DominatorDelta, SnapshotDiff};
 pub use report::{fmt_bytes, render_report, render_retained_gauges, EdgeSummary};
 pub use snapshot::{Capture, HeapSnapshot, SnapshotObject, SNAPSHOT_VERSION};

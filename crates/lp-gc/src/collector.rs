@@ -175,6 +175,7 @@ impl Collector {
 
         // Phase spans go out on the heap's bus so they interleave with its
         // alloc/free events (and the runtime's records) on one sequence.
+        let mark_span = heap.telemetry().span("mark", gc_index);
         heap.telemetry().emit(|| Event::PhaseBegin {
             gc_index,
             phase: GcPhase::Mark,
@@ -192,7 +193,9 @@ impl Collector {
             threads: mark_thread_times.len() as u64,
             busy_nanos: busy_nanos(&mark_thread_times),
         });
+        drop(mark_span);
 
+        let sweep_span = heap.telemetry().span("sweep", gc_index);
         heap.telemetry().emit(|| Event::PhaseBegin {
             gc_index,
             phase: GcPhase::Sweep,
@@ -207,6 +210,7 @@ impl Collector {
             threads: sweep_thread_times.len() as u64,
             busy_nanos: busy_nanos(&sweep_thread_times),
         });
+        drop(sweep_span);
 
         self.stats.record(
             mark_time,
@@ -282,6 +286,7 @@ impl Collector {
             busy_nanos: duration_nanos(mark_time),
         });
 
+        let sweep_span = heap.telemetry().span("sweep", gc_index);
         heap.telemetry().emit(|| Event::PhaseBegin {
             gc_index,
             phase: GcPhase::Sweep,
@@ -296,6 +301,7 @@ impl Collector {
             threads: sweep_thread_times.len() as u64,
             busy_nanos: busy_nanos(&sweep_thread_times),
         });
+        drop(sweep_span);
 
         self.stats.record(
             mark_time,

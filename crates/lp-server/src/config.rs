@@ -21,6 +21,7 @@ pub struct TenantSpec {
     pub(crate) total_requests: Option<u64>,
     pub(crate) pruning: bool,
     pub(crate) incremental_mark: Option<usize>,
+    pub(crate) trace_path: Option<std::path::PathBuf>,
     pub(crate) service: Box<dyn Service>,
 }
 
@@ -41,6 +42,7 @@ impl TenantSpec {
             total_requests: None,
             pruning: true,
             incremental_mark: None,
+            trace_path: None,
             service,
         }
     }
@@ -103,6 +105,14 @@ impl TenantSpec {
         self
     }
 
+    /// Writes this tenant's full telemetry stream — spans included — to
+    /// a JSONL trace file at `path`, for offline replay (`trace_replay`)
+    /// and Perfetto export (`trace_export`).
+    pub fn trace_path(mut self, path: impl Into<std::path::PathBuf>) -> TenantSpec {
+        self.trace_path = Some(path.into());
+        self
+    }
+
     /// The tenant's name.
     pub fn name_str(&self) -> &str {
         &self.name
@@ -118,6 +128,7 @@ pub struct HostConfig {
     pub(crate) cooldown_rounds: u64,
     pub(crate) seed: u64,
     pub(crate) ops_addr: Option<String>,
+    pub(crate) trace_path: Option<std::path::PathBuf>,
 }
 
 impl HostConfig {
@@ -133,6 +144,7 @@ impl HostConfig {
             cooldown_rounds: 8,
             seed: 0,
             ops_addr: None,
+            trace_path: None,
         }
     }
 
@@ -169,6 +181,13 @@ impl HostConfig {
     /// [`crate::Host::ops_addr`]).
     pub fn ops(mut self, addr: impl Into<String>) -> HostConfig {
         self.ops_addr = Some(addr.into());
+        self
+    }
+
+    /// Writes the host bus's telemetry stream — round and service spans,
+    /// arbiter actions, leak-trend reports — to a JSONL trace at `path`.
+    pub fn trace_path(mut self, path: impl Into<std::path::PathBuf>) -> HostConfig {
+        self.trace_path = Some(path.into());
         self
     }
 }

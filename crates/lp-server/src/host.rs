@@ -29,6 +29,10 @@ use crate::loadgen;
 use crate::ops::{OpsServer, OpsState, TenantOps, TenantState};
 use crate::tenant::{Command, TenantWorker};
 
+/// Consecutive heap-trend buckets that must grow monotonically before the
+/// host emits a [`Event::LeakSuspected`] for a tenant.
+const TREND_WINDOWS: usize = 4;
+
 /// Why a host could not be constructed.
 #[derive(Debug)]
 pub enum HostError {
@@ -177,6 +181,9 @@ impl Host {
                     w.name.clone(),
                     Arc::clone(&w.counters),
                     w.sink.clone(),
+                    w.pauses.clone(),
+                    w.requests.clone(),
+                    w.series.clone(),
                     Arc::clone(&w.used_bytes),
                     w.queue.clone(),
                 )
@@ -194,6 +201,11 @@ impl Host {
             None => None,
         };
 
+        let telemetry = Telemetry::new();
+        if let Some(path) = &cfg.trace_path {
+            telemetry.add_sink(Box::new(lp_telemetry::JsonlSink::create(path)?));
+        }
+
         let policy = ArbiterPolicy {
             host_limit: cfg.host_limit,
             high_water: cfg.high_water,
@@ -207,7 +219,7 @@ impl Host {
             workers,
             arbiter,
             round: 0,
-            telemetry: Telemetry::new(),
+            telemetry,
             ops_state,
             ops_server,
         })
@@ -257,6 +269,9 @@ impl Host {
     pub fn run_round(&mut self) -> u64 {
         self.round += 1;
         let round = self.round;
+        // The round span brackets all four phases on the host bus; the
+        // per-tenant service spans below nest under it.
+        let _round_span = self.telemetry.span("round", round);
 
         // Phase 1: admission.
         for (index, w) in self.workers.iter_mut().enumerate() {
@@ -294,6 +309,9 @@ impl Host {
                     queue_full,
                     quarantined,
                 });
+                // The host-plane shed decision also lands in the tenant's
+                // heap-trend series (whose clock is the worker bus).
+                w.series.fold_sheds(queue_full + quarantined);
             }
         }
 
@@ -308,7 +326,11 @@ impl Host {
             w.send(Command::Round { max_requests });
         }
         let mut processed_this_round = 0;
-        for w in &mut self.workers {
+        for (index, w) in self.workers.iter_mut().enumerate() {
+            // One service span per tenant while the host waits on its
+            // report; the waits are sequential, so the spans nest cleanly
+            // under the round span.
+            let service_span = self.telemetry.span("service", index as u64);
             match w.wait() {
                 Some(report) => processed_this_round += report.processed,
                 None => {
@@ -317,6 +339,7 @@ impl Host {
                     }
                 }
             }
+            drop(service_span);
             w.update_finished();
         }
 
@@ -342,6 +365,28 @@ impl Host {
 
         // Phase 4: publication.
         self.publish();
+
+        // Leak-trend poll: a tenant whose retained bytes grew monotonically
+        // across the last TREND_WINDOWS buckets is a leak suspect. The
+        // flag gives the event an edge trigger — one LeakSuspected per
+        // sustained trend, re-armed when the trend breaks (a prune or a
+        // genuine release).
+        for w in &mut self.workers {
+            match w.series.leak_trend(TREND_WINDOWS) {
+                Some(trend) if !w.leak_flagged => {
+                    w.leak_flagged = true;
+                    let tenant = &w.name;
+                    self.telemetry.emit(|| Event::LeakSuspected {
+                        tenant: tenant.clone(),
+                        windows: trend.windows,
+                        from_bytes: trend.from_bytes,
+                        to_bytes: trend.to_bytes,
+                    });
+                }
+                Some(_) => {}
+                None => w.leak_flagged = false,
+            }
+        }
         processed_this_round
     }
 

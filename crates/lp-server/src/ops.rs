@@ -9,6 +9,9 @@
 //!   host-plane `lp_server_*` families (admission, shedding, state).
 //! - `GET /tenants` — JSON snapshot of every tenant: state, live bytes,
 //!   prune events, queue depth, reject counts.
+//! - `GET /timeseries` — JSON heap-trend series per tenant: fixed-capacity
+//!   ring of per-interval buckets (live bytes/objects, edge-table bytes,
+//!   collections, prunes, sheds, pause percentiles), oldest first.
 //! - `POST /inject?tenant=NAME&n=N` — external admission: offers `N`
 //!   requests to the named tenant through the same bounded queue the
 //!   built-in generator uses (load generators drive this).
@@ -28,7 +31,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use lp_telemetry::json::JsonValue;
-use lp_telemetry::{escape_label_value, PrometheusSink};
+use lp_telemetry::{escape_label_value, PauseHistogram, PrometheusSink, TimeSeries};
 
 use crate::admission::{offer, RejectReason, TenantCounters};
 
@@ -80,6 +83,9 @@ pub(crate) struct TenantOps {
     pub name: String,
     pub counters: Arc<TenantCounters>,
     pub sink: PrometheusSink,
+    pub pauses: PauseHistogram,
+    pub requests: PauseHistogram,
+    pub series: TimeSeries,
     pub used_bytes: Arc<AtomicU64>,
     pub queue: SyncSender<()>,
     state: AtomicU8,
@@ -87,10 +93,14 @@ pub(crate) struct TenantOps {
 }
 
 impl TenantOps {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: String,
         counters: Arc<TenantCounters>,
         sink: PrometheusSink,
+        pauses: PauseHistogram,
+        requests: PauseHistogram,
+        series: TimeSeries,
         used_bytes: Arc<AtomicU64>,
         queue: SyncSender<()>,
     ) -> TenantOps {
@@ -98,6 +108,9 @@ impl TenantOps {
             name,
             counters,
             sink,
+            pauses,
+            requests,
+            series,
             used_bytes,
             queue,
             state: AtomicU8::new(TenantState::Running.code()),
@@ -141,6 +154,28 @@ impl OpsState {
             .collect();
         let mut out = PrometheusSink::merged_exposition("tenant", &parts);
         self.render_host_families(&mut out);
+        let pauses: Vec<(&str, &PauseHistogram)> = self
+            .tenants
+            .iter()
+            .map(|t| (t.name.as_str(), &t.pauses))
+            .collect();
+        out.push_str(&PauseHistogram::merged_quantiles(
+            "lp_pause_nanos",
+            "Mutator pause time in nanoseconds (collections and mark quanta).",
+            "tenant",
+            &pauses,
+        ));
+        let requests: Vec<(&str, &PauseHistogram)> = self
+            .tenants
+            .iter()
+            .map(|t| (t.name.as_str(), &t.requests))
+            .collect();
+        out.push_str(&PauseHistogram::merged_quantiles(
+            "lp_server_request_nanos",
+            "Request service time in nanoseconds.",
+            "tenant",
+            &requests,
+        ));
         out
     }
 
@@ -323,6 +358,67 @@ impl OpsState {
         .to_string()
     }
 
+    /// Renders the `GET /timeseries` JSON: every tenant's heap-trend
+    /// buckets, oldest first, plus the bucket interval so clients can
+    /// place windows on a wall clock.
+    pub fn timeseries_json(&self) -> String {
+        let tenants: Vec<JsonValue> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                let buckets: Vec<JsonValue> = t
+                    .series
+                    .snapshot()
+                    .into_iter()
+                    .map(|b| {
+                        JsonValue::Obj(vec![
+                            ("window".into(), JsonValue::from_u64(b.window)),
+                            ("live_bytes".into(), JsonValue::from_u64(b.live_bytes)),
+                            ("live_objects".into(), JsonValue::from_u64(b.live_objects)),
+                            (
+                                "edge_table_bytes".into(),
+                                JsonValue::from_u64(b.edge_table_bytes),
+                            ),
+                            ("collections".into(), JsonValue::from_u64(b.collections)),
+                            ("pruned_refs".into(), JsonValue::from_u64(b.pruned_refs)),
+                            ("sheds".into(), JsonValue::from_u64(b.sheds)),
+                            (
+                                "pause_p50_nanos".into(),
+                                JsonValue::from_u64(b.pause_p50_nanos),
+                            ),
+                            (
+                                "pause_p95_nanos".into(),
+                                JsonValue::from_u64(b.pause_p95_nanos),
+                            ),
+                            (
+                                "pause_p99_nanos".into(),
+                                JsonValue::from_u64(b.pause_p99_nanos),
+                            ),
+                        ])
+                    })
+                    .collect();
+                JsonValue::Obj(vec![
+                    ("name".into(), JsonValue::Str(t.name.clone())),
+                    (
+                        "interval_nanos".into(),
+                        JsonValue::from_u64(
+                            u64::try_from(t.series.interval().as_nanos()).unwrap_or(u64::MAX),
+                        ),
+                    ),
+                    ("buckets".into(), JsonValue::Arr(buckets)),
+                ])
+            })
+            .collect();
+        JsonValue::Obj(vec![
+            (
+                "round".into(),
+                JsonValue::from_u64(self.round.load(Ordering::Relaxed)),
+            ),
+            ("tenants".into(), JsonValue::Arr(tenants)),
+        ])
+        .to_string()
+    }
+
     /// Handles `POST /inject`: offers `n` requests to tenant `name`.
     /// Returns `(admitted, shed)` or `None` for an unknown tenant.
     fn inject(&self, name: &str, n: u64) -> Option<(u64, u64)> {
@@ -453,6 +549,10 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<OpsState>) {
             let body = state.tenants_json();
             respond(&mut stream, "200 OK", "application/json", &body);
         }
+        ("GET", "/timeseries") => {
+            let body = state.timeseries_json();
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
         ("POST", "/inject") => {
             let name = query_param(query, "tenant").unwrap_or("");
             let n = query_param(query, "n")
@@ -493,6 +593,9 @@ mod tests {
             "alpha".into(),
             Arc::new(TenantCounters::new()),
             PrometheusSink::new(),
+            PauseHistogram::new(),
+            PauseHistogram::new(),
+            TimeSeries::new(Duration::from_millis(25), 16),
             Arc::new(AtomicU64::new(1234)),
             tx,
         );
@@ -516,6 +619,38 @@ mod tests {
         // HELP appears once per family even with host families appended.
         let helps = text.matches("# HELP lp_server_admitted_total").count();
         assert_eq!(helps, 1);
+    }
+
+    #[test]
+    fn metrics_include_quantile_families() {
+        let state = test_state();
+        state.tenants[0].pauses.record_nanos(1000);
+        state.tenants[0].requests.record_nanos(5000);
+        let text = state.metrics();
+        assert!(text.contains("# TYPE lp_pause_nanos gauge"));
+        assert!(text.contains("lp_pause_nanos{tenant=\"alpha\",quantile=\"0.5\"} 1000"));
+        assert!(text.contains("lp_pause_nanos_count{tenant=\"alpha\"} 1"));
+        assert!(text.contains("lp_server_request_nanos{tenant=\"alpha\",quantile=\"0.99\"} 5000"));
+        assert!(text.contains("lp_server_request_nanos_count{tenant=\"alpha\"} 1"));
+    }
+
+    #[test]
+    fn timeseries_json_is_parseable() {
+        let state = test_state();
+        state.tenants[0].series.fold_sheds(2);
+        let parsed = lp_telemetry::json::parse(&state.timeseries_json()).unwrap();
+        assert_eq!(parsed.get("round").unwrap().as_u64(), Some(7));
+        let tenants = parsed.get("tenants").unwrap().as_arr().unwrap();
+        assert_eq!(tenants.len(), 1);
+        assert_eq!(tenants[0].get("name").unwrap().as_str(), Some("alpha"));
+        assert_eq!(
+            tenants[0].get("interval_nanos").unwrap().as_u64(),
+            Some(25_000_000)
+        );
+        let buckets = tenants[0].get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].get("sheds").unwrap().as_u64(), Some(2));
+        assert_eq!(buckets[0].get("live_bytes").unwrap().as_u64(), Some(0));
     }
 
     #[test]

@@ -11,13 +11,23 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use leak_pruning::{PruningConfig, Runtime};
-use lp_telemetry::PrometheusSink;
+use lp_telemetry::{JsonlSink, PauseHistogram, PrometheusSink, TimeSeries};
 use lp_workloads::Service;
 
 use crate::admission::TenantCounters;
 use crate::config::TenantSpec;
+
+/// Heap-trend bucket width for each tenant's [`TimeSeries`]. Small
+/// enough that a short deterministic run spreads across several buckets,
+/// so the leak-trend detector has windows to compare.
+const TREND_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Buckets retained per tenant (10 seconds of history at
+/// [`TREND_INTERVAL`]).
+const TREND_CAPACITY: usize = 400;
 
 /// A host-to-worker command. Every command is answered with exactly one
 /// [`Report`], which is what makes the round loop a barrier.
@@ -75,6 +85,19 @@ pub(crate) struct TenantWorker {
     pub counters: Arc<TenantCounters>,
     /// This tenant's metrics sink (shared with the ops plane).
     pub sink: PrometheusSink,
+    /// Mutator-pause histogram fed by the worker's bus (shared with the
+    /// ops plane for the `lp_pause_nanos` quantile family).
+    pub pauses: PauseHistogram,
+    /// Per-request service-time histogram, recorded directly by the
+    /// worker (shared with the ops plane for `lp_server_request_nanos`).
+    pub requests: PauseHistogram,
+    /// Heap-trend time series fed by the worker's bus (shared with the
+    /// ops plane's `/timeseries` route and the host's leak-trend poll).
+    pub series: TimeSeries,
+    /// Whether the host currently considers this tenant's heap trend a
+    /// leak suspicion (hysteresis so `LeakSuspected` fires on the rising
+    /// edge, not every round).
+    pub leak_flagged: bool,
     /// Live bytes as of the last report (shared with the ops plane).
     pub used_bytes: Arc<AtomicU64>,
     /// Quarantine flag, owned by the host's arbiter.
@@ -105,17 +128,29 @@ impl TenantWorker {
             total_requests,
             pruning,
             incremental_mark,
+            trace_path,
             service,
         } = spec;
+        // Created on the host thread so a bad path fails `spawn` loudly
+        // instead of silently producing an untraced worker.
+        let trace_sink = trace_path
+            .map(|path| JsonlSink::create(&path))
+            .transpose()?;
         let (queue_tx, queue_rx) = sync_channel::<()>(queue_capacity);
         let (command_tx, command_rx) = sync_channel::<Command>(1);
         let (report_tx, report_rx) = sync_channel::<Report>(1);
         let counters = Arc::new(TenantCounters::new());
         let sink = PrometheusSink::new();
+        let pauses = PauseHistogram::new();
+        let requests = PauseHistogram::new();
+        let series = TimeSeries::new(TREND_INTERVAL, TREND_CAPACITY);
         let used_bytes = Arc::new(AtomicU64::new(0));
 
         let worker_counters = Arc::clone(&counters);
         let worker_sink = sink.clone();
+        let worker_pauses = pauses.clone();
+        let worker_requests = requests.clone();
+        let worker_series = series.clone();
         let worker_used = Arc::clone(&used_bytes);
         let thread = std::thread::Builder::new()
             .name(format!("tenant-{name}"))
@@ -127,6 +162,11 @@ impl TenantWorker {
                 let mut rt = Runtime::new(builder.build());
                 rt.set_byte_budget(Some(byte_budget));
                 rt.telemetry().add_sink(Box::new(worker_sink));
+                rt.telemetry().add_sink(Box::new(worker_pauses));
+                rt.telemetry().add_sink(Box::new(worker_series));
+                if let Some(sink) = trace_sink {
+                    rt.telemetry().add_sink(Box::new(sink));
+                }
                 worker_main(
                     rt,
                     service,
@@ -134,6 +174,7 @@ impl TenantWorker {
                     command_rx,
                     report_tx,
                     worker_counters,
+                    worker_requests,
                     worker_used,
                 );
             })?;
@@ -148,6 +189,10 @@ impl TenantWorker {
             queue: queue_tx,
             counters,
             sink,
+            pauses,
+            requests,
+            series,
+            leak_flagged: false,
             used_bytes,
             quarantined: false,
             finished: false,
@@ -242,6 +287,7 @@ fn report_of(rt: &Runtime, processed: u64, failed: Option<String>) -> Report {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_main(
     mut rt: Runtime,
     mut service: Box<dyn Service>,
@@ -249,6 +295,7 @@ fn worker_main(
     commands: Receiver<Command>,
     reports: SyncSender<Report>,
     counters: Arc<TenantCounters>,
+    request_times: PauseHistogram,
     used_bytes: Arc<AtomicU64>,
 ) {
     let mut failed: Option<String> = None;
@@ -266,7 +313,18 @@ fn worker_main(
                     if requests.try_recv().is_err() {
                         break;
                     }
-                    match service.handle(&mut rt, request_seq) {
+                    // The span goes out on the *worker* bus, so any GC,
+                    // prune or cycle spans the request provokes nest
+                    // under it — a prune storm is traceable to the
+                    // request that triggered exhaustion.
+                    let span = rt.telemetry().span("request", request_seq);
+                    let started = Instant::now();
+                    let outcome = service.handle(&mut rt, request_seq);
+                    request_times.record_nanos(
+                        u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    );
+                    drop(span);
+                    match outcome {
                         Ok(()) => {
                             request_seq += 1;
                             processed += 1;

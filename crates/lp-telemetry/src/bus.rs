@@ -80,6 +80,28 @@ impl FlightRecorder {
 struct BusState {
     recorder: Option<FlightRecorder>,
     sinks: Vec<Box<dyn Sink>>,
+    /// Last span id handed out; ids are dense and start at 1, so 0 never
+    /// names a span.
+    last_span_id: u64,
+    /// Open stack-parented spans, innermost last. Maintained under the bus
+    /// lock; buses are driven by one thread at a time, so the stack *is*
+    /// the causal context of the code currently emitting.
+    span_stack: Vec<u64>,
+}
+
+/// How a new span chooses its parent.
+enum SpanParent {
+    /// Parent is the innermost open stack span; the new span joins the
+    /// stack and must be dropped in LIFO order.
+    Stack,
+    /// No parent and no stack participation: for spans held in a struct
+    /// across mutator slices (an incremental mark cycle), whose lifetime
+    /// cannot nest inside any scope.
+    Detached,
+    /// Explicit parent id, stack participation as usual: for work that
+    /// logically belongs to a detached span (a mark quantum inside a
+    /// cycle) but runs inside an unrelated scope.
+    Under(u64),
 }
 
 struct Inner {
@@ -179,8 +201,12 @@ impl Telemetry {
 
     #[cold]
     fn deliver(&self, event: Event) {
-        let ts_nanos = u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let mut state = self.lock();
+        self.deliver_locked(&mut state, event);
+    }
+
+    fn deliver_locked(&self, state: &mut BusState, event: Event) {
+        let ts_nanos = u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
         // Sequence assignment happens under the lock so every recorder and
         // sink observes a strictly increasing, gap-free order even when
         // multiple handles emit concurrently.
@@ -196,6 +222,104 @@ impl Telemetry {
         for sink in &mut state.sinks {
             sink.record(&line);
         }
+    }
+
+    /// Opens a causal span: emits [`Event::SpanBegin`] parented to the
+    /// innermost open span and returns a guard that emits the matching
+    /// [`Event::SpanEnd`] on drop. Guards must drop in LIFO order (let the
+    /// borrow scope do it). With the bus disabled this is one relaxed
+    /// atomic load and an inert guard — nothing is emitted at either end,
+    /// so traces stay balanced even if a sink attaches mid-span.
+    ///
+    /// `name` must come from the closed taxonomy in
+    /// [`span_name`](crate::event::span_name); `arg` is the name-specific
+    /// argument recorded with the begin event.
+    #[inline]
+    pub fn span(&self, name: &'static str, arg: u64) -> SpanGuard {
+        if self.is_enabled() {
+            SpanGuard {
+                open: Some((self.clone(), self.begin_span(name, arg, SpanParent::Stack))),
+            }
+        } else {
+            SpanGuard { open: None }
+        }
+    }
+
+    /// Opens a *detached* span: no parent, and no participation in the
+    /// span stack, so the guard may be stored in a struct and live across
+    /// scopes (an incremental mark cycle spanning many mutator slices).
+    /// Attach nested work to it explicitly with
+    /// [`span_under`](Telemetry::span_under).
+    #[inline]
+    pub fn span_detached(&self, name: &'static str, arg: u64) -> SpanGuard {
+        if self.is_enabled() {
+            SpanGuard {
+                open: Some((
+                    self.clone(),
+                    self.begin_span(name, arg, SpanParent::Detached),
+                )),
+            }
+        } else {
+            SpanGuard { open: None }
+        }
+    }
+
+    /// Opens a span explicitly parented to `parent` (typically a detached
+    /// span) instead of the stack top; the new span still joins the stack
+    /// so events inside it nest under it. A child of an inert guard is
+    /// itself inert: a trace never contains a span whose parent it lacks.
+    #[inline]
+    pub fn span_under(&self, parent: &SpanGuard, name: &'static str, arg: u64) -> SpanGuard {
+        match parent.id() {
+            Some(parent_id) if self.is_enabled() => SpanGuard {
+                open: Some((
+                    self.clone(),
+                    self.begin_span(name, arg, SpanParent::Under(parent_id)),
+                )),
+            },
+            _ => SpanGuard { open: None },
+        }
+    }
+
+    #[cold]
+    fn begin_span(&self, name: &'static str, arg: u64, parent: SpanParent) -> u64 {
+        debug_assert!(
+            crate::event::span_name(name).is_ok(),
+            "span name {name:?} is outside the closed taxonomy"
+        );
+        let mut state = self.lock();
+        state.last_span_id += 1;
+        let id = state.last_span_id;
+        let (parent_id, joins_stack) = match parent {
+            SpanParent::Stack => (state.span_stack.last().copied(), true),
+            SpanParent::Detached => (None, false),
+            SpanParent::Under(p) => (Some(p), true),
+        };
+        if joins_stack {
+            state.span_stack.push(id);
+        }
+        self.deliver_locked(
+            &mut state,
+            Event::SpanBegin {
+                id,
+                parent: parent_id,
+                name,
+                arg,
+            },
+        );
+        id
+    }
+
+    #[cold]
+    fn end_span(&self, id: u64) {
+        let mut state = self.lock();
+        // Guards drop LIFO so the span is normally the stack top; remove
+        // by value anyway so one out-of-order drop cannot corrupt every
+        // later parent assignment. Detached spans were never pushed.
+        if let Some(pos) = state.span_stack.iter().rposition(|&open| open == id) {
+            state.span_stack.remove(pos);
+        }
+        self.deliver_locked(&mut state, Event::SpanEnd { id });
     }
 
     /// Flushes all attached sinks.
@@ -239,6 +363,44 @@ impl Telemetry {
         match self.inner.state.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// RAII handle for an open causal span: emits [`Event::SpanEnd`] when
+/// dropped. Obtained from [`Telemetry::span`], [`Telemetry::span_detached`]
+/// or [`Telemetry::span_under`]; a guard created while the bus was
+/// disabled is inert and emits nothing on drop.
+#[must_use = "dropping the guard immediately closes the span"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// The bus to close the span on and the span's id; `None` for inert
+    /// guards. The decision whether to emit is captured at creation so
+    /// begin/end always pair even if listeners attach mid-span.
+    open: Option<(Telemetry, u64)>,
+}
+
+impl SpanGuard {
+    /// An inert guard: no span, nothing emitted on drop. Useful as the
+    /// rest state of a struct field holding a detached span.
+    pub fn inert() -> SpanGuard {
+        SpanGuard { open: None }
+    }
+
+    /// The span's bus-unique id, `None` for inert guards.
+    pub fn id(&self) -> Option<u64> {
+        self.open.as_ref().map(|(_, id)| *id)
+    }
+}
+
+impl Drop for SpanGuard {
+    // Inlined so an inert guard's drop folds to a discriminant check at
+    // the call site — the disabled path must cost no more than the lazy
+    // `emit` bound it shares.
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((bus, id)) = self.open.take() {
+            bus.end_span(id);
         }
     }
 }
@@ -359,5 +521,101 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slot_recorder_panics() {
         let _ = FlightRecorder::new(0);
+    }
+
+    fn span_events(bus: &Telemetry) -> Vec<Event> {
+        bus.recorder_snapshot()
+            .into_iter()
+            .map(|l| l.event)
+            .collect()
+    }
+
+    #[test]
+    fn spans_nest_via_the_stack_and_close_on_drop() {
+        let bus = Telemetry::with_recorder(16);
+        {
+            let _outer = bus.span("round", 3);
+            {
+                let _inner = bus.span("request", 9);
+                bus.emit(|| Event::Iteration { index: 0 });
+            }
+        }
+        assert_eq!(
+            span_events(&bus),
+            vec![
+                Event::SpanBegin {
+                    id: 1,
+                    parent: None,
+                    name: "round",
+                    arg: 3,
+                },
+                Event::SpanBegin {
+                    id: 2,
+                    parent: Some(1),
+                    name: "request",
+                    arg: 9,
+                },
+                Event::Iteration { index: 0 },
+                Event::SpanEnd { id: 2 },
+                Event::SpanEnd { id: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn detached_spans_skip_the_stack_and_parent_explicit_children() {
+        let bus = Telemetry::with_recorder(16);
+        let cycle = bus.span_detached("cycle", 7);
+        {
+            // A stack span opened while the cycle is in flight must NOT
+            // parent to it — the cycle is not on the stack.
+            let _stall = bus.span("collect_until_fits", 64);
+            let _quantum = bus.span_under(&cycle, "quantum", 7);
+        }
+        drop(cycle);
+        assert_eq!(
+            span_events(&bus),
+            vec![
+                Event::SpanBegin {
+                    id: 1,
+                    parent: None,
+                    name: "cycle",
+                    arg: 7,
+                },
+                Event::SpanBegin {
+                    id: 2,
+                    parent: None,
+                    name: "collect_until_fits",
+                    arg: 64,
+                },
+                Event::SpanBegin {
+                    id: 3,
+                    parent: Some(1),
+                    name: "quantum",
+                    arg: 7,
+                },
+                Event::SpanEnd { id: 3 },
+                Event::SpanEnd { id: 2 },
+                Event::SpanEnd { id: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn disabled_bus_spans_are_inert_and_stay_inert() {
+        let bus = Telemetry::new();
+        let guard = bus.span("round", 0);
+        assert_eq!(guard.id(), None);
+        // Enabling mid-span must not produce a dangling SpanEnd.
+        bus.enable_recorder(8);
+        drop(guard);
+        assert!(bus.recorder_snapshot().is_empty());
+        // Children of inert guards are inert even on an enabled bus.
+        let parent = SpanGuard::inert();
+        let child = bus.span_under(&parent, "request", 1);
+        assert_eq!(child.id(), None);
+        drop(child);
+        assert!(bus.recorder_snapshot().is_empty());
+        assert_eq!(bus.events_delivered(), 0);
     }
 }

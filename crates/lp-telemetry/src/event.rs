@@ -352,6 +352,44 @@ pub enum Event {
         /// `"out_of_memory"` or `"pruned_access"`.
         termination: &'static str,
     },
+    /// A causal span opened. Spans turn the flat event stream into a tree:
+    /// every event emitted between a span's begin and end happened *inside*
+    /// it, and the parent id links nested work (a prune collection inside
+    /// the request that triggered exhaustion) across abstraction layers.
+    SpanBegin {
+        /// Bus-unique span id, dense and starting at 1.
+        id: u64,
+        /// Enclosing span id; absent for root spans.
+        parent: Option<u64>,
+        /// Stable span name from the closed taxonomy (see `span_name`).
+        name: &'static str,
+        /// Name-specific argument: the gc index for GC spans, the request
+        /// sequence for request spans, the round for host rounds, the
+        /// tenant index for service spans.
+        arg: u64,
+    },
+    /// A causal span closed. Every `SpanBegin` has exactly one matching
+    /// `SpanEnd`, and a span closes only after all of its children have
+    /// closed (interval containment) — `lp-bench`'s replay checker rejects
+    /// traces that violate either rule.
+    SpanEnd {
+        /// Id of the span being closed.
+        id: u64,
+    },
+    /// The leak-trend detector observed monotone retained-heap growth over
+    /// enough consecutive time-series windows to suspect a leak. A typed,
+    /// attributed report (which tenant, how long, how much) rather than raw
+    /// state, emitted on the host bus once per sustained trend.
+    LeakSuspected {
+        /// Tenant whose retained heap keeps growing.
+        tenant: String,
+        /// Consecutive completed windows with monotone growth.
+        windows: u64,
+        /// Live bytes at the start of the trend.
+        from_bytes: u64,
+        /// Live bytes at the latest window of the trend.
+        to_bytes: u64,
+    },
 }
 
 impl Event {
@@ -381,6 +419,9 @@ impl Event {
             Event::TenantShed { .. } => "tenant_shed",
             Event::ArbiterAction { .. } => "arbiter",
             Event::RunEnd { .. } => "run_end",
+            Event::SpanBegin { .. } => "span_begin",
+            Event::SpanEnd { .. } => "span_end",
+            Event::LeakSuspected { .. } => "leak_suspected",
         }
     }
 }
@@ -675,6 +716,34 @@ impl TraceLine {
                 field("iterations", JsonValue::from_u64(*iterations));
                 field("termination", JsonValue::Str((*termination).to_owned()));
             }
+            Event::SpanBegin {
+                id,
+                parent,
+                name,
+                arg,
+            } => {
+                field("id", JsonValue::from_u64(*id));
+                // Absent (not null) for root spans, mirroring `flush_ns`.
+                if let Some(parent) = parent {
+                    field("parent", JsonValue::from_u64(*parent));
+                }
+                field("name", JsonValue::Str((*name).to_owned()));
+                field("arg", JsonValue::from_u64(*arg));
+            }
+            Event::SpanEnd { id } => {
+                field("id", JsonValue::from_u64(*id));
+            }
+            Event::LeakSuspected {
+                tenant,
+                windows,
+                from_bytes,
+                to_bytes,
+            } => {
+                field("tenant", JsonValue::Str(tenant.clone()));
+                field("windows", JsonValue::from_u64(*windows));
+                field("from_bytes", JsonValue::from_u64(*from_bytes));
+                field("to_bytes", JsonValue::from_u64(*to_bytes));
+            }
         }
         JsonValue::Obj(obj).to_string()
     }
@@ -854,6 +923,21 @@ impl TraceLine {
                 iterations: need_u64(&value, "iterations")?,
                 termination: termination_name(need_str(&value, "termination")?)?,
             },
+            "span_begin" => Event::SpanBegin {
+                id: need_u64(&value, "id")?,
+                parent: value.get("parent").and_then(JsonValue::as_u64),
+                name: span_name(need_str(&value, "name")?)?,
+                arg: need_u64(&value, "arg")?,
+            },
+            "span_end" => Event::SpanEnd {
+                id: need_u64(&value, "id")?,
+            },
+            "leak_suspected" => Event::LeakSuspected {
+                tenant: need_str(&value, "tenant")?.to_owned(),
+                windows: need_u64(&value, "windows")?,
+                from_bytes: need_u64(&value, "from_bytes")?,
+                to_bytes: need_u64(&value, "to_bytes")?,
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok(TraceLine {
@@ -921,6 +1005,36 @@ fn arbiter_action_name(name: &str) -> Result<&'static str, String> {
         "quarantine" => Ok("quarantine"),
         "resume" => Ok("resume"),
         other => Err(format!("unknown arbiter action {other:?}")),
+    }
+}
+
+/// Interns a span name against the closed span taxonomy (see
+/// [`Event::SpanBegin`]): GC work (`collection`, `cycle`, `quantum`,
+/// `flush`, `mark`, `sweep`, `snapshot`), pruning decisions (`state`,
+/// `select`, `prune`), allocation stalls (`collect_until_fits`) and host
+/// serving (`round`, `service`, `request`). A closed set keeps traces
+/// self-describing and lets exporters special-case names safely.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown span.
+pub fn span_name(name: &str) -> Result<&'static str, String> {
+    match name {
+        "collection" => Ok("collection"),
+        "cycle" => Ok("cycle"),
+        "quantum" => Ok("quantum"),
+        "flush" => Ok("flush"),
+        "mark" => Ok("mark"),
+        "sweep" => Ok("sweep"),
+        "snapshot" => Ok("snapshot"),
+        "state" => Ok("state"),
+        "select" => Ok("select"),
+        "prune" => Ok("prune"),
+        "collect_until_fits" => Ok("collect_until_fits"),
+        "round" => Ok("round"),
+        "service" => Ok("service"),
+        "request" => Ok("request"),
+        other => Err(format!("unknown span name {other:?}")),
     }
 }
 
@@ -1116,6 +1230,27 @@ mod tests {
             iterations: 2_000,
             termination: "pruned_access",
         });
+        // Root spans omit the parent key; child spans carry it. Both
+        // shapes must survive the wire.
+        round_trip(Event::SpanBegin {
+            id: 1,
+            parent: None,
+            name: "round",
+            arg: 17,
+        });
+        round_trip(Event::SpanBegin {
+            id: 2,
+            parent: Some(1),
+            name: "request",
+            arg: 451,
+        });
+        round_trip(Event::SpanEnd { id: 2 });
+        round_trip(Event::LeakSuspected {
+            tenant: "checkout\"svc\"".to_owned(),
+            windows: 6,
+            from_bytes: 100_000,
+            to_bytes: 180_000,
+        });
     }
 
     #[test]
@@ -1139,5 +1274,11 @@ mod tests {
             r#"{"seq":1,"ts_ns":2,"ev":"run_end","iterations":5,"termination":"crashed"}"#
         )
         .is_err());
+        // A span outside the closed taxonomy, and one missing its id.
+        assert!(TraceLine::parse(
+            r#"{"seq":1,"ts_ns":2,"ev":"span_begin","id":1,"name":"mystery","arg":0}"#
+        )
+        .is_err());
+        assert!(TraceLine::parse(r#"{"seq":1,"ts_ns":2,"ev":"span_end"}"#).is_err());
     }
 }

@@ -12,8 +12,16 @@
 //!   line; `lp-bench`'s `trace_replay` binary rebuilds the Fig. 1/9
 //!   curves from the file alone),
 //! - a [`PrometheusSink`] folding the stream into a text-exposition
-//!   snapshot, and
-//! - a [`PauseHistogram`] answering pause-time percentile questions.
+//!   snapshot,
+//! - a [`PauseHistogram`] answering pause-time percentile questions, and
+//! - a [`TimeSeries`] ring of per-interval buckets answering heap-trend
+//!   questions ("has retained memory grown for N windows straight?").
+//!
+//! Causality between events comes from spans: [`Telemetry::span`] opens a
+//! [`SpanGuard`] that emits paired [`Event::SpanBegin`]/[`Event::SpanEnd`]
+//! markers, so a trace is a tree — a prune decision nests inside the
+//! collection that made it, which nests inside the request that triggered
+//! exhaustion.
 //!
 //! With nothing attached, [`Telemetry::emit`] is one relaxed atomic load
 //! and a not-taken branch; event payloads are built lazily inside a
@@ -28,6 +36,9 @@ mod event;
 pub mod json;
 mod sinks;
 
-pub use bus::{FlightRecorder, Sink, Telemetry};
-pub use event::{CensusEntry, EdgeShare, Event, GcPhase, TraceLine};
-pub use sinks::{escape_label_value, JsonlSink, PauseHistogram, PrometheusSink};
+pub use bus::{FlightRecorder, Sink, SpanGuard, Telemetry};
+pub use event::{span_name, CensusEntry, EdgeShare, Event, GcPhase, TraceLine};
+pub use sinks::{
+    escape_label_value, JsonlSink, LeakTrend, PauseHistogram, PrometheusSink, TimeSeries,
+    TimeSeriesBucket,
+};

@@ -1,5 +1,6 @@
 //! In-process pause-time histogram: answers the percentile questions
-//! (p50 / p95 / max) that end-of-run `GcStats` aggregates cannot.
+//! (p50 / p95 / p99 / p999 / max) that end-of-run `GcStats` aggregates
+//! cannot.
 
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -80,6 +81,16 @@ impl PauseHistogram {
         self.percentile(0.95)
     }
 
+    /// 99th-percentile pause.
+    pub fn p99(&self) -> Option<Duration> {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th-percentile pause.
+    pub fn p999(&self) -> Option<Duration> {
+        self.percentile(0.999)
+    }
+
     /// Longest pause.
     pub fn max(&self) -> Option<Duration> {
         self.lock()
@@ -88,6 +99,66 @@ impl PauseHistogram {
             .max()
             .copied()
             .map(Duration::from_nanos)
+    }
+
+    /// Records one sample directly, bypassing the event stream. The
+    /// histogram is a general duration/latency summary; a multi-tenant
+    /// host uses this to record per-request service times that never
+    /// appear as telemetry events.
+    pub fn record_nanos(&self, nanos: u64) {
+        let mut samples = self.lock();
+        if samples.pauses.len() < MAX_SAMPLES {
+            samples.pauses.push(nanos);
+        } else {
+            samples.truncated += 1;
+        }
+    }
+
+    /// Renders one Prometheus summary-style family from several labeled
+    /// histograms: `# HELP`/`# TYPE` once, then one
+    /// `name{label="...",quantile="..."}` gauge per histogram and
+    /// quantile (0.5 / 0.95 / 0.99 / 0.999), plus a `name_count` counter
+    /// family with each histogram's sample count. Histograms with no
+    /// samples contribute only their count (0) — a quantile of nothing is
+    /// not 0ns. Label values are escaped.
+    pub fn merged_quantiles(
+        name: &str,
+        help: &str,
+        label: &str,
+        parts: &[(&str, &PauseHistogram)],
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for (value, histogram) in parts {
+            let escaped = crate::sinks::escape_label_value(value);
+            for (tag, q) in [
+                ("0.5", 0.5),
+                ("0.95", 0.95),
+                ("0.99", 0.99),
+                ("0.999", 0.999),
+            ] {
+                if let Some(d) = histogram.percentile(q) {
+                    let _ = writeln!(
+                        out,
+                        "{name}{{{label}=\"{escaped}\",quantile=\"{tag}\"}} {}",
+                        d.as_nanos()
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "# HELP {name}_count Samples recorded in {name}.");
+        let _ = writeln!(out, "# TYPE {name}_count counter");
+        for (value, histogram) in parts {
+            let escaped = crate::sinks::escape_label_value(value);
+            let _ = writeln!(
+                out,
+                "{name}_count{{{label}=\"{escaped}\"}} {}",
+                histogram.count()
+            );
+        }
+        out
     }
 
     /// Folds `other`'s samples into `self`, respecting the sample cap:
@@ -211,6 +282,73 @@ mod tests {
         let alias = a.clone();
         a.merge(&alias);
         assert_eq!(a.count(), 5);
+    }
+
+    #[test]
+    fn tail_percentiles_use_nearest_rank() {
+        let h = PauseHistogram::new();
+        // 1..=1000 ns: nearest-rank p99 is the 990th sample, p999 the
+        // 999th — distinct from p95 (950) and max (1000).
+        for nanos in 1..=1000 {
+            h.record_nanos(nanos);
+        }
+        assert_eq!(h.p95(), Some(Duration::from_nanos(950)));
+        assert_eq!(h.p99(), Some(Duration::from_nanos(990)));
+        assert_eq!(h.p999(), Some(Duration::from_nanos(999)));
+        assert_eq!(h.max(), Some(Duration::from_nanos(1000)));
+    }
+
+    #[test]
+    fn merge_preserves_tail_percentiles() {
+        // Split 1..=1000 across two histograms so neither alone has the
+        // merged tail; the merged percentiles must match a single
+        // histogram over the union.
+        let evens = PauseHistogram::new();
+        let odds = PauseHistogram::new();
+        let all = PauseHistogram::new();
+        for nanos in 1..=1000u64 {
+            if nanos % 2 == 0 {
+                evens.record_nanos(nanos);
+            } else {
+                odds.record_nanos(nanos);
+            }
+            all.record_nanos(nanos);
+        }
+        evens.merge(&odds);
+        assert_eq!(evens.count(), 1000);
+        assert_eq!(evens.p99(), all.p99());
+        assert_eq!(evens.p999(), all.p999());
+        assert_eq!(evens.p50(), all.p50());
+        assert_eq!(evens.max(), all.max());
+    }
+
+    #[test]
+    fn merged_quantiles_renders_one_family_with_labels() {
+        let a = PauseHistogram::new();
+        let empty = PauseHistogram::new();
+        for nanos in 1..=100 {
+            a.record_nanos(nanos);
+        }
+        let text = PauseHistogram::merged_quantiles(
+            "lp_server_request_nanos",
+            "Request service time in nanoseconds.",
+            "tenant",
+            &[("checkout", &a), ("idle\"t\"", &empty)],
+        );
+        assert_eq!(
+            text.matches("# TYPE lp_server_request_nanos gauge").count(),
+            1
+        );
+        assert!(text.contains("lp_server_request_nanos{tenant=\"checkout\",quantile=\"0.5\"} 50"));
+        assert!(text.contains("lp_server_request_nanos{tenant=\"checkout\",quantile=\"0.99\"} 99"));
+        assert!(
+            text.contains("lp_server_request_nanos{tenant=\"checkout\",quantile=\"0.999\"} 100")
+        );
+        assert!(text.contains("lp_server_request_nanos_count{tenant=\"checkout\"} 100"));
+        // The empty histogram reports a count but no quantiles, with its
+        // label escaped.
+        assert!(text.contains(r#"lp_server_request_nanos_count{tenant="idle\"t\""} 0"#));
+        assert!(!text.contains(r#"idle\"t\"",quantile"#));
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Built-in sinks: JSONL trace files, Prometheus-style text exposition,
-//! and an in-process pause-time histogram.
+//! an in-process pause-time histogram, and a fixed-capacity heap-trend
+//! time series.
 
 mod histogram;
 mod jsonl;
 mod prometheus;
+mod timeseries;
 
 pub use histogram::PauseHistogram;
 pub use jsonl::JsonlSink;
 pub use prometheus::{escape_label_value, PrometheusSink};
+pub use timeseries::{LeakTrend, TimeSeries, TimeSeriesBucket};

@@ -508,7 +508,10 @@ impl Sink for PrometheusSink {
             | Event::TenantAdmit { .. }
             | Event::TenantShed { .. }
             | Event::ArbiterAction { .. }
-            | Event::RunEnd { .. } => {}
+            | Event::RunEnd { .. }
+            | Event::SpanBegin { .. }
+            | Event::SpanEnd { .. }
+            | Event::LeakSuspected { .. } => {}
         }
     }
 }

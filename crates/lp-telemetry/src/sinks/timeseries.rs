@@ -1,0 +1,409 @@
+//! Fixed-capacity heap-trend time series: the event stream folded into a
+//! ring of per-interval buckets (live bytes, edge-table footprint, pause
+//! percentiles, prunes, sheds), cheap enough to keep per tenant and old
+//! enough to answer "has this heap been growing for the last minute?" —
+//! the question a point-in-time gauge cannot. The leak-trend query turns
+//! monotone retained growth over enough consecutive windows into a typed
+//! suspicion a host can escalate as [`Event::LeakSuspected`].
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::bus::Sink;
+use crate::event::{Event, TraceLine};
+
+/// Pause samples kept per bucket; a window with more collections than
+/// this still counts them all, it just stops refining the percentiles.
+const MAX_BUCKET_PAUSES: usize = 4096;
+
+#[derive(Debug, Default)]
+struct Bucket {
+    /// Window index: events with `ts_nanos / interval == window` land here.
+    window: u64,
+    /// Live bytes after the window's most recent collection.
+    live_bytes: u64,
+    /// Live objects after the window's most recent collection.
+    live_objects: u64,
+    /// Edge-table footprint after the window's most recent census.
+    edge_table_bytes: u64,
+    /// Full collections observed in the window.
+    collections: u64,
+    /// References poisoned by collections in the window.
+    pruned_refs: u64,
+    /// Requests shed in the window (fed by the host; see
+    /// [`TimeSeries::fold_sheds`]).
+    sheds: u64,
+    /// Mutator pause samples in the window, capped at
+    /// [`MAX_BUCKET_PAUSES`].
+    pauses: Vec<u64>,
+}
+
+impl Bucket {
+    fn pause_percentile(&self, q: f64) -> u64 {
+        if self.pauses.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.pauses.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    }
+}
+
+/// One completed view of a time-series bucket, percentiles precomputed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimeSeriesBucket {
+    /// Window index; the window covers
+    /// `[window * interval, (window + 1) * interval)` on the bus clock.
+    pub window: u64,
+    /// Live bytes after the window's most recent collection.
+    pub live_bytes: u64,
+    /// Live objects after the window's most recent collection.
+    pub live_objects: u64,
+    /// Edge-table footprint after the window's most recent census.
+    pub edge_table_bytes: u64,
+    /// Full collections observed in the window.
+    pub collections: u64,
+    /// References poisoned in the window.
+    pub pruned_refs: u64,
+    /// Requests shed in the window.
+    pub sheds: u64,
+    /// Median mutator pause in the window, 0 with no samples.
+    pub pause_p50_nanos: u64,
+    /// 95th-percentile mutator pause in the window.
+    pub pause_p95_nanos: u64,
+    /// 99th-percentile mutator pause in the window.
+    pub pause_p99_nanos: u64,
+}
+
+/// A sustained retained-growth trend reported by
+/// [`TimeSeries::leak_trend`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeakTrend {
+    /// Consecutive buckets the growth spans.
+    pub windows: u64,
+    /// Live bytes at the start of the trend.
+    pub from_bytes: u64,
+    /// Live bytes at the newest bucket of the trend.
+    pub to_bytes: u64,
+}
+
+#[derive(Debug)]
+struct Series {
+    interval_nanos: u64,
+    capacity: usize,
+    buckets: VecDeque<Bucket>,
+}
+
+impl Series {
+    /// The bucket for `ts_nanos`, creating/evicting as needed. Bus
+    /// timestamps are monotone, so only the newest bucket is ever
+    /// written; a stray early timestamp folds into the newest bucket
+    /// rather than corrupting history.
+    fn bucket_at(&mut self, ts_nanos: u64) -> &mut Bucket {
+        let window = ts_nanos / self.interval_nanos;
+        let stale = self
+            .buckets
+            .back()
+            .is_some_and(|newest| newest.window >= window);
+        if !stale {
+            // Gauges carry forward across empty windows: a quiet window
+            // still knows how big the heap was.
+            let carried = self.buckets.back();
+            let bucket = Bucket {
+                window,
+                live_bytes: carried.map_or(0, |b| b.live_bytes),
+                live_objects: carried.map_or(0, |b| b.live_objects),
+                edge_table_bytes: carried.map_or(0, |b| b.edge_table_bytes),
+                ..Bucket::default()
+            };
+            if self.buckets.len() == self.capacity {
+                self.buckets.pop_front();
+            }
+            self.buckets.push_back(bucket);
+        }
+        self.buckets.back_mut().unwrap_or_else(|| unreachable!())
+    }
+
+    fn pause_sample(&mut self, ts_nanos: u64, nanos: u64) {
+        let bucket = self.bucket_at(ts_nanos);
+        if bucket.pauses.len() < MAX_BUCKET_PAUSES {
+            bucket.pauses.push(nanos);
+        }
+    }
+}
+
+/// Clone-shared time-series sink: hand one clone to the bus and keep the
+/// other to query. Fixed capacity — at most `capacity` buckets of
+/// `interval` each are retained, oldest evicted first.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    inner: Arc<Mutex<Series>>,
+}
+
+impl TimeSeries {
+    /// A series of up to `capacity` buckets of `interval` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero or `capacity` is zero.
+    pub fn new(interval: Duration, capacity: usize) -> TimeSeries {
+        let interval_nanos = u64::try_from(interval.as_nanos()).unwrap_or(u64::MAX);
+        assert!(interval_nanos > 0, "bucket interval must be non-zero");
+        assert!(capacity > 0, "time series needs at least one bucket");
+        TimeSeries {
+            inner: Arc::new(Mutex::new(Series {
+                interval_nanos,
+                capacity,
+                buckets: VecDeque::with_capacity(capacity),
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Series> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Bucket interval.
+    pub fn interval(&self) -> Duration {
+        Duration::from_nanos(self.lock().interval_nanos)
+    }
+
+    /// Adds shed requests to the newest bucket (creating the first bucket
+    /// if the series is empty). Sheds are decided on the host plane, whose
+    /// clock is not the tenant bus clock, so they are attributed to the
+    /// tenant's most recent window rather than timestamped exactly.
+    pub fn fold_sheds(&self, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let mut series = self.lock();
+        series.bucket_at(0).sheds += count;
+    }
+
+    /// The retained buckets, oldest first, with pause percentiles
+    /// computed.
+    pub fn snapshot(&self) -> Vec<TimeSeriesBucket> {
+        let series = self.lock();
+        series
+            .buckets
+            .iter()
+            .map(|b| TimeSeriesBucket {
+                window: b.window,
+                live_bytes: b.live_bytes,
+                live_objects: b.live_objects,
+                edge_table_bytes: b.edge_table_bytes,
+                collections: b.collections,
+                pruned_refs: b.pruned_refs,
+                sheds: b.sheds,
+                pause_p50_nanos: b.pause_percentile(0.50),
+                pause_p95_nanos: b.pause_percentile(0.95),
+                pause_p99_nanos: b.pause_percentile(0.99),
+            })
+            .collect()
+    }
+
+    /// Reports a sustained leak suspicion: `Some` iff the newest `windows`
+    /// buckets exist, their live-bytes gauges are monotone non-decreasing
+    /// bucket over bucket, and the newest strictly exceeds the oldest.
+    /// Plateaus inside the trend are allowed (a leak under a generational
+    /// collector grows in steps); any dip breaks it.
+    pub fn leak_trend(&self, windows: usize) -> Option<LeakTrend> {
+        if windows < 2 {
+            return None;
+        }
+        let series = self.lock();
+        if series.buckets.len() < windows {
+            return None;
+        }
+        let start = series.buckets.len() - windows;
+        let mut prev: Option<u64> = None;
+        for bucket in series.buckets.iter().skip(start) {
+            if let Some(prev) = prev {
+                if bucket.live_bytes < prev {
+                    return None;
+                }
+            }
+            prev = Some(bucket.live_bytes);
+        }
+        let from_bytes = series.buckets[start].live_bytes;
+        let to_bytes = prev.unwrap_or(0);
+        (to_bytes > from_bytes).then_some(LeakTrend {
+            windows: windows as u64,
+            from_bytes,
+            to_bytes,
+        })
+    }
+}
+
+impl Sink for TimeSeries {
+    fn record(&mut self, line: &TraceLine) {
+        let mut series = self.lock();
+        match &line.event {
+            Event::Collection {
+                live_bytes_after,
+                live_objects_after,
+                pruned_refs,
+                mark_nanos,
+                sweep_nanos,
+                flush_nanos,
+                ..
+            } => {
+                let pause = flush_nanos
+                    .unwrap_or(*mark_nanos)
+                    .saturating_add(*sweep_nanos);
+                let bucket = series.bucket_at(line.ts_nanos);
+                bucket.live_bytes = *live_bytes_after;
+                bucket.live_objects = *live_objects_after;
+                bucket.collections += 1;
+                bucket.pruned_refs += pruned_refs;
+                if bucket.pauses.len() < MAX_BUCKET_PAUSES {
+                    bucket.pauses.push(pause);
+                }
+            }
+            Event::MarkQuantum { nanos, .. } => {
+                series.pause_sample(line.ts_nanos, *nanos);
+            }
+            Event::EdgeCensus {
+                footprint_bytes, ..
+            } => {
+                series.bucket_at(line.ts_nanos).edge_table_bytes = *footprint_bytes;
+            }
+            Event::TenantShed {
+                queue_full,
+                quarantined,
+                ..
+            } => {
+                series.bucket_at(line.ts_nanos).sheds += queue_full + quarantined;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collection_line(ts_nanos: u64, live_bytes: u64, pruned: u64) -> TraceLine {
+        TraceLine {
+            seq: 0,
+            ts_nanos,
+            event: Event::Collection {
+                gc_index: 1,
+                state: "OBSERVE".to_owned(),
+                live_bytes_after: live_bytes,
+                live_objects_after: live_bytes / 16,
+                freed_bytes: 0,
+                freed_objects: 0,
+                pruned_refs: pruned,
+                mark_nanos: 100,
+                sweep_nanos: 50,
+                flush_nanos: None,
+            },
+        }
+    }
+
+    fn series_of(interval_ms: u64, capacity: usize) -> TimeSeries {
+        TimeSeries::new(Duration::from_millis(interval_ms), capacity)
+    }
+
+    #[test]
+    fn buckets_fold_collections_and_carry_gauges_forward() {
+        let mut ts = series_of(1, 8);
+        let view = ts.clone();
+        ts.record(&collection_line(100_000, 4096, 1));
+        ts.record(&collection_line(200_000, 8192, 0));
+        // Window 3 is skipped entirely; window 4 still reports the heap.
+        ts.record(&collection_line(4_200_000, 10_000, 2));
+        let buckets = view.snapshot();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].window, 0);
+        assert_eq!(buckets[0].live_bytes, 8192);
+        assert_eq!(buckets[0].collections, 2);
+        assert_eq!(buckets[0].pruned_refs, 1);
+        assert_eq!(buckets[0].pause_p50_nanos, 150);
+        assert_eq!(buckets[1].window, 4);
+        assert_eq!(buckets[1].live_bytes, 10_000);
+        assert_eq!(buckets[1].pruned_refs, 2);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_buckets() {
+        let mut ts = series_of(1, 2);
+        for window in 0..5u64 {
+            ts.record(&collection_line(window * 1_000_000, 1000 + window, 0));
+        }
+        let buckets = ts.snapshot();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].window, 3);
+        assert_eq!(buckets[1].window, 4);
+    }
+
+    #[test]
+    fn quanta_sample_pauses_and_census_tracks_edge_bytes() {
+        let mut ts = series_of(1, 4);
+        ts.record(&TraceLine {
+            seq: 0,
+            ts_nanos: 10,
+            event: Event::MarkQuantum {
+                gc_index: 1,
+                objects: 8,
+                bytes: 512,
+                satb_drained: 0,
+                nanos: 700,
+            },
+        });
+        ts.record(&TraceLine {
+            seq: 1,
+            ts_nanos: 20,
+            event: Event::EdgeCensus {
+                gc_index: 1,
+                edge_types: 3,
+                capacity: 64,
+                footprint_bytes: 2048,
+                entries: Vec::new(),
+            },
+        });
+        let buckets = ts.snapshot();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].pause_p95_nanos, 700);
+        assert_eq!(buckets[0].edge_table_bytes, 2048);
+    }
+
+    #[test]
+    fn fold_sheds_lands_in_the_newest_bucket() {
+        let mut ts = series_of(1, 4);
+        let view = ts.clone();
+        ts.record(&collection_line(100, 4096, 0));
+        view.fold_sheds(3);
+        view.fold_sheds(0);
+        assert_eq!(ts.snapshot()[0].sheds, 3);
+    }
+
+    #[test]
+    fn leak_trend_requires_monotone_growth() {
+        let mut ts = series_of(1, 16);
+        for (window, bytes) in [(0u64, 1000u64), (1, 1000), (2, 1200), (3, 1500)] {
+            ts.record(&collection_line(window * 1_000_000, bytes, 0));
+        }
+        let trend = ts.leak_trend(4).expect("monotone growth with a plateau");
+        assert_eq!(trend.windows, 4);
+        assert_eq!(trend.from_bytes, 1000);
+        assert_eq!(trend.to_bytes, 1500);
+        // More windows than buckets: undecidable, not suspected.
+        assert_eq!(ts.leak_trend(5), None);
+        // A flat tail is not growth.
+        ts.record(&collection_line(4 * 1_000_000, 1500, 0));
+        ts.record(&collection_line(5 * 1_000_000, 1500, 0));
+        assert_eq!(ts.leak_trend(3), None);
+        // A dip breaks the trend.
+        ts.record(&collection_line(6 * 1_000_000, 900, 0));
+        assert_eq!(ts.leak_trend(3), None);
+    }
+}
