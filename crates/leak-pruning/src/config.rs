@@ -98,6 +98,7 @@ pub struct PruningConfig {
     flight_recorder_slots: Option<usize>,
     census_period: Option<u64>,
     snapshot_on_exhaustion: Option<PathBuf>,
+    postmortem_dir: Option<PathBuf>,
     verify_period: Option<u64>,
     incremental_mark_budget: Option<usize>,
 }
@@ -126,6 +127,7 @@ impl PruningConfig {
                 flight_recorder_slots: None,
                 census_period: None,
                 snapshot_on_exhaustion: None,
+                postmortem_dir: None,
                 verify_period: if cfg!(debug_assertions) {
                     Some(1)
                 } else {
@@ -248,6 +250,17 @@ impl PruningConfig {
     /// `lp-diagnose` format) to this path for offline leak diagnosis.
     pub fn snapshot_on_exhaustion(&self) -> Option<&Path> {
         self.snapshot_on_exhaustion.as_deref()
+    }
+
+    /// If set, the runtime writes postmortem bundles (v2 snapshot +
+    /// flight-recorder tail + config, `lp-diagnose` bundle format) into
+    /// this directory when memory is exhausted or a bundle is requested,
+    /// rate-limited per trigger. Unlike
+    /// [`snapshot_on_exhaustion`](Self::snapshot_on_exhaustion) the
+    /// capture is non-destructive: no sweep runs and no collection index
+    /// is consumed.
+    pub fn postmortem_dir(&self) -> Option<&Path> {
+        self.postmortem_dir.as_deref()
     }
 
     /// If set, the runtime runs the heap invariant sanitizer
@@ -431,6 +444,13 @@ impl PruningConfigBuilder {
         self
     }
 
+    /// Writes postmortem bundles into `dir` on exhaustion and on request
+    /// (see [`PruningConfig::postmortem_dir`]).
+    pub fn postmortem_on(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.postmortem_dir = Some(dir.into());
+        self
+    }
+
     /// Runs the heap invariant sanitizer after every `period`-th full-heap
     /// collection (see [`PruningConfig::verify_period`]).
     ///
@@ -488,6 +508,7 @@ mod tests {
         assert_eq!(c.flight_recorder_slots(), None);
         assert_eq!(c.census_period(), None);
         assert_eq!(c.snapshot_on_exhaustion(), None);
+        assert_eq!(c.postmortem_dir(), None);
         assert_eq!(c.incremental_mark_budget(), None);
         // The sanitizer guards every debug-build collection; release builds
         // pay nothing unless asked.
@@ -544,6 +565,14 @@ mod tests {
             c.snapshot_on_exhaustion(),
             Some(Path::new("/tmp/exhausted.jsonl"))
         );
+    }
+
+    #[test]
+    fn postmortem_knob_round_trips() {
+        let c = PruningConfig::builder(1024)
+            .postmortem_on("/tmp/postmortems")
+            .build();
+        assert_eq!(c.postmortem_dir(), Some(Path::new("/tmp/postmortems")));
     }
 
     #[test]

@@ -117,6 +117,12 @@ impl Pruner {
         &self.pruned_census
     }
 
+    /// The selection the last SELECT collection committed, while it is
+    /// still the active prune target.
+    pub fn selection(&self) -> Option<&SelectionInfo> {
+        self.selection.as_ref()
+    }
+
     pub fn total_pruned_refs(&self) -> u64 {
         self.total_pruned_refs
     }

@@ -16,20 +16,25 @@
 //!   `max_stale_use` if the target was stale, zero the target's stale
 //!   counter.
 
-use std::path::Path;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 
-use lp_diagnose::{Capture, HeapSnapshot};
+use lp_diagnose::{
+    Capture, HeapSnapshot, PostmortemBundle, PostmortemContext, PrunedEdgeMeta, PrunerView,
+    SelectedPrune,
+};
 use lp_gc::{Collector, GcStats};
 use lp_heap::{
     AllocSpec, ClassId, ClassRegistry, FrameId, Handle, Heap, RootSet, StaticId, TaggedRef,
 };
+use lp_telemetry::json::JsonValue;
 use lp_telemetry::{CensusEntry, Event, Telemetry};
 
 use crate::config::{BarrierMode, PruningConfig};
 use crate::edge_table::{EdgeKey, EdgeTable};
 use crate::engine::Pruner;
 use crate::error::{OutOfMemoryError, PrunedAccessError, RuntimeError};
-use crate::record::GcRecord;
+use crate::record::{GcRecord, SelectionInfo};
 use crate::report::{PruneReport, PrunedEdge};
 use crate::state::State;
 
@@ -110,6 +115,13 @@ pub struct Runtime {
     /// Whether the one-shot exhaustion snapshot
     /// ([`PruningConfig::snapshot_on_exhaustion`]) has been written.
     exhaustion_snapshot_done: bool,
+    /// Collection index at which the last postmortem bundle was written,
+    /// per trigger tag — the rate limiter for automatic bundles.
+    postmortem_last: HashMap<String, u64>,
+    /// Bundles successfully written over the runtime's lifetime.
+    postmortem_count: u64,
+    /// Path of the most recently written bundle.
+    postmortem_latest: Option<PathBuf>,
     /// Edge trigger for allocation-driven incremental cycles: set while
     /// free space sits above the start threshold, cleared when a cycle
     /// starts. Firing only on the armed->low transition means a cycle
@@ -133,6 +145,13 @@ const MUTATOR_PROGRESS_DIVISOR: u64 = 16;
 /// to use anything, so aging objects across them would turn hot data into
 /// pruning candidates.
 const MUTATOR_PROGRESS_READS: u64 = 32;
+
+/// Minimum full-heap collections between two automatic postmortem bundles
+/// of the same trigger. A prune storm exhausts memory on every allocation
+/// for a while; one bundle per storm is evidence, one per allocation is a
+/// disk-filling denial of service against ourselves. Manual requests
+/// ([`Runtime::write_postmortem`]) bypass the limit.
+const POSTMORTEM_MIN_GC_INTERVAL: u64 = 32;
 
 impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -178,6 +197,9 @@ impl Runtime {
             telemetry,
             counters_at_last_emit: MutatorCounters::default(),
             exhaustion_snapshot_done: false,
+            postmortem_last: HashMap::new(),
+            postmortem_count: 0,
+            postmortem_latest: None,
             incremental_armed: true,
             config,
         }
@@ -361,6 +383,7 @@ impl Runtime {
                 self.heap.capacity(),
             );
             self.maybe_snapshot_exhaustion();
+            self.maybe_write_postmortem("exhaustion");
             if !self.config.pruning_enabled() {
                 break;
             }
@@ -551,6 +574,7 @@ impl Runtime {
                 self.heap.used_bytes(),
                 self.heap.capacity(),
             );
+            self.maybe_write_postmortem("exhaustion");
             if !self.config.pruning_enabled() {
                 break;
             }
@@ -589,11 +613,13 @@ impl Runtime {
         let gc_index = self.collector.next_gc_index();
         let snapshot_span = self.telemetry.span("snapshot", gc_index);
         self.telemetry.emit(|| Event::SnapshotBegin { gc_index });
+        let pruner_view = self.pruner_view();
         let roots = &self.roots;
         let classes = &self.classes;
         let mut captured: Option<Capture> = None;
         let outcome = self.collector.collect_with(&mut self.heap, |heap| {
-            let (capture, stats) = HeapSnapshot::capture(heap, roots, classes, gc_index);
+            let (capture, stats) =
+                HeapSnapshot::capture(heap, roots, classes, gc_index, Some(pruner_view));
             captured = Some(capture);
             stats
         });
@@ -612,6 +638,222 @@ impl Runtime {
         });
         drop(snapshot_span);
         capture
+    }
+
+    /// The pruner's state as snapshot-header metadata: Figure-2 state,
+    /// deferred-OOM flag, active selection, and the pruned-edge census
+    /// joined with the edge table's `max_stale_use` — everything a
+    /// postmortem needs to explain *why* each edge was pruned.
+    fn pruner_view(&self) -> PrunerView {
+        let table = self.pruner.table();
+        let mut pruned_edges: Vec<PrunedEdgeMeta> = self
+            .pruner
+            .pruned_census()
+            .iter()
+            .map(|(&edge, &refs)| PrunedEdgeMeta {
+                src: edge.src.index(),
+                tgt: edge.tgt.index(),
+                refs,
+                max_stale_use: table.max_stale_use(edge),
+            })
+            .collect();
+        pruned_edges.sort_by(|a, b| {
+            b.refs
+                .cmp(&a.refs)
+                .then(a.src.cmp(&b.src))
+                .then(a.tgt.cmp(&b.tgt))
+        });
+        let selected = self.pruner.selection().map(|info| match *info {
+            SelectionInfo::Edge { edge, bytes } => SelectedPrune::Edge {
+                src: edge.src.index(),
+                tgt: edge.tgt.index(),
+                bytes,
+            },
+            SelectionInfo::StaleLevel(level) => SelectedPrune::StaleLevel(level),
+        });
+        PrunerView {
+            state: self.pruner.state().name().to_owned(),
+            averted_oom: self.pruner.averted_oom().is_some(),
+            selected,
+            pruned_edges,
+        }
+    }
+
+    /// The configuration knobs a postmortem reader needs to interpret the
+    /// bundle, as JSON.
+    fn config_json(&self) -> JsonValue {
+        let c = &self.config;
+        let mut fields = vec![
+            (
+                "heap_capacity".to_owned(),
+                JsonValue::from_u64(c.heap_capacity()),
+            ),
+            ("pruning".to_owned(), JsonValue::Bool(c.pruning_enabled())),
+            (
+                "policy".to_owned(),
+                JsonValue::Str(format!("{:?}", c.policy())),
+            ),
+            (
+                "barrier_mode".to_owned(),
+                JsonValue::Str(format!("{:?}", c.barrier_mode())),
+            ),
+            (
+                "expected_threshold".to_owned(),
+                JsonValue::Float(c.expected_threshold()),
+            ),
+            (
+                "nearly_full_threshold".to_owned(),
+                JsonValue::Float(c.nearly_full_threshold()),
+            ),
+            (
+                "edge_table_slots".to_owned(),
+                JsonValue::from_u64(c.edge_table_slots() as u64),
+            ),
+        ];
+        if let Some(budget) = c.incremental_mark_budget() {
+            fields.push((
+                "incremental_mark_budget".to_owned(),
+                JsonValue::from_u64(budget as u64),
+            ));
+        }
+        JsonValue::Obj(fields)
+    }
+
+    /// Captures a postmortem bundle *without* collecting: the mark phase
+    /// runs (so reachability is current), but nothing is swept and no
+    /// collection index is consumed. That is the point — the
+    /// dead-but-reachable objects the bundle exists to show are exactly
+    /// what a sweep would erase.
+    ///
+    /// The embedded snapshot's `gc_index` is the number of collections
+    /// performed so far (the capture happens *between* collections).
+    pub fn capture_postmortem(&mut self, trigger: &str) -> PostmortemBundle {
+        self.capture_postmortem_with(trigger, &PostmortemContext::default())
+    }
+
+    /// [`capture_postmortem`](Self::capture_postmortem) with host-supplied
+    /// context (timeseries window, arbiter state) stamped into the bundle.
+    pub fn capture_postmortem_with(
+        &mut self,
+        trigger: &str,
+        context: &PostmortemContext,
+    ) -> PostmortemBundle {
+        // A half-marked incremental cycle would make the mark bits lie;
+        // close it first (a full collection, as on any stop-the-world
+        // entry point).
+        if self.pruner.incremental_active() {
+            self.finish_incremental_collection();
+        }
+        let gc_index = self.collector.collections();
+        let pruner_view = self.pruner_view();
+        // A fresh mark epoch, then the capture's own transitive closure.
+        // Leaving the marks set afterwards is safe: every collection path
+        // begins its own epoch.
+        self.heap.begin_mark_epoch();
+        let (capture, _stats) = HeapSnapshot::capture(
+            &self.heap,
+            &self.roots,
+            &self.classes,
+            gc_index,
+            Some(pruner_view),
+        );
+        PostmortemBundle {
+            trigger: trigger.to_owned(),
+            gc_index,
+            recorder_dropped: self.telemetry.recorder_dropped(),
+            spans: self
+                .telemetry
+                .active_spans()
+                .into_iter()
+                .map(|(name, arg)| (name.to_owned(), arg))
+                .collect(),
+            config: self.config_json(),
+            timeseries: context.timeseries.clone(),
+            arbiter: context.arbiter.clone(),
+            snapshot: capture.snapshot,
+            events: self.telemetry.recorder_snapshot(),
+        }
+    }
+
+    /// Writes a postmortem bundle into
+    /// [`PruningConfig::postmortem_dir`] now, bypassing the per-trigger
+    /// rate limit (this is the manual/host-requested path). Returns the
+    /// bundle's path, or `None` when no directory is configured or the
+    /// write failed — a failed write is reported on stderr, never
+    /// surfaced: diagnosis must not change whether the program survives.
+    pub fn write_postmortem(&mut self, trigger: &str) -> Option<PathBuf> {
+        self.write_postmortem_with(trigger, &PostmortemContext::default())
+    }
+
+    /// [`write_postmortem`](Self::write_postmortem) with host-supplied
+    /// context stamped into the bundle.
+    pub fn write_postmortem_with(
+        &mut self,
+        trigger: &str,
+        context: &PostmortemContext,
+    ) -> Option<PathBuf> {
+        let dir = self.config.postmortem_dir().map(Path::to_path_buf)?;
+        let bundle = self.capture_postmortem_with(trigger, context);
+        let gc_index = bundle.gc_index;
+        let text = bundle.to_jsonl();
+        if let Err(err) = std::fs::create_dir_all(&dir) {
+            eprintln!(
+                "leak-pruning: failed to create postmortem dir {}: {err}",
+                dir.display()
+            );
+            return None;
+        }
+        let path = dir.join(format!("postmortem-{trigger}-gc{gc_index}.jsonl"));
+        if let Err(err) = std::fs::write(&path, &text) {
+            eprintln!(
+                "leak-pruning: failed to write postmortem bundle to {}: {err}",
+                path.display()
+            );
+            return None;
+        }
+        // Stable "most recent bundle" pointer for humans and dashboards.
+        let latest = dir.join("postmortem-latest.jsonl");
+        if let Err(err) = std::fs::write(&latest, &text) {
+            eprintln!("leak-pruning: failed to write {}: {err}", latest.display());
+        }
+        self.postmortem_last.insert(trigger.to_owned(), gc_index);
+        self.postmortem_count += 1;
+        self.postmortem_latest = Some(path.clone());
+        let path_text = path.display().to_string();
+        self.telemetry.emit(|| Event::PostmortemWritten {
+            trigger: trigger.to_owned(),
+            path: path_text.clone(),
+            gc_index,
+        });
+        Some(path)
+    }
+
+    /// Postmortem bundles successfully written so far (automatic and
+    /// manual).
+    pub fn postmortem_count(&self) -> u64 {
+        self.postmortem_count
+    }
+
+    /// Path of the most recently written postmortem bundle.
+    pub fn postmortem_latest(&self) -> Option<&Path> {
+        self.postmortem_latest.as_deref()
+    }
+
+    /// Rate-limited automatic bundle write: at most one bundle per
+    /// `trigger` every [`POSTMORTEM_MIN_GC_INTERVAL`] collections (the
+    /// first for a trigger always writes). No-op without a configured
+    /// directory.
+    fn maybe_write_postmortem(&mut self, trigger: &str) {
+        if self.config.postmortem_dir().is_none() {
+            return;
+        }
+        let gc_index = self.collector.collections();
+        if let Some(&last) = self.postmortem_last.get(trigger) {
+            if gc_index.saturating_sub(last) < POSTMORTEM_MIN_GC_INTERVAL {
+                return;
+            }
+        }
+        self.write_postmortem(trigger);
     }
 
     fn run_minor_collection(&mut self) {
@@ -655,6 +897,7 @@ impl Runtime {
             self.finish_incremental_collection();
         }
         // (used_at_last_full is refreshed after the sweep, below.)
+        let had_averted_oom = self.pruner.averted_oom().is_some();
         let byte_threshold = (self.heap.capacity() / MUTATOR_PROGRESS_DIVISOR).max(1);
         let mutator_ran = force_tick
             || self.bytes_since_gc >= byte_threshold
@@ -681,6 +924,14 @@ impl Runtime {
             if record.gc_index.is_multiple_of(period) {
                 self.verify_after_collection(record.gc_index, false);
             }
+        }
+        // Entering PRUNE records the deferred out-of-memory error — the
+        // moment the program would have died without pruning, whether or
+        // not an allocation literally failed first (under the nearly-full
+        // threshold PRUNE usually lands *before* a real exhaustion). That
+        // is exactly when a postmortem is owed.
+        if !had_averted_oom && self.pruner.averted_oom().is_some() {
+            self.maybe_write_postmortem("exhaustion");
         }
         record
     }
@@ -1399,6 +1650,172 @@ mod tests {
         let snapshot = lp_diagnose::HeapSnapshot::parse(&text).unwrap();
         assert!(snapshot.object_count() > 0);
         assert!(snapshot.classes.iter().any(|c| c == "Node"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn postmortem_snapshot_records_poisoned_edges_and_every_slot() {
+        let (mut rt, _, err) = run_list_leak(PruningConfig::builder(256 * KB).build(), 3000);
+        assert!(err.is_none());
+        assert!(rt.prune_report().total_pruned_refs > 0);
+        rt.release_registers();
+
+        let bundle = rt.capture_postmortem("manual");
+        let snapshot = &bundle.snapshot;
+        // The delta v1 could not show: poisoned Node -> Node references
+        // survive in the capture instead of disappearing behind the
+        // tracer's "skip poisoned" rule.
+        assert!(snapshot.poisoned_edge_count() > 0);
+        // Every occupied slot lands in exactly one reachability bucket
+        // and the totals match the heap's own accounting.
+        assert_eq!(snapshot.used, Some(rt.used_bytes()));
+        assert_eq!(
+            snapshot.live_bytes() + snapshot.dead_reachable_bytes() + snapshot.floating_bytes(),
+            rt.used_bytes()
+        );
+        // The pruner header names the pruned edge and the averted OOM.
+        let pruner = snapshot.pruner.as_ref().expect("pruner state recorded");
+        assert!(pruner.averted_oom);
+        assert!(!pruner.pruned_edges.is_empty());
+        let top = &pruner.pruned_edges[0];
+        assert_eq!(snapshot.class_name(top.src), "Node");
+        assert_eq!(snapshot.class_name(top.tgt), "Node");
+        // And the whole bundle round-trips through the file format.
+        let parsed = PostmortemBundle::parse(&bundle.to_jsonl()).expect("bundle parses");
+        parsed.check().expect("bundle is internally consistent");
+        assert_eq!(parsed.trigger, "manual");
+        assert_eq!(
+            parsed.snapshot.poisoned_edge_count(),
+            snapshot.poisoned_edge_count()
+        );
+    }
+
+    #[test]
+    fn postmortem_captures_dead_but_reachable_objects() {
+        let mut rt = Runtime::new(PruningConfig::builder(128 * KB).build());
+        let holder = rt.register_class("Holder");
+        let blob = rt.register_class("Blob");
+        let scratch = rt.register_class("Scratch");
+
+        // Two holders with stale blobs. The first blob supplies the stale
+        // bytes that make SELECT choose Holder -> Blob; the second blob
+        // is *also* pinned by a static, so PRUNE poisons its reference
+        // (the whole edge type is pruned) while the sweep cannot reclaim
+        // the object itself.
+        let root1 = rt.add_static();
+        let h1 = rt.alloc(holder, &AllocSpec::with_refs(1)).unwrap();
+        rt.set_static(root1, Some(h1));
+        let b1 = rt.alloc(blob, &AllocSpec::leaf(100 * 1024)).unwrap();
+        rt.write_field(h1, 0, Some(b1));
+
+        let root2 = rt.add_static();
+        let h2 = rt.alloc(holder, &AllocSpec::with_refs(1)).unwrap();
+        rt.set_static(root2, Some(h2));
+        let b2 = rt.alloc(blob, &AllocSpec::leaf(16 * 1024)).unwrap();
+        rt.write_field(h2, 0, Some(b2));
+        let pin = rt.add_static();
+        rt.set_static(pin, Some(b2));
+
+        let mut pruned = false;
+        for _ in 0..10_000 {
+            rt.alloc(scratch, &AllocSpec::leaf(4096)).expect("scratch");
+            rt.release_registers();
+            if rt.prune_report().total_pruned_refs > 0 {
+                pruned = true;
+                break;
+            }
+        }
+        assert!(pruned, "the Holder -> Blob edge should be pruned");
+        // Both references of the edge type were poisoned in the same
+        // PRUNE; the pinned blob survived its sweep.
+        assert!(rt.read_field(h2, 0).is_err(), "h2's reference is poisoned");
+
+        // Drop the pin: the blob is now dead but reachable — only the
+        // poisoned reference still leads to it, and only until the next
+        // sweep erases it. The non-destructive capture makes it visible.
+        rt.set_static(pin, None);
+        let bundle = rt.capture_postmortem("manual");
+        let snapshot = &bundle.snapshot;
+        assert!(
+            snapshot.dead_reachable_bytes() >= 16 * KB,
+            "expected the 16 KiB blob behind the poisoned edge, got {}",
+            snapshot.dead_reachable_bytes()
+        );
+        assert!(snapshot.objects.iter().any(|o| {
+            o.reach == lp_diagnose::Reachability::DeadReachable
+                && snapshot.class_name(o.class) == "Blob"
+                && u64::from(o.bytes) >= 16 * KB
+        }));
+        assert_eq!(
+            snapshot.live_bytes() + snapshot.dead_reachable_bytes() + snapshot.floating_bytes(),
+            rt.used_bytes()
+        );
+    }
+
+    #[test]
+    fn exhaustion_writes_rate_limited_postmortem_bundle() {
+        let dir = std::env::temp_dir().join(format!("lp-postmortem-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Base config (no pruning) exhausts quickly and deterministically.
+        let config = PruningConfig::builder(64 * KB)
+            .pruning(false)
+            .flight_recorder(32)
+            .postmortem_on(&dir)
+            .build();
+        let (mut rt, _, err) = run_list_leak(config, 10_000);
+        assert!(err.expect("base config must exhaust").is_out_of_memory());
+
+        let exhaustion_bundles = |dir: &std::path::Path| -> Vec<String> {
+            let mut names: Vec<String> = std::fs::read_dir(dir)
+                .expect("postmortem dir created")
+                .map(|e| {
+                    e.expect("dir entry")
+                        .file_name()
+                        .to_string_lossy()
+                        .into_owned()
+                })
+                .filter(|n| n.contains("exhaustion"))
+                .collect();
+            names.sort();
+            names
+        };
+        assert_eq!(
+            exhaustion_bundles(&dir).len(),
+            1,
+            "exactly one automatic exhaustion bundle"
+        );
+        assert!(dir.join("postmortem-latest.jsonl").exists());
+
+        // A second exhaustion right after the first is inside the
+        // rate-limit window: no new bundle.
+        let more = rt.register_class("More");
+        assert!(rt.alloc(more, &AllocSpec::leaf(4096)).is_err());
+        assert_eq!(exhaustion_bundles(&dir).len(), 1);
+
+        // The manual path bypasses the rate limit and stamps its trigger.
+        let manual = rt
+            .write_postmortem("operator")
+            .expect("manual bundle written");
+        assert!(manual.exists());
+        let text = std::fs::read_to_string(dir.join("postmortem-latest.jsonl")).unwrap();
+        let bundle = PostmortemBundle::parse(&text).expect("bundle parses");
+        bundle.check().expect("bundle is internally consistent");
+        assert_eq!(bundle.trigger, "operator");
+        assert!(bundle.snapshot.object_count() > 0);
+        // The tiny recorder evicted events during the run; the bundle
+        // says so instead of pretending the tail is complete.
+        assert!(bundle.recorder_dropped > 0);
+        assert!(bundle.recorder_dropped <= rt.telemetry().recorder_dropped());
+        assert!(bundle.events.len() <= 32);
+        // Each successful write leaves a marker event in the recorder.
+        let written = rt
+            .telemetry()
+            .recorder_snapshot()
+            .iter()
+            .filter(|l| matches!(l.event, Event::PostmortemWritten { .. }))
+            .count();
+        assert!(written >= 1, "postmortem_written event recorded");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -15,6 +15,15 @@
 //! - `leak_report --diff <a.jsonl> <b.jsonl>` — diff two snapshots of
 //!   the same heap: per-class and per-dominator retained-size deltas
 //!   with grown/new/shrunk/freed attribution. Writes `leak_diff.txt`.
+//! - `leak_report postmortem <bundle.jsonl> [--baseline <snap.jsonl>]`
+//!   — analyse a postmortem bundle: per-class live /
+//!   dead-but-reachable / floating breakdown, the pruner's SELECT
+//!   explanation, drift since a baseline snapshot, and truncation
+//!   notices. `--check` verifies the bundle's internal consistency
+//!   (classification totals must match the heap accounting);
+//!   `--expect-class <name> --min-dead-share <fraction>` exits non-zero
+//!   unless that class carries the required share of dead-but-reachable
+//!   bytes. Writes `postmortem_report.txt`.
 //!
 //! `--expect-class <name>` (CI hook) exits non-zero unless the #1
 //! retained-size dominator is of that class — or, with `--diff`, unless
@@ -25,7 +34,10 @@ use std::process::ExitCode;
 
 use leak_pruning::{PruningConfig, Runtime};
 use lp_bench::output_dir;
-use lp_diagnose::{Analysis, EdgeSummary, HeapSnapshot, SnapshotDiff};
+use lp_diagnose::{
+    render_postmortem, Analysis, EdgeSummary, HeapSnapshot, PostmortemBundle, Reachability,
+    SnapshotDiff,
+};
 use lp_workloads::driver::Workload;
 use lp_workloads::leaks::ListLeak;
 
@@ -178,6 +190,152 @@ fn run_diff(path_a: &str, path_b: &str, args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `postmortem` mode: analyse a bundle, optionally against a baseline
+/// snapshot, with CI hooks for consistency and attribution checks.
+fn run_postmortem_mode(argv: &[String]) -> ExitCode {
+    let mut bundle_path: Option<&str> = None;
+    let mut baseline_path: Option<&str> = None;
+    let mut expect_class: Option<&str> = None;
+    let mut min_dead_share = 0.9_f64;
+    let mut check = false;
+    let usage = "usage: leak_report postmortem <bundle.jsonl> [--baseline <snap.jsonl>] \
+                 [--check] [--expect-class <name>] [--min-dead-share <fraction>]";
+
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(path) => baseline_path = Some(path),
+                None => {
+                    eprintln!("leak_report: --baseline needs a snapshot path\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--expect-class" => match it.next() {
+                Some(name) => expect_class = Some(name),
+                None => {
+                    eprintln!("leak_report: --expect-class needs a class name\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--min-dead-share" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(share) => min_dead_share = share,
+                None => {
+                    eprintln!("leak_report: --min-dead-share needs a fraction in [0, 1]\n{usage}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => check = true,
+            other if other.starts_with("--") => {
+                eprintln!("leak_report: unknown option {other}\n{usage}");
+                return ExitCode::FAILURE;
+            }
+            other if bundle_path.is_none() => bundle_path = Some(other),
+            other => {
+                eprintln!("leak_report: unexpected argument {other}\n{usage}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(bundle_path) = bundle_path else {
+        eprintln!("leak_report: postmortem needs a bundle path\n{usage}");
+        return ExitCode::FAILURE;
+    };
+
+    let bundle = match std::fs::read_to_string(bundle_path)
+        .map_err(|e| format!("cannot read {bundle_path}: {e}"))
+        .and_then(|text| PostmortemBundle::parse(&text).map_err(|e| format!("{bundle_path}: {e}")))
+    {
+        Ok(bundle) => bundle,
+        Err(e) => {
+            eprintln!("leak_report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match baseline_path {
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| HeapSnapshot::parse(&text).map_err(|e| format!("{path}: {e}")))
+        {
+            Ok(snapshot) => Some(snapshot),
+            Err(e) => {
+                eprintln!("leak_report: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let report = render_postmortem(&bundle, baseline.as_ref());
+    print!("{report}");
+    match write_out("postmortem_report.txt", &report) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("leak_report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let snapshot = &bundle.snapshot;
+    if check {
+        if let Err(e) = bundle.check() {
+            eprintln!("leak_report: bundle check failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        let classified =
+            snapshot.live_bytes() + snapshot.dead_reachable_bytes() + snapshot.floating_bytes();
+        if let Some(used) = snapshot.used {
+            if classified != used {
+                eprintln!(
+                    "leak_report: classification totals {classified} bytes, \
+                     heap accounting says {used}"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        println!(
+            "bundle check passed: {} objects, {} bytes classified (live {}, dead {}, floating {})",
+            snapshot.object_count(),
+            classified,
+            snapshot.live_bytes(),
+            snapshot.dead_reachable_bytes(),
+            snapshot.floating_bytes(),
+        );
+    }
+
+    if let Some(expected) = expect_class {
+        let dead_total = snapshot.dead_reachable_bytes();
+        if dead_total == 0 {
+            eprintln!("leak_report: bundle has no dead-but-reachable bytes to attribute");
+            return ExitCode::FAILURE;
+        }
+        let class_dead: u64 = snapshot
+            .objects
+            .iter()
+            .filter(|o| {
+                o.reach == Reachability::DeadReachable && snapshot.class_name(o.class) == expected
+            })
+            .map(|o| u64::from(o.bytes))
+            .sum();
+        let share = class_dead as f64 / dead_total as f64;
+        if share < min_dead_share {
+            eprintln!(
+                "leak_report: {expected} carries only {:.1}% of the dead-but-reachable bytes \
+                 (need {:.1}%)",
+                share * 100.0,
+                min_dead_share * 100.0,
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "dead-share check passed: {expected} carries {:.1}% of {dead_total} \
+             dead-but-reachable bytes",
+            share * 100.0,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn write_out(name: &str, contents: &str) -> Result<std::path::PathBuf, String> {
     let path = output_dir().join(name);
     std::fs::write(&path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
@@ -185,6 +343,11 @@ fn write_out(name: &str, contents: &str) -> Result<std::path::PathBuf, String> {
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("postmortem") {
+        return run_postmortem_mode(&argv[1..]);
+    }
+
     let args = match parse_args() {
         Ok(args) => args,
         Err(e) => {
@@ -192,6 +355,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: leak_report <snapshot.jsonl> | --live [iterations] \
                  | --diff <a.jsonl> <b.jsonl> \
+                 | postmortem <bundle.jsonl> \
                  [--expect-class <name>] [--min-growth-share <percent>]"
             );
             return ExitCode::FAILURE;

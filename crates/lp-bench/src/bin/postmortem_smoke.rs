@@ -1,0 +1,196 @@
+//! Postmortem-bundle smoke check, used by CI.
+//!
+//! Boots a single-tenant host running [`WindowedLeakService`] — a leak
+//! whose records stay cached in a fixed window after their registry
+//! spine is pruned, so evictions strand *dead-but-reachable* records
+//! between collections — and drives it listen-style over its own HTTP
+//! ops plane (`POST /inject`, no built-in arrivals). Once pruning has
+//! poisoned the spine the binary:
+//!
+//! 1. asserts the runtime wrote an **automatic** `exhaustion` bundle
+//!    into the tenant's postmortem directory;
+//! 2. requests **manual** bundles (`POST /postmortem`, resolved via
+//!    `GET /postmortems`) until one captures a nonzero
+//!    dead-but-reachable population with at least 90% of those bytes
+//!    attributed to `session.Record`;
+//! 3. copies that bundle to `bench_out/postmortem_latest.jsonl` so CI
+//!    can run `leak_report postmortem` on it with `--check`.
+//!
+//! Exits non-zero if pruning never happens, no automatic bundle
+//! appears, or no bundle reaches the attribution bar.
+
+use std::io::{Read, Write as IoWrite};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use lp_bench::output_dir;
+use lp_diagnose::{PostmortemBundle, Reachability};
+use lp_server::{Host, HostConfig, TenantSpec};
+use lp_workloads::WindowedLeakService;
+
+const KB: u64 = 1024;
+const LEAK_CLASS: &str = "session.Record";
+const MIN_DEAD_SHARE: f64 = 0.9;
+
+fn http(addr: std::net::SocketAddr, method: &str, target: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    let request = format!("{method} {target} HTTP/1.1\r\nHost: lp\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    response.split_once("\r\n\r\n").map(|(_, b)| b.to_string())
+}
+
+/// Dead-but-reachable attribution: `(class bytes, total dead bytes)`.
+fn dead_attribution(bundle: &PostmortemBundle, class: &str) -> (u64, u64) {
+    let snapshot = &bundle.snapshot;
+    let class_dead = snapshot
+        .objects
+        .iter()
+        .filter(|o| o.reach == Reachability::DeadReachable && snapshot.class_name(o.class) == class)
+        .map(|o| u64::from(o.bytes))
+        .sum();
+    (class_dead, snapshot.dead_reachable_bytes())
+}
+
+fn main() -> ExitCode {
+    let dir = output_dir().join("postmortems_smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // One leaky tenant, budget well under the host limit and quarantine
+    // effectively off: the smoke isolates the postmortem plumbing from
+    // the arbiter's interventions.
+    let cfg = HostConfig::new(512 * KB)
+        .high_water(1.0)
+        .storm_threshold(1_000_000)
+        .seed(7)
+        .ops("127.0.0.1:0");
+    let tenants =
+        vec![
+            TenantSpec::new("leaky", Box::new(WindowedLeakService::with_shape(32, 512)))
+                .heap_capacity(256 * KB)
+                .byte_budget(256 * KB)
+                .arrival_rate(0)
+                .service_rate(64)
+                .queue_capacity(256)
+                .postmortem_dir(&dir),
+        ];
+    let mut host = match Host::new(cfg, tenants) {
+        Ok(host) => host,
+        Err(error) => {
+            eprintln!("postmortem_smoke: boot failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = host.ops_addr().expect("ops plane is always configured");
+    eprintln!("postmortem_smoke: ops plane on {addr}");
+
+    let mut winner: Option<(String, PostmortemBundle, f64)> = None;
+    for attempt in 0..400u64 {
+        // Listen-style drive: injected load, then one round at the
+        // barrier.
+        let _ = http(addr, "POST", "/inject?tenant=leaky&n=64");
+        host.run_round();
+
+        let pruned = host.summary()[0].pruned_refs;
+        if pruned == 0 || attempt % 4 != 3 {
+            continue;
+        }
+        // A manual bundle request, drained at the next round barrier.
+        let _ = http(addr, "POST", "/postmortem?tenant=leaky");
+        host.run_round();
+        let Some(listing) = http(addr, "GET", "/postmortems") else {
+            continue;
+        };
+        let Some(path) = lp_telemetry::json::parse(&listing).ok().and_then(|v| {
+            v.get("tenants")?
+                .as_arr()?
+                .first()?
+                .get("path")?
+                .as_str()
+                .map(str::to_owned)
+        }) else {
+            continue;
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(bundle) = PostmortemBundle::parse(&text) else {
+            eprintln!("postmortem_smoke: unparseable bundle at {path}");
+            return ExitCode::FAILURE;
+        };
+        let (class_dead, dead_total) = dead_attribution(&bundle, LEAK_CLASS);
+        if dead_total == 0 {
+            continue;
+        }
+        let share = class_dead as f64 / dead_total as f64;
+        eprintln!(
+            "postmortem_smoke: attempt {attempt}: {dead_total} dead-but-reachable bytes, \
+             {:.1}% {LEAK_CLASS}",
+            share * 100.0
+        );
+        if share >= MIN_DEAD_SHARE {
+            winner = Some((text, bundle, share));
+            break;
+        }
+    }
+    let summary = host.summary();
+    host.shutdown();
+
+    let mut failures = Vec::new();
+    if summary[0].pruned_refs == 0 {
+        failures.push("the windowed leak was never pruned".to_owned());
+    }
+    // The runtime must have written at least one automatic exhaustion
+    // bundle on its own, without any operator request.
+    let auto_bundles = std::fs::read_dir(&dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter(|e| {
+                    e.file_name()
+                        .to_string_lossy()
+                        .starts_with("postmortem-exhaustion-")
+                })
+                .count()
+        })
+        .unwrap_or(0);
+    if auto_bundles == 0 {
+        failures.push("no automatic exhaustion bundle was written".to_owned());
+    }
+    match &winner {
+        Some((text, bundle, share)) => {
+            if let Err(e) = bundle.check() {
+                failures.push(format!("winning bundle fails its own check: {e}"));
+            }
+            let out = output_dir().join("postmortem_latest.jsonl");
+            if let Err(e) = std::fs::write(&out, text) {
+                failures.push(format!("cannot write {}: {e}", out.display()));
+            } else {
+                eprintln!(
+                    "postmortem_smoke: wrote {} ({} dead-but-reachable bytes, {:.1}% {LEAK_CLASS})",
+                    out.display(),
+                    bundle.snapshot.dead_reachable_bytes(),
+                    share * 100.0
+                );
+            }
+        }
+        None => failures.push(format!(
+            "no bundle reached {:.0}% {LEAK_CLASS} dead-byte attribution",
+            MIN_DEAD_SHARE * 100.0
+        )),
+    }
+
+    if failures.is_empty() {
+        eprintln!(
+            "postmortem_smoke: OK ({} refs pruned, {auto_bundles} automatic bundle(s))",
+            summary[0].pruned_refs
+        );
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("postmortem_smoke: FAILED: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -55,7 +55,11 @@ fn fleet() -> (HostConfig, Vec<TenantSpec>) {
             .arrival_rate(16)
             .service_rate(16)
             .queue_capacity(64)
-            .total_requests(1_400),
+            .total_requests(1_400)
+            // The leaky tenant writes postmortem bundles: the run must
+            // produce at least one automatically (averted OOM and/or the
+            // host's quarantine dispatch) and surface it on /tenants.
+            .postmortem_dir(output_dir().join("postmortems")),
         TenantSpec::new("healthy-a", Box::new(HealthyService::new()))
             .heap_capacity(64 * KB)
             .byte_budget(40 * KB)
@@ -242,6 +246,7 @@ fn deterministic_run(trace_dir: Option<&Path>) -> ExitCode {
     // Scrape our own ops plane while the fleet is still up.
     let metrics = scrape(addr, "/metrics").unwrap_or_default();
     let timeseries = scrape(addr, "/timeseries").unwrap_or_default();
+    let tenants_json = scrape(addr, "/tenants").unwrap_or_default();
     let summary = host.summary();
     host.shutdown();
     // Dropping the host drops its bus, flushing the host-trace sink;
@@ -310,6 +315,41 @@ fn deterministic_run(trace_dir: Option<&Path>) -> ExitCode {
     }
     if !timeseries.contains("\"name\":\"leaky\"") || !timeseries.contains("\"buckets\"") {
         failures.push("/timeseries lacks per-tenant trend buckets".into());
+    }
+    // The leaky tenant's automatic bundles (averted OOM, quarantine
+    // dispatch) must be visible on the ops plane. Asserted via the
+    // failures vec only: stdout must stay byte-identical across runs.
+    match lp_telemetry::json::parse(&tenants_json) {
+        Ok(parsed) => {
+            let leaky_row = parsed
+                .get("tenants")
+                .and_then(|t| t.as_arr())
+                .and_then(|rows| {
+                    rows.iter()
+                        .find(|r| r.get("name").and_then(|n| n.as_str()) == Some("leaky"))
+                        .cloned()
+                });
+            match leaky_row {
+                Some(row) => {
+                    let count = row
+                        .get("postmortem_count")
+                        .and_then(|c| c.as_u64())
+                        .unwrap_or(0);
+                    if count == 0 {
+                        failures.push("/tenants reports no postmortem bundle for leaky".into());
+                    }
+                    if row
+                        .get("last_postmortem")
+                        .and_then(|p| p.as_str())
+                        .is_none()
+                    {
+                        failures.push("/tenants lacks leaky's last postmortem path".into());
+                    }
+                }
+                None => failures.push("/tenants lacks the leaky tenant".into()),
+            }
+        }
+        Err(e) => failures.push(format!("/tenants is not parseable JSON: {e}")),
     }
     // The workers and the host bus dropped their JSONL sinks at
     // shutdown; the traces are complete on disk.

@@ -399,8 +399,10 @@ mod tests {
                     bytes,
                     stale,
                     refs: refs.to_vec(),
+                    ..SnapshotObject::default()
                 })
                 .collect(),
+            ..HeapSnapshot::default()
         }
     }
 
@@ -544,6 +546,7 @@ mod tests {
                     .filter(|(s, _)| s % n == i)
                     .map(|(_, t)| (t % n) as u32)
                     .collect(),
+                ..SnapshotObject::default()
             })
             .collect();
         let mut roots: Vec<u32> = root_seeds.iter().map(|r| (r % n) as u32).collect();
@@ -555,6 +558,7 @@ mod tests {
             classes: vec!["A".to_owned(), "B".to_owned(), "C".to_owned()],
             roots,
             objects,
+            ..HeapSnapshot::default()
         }
     }
 

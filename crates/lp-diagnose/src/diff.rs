@@ -353,6 +353,7 @@ mod tests {
             bytes,
             stale: 0,
             refs: refs.to_vec(),
+            ..SnapshotObject::default()
         }
     }
 
@@ -377,6 +378,7 @@ mod tests {
             classes: vec!["List".to_owned(), "Node".to_owned(), "Scratch".to_owned()],
             roots,
             objects,
+            ..HeapSnapshot::default()
         }
     }
 

@@ -7,9 +7,12 @@
 //! 1. **Capture** ([`HeapSnapshot::capture`]) piggybacks on the
 //!    stop-the-world mark phase: it runs the transitive closure itself
 //!    (skipping poisoned references, which the program can never follow
-//!    again) and dumps the live object graph — identity, class, size,
-//!    staleness, outgoing references — to a compact JSONL format with a
-//!    hand-rolled writer/parser, mirroring lp-telemetry's trace style.
+//!    again) and dumps *every occupied slot* — identity, class, size,
+//!    staleness, reachability classification (live / dead-but-reachable
+//!    / floating), poisoned edges, pruner state — to a compact JSONL
+//!    format with a hand-rolled writer/parser, mirroring lp-telemetry's
+//!    trace style. The reader negotiates format versions, so v1 files
+//!    (live closure only) still parse.
 //! 2. **Analysis** ([`Analysis`]) computes the dominator tree
 //!    (Cooper–Harvey–Kennedy over a virtual super-root), per-object and
 //!    per-class retained sizes, per-class staleness histograms, and
@@ -33,10 +36,15 @@
 
 mod analysis;
 mod diff;
+mod postmortem;
 mod report;
 mod snapshot;
 
 pub use analysis::{Analysis, ClassStats, Dominator, DominatorEntry};
 pub use diff::{ClassDelta, DeltaKind, DominatorDelta, SnapshotDiff};
+pub use postmortem::{render_postmortem, PostmortemBundle, PostmortemContext, BUNDLE_VERSION};
 pub use report::{fmt_bytes, render_report, render_retained_gauges, EdgeSummary};
-pub use snapshot::{Capture, HeapSnapshot, SnapshotObject, SNAPSHOT_VERSION};
+pub use snapshot::{
+    Capture, HeapSnapshot, PrunedEdgeMeta, PrunerView, Reachability, SelectedPrune, SnapshotObject,
+    SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION,
+};

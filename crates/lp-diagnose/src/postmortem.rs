@@ -1,0 +1,636 @@
+//! Postmortem bundles: the runtime's "black box".
+//!
+//! When pruning engages, a tenant is quarantined, or the leak-trend
+//! detector fires, the interesting state is spread across four
+//! subsystems: the heap (what is dead-but-reachable *right now*), the
+//! flight recorder (what just happened), the time series (how we got
+//! here) and the pruner/arbiter (what the policy decided). A
+//! [`PostmortemBundle`] freezes all of it into one versioned JSONL file
+//! so the question "why did memory die at 3am" is answered from a single
+//! artifact instead of four half-overlapping ones.
+//!
+//! The file layout is: one header line (bundle version, trigger, line
+//! counts, active span stack, config, optional timeseries/arbiter
+//! state), then the embedded v2 snapshot's lines verbatim, then the
+//! flight-recorder tail verbatim — the two sub-formats keep their own
+//! parsers. The header states `recorder_dropped` explicitly: a
+//! postmortem that silently presents a partial event tail is worse than
+//! none.
+
+use std::collections::BTreeMap;
+
+use lp_telemetry::json::{self, JsonValue};
+use lp_telemetry::{Event, TraceLine};
+
+use crate::snapshot::{HeapSnapshot, Reachability, SelectedPrune};
+use crate::{fmt_bytes, SnapshotDiff};
+
+/// Current bundle format version, written as the header's `bundle` field.
+pub const BUNDLE_VERSION: u64 = 1;
+
+/// Host-side state a runtime cannot see but a postmortem should carry:
+/// the tenant's recent time-series window and the arbiter's view of the
+/// trigger. Both are free-form JSON — the bundle preserves them verbatim.
+#[derive(Clone, Debug, Default)]
+pub struct PostmortemContext {
+    /// Recent time-series window (producer-defined shape).
+    pub timeseries: Option<JsonValue>,
+    /// Arbiter state at the trigger (producer-defined shape).
+    pub arbiter: Option<JsonValue>,
+}
+
+/// One postmortem: a v2 heap snapshot plus everything needed to read it
+/// in context.
+#[derive(Clone, Debug)]
+pub struct PostmortemBundle {
+    /// Stable trigger tag (`"exhaustion"`, `"quarantine"`,
+    /// `"leak_suspected"`, `"manual"`).
+    pub trigger: String,
+    /// Collection index stamped into the embedded snapshot.
+    pub gc_index: u64,
+    /// Events the flight recorder evicted before capture — the tail below
+    /// is explicitly truncated when this is non-zero.
+    pub recorder_dropped: u64,
+    /// The open span stack at capture time, outermost first.
+    pub spans: Vec<(String, u64)>,
+    /// The runtime's pruning configuration, serialized as JSON.
+    pub config: JsonValue,
+    /// Recent time-series window, when the producer had one.
+    pub timeseries: Option<JsonValue>,
+    /// Arbiter state at the trigger, when the producer had one.
+    pub arbiter: Option<JsonValue>,
+    /// The full-fidelity heap snapshot.
+    pub snapshot: HeapSnapshot,
+    /// Flight-recorder tail at capture time, oldest first.
+    pub events: Vec<TraceLine>,
+}
+
+impl PostmortemBundle {
+    /// Serializes the bundle as one JSONL document: header, snapshot
+    /// lines, recorder lines.
+    pub fn to_jsonl(&self) -> String {
+        let snapshot_text = self.snapshot.to_jsonl();
+        let snapshot_lines = snapshot_text.lines().count() as u64;
+        let mut header = vec![
+            ("bundle".to_owned(), JsonValue::from_u64(BUNDLE_VERSION)),
+            ("trigger".to_owned(), JsonValue::Str(self.trigger.clone())),
+            ("gc".to_owned(), JsonValue::from_u64(self.gc_index)),
+            (
+                "recorder_dropped".to_owned(),
+                JsonValue::from_u64(self.recorder_dropped),
+            ),
+            (
+                "recorder_events".to_owned(),
+                JsonValue::from_u64(self.events.len() as u64),
+            ),
+            (
+                "snapshot_lines".to_owned(),
+                JsonValue::from_u64(snapshot_lines),
+            ),
+            (
+                "spans".to_owned(),
+                JsonValue::Arr(
+                    self.spans
+                        .iter()
+                        .map(|(name, arg)| {
+                            JsonValue::Obj(vec![
+                                ("name".to_owned(), JsonValue::Str(name.clone())),
+                                ("arg".to_owned(), JsonValue::from_u64(*arg)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("config".to_owned(), self.config.clone()),
+        ];
+        if let Some(timeseries) = &self.timeseries {
+            header.push(("timeseries".to_owned(), timeseries.clone()));
+        }
+        if let Some(arbiter) = &self.arbiter {
+            header.push(("arbiter".to_owned(), arbiter.clone()));
+        }
+        let mut out = JsonValue::Obj(header).to_string();
+        out.push('\n');
+        out.push_str(&snapshot_text);
+        for line in &self.events {
+            out.push_str(&line.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a bundle back from its JSONL form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed line or the line-count
+    /// mismatch; an embedded snapshot or trace line that fails its own
+    /// parser fails the bundle.
+    pub fn parse(text: &str) -> Result<PostmortemBundle, String> {
+        let lines: Vec<&str> = text.lines().filter(|raw| !raw.trim().is_empty()).collect();
+        let header_raw = lines.first().ok_or("empty bundle")?;
+        let header = json::parse(header_raw).map_err(|e| format!("header: {e}"))?;
+        let version = need_u64(&header, "bundle")?;
+        if version != BUNDLE_VERSION {
+            return Err(format!("unsupported bundle version {version}"));
+        }
+        let trigger = need_str(&header, "trigger")?.to_owned();
+        let gc_index = need_u64(&header, "gc")?;
+        let recorder_dropped = need_u64(&header, "recorder_dropped")?;
+        let recorder_events = need_u64(&header, "recorder_events")? as usize;
+        let snapshot_lines = need_u64(&header, "snapshot_lines")? as usize;
+        let spans = header
+            .get("spans")
+            .and_then(JsonValue::as_arr)
+            .ok_or("header: missing spans")?
+            .iter()
+            .map(|span| Ok((need_str(span, "name")?.to_owned(), need_u64(span, "arg")?)))
+            .collect::<Result<Vec<_>, String>>()?;
+        let config = header
+            .get("config")
+            .cloned()
+            .ok_or("header: missing config")?;
+        let timeseries = header.get("timeseries").cloned();
+        let arbiter = header.get("arbiter").cloned();
+
+        let body = &lines[1..];
+        if body.len() != snapshot_lines + recorder_events {
+            return Err(format!(
+                "bundle body has {} lines, header promises {} snapshot + {} recorder",
+                body.len(),
+                snapshot_lines,
+                recorder_events
+            ));
+        }
+        let snapshot_text = body[..snapshot_lines].join("\n");
+        let snapshot = HeapSnapshot::parse(&snapshot_text).map_err(|e| format!("snapshot: {e}"))?;
+        let events = body[snapshot_lines..]
+            .iter()
+            .map(|raw| TraceLine::parse(raw).map_err(|e| format!("recorder: {e}")))
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(PostmortemBundle {
+            trigger,
+            gc_index,
+            recorder_dropped,
+            spans,
+            config,
+            timeseries,
+            arbiter,
+            snapshot,
+            events,
+        })
+    }
+
+    /// Strict self-consistency check: every object classified, per-class
+    /// tallies summing exactly to the snapshot totals, snapshot totals
+    /// matching the heap's used-bytes accounting from capture time, and
+    /// the whole bundle surviving a re-serialize → re-parse round trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn check(&self) -> Result<(), String> {
+        let snapshot = &self.snapshot;
+        let classified =
+            snapshot.live_bytes() + snapshot.dead_reachable_bytes() + snapshot.floating_bytes();
+        if classified != snapshot.total_bytes() {
+            return Err(format!(
+                "classified bytes {} != total bytes {}",
+                classified,
+                snapshot.total_bytes()
+            ));
+        }
+        if let Some(used) = snapshot.used {
+            if snapshot.total_bytes() != used {
+                return Err(format!(
+                    "snapshot records {} bytes but heap used {} at capture",
+                    snapshot.total_bytes(),
+                    used
+                ));
+            }
+        }
+        for object in &snapshot.objects {
+            if object.class as usize >= snapshot.classes.len() {
+                return Err(format!("object {} has unknown class", object.id));
+            }
+        }
+        let reparsed =
+            PostmortemBundle::parse(&self.to_jsonl()).map_err(|e| format!("re-parse: {e}"))?;
+        if reparsed.snapshot != *snapshot {
+            return Err("snapshot changed across re-serialize round trip".to_owned());
+        }
+        if reparsed.events != self.events {
+            return Err("recorder tail changed across re-serialize round trip".to_owned());
+        }
+        Ok(())
+    }
+}
+
+/// Per-class three-way byte/object tallies used by the report.
+#[derive(Default, Clone, Copy)]
+struct ClassTally {
+    live_bytes: u64,
+    live_objects: u64,
+    dead_bytes: u64,
+    dead_objects: u64,
+    floating_bytes: u64,
+    floating_objects: u64,
+}
+
+/// [`fmt_bytes`] without the exact-value parenthetical, for table cells
+/// whose alignment a long value would break.
+fn fmt_short(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{:.1} {}", value, UNITS[unit])
+    }
+}
+
+/// Renders the human-readable postmortem report: trigger context, the
+/// per-class live / dead-but-reachable / floating breakdown, the SELECT
+/// explanation, the diff against `baseline` (the last periodic snapshot,
+/// when available), and explicit truncation notices.
+pub fn render_postmortem(bundle: &PostmortemBundle, baseline: Option<&HeapSnapshot>) -> String {
+    let mut out = String::new();
+    let snapshot = &bundle.snapshot;
+    out.push_str("== postmortem ==\n");
+    out.push_str(&format!(
+        "trigger: {}   gc: {}   capacity: {}\n",
+        bundle.trigger,
+        bundle.gc_index,
+        fmt_bytes(snapshot.capacity)
+    ));
+    if let Some(pruner) = &snapshot.pruner {
+        out.push_str(&format!(
+            "pruner: {}{}\n",
+            pruner.state,
+            if pruner.averted_oom {
+                "   (deferred OOM: pruning is what kept this process alive)"
+            } else {
+                ""
+            }
+        ));
+    }
+    if !bundle.spans.is_empty() {
+        let stack: Vec<String> = bundle
+            .spans
+            .iter()
+            .map(|(name, arg)| format!("{name}({arg})"))
+            .collect();
+        out.push_str(&format!("active spans: {}\n", stack.join(" > ")));
+    }
+
+    // -- per-class reachability breakdown ------------------------------
+    let mut tallies: BTreeMap<&str, ClassTally> = BTreeMap::new();
+    for object in &snapshot.objects {
+        let tally = tallies
+            .entry(snapshot.class_name(object.class))
+            .or_default();
+        let bytes = u64::from(object.bytes);
+        match object.reach {
+            Reachability::Live => {
+                tally.live_bytes += bytes;
+                tally.live_objects += 1;
+            }
+            Reachability::DeadReachable => {
+                tally.dead_bytes += bytes;
+                tally.dead_objects += 1;
+            }
+            Reachability::Floating => {
+                tally.floating_bytes += bytes;
+                tally.floating_objects += 1;
+            }
+        }
+    }
+    out.push_str("\n-- reachability by class --\n");
+    out.push_str(&format!(
+        "{:<24} {:>18} {:>18} {:>18}\n",
+        "class", "live", "dead-reachable", "floating"
+    ));
+    let mut rows: Vec<(&str, ClassTally)> = tallies.into_iter().collect();
+    rows.sort_by_key(|row| std::cmp::Reverse((row.1.dead_bytes, row.1.live_bytes)));
+    // Cells carry the rounded size plus the object count; the exact byte
+    // totals follow the table, where they cannot break the alignment.
+    let cell = |bytes: u64, objects: u64| format!("{} ({objects})", fmt_short(bytes));
+    for (name, tally) in &rows {
+        out.push_str(&format!(
+            "{:<24} {:>18} {:>18} {:>18}\n",
+            name,
+            cell(tally.live_bytes, tally.live_objects),
+            cell(tally.dead_bytes, tally.dead_objects),
+            cell(tally.floating_bytes, tally.floating_objects),
+        ));
+    }
+    out.push_str(&format!(
+        "{:<24} {:>18} {:>18} {:>18}\n",
+        "total",
+        fmt_short(snapshot.live_bytes()),
+        fmt_short(snapshot.dead_reachable_bytes()),
+        fmt_short(snapshot.floating_bytes()),
+    ));
+    out.push_str(&format!(
+        "exact: live {} + dead-reachable {} + floating {} = {} bytes\n",
+        snapshot.live_bytes(),
+        snapshot.dead_reachable_bytes(),
+        snapshot.floating_bytes(),
+        snapshot.total_bytes(),
+    ));
+
+    // -- SELECT explanation --------------------------------------------
+    if let Some(pruner) = &snapshot.pruner {
+        out.push_str("\n-- selection --\n");
+        match pruner.selected {
+            Some(SelectedPrune::Edge { src, tgt, bytes }) => {
+                out.push_str(&format!(
+                    "selected edge: {} -> {} ({} stale behind it)\n",
+                    snapshot.class_name(src),
+                    snapshot.class_name(tgt),
+                    fmt_bytes(bytes)
+                ));
+            }
+            Some(SelectedPrune::StaleLevel(level)) => {
+                out.push_str(&format!(
+                    "selected staleness level: >= {level} (most-stale policy)\n"
+                ));
+            }
+            None => out.push_str("no selection committed\n"),
+        }
+        // The recorder tail often holds the SELECT decision itself,
+        // including the runners-up — that is the "why not the others".
+        let last_selection = bundle.events.iter().rev().find_map(|line| {
+            if let Event::SelectionEdge {
+                gc_index,
+                src,
+                tgt,
+                bytes,
+                runners_up,
+            } = &line.event
+            {
+                Some((gc_index, src, tgt, bytes, runners_up))
+            } else {
+                None
+            }
+        });
+        if let Some((gc, src, tgt, bytes, runners_up)) = last_selection {
+            out.push_str(&format!(
+                "at gc {}: chose {} -> {} with {}\n",
+                gc,
+                snapshot.class_name(*src),
+                snapshot.class_name(*tgt),
+                fmt_bytes(*bytes)
+            ));
+            for runner in runners_up {
+                out.push_str(&format!(
+                    "  beat {} -> {} ({}): fewer stale bytes behind the edge\n",
+                    snapshot.class_name(runner.src),
+                    snapshot.class_name(runner.tgt),
+                    fmt_bytes(runner.bytes)
+                ));
+            }
+        }
+        if pruner.pruned_edges.is_empty() {
+            out.push_str("no edges pruned yet\n");
+        } else {
+            out.push_str("pruned so far:\n");
+            for edge in &pruner.pruned_edges {
+                out.push_str(&format!(
+                    "  {} -> {}: {} refs poisoned (edge max_stale_use {}, so only \
+                     references stale past use+2 qualified)\n",
+                    snapshot.class_name(edge.src),
+                    snapshot.class_name(edge.tgt),
+                    edge.refs,
+                    edge.max_stale_use
+                ));
+            }
+        }
+    }
+
+    // -- diff against the last periodic snapshot -----------------------
+    if let Some(baseline) = baseline {
+        out.push_str(&format!(
+            "\n-- drift since snapshot gc {} --\n",
+            baseline.gc_index
+        ));
+        let diff = SnapshotDiff::new(baseline, snapshot);
+        out.push_str(&diff.render());
+    }
+
+    // -- truncation notices --------------------------------------------
+    out.push_str("\n-- fidelity --\n");
+    if bundle.recorder_dropped > 0 {
+        out.push_str(&format!(
+            "TRUNCATED: flight recorder evicted {} older events; the tail below \
+             starts mid-history\n",
+            bundle.recorder_dropped
+        ));
+    } else {
+        out.push_str("flight recorder tail is complete (no events evicted)\n");
+    }
+    out.push_str(&format!(
+        "recorder tail: {} events   snapshot: {} objects, {} poisoned refs\n",
+        bundle.events.len(),
+        snapshot.object_count(),
+        snapshot.poisoned_edge_count()
+    ));
+    if bundle.timeseries.is_none() {
+        out.push_str("no timeseries window attached (runtime-local trigger)\n");
+    }
+    out
+}
+
+fn need_u64(value: &JsonValue, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing or invalid field {key:?}"))
+}
+
+fn need_str<'a>(value: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing or invalid field {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{PrunedEdgeMeta, PrunerView, SnapshotObject};
+
+    fn sample_snapshot() -> HeapSnapshot {
+        HeapSnapshot {
+            gc_index: 9,
+            capacity: 1 << 16,
+            used: Some(520),
+            classes: vec!["ListLeak.Node".to_owned(), "Scratch".to_owned()],
+            roots: vec![0],
+            pruner: Some(PrunerView {
+                state: "PRUNE".to_owned(),
+                averted_oom: true,
+                selected: Some(SelectedPrune::Edge {
+                    src: 0,
+                    tgt: 0,
+                    bytes: 2048,
+                }),
+                pruned_edges: vec![PrunedEdgeMeta {
+                    src: 0,
+                    tgt: 0,
+                    refs: 3,
+                    max_stale_use: 0,
+                }],
+            }),
+            objects: vec![
+                SnapshotObject {
+                    id: 0,
+                    class: 0,
+                    bytes: 120,
+                    stale: 1,
+                    reach: Reachability::Live,
+                    young: false,
+                    unlogged: 1,
+                    refs: vec![],
+                    poisoned: vec![3],
+                },
+                SnapshotObject {
+                    id: 3,
+                    class: 0,
+                    bytes: 240,
+                    stale: 7,
+                    reach: Reachability::DeadReachable,
+                    young: false,
+                    unlogged: 0,
+                    refs: vec![],
+                    poisoned: vec![],
+                },
+                SnapshotObject {
+                    id: 5,
+                    class: 1,
+                    bytes: 160,
+                    stale: 0,
+                    reach: Reachability::Floating,
+                    young: true,
+                    unlogged: 0,
+                    refs: vec![],
+                    poisoned: vec![],
+                },
+            ],
+        }
+    }
+
+    fn sample_bundle() -> PostmortemBundle {
+        PostmortemBundle {
+            trigger: "exhaustion".to_owned(),
+            gc_index: 9,
+            recorder_dropped: 4,
+            spans: vec![("round".to_owned(), 2), ("request".to_owned(), 77)],
+            config: JsonValue::Obj(vec![(
+                "heap_capacity".to_owned(),
+                JsonValue::from_u64(1 << 16),
+            )]),
+            timeseries: Some(JsonValue::Arr(vec![JsonValue::from_u64(100)])),
+            arbiter: None,
+            snapshot: sample_snapshot(),
+            events: vec![
+                TraceLine {
+                    seq: 40,
+                    ts_nanos: 1,
+                    event: Event::SelectionEdge {
+                        gc_index: 8,
+                        src: 0,
+                        tgt: 0,
+                        bytes: 2048,
+                        runners_up: vec![lp_telemetry::EdgeShare {
+                            src: 1,
+                            tgt: 0,
+                            bytes: 64,
+                        }],
+                    },
+                },
+                TraceLine {
+                    seq: 41,
+                    ts_nanos: 2,
+                    event: Event::Iteration { index: 12 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn bundle_round_trips() {
+        let bundle = sample_bundle();
+        let text = bundle.to_jsonl();
+        // 1 header + 4 snapshot lines + 2 recorder lines.
+        assert_eq!(text.lines().count(), 7);
+        let parsed = PostmortemBundle::parse(&text).unwrap();
+        assert_eq!(parsed.trigger, "exhaustion");
+        assert_eq!(parsed.recorder_dropped, 4);
+        assert_eq!(
+            parsed.spans,
+            vec![("round".to_owned(), 2), ("request".to_owned(), 77)]
+        );
+        assert_eq!(parsed.snapshot, bundle.snapshot);
+        assert_eq!(parsed.events, bundle.events);
+        assert_eq!(
+            parsed
+                .config
+                .get("heap_capacity")
+                .and_then(JsonValue::as_u64),
+            Some(1 << 16)
+        );
+        assert!(parsed.timeseries.is_some());
+        parsed.check().unwrap();
+    }
+
+    #[test]
+    fn parse_rejects_inconsistent_line_counts() {
+        let bundle = sample_bundle();
+        let mut text = bundle.to_jsonl();
+        // Drop the last recorder line: the header now over-promises.
+        text = text.lines().take(6).collect::<Vec<_>>().join("\n");
+        let err = PostmortemBundle::parse(&text).unwrap_err();
+        assert!(err.contains("header promises"), "{err}");
+        assert!(PostmortemBundle::parse("").is_err());
+        assert!(PostmortemBundle::parse("{\"bundle\":99}").is_err());
+    }
+
+    #[test]
+    fn check_catches_misaccounted_totals() {
+        let mut bundle = sample_bundle();
+        bundle.snapshot.used = Some(999_999);
+        let err = bundle.check().unwrap_err();
+        assert!(err.contains("heap used"), "{err}");
+    }
+
+    #[test]
+    fn report_breaks_down_reachability_and_names_truncation() {
+        let bundle = sample_bundle();
+        let report = render_postmortem(&bundle, None);
+        assert!(report.contains("trigger: exhaustion"));
+        assert!(report.contains("ListLeak.Node"));
+        // The dead-but-reachable column carries the leak's bytes.
+        assert!(report.contains("240 B (1)"), "{report}");
+        assert!(report.contains("selected edge: ListLeak.Node -> ListLeak.Node"));
+        assert!(report.contains("beat Scratch -> ListLeak.Node"));
+        assert!(report.contains("TRUNCATED: flight recorder evicted 4"));
+        assert!(report.contains("active spans: round(2) > request(77)"));
+    }
+
+    #[test]
+    fn report_diffs_against_baseline() {
+        let bundle = sample_bundle();
+        let mut baseline = sample_snapshot();
+        baseline.gc_index = 4;
+        // Baseline lacked the dead object — drift should mention growth.
+        baseline.objects.retain(|o| o.id != 3);
+        let report = render_postmortem(&bundle, Some(&baseline));
+        assert!(report.contains("drift since snapshot gc 4"), "{report}");
+    }
+}

@@ -306,6 +306,7 @@ mod tests {
                     bytes: 24,
                     stale: 0,
                     refs: vec![1],
+                    ..SnapshotObject::default()
                 },
                 SnapshotObject {
                     id: 1,
@@ -313,6 +314,7 @@ mod tests {
                     bytes: 300,
                     stale: 7,
                     refs: vec![2],
+                    ..SnapshotObject::default()
                 },
                 SnapshotObject {
                     id: 2,
@@ -320,8 +322,10 @@ mod tests {
                     bytes: 300,
                     stale: 7,
                     refs: vec![],
+                    ..SnapshotObject::default()
                 },
             ],
+            ..HeapSnapshot::default()
         }
     }
 

@@ -1,0 +1,48 @@
+//! The committed v1 snapshot fixture must keep parsing forever.
+//!
+//! `fixtures/snapshot_v1.jsonl` is a file the *old* (pre-v2) writer
+//! produced: no `used` in the header, no pruner state, and object lines
+//! without reachability, nursery, unlogged or poisoned fields. The
+//! reader negotiates versions instead of rejecting it; this test pins
+//! that contract against the committed bytes, not a string a refactor
+//! could silently rewrite.
+
+use lp_diagnose::{Analysis, HeapSnapshot, Reachability};
+
+const FIXTURE: &str = include_str!("fixtures/snapshot_v1.jsonl");
+
+#[test]
+fn v1_fixture_round_trips_through_the_v2_reader() {
+    let parsed = HeapSnapshot::parse(FIXTURE).expect("v1 fixture must parse");
+    assert_eq!(parsed.gc_index, 12);
+    assert_eq!(parsed.capacity, 2_097_152);
+    // v1 did not record used bytes or pruner state.
+    assert_eq!(parsed.used, None);
+    assert!(parsed.pruner.is_none());
+    assert_eq!(parsed.object_count(), 5);
+
+    // Every v1 object defaults to the one class v1 could express: live,
+    // tenured, nothing poisoned.
+    for object in &parsed.objects {
+        assert_eq!(object.reach, Reachability::Live);
+        assert!(!object.young);
+        assert_eq!(object.unlogged, 0);
+        assert!(object.poisoned.is_empty());
+    }
+    assert_eq!(parsed.live_bytes(), parsed.total_bytes());
+    assert_eq!(parsed.dead_reachable_bytes(), 0);
+    assert_eq!(parsed.poisoned_edge_count(), 0);
+
+    // Upgrade on write: a parsed v1 file re-serializes as the current
+    // version and survives another round trip unchanged.
+    let upgraded = parsed.to_jsonl();
+    assert!(upgraded.starts_with("{\"v\":2,"), "{upgraded}");
+    let reparsed = HeapSnapshot::parse(&upgraded).expect("upgraded snapshot must parse");
+    assert_eq!(reparsed, parsed);
+
+    // And the analyzer still runs on it: the stale ListLeak tail
+    // dominates the per-class staleness ranking.
+    let analysis = Analysis::new(&parsed);
+    let report = lp_diagnose::render_report(&parsed, &analysis, &[], &[]);
+    assert!(report.contains("ListLeak.Node"), "{report}");
+}

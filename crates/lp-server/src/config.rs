@@ -22,6 +22,7 @@ pub struct TenantSpec {
     pub(crate) pruning: bool,
     pub(crate) incremental_mark: Option<usize>,
     pub(crate) trace_path: Option<std::path::PathBuf>,
+    pub(crate) postmortem_dir: Option<std::path::PathBuf>,
     pub(crate) service: Box<dyn Service>,
 }
 
@@ -43,6 +44,7 @@ impl TenantSpec {
             pruning: true,
             incremental_mark: None,
             trace_path: None,
+            postmortem_dir: None,
             service,
         }
     }
@@ -110,6 +112,16 @@ impl TenantSpec {
     /// and Perfetto export (`trace_export`).
     pub fn trace_path(mut self, path: impl Into<std::path::PathBuf>) -> TenantSpec {
         self.trace_path = Some(path.into());
+        self
+    }
+
+    /// Enables postmortem bundles for this tenant: on exhaustion, a
+    /// fresh quarantine, a new leak suspicion, or an operator's
+    /// `POST /postmortem`, the worker writes a full-fidelity bundle
+    /// (v2 snapshot, flight-recorder tail, heap-trend window, host
+    /// context) into `dir`.
+    pub fn postmortem_dir(mut self, dir: impl Into<std::path::PathBuf>) -> TenantSpec {
+        self.postmortem_dir = Some(dir.into());
         self
     }
 

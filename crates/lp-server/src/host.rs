@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use lp_telemetry::json::JsonValue;
 use lp_telemetry::{Event, Telemetry};
 
 use crate::admission::{offer, RejectReason};
@@ -363,18 +364,17 @@ impl Host {
             });
         }
 
-        // Phase 4: publication.
-        self.publish();
-
         // Leak-trend poll: a tenant whose retained bytes grew monotonically
         // across the last TREND_WINDOWS buckets is a leak suspect. The
         // flag gives the event an edge trigger — one LeakSuspected per
         // sustained trend, re-armed when the trend breaks (a prune or a
         // genuine release).
-        for w in &mut self.workers {
+        let mut leak_edges: Vec<usize> = Vec::new();
+        for (index, w) in self.workers.iter_mut().enumerate() {
             match w.series.leak_trend(TREND_WINDOWS) {
                 Some(trend) if !w.leak_flagged => {
                     w.leak_flagged = true;
+                    leak_edges.push(index);
                     let tenant = &w.name;
                     self.telemetry.emit(|| Event::LeakSuspected {
                         tenant: tenant.clone(),
@@ -387,6 +387,49 @@ impl Host {
                 None => w.leak_flagged = false,
             }
         }
+
+        // Postmortem dispatch: an operator request, a fresh quarantine,
+        // or a new leak suspicion asks the tenant's worker for one
+        // bundle, stamped with the host's view of the round. At most one
+        // bundle per tenant per round; a tenant without a configured
+        // postmortem directory answers without writing anything.
+        let mut triggers: Vec<(usize, &str)> = Vec::new();
+        for index in 0..self.workers.len() {
+            if self.ops_state.tenants[index].take_postmortem_request() {
+                triggers.push((index, "manual"));
+            }
+        }
+        for action in &actions {
+            if action.action == "quarantine" && !triggers.iter().any(|(i, _)| *i == action.tenant) {
+                triggers.push((action.tenant, "quarantine"));
+            }
+        }
+        for index in leak_edges {
+            if !triggers.iter().any(|(i, _)| *i == index) {
+                triggers.push((index, "leak_suspected"));
+            }
+        }
+        if !triggers.is_empty() {
+            let aggregate = self.aggregate_bytes();
+            for (index, trigger) in triggers {
+                let context = JsonValue::Obj(vec![
+                    ("round".into(), JsonValue::from_u64(round)),
+                    ("aggregate_bytes".into(), JsonValue::from_u64(aggregate)),
+                    ("host_limit_bytes".into(), JsonValue::from_u64(limit_bytes)),
+                ]);
+                let w = &mut self.workers[index];
+                if w.send(Command::Postmortem {
+                    trigger: trigger.to_owned(),
+                    context: Some(context),
+                }) {
+                    w.wait();
+                }
+            }
+        }
+
+        // Phase 4: publication (after postmortem dispatch, so a bundle
+        // written this round is visible on the ops plane this round).
+        self.publish();
         processed_this_round
     }
 
@@ -408,6 +451,10 @@ impl Host {
             };
             ops.set_state(state);
             ops.set_prune_events(w.last_report.prune_events);
+            ops.set_postmortems(
+                w.last_report.postmortem_count,
+                w.last_report.postmortem_path.clone(),
+            );
         }
     }
 

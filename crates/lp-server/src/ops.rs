@@ -12,9 +12,14 @@
 //! - `GET /timeseries` — JSON heap-trend series per tenant: fixed-capacity
 //!   ring of per-interval buckets (live bytes/objects, edge-table bytes,
 //!   collections, prunes, sheds, pause percentiles), oldest first.
+//! - `GET /postmortems` — JSON list of postmortem bundles per tenant:
+//!   how many have been written and where the latest one landed.
 //! - `POST /inject?tenant=NAME&n=N` — external admission: offers `N`
 //!   requests to the named tenant through the same bounded queue the
 //!   built-in generator uses (load generators drive this).
+//! - `POST /postmortem?tenant=NAME` — asks the named tenant's worker to
+//!   write a postmortem bundle at the next round barrier (202; the
+//!   bundle lands asynchronously, visible via `GET /postmortems`).
 //! - `POST /shutdown` — asks the host to stop serving.
 //!
 //! The server is deliberately minimal: one accept loop, blocking reads
@@ -26,7 +31,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::SyncSender;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -90,6 +95,9 @@ pub(crate) struct TenantOps {
     pub queue: SyncSender<()>,
     state: AtomicU8,
     prune_events: AtomicU64,
+    postmortems: AtomicU64,
+    last_postmortem: Mutex<Option<String>>,
+    postmortem_requested: AtomicBool,
 }
 
 impl TenantOps {
@@ -115,6 +123,9 @@ impl TenantOps {
             queue,
             state: AtomicU8::new(TenantState::Running.code()),
             prune_events: AtomicU64::new(0),
+            postmortems: AtomicU64::new(0),
+            last_postmortem: Mutex::new(None),
+            postmortem_requested: AtomicBool::new(false),
         }
     }
 
@@ -132,6 +143,39 @@ impl TenantOps {
 
     pub fn set_prune_events(&self, events: u64) {
         self.prune_events.store(events, Ordering::Relaxed);
+    }
+
+    /// Publishes the tenant's postmortem tally (cumulative count and
+    /// latest bundle path) from the worker's last report.
+    pub fn set_postmortems(&self, count: u64, path: Option<String>) {
+        self.postmortems.store(count, Ordering::Relaxed);
+        if path.is_some() {
+            if let Ok(mut last) = self.last_postmortem.lock() {
+                *last = path;
+            }
+        }
+    }
+
+    pub fn postmortem_count(&self) -> u64 {
+        self.postmortems.load(Ordering::Relaxed)
+    }
+
+    pub fn last_postmortem_path(&self) -> Option<String> {
+        self.last_postmortem
+            .lock()
+            .ok()
+            .and_then(|last| last.clone())
+    }
+
+    /// Arms the operator-requested postmortem flag (`POST /postmortem`);
+    /// the round loop drains it at the next barrier.
+    pub fn request_postmortem(&self) {
+        self.postmortem_requested.store(true, Ordering::Relaxed);
+    }
+
+    /// Takes (and clears) the operator-requested postmortem flag.
+    pub fn take_postmortem_request(&self) -> bool {
+        self.postmortem_requested.swap(false, Ordering::Relaxed)
     }
 }
 
@@ -337,6 +381,15 @@ impl OpsState {
                         "shed_quarantined".into(),
                         JsonValue::from_u64(t.counters.shed_quarantined()),
                     ),
+                    (
+                        "postmortem_count".into(),
+                        JsonValue::from_u64(t.postmortem_count()),
+                    ),
+                    (
+                        "last_postmortem".into(),
+                        t.last_postmortem_path()
+                            .map_or(JsonValue::Null, JsonValue::Str),
+                    ),
                 ])
             })
             .collect();
@@ -417,6 +470,39 @@ impl OpsState {
             ("tenants".into(), JsonValue::Arr(tenants)),
         ])
         .to_string()
+    }
+
+    /// Renders the `GET /postmortems` JSON: per tenant, how many
+    /// bundles exist and where the most recent one was written.
+    pub fn postmortems_json(&self) -> String {
+        let tenants: Vec<JsonValue> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                JsonValue::Obj(vec![
+                    ("name".into(), JsonValue::Str(t.name.clone())),
+                    ("count".into(), JsonValue::from_u64(t.postmortem_count())),
+                    (
+                        "path".into(),
+                        t.last_postmortem_path()
+                            .map_or(JsonValue::Null, JsonValue::Str),
+                    ),
+                ])
+            })
+            .collect();
+        JsonValue::Obj(vec![("tenants".into(), JsonValue::Arr(tenants))]).to_string()
+    }
+
+    /// Handles `POST /postmortem`: arms the named tenant's request flag.
+    /// Returns `false` for an unknown tenant.
+    fn request_postmortem(&self, name: &str) -> bool {
+        match self.tenants.iter().find(|t| t.name == name) {
+            Some(tenant) => {
+                tenant.request_postmortem();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Handles `POST /inject`: offers `n` requests to tenant `name`.
@@ -553,6 +639,28 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<OpsState>) {
             let body = state.timeseries_json();
             respond(&mut stream, "200 OK", "application/json", &body);
         }
+        ("GET", "/postmortems") => {
+            let body = state.postmortems_json();
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
+        ("POST", "/postmortem") => {
+            let name = query_param(query, "tenant").unwrap_or("");
+            if state.request_postmortem(name) {
+                respond(
+                    &mut stream,
+                    "202 Accepted",
+                    "application/json",
+                    "{\"requested\":true}",
+                );
+            } else {
+                respond(
+                    &mut stream,
+                    "404 Not Found",
+                    "text/plain",
+                    "unknown tenant\n",
+                );
+            }
+        }
         ("POST", "/inject") => {
             let name = query_param(query, "tenant").unwrap_or("");
             let n = query_param(query, "n")
@@ -663,6 +771,44 @@ mod tests {
         assert_eq!(tenants[0].get("name").unwrap().as_str(), Some("alpha"));
         assert_eq!(tenants[0].get("state").unwrap().as_str(), Some("running"));
         assert_eq!(tenants[0].get("used_bytes").unwrap().as_u64(), Some(1234));
+        assert_eq!(
+            tenants[0].get("postmortem_count").unwrap().as_u64(),
+            Some(0)
+        );
+        assert!(matches!(
+            tenants[0].get("last_postmortem"),
+            Some(JsonValue::Null)
+        ));
+    }
+
+    #[test]
+    fn postmortem_tally_round_trips_through_json() {
+        let state = test_state();
+        state.tenants[0].set_postmortems(2, Some("/tmp/postmortem-latest.jsonl".into()));
+        let parsed = lp_telemetry::json::parse(&state.postmortems_json()).unwrap();
+        let tenants = parsed.get("tenants").unwrap().as_arr().unwrap();
+        assert_eq!(tenants[0].get("name").unwrap().as_str(), Some("alpha"));
+        assert_eq!(tenants[0].get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            tenants[0].get("path").unwrap().as_str(),
+            Some("/tmp/postmortem-latest.jsonl")
+        );
+        // A later report with no bundle keeps the last known path.
+        state.tenants[0].set_postmortems(2, None);
+        assert_eq!(
+            state.tenants[0].last_postmortem_path().as_deref(),
+            Some("/tmp/postmortem-latest.jsonl")
+        );
+    }
+
+    #[test]
+    fn postmortem_request_flag_is_edge_triggered() {
+        let state = test_state();
+        assert!(!state.tenants[0].take_postmortem_request());
+        assert!(state.request_postmortem("alpha"));
+        assert!(!state.request_postmortem("missing"));
+        assert!(state.tenants[0].take_postmortem_request());
+        assert!(!state.tenants[0].take_postmortem_request(), "flag drained");
     }
 
     #[test]

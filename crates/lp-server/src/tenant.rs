@@ -14,6 +14,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use leak_pruning::{PruningConfig, Runtime};
+use lp_diagnose::PostmortemContext;
+use lp_telemetry::json::JsonValue;
 use lp_telemetry::{JsonlSink, PauseHistogram, PrometheusSink, TimeSeries};
 use lp_workloads::Service;
 
@@ -44,6 +46,15 @@ pub(crate) enum Command {
         /// Live-byte target for [`Runtime::reclaim_to`].
         target_bytes: u64,
     },
+    /// Write a postmortem bundle now (operator request, quarantine, or
+    /// leak suspicion). The worker stamps in its own heap-trend window;
+    /// `context` carries the host's view (round, aggregate bytes).
+    Postmortem {
+        /// Trigger label recorded in the bundle header.
+        trigger: String,
+        /// Host-plane context stamped into the bundle, if any.
+        context: Option<JsonValue>,
+    },
     /// Exit the worker loop after a final report.
     Shutdown,
 }
@@ -63,6 +74,11 @@ pub(crate) struct Report {
     pub pruned_refs: u64,
     /// Fatal error, if the service failed (tenant is then done).
     pub failed: Option<String>,
+    /// Cumulative postmortem bundles written (automatic exhaustion
+    /// bundles included, not just host-commanded ones).
+    pub postmortem_count: u64,
+    /// Path of the most recent postmortem bundle, if any.
+    pub postmortem_path: Option<String>,
 }
 
 /// Host-side handle to one worker thread plus its shared state.
@@ -129,6 +145,7 @@ impl TenantWorker {
             pruning,
             incremental_mark,
             trace_path,
+            postmortem_dir,
             service,
         } = spec;
         // Created on the host thread so a bad path fails `spawn` loudly
@@ -151,6 +168,9 @@ impl TenantWorker {
         let worker_pauses = pauses.clone();
         let worker_requests = requests.clone();
         let worker_series = series.clone();
+        // A second handle to the same series, read (not fed) by the
+        // worker when it stamps the heap-trend window into a bundle.
+        let window_series = series.clone();
         let worker_used = Arc::clone(&used_bytes);
         let thread = std::thread::Builder::new()
             .name(format!("tenant-{name}"))
@@ -158,6 +178,9 @@ impl TenantWorker {
                 let mut builder = PruningConfig::builder(heap_capacity).pruning(pruning);
                 if let Some(budget) = incremental_mark {
                     builder = builder.incremental_mark(budget);
+                }
+                if let Some(dir) = postmortem_dir {
+                    builder = builder.postmortem_on(dir);
                 }
                 let mut rt = Runtime::new(builder.build());
                 rt.set_byte_budget(Some(byte_budget));
@@ -175,6 +198,7 @@ impl TenantWorker {
                     report_tx,
                     worker_counters,
                     worker_requests,
+                    window_series,
                     worker_used,
                 );
             })?;
@@ -284,7 +308,39 @@ fn report_of(rt: &Runtime, processed: u64, failed: Option<String>) -> Report {
         prune_events,
         pruned_refs,
         failed,
+        postmortem_count: rt.postmortem_count(),
+        postmortem_path: rt.postmortem_latest().map(|p| p.display().to_string()),
     }
+}
+
+/// The tenant's heap-trend window as JSON, for the `timeseries` section
+/// of a postmortem bundle (same bucket shape as `GET /timeseries`).
+fn series_window_json(series: &TimeSeries) -> JsonValue {
+    let buckets: Vec<JsonValue> = series
+        .snapshot()
+        .into_iter()
+        .map(|b| {
+            JsonValue::Obj(vec![
+                ("window".into(), JsonValue::from_u64(b.window)),
+                ("live_bytes".into(), JsonValue::from_u64(b.live_bytes)),
+                ("live_objects".into(), JsonValue::from_u64(b.live_objects)),
+                (
+                    "edge_table_bytes".into(),
+                    JsonValue::from_u64(b.edge_table_bytes),
+                ),
+                ("collections".into(), JsonValue::from_u64(b.collections)),
+                ("pruned_refs".into(), JsonValue::from_u64(b.pruned_refs)),
+                ("sheds".into(), JsonValue::from_u64(b.sheds)),
+            ])
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        (
+            "interval_nanos".into(),
+            JsonValue::from_u64(u64::try_from(series.interval().as_nanos()).unwrap_or(u64::MAX)),
+        ),
+        ("buckets".into(), JsonValue::Arr(buckets)),
+    ])
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -296,6 +352,7 @@ fn worker_main(
     reports: SyncSender<Report>,
     counters: Arc<TenantCounters>,
     request_times: PauseHistogram,
+    series: TimeSeries,
     used_bytes: Arc<AtomicU64>,
 ) {
     let mut failed: Option<String> = None;
@@ -350,6 +407,13 @@ fn worker_main(
             }
             Command::Reclaim { target_bytes } => {
                 rt.reclaim_to(target_bytes);
+            }
+            Command::Postmortem { trigger, context } => {
+                let ctx = PostmortemContext {
+                    timeseries: Some(series_window_json(&series)),
+                    arbiter: context,
+                };
+                rt.write_postmortem_with(&trigger, &ctx);
             }
             Command::Shutdown => {
                 let report = report_of(&rt, 0, failed.clone());

@@ -83,10 +83,11 @@ struct BusState {
     /// Last span id handed out; ids are dense and start at 1, so 0 never
     /// names a span.
     last_span_id: u64,
-    /// Open stack-parented spans, innermost last. Maintained under the bus
-    /// lock; buses are driven by one thread at a time, so the stack *is*
-    /// the causal context of the code currently emitting.
-    span_stack: Vec<u64>,
+    /// Open stack-parented spans as (id, name, arg), innermost last.
+    /// Maintained under the bus lock; buses are driven by one thread at a
+    /// time, so the stack *is* the causal context of the code currently
+    /// emitting — which is why postmortem bundles copy it verbatim.
+    span_stack: Vec<(u64, &'static str, u64)>,
 }
 
 /// How a new span chooses its parent.
@@ -291,12 +292,12 @@ impl Telemetry {
         state.last_span_id += 1;
         let id = state.last_span_id;
         let (parent_id, joins_stack) = match parent {
-            SpanParent::Stack => (state.span_stack.last().copied(), true),
+            SpanParent::Stack => (state.span_stack.last().map(|open| open.0), true),
             SpanParent::Detached => (None, false),
             SpanParent::Under(p) => (Some(p), true),
         };
         if joins_stack {
-            state.span_stack.push(id);
+            state.span_stack.push((id, name, arg));
         }
         self.deliver_locked(
             &mut state,
@@ -316,7 +317,7 @@ impl Telemetry {
         // Guards drop LIFO so the span is normally the stack top; remove
         // by value anyway so one out-of-order drop cannot corrupt every
         // later parent assignment. Detached spans were never pushed.
-        if let Some(pos) = state.span_stack.iter().rposition(|&open| open == id) {
+        if let Some(pos) = state.span_stack.iter().rposition(|open| open.0 == id) {
             state.span_stack.remove(pos);
         }
         self.deliver_locked(&mut state, Event::SpanEnd { id });
@@ -337,6 +338,18 @@ impl Telemetry {
             .as_ref()
             .map(FlightRecorder::snapshot)
             .unwrap_or_default()
+    }
+
+    /// The open stack-parented spans as (name, arg), outermost first —
+    /// the causal context of the code driving this bus right now.
+    /// Postmortem bundles stamp this so a report can say *what the
+    /// runtime was doing* when the trigger fired.
+    pub fn active_spans(&self) -> Vec<(&'static str, u64)> {
+        self.lock()
+            .span_stack
+            .iter()
+            .map(|&(_, name, arg)| (name, arg))
+            .collect()
     }
 
     /// Events evicted from the flight recorder since it was attached.
@@ -599,6 +612,20 @@ mod tests {
                 Event::SpanEnd { id: 1 },
             ]
         );
+    }
+
+    #[test]
+    fn active_spans_report_the_open_stack() {
+        let bus = Telemetry::with_recorder(16);
+        assert!(bus.active_spans().is_empty());
+        let _outer = bus.span("round", 3);
+        let inner = bus.span("request", 9);
+        // Detached spans never join the stack, so they are not "active"
+        // in the what-is-the-bus-doing sense.
+        let _cycle = bus.span_detached("cycle", 7);
+        assert_eq!(bus.active_spans(), vec![("round", 3), ("request", 9)]);
+        drop(inner);
+        assert_eq!(bus.active_spans(), vec![("round", 3)]);
     }
 
     #[test]

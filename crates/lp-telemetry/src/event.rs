@@ -390,6 +390,18 @@ pub enum Event {
         /// Live bytes at the latest window of the trend.
         to_bytes: u64,
     },
+    /// A postmortem bundle was written to disk. Emitted after the file is
+    /// durable, so a trace both names the trigger and points at the
+    /// evidence it produced.
+    PostmortemWritten {
+        /// Stable trigger tag (`"exhaustion"`, `"quarantine"`,
+        /// `"leak_suspected"`, `"manual"`).
+        trigger: String,
+        /// Filesystem path of the bundle.
+        path: String,
+        /// Collection index stamped into the bundle's snapshot.
+        gc_index: u64,
+    },
 }
 
 impl Event {
@@ -422,6 +434,7 @@ impl Event {
             Event::SpanBegin { .. } => "span_begin",
             Event::SpanEnd { .. } => "span_end",
             Event::LeakSuspected { .. } => "leak_suspected",
+            Event::PostmortemWritten { .. } => "postmortem_written",
         }
     }
 }
@@ -744,6 +757,15 @@ impl TraceLine {
                 field("from_bytes", JsonValue::from_u64(*from_bytes));
                 field("to_bytes", JsonValue::from_u64(*to_bytes));
             }
+            Event::PostmortemWritten {
+                trigger,
+                path,
+                gc_index,
+            } => {
+                field("trigger", JsonValue::Str(trigger.clone()));
+                field("path", JsonValue::Str(path.clone()));
+                field("gc", JsonValue::from_u64(*gc_index));
+            }
         }
         JsonValue::Obj(obj).to_string()
     }
@@ -937,6 +959,11 @@ impl TraceLine {
                 windows: need_u64(&value, "windows")?,
                 from_bytes: need_u64(&value, "from_bytes")?,
                 to_bytes: need_u64(&value, "to_bytes")?,
+            },
+            "postmortem_written" => Event::PostmortemWritten {
+                trigger: need_str(&value, "trigger")?.to_owned(),
+                path: need_str(&value, "path")?.to_owned(),
+                gc_index: need_u64(&value, "gc")?,
             },
             other => return Err(format!("unknown event kind {other:?}")),
         };
@@ -1250,6 +1277,11 @@ mod tests {
             windows: 6,
             from_bytes: 100_000,
             to_bytes: 180_000,
+        });
+        round_trip(Event::PostmortemWritten {
+            trigger: "exhaustion".to_owned(),
+            path: "out/postmortem-exhaustion-gc12.jsonl".to_owned(),
+            gc_index: 12,
         });
     }
 

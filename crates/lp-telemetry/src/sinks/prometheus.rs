@@ -511,7 +511,8 @@ impl Sink for PrometheusSink {
             | Event::RunEnd { .. }
             | Event::SpanBegin { .. }
             | Event::SpanEnd { .. }
-            | Event::LeakSuspected { .. } => {}
+            | Event::LeakSuspected { .. }
+            | Event::PostmortemWritten { .. } => {}
         }
     }
 }

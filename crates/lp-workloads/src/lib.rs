@@ -41,4 +41,4 @@ pub mod service;
 pub use driver::{
     run_workload, run_workload_with, Flavor, RunOptions, RunResult, Termination, Workload,
 };
-pub use service::{HealthyService, LeakyService, Service, ServiceWorkload};
+pub use service::{HealthyService, LeakyService, Service, ServiceWorkload, WindowedLeakService};

@@ -186,6 +186,108 @@ impl Service for HealthyService {
     }
 }
 
+/// A leaky service whose leaked records are *doubly* referenced: every
+/// request chains a `session.Record` into a never-read registry spine
+/// (the forgotten reference, as in [`LeakyService`]) **and** stores it
+/// in a fixed-size `cache.Window` table that is read back every request.
+///
+/// The split is what makes this service interesting for postmortems.
+/// SELECT picks the stale spine edge (`session.Record -> session.Record`)
+/// and PRUNE poisons it, but the window keeps the last `window` records
+/// live — so each later eviction strands a record that is *dead but
+/// reachable*: its only remaining inbound reference is a poisoned spine
+/// edge, and it stays on the heap until the next sweep. A v2 snapshot
+/// taken between collections shows a steady population of such records;
+/// a v1 live-closure snapshot missed them entirely.
+pub struct WindowedLeakService {
+    record: Option<ClassId>,
+    scratch: Option<ClassId>,
+    window_class: Option<ClassId>,
+    head: Option<StaticId>,
+    table: Option<StaticId>,
+    window: u32,
+    record_bytes: u32,
+}
+
+impl WindowedLeakService {
+    /// A windowed leak with a 16-record cache window and 512-byte
+    /// records.
+    pub fn new() -> WindowedLeakService {
+        WindowedLeakService::with_shape(16, 512)
+    }
+
+    /// A windowed leak keeping the last `window` records cached, leaking
+    /// `record_bytes` per request.
+    pub fn with_shape(window: u32, record_bytes: u32) -> WindowedLeakService {
+        WindowedLeakService {
+            record: None,
+            scratch: None,
+            window_class: None,
+            head: None,
+            table: None,
+            window: window.max(1),
+            record_bytes,
+        }
+    }
+}
+
+impl Default for WindowedLeakService {
+    fn default() -> Self {
+        WindowedLeakService::new()
+    }
+}
+
+impl Service for WindowedLeakService {
+    fn name(&self) -> &str {
+        "WindowedLeakService"
+    }
+
+    fn default_heap(&self) -> u64 {
+        256 * 1024
+    }
+
+    fn setup(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        self.record = Some(rt.register_class("session.Record"));
+        self.scratch = Some(rt.register_class("request.Scratch"));
+        let window_class = rt.register_class("cache.Window");
+        self.window_class = Some(window_class);
+        self.head = Some(rt.add_static());
+        let root = rt.add_static();
+        self.table = Some(root);
+        let table = rt.alloc(window_class, &AllocSpec::with_refs(self.window))?;
+        rt.set_static(root, Some(table));
+        Ok(())
+    }
+
+    fn handle(&mut self, rt: &mut Runtime, request: u64) -> Result<(), RuntimeError> {
+        let (Some(record), Some(head), Some(root)) = (self.record, self.head, self.table) else {
+            return Ok(());
+        };
+        let Some(table) = rt.static_ref(root) else {
+            return Ok(());
+        };
+        let slot = (request % u64::from(self.window)) as usize;
+        // A cache probe on the slot about to be recycled. Reading keeps
+        // the window edge in use, so SELECT prefers the spine; a pruned
+        // entry is tolerated as a cache miss.
+        let _ = rt.read_field(table, slot);
+        // Chain the new record into the registry spine and forget it.
+        let r = rt.alloc(record, &AllocSpec::new(1, 0, self.record_bytes))?;
+        rt.write_field(r, 0, rt.static_ref(head));
+        rt.set_static(head, Some(r));
+        // Cache it; this evicts the record stored `window` requests ago,
+        // which post-PRUNE becomes dead-but-reachable until the sweep.
+        rt.write_field(table, slot, Some(r));
+        // Transient working set: dead on return, so collections happen
+        // regularly and stale counters mature before the heap is solid
+        // with reachable records.
+        if let Some(scratch) = self.scratch {
+            rt.alloc(scratch, &AllocSpec::leaf(1024))?;
+        }
+        Ok(())
+    }
+}
+
 /// Adapts a [`Service`] to the iteration [`Workload`] driver: iteration
 /// `i` handles request `i`. Lets the single-process driver, its
 /// termination taxonomy and the trace tooling run request-shaped programs
@@ -244,6 +346,22 @@ mod tests {
         assert_eq!(result.termination, Termination::ReachedCap);
         assert_eq!(result.iterations, 5_000);
         assert_eq!(result.report.total_pruned_refs, 0);
+    }
+
+    #[test]
+    fn windowed_leak_prunes_spine_and_survives() {
+        let opts = RunOptions::new(Flavor::Base).iteration_cap(5_000);
+        let base = run_workload(&mut ServiceWorkload::new(WindowedLeakService::new()), &opts);
+        assert_eq!(base.termination, Termination::OutOfMemory);
+
+        // Under pruning the spine is poisoned but the window keeps being
+        // read, so the service keeps running: pruned entries surface as
+        // cache misses, never as a pruned-access crash.
+        let opts = RunOptions::new(Flavor::pruning()).iteration_cap(5_000);
+        let pruned = run_workload(&mut ServiceWorkload::new(WindowedLeakService::new()), &opts);
+        assert_eq!(pruned.termination, Termination::ReachedCap);
+        assert!(pruned.report.total_pruned_refs > 0);
+        assert!(pruned.iterations > base.iterations);
     }
 
     #[test]
