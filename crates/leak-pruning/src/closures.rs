@@ -23,6 +23,7 @@ use lp_gc::{EdgeAction, EdgeVisitor};
 use lp_heap::{Handle, Heap, Object, TaggedRef};
 
 use crate::edge_table::{EdgeKey, EdgeTable};
+use crate::liveness::{Signal, StaticVerdicts};
 
 /// A reference deferred by the in-use closure: the first reference into a
 /// stale subgraph (§4.2).
@@ -32,6 +33,8 @@ pub(crate) struct Candidate {
     pub edge: EdgeKey,
     /// The stale root (target of the deferred reference).
     pub target: Handle,
+    /// Which signal(s) made it a candidate.
+    pub signal: Signal,
 }
 
 /// What the PRUNE collection is looking for.
@@ -45,15 +48,59 @@ pub enum Selection {
     StaleLevel(u8),
 }
 
-/// Whether `reference` is a *candidate* for pruning: it is stale (its
+/// The paper's *dynamic* candidate criterion: the reference is stale (its
 /// unlogged bit is still set, i.e. the program has not loaded it since the
 /// last collection) and its target's stale counter is at least two greater
 /// than the edge's `max_stale_use` (§4.2 — two, not one, because the
 /// counters only approximate the logarithm of staleness).
-fn is_candidate(table: &EdgeTable, edge: EdgeKey, reference: TaggedRef, target_stale: u8) -> bool {
+fn dynamic_candidate(
+    table: &EdgeTable,
+    edge: EdgeKey,
+    reference: TaggedRef,
+    target_stale: u8,
+) -> bool {
     reference.is_unlogged()
         && target_stale >= table.max_stale_use(edge).saturating_add(2)
         && target_stale >= 2
+}
+
+/// The hybrid candidate test: a reference is a candidate when it is stale
+/// (unlogged) and *either* the dynamic staleness threshold fires *or* a
+/// static liveness verdict covers its (source class, field) and the
+/// target's staleness has reached the verdict's minimum (≥ 1 always — a
+/// logged or freshly written reference is never a candidate, whatever the
+/// analyzer believes). Returns which signal(s) fired, or `None` for a
+/// non-candidate. With an empty verdict table this is exactly the paper's
+/// criterion.
+///
+/// `static_only` is set when SELECT was entered early on static evidence
+/// alone (occupancy above *expected* but below *nearly full*): memory
+/// pressure has not yet justified pruning on dynamic staleness, so
+/// purely-`Stale` signals are rejected and only statically-covered edges
+/// may become candidates.
+pub(crate) fn candidate_signal(
+    table: &EdgeTable,
+    statics: &StaticVerdicts,
+    edge: EdgeKey,
+    field: usize,
+    reference: TaggedRef,
+    target_stale: u8,
+    static_only: bool,
+) -> Option<Signal> {
+    if !reference.is_unlogged() {
+        return None;
+    }
+    let dynamic = dynamic_candidate(table, edge, reference, target_stale);
+    let statically_dead = statics
+        .min_stale(edge.src, field)
+        .is_some_and(|min| target_stale >= min);
+    match (dynamic, statically_dead) {
+        (true, true) => Some(Signal::Both),
+        (true, false) if static_only => None,
+        (true, false) => Some(Signal::Stale),
+        (false, true) => Some(Signal::Static),
+        (false, false) => None,
+    }
 }
 
 /// Resolves a non-null reference to `(target slot, target class, target
@@ -109,14 +156,24 @@ impl EdgeVisitor for ObserveVisitor {
 pub(crate) struct InUseVisitor<'a> {
     pub stale_clock: Option<u64>,
     pub table: &'a EdgeTable,
+    pub statics: &'a StaticVerdicts,
+    /// SELECT was entered early on static evidence; candidacy is
+    /// restricted to statically-covered edges (see [`candidate_signal`]).
+    pub static_only: bool,
     pub candidates: Vec<Candidate>,
 }
 
 impl<'a> InUseVisitor<'a> {
-    pub fn new(stale_clock: Option<u64>, table: &'a EdgeTable) -> Self {
+    pub fn new(
+        stale_clock: Option<u64>,
+        table: &'a EdgeTable,
+        statics: &'a StaticVerdicts,
+    ) -> Self {
         InUseVisitor {
             stale_clock,
             table,
+            statics,
+            static_only: false,
             candidates: Vec::new(),
         }
     }
@@ -136,12 +193,21 @@ impl EdgeVisitor for InUseVisitor<'_> {
         }
         let (target_slot, tgt_class, stale) = target_of(heap, reference);
         let edge = EdgeKey::new(src.class(), tgt_class);
-        if is_candidate(self.table, edge, reference, stale) {
+        if let Some(signal) = candidate_signal(
+            self.table,
+            self.statics,
+            edge,
+            field,
+            reference,
+            stale,
+            self.static_only,
+        ) {
             // Leave the reference (and its unlogged bit) in place; the PRUNE
             // collection re-discovers and poisons it if its edge is chosen.
             self.candidates.push(Candidate {
                 edge,
                 target: heap.handle_at(target_slot),
+                signal,
             });
             return EdgeAction::Skip;
         }
@@ -205,7 +271,8 @@ impl EdgeVisitor for IndividualRefsVisitor<'_> {
         }
         let (target_slot, tgt_class, stale) = target_of(heap, reference);
         let edge = EdgeKey::new(src.class(), tgt_class);
-        if is_candidate(self.table, edge, reference, stale) {
+        // The comparison policy stays purely dynamic: no static verdicts.
+        if dynamic_candidate(self.table, edge, reference, stale) {
             let target = heap.object_by_slot(target_slot).expect("live target");
             let footprint = u64::from(target.footprint());
             self.table.add_bytes(edge, footprint);
@@ -254,6 +321,11 @@ impl EdgeVisitor for MostStaleVisitor {
 pub(crate) struct PruneVisitor<'a> {
     pub stale_clock: Option<u64>,
     pub table: &'a EdgeTable,
+    pub statics: &'a StaticVerdicts,
+    /// The matching SELECT ran in static-only mode; re-discovery must use
+    /// the same restricted candidate test or PRUNE would poison references
+    /// SELECT never charged.
+    pub static_only: bool,
     pub selection: Selection,
     /// References poisoned by this collection, per edge type. Unordered —
     /// consumers aggregate or sort; nothing observes iteration order.
@@ -261,10 +333,17 @@ pub(crate) struct PruneVisitor<'a> {
 }
 
 impl<'a> PruneVisitor<'a> {
-    pub fn new(stale_clock: Option<u64>, table: &'a EdgeTable, selection: Selection) -> Self {
+    pub fn new(
+        stale_clock: Option<u64>,
+        table: &'a EdgeTable,
+        statics: &'a StaticVerdicts,
+        selection: Selection,
+    ) -> Self {
         PruneVisitor {
             stale_clock,
             table,
+            statics,
+            static_only: false,
             selection,
             pruned: HashMap::new(),
         }
@@ -293,7 +372,17 @@ impl EdgeVisitor for PruneVisitor<'_> {
         let edge = EdgeKey::new(src.class(), tgt_class);
         let matches = match self.selection {
             Selection::Edge(selected) => {
-                edge == selected && is_candidate(self.table, edge, reference, stale)
+                edge == selected
+                    && candidate_signal(
+                        self.table,
+                        self.statics,
+                        edge,
+                        field,
+                        reference,
+                        stale,
+                        self.static_only,
+                    )
+                    .is_some()
             }
             Selection::StaleLevel(level) => reference.is_unlogged() && stale >= level.max(2),
         };
@@ -314,6 +403,7 @@ impl EdgeVisitor for PruneVisitor<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::liveness::EMPTY_VERDICTS;
     use lp_gc::trace;
     use lp_heap::{AllocSpec, ClassRegistry, Heap};
 
@@ -376,7 +466,7 @@ mod tests {
 
         let table = EdgeTable::new(64);
         fx.heap.begin_mark_epoch();
-        let mut visitor = InUseVisitor::new(Some(1), &table);
+        let mut visitor = InUseVisitor::new(Some(1), &table, &EMPTY_VERDICTS);
         trace(&fx.heap, [a], &mut visitor);
 
         assert_eq!(visitor.candidates.len(), 1);
@@ -403,13 +493,13 @@ mod tests {
         table.note_stale_use(edge, 2);
 
         fx.heap.begin_mark_epoch();
-        let mut visitor = InUseVisitor::new(Some(1), &table);
+        let mut visitor = InUseVisitor::new(Some(1), &table, &EMPTY_VERDICTS);
         trace(&fx.heap, [a], &mut visitor);
         assert!(visitor.candidates.is_empty());
 
         fx.heap.object(b).set_stale(4);
         fx.heap.begin_mark_epoch();
-        let mut visitor = InUseVisitor::new(Some(2), &table);
+        let mut visitor = InUseVisitor::new(Some(2), &table, &EMPTY_VERDICTS);
         trace(&fx.heap, [a], &mut visitor);
         assert_eq!(visitor.candidates.len(), 1);
     }
@@ -426,7 +516,7 @@ mod tests {
 
         let table = EdgeTable::new(64);
         fx.heap.begin_mark_epoch();
-        let mut visitor = InUseVisitor::new(Some(1), &table);
+        let mut visitor = InUseVisitor::new(Some(1), &table, &EMPTY_VERDICTS);
         trace(&fx.heap, [a], &mut visitor);
         assert!(visitor.candidates.is_empty());
     }
@@ -449,7 +539,8 @@ mod tests {
         );
 
         fx.heap.begin_mark_epoch();
-        let mut visitor = PruneVisitor::new(Some(1), &table, Selection::Edge(edge_ab));
+        let mut visitor =
+            PruneVisitor::new(Some(1), &table, &EMPTY_VERDICTS, Selection::Edge(edge_ab));
         trace(&fx.heap, [a], &mut visitor);
 
         assert_eq!(visitor.pruned_refs(), 1);
@@ -472,7 +563,8 @@ mod tests {
 
         let table = EdgeTable::new(64);
         fx.heap.begin_mark_epoch();
-        let mut visitor = PruneVisitor::new(Some(1), &table, Selection::StaleLevel(5));
+        let mut visitor =
+            PruneVisitor::new(Some(1), &table, &EMPTY_VERDICTS, Selection::StaleLevel(5));
         trace(&fx.heap, [a], &mut visitor);
 
         assert!(fx.heap.object(a).load_ref(0).is_poisoned());
@@ -502,13 +594,14 @@ mod tests {
                     );
                 }
                 1 => {
-                    let mut v = InUseVisitor::new(Some(1), &table);
+                    let mut v = InUseVisitor::new(Some(1), &table, &EMPTY_VERDICTS);
                     trace(&fx.heap, [a], &mut v);
                 }
                 _ => {
                     let mut v = PruneVisitor::new(
                         Some(1),
                         &table,
+                        &EMPTY_VERDICTS,
                         Selection::Edge(EdgeKey::new(
                             fx.classes.lookup("A").unwrap(),
                             fx.classes.lookup("B").unwrap(),
@@ -578,6 +671,7 @@ mod tests {
 #[cfg(test)]
 mod criterion_edge_cases {
     use super::*;
+    use crate::liveness::EMPTY_VERDICTS;
     use lp_gc::trace;
     use lp_heap::{AllocSpec, ClassRegistry, Heap};
 
@@ -619,7 +713,7 @@ mod criterion_edge_cases {
                 table.note_stale_use(edge, max_stale_use);
             }
             heap.begin_mark_epoch();
-            let mut visitor = InUseVisitor::new(Some(1), &table);
+            let mut visitor = InUseVisitor::new(Some(1), &table, &EMPTY_VERDICTS);
             trace(&heap, [a], &mut visitor);
             assert_eq!(
                 visitor.candidates.len() == 1,
@@ -636,7 +730,7 @@ mod criterion_edge_cases {
         let (mut heap, _classes, a, _b) = two_object_heap(7, false);
         let table = EdgeTable::new(64);
         heap.begin_mark_epoch();
-        let mut visitor = InUseVisitor::new(Some(1), &table);
+        let mut visitor = InUseVisitor::new(Some(1), &table, &EMPTY_VERDICTS);
         trace(&heap, [a], &mut visitor);
         assert!(visitor.candidates.is_empty());
     }
@@ -648,7 +742,8 @@ mod criterion_edge_cases {
         let (mut heap, _classes, a, b) = two_object_heap(1, true);
         let table = EdgeTable::new(64);
         heap.begin_mark_epoch();
-        let mut visitor = PruneVisitor::new(Some(1), &table, Selection::StaleLevel(1));
+        let mut visitor =
+            PruneVisitor::new(Some(1), &table, &EMPTY_VERDICTS, Selection::StaleLevel(1));
         trace(&heap, [a], &mut visitor);
         assert_eq!(visitor.pruned_refs(), 0, "staleness 1 is below the clamp");
         assert!(heap.is_marked(b.slot()));

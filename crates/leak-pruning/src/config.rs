@@ -101,6 +101,7 @@ pub struct PruningConfig {
     postmortem_dir: Option<PathBuf>,
     verify_period: Option<u64>,
     incremental_mark_budget: Option<usize>,
+    liveness_summaries: Option<PathBuf>,
 }
 
 impl PruningConfig {
@@ -134,6 +135,7 @@ impl PruningConfig {
                     None
                 },
                 incremental_mark_budget: None,
+                liveness_summaries: None,
             },
         }
     }
@@ -282,6 +284,18 @@ impl PruningConfig {
     /// paper's collector is stop-the-world.
     pub fn incremental_mark_budget(&self) -> Option<usize> {
         self.incremental_mark_budget
+    }
+
+    /// If set, SELECT runs the hybrid policy: static per-(class, field)
+    /// liveness summaries (the JSONL file `lp-liveness` generates from the
+    /// workload sources) are loaded from this path, and a stale reference
+    /// also becomes a prune candidate when its source (class, field)
+    /// carries a certainly-dead or dead-beyond-window verdict and its
+    /// target's staleness has reached the verdict's minimum — without
+    /// waiting for the dynamic `max_stale_use + 2` threshold. Off by
+    /// default: the paper's policy is purely dynamic.
+    pub fn liveness_summaries(&self) -> Option<&Path> {
+        self.liveness_summaries.as_deref()
     }
 }
 
@@ -483,6 +497,13 @@ impl PruningConfigBuilder {
         self
     }
 
+    /// Loads static liveness summaries from `path` and enables the hybrid
+    /// SELECT policy (see [`PruningConfig::liveness_summaries`]).
+    pub fn liveness_summaries(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.liveness_summaries = Some(path.into());
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> PruningConfig {
         self.config
@@ -510,6 +531,7 @@ mod tests {
         assert_eq!(c.snapshot_on_exhaustion(), None);
         assert_eq!(c.postmortem_dir(), None);
         assert_eq!(c.incremental_mark_budget(), None);
+        assert_eq!(c.liveness_summaries(), None);
         // The sanitizer guards every debug-build collection; release builds
         // pay nothing unless asked.
         let expected = if cfg!(debug_assertions) {
@@ -564,6 +586,17 @@ mod tests {
         assert_eq!(
             c.snapshot_on_exhaustion(),
             Some(Path::new("/tmp/exhausted.jsonl"))
+        );
+    }
+
+    #[test]
+    fn liveness_summaries_knob_round_trips() {
+        let c = PruningConfig::builder(1024)
+            .liveness_summaries("/tmp/liveness.jsonl")
+            .build();
+        assert_eq!(
+            c.liveness_summaries(),
+            Some(Path::new("/tmp/liveness.jsonl"))
         );
     }
 

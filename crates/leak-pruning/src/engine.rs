@@ -15,6 +15,7 @@ use crate::closures::{
 use crate::config::{PredictionPolicy, PruningConfig};
 use crate::edge_table::{EdgeKey, EdgeTable};
 use crate::error::OutOfMemoryError;
+use crate::liveness::{LivenessSummaries, Signal, StaticVerdicts, EMPTY_VERDICTS};
 use crate::par_closures::{par_select_mark, ParObserveVisitor, ParPruneVisitor};
 use crate::record::{GcRecord, SelectionInfo};
 use crate::state::{next_state, State, TransitionContext};
@@ -31,6 +32,12 @@ pub(crate) struct Pruner {
     selection: Option<SelectionInfo>,
     averted_oom: Option<OutOfMemoryError>,
     exhausted_once: bool,
+    /// The current SELECT (and the PRUNE that follows it) was entered
+    /// early, on static verdicts alone, with occupancy still below the
+    /// nearly-full threshold. Candidacy is then restricted to
+    /// statically-covered edges: dynamic staleness has not yet earned the
+    /// right to prune (see [`crate::state`]'s module docs).
+    select_static_only: bool,
     /// Per-edge pruned-reference counts. A hash map because PRUNE
     /// collections update it on the hot path; anything user-facing sorts at
     /// report time ([`crate::Runtime::prune_report`]), so iteration order
@@ -44,6 +51,13 @@ pub(crate) struct Pruner {
     stale_clock: u64,
     decay_period: Option<u64>,
     select_collections: u64,
+    /// Static liveness summaries loaded from
+    /// [`PruningConfig::liveness_summaries`], kept so classes registered
+    /// at any point pick up their verdicts.
+    summaries: Option<LivenessSummaries>,
+    /// The per-class-index verdict table the hybrid SELECT probes, filled
+    /// from `summaries` as the runtime registers classes.
+    statics: StaticVerdicts,
     /// The in-flight incremental mark cycle, if one is active. Only
     /// INACTIVE and OBSERVE collections run incrementally; SELECT and
     /// PRUNE need an atomic view of staleness and stay stop-the-world.
@@ -78,6 +92,21 @@ struct IncrementalCycle {
 impl Pruner {
     pub fn new(config: &PruningConfig, telemetry: Telemetry) -> Self {
         let forced = config.forced_state().map(|f| f.as_state());
+        let summaries = config.liveness_summaries().and_then(|path| {
+            match LivenessSummaries::load(path) {
+                Ok(loaded) => Some(loaded),
+                Err(err) => {
+                    // Degrade, don't crash: a missing or malformed summary
+                    // file falls back to the purely dynamic policy, exactly
+                    // like an empty verdict table.
+                    eprintln!(
+                        "leak-pruning: ignoring liveness summaries {}: {err}",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        });
         Pruner {
             state: forced.unwrap_or(State::Inactive),
             table: EdgeTable::new(config.edge_table_slots()),
@@ -90,11 +119,14 @@ impl Pruner {
             selection: None,
             averted_oom: None,
             exhausted_once: false,
+            select_static_only: false,
             pruned_census: HashMap::new(),
             total_pruned_refs: 0,
             stale_clock: 0,
             decay_period: config.decay_max_stale_use_every(),
             select_collections: 0,
+            summaries,
+            statics: StaticVerdicts::empty(),
             cycle: None,
             cycle_span: SpanGuard::inert(),
             telemetry,
@@ -127,6 +159,21 @@ impl Pruner {
         self.total_pruned_refs
     }
 
+    /// Installs the loaded static liveness verdicts for a newly registered
+    /// class (called by [`Runtime::register_class`](crate::Runtime)).
+    /// Name-keyed summaries resolve to the class index here, once, so the
+    /// mark-path probe is two array indexes.
+    pub fn note_class(&mut self, class: lp_heap::ClassId, name: &str) {
+        if let Some(summaries) = &self.summaries {
+            self.statics.note_class(class, name, summaries);
+        }
+    }
+
+    /// Number of (class, field) static verdicts installed so far.
+    pub fn static_verdicts_installed(&self) -> usize {
+        self.statics.installed()
+    }
+
     /// Whether barriers should maintain the edge table (every state but
     /// INACTIVE).
     pub fn observing(&self) -> bool {
@@ -157,6 +204,9 @@ impl Pruner {
         {
             let from = self.state;
             self.state = State::Select;
+            // A real exhaustion justifies the full dynamic candidate test,
+            // whatever occupancy the sweep reaches afterwards.
+            self.select_static_only = false;
             self.telemetry.emit(|| Event::StateTransition {
                 gc_index,
                 from: from.name(),
@@ -415,8 +465,26 @@ impl Pruner {
             nearly_full_threshold: self.nearly_full_threshold,
             prune_only_when_full: self.prune_only_when_full,
             exhausted_once: self.exhausted_once,
+            // Only the default policy runs the hybrid candidate test, so
+            // only it may take the early OBSERVE→SELECT edge.
+            static_verdicts: self.policy == PredictionPolicy::LeakPruning
+                && self.statics.installed() > 0,
         };
         let next = next_state(performed, &ctx);
+        match next {
+            // Entering SELECT below the nearly-full threshold can only
+            // happen on the static early edge; restrict candidacy
+            // accordingly. A genuine exhaustion unlocks the full test.
+            State::Select => {
+                self.select_static_only = ctx.static_verdicts
+                    && ctx.occupancy <= ctx.nearly_full_threshold
+                    && !self.exhausted_once;
+            }
+            // The PRUNE that consumes a SELECT's selection keeps its mode
+            // so re-discovery matches what was charged.
+            State::Prune => {}
+            State::Inactive | State::Observe => self.select_static_only = false,
+        }
         if next != performed {
             let _state_span = self.telemetry.span("state", gc_index);
             self.telemetry.emit(|| Event::StateTransition {
@@ -476,6 +544,10 @@ impl Pruner {
             }
         }
         let table = &self.table;
+        // Only the default policy runs the hybrid test; the §6.1
+        // comparison policies stay purely dynamic.
+        let statics = &self.statics;
+        let static_only = self.select_static_only;
         let telemetry = &self.telemetry;
         // The selection events below are emitted from inside the mark
         // closure, where the collector has already claimed this index.
@@ -489,18 +561,32 @@ impl Pruner {
             // only the default policy is parallelized — the comparison
             // policies of §6.1 stay serial.
             PredictionPolicy::LeakPruning if marker_threads > 1 => {
-                let stats =
-                    par_select_mark(heap, &root_handles, table, stale_clock, marker_threads);
+                let (stats, candidates) = par_select_mark(
+                    heap,
+                    &root_handles,
+                    table,
+                    statics,
+                    stale_clock,
+                    static_only,
+                    marker_threads,
+                );
                 if let Some((edge, bytes)) = table.select_max_bytes() {
+                    let signal = fold_signals(
+                        candidates
+                            .iter()
+                            .filter(|c| c.edge == edge)
+                            .map(|c| c.signal),
+                    );
                     info = Some(SelectionInfo::Edge { edge, bytes });
-                    emit_edge_selection(telemetry, table, gc_index, edge, bytes);
+                    emit_selection(telemetry, table, gc_index, edge, bytes, signal);
                 }
                 table.reset_bytes();
                 stats
             }
             PredictionPolicy::LeakPruning => {
                 // Phase 1: the in-use closure, deferring candidates.
-                let mut in_use = InUseVisitor::new(stale_clock, table);
+                let mut in_use = InUseVisitor::new(stale_clock, table, statics);
+                in_use.static_only = static_only;
                 let mut stats = trace(heap, roots.iter(), &mut in_use);
 
                 // Phase 2: the stale closure. Processing candidates in
@@ -520,8 +606,15 @@ impl Pruner {
                 }
 
                 if let Some((edge, bytes)) = table.select_max_bytes() {
+                    let signal = fold_signals(
+                        in_use
+                            .candidates
+                            .iter()
+                            .filter(|c| c.edge == edge)
+                            .map(|c| c.signal),
+                    );
                     info = Some(SelectionInfo::Edge { edge, bytes });
-                    emit_edge_selection(telemetry, table, gc_index, edge, bytes);
+                    emit_selection(telemetry, table, gc_index, edge, bytes, signal);
                 }
                 table.reset_bytes();
                 stats
@@ -531,7 +624,7 @@ impl Pruner {
                 let stats = trace(heap, roots.iter(), &mut visitor);
                 if let Some((edge, bytes)) = table.select_max_bytes() {
                     info = Some(SelectionInfo::Edge { edge, bytes });
-                    emit_edge_selection(telemetry, table, gc_index, edge, bytes);
+                    emit_selection(telemetry, table, gc_index, edge, bytes, Signal::Stale);
                 }
                 table.reset_bytes();
                 stats
@@ -573,13 +666,22 @@ impl Pruner {
         let _prune_span = self.telemetry.span("prune", collector.next_gc_index());
         let selection: Selection = selected.selection();
         let table = &self.table;
+        // PRUNE must re-discover exactly the candidates SELECT charged, so
+        // it consults the verdict table only under the default policy.
+        let statics = match self.policy {
+            PredictionPolicy::LeakPruning => &self.statics,
+            _ => &EMPTY_VERDICTS,
+        };
 
+        let static_only = self.select_static_only;
         let (outcome, pruned_map) = if marker_threads > 1 {
-            let visitor = ParPruneVisitor::new(stale_clock, table, selection);
+            let mut visitor = ParPruneVisitor::new(stale_clock, table, statics, selection);
+            visitor.static_only = static_only;
             let outcome = collector.collect_parallel(heap, roots, &visitor, marker_threads);
             (outcome, visitor.into_pruned())
         } else {
-            let mut visitor = PruneVisitor::new(stale_clock, table, selection);
+            let mut visitor = PruneVisitor::new(stale_clock, table, statics, selection);
+            visitor.static_only = static_only;
             let outcome =
                 collector.collect_with(heap, |heap| trace(heap, roots.iter(), &mut visitor));
             (outcome, visitor.pruned)
@@ -594,22 +696,30 @@ impl Pruner {
     }
 }
 
+/// Folds the per-candidate signals of the selected edge into the edge's
+/// winning signal: all-dynamic stays `Stale`, all-static stays `Static`,
+/// any mix is `Both`. An edge can only win with charged candidates, so the
+/// empty default is unreachable in practice; `Stale` keeps it on the
+/// baseline event shape.
+fn fold_signals(signals: impl Iterator<Item = Signal>) -> Signal {
+    signals.reduce(Signal::merged).unwrap_or(Signal::Stale)
+}
+
 /// Emits a SELECT decision with the runner-up edges it beat (read before
 /// `reset_bytes` wipes the window), so selection is explainable from the
-/// trace alone.
-fn emit_edge_selection(
+/// trace alone. Purely dynamic selections keep the paper-era
+/// `SelectionEdge` shape; selections the static signal participated in
+/// become `SelectionStatic`, recording which signal won.
+fn emit_selection(
     telemetry: &Telemetry,
     table: &EdgeTable,
     gc_index: u64,
     edge: EdgeKey,
     bytes: u64,
+    signal: Signal,
 ) {
-    telemetry.emit(|| Event::SelectionEdge {
-        gc_index,
-        src: edge.src.index(),
-        tgt: edge.tgt.index(),
-        bytes,
-        runners_up: table
+    let runners_up = || {
+        table
             .top_bytes(4)
             .into_iter()
             .filter(|(key, _)| *key != edge)
@@ -619,8 +729,25 @@ fn emit_edge_selection(
                 tgt: key.tgt.index(),
                 bytes: edge_bytes,
             })
-            .collect(),
-    });
+            .collect()
+    };
+    match signal {
+        Signal::Stale => telemetry.emit(|| Event::SelectionEdge {
+            gc_index,
+            src: edge.src.index(),
+            tgt: edge.tgt.index(),
+            bytes,
+            runners_up: runners_up(),
+        }),
+        participated => telemetry.emit(|| Event::SelectionStatic {
+            gc_index,
+            src: edge.src.index(),
+            tgt: edge.tgt.index(),
+            bytes,
+            signal: participated.name(),
+            runners_up: runners_up(),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -747,6 +874,143 @@ mod tests {
             pruner.averted_oom().is_some(),
             "deferred error recorded at first PRUNE"
         );
+    }
+
+    /// A certainly-dead verdict lets SELECT choose an edge whose target is
+    /// only at staleness 1 — far below the dynamic `max_stale_use + 2`
+    /// threshold — and PRUNE poisons it. The decision goes out as a
+    /// `SelectionStatic` event with the `static` signal; purely dynamic
+    /// runs never emit that kind.
+    #[test]
+    fn static_verdict_selects_and_prunes_before_dynamic_threshold() {
+        let mut classes = ClassRegistry::new();
+        let registry = classes.register("session.Registry");
+        let record = classes.register("session.Record");
+
+        let mut heap = Heap::new(1 << 20);
+        let mut roots = RootSet::new();
+        let r1 = heap.alloc(registry, &AllocSpec::with_refs(1)).unwrap();
+        let root = roots.add_static();
+        roots.set_static(root, Some(r1));
+        let rec1 = heap.alloc(record, &AllocSpec::with_refs(0)).unwrap();
+        heap.object(r1)
+            .store_ref(0, TaggedRef::from_handle(rec1).with_unlogged());
+        heap.object(rec1).set_stale(1);
+
+        let config = PruningConfig::builder(1 << 20).build();
+        let telemetry = Telemetry::with_recorder(64);
+        let mut pruner = Pruner::new(&config, telemetry.clone());
+        pruner.statics.install_verdict(registry, 0, 1);
+        pruner.state = State::Select;
+
+        let mut collector = Collector::new();
+        let (rec, _) = pruner.collect(&mut heap, &roots, &mut collector, 1, true);
+        match rec.selected {
+            Some(SelectionInfo::Edge { edge, bytes }) => {
+                assert_eq!(edge, EdgeKey::new(registry, record));
+                assert!(bytes > 0);
+            }
+            other => panic!("expected an edge selection, got {other:?}"),
+        }
+        let statics: Vec<&'static str> = telemetry
+            .recorder_snapshot()
+            .iter()
+            .filter_map(|l| match l.event {
+                Event::SelectionStatic { signal, .. } => Some(signal),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(statics, ["static"], "the static signal won alone");
+
+        assert_eq!(pruner.state(), State::Prune);
+        let (rec, _) = pruner.collect(&mut heap, &roots, &mut collector, 1, true);
+        assert_eq!(rec.pruned_refs, 1);
+        assert!(heap.object(r1).load_ref(0).is_poisoned());
+        assert!(!heap.contains(rec1), "statically dead record reclaimed");
+    }
+
+    /// When the selected edge has both a dynamic-threshold candidate and a
+    /// static-verdict candidate, the winning signal is `both`.
+    #[test]
+    fn mixed_candidates_report_both_signal() {
+        let mut classes = ClassRegistry::new();
+        let registry = classes.register("Registry");
+        let record = classes.register("Record");
+
+        let mut heap = Heap::new(1 << 20);
+        let mut roots = RootSet::new();
+        let r1 = heap.alloc(registry, &AllocSpec::with_refs(2)).unwrap();
+        let root = roots.add_static();
+        roots.set_static(root, Some(r1));
+        // Field 0: static-only candidate (stale 1, verdict installed).
+        let young = heap.alloc(record, &AllocSpec::with_refs(0)).unwrap();
+        heap.object(r1)
+            .store_ref(0, TaggedRef::from_handle(young).with_unlogged());
+        heap.object(young).set_stale(1);
+        // Field 1: dynamic-only candidate (stale 4, no verdict).
+        let old = heap.alloc(record, &AllocSpec::with_refs(0)).unwrap();
+        heap.object(r1)
+            .store_ref(1, TaggedRef::from_handle(old).with_unlogged());
+        heap.object(old).set_stale(4);
+
+        let config = PruningConfig::builder(1 << 20).build();
+        let telemetry = Telemetry::with_recorder(64);
+        let mut pruner = Pruner::new(&config, telemetry.clone());
+        pruner.statics.install_verdict(registry, 0, 1);
+        pruner.state = State::Select;
+
+        let mut collector = Collector::new();
+        let (rec, _) = pruner.collect(&mut heap, &roots, &mut collector, 1, true);
+        assert!(matches!(rec.selected, Some(SelectionInfo::Edge { .. })));
+        let statics: Vec<&'static str> = telemetry
+            .recorder_snapshot()
+            .iter()
+            .filter_map(|l| match l.event {
+                Event::SelectionStatic { signal, .. } => Some(signal),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(statics, ["both"]);
+
+        // PRUNE poisons both candidate references of the selected edge.
+        let (rec, _) = pruner.collect(&mut heap, &roots, &mut collector, 1, true);
+        assert_eq!(rec.pruned_refs, 2);
+    }
+
+    /// Without any verdict installed, SELECT still emits the paper-era
+    /// `SelectionEdge` event — the trace shape of dynamic-only runs is
+    /// unchanged by the hybrid machinery.
+    #[test]
+    fn dynamic_only_selection_keeps_baseline_event_shape() {
+        let mut classes = ClassRegistry::new();
+        let registry = classes.register("Registry");
+        let record = classes.register("Record");
+
+        let mut heap = Heap::new(1 << 20);
+        let mut roots = RootSet::new();
+        let r1 = heap.alloc(registry, &AllocSpec::with_refs(1)).unwrap();
+        let root = roots.add_static();
+        roots.set_static(root, Some(r1));
+        let old = heap.alloc(record, &AllocSpec::with_refs(0)).unwrap();
+        heap.object(r1)
+            .store_ref(0, TaggedRef::from_handle(old).with_unlogged());
+        heap.object(old).set_stale(4);
+
+        let config = PruningConfig::builder(1 << 20).build();
+        let telemetry = Telemetry::with_recorder(64);
+        let mut pruner = Pruner::new(&config, telemetry.clone());
+        pruner.state = State::Select;
+
+        let mut collector = Collector::new();
+        let (rec, _) = pruner.collect(&mut heap, &roots, &mut collector, 1, true);
+        assert!(matches!(rec.selected, Some(SelectionInfo::Edge { .. })));
+        let lines = telemetry.recorder_snapshot();
+        assert!(lines
+            .iter()
+            .any(|l| matches!(l.event, Event::SelectionEdge { .. })));
+        assert!(!lines
+            .iter()
+            .any(|l| matches!(l.event, Event::SelectionStatic { .. })));
     }
 
     #[test]

@@ -65,6 +65,7 @@ mod config;
 mod edge_table;
 mod engine;
 mod error;
+mod liveness;
 mod par_closures;
 mod record;
 mod report;
@@ -76,6 +77,7 @@ pub use closures::Selection;
 pub use config::{BarrierMode, ForcedState, PredictionPolicy, PruningConfig, PruningConfigBuilder};
 pub use edge_table::{EdgeEntry, EdgeKey, EdgeTable, DEFAULT_SLOTS};
 pub use error::{OutOfMemoryError, PrunedAccessError, RuntimeError};
+pub use liveness::{LivenessSummaries, LivenessVerdict, SummaryEntry};
 pub use record::{GcRecord, SelectionInfo};
 pub use report::{PruneReport, PrunedEdge};
 pub use runtime::{MutatorCounters, Runtime};

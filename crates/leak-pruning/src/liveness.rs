@@ -1,0 +1,487 @@
+//! Static heap-liveness summaries and the verdict table the hybrid SELECT
+//! policy probes.
+//!
+//! The paper predicts edge death purely from observed staleness, so it can
+//! only prune after a leak has aged past the dynamic threshold. The
+//! `lp-liveness` analyzer derives per-(class, field) liveness *statically*
+//! from the workload sources (in the spirit of Khedker et al.'s heap
+//! reference analysis) and serializes the verdicts as a JSONL summary
+//! file. Loaded via
+//! [`PruningConfig::liveness_summaries`](crate::PruningConfig::liveness_summaries),
+//! the verdicts let SELECT treat a reference as a prune candidate as soon
+//! as its target has been stale for the verdict's minimum, without waiting
+//! for `max_stale_use + 2`.
+//!
+//! The analysis lattice has three points per (class, field):
+//!
+//! * **live** (top) — a read-back was observed, or the analyzer could not
+//!   rule one out; the static signal never fires.
+//! * **dead beyond K** — reads exist but only within a window the source
+//!   bounds by `K`; dead once the target has been stale `K` collections.
+//! * **certainly dead** (bottom) — written and never read back; dead from
+//!   the first staleness level.
+//!
+//! Soundness: the static signal only *adds* candidates, and only for
+//! references that are already unlogged (not loaded since the last
+//! collection) with staleness at least 1. A wrong verdict therefore
+//! degrades to the paper's dynamic behaviour — the pruned reference's next
+//! access raises [`PrunedAccessError`](crate::PrunedAccessError) carrying
+//! the deferred out-of-memory error; semantics are preserved and no memory
+//! is unsafely reused.
+
+use std::path::Path;
+
+use lp_heap::ClassId;
+use lp_telemetry::json::{self, JsonValue};
+
+/// Maximum field index the verdict table tracks. Fields at or beyond this
+/// index are treated as live — sound, the static signal simply never fires
+/// for them — and workload classes have single-digit field counts.
+const MAX_TRACKED_FIELDS: usize = 64;
+
+/// An always-empty verdict table for the policies that must stay purely
+/// dynamic (the §6.1 comparison policies never consult static liveness).
+pub(crate) static EMPTY_VERDICTS: StaticVerdicts = StaticVerdicts::empty();
+
+/// The liveness verdict for one (class, field).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LivenessVerdict {
+    /// A read-back exists (or cannot be ruled out): never prune statically.
+    Live,
+    /// Reads happen only within a window of this many staleness levels.
+    DeadBeyond(u8),
+    /// Written but never read back: dead from the first staleness level.
+    CertainlyDead,
+}
+
+impl LivenessVerdict {
+    /// The minimum target staleness at which the static signal fires, or
+    /// `None` for live fields. Certainly-dead fields fire from staleness 1:
+    /// one collection of confirmed non-use guards against pruning a
+    /// reference the program wrote moments ago.
+    pub fn min_stale(self) -> Option<u8> {
+        match self {
+            LivenessVerdict::Live => None,
+            LivenessVerdict::DeadBeyond(window) => Some(window.max(1)),
+            LivenessVerdict::CertainlyDead => Some(1),
+        }
+    }
+
+    /// The verdict's name in the JSONL summary format.
+    pub fn name(self) -> &'static str {
+        match self {
+            LivenessVerdict::Live => "live",
+            LivenessVerdict::DeadBeyond(_) => "dead_beyond",
+            LivenessVerdict::CertainlyDead => "certainly_dead",
+        }
+    }
+}
+
+/// One line of the JSONL summary file: the access summary and verdict for
+/// a single (class, field).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SummaryEntry {
+    /// Fully qualified class name, as registered with the runtime.
+    pub class: String,
+    /// Reference-field index within the class.
+    pub field: usize,
+    /// Write sites the analyzer observed in the workload sources.
+    pub writes: u64,
+    /// Read sites observed after the last write.
+    pub reads: u64,
+    /// Phase the analyzer attributed the last write to.
+    pub last_write_phase: String,
+    /// The verdict.
+    pub verdict: LivenessVerdict,
+}
+
+impl SummaryEntry {
+    /// Renders the entry as one JSONL line (the inverse of
+    /// [`LivenessSummaries::from_jsonl`]).
+    pub fn to_jsonl(&self) -> String {
+        let mut obj = vec![
+            ("class".to_owned(), JsonValue::Str(self.class.clone())),
+            ("field".to_owned(), JsonValue::from_u64(self.field as u64)),
+            ("writes".to_owned(), JsonValue::from_u64(self.writes)),
+            ("reads".to_owned(), JsonValue::from_u64(self.reads)),
+            (
+                "last_write_phase".to_owned(),
+                JsonValue::Str(self.last_write_phase.clone()),
+            ),
+            (
+                "verdict".to_owned(),
+                JsonValue::Str(self.verdict.name().to_owned()),
+            ),
+        ];
+        if let LivenessVerdict::DeadBeyond(window) = self.verdict {
+            obj.push(("window".to_owned(), JsonValue::from_u64(u64::from(window))));
+        }
+        JsonValue::Obj(obj).to_string()
+    }
+}
+
+/// The checked-in static liveness summaries: one [`SummaryEntry`] per
+/// analyzed (class, field), sorted by `(class, field)` so the file
+/// regenerates deterministically.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LivenessSummaries {
+    entries: Vec<SummaryEntry>,
+}
+
+impl LivenessSummaries {
+    /// An empty summary table.
+    pub fn new() -> Self {
+        LivenessSummaries::default()
+    }
+
+    /// Loads a JSONL summary file from disk.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        LivenessSummaries::from_jsonl(&text)
+    }
+
+    /// Parses the JSONL summary format: one object per non-empty line with
+    /// `class` (string), `field` (integer), `verdict`
+    /// (`live`/`dead_beyond`/`certainly_dead`), a `window` (integer,
+    /// required for `dead_beyond`), and optional `writes`/`reads`/
+    /// `last_write_phase` context.
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut summaries = LivenessSummaries::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let entry = parse_entry(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+            summaries.insert_summary(entry);
+        }
+        Ok(summaries)
+    }
+
+    /// Inserts (or replaces) one entry, keeping the table sorted by
+    /// `(class, field)`. This is the table's only mutation point; outside
+    /// `leak-pruning` and `lp-liveness` the lp-check confinement rule
+    /// rejects it.
+    pub fn insert_summary(&mut self, entry: SummaryEntry) {
+        let key = (entry.class.clone(), entry.field);
+        match self
+            .entries
+            .binary_search_by(|e| (e.class.as_str(), e.field).cmp(&(key.0.as_str(), key.1)))
+        {
+            Ok(pos) => self.entries[pos] = entry,
+            Err(pos) => self.entries.insert(pos, entry),
+        }
+    }
+
+    /// The entry for `(class, field)`, if analyzed.
+    pub fn lookup(&self, class: &str, field: usize) -> Option<&SummaryEntry> {
+        self.entries
+            .binary_search_by(|e| (e.class.as_str(), e.field).cmp(&(class, field)))
+            .ok()
+            .map(|pos| &self.entries[pos])
+    }
+
+    /// All entries for one class.
+    pub fn entries_for<'a>(&'a self, class: &'a str) -> impl Iterator<Item = &'a SummaryEntry> {
+        self.entries.iter().filter(move |e| e.class == class)
+    }
+
+    /// All entries, sorted by `(class, field)`.
+    pub fn entries(&self) -> &[SummaryEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the table back to JSONL (deterministic: sorted order).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            out.push_str(&entry.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn parse_entry(line: &str) -> Result<SummaryEntry, String> {
+    let value = json::parse(line).map_err(|e| format!("{e:?}"))?;
+    let class = value
+        .get("class")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing class")?
+        .to_owned();
+    let field = value
+        .get("field")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing field")? as usize;
+    let verdict_name = value
+        .get("verdict")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing verdict")?;
+    let verdict = match verdict_name {
+        "live" => LivenessVerdict::Live,
+        "certainly_dead" => LivenessVerdict::CertainlyDead,
+        "dead_beyond" => {
+            let window = value
+                .get("window")
+                .and_then(JsonValue::as_u64)
+                .ok_or("dead_beyond without window")?;
+            LivenessVerdict::DeadBeyond(u8::try_from(window).unwrap_or(u8::MAX))
+        }
+        other => return Err(format!("unknown verdict {other:?}")),
+    };
+    Ok(SummaryEntry {
+        class,
+        field,
+        writes: value.get("writes").and_then(JsonValue::as_u64).unwrap_or(0),
+        reads: value.get("reads").and_then(JsonValue::as_u64).unwrap_or(0),
+        last_write_phase: value
+            .get("last_write_phase")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("")
+            .to_owned(),
+        verdict,
+    })
+}
+
+/// The runtime verdict table the SELECT and PRUNE closures probe: per
+/// class index, per field, the minimum staleness at which the static
+/// signal fires (0 = no verdict, i.e. live). Name-keyed summaries resolve
+/// to class indices as the runtime registers classes
+/// ([`Pruner::note_class`](crate::engine::Pruner::note_class)), so probes
+/// on the mark path are two array indexes, never a string compare.
+#[derive(Debug, Default)]
+pub(crate) struct StaticVerdicts {
+    thresholds: Vec<[u8; MAX_TRACKED_FIELDS]>,
+    installed: usize,
+}
+
+impl StaticVerdicts {
+    /// An empty table: every probe answers "live".
+    pub const fn empty() -> Self {
+        StaticVerdicts {
+            thresholds: Vec::new(),
+            installed: 0,
+        }
+    }
+
+    /// Installs a verdict: the static signal fires for `(class, field)`
+    /// once the target's staleness reaches `min_stale` (clamped to at
+    /// least 1). Fields beyond the tracked range stay live. This is the
+    /// table's only mutation point; outside `leak-pruning` and
+    /// `lp-liveness` the lp-check confinement rule rejects it.
+    pub fn install_verdict(&mut self, class: ClassId, field: usize, min_stale: u8) {
+        if field >= MAX_TRACKED_FIELDS {
+            return;
+        }
+        let idx = class.index() as usize;
+        if idx >= self.thresholds.len() {
+            self.thresholds.resize(idx + 1, [0; MAX_TRACKED_FIELDS]);
+        }
+        let slot = &mut self.thresholds[idx][field];
+        if *slot == 0 {
+            self.installed += 1;
+        }
+        *slot = min_stale.max(1);
+    }
+
+    /// Installs every non-live verdict `summaries` holds for the class
+    /// registered as `name`.
+    pub fn note_class(&mut self, class: ClassId, name: &str, summaries: &LivenessSummaries) {
+        for entry in summaries.entries_for(name) {
+            if let Some(min_stale) = entry.verdict.min_stale() {
+                self.install_verdict(class, entry.field, min_stale);
+            }
+        }
+    }
+
+    /// Number of installed (class, field) verdicts.
+    pub fn installed(&self) -> usize {
+        self.installed
+    }
+
+    /// The minimum staleness at which the static signal fires for
+    /// `(class, field)`, or `None` when the field is (or is presumed)
+    /// live.
+    #[inline]
+    pub fn min_stale(&self, class: ClassId, field: usize) -> Option<u8> {
+        match *self.thresholds.get(class.index() as usize)?.get(field)? {
+            0 => None,
+            t => Some(t),
+        }
+    }
+}
+
+/// Which signal(s) made a reference a prune candidate under the hybrid
+/// SELECT policy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Signal {
+    /// Only the dynamic staleness threshold fired (the paper's criterion).
+    Stale,
+    /// Only the static liveness verdict fired.
+    Static,
+    /// Both fired.
+    Both,
+}
+
+impl Signal {
+    /// Combines the signals of two candidates charged to the same edge.
+    pub fn merged(self, other: Signal) -> Signal {
+        if self == other {
+            self
+        } else {
+            Signal::Both
+        }
+    }
+
+    /// Telemetry name (matches `lp_selection_signal_total` labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Signal::Stale => "stale",
+            Signal::Static => "static",
+            Signal::Both => "both",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_heap::ClassRegistry;
+
+    fn entry(class: &str, field: usize, verdict: LivenessVerdict) -> SummaryEntry {
+        SummaryEntry {
+            class: class.to_owned(),
+            field,
+            writes: 3,
+            reads: 0,
+            last_write_phase: "steady".to_owned(),
+            verdict,
+        }
+    }
+
+    #[test]
+    fn verdict_min_stale_mapping() {
+        assert_eq!(LivenessVerdict::Live.min_stale(), None);
+        assert_eq!(LivenessVerdict::CertainlyDead.min_stale(), Some(1));
+        assert_eq!(LivenessVerdict::DeadBeyond(3).min_stale(), Some(3));
+        // A zero window would mean "dead even while in use": clamp.
+        assert_eq!(LivenessVerdict::DeadBeyond(0).min_stale(), Some(1));
+    }
+
+    #[test]
+    fn jsonl_round_trips_sorted() {
+        let mut s = LivenessSummaries::new();
+        s.insert_summary(entry("b.B", 0, LivenessVerdict::CertainlyDead));
+        s.insert_summary(entry("a.A", 1, LivenessVerdict::DeadBeyond(4)));
+        s.insert_summary(entry("a.A", 0, LivenessVerdict::Live));
+        let text = s.to_jsonl();
+        // Sorted by (class, field), independent of insertion order.
+        let classes: Vec<&str> = s.entries().iter().map(|e| e.class.as_str()).collect();
+        assert_eq!(classes, ["a.A", "a.A", "b.B"]);
+        let reparsed = LivenessSummaries::from_jsonl(&text).unwrap();
+        assert_eq!(reparsed, s);
+        assert_eq!(reparsed.to_jsonl(), text, "serialization is a fixpoint");
+    }
+
+    #[test]
+    fn insert_replaces_duplicates() {
+        let mut s = LivenessSummaries::new();
+        s.insert_summary(entry("a.A", 0, LivenessVerdict::Live));
+        s.insert_summary(entry("a.A", 0, LivenessVerdict::CertainlyDead));
+        assert_eq!(s.len(), 1);
+        assert_eq!(
+            s.lookup("a.A", 0).unwrap().verdict,
+            LivenessVerdict::CertainlyDead
+        );
+        assert!(s.lookup("a.A", 1).is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "{\"field\":0,\"verdict\":\"live\"}",     // no class
+            "{\"class\":\"X\",\"verdict\":\"live\"}", // no field
+            "{\"class\":\"X\",\"field\":0}",          // no verdict
+            "{\"class\":\"X\",\"field\":0,\"verdict\":\"dead_beyond\"}", // no window
+            "{\"class\":\"X\",\"field\":0,\"verdict\":\"mostly_dead\"}", // unknown
+            "not json",
+        ] {
+            assert!(
+                LivenessSummaries::from_jsonl(bad).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_skips_blank_lines_and_reads_window() {
+        let text = "\n{\"class\":\"w.W\",\"field\":0,\"writes\":9,\"reads\":3,\"last_write_phase\":\"steady\",\"verdict\":\"dead_beyond\",\"window\":3}\n\n";
+        let s = LivenessSummaries::from_jsonl(text).unwrap();
+        assert_eq!(s.len(), 1);
+        let e = s.lookup("w.W", 0).unwrap();
+        assert_eq!(e.verdict, LivenessVerdict::DeadBeyond(3));
+        assert_eq!(e.writes, 9);
+        assert_eq!(e.reads, 3);
+    }
+
+    #[test]
+    fn verdict_table_installs_and_probes() {
+        let mut classes = ClassRegistry::new();
+        let a = classes.register("a.A");
+        let b = classes.register("b.B");
+
+        let mut s = LivenessSummaries::new();
+        s.insert_summary(entry("a.A", 0, LivenessVerdict::CertainlyDead));
+        s.insert_summary(entry("a.A", 1, LivenessVerdict::Live));
+        s.insert_summary(entry("a.A", 2, LivenessVerdict::DeadBeyond(5)));
+
+        let mut table = StaticVerdicts::empty();
+        assert_eq!(table.installed(), 0);
+        table.note_class(a, "a.A", &s);
+        table.note_class(b, "b.B", &s); // no entries: nothing installed
+
+        assert_eq!(table.installed(), 2, "live entries install nothing");
+        assert_eq!(table.min_stale(a, 0), Some(1));
+        assert_eq!(table.min_stale(a, 1), None);
+        assert_eq!(table.min_stale(a, 2), Some(5));
+        assert_eq!(table.min_stale(a, 3), None);
+        assert_eq!(table.min_stale(b, 0), None);
+    }
+
+    #[test]
+    fn verdict_table_ignores_untracked_fields() {
+        let mut classes = ClassRegistry::new();
+        let a = classes.register("a.A");
+        let mut table = StaticVerdicts::empty();
+        table.install_verdict(a, MAX_TRACKED_FIELDS, 1);
+        assert_eq!(table.installed(), 0);
+        assert_eq!(table.min_stale(a, MAX_TRACKED_FIELDS), None);
+    }
+
+    #[test]
+    fn signal_merge_and_names() {
+        assert_eq!(Signal::Stale.merged(Signal::Stale), Signal::Stale);
+        assert_eq!(Signal::Static.merged(Signal::Static), Signal::Static);
+        assert_eq!(Signal::Stale.merged(Signal::Static), Signal::Both);
+        assert_eq!(Signal::Both.merged(Signal::Stale), Signal::Both);
+        assert_eq!(Signal::Stale.name(), "stale");
+        assert_eq!(Signal::Static.name(), "static");
+        assert_eq!(Signal::Both.name(), "both");
+    }
+
+    #[test]
+    fn load_reports_missing_file() {
+        let err = LivenessSummaries::load(Path::new("/nonexistent/liveness.jsonl")).unwrap_err();
+        assert!(!err.is_empty());
+    }
+}

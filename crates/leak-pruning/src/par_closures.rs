@@ -21,8 +21,9 @@ use lp_gc::{par_trace, trace, EdgeAction, ParEdgeVisitor, TraceStats};
 use lp_heap::{Handle, Heap, Object, TaggedRef};
 use parking_lot::Mutex;
 
-use crate::closures::{Selection, StaleVisitor};
+use crate::closures::{candidate_signal, Selection, StaleVisitor};
 use crate::edge_table::{EdgeKey, EdgeTable};
+use crate::liveness::{Signal, StaticVerdicts};
 
 fn maybe_tick(object: &Object, stale_clock: Option<u64>) -> u8 {
     match stale_clock {
@@ -31,17 +32,12 @@ fn maybe_tick(object: &Object, stale_clock: Option<u64>) -> u8 {
     }
 }
 
-fn is_candidate(table: &EdgeTable, edge: EdgeKey, reference: TaggedRef, target_stale: u8) -> bool {
-    reference.is_unlogged()
-        && target_stale >= table.max_stale_use(edge).saturating_add(2)
-        && target_stale >= 2
-}
-
 /// A deferred candidate reference (thread-safe flavour).
 #[derive(Copy, Clone, Debug)]
 pub(crate) struct ParCandidate {
     pub edge: EdgeKey,
     pub target: Handle,
+    pub signal: Signal,
 }
 
 /// Parallel OBSERVE closure.
@@ -74,14 +70,25 @@ impl ParEdgeVisitor for ParObserveVisitor {
 pub(crate) struct ParInUseVisitor<'a> {
     pub stale_clock: Option<u64>,
     pub table: &'a EdgeTable,
+    pub statics: &'a StaticVerdicts,
+    /// SELECT was entered early on static evidence; candidacy is
+    /// restricted to statically-covered edges (see
+    /// [`crate::closures::candidate_signal`]).
+    pub static_only: bool,
     pub candidates: Mutex<Vec<ParCandidate>>,
 }
 
 impl<'a> ParInUseVisitor<'a> {
-    pub fn new(stale_clock: Option<u64>, table: &'a EdgeTable) -> Self {
+    pub fn new(
+        stale_clock: Option<u64>,
+        table: &'a EdgeTable,
+        statics: &'a StaticVerdicts,
+    ) -> Self {
         ParInUseVisitor {
             stale_clock,
             table,
+            statics,
+            static_only: false,
             candidates: Mutex::new(Vec::new()),
         }
     }
@@ -102,10 +109,19 @@ impl ParEdgeVisitor for ParInUseVisitor<'_> {
         let target_slot = reference.slot().expect("non-null");
         let target = heap.object_by_slot(target_slot).expect("live target");
         let edge = EdgeKey::new(src.class(), target.class());
-        if is_candidate(self.table, edge, reference, target.stale()) {
+        if let Some(signal) = candidate_signal(
+            self.table,
+            self.statics,
+            edge,
+            field,
+            reference,
+            target.stale(),
+            self.static_only,
+        ) {
             self.candidates.lock().push(ParCandidate {
                 edge,
                 target: heap.handle_at(target_slot),
+                signal,
             });
             return EdgeAction::Skip;
         }
@@ -123,15 +139,26 @@ impl ParEdgeVisitor for ParInUseVisitor<'_> {
 pub(crate) struct ParPruneVisitor<'a> {
     pub stale_clock: Option<u64>,
     pub table: &'a EdgeTable,
+    pub statics: &'a StaticVerdicts,
+    /// The matching SELECT ran in static-only mode; re-discovery must use
+    /// the same restricted candidate test.
+    pub static_only: bool,
     pub selection: Selection,
     pub pruned: Mutex<HashMap<EdgeKey, u64>>,
 }
 
 impl<'a> ParPruneVisitor<'a> {
-    pub fn new(stale_clock: Option<u64>, table: &'a EdgeTable, selection: Selection) -> Self {
+    pub fn new(
+        stale_clock: Option<u64>,
+        table: &'a EdgeTable,
+        statics: &'a StaticVerdicts,
+        selection: Selection,
+    ) -> Self {
         ParPruneVisitor {
             stale_clock,
             table,
+            statics,
+            static_only: false,
             selection,
             pruned: Mutex::new(HashMap::new()),
         }
@@ -159,7 +186,17 @@ impl ParEdgeVisitor for ParPruneVisitor<'_> {
         let edge = EdgeKey::new(src.class(), target.class());
         let matches = match self.selection {
             Selection::Edge(selected) => {
-                edge == selected && is_candidate(self.table, edge, reference, target.stale())
+                edge == selected
+                    && candidate_signal(
+                        self.table,
+                        self.statics,
+                        edge,
+                        field,
+                        reference,
+                        target.stale(),
+                        self.static_only,
+                    )
+                    .is_some()
             }
             Selection::StaleLevel(level) => {
                 reference.is_unlogged() && target.stale() >= level.max(2)
@@ -186,16 +223,21 @@ impl ParEdgeVisitor for ParPruneVisitor<'_> {
 /// closure, then the stale closures — one thread per chunk of candidates,
 /// each candidate's subtree processed by a single thread (§4.5).
 ///
-/// Returns the merged trace statistics; `bytes_used` charges land in the
-/// edge table exactly as in the serial path.
+/// Returns the merged trace statistics plus the deferred candidates (for
+/// the engine's winning-signal attribution); `bytes_used` charges land in
+/// the edge table exactly as in the serial path.
 pub(crate) fn par_select_mark(
     heap: &Heap,
     roots: &[Handle],
     table: &EdgeTable,
+    statics: &StaticVerdicts,
     stale_clock: Option<u64>,
+    static_only: bool,
     threads: usize,
-) -> TraceStats {
-    let in_use = ParInUseVisitor::new(stale_clock, table);
+) -> (TraceStats, Vec<ParCandidate>) {
+    let mut in_use = ParInUseVisitor::new(stale_clock, table, statics);
+    in_use.static_only = static_only;
+    let in_use = in_use;
     let mut stats = par_trace(heap, roots, &in_use, threads);
     let candidates = in_use.candidates.into_inner();
 
@@ -229,12 +271,13 @@ pub(crate) fn par_select_mark(
     for s in chunk_stats {
         stats = stats.merged(s);
     }
-    stats
+    (stats, candidates)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::liveness::EMPTY_VERDICTS;
     use lp_heap::{AllocSpec, ClassRegistry, Heap};
 
     /// Builds a heap with `lists` stale chains hanging off one live hub.
@@ -276,7 +319,7 @@ mod tests {
         // Serial pass.
         let serial_table = EdgeTable::new(256);
         heap.begin_mark_epoch();
-        let mut in_use = crate::closures::InUseVisitor::new(None, &serial_table);
+        let mut in_use = crate::closures::InUseVisitor::new(None, &serial_table, &EMPTY_VERDICTS);
         let mut serial_stats = lp_gc::trace(&heap, roots.iter().copied(), &mut in_use);
         let mut stale = StaleVisitor { stale_clock: None };
         for c in &in_use.candidates {
@@ -291,7 +334,8 @@ mod tests {
         // Parallel pass on a fresh epoch.
         let par_table = EdgeTable::new(256);
         heap.begin_mark_epoch();
-        let par_stats = par_select_mark(&heap, &roots, &par_table, None, 4);
+        let (par_stats, _) =
+            par_select_mark(&heap, &roots, &par_table, &EMPTY_VERDICTS, None, false, 4);
 
         assert_eq!(serial_stats.objects_marked, par_stats.objects_marked);
         assert_eq!(serial_stats.bytes_marked, par_stats.bytes_marked);
@@ -316,7 +360,7 @@ mod tests {
         );
         let table = EdgeTable::new(64);
         heap.begin_mark_epoch();
-        let visitor = ParPruneVisitor::new(None, &table, Selection::Edge(edge));
+        let visitor = ParPruneVisitor::new(None, &table, &EMPTY_VERDICTS, Selection::Edge(edge));
         par_trace(&heap, &roots, &visitor, 4);
         let pruned = visitor.into_pruned();
         assert_eq!(pruned.get(&edge).copied(), Some(4), "all four chain heads");

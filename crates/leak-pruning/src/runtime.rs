@@ -227,7 +227,19 @@ impl Runtime {
             class: id.index(),
             name: name.to_owned(),
         });
+        // Static liveness verdicts are keyed by class name; resolve them to
+        // this class index once, here, so the SELECT probe never compares
+        // strings.
+        self.pruner.note_class(id, name);
         id
+    }
+
+    /// Number of (class, field) static liveness verdicts installed for the
+    /// classes registered so far (see
+    /// [`PruningConfig::liveness_summaries`]). Zero when no summary file
+    /// is loaded — the purely dynamic baseline.
+    pub fn static_verdicts_installed(&self) -> usize {
+        self.pruner.static_verdicts_installed()
     }
 
     /// The class registry.

@@ -12,6 +12,16 @@
 //!
 //! Once OBSERVE is entered the machine never returns to INACTIVE: the
 //! application is permanently considered to be in an unexpected state.
+//!
+//! When static liveness verdicts are installed
+//! ([`TransitionContext::static_verdicts`]), the OBSERVE→SELECT edge is
+//! relaxed: SELECT may also be entered at the *expected* threshold instead
+//! of waiting for the heap to be nearly full. The analyzer has already
+//! proved some (class, field) pairs certainly dead, so there is no reason
+//! to let them accumulate for the dynamic evidence the paper's machine
+//! waits for. Such an early SELECT restricts candidacy to
+//! statically-covered edges (see `Pruner::collect_select`); the
+//! Select→Prune and Prune→* edges are unchanged.
 
 use std::fmt;
 
@@ -69,6 +79,13 @@ pub struct TransitionContext {
     /// allocation failed even after collecting). After this, SELECT always
     /// advances to PRUNE.
     pub exhausted_once: bool,
+    /// Whether static liveness verdicts are installed for the running
+    /// policy. When set, OBSERVE (and the INACTIVE fast path) may enter
+    /// SELECT as soon as occupancy exceeds the *expected* threshold — the
+    /// early, static-only SELECT described in the module docs. False for
+    /// the §6.1 comparison policies and whenever no summary file is
+    /// loaded, which keeps them byte-identical to the paper's machine.
+    pub static_verdicts: bool,
 }
 
 /// Computes the state that follows `current` after a collection performed in
@@ -77,9 +94,11 @@ pub fn next_state(current: State, ctx: &TransitionContext) -> State {
     match current {
         State::Inactive => {
             if ctx.occupancy > ctx.expected_threshold {
-                // Enter OBSERVE, and if memory is already nearly gone, move
-                // straight on to SELECT at the next collection.
-                if ctx.occupancy > ctx.nearly_full_threshold {
+                // Enter OBSERVE, and if memory is already nearly gone — or
+                // static verdicts make waiting for dynamic evidence
+                // pointless — move straight on to SELECT at the next
+                // collection.
+                if ctx.occupancy > ctx.nearly_full_threshold || ctx.static_verdicts {
                     State::Select
                 } else {
                     State::Observe
@@ -89,7 +108,9 @@ pub fn next_state(current: State, ctx: &TransitionContext) -> State {
             }
         }
         State::Observe => {
-            if ctx.occupancy > ctx.nearly_full_threshold {
+            if ctx.occupancy > ctx.nearly_full_threshold
+                || (ctx.static_verdicts && ctx.occupancy > ctx.expected_threshold)
+            {
                 State::Select
             } else {
                 State::Observe
@@ -126,6 +147,14 @@ mod tests {
             nearly_full_threshold: 0.9,
             prune_only_when_full: false,
             exhausted_once: false,
+            static_verdicts: false,
+        }
+    }
+
+    fn static_ctx(occupancy: f64) -> TransitionContext {
+        TransitionContext {
+            static_verdicts: true,
+            ..ctx(occupancy)
         }
     }
 
@@ -144,6 +173,30 @@ mod tests {
     fn observe_escalates_when_nearly_full() {
         assert_eq!(next_state(State::Observe, &ctx(0.95)), State::Select);
         assert_eq!(next_state(State::Observe, &ctx(0.9)), State::Observe);
+    }
+
+    #[test]
+    fn static_verdicts_pull_select_forward_to_expected_threshold() {
+        // With verdicts installed, crossing the *expected* threshold is
+        // enough — from either INACTIVE or OBSERVE.
+        assert_eq!(next_state(State::Inactive, &static_ctx(0.6)), State::Select);
+        assert_eq!(next_state(State::Observe, &static_ctx(0.6)), State::Select);
+        // Below the expected threshold nothing changes: the program is not
+        // in an unexpected state, so there is nothing to select against.
+        assert_eq!(
+            next_state(State::Inactive, &static_ctx(0.4)),
+            State::Inactive
+        );
+        assert_eq!(next_state(State::Observe, &static_ctx(0.4)), State::Observe);
+    }
+
+    #[test]
+    fn static_verdicts_leave_prune_edges_alone() {
+        // PRUNE still needs the nearly-full signal to loop back to SELECT;
+        // the early entry only accelerates the first selection.
+        assert_eq!(next_state(State::Prune, &static_ctx(0.6)), State::Observe);
+        assert_eq!(next_state(State::Prune, &static_ctx(0.95)), State::Select);
+        assert_eq!(next_state(State::Select, &static_ctx(0.6)), State::Prune);
     }
 
     #[test]
@@ -214,6 +267,7 @@ mod property_tests {
                         nearly_full_threshold: 0.9,
                         prune_only_when_full: option_one,
                         exhausted_once: exhausted,
+                        static_verdicts: false,
                     },
                 );
                 if state != State::Inactive {
@@ -241,6 +295,7 @@ mod property_tests {
                         nearly_full_threshold: 0.9,
                         prune_only_when_full: true,
                         exhausted_once: false,
+                        static_verdicts: false,
                     },
                 );
                 prop_assert_ne!(state, State::Prune);

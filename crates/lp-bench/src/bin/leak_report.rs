@@ -110,8 +110,15 @@ fn parse_args() -> Result<Args, String> {
 /// comparison), and a snapshot captured halfway through the run — the
 /// earlier endpoint for `--diff`, so CI can check growth attribution.
 fn run_live(iterations: u64) -> Result<(Runtime, u64, HeapSnapshot), String> {
+    // The hybrid policy: ListLeak's `java.util.LinkedList$Node.0` carries
+    // a certainly-dead static verdict, so the report's SELECT line shows
+    // which signal won (`static`/`both`) alongside the chosen edge.
+    // The recorder must span the whole run: per-allocation events dominate
+    // the stream (a few per iteration), and a tail-sized ring would evict
+    // every Figure-2 transition long before the end-of-run snapshot.
     let config = PruningConfig::builder(LIVE_HEAP)
-        .flight_recorder(512)
+        .flight_recorder(65_536)
+        .liveness_summaries(lp_workloads::liveness_summaries_path())
         .build();
     let mut rt = Runtime::new(config);
     let mut workload = ListLeak::new();

@@ -19,6 +19,12 @@
 //!   attached: one relaxed load and an inert guard. The delta is the
 //!   price every instrumented hot path pays when tracing is off, and it
 //!   must stay within the lazy-emit bound (~1 ns).
+//! * `gc_observe[_verdicts]` / `gc_select[_verdicts]` — per-edge cost of a
+//!   forced-OBSERVE and forced-SELECT full collection over the same web,
+//!   each with and without a static liveness summary loaded. The SELECT
+//!   pair prices the hybrid policy's verdict-table probe (one lookup per
+//!   traced edge); the OBSERVE pair *asserts* the table costs nothing on
+//!   non-SELECT collections, whose closures never consult it.
 //!
 //! Writes per sample stay well under the SATB log capacity, and the log is
 //! drained (one mark quantum) between samples so no trial measures an
@@ -187,6 +193,43 @@ fn main() {
     });
     results.push(("span_disabled", span_disabled));
 
+    // Summary-table probe cost. Forced states pin each runtime to one
+    // collection flavour; the verdict file covers a registered-but-never-
+    // allocated class, so the table is installed (and probed per edge in
+    // SELECT) without any reference ever becoming statically prunable —
+    // both members of a pair trace exactly the same web.
+    let verdict_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/microbench_verdicts.jsonl");
+    let gc_web = |forced: ForcedState, verdicts: bool| -> Runtime {
+        let mut builder = PruningConfig::builder(4 << 20).force_state(forced);
+        if verdicts {
+            builder = builder.liveness_summaries(&verdict_path);
+        }
+        let mut rt = Runtime::new(builder.build());
+        rt.register_class("Decoy");
+        if verdicts {
+            assert!(
+                rt.static_verdicts_installed() > 0,
+                "the verdict fixture must install"
+            );
+        }
+        build_web(&mut rt);
+        rt
+    };
+    let gc_sample = |rt: &mut Runtime| {
+        std::hint::black_box(rt.force_gc());
+    };
+    for (name, forced, verdicts) in [
+        ("gc_observe", ForcedState::Observe, false),
+        ("gc_observe_verdicts", ForcedState::Observe, true),
+        ("gc_select", ForcedState::Select, false),
+        ("gc_select_verdicts", ForcedState::Select, true),
+    ] {
+        let mut rt = gc_web(forced, verdicts);
+        let stats = measure_in(trials, OPS, &mut rt, |_| {}, gc_sample);
+        results.push((name, stats));
+    }
+
     let path = output_dir().join("microbench.csv");
     let mut file = std::fs::File::create(&path).expect("create csv");
     writeln!(file, "{CSV_HEADER}").expect("write header");
@@ -213,6 +256,23 @@ fn main() {
     println!(
         "disabled span guard adds {:.2} ns/span (loop {baseline_med:.2} -> guarded {span_med:.2}; bound: 1 ns)",
         span_med - baseline_med
+    );
+    let observe_med = results[6].1.median_ns;
+    let observe_verdicts_med = results[7].1.median_ns;
+    let select_med = results[8].1.median_ns;
+    let select_verdicts_med = results[9].1.median_ns;
+    println!(
+        "verdict-table probe adds {:.2} ns/edge to SELECT (plain {select_med:.2} -> verdicts {select_verdicts_med:.2})",
+        select_verdicts_med - select_med
+    );
+    println!(
+        "OBSERVE with verdicts loaded: {observe_med:.2} -> {observe_verdicts_med:.2} ns/edge (must be noise)"
+    );
+    // Non-SELECT collections never consult the table; a loaded summary
+    // must not cost them anything beyond measurement noise.
+    assert!(
+        observe_verdicts_med <= observe_med * 1.25 + 1.0,
+        "verdict table slowed OBSERVE collections: {observe_med:.2} -> {observe_verdicts_med:.2} ns/edge"
     );
     println!("wrote {}", path.display());
 }

@@ -313,6 +313,20 @@ fn deterministic_run(trace_dir: Option<&Path>) -> ExitCode {
     if !metrics.contains("lp_server_request_nanos{tenant=\"leaky\"") {
         failures.push("/metrics lacks request-latency quantiles".into());
     }
+    // The SELECT winning-signal breakdown: the leaky tenant runs without
+    // static summaries, so every one of its selections must be counted
+    // under the dynamic `stale` signal — and it pruned, so there was at
+    // least one.
+    let stale_selections = metrics
+        .lines()
+        .find(|l| l.starts_with("lp_selection_signal_total{tenant=\"leaky\",signal=\"stale\"}"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<u64>().ok());
+    match stale_selections {
+        None => failures.push("/metrics lacks the selection-signal breakdown".into()),
+        Some(0) => failures.push("leaky tenant pruned but counted no SELECT signal".into()),
+        Some(_) => {}
+    }
     if !timeseries.contains("\"name\":\"leaky\"") || !timeseries.contains("\"buckets\"") {
         failures.push("/timeseries lacks per-tenant trend buckets".into());
     }

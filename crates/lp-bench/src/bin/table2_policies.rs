@@ -1,30 +1,86 @@
 //! **Table 2** (§6.1/§6.2): iterations executed by the leak programs under
-//! the three prediction algorithms, plus the edge-table census.
+//! the three prediction algorithms, plus the edge-table census — extended
+//! with the **Hybrid** column: the default policy fed by the static
+//! liveness summaries `lp-liveness` derives from the workload sources.
 //!
-//! Columns match the paper: Base (unmodified), Most stale (the disk-based
-//! systems' policy), Indiv refs (no data-structure view), Default (leak
-//! pruning's algorithm), and the number of edge types recorded at the end
-//! of the default run (§6.2's space-overhead census).
+//! Columns: Base (unmodified), Most stale (the disk-based systems'
+//! policy), Indiv refs (no data-structure view), Default (leak pruning's
+//! algorithm), Hybrid (Default + static `certainly_dead` verdicts, which
+//! let SELECT fire at staleness 1 instead of waiting out the dynamic
+//! threshold), 1st prune (Default vs Hybrid first-prune GC index), and
+//! the number of edge types recorded at the end of the default run
+//! (§6.2's space-overhead census). A `WindowedLeakService` row joins the
+//! paper's leaks: it is the hybrid policy's target evaluation subject
+//! (live window reads over a statically dead record spine).
 //!
-//! Usage: `table2_policies [cap]` (default 20,000).
+//! Usage: `table2_policies [cap] [--assert]`
+//!
+//! `--assert` gates CI: on ListLeak and WindowedLeakService the hybrid
+//! run must prune strictly earlier than Default (lower first-prune GC
+//! index), run at least as long, and never terminate on a pruned access
+//! (zero incorrectly-poisoned live accesses).
 
-use leak_pruning::PredictionPolicy;
+use leak_pruning::{PredictionPolicy, PruningConfig};
 use lp_metrics::TextTable;
-use lp_workloads::driver::{run_workload, Flavor, RunOptions, Termination};
+use lp_workloads::driver::{run_workload, Flavor, RunOptions, RunResult, Termination, Workload};
 use lp_workloads::leaks::{leak_by_name, standard_leaks};
+use lp_workloads::{liveness_summaries_path, ServiceWorkload, WindowedLeakService};
+
+/// The leaks that gate `--assert`: the hybrid policy must strictly beat
+/// the dynamic-only default on both.
+const ASSERT_SUBJECTS: &[&str] = &["ListLeak", "WindowedLeakService"];
+
+fn hybrid_flavor(heap: u64) -> Flavor {
+    Flavor::Custom(Box::new(
+        PruningConfig::builder(heap)
+            .liveness_summaries(liveness_summaries_path())
+            .build(),
+    ))
+}
+
+fn fresh(name: &str) -> Box<dyn Workload> {
+    if name == "WindowedLeakService" {
+        Box::new(ServiceWorkload::new(WindowedLeakService::new()))
+    } else {
+        leak_by_name(name).expect("known leak")
+    }
+}
+
+fn run(name: &str, flavor: Flavor, cap: u64) -> RunResult {
+    let mut instance = fresh(name);
+    eprint!("running {name} under {} ...", flavor.label());
+    let result = run_workload(
+        instance.as_mut(),
+        &RunOptions::new(flavor).iteration_cap(cap),
+    );
+    eprintln!(" {}", result.iterations);
+    result
+}
+
+fn cell(result: &RunResult) -> String {
+    let marker = match result.termination {
+        Termination::ReachedCap => "+", // would have kept going
+        _ => "",
+    };
+    format!("{}{marker}", result.iterations)
+}
+
+fn first_prune(result: &RunResult) -> String {
+    result
+        .first_prune_gc
+        .map_or_else(|| "-".to_owned(), |gc| gc.to_string())
+}
 
 fn main() {
-    let cap: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20_000);
-
-    let flavors = [
-        Flavor::Base,
-        Flavor::Pruning(PredictionPolicy::MostStale),
-        Flavor::Pruning(PredictionPolicy::IndividualRefs),
-        Flavor::Pruning(PredictionPolicy::LeakPruning),
-    ];
+    let mut cap: u64 = 20_000;
+    let mut assert_mode = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--assert" {
+            assert_mode = true;
+        } else if let Ok(n) = arg.parse() {
+            cap = n;
+        }
+    }
 
     let mut table = TextTable::new(vec![
         "Leak".into(),
@@ -32,46 +88,90 @@ fn main() {
         "Most stale".into(),
         "Indiv refs".into(),
         "Default".into(),
+        "Hybrid".into(),
+        "1st prune (D/H)".into(),
         "Edge types".into(),
     ]);
 
+    let mut names: Vec<String> = standard_leaks()
+        .iter()
+        .map(|l| l.name().to_owned())
+        .collect();
+    names.push("WindowedLeakService".to_owned());
+
     println!("Table 2 reproduction (iteration cap {cap})\n");
-    for leak in standard_leaks() {
-        let name = leak.name().to_owned();
-        let mut cells = vec![name.clone()];
-        let mut edge_types = 0;
-        for flavor in &flavors {
-            let mut instance = leak_by_name(&name).expect("known leak");
-            eprint!("running {name} under {} ...", flavor.label());
-            let result = run_workload(
-                instance.as_mut(),
-                &RunOptions::new(flavor.clone()).iteration_cap(cap),
-            );
-            eprintln!(" {}", result.iterations);
-            let marker = match result.termination {
-                Termination::ReachedCap => "+", // would have kept going
-                _ => "",
-            };
-            cells.push(format!("{}{marker}", result.iterations));
-            if matches!(flavor, Flavor::Pruning(PredictionPolicy::LeakPruning)) {
-                edge_types = result.report.edge_types_recorded;
+    let mut failures: Vec<String> = Vec::new();
+    for name in &names {
+        let heap = fresh(name).default_heap();
+        let base = run(name, Flavor::Base, cap);
+        let most_stale = run(name, Flavor::Pruning(PredictionPolicy::MostStale), cap);
+        let indiv = run(name, Flavor::Pruning(PredictionPolicy::IndividualRefs), cap);
+        let default = run(name, Flavor::Pruning(PredictionPolicy::LeakPruning), cap);
+        let hybrid = run(name, hybrid_flavor(heap), cap);
+
+        table.row(vec![
+            name.clone(),
+            cell(&base),
+            cell(&most_stale),
+            cell(&indiv),
+            cell(&default),
+            cell(&hybrid),
+            format!("{}/{}", first_prune(&default), first_prune(&hybrid)),
+            default.report.edge_types_recorded.to_string(),
+        ]);
+
+        if assert_mode && ASSERT_SUBJECTS.contains(&name.as_str()) {
+            match (default.first_prune_gc, hybrid.first_prune_gc) {
+                (Some(d), Some(h)) if h < d => {}
+                (d, h) => failures.push(format!(
+                    "{name}: hybrid must prune strictly earlier than Default \
+                     (Default first prune {d:?}, hybrid {h:?})"
+                )),
+            }
+            if hybrid.iterations < default.iterations {
+                failures.push(format!(
+                    "{name}: hybrid ran fewer iterations than Default ({} < {})",
+                    hybrid.iterations, default.iterations
+                ));
+            }
+            if hybrid.termination == Termination::PrunedAccess {
+                failures.push(format!(
+                    "{name}: hybrid poisoned a reference the program still uses \
+                     (terminated on a pruned access after {} iterations)",
+                    hybrid.iterations
+                ));
             }
         }
-        cells.push(edge_types.to_string());
-        table.row(cells);
     }
 
     println!("{table}");
     println!("('+' marks runs cut off by the cap; the program would have kept going.)");
+    println!("('1st prune' is the GC index of the first poisoning collection,");
+    println!(" Default/Hybrid; '-' means the run never pruned.)");
     println!();
     println!("Paper (Table 2): e.g. EclipseCP 11 / 134 / 41 / 971 with 1,203 edge");
     println!("types; ListLeak and SwapLeak run into the millions under Default;");
     println!("DualLeak is never helped. Expected shape: Default >= Indiv refs and");
-    println!("Default >= Most stale on every leak; the edge-type census grows with");
-    println!("program complexity (Eclipse >> microbenchmarks).");
+    println!("Default >= Most stale on every leak; Hybrid prunes no later than");
+    println!("Default everywhere and strictly earlier where a static verdict");
+    println!("applies (ListLeak, WindowedLeakService); the edge-type census grows");
+    println!("with program complexity (Eclipse >> microbenchmarks).");
     println!();
     println!(
         "Edge-table footprint (fixed 16K slots x 4 words, §6.2): {} bytes",
         leak_pruning::EdgeTable::new(leak_pruning::DEFAULT_SLOTS).footprint_bytes()
     );
+
+    if assert_mode {
+        if failures.is_empty() {
+            println!();
+            println!("--assert: hybrid strictly earlier with zero poisoned live accesses on {ASSERT_SUBJECTS:?}");
+        } else {
+            eprintln!();
+            for failure in &failures {
+                eprintln!("ASSERT FAILED: {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

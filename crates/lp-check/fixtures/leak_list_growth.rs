@@ -1,0 +1,26 @@
+//! Lint fixture: unbounded container growth with no read-back (L1).
+//! Every unit of work links the old head into a fresh node and re-roots
+//! the static at it, and nothing in the file ever calls `read_field` —
+//! the structure can only grow and its contents can never matter. This is
+//! the `ListLeak` shape, and `lp-check` must flag the spine write.
+
+use leak_pruning::{Runtime, RuntimeError};
+use lp_heap::AllocSpec;
+
+/// Caches every response "for later", where later never comes.
+pub struct ResponseCache {
+    head: Option<StaticId>,
+    node_cls: Option<ClassId>,
+}
+
+impl ResponseCache {
+    /// Prepends a response node to the static-rooted cache list.
+    pub fn remember(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let head = self.head.expect("setup ran");
+        let cls = self.node_cls.expect("setup ran");
+        let node = rt.alloc(cls, &AllocSpec::new(1, 0, 256))?;
+        rt.write_field(node, 0, rt.static_ref(head));
+        rt.set_static(head, Some(node));
+        Ok(())
+    }
+}

@@ -1,0 +1,36 @@
+//! Lint fixture: registry insert with no removal path (L2).
+//! Listeners are registered onto a static-rooted spine and looked up
+//! later, but no code path ever clears the spine's static
+//! (`set_static(.., None)`): deregistration was never written, so the
+//! registry can only accumulate. `lp-check` must flag the spine write.
+
+use leak_pruning::{Runtime, RuntimeError};
+use lp_heap::AllocSpec;
+
+/// An event registry whose listeners are added but never removed.
+pub struct ListenerRegistry {
+    spine: Option<StaticId>,
+    entry_cls: Option<ClassId>,
+}
+
+impl ListenerRegistry {
+    /// Registers a listener entry at the head of the spine.
+    pub fn register(&mut self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let spine = self.spine.expect("setup ran");
+        let cls = self.entry_cls.expect("setup ran");
+        let entry = rt.alloc(cls, &AllocSpec::with_refs(2))?;
+        rt.write_field(entry, 0, rt.static_ref(spine));
+        rt.set_static(spine, Some(entry));
+        Ok(())
+    }
+
+    /// Dispatches to the most recent listener — the registry is read, so
+    /// this is not dead data, it is an ever-growing live structure.
+    pub fn dispatch(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let spine = self.spine.expect("setup ran");
+        if let Some(entry) = rt.static_ref(spine) {
+            let _ = rt.read_field(entry, 1)?;
+        }
+        Ok(())
+    }
+}

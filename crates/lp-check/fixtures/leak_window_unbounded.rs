@@ -1,0 +1,47 @@
+//! Lint fixture: a windowed structure whose bound is never enforced (L3).
+//! The table indexes with `request % WINDOW`, so reads only ever see the
+//! last `WINDOW` records — but every record is also threaded onto a
+//! static-rooted spine that nothing clears, so the "window" bounds the
+//! visible slots while the spine keeps every displaced record reachable
+//! forever. This is the `WindowedLeakService` shape; `lp-check` must flag
+//! the spine write under L3 (and the missing removal path under L2).
+
+use leak_pruning::{Runtime, RuntimeError};
+use lp_heap::AllocSpec;
+
+/// Nominal bound on the number of live records.
+const WINDOW: u64 = 64;
+
+/// A request cache with a sliding window that does not actually slide.
+pub struct WindowedCache {
+    table: Option<StaticId>,
+    spine: Option<StaticId>,
+    record_cls: Option<ClassId>,
+}
+
+impl WindowedCache {
+    /// Stores a record in its window slot — and onto the spine.
+    pub fn store(&mut self, rt: &mut Runtime, request: u64) -> Result<(), RuntimeError> {
+        let table_root = self.table.expect("setup ran");
+        let spine = self.spine.expect("setup ran");
+        let cls = self.record_cls.expect("setup ran");
+        let slot = (request % WINDOW) as usize;
+        let record = rt.alloc(cls, &AllocSpec::new(1, 0, 512))?;
+        rt.write_field(record, 0, rt.static_ref(spine));
+        rt.set_static(spine, Some(record));
+        if let Some(table) = rt.static_ref(table_root) {
+            rt.write_field(table, slot, Some(record))?;
+        }
+        Ok(())
+    }
+
+    /// Reads the record currently visible in a window slot.
+    pub fn lookup(&self, rt: &mut Runtime, request: u64) -> Result<(), RuntimeError> {
+        let table_root = self.table.expect("setup ran");
+        let slot = (request % WINDOW) as usize;
+        if let Some(table) = rt.static_ref(table_root) {
+            let _ = rt.read_field(table, slot)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,28 @@
+//! Lint fixture: host-side code that forges static liveness verdicts.
+//! The liveness summary file is *input data* everywhere outside the
+//! analyzer (`lp-liveness`) and the engine that installs verdicts
+//! (`leak-pruning`). A host that could append `certainly_dead` entries or
+//! install verdicts directly would make the hybrid SELECT poison
+//! references the tenant still uses — so `lp-check` must flag both
+//! mutation entry points here under R6.
+
+use leak_pruning::{LivenessSummaries, LivenessVerdict, SummaryEntry};
+
+/// "Tunes" a tenant's summaries by appending a dead verdict for a class
+/// the host has decided is expendable — verdict forgery (R6).
+pub fn forge_dead_verdict(summaries: &mut LivenessSummaries, class: &str) {
+    summaries.insert_summary(SummaryEntry {
+        class: class.to_owned(),
+        field: 0,
+        writes: 1,
+        reads: 0,
+        last_write_phase: "host".to_owned(),
+        verdict: LivenessVerdict::CertainlyDead,
+    });
+}
+
+/// Installs a verdict straight into the engine's per-class table,
+/// skipping the summary file entirely (R6).
+pub fn force_prunable(verdicts: &mut StaticVerdicts, class: ClassId) {
+    verdicts.install_verdict(class, 0, 1);
+}

@@ -191,6 +191,51 @@ mod tests {
     }
 
     #[test]
+    fn liveness_write_fixture_is_flagged() {
+        let found = lint_fixture("server_liveness_write.rs");
+        let r6 = found.iter().filter(|f| f.rule == "R6").count();
+        assert_eq!(
+            r6, 2,
+            "expected both verdict-mutation entry points flagged, got {found:?}"
+        );
+    }
+
+    #[test]
+    fn leak_list_growth_fixture_is_flagged_l1() {
+        let found = lint_fixture("leak_list_growth.rs");
+        assert!(
+            found.iter().any(|f| f.rule == "L1"),
+            "expected an L1 finding, got {found:?}"
+        );
+    }
+
+    #[test]
+    fn leak_registry_spine_fixture_is_flagged_l2() {
+        let found = lint_fixture("leak_registry_spine.rs");
+        assert!(
+            found.iter().any(|f| f.rule == "L2"),
+            "expected an L2 finding, got {found:?}"
+        );
+        assert!(
+            found.iter().all(|f| f.rule != "L1"),
+            "the registry is read back, so L1 must not fire: {found:?}"
+        );
+    }
+
+    #[test]
+    fn leak_window_unbounded_fixture_is_flagged_l3() {
+        let found = lint_fixture("leak_window_unbounded.rs");
+        assert!(
+            found.iter().any(|f| f.rule == "L3"),
+            "expected an L3 finding, got {found:?}"
+        );
+        assert!(
+            found.iter().any(|f| f.rule == "L2"),
+            "the spine also has no removal path (L2), got {found:?}"
+        );
+    }
+
+    #[test]
     fn fixtures_are_excluded_from_the_workspace_walk() {
         let files = workspace_files(&manifest_workspace_root()).unwrap();
         assert!(

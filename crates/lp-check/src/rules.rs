@@ -7,10 +7,17 @@
 //! | R3   | no `unwrap()`/`expect()` in non-test runtime code (lp-heap, lp-gc, leak-pruning) |
 //! | R4   | `Telemetry::emit` calls must pass a lazy closure, never an eagerly built event; runtime-crate span guards must not be held across `collect_until_fits` |
 //! | R5   | every crate root keeps `#![forbid(unsafe_code)]` |
+//! | R6   | liveness confinement: building or mutating static liveness verdict tables (`insert_summary`, `install_verdict`) only inside `leak-pruning` and `lp-liveness` |
+//! | L1   | leak pattern: a static-rooted spine grows (`write_field(new, _, static_ref(..))` + `set_static(.., Some(..))`) and the file never reads a field back |
+//! | L2   | leak pattern: a registry spine inserts but no path ever clears its static (`set_static(.., None)`) — entries can only accumulate |
+//! | L3   | leak pattern: the file names a window/bound yet keeps a growing spine it never clears — the bound is not enforced on the spine |
 //!
-//! Rules R1–R4 skip `#[cfg(test)]` items; R5 is a whole-file property of
-//! crate roots. Findings carry the rule ID and a `file:line` location so CI
-//! output is directly clickable.
+//! Rules R1–R4, R6, and L1–L3 skip `#[cfg(test)]` items; R5 is a
+//! whole-file property of crate roots. L1–L3 are rCanary-style heuristic
+//! *shape* lints: they flag code shaped like the paper's leaking programs,
+//! so the deliberate leak reproductions in `lp-workloads` carry waivers.
+//! Findings carry the rule ID and a `file:line` location so CI output is
+//! directly clickable.
 
 use std::fmt;
 
@@ -132,6 +139,16 @@ const RUNTIME_SPAN_SCOPE: &[&str] = &[
     "crates/lp-check/fixtures/runtime_",
 ];
 
+/// Tokens that build or mutate the static liveness verdict tables (R6).
+/// A wrong `certainly_dead` verdict would poison references the program
+/// still uses, so verdicts may only be constructed by the analyzer
+/// (`lp-liveness`) and installed by the pruning engine (`leak-pruning`);
+/// everywhere else the summary file is read-only input data.
+const R6_TOKENS: &[&str] = &["insert_summary", "install_verdict"];
+
+/// The only crates allowed to construct or install liveness verdicts.
+const LIVENESS_SCOPE: &[&str] = &["crates/leak-pruning/src/", "crates/lp-liveness/src/"];
+
 fn in_prefix_list(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| path.starts_with(p))
 }
@@ -158,6 +175,48 @@ fn prev_nonws(bytes: &[u8], i: usize) -> Option<u8> {
         .rev()
         .copied()
         .find(|b| !b.is_ascii_whitespace())
+}
+
+/// Byte range of the argument list of the call whose name ends at `end`,
+/// if the next non-whitespace byte opens one.
+fn call_args(code: &str, end: usize) -> Option<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let (open, b) = next_nonws(bytes, end)?;
+    if b != b'(' {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (i, &byte) in bytes.iter().enumerate().skip(open) {
+        match byte {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open + 1, i));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether `code[range]` contains `needle` as a whole identifier.
+fn range_has_ident(code: &str, range: (usize, usize), needle: &str) -> bool {
+    let slice = &code[range.0..range.1];
+    let bytes = slice.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = slice[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + needle.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
 }
 
 /// Whether the statement containing the token at `start` is a `let`
@@ -250,7 +309,14 @@ pub fn check_file(path: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
     let code = &scrubbed.code;
     let bytes = code.as_bytes();
 
-    // Identifier scan for R1–R4.
+    // File-level shape facts for the L1–L3 leak-pattern lints.
+    let mut spine_write: Option<usize> = None; // line: write_field(.., static_ref(..))
+    let mut spine_insert = false; // set_static(.., Some(..))
+    let mut clears_static = false; // set_static(.., None)
+    let mut has_read_back = false; // any read_field(..) call
+    let mut window_line: Option<usize> = None; // first window-ish identifier
+
+    // Identifier scan for R1–R4, R6, and the L-lint facts.
     let mut i = 0;
     while i < bytes.len() {
         if !is_ident_byte(bytes[i]) || (i > 0 && is_ident_byte(bytes[i - 1])) {
@@ -322,6 +388,47 @@ pub fn check_file(path: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
                 });
             }
         }
+        if R6_TOKENS.contains(&ident) && !in_prefix_list(path, LIVENESS_SCOPE) {
+            findings.push(Finding {
+                rule: "R6",
+                path: path.to_owned(),
+                line,
+                message: format!(
+                    "`{ident}` mutates the static liveness verdict tables — verdicts are built \
+                     by lp-liveness and installed by leak-pruning; everywhere else the summary \
+                     file is read-only input"
+                ),
+            });
+        }
+        match ident {
+            "write_field" if prev_nonws(bytes, start) == Some(b'.') => {
+                if let Some(args) = call_args(code, i) {
+                    if spine_write.is_none() && range_has_ident(code, args, "static_ref") {
+                        spine_write = Some(line);
+                    }
+                }
+            }
+            "set_static" if prev_nonws(bytes, start) == Some(b'.') => {
+                if let Some(args) = call_args(code, i) {
+                    if range_has_ident(code, args, "Some") {
+                        spine_insert = true;
+                    }
+                    if range_has_ident(code, args, "None") {
+                        clears_static = true;
+                    }
+                }
+            }
+            "read_field" if prev_nonws(bytes, start) == Some(b'.') => {
+                if matches!(next_nonws(bytes, i), Some((_, b'('))) {
+                    has_read_back = true;
+                }
+            }
+            _ => {
+                if window_line.is_none() && ident.to_ascii_lowercase().contains("window") {
+                    window_line = Some(line);
+                }
+            }
+        }
         if (ident == "unwrap" || ident == "expect")
             && in_prefix_list(path, NO_PANIC_SCOPE)
             && matches!(next_nonws(bytes, i), Some((_, b'(')))
@@ -371,6 +478,46 @@ pub fn check_file(path: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
                             .to_owned(),
                     });
                 }
+            }
+        }
+    }
+
+    // L1–L3: rCanary-style leak-pattern lints over the file-level shape
+    // facts. The trigger is the spine-push idiom — linking the old head
+    // into a new object and re-rooting the static at it — which is how
+    // every unbounded structure in the runtime's object model grows.
+    if let (Some(line), true) = (spine_write, spine_insert) {
+        if !has_read_back {
+            findings.push(Finding {
+                rule: "L1",
+                path: path.to_owned(),
+                line,
+                message: "static-rooted spine grows but this file never calls read_field — \
+                          unbounded growth with no read-back is the classic leak shape"
+                    .to_owned(),
+            });
+        } else if !clears_static {
+            findings.push(Finding {
+                rule: "L2",
+                path: path.to_owned(),
+                line,
+                message: "registry spine inserts but no path ever clears its static \
+                          (`set_static(.., None)`) — entries can only accumulate"
+                    .to_owned(),
+            });
+        }
+        if !clears_static {
+            if let Some(window) = window_line {
+                findings.push(Finding {
+                    rule: "L3",
+                    path: path.to_owned(),
+                    line,
+                    message: format!(
+                        "a window/bound is named on line {window} but the spine rooted here \
+                         keeps growing and is never cleared — the bound is not enforced on \
+                         the spine"
+                    ),
+                });
             }
         }
     }
@@ -539,6 +686,83 @@ mod tests {
     fn emit_definitions_are_not_calls() {
         let src = "impl Telemetry { pub fn emit<F: FnOnce() -> Event>(&self, f: F) {} }";
         assert_eq!(check("crates/lp-telemetry/src/x.rs", src), Vec::new());
+    }
+
+    #[test]
+    fn liveness_table_mutation_outside_scope_is_r6() {
+        let src = "fn f(s: &mut LivenessSummaries, e: SummaryEntry) { s.insert_summary(e); }";
+        let found = check("crates/lp-server/src/x.rs", src);
+        assert_eq!(rules(&found), vec!["R6"]);
+        assert!(found[0].message.contains("read-only"));
+        let install = "fn g(v: &mut StaticVerdicts) { v.install_verdict(c, 0, 1); }";
+        assert_eq!(
+            rules(&check("crates/lp-workloads/src/x.rs", install)),
+            vec!["R6"]
+        );
+        // The analyzer builds tables and the engine installs them.
+        assert_eq!(check("crates/lp-liveness/src/x.rs", src), Vec::new());
+        assert_eq!(check("crates/leak-pruning/src/x.rs", install), Vec::new());
+    }
+
+    #[test]
+    fn spine_growth_without_read_back_is_l1() {
+        let src = "fn grow(rt: &mut Runtime, head: StaticId, cls: ClassId) {\n\
+                   let n = rt.alloc(cls, &AllocSpec::with_refs(1))?;\n\
+                   rt.write_field(n, 0, rt.static_ref(head));\n\
+                   rt.set_static(head, Some(n));\n}";
+        let found = check("crates/lp-server/src/x.rs", src);
+        assert_eq!(rules(&found), vec!["L1"]);
+        assert_eq!(found[0].line, 3, "flagged at the spine write");
+    }
+
+    #[test]
+    fn spine_with_read_back_but_no_clear_is_l2() {
+        let src = "fn grow(rt: &mut Runtime, head: StaticId, cls: ClassId) {\n\
+                   let n = rt.alloc(cls, &AllocSpec::with_refs(1))?;\n\
+                   rt.write_field(n, 0, rt.static_ref(head));\n\
+                   rt.set_static(head, Some(n));\n\
+                   let _ = rt.read_field(n, 0);\n}";
+        assert_eq!(rules(&check("crates/lp-server/src/x.rs", src)), vec!["L2"]);
+    }
+
+    #[test]
+    fn spine_with_a_clear_path_is_clean() {
+        let src = "fn grow(rt: &mut Runtime, head: StaticId, cls: ClassId) {\n\
+                   let n = rt.alloc(cls, &AllocSpec::with_refs(1))?;\n\
+                   rt.write_field(n, 0, rt.static_ref(head));\n\
+                   rt.set_static(head, Some(n));\n\
+                   let _ = rt.read_field(n, 0);\n}\n\
+                   fn reset(rt: &mut Runtime, head: StaticId) { rt.set_static(head, None); }";
+        assert_eq!(check("crates/lp-server/src/x.rs", src), Vec::new());
+    }
+
+    #[test]
+    fn unenforced_window_bound_is_l3() {
+        let src = "const WINDOW: usize = 8;\n\
+                   fn grow(rt: &mut Runtime, head: StaticId, cls: ClassId, i: usize) {\n\
+                   let n = rt.alloc(cls, &AllocSpec::with_refs(1))?;\n\
+                   rt.write_field(n, 0, rt.static_ref(head));\n\
+                   rt.set_static(head, Some(n));\n\
+                   let _ = rt.read_field(n, i % WINDOW);\n}";
+        assert_eq!(
+            rules(&check("crates/lp-server/src/x.rs", src)),
+            vec!["L2", "L3"]
+        );
+        // A plain fixed-size table write without a growing spine is fine.
+        let table = "const WINDOW: usize = 8;\n\
+                     fn put(rt: &mut Runtime, t: Handle, i: usize, v: Option<Handle>) {\n\
+                     rt.write_field(t, i % WINDOW, v);\n\
+                     let _ = rt.read_field(t, i % WINDOW);\n}";
+        assert_eq!(check("crates/lp-server/src/x.rs", table), Vec::new());
+    }
+
+    #[test]
+    fn leak_shapes_in_test_code_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+                   fn grow(rt: &mut Runtime, head: StaticId, n: Handle) {\n\
+                   rt.write_field(n, 0, rt.static_ref(head));\n\
+                   rt.set_static(head, Some(n));\n}\n}";
+        assert_eq!(check("crates/lp-server/src/x.rs", src), Vec::new());
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::rules::Finding;
 /// One entry of `lp-check.toml`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Waiver {
-    /// Rule ID the waiver applies to (`"R1"` … `"R5"`).
+    /// Rule ID the waiver applies to (`"R1"` … `"R6"`, `"L1"` … `"L3"`).
     pub rule: String,
     /// Workspace-relative path, forward slashes.
     pub path: String,
@@ -46,7 +46,7 @@ impl fmt::Display for WaiverError {
     }
 }
 
-const RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5"];
+const RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6", "L1", "L2", "L3"];
 
 /// Parses the waiver file contents.
 pub fn parse(text: &str) -> Result<Vec<Waiver>, WaiverError> {

@@ -200,34 +200,51 @@ fn render_recent(snapshot: &HeapSnapshot, recent: &[TraceLine]) -> String {
         }
         out.push_str(&table.render());
     }
-    let last_select = recent
-        .iter()
-        .rev()
-        .find(|line| matches!(line.event, Event::SelectionEdge { .. }));
+    let last_select = recent.iter().rev().find(|line| {
+        matches!(
+            line.event,
+            Event::SelectionEdge { .. } | Event::SelectionStatic { .. }
+        )
+    });
     if let Some(line) = last_select {
-        if let Event::SelectionEdge {
-            gc_index,
-            src,
-            tgt,
-            bytes,
-            runners_up,
-        } = &line.event
-        {
-            out.push_str(&format!(
-                "last SELECT (gc #{}): chose {} -> {} ({})\n",
+        // `SelectionStatic` is the hybrid policy's variant of the same
+        // decision; the winning-signal annotation is the only difference.
+        let (gc_index, src, tgt, bytes, signal, runners_up) = match &line.event {
+            Event::SelectionEdge {
                 gc_index,
-                snapshot.class_name(*src),
-                snapshot.class_name(*tgt),
-                fmt_bytes(*bytes),
+                src,
+                tgt,
+                bytes,
+                runners_up,
+            } => (gc_index, src, tgt, bytes, None, runners_up),
+            Event::SelectionStatic {
+                gc_index,
+                src,
+                tgt,
+                bytes,
+                signal,
+                runners_up,
+            } => (gc_index, src, tgt, bytes, Some(*signal), runners_up),
+            _ => unreachable!("filtered to selection events above"),
+        };
+        out.push_str(&format!(
+            "last SELECT (gc #{}): chose {} -> {} ({}){}\n",
+            gc_index,
+            snapshot.class_name(*src),
+            snapshot.class_name(*tgt),
+            fmt_bytes(*bytes),
+            match signal {
+                Some(signal) => format!(" [signal: {signal}]"),
+                None => String::new(),
+            },
+        ));
+        for runner in runners_up.iter().take(3) {
+            out.push_str(&format!(
+                "  beat {} -> {} ({})\n",
+                snapshot.class_name(runner.src),
+                snapshot.class_name(runner.tgt),
+                fmt_bytes(runner.bytes),
             ));
-            for runner in runners_up.iter().take(3) {
-                out.push_str(&format!(
-                    "  beat {} -> {} ({})\n",
-                    snapshot.class_name(runner.src),
-                    snapshot.class_name(runner.tgt),
-                    fmt_bytes(runner.bytes),
-                ));
-            }
         }
     }
     out

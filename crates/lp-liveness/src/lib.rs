@@ -1,0 +1,1121 @@
+//! Static heap-liveness analyzer for the workload model.
+//!
+//! The workloads in `lp-workloads` drive the managed runtime exclusively
+//! through a small, explicit API (`rt.register_class`, `rt.alloc`,
+//! `rt.write_field`, `rt.read_field`, `rt.add_static`, `rt.set_static`,
+//! `rt.static_ref`). That narrow surface makes a useful *static* liveness
+//! analysis tractable: this crate scans the workload sources, recovers which
+//! `(class, field)` pairs are ever written and ever read back, and emits a
+//! [`LivenessSummaries`] table whose `certainly_dead` verdicts feed the
+//! pruning engine's hybrid SELECT policy (see the `leak-pruning` crate).
+//!
+//! # Approach
+//!
+//! Sources are scrubbed with `lp-check`'s lexer (comments and literal bodies
+//! blanked, `#[cfg(test)]` ranges removed), tokenized, and scanned with a
+//! flow-insensitive abstract interpreter over a tiny binding domain:
+//!
+//! * `Class(name)` — the result of `rt.register_class("name")`;
+//! * `Handle(name)` — the result of `rt.alloc(class, ..)` or of
+//!   `rt.static_ref(slot)` where the slot provably holds one class;
+//! * `Static(id)` — the result of `rt.add_static()`;
+//! * `Opaque` — anything else.
+//!
+//! Locals bind in their enclosing brace scope; `self.field` bindings bind in
+//! their enclosing `impl` block. Everything the scanner cannot resolve
+//! degrades toward **Live** via taint, never toward Dead:
+//!
+//! * a read whose *field index* is not a literal/const taints the receiver's
+//!   class (all its fields are considered read);
+//! * a read whose *receiver* is not resolvable taints the whole file (every
+//!   class the file touches is considered read);
+//! * a class registered from more than one file is considered read (handles
+//!   may flow between files, which the per-file scan cannot track).
+//!
+//! A `(class, field)` pair with at least one resolvable write, no observed
+//! read, and no taint is `certainly_dead`: the program never loads that
+//! field outside test code, so references stored there can never be
+//! followed. Unresolvable *writes* are simply dropped — missing a write
+//! cannot create a spurious Dead verdict, only a missing entry.
+//!
+//! The summary file is deterministic (sorted by `(class, field)`) and is
+//! regenerated / diffed in CI by the `lp-liveness` binary (`--check`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use leak_pruning::{LivenessSummaries, LivenessVerdict, SummaryEntry};
+use lp_check::Scrubbed;
+
+/// Result of analyzing a set of workload sources.
+pub struct Analysis {
+    /// Per-(class, field) access summaries with liveness verdicts, sorted.
+    pub summaries: LivenessSummaries,
+    /// Files that contained a read with an unresolvable receiver; every
+    /// class such a file touches is forced Live.
+    pub tainted_files: Vec<String>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    Str(String),
+    Punct(char),
+}
+
+#[derive(Clone, Debug)]
+struct Token {
+    tok: Tok,
+    off: usize,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenize scrubbed code. String literal *values* are read back from the
+/// original source at the same offsets, because the scrubber blanks literal
+/// bodies (it preserves byte offsets exactly, so the spans line up).
+fn tokenize(blanked: &str, original: &str) -> Vec<Token> {
+    let bytes = blanked.as_bytes();
+    let orig = original.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+        } else if is_ident_start(b) {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            toks.push(Token {
+                tok: Tok::Ident(blanked[start..i].to_string()),
+                off: start,
+            });
+        } else if b.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let digits: String = blanked[start..i].chars().filter(|c| *c != '_').collect();
+            // Strip a type suffix like `u64` / `usize` if present.
+            let numeric: String = digits.chars().take_while(char::is_ascii_digit).collect();
+            let value = numeric.parse::<u64>().unwrap_or(u64::MAX);
+            toks.push(Token {
+                tok: Tok::Int(value),
+                off: start,
+            });
+        } else if b == b'"' {
+            // The scrubber blanks string contents but keeps both quotes, and
+            // blanked contents contain no escapes, so the next quote closes.
+            let start = i;
+            i += 1;
+            while i < bytes.len() && bytes[i] != b'"' {
+                i += 1;
+            }
+            let end = i.min(bytes.len());
+            let value = if end > start + 1 && end <= orig.len() {
+                String::from_utf8_lossy(&orig[start + 1..end]).into_owned()
+            } else {
+                String::new()
+            };
+            toks.push(Token {
+                tok: Tok::Str(value),
+                off: start,
+            });
+            i = end + 1;
+        } else if b.is_ascii() {
+            toks.push(Token {
+                tok: Tok::Punct(b as char),
+                off: i,
+            });
+            i += 1;
+        } else {
+            i += 1; // non-ASCII outside literals/comments: skip defensively
+        }
+    }
+    toks
+}
+
+/// Blank the `#[cfg(test)]` ranges of a scrubbed file with spaces
+/// (preserving newlines so offsets and line numbers stay stable).
+fn blank_test_ranges(scrubbed: &Scrubbed) -> String {
+    let mut out: Vec<u8> = scrubbed.code.bytes().collect();
+    let len = out.len();
+    for &(start, end) in &scrubbed.test_ranges {
+        for slot in out.iter_mut().take(end.min(len)).skip(start) {
+            if *slot != b'\n' {
+                *slot = b' ';
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+// ---------------------------------------------------------------------------
+// Per-file scanner
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Binding {
+    /// A class id from `rt.register_class("name")`.
+    Class(String),
+    /// An object handle whose class is known.
+    Handle(String),
+    /// A static slot id from `rt.add_static()` (keyed by token offset).
+    Static(usize),
+    /// Anything the analysis cannot resolve.
+    Opaque,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum SlotState {
+    Holds(String),
+    Conflicted,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ScopeKind {
+    Plain,
+    Impl,
+    Fn(String),
+}
+
+struct Scope {
+    kind: ScopeKind,
+    bindings: HashMap<String, Binding>,
+}
+
+/// Everything the scanner learned about one file.
+#[derive(Default)]
+struct FileFacts {
+    registered: BTreeSet<String>,
+    /// (class, field, phase) per resolvable write site.
+    writes: Vec<(String, usize, String)>,
+    /// (class, field) per resolvable read site.
+    reads: Vec<(String, usize)>,
+    /// Classes read through an unresolvable field index.
+    class_taint: BTreeSet<String>,
+    /// A read had an unresolvable receiver: treat every class this file
+    /// touches as read.
+    file_taint: bool,
+}
+
+impl FileFacts {
+    fn touched_classes(&self) -> BTreeSet<String> {
+        let mut all = self.registered.clone();
+        all.extend(self.writes.iter().map(|(c, _, _)| c.clone()));
+        all.extend(self.reads.iter().map(|(c, _)| c.clone()));
+        all.extend(self.class_taint.iter().cloned());
+        all
+    }
+}
+
+struct Scanner<'a> {
+    toks: &'a [Token],
+    consts: HashMap<String, u64>,
+    scopes: Vec<Scope>,
+    pending: Option<ScopeKind>,
+    slots: HashMap<usize, SlotState>,
+    facts: FileFacts,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(toks: &'a [Token]) -> Self {
+        Scanner {
+            toks,
+            consts: HashMap::new(),
+            scopes: vec![Scope {
+                kind: ScopeKind::Plain,
+                bindings: HashMap::new(),
+            }],
+            pending: None,
+            slots: HashMap::new(),
+            facts: FileFacts::default(),
+        }
+    }
+
+    fn ident_at(&self, i: usize) -> Option<&str> {
+        match self.toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn punct_at(&self, i: usize, c: char) -> bool {
+        matches!(self.toks.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+    }
+
+    fn lookup(&self, name: &str) -> Binding {
+        for scope in self.scopes.iter().rev() {
+            if let Some(b) = scope.bindings.get(name) {
+                return b.clone();
+            }
+        }
+        Binding::Opaque
+    }
+
+    fn bind_local(&mut self, name: &str, binding: Binding) {
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.bindings.insert(name.to_string(), binding);
+        }
+    }
+
+    /// Bind `self.field` into the nearest enclosing `impl` scope so two impl
+    /// blocks with the same field name do not collide.
+    fn bind_self(&mut self, field: &str, binding: Binding) {
+        let key = format!("self.{field}");
+        for scope in self.scopes.iter_mut().rev() {
+            if scope.kind == ScopeKind::Impl {
+                scope.bindings.insert(key, binding);
+                return;
+            }
+        }
+        if let Some(scope) = self.scopes.first_mut() {
+            scope.bindings.insert(key, binding);
+        }
+    }
+
+    fn current_fn(&self) -> String {
+        for scope in self.scopes.iter().rev() {
+            if let ScopeKind::Fn(name) = &scope.kind {
+                return name.clone();
+            }
+        }
+        "top".to_string()
+    }
+
+    /// Find the matching close bracket for the open bracket at `open`,
+    /// tracking `()[]{}` depth. Returns the index of the closer.
+    fn matching_close(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        for (i, t) in self.toks.iter().enumerate().skip(open) {
+            if let Tok::Punct(p) = t.tok {
+                match p {
+                    '(' | '[' | '{' => depth += 1,
+                    ')' | ']' | '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(i);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+
+    /// Split the token range `[start, end)` at top-level commas.
+    fn split_args(&self, start: usize, end: usize) -> Vec<(usize, usize)> {
+        let mut args = Vec::new();
+        let mut depth = 0i32;
+        let mut item_start = start;
+        for i in start..end {
+            if let Tok::Punct(p) = self.toks[i].tok {
+                match p {
+                    '(' | '[' | '{' => depth += 1,
+                    ')' | ']' | '}' => depth -= 1,
+                    ',' if depth == 0 => {
+                        args.push((item_start, i));
+                        item_start = i + 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if item_start < end {
+            args.push((item_start, end));
+        }
+        args
+    }
+
+    /// Resolve a field-index expression: an integer literal or a module
+    /// const. Anything else is unresolved.
+    fn resolve_index(&self, start: usize, end: usize) -> Option<usize> {
+        let mut e = end;
+        while e > start && self.punct_at(e - 1, '?') {
+            e -= 1;
+        }
+        if e != start + 1 {
+            return None;
+        }
+        match &self.toks[start].tok {
+            Tok::Int(v) => usize::try_from(*v).ok(),
+            Tok::Ident(name) => self
+                .consts
+                .get(name)
+                .copied()
+                .and_then(|v| usize::try_from(v).ok()),
+            _ => None,
+        }
+    }
+
+    /// Check that `[start, end)` is a chain of value-preserving suffixes:
+    /// `.expect(..)`, `.unwrap()`, `.clone()`, or a trailing `?`.
+    fn benign_suffixes(&self, mut start: usize, end: usize) -> bool {
+        loop {
+            if start == end {
+                return true;
+            }
+            if self.punct_at(start, '?') {
+                start += 1;
+                continue;
+            }
+            if self.punct_at(start, '.') {
+                if let Some(m) = self.ident_at(start + 1) {
+                    if matches!(m, "expect" | "unwrap" | "clone") && self.punct_at(start + 2, '(') {
+                        if let Some(close) = self.matching_close(start + 2) {
+                            if close < end {
+                                start = close + 1;
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+            return false;
+        }
+    }
+
+    /// Resolve the value of an expression in `[start, end)`.
+    fn resolve(&self, mut start: usize, mut end: usize) -> Binding {
+        // Strip leading borrows and `mut`.
+        while start < end && (self.punct_at(start, '&') || self.ident_at(start) == Some("mut")) {
+            start += 1;
+        }
+        while end > start && self.punct_at(end - 1, '?') {
+            end -= 1;
+        }
+        if start >= end {
+            return Binding::Opaque;
+        }
+        match &self.toks[start].tok {
+            Tok::Ident(head) if head == "Some" && self.punct_at(start + 1, '(') => {
+                match self.matching_close(start + 1) {
+                    Some(close) if close == end - 1 => self.resolve(start + 2, close),
+                    _ => Binding::Opaque,
+                }
+            }
+            Tok::Ident(head) if head == "rt" && self.punct_at(start + 1, '.') => {
+                let (Some(method), true) =
+                    (self.ident_at(start + 2), self.punct_at(start + 3, '('))
+                else {
+                    return Binding::Opaque;
+                };
+                let Some(close) = self.matching_close(start + 3) else {
+                    return Binding::Opaque;
+                };
+                if !self.benign_suffixes(close + 1, end) {
+                    return Binding::Opaque;
+                }
+                let args = self.split_args(start + 4, close);
+                match method {
+                    "register_class" => match args.first() {
+                        Some(&(a, b)) if b == a + 1 => match &self.toks[a].tok {
+                            Tok::Str(name) => Binding::Class(name.clone()),
+                            _ => Binding::Opaque,
+                        },
+                        _ => Binding::Opaque,
+                    },
+                    "add_static" => Binding::Static(self.toks[start + 2].off),
+                    "alloc" => match args.first().map(|&(a, b)| self.resolve(a, b)) {
+                        Some(Binding::Class(c)) => Binding::Handle(c),
+                        _ => Binding::Opaque,
+                    },
+                    "static_ref" => match args.first().map(|&(a, b)| self.resolve(a, b)) {
+                        Some(Binding::Static(id)) => match self.slots.get(&id) {
+                            Some(SlotState::Holds(c)) => Binding::Handle(c.clone()),
+                            _ => Binding::Opaque,
+                        },
+                        _ => Binding::Opaque,
+                    },
+                    _ => Binding::Opaque,
+                }
+            }
+            Tok::Ident(head) if head == "self" && self.punct_at(start + 1, '.') => {
+                match self.ident_at(start + 2) {
+                    Some(field) if self.benign_suffixes(start + 3, end) => {
+                        self.lookup(&format!("self.{field}"))
+                    }
+                    _ => Binding::Opaque,
+                }
+            }
+            Tok::Ident(name) => {
+                if self.benign_suffixes(start + 1, end) {
+                    self.lookup(name)
+                } else {
+                    Binding::Opaque
+                }
+            }
+            _ => Binding::Opaque,
+        }
+    }
+
+    /// Find the end of a right-hand side starting at `start`: the first
+    /// top-level `;`, `{`, or `else`.
+    fn rhs_end(&self, start: usize) -> usize {
+        let mut depth = 0i32;
+        for i in start..self.toks.len() {
+            match &self.toks[i].tok {
+                Tok::Punct(p) => match p {
+                    '(' | '[' => depth += 1,
+                    ')' | ']' => depth -= 1,
+                    '{' if depth == 0 => return i,
+                    '{' => depth += 1,
+                    '}' => depth -= 1,
+                    ';' if depth == 0 => return i,
+                    _ => {}
+                },
+                Tok::Ident(s) if s == "else" && depth == 0 => return i,
+                _ => {}
+            }
+        }
+        self.toks.len()
+    }
+
+    /// `const NAME: TYPE = <int>;` at any nesting level.
+    fn scan_const(&mut self, i: usize) {
+        let Some(name) = self.ident_at(i + 1) else {
+            return;
+        };
+        if !self.punct_at(i + 2, ':') {
+            return;
+        }
+        // Find the `=` at bracket depth 0.
+        let mut depth = 0i32;
+        for j in i + 3..self.toks.len() {
+            if let Tok::Punct(p) = &self.toks[j].tok {
+                match p {
+                    '(' | '[' | '{' => depth += 1,
+                    ')' | ']' | '}' => depth -= 1,
+                    ';' if depth == 0 => return,
+                    '=' if depth == 0 => {
+                        if let (Some(Tok::Int(v)), true) = (
+                            self.toks.get(j + 1).map(|t| t.tok.clone()),
+                            self.punct_at(j + 2, ';'),
+                        ) {
+                            self.consts.insert(name.to_string(), v);
+                        }
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// `let` patterns: `let [mut] x = ..`, `let Some(x) = ..` (also the
+    /// `if let` / `while let` forms, which reach here via the `let` token),
+    /// and tuple destructures `let (Some(a), b, ..) = (ea, eb, ..)`.
+    fn scan_let(&mut self, i: usize) {
+        let mut j = i + 1;
+        if self.ident_at(j) == Some("mut") {
+            j += 1;
+        }
+        if self.ident_at(j) == Some("Some") && self.punct_at(j + 1, '(') {
+            let (Some(name), true) = (self.ident_at(j + 2), self.punct_at(j + 3, ')')) else {
+                return;
+            };
+            // Owned copy: `name` borrows `self.toks` and `bind_local` needs
+            // `&mut self`.
+            let name = name.to_string();
+            if !self.punct_at(j + 4, '=') || self.punct_at(j + 5, '=') {
+                return;
+            }
+            let end = self.rhs_end(j + 5);
+            let value = self.resolve(j + 5, end);
+            self.bind_local(&name, value);
+            return;
+        }
+        if self.punct_at(j, '(') {
+            self.scan_let_tuple(j);
+            return;
+        }
+        let Some(name) = self.ident_at(j) else {
+            return;
+        };
+        let name = name.to_string();
+        let mut k = j + 1;
+        if self.punct_at(k, ':') {
+            // Skip a type ascription: find the `=` at bracket depth 0.
+            let mut depth = 0i32;
+            let mut found = None;
+            for m in k + 1..self.toks.len() {
+                if let Tok::Punct(p) = &self.toks[m].tok {
+                    match p {
+                        '(' | '[' | '{' => depth += 1,
+                        ')' | ']' | '}' => depth -= 1,
+                        ';' if depth == 0 => return,
+                        '=' if depth == 0 => {
+                            found = Some(m);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            match found {
+                Some(m) => k = m,
+                None => return,
+            }
+        }
+        if !self.punct_at(k, '=') || self.punct_at(k + 1, '=') {
+            return;
+        }
+        let end = self.rhs_end(k + 1);
+        let value = self.resolve(k + 1, end);
+        self.bind_local(&name, value);
+    }
+
+    /// `let (P1, P2, ..) = (E1, E2, ..)` — bind pairwise where each pattern
+    /// is `IDENT` or `Some(IDENT)`.
+    fn scan_let_tuple(&mut self, open: usize) {
+        let Some(close) = self.matching_close(open) else {
+            return;
+        };
+        if !self.punct_at(close + 1, '=') || !self.punct_at(close + 2, '(') {
+            return;
+        }
+        let Some(rhs_close) = self.matching_close(close + 2) else {
+            return;
+        };
+        let pats = self.split_args(open + 1, close);
+        let exprs = self.split_args(close + 3, rhs_close);
+        if pats.len() != exprs.len() {
+            return;
+        }
+        let mut bindings = Vec::new();
+        for (&(ps, pe), &(es, ee)) in pats.iter().zip(exprs.iter()) {
+            let name = if self.ident_at(ps) == Some("Some")
+                && self.punct_at(ps + 1, '(')
+                && self.punct_at(ps + 3, ')')
+                && pe == ps + 4
+            {
+                self.ident_at(ps + 2)
+            } else if pe == ps + 1 {
+                self.ident_at(ps)
+            } else {
+                None
+            };
+            if let Some(name) = name {
+                if name != "_" {
+                    bindings.push((name.to_string(), self.resolve(es, ee)));
+                }
+            }
+        }
+        for (name, value) in bindings {
+            self.bind_local(&name, value);
+        }
+    }
+
+    /// `self.field = <expr>;` — an impl-scoped binding.
+    fn scan_self_assign(&mut self, i: usize) {
+        let Some(field) = self.ident_at(i + 2) else {
+            return;
+        };
+        if !self.punct_at(i + 3, '=') || self.punct_at(i + 4, '=') {
+            return;
+        }
+        // Exclude compound assignment (`+=`, `>=` comparisons etc. never
+        // parse here because their first char is not `=`).
+        let field = field.to_string();
+        let end = self.rhs_end(i + 4);
+        let value = self.resolve(i + 4, end);
+        self.bind_self(&field, value);
+    }
+
+    /// Record a tracked `rt.<method>(..)` call at token `i` (the `rt`).
+    fn scan_rt_call(&mut self, i: usize) {
+        let (Some(method), true) = (self.ident_at(i + 2), self.punct_at(i + 3, '(')) else {
+            return;
+        };
+        let method = method.to_string();
+        let Some(close) = self.matching_close(i + 3) else {
+            return;
+        };
+        let args = self.split_args(i + 4, close);
+        match method.as_str() {
+            "register_class" => {
+                if let Some(&(a, b)) = args.first() {
+                    if b == a + 1 {
+                        if let Tok::Str(name) = &self.toks[a].tok {
+                            self.facts.registered.insert(name.clone());
+                        }
+                    }
+                }
+            }
+            "read_field" => {
+                if args.len() < 2 {
+                    return;
+                }
+                let recv = self.resolve(args[0].0, args[0].1);
+                let idx = self.resolve_index(args[1].0, args[1].1);
+                match (recv, idx) {
+                    (Binding::Handle(c), Some(f)) => self.facts.reads.push((c, f)),
+                    (Binding::Handle(c), None) => {
+                        self.facts.class_taint.insert(c);
+                    }
+                    _ => self.facts.file_taint = true,
+                }
+            }
+            "write_field" => {
+                if args.len() < 2 {
+                    return;
+                }
+                let recv = self.resolve(args[0].0, args[0].1);
+                let idx = self.resolve_index(args[1].0, args[1].1);
+                if let (Binding::Handle(c), Some(f)) = (recv, idx) {
+                    let phase = self.current_fn();
+                    self.facts.writes.push((c, f, phase));
+                }
+                // An unresolvable write is dropped: it can lose an entry but
+                // never manufacture a Dead verdict.
+            }
+            "set_static" => {
+                if args.len() < 2 {
+                    return;
+                }
+                let slot = self.resolve(args[0].0, args[0].1);
+                let value = self.resolve(args[1].0, args[1].1);
+                if let Binding::Static(id) = slot {
+                    let next = match (self.slots.get(&id), value) {
+                        (None, Binding::Handle(c)) => SlotState::Holds(c),
+                        (Some(SlotState::Holds(prev)), Binding::Handle(c)) if *prev == c => {
+                            SlotState::Holds(c)
+                        }
+                        _ => SlotState::Conflicted,
+                    };
+                    self.slots.insert(id, next);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn run(mut self) -> FileFacts {
+        let mut i = 0;
+        while i < self.toks.len() {
+            match &self.toks[i].tok {
+                Tok::Punct('{') => {
+                    let kind = self.pending.take().unwrap_or(ScopeKind::Plain);
+                    self.scopes.push(Scope {
+                        kind,
+                        bindings: HashMap::new(),
+                    });
+                }
+                Tok::Punct('}') if self.scopes.len() > 1 => {
+                    self.scopes.pop();
+                }
+                Tok::Punct(';') => {
+                    self.pending = None;
+                }
+                Tok::Ident(s) => match s.as_str() {
+                    // `impl` in return position (`-> impl Iterator`) must not
+                    // steal the pending `fn` scope.
+                    "impl" if self.pending.is_none() => {
+                        self.pending = Some(ScopeKind::Impl);
+                    }
+                    "fn" => {
+                        if let Some(name) = self.ident_at(i + 1) {
+                            self.pending = Some(ScopeKind::Fn(name.to_string()));
+                        }
+                    }
+                    "const" => self.scan_const(i),
+                    "let" => self.scan_let(i),
+                    "self" if self.punct_at(i + 1, '.') => {
+                        // Either `self.field = ..;` or part of an expression;
+                        // scan_self_assign checks the shape itself.
+                        self.scan_self_assign(i);
+                    }
+                    "rt" if self.punct_at(i + 1, '.') => self.scan_rt_call(i),
+                    _ => {}
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+        self.facts
+    }
+}
+
+fn scan_file(source: &str) -> FileFacts {
+    let scrubbed = Scrubbed::new(source);
+    let blanked = blank_test_ranges(&scrubbed);
+    let toks = tokenize(&blanked, source);
+    Scanner::new(&toks).run()
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// Analyze a set of `(file name, source)` pairs and compute liveness
+/// verdicts. File order affects only `last_write_phase` tie-breaking, so
+/// callers should pass files in a deterministic (sorted) order.
+pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
+    let mut registered_in: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut writes: BTreeMap<(String, usize), (u64, String)> = BTreeMap::new();
+    let mut reads: BTreeMap<(String, usize), u64> = BTreeMap::new();
+    let mut live_classes: BTreeSet<String> = BTreeSet::new();
+    let mut tainted_files = Vec::new();
+
+    for (name, source) in files {
+        let facts = scan_file(source);
+        for class in &facts.registered {
+            registered_in
+                .entry(class.clone())
+                .or_default()
+                .insert(name.clone());
+        }
+        if facts.file_taint {
+            live_classes.extend(facts.touched_classes());
+            tainted_files.push(name.clone());
+        }
+        live_classes.extend(facts.class_taint.iter().cloned());
+        for (class, field, phase) in facts.writes {
+            let entry = writes.entry((class, field)).or_insert((0, String::new()));
+            entry.0 += 1;
+            entry.1 = phase;
+        }
+        for (class, field) in facts.reads {
+            *reads.entry((class, field)).or_insert(0) += 1;
+        }
+    }
+    // A class registered from more than one file may leak handles across
+    // files, which the per-file scan cannot follow: force it Live.
+    for (class, files) in &registered_in {
+        if files.len() > 1 {
+            live_classes.insert(class.clone());
+        }
+    }
+
+    let mut summaries = LivenessSummaries::new();
+    for ((class, field), (write_count, phase)) in writes {
+        let read_count = reads.get(&(class.clone(), field)).copied().unwrap_or(0);
+        let verdict = if read_count > 0 || live_classes.contains(&class) {
+            LivenessVerdict::Live
+        } else {
+            LivenessVerdict::CertainlyDead
+        };
+        summaries.insert_summary(SummaryEntry {
+            class,
+            field,
+            writes: write_count,
+            reads: read_count,
+            last_write_phase: phase,
+            verdict,
+        });
+    }
+    Analysis {
+        summaries,
+        tainted_files,
+        files_scanned: files.len(),
+    }
+}
+
+/// Recursively collect `.rs` files under `dir` (sorted by relative path)
+/// and [`analyze_sources`] them.
+pub fn analyze_dir(dir: &Path) -> Result<Analysis, String> {
+    let mut files = Vec::new();
+    collect_sources(dir, dir, &mut files)?;
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(analyze_sources(&files))
+}
+
+fn collect_sources(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_sources(root, &path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source =
+                fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+            out.push((rel, source));
+        }
+    }
+    Ok(())
+}
+
+/// The workload source directory of this workspace, for the generator
+/// binary and tests.
+pub fn workspace_workloads_src() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../lp-workloads/src")
+}
+
+/// Where the generated summary file is checked in.
+pub fn checked_in_summaries_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../lp-workloads/liveness_summaries.jsonl")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze_one(src: &str) -> Analysis {
+        analyze_sources(&[("one.rs".to_string(), src.to_string())])
+    }
+
+    fn verdict_of(a: &Analysis, class: &str, field: usize) -> Option<LivenessVerdict> {
+        a.summaries.lookup(class, field).map(|e| e.verdict)
+    }
+
+    #[test]
+    fn write_never_read_is_certainly_dead_and_read_back_is_live() {
+        let a = analyze_one(
+            r#"
+            fn setup(&mut self, rt: &mut Runtime) {
+                self.reg = Some(rt.register_class("app.Registry"));
+                self.rec = Some(rt.register_class("app.Record"));
+            }
+            fn step(&mut self, rt: &mut Runtime) {
+                let rec = self.rec.expect("setup");
+                let r = rt.alloc(rec, &AllocSpec::new(1, 0, 64)).unwrap();
+                rt.write_field(r, 0, None);
+                let g = rt.alloc(self.reg.expect("setup"), &AllocSpec::with_refs(2)).unwrap();
+                rt.write_field(g, 1, Some(r));
+                let _ = rt.read_field(g, 1);
+            }
+            "#,
+        );
+        assert_eq!(
+            verdict_of(&a, "app.Record", 0),
+            Some(LivenessVerdict::CertainlyDead)
+        );
+        assert_eq!(
+            verdict_of(&a, "app.Registry", 1),
+            Some(LivenessVerdict::Live)
+        );
+        let entry = a.summaries.lookup("app.Record", 0).unwrap();
+        assert_eq!(entry.last_write_phase, "step");
+        assert_eq!((entry.writes, entry.reads), (1, 0));
+    }
+
+    #[test]
+    fn unresolved_index_taints_only_the_receiver_class() {
+        let a = analyze_one(
+            r#"
+            const SLOT: usize = 3;
+            fn step(rt: &mut Runtime, dynamic: usize) {
+                let w = rt.alloc(rt.register_class("app.Window"), &AllocSpec::with_refs(8)).unwrap();
+                rt.write_field(w, SLOT, None);
+                let _ = rt.read_field(w, dynamic);
+                let r = rt.alloc(rt.register_class("app.Record"), &AllocSpec::leaf(16)).unwrap();
+                rt.write_field(r, 0, None);
+            }
+            "#,
+        );
+        assert_eq!(verdict_of(&a, "app.Window", 3), Some(LivenessVerdict::Live));
+        assert_eq!(
+            verdict_of(&a, "app.Record", 0),
+            Some(LivenessVerdict::CertainlyDead)
+        );
+        assert!(a.tainted_files.is_empty());
+    }
+
+    #[test]
+    fn unresolved_receiver_taints_the_whole_file() {
+        let a = analyze_one(
+            r#"
+            fn step(rt: &mut Runtime, chain: &mut Vec<Handle>) {
+                let r = rt.alloc(rt.register_class("app.Record"), &AllocSpec::leaf(16)).unwrap();
+                rt.write_field(r, 0, None);
+                let n = chain.pop().unwrap();
+                let _ = rt.read_field(n, 0);
+            }
+            "#,
+        );
+        assert_eq!(verdict_of(&a, "app.Record", 0), Some(LivenessVerdict::Live));
+        assert_eq!(a.tainted_files, vec!["one.rs".to_string()]);
+    }
+
+    #[test]
+    fn class_registered_in_two_files_is_live() {
+        let writer = r#"
+            fn step(rt: &mut Runtime) {
+                let s = rt.alloc(rt.register_class("app.Shared"), &AllocSpec::leaf(8)).unwrap();
+                rt.write_field(s, 0, None);
+            }
+        "#;
+        let other = r#"
+            fn elsewhere(rt: &mut Runtime) {
+                let _cls = rt.register_class("app.Shared");
+            }
+        "#;
+        let a = analyze_sources(&[
+            ("a.rs".to_string(), writer.to_string()),
+            ("b.rs".to_string(), other.to_string()),
+        ]);
+        assert_eq!(verdict_of(&a, "app.Shared", 0), Some(LivenessVerdict::Live));
+    }
+
+    #[test]
+    fn cfg_test_code_is_ignored() {
+        let a = analyze_one(
+            r#"
+            fn step(rt: &mut Runtime) {
+                let r = rt.alloc(rt.register_class("app.Record"), &AllocSpec::leaf(8)).unwrap();
+                rt.write_field(r, 0, None);
+            }
+            #[cfg(test)]
+            mod tests {
+                fn poke(rt: &mut Runtime, h: Handle) {
+                    let _ = rt.read_field(h, 0);
+                }
+            }
+            "#,
+        );
+        // The test read has an opaque receiver, but test code is blanked, so
+        // the file is not tainted and the verdict stays Dead.
+        assert_eq!(
+            verdict_of(&a, "app.Record", 0),
+            Some(LivenessVerdict::CertainlyDead)
+        );
+        assert!(a.tainted_files.is_empty());
+    }
+
+    #[test]
+    fn static_ref_chain_and_let_else_resolve_like_the_services() {
+        let a = analyze_one(
+            r#"
+            impl A {
+                fn setup(&mut self, rt: &mut Runtime) {
+                    self.rec = Some(rt.register_class("a.Rec"));
+                    let cls = rt.register_class("a.Table");
+                    let root = rt.add_static();
+                    self.table = Some(root);
+                    let table = rt.alloc(cls, &AllocSpec::with_refs(4)).unwrap();
+                    rt.write_field(table, 0, None);
+                    rt.set_static(root, Some(table));
+                }
+                fn handle(&mut self, rt: &mut Runtime, slot: usize) {
+                    let (Some(rec), Some(root)) = (self.rec, self.table) else { return; };
+                    let Some(table) = rt.static_ref(root) else { return; };
+                    let _ = rt.read_field(table, slot);
+                    let r = rt.alloc(rec, &AllocSpec::new(1, 0, 8)).unwrap();
+                    rt.write_field(r, 0, None);
+                }
+            }
+            impl B {
+                fn setup(&mut self, rt: &mut Runtime) {
+                    let cls = rt.register_class("b.Table");
+                    let root = rt.add_static();
+                    self.table = Some(root);
+                    let table = rt.alloc(cls, &AllocSpec::with_refs(4)).unwrap();
+                    rt.write_field(table, 1, None);
+                    rt.set_static(root, Some(table));
+                }
+            }
+            "#,
+        );
+        // A's dynamic-index read of its own table taints a.Table only;
+        // a.Rec.0 is written and never read; b.Table.1 is untouched by A's
+        // read because `self.table` is scoped to each impl block.
+        assert_eq!(verdict_of(&a, "a.Table", 0), Some(LivenessVerdict::Live));
+        assert_eq!(
+            verdict_of(&a, "a.Rec", 0),
+            Some(LivenessVerdict::CertainlyDead)
+        );
+        assert_eq!(
+            verdict_of(&a, "b.Table", 1),
+            Some(LivenessVerdict::CertainlyDead)
+        );
+        assert!(a.tainted_files.is_empty());
+    }
+
+    #[test]
+    fn conflicted_static_slot_makes_static_ref_opaque() {
+        let a = analyze_one(
+            r#"
+            fn step(rt: &mut Runtime) {
+                let root = rt.add_static();
+                let x = rt.alloc(rt.register_class("app.X"), &AllocSpec::with_refs(1)).unwrap();
+                let y = rt.alloc(rt.register_class("app.Y"), &AllocSpec::with_refs(1)).unwrap();
+                rt.set_static(root, Some(x));
+                rt.set_static(root, Some(y));
+                let Some(back) = rt.static_ref(root) else { return; };
+                let _ = rt.read_field(back, 0);
+                rt.write_field(x, 0, None);
+            }
+            "#,
+        );
+        // The slot holds two classes, so the read-back receiver is opaque
+        // and the whole file is tainted: app.X.0 must not be Dead.
+        assert_eq!(verdict_of(&a, "app.X", 0), Some(LivenessVerdict::Live));
+        assert_eq!(a.tainted_files, vec!["one.rs".to_string()]);
+    }
+
+    #[test]
+    fn real_workloads_yield_exactly_the_pinned_dead_set() {
+        let a = analyze_dir(&workspace_workloads_src()).expect("scan lp-workloads");
+        let dead: Vec<(String, usize)> = a
+            .summaries
+            .entries()
+            .iter()
+            .filter(|e| e.verdict == LivenessVerdict::CertainlyDead)
+            .map(|e| (e.class.clone(), e.field))
+            .collect();
+        assert_eq!(
+            dead,
+            vec![
+                ("java.util.LinkedList$Node".to_string(), 0),
+                ("mckoi.DatabaseConnection".to_string(), 0),
+                ("session.Record".to_string(), 0),
+            ]
+        );
+        // The healthy service's table and the windowed service's cache must
+        // never acquire a Dead verdict: both are read back dynamically.
+        assert_eq!(a.summaries.entries_for("session.Table").count(), 0);
+        assert_eq!(a.summaries.entries_for("cache.Window").count(), 0);
+        let order = a
+            .summaries
+            .lookup("spec.jbb.Order", 1)
+            .expect("order entry");
+        assert_eq!(order.verdict, LivenessVerdict::Live);
+    }
+
+    #[test]
+    fn analysis_is_deterministic_and_round_trips_through_jsonl() {
+        let a = analyze_dir(&workspace_workloads_src()).expect("scan lp-workloads");
+        let b = analyze_dir(&workspace_workloads_src()).expect("scan lp-workloads");
+        assert_eq!(a.summaries.to_jsonl(), b.summaries.to_jsonl());
+        let reparsed = LivenessSummaries::from_jsonl(&a.summaries.to_jsonl()).expect("reparse");
+        assert_eq!(reparsed.to_jsonl(), a.summaries.to_jsonl());
+    }
+
+    #[test]
+    fn checked_in_summaries_match_a_fresh_regeneration() {
+        let a = analyze_dir(&workspace_workloads_src()).expect("scan lp-workloads");
+        let on_disk = fs::read_to_string(checked_in_summaries_path())
+            .expect("read checked-in liveness_summaries.jsonl");
+        assert_eq!(
+            a.summaries.to_jsonl(),
+            on_disk,
+            "stale summaries: regenerate with `cargo run -p lp-liveness`"
+        );
+    }
+}

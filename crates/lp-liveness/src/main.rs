@@ -1,0 +1,81 @@
+//! Generator binary for the static liveness summaries.
+//!
+//! Scans `crates/lp-workloads/src` and writes the per-(class, field)
+//! summaries to `crates/lp-workloads/liveness_summaries.jsonl`.
+//!
+//! ```text
+//! cargo run -p lp-liveness            # regenerate the checked-in file
+//! cargo run -p lp-liveness -- --check # diff against the checked-in file
+//! ```
+//!
+//! `--check` exits with status 2 when the checked-in file is stale, which is
+//! how CI keeps the summaries honest.
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::process::ExitCode;
+
+use leak_pruning::LivenessVerdict;
+use lp_liveness::{analyze_dir, checked_in_summaries_path, workspace_workloads_src};
+
+fn main() -> ExitCode {
+    let check = std::env::args().any(|a| a == "--check");
+    let src = workspace_workloads_src();
+    let analysis = match analyze_dir(&src) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lp-liveness: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let dead = analysis
+        .summaries
+        .entries()
+        .iter()
+        .filter(|e| e.verdict == LivenessVerdict::CertainlyDead)
+        .count();
+    eprintln!(
+        "lp-liveness: scanned {} files, {} summaries ({} certainly-dead), {} tainted file(s)",
+        analysis.files_scanned,
+        analysis.summaries.len(),
+        dead,
+        analysis.tainted_files.len()
+    );
+    for file in &analysis.tainted_files {
+        eprintln!("lp-liveness:   taint: {file}");
+    }
+
+    let out_path = checked_in_summaries_path();
+    let fresh = analysis.summaries.to_jsonl();
+    if check {
+        match fs::read_to_string(&out_path) {
+            Ok(on_disk) if on_disk == fresh => {
+                eprintln!("lp-liveness: {} is up to date", out_path.display());
+                ExitCode::SUCCESS
+            }
+            Ok(_) => {
+                eprintln!(
+                    "lp-liveness: {} is STALE; regenerate with `cargo run -p lp-liveness`",
+                    out_path.display()
+                );
+                ExitCode::from(2)
+            }
+            Err(e) => {
+                eprintln!("lp-liveness: read {}: {e}", out_path.display());
+                ExitCode::from(2)
+            }
+        }
+    } else {
+        match fs::write(&out_path, &fresh) {
+            Ok(()) => {
+                eprintln!("lp-liveness: wrote {}", out_path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("lp-liveness: write {}: {e}", out_path.display());
+                ExitCode::from(1)
+            }
+        }
+    }
+}

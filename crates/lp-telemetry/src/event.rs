@@ -138,6 +138,26 @@ pub enum Event {
         /// The staleness level selected for pruning.
         level: u8,
     },
+    /// A SELECT decision whose chosen edge was backed by a static liveness
+    /// verdict. Emitted *instead of* [`Event::SelectionEdge`] when the
+    /// hybrid policy's static signal participated, so purely-dynamic traces
+    /// keep their original shape.
+    SelectionStatic {
+        /// Collection index of the selecting collection.
+        gc_index: u64,
+        /// Source class index of the chosen edge.
+        src: u32,
+        /// Target class index of the chosen edge.
+        tgt: u32,
+        /// Bytes attributed to the chosen edge.
+        bytes: u64,
+        /// Which signal made the edge a candidate: `"static"` (the
+        /// certainly-dead verdict alone) or `"both"` (the dynamic
+        /// staleness threshold fired as well).
+        signal: &'static str,
+        /// The next-best edges it beat, in descending byte order.
+        runners_up: Vec<EdgeShare>,
+    },
     /// Per-collection snapshot mirroring the in-process `GcRecord`.
     Collection {
         /// 1-based collection index.
@@ -414,6 +434,7 @@ impl Event {
             Event::StateTransition { .. } => "state",
             Event::SelectionEdge { .. } => "select_edge",
             Event::SelectionStale { .. } => "select_stale",
+            Event::SelectionStatic { .. } => "select_static",
             Event::Collection { .. } => "collection",
             Event::MarkQuantum { .. } => "mark_quantum",
             Event::MinorCollection { .. } => "minor_collection",
@@ -533,6 +554,31 @@ impl TraceLine {
             Event::SelectionStale { gc_index, level } => {
                 field("gc", JsonValue::from_u64(*gc_index));
                 field("level", JsonValue::from_u64(u64::from(*level)));
+            }
+            Event::SelectionStatic {
+                gc_index,
+                src,
+                tgt,
+                bytes,
+                signal,
+                runners_up,
+            } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+                field("src", JsonValue::from_u64(u64::from(*src)));
+                field("tgt", JsonValue::from_u64(u64::from(*tgt)));
+                field("bytes", JsonValue::from_u64(*bytes));
+                field("signal", JsonValue::Str((*signal).to_owned()));
+                let list = runners_up
+                    .iter()
+                    .map(|r| {
+                        JsonValue::Obj(vec![
+                            ("src".to_owned(), JsonValue::from_u64(u64::from(r.src))),
+                            ("tgt".to_owned(), JsonValue::from_u64(u64::from(r.tgt))),
+                            ("bytes".to_owned(), JsonValue::from_u64(r.bytes)),
+                        ])
+                    })
+                    .collect();
+                field("runners_up", JsonValue::Arr(list));
             }
             Event::Collection {
                 gc_index,
@@ -829,6 +875,26 @@ impl TraceLine {
                 level: u8::try_from(need_u64(&value, "level")?)
                     .map_err(|_| "level out of range".to_owned())?,
             },
+            "select_static" => Event::SelectionStatic {
+                gc_index: need_u64(&value, "gc")?,
+                src: need_u32(&value, "src")?,
+                tgt: need_u32(&value, "tgt")?,
+                bytes: need_u64(&value, "bytes")?,
+                signal: selection_signal_name(need_str(&value, "signal")?)?,
+                runners_up: value
+                    .get("runners_up")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or("missing runners_up")?
+                    .iter()
+                    .map(|r| {
+                        Ok(EdgeShare {
+                            src: need_u32(r, "src")?,
+                            tgt: need_u32(r, "tgt")?,
+                            bytes: need_u64(r, "bytes")?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?,
+            },
             "collection" => Event::Collection {
                 gc_index: need_u64(&value, "gc")?,
                 state: need_str(&value, "state")?.to_owned(),
@@ -1065,6 +1131,17 @@ pub fn span_name(name: &str) -> Result<&'static str, String> {
     }
 }
 
+/// Interns a parsed selection-signal tag (see [`Event::SelectionStatic`]).
+/// Purely-dynamic selections emit [`Event::SelectionEdge`] instead, so the
+/// closed set here is only the two static-backed shapes.
+fn selection_signal_name(name: &str) -> Result<&'static str, String> {
+    match name {
+        "static" => Ok("static"),
+        "both" => Ok("both"),
+        other => Err(format!("unknown selection signal {other:?}")),
+    }
+}
+
 /// Interns a parsed termination tag (see [`Event::RunEnd`]).
 fn termination_name(name: &str) -> Result<&'static str, String> {
     match name {
@@ -1139,6 +1216,26 @@ mod tests {
         round_trip(Event::SelectionStale {
             gc_index: 11,
             level: 7,
+        });
+        round_trip(Event::SelectionStatic {
+            gc_index: 11,
+            src: 1,
+            tgt: 2,
+            bytes: 65_536,
+            signal: "static",
+            runners_up: vec![EdgeShare {
+                src: 3,
+                tgt: 4,
+                bytes: 1024,
+            }],
+        });
+        round_trip(Event::SelectionStatic {
+            gc_index: 12,
+            src: 1,
+            tgt: 2,
+            bytes: 4096,
+            signal: "both",
+            runners_up: Vec::new(),
         });
         round_trip(Event::Collection {
             gc_index: 12,
@@ -1304,6 +1401,12 @@ mod tests {
         .is_err());
         assert!(TraceLine::parse(
             r#"{"seq":1,"ts_ns":2,"ev":"run_end","iterations":5,"termination":"crashed"}"#
+        )
+        .is_err());
+        // A static selection whose signal is outside the interned set
+        // ("stale" selections are SelectionEdge events, not this kind).
+        assert!(TraceLine::parse(
+            r#"{"seq":1,"ts_ns":2,"ev":"select_static","gc":1,"src":1,"tgt":2,"bytes":64,"signal":"stale","runners_up":[]}"#
         )
         .is_err());
         // A span outside the closed taxonomy, and one missing its id.

@@ -85,6 +85,9 @@ struct Metrics {
     iterations_total: u64,
     state_transitions_total: u64,
     selections_total: u64,
+    selections_stale: u64,
+    selections_static: u64,
+    selections_both: u64,
     snapshots_total: u64,
     snapshot_nanos_total: u64,
     verify_passes_total: u64,
@@ -211,7 +214,22 @@ impl Metrics {
             "Heap invariant violations reported by the sanitizer.",
             self.verify_violations_total,
         );
-        // Labeled family: HELP/TYPE once, one sample per label set.
+        // Labeled family: HELP/TYPE once, one sample per label set. Every
+        // label value renders even at zero so scrapes always see the full
+        // signal breakdown.
+        for (signal, count) in [
+            ("stale", self.selections_stale),
+            ("static", self.selections_static),
+            ("both", self.selections_both),
+        ] {
+            out.push(Sample {
+                name: "lp_selection_signal_total",
+                help: "SELECT decisions by winning signal: the dynamic staleness threshold, the static liveness verdict, or both.",
+                kind: MetricKind::Counter,
+                labels: vec![("signal", signal.to_owned())],
+                value: count,
+            });
+        }
         for (phase, nanos) in [
             ("mark", self.mark_nanos_total),
             ("sweep", self.sweep_nanos_total),
@@ -290,6 +308,9 @@ impl Metrics {
         self.iterations_total += other.iterations_total;
         self.state_transitions_total += other.state_transitions_total;
         self.selections_total += other.selections_total;
+        self.selections_stale += other.selections_stale;
+        self.selections_static += other.selections_static;
+        self.selections_both += other.selections_both;
         self.snapshots_total += other.snapshots_total;
         self.snapshot_nanos_total += other.snapshot_nanos_total;
         self.verify_passes_total += other.verify_passes_total;
@@ -480,6 +501,15 @@ impl Sink for PrometheusSink {
             }
             Event::SelectionEdge { .. } | Event::SelectionStale { .. } => {
                 m.selections_total += 1;
+                m.selections_stale += 1;
+            }
+            Event::SelectionStatic { signal, .. } => {
+                m.selections_total += 1;
+                if *signal == "both" {
+                    m.selections_both += 1;
+                } else {
+                    m.selections_static += 1;
+                }
             }
             Event::SnapshotEnd { nanos, .. } => {
                 m.snapshots_total += 1;
@@ -591,6 +621,54 @@ mod tests {
         assert!(text.contains("lp_gc_phase_nanos_total{phase=\"mark\"} 0"));
         assert!(text.contains("# TYPE lp_live_bytes gauge"));
         assert!(text.contains("# TYPE lp_collections_total counter"));
+    }
+
+    #[test]
+    fn selection_signals_render_as_a_labeled_family() {
+        let mut sink = PrometheusSink::new();
+        let view = sink.clone();
+        // Before any selection, every label value renders at zero.
+        let text = view.render();
+        assert!(text.contains("lp_selection_signal_total{signal=\"stale\"} 0"));
+        assert!(text.contains("lp_selection_signal_total{signal=\"static\"} 0"));
+        assert!(text.contains("lp_selection_signal_total{signal=\"both\"} 0"));
+        sink.record(&line(
+            0,
+            Event::SelectionEdge {
+                gc_index: 1,
+                src: 1,
+                tgt: 2,
+                bytes: 64,
+                runners_up: Vec::new(),
+            },
+        ));
+        sink.record(&line(
+            1,
+            Event::SelectionStatic {
+                gc_index: 2,
+                src: 1,
+                tgt: 2,
+                bytes: 64,
+                signal: "static",
+                runners_up: Vec::new(),
+            },
+        ));
+        sink.record(&line(
+            2,
+            Event::SelectionStatic {
+                gc_index: 3,
+                src: 1,
+                tgt: 2,
+                bytes: 64,
+                signal: "both",
+                runners_up: Vec::new(),
+            },
+        ));
+        let text = view.render();
+        assert!(text.contains("lp_selections_total 3"), "{text}");
+        assert!(text.contains("lp_selection_signal_total{signal=\"stale\"} 1"));
+        assert!(text.contains("lp_selection_signal_total{signal=\"static\"} 1"));
+        assert!(text.contains("lp_selection_signal_total{signal=\"both\"} 1"));
     }
 
     #[test]

@@ -188,6 +188,10 @@ pub struct RunResult {
     pub gc_count: u64,
     /// Minor (nursery) collections performed (generational configuration).
     pub minor_gc_count: u64,
+    /// 1-based index of the first full-heap collection that poisoned
+    /// references, if any pruning happened (the "how early did SELECT
+    /// fire" measure the hybrid-policy evaluation compares).
+    pub first_prune_gc: Option<u64>,
     /// End-of-run pruning report (Table 2's edge-type census, §6.2).
     pub report: PruneReport,
 }
@@ -291,6 +295,11 @@ pub fn run_workload_with(
         iteration_times,
         gc_count: rt.gc_count(),
         minor_gc_count: rt.counters().minor_collections,
+        first_prune_gc: rt
+            .history()
+            .iter()
+            .find(|r| r.pruned_refs > 0)
+            .map(|r| r.gc_index),
         report: rt.prune_report(),
     }
 }
