@@ -180,6 +180,117 @@ impl Pruner {
         self.state.observes()
     }
 
+    /// Captures the pruner's mutable state for a checkpoint. Config-derived
+    /// fields (policy, thresholds, forced state, decay period, summaries)
+    /// are deliberately absent: restore rebuilds them from the same
+    /// [`PruningConfig`], so an image can never smuggle in a policy the
+    /// config did not ask for. Census and edge rows are sorted so the image
+    /// — and any fingerprint over it — is independent of hash-map and
+    /// hash-table iteration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an incremental mark cycle is in flight: a half-marked
+    /// cycle has no serializable meaning, and every checkpoint entry point
+    /// closes the cycle first (the quiescence rule).
+    pub fn image(&self) -> crate::recovery::PrunerImage {
+        assert!(
+            self.cycle.is_none(),
+            "cannot capture a pruner image mid-incremental-cycle"
+        );
+        let mut pruned_census: Vec<(u32, u32, u64)> = self
+            .pruned_census
+            .iter()
+            .map(|(key, &refs)| (key.src.index(), key.tgt.index(), refs))
+            .collect();
+        pruned_census.sort_unstable();
+        let mut edges: Vec<(u32, u32, u8)> = self
+            .table
+            .iter()
+            .map(|entry| {
+                (
+                    entry.key.src.index(),
+                    entry.key.tgt.index(),
+                    entry.max_stale_use,
+                )
+            })
+            .collect();
+        edges.sort_unstable();
+        crate::recovery::PrunerImage {
+            state: self.state.name().to_owned(),
+            exhausted_once: self.exhausted_once,
+            select_static_only: self.select_static_only,
+            averted_oom: self
+                .averted_oom
+                .as_ref()
+                .map(|oom| crate::recovery::OomImage {
+                    gc_index: oom.gc_index(),
+                    used_bytes: oom.used_bytes(),
+                    capacity: oom.capacity(),
+                }),
+            selection: self
+                .selection
+                .as_ref()
+                .map(crate::recovery::SelectionImage::from_info),
+            pruned_census,
+            total_pruned_refs: self.total_pruned_refs,
+            stale_clock: self.stale_clock,
+            select_collections: self.select_collections,
+            edges,
+        }
+    }
+
+    /// Reinstates the mutable state captured by [`Pruner::image`] into a
+    /// freshly constructed pruner. The edge table is rebuilt entry by entry
+    /// through [`EdgeTable::note_stale_use`], which is exact: `bytes_used`
+    /// windows are zero at every quiescent point (reset after each SELECT),
+    /// so `max_stale_use` is the only per-edge state a checkpoint carries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name when `image.state` is not one of the four
+    /// Figure-2 names.
+    pub fn restore_image(&mut self, image: &crate::recovery::PrunerImage) -> Result<(), String> {
+        let state = State::from_name(&image.state).ok_or_else(|| image.state.clone())?;
+        self.state = state;
+        self.exhausted_once = image.exhausted_once;
+        self.select_static_only = image.select_static_only;
+        self.averted_oom = image
+            .averted_oom
+            .as_ref()
+            .map(|oom| OutOfMemoryError::new(oom.gc_index, oom.used_bytes, oom.capacity));
+        self.selection = image.selection.as_ref().map(|s| s.to_info());
+        self.pruned_census = image
+            .pruned_census
+            .iter()
+            .map(|&(src, tgt, refs)| {
+                (
+                    EdgeKey::new(
+                        lp_heap::ClassId::from_index(src),
+                        lp_heap::ClassId::from_index(tgt),
+                    ),
+                    refs,
+                )
+            })
+            .collect();
+        self.total_pruned_refs = image.total_pruned_refs;
+        self.stale_clock = image.stale_clock;
+        self.select_collections = image.select_collections;
+        self.table = EdgeTable::new(self.table.capacity());
+        for &(src, tgt, max_stale_use) in &image.edges {
+            // `note_stale_use` with 0 still claims the slot, so edges the
+            // program recorded but never used stale keep their census row.
+            self.table.note_stale_use(
+                EdgeKey::new(
+                    lp_heap::ClassId::from_index(src),
+                    lp_heap::ClassId::from_index(tgt),
+                ),
+                max_stale_use,
+            );
+        }
+        Ok(())
+    }
+
     /// Records that the program truly exhausted memory (an allocation still
     /// failed after a collection).
     ///

@@ -68,6 +68,7 @@ mod error;
 mod liveness;
 mod par_closures;
 mod record;
+pub mod recovery;
 mod report;
 mod runtime;
 mod state;
@@ -79,6 +80,9 @@ pub use edge_table::{EdgeEntry, EdgeKey, EdgeTable, DEFAULT_SLOTS};
 pub use error::{OutOfMemoryError, PrunedAccessError, RuntimeError};
 pub use liveness::{LivenessSummaries, LivenessVerdict, SummaryEntry};
 pub use record::{GcRecord, SelectionInfo};
+pub use recovery::{
+    GcRecordImage, OomImage, PrunerImage, RestoreImageError, RuntimeImage, SelectionImage,
+};
 pub use report::{PruneReport, PrunedEdge};
 pub use runtime::{MutatorCounters, Runtime};
 pub use state::{next_state, State, TransitionContext};

@@ -1,0 +1,436 @@
+//! Checkpoint/restore images of a running [`Runtime`](crate::Runtime).
+//!
+//! A [`RuntimeImage`] is the complete serializable state of a runtime at a
+//! *quiescent point*: no incremental mark cycle in flight, SATB log drained,
+//! no collection underway. [`Runtime::image`](crate::Runtime::image) closes
+//! any in-flight cycle first, so every image honours the quiescence rule by
+//! construction.
+//!
+//! # What an image contains — and what it deliberately omits
+//!
+//! Captured exactly: every occupied heap slot (class, footprint, stale
+//! counter, reference words *with their tag bits* — poison included — and
+//! scalar payload), the free list with per-slot generations, the nursery
+//! and remembered set in order, the root set, the class registry, the
+//! collector's collection count, the pruner's Figure-2 state with its edge
+//! table, census, deferred out-of-memory error and staleness clock, the
+//! mutator counters, and the per-collection history.
+//!
+//! Omitted on purpose: mark bits and the mark epoch (a restored heap starts
+//! at epoch 0 with zeroed marks, indistinguishable from a fresh heap after
+//! the next `begin_mark_epoch`), timing statistics (wall-clock, not
+//! semantic), and everything derivable from the [`PruningConfig`]
+//! (thresholds, policy, decay period) — restore takes the config as an
+//! argument, so an image cannot smuggle in a policy change.
+//!
+//! # Fingerprints
+//!
+//! [`Runtime::fingerprint`](crate::Runtime::fingerprint) folds the same
+//! canonical state into a 64-bit FNV-1a hash. Two runtimes with equal
+//! fingerprints have identical heap graphs (including tag bits and
+//! generations), identical free/young/remembered lists — hence identical
+//! future allocation behaviour — and identical pruner state. Wall-clock
+//! timings and telemetry are excluded, so a checkpointed-and-restored
+//! runtime fingerprints identically to one that never stopped.
+
+use crate::record::SelectionInfo;
+
+/// Serialized form of the deferred [`OutOfMemoryError`](crate::OutOfMemoryError).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OomImage {
+    /// Collection index at which memory was (nearly) exhausted.
+    pub gc_index: u64,
+    /// Bytes in use at that point.
+    pub used_bytes: u64,
+    /// Heap capacity.
+    pub capacity: u64,
+}
+
+/// Serialized form of a [`SelectionInfo`]: class ids flattened to raw
+/// indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionImage {
+    /// An edge-type selection (the default policy and `IndividualRefs`).
+    Edge {
+        /// Source class index.
+        src: u32,
+        /// Target class index.
+        tgt: u32,
+        /// Bytes charged to the edge by the SELECT closure.
+        bytes: u64,
+    },
+    /// A staleness-level selection (the `MostStale` comparison policy).
+    StaleLevel(u8),
+}
+
+impl SelectionImage {
+    /// Flattens a [`SelectionInfo`] into its serializable form.
+    pub fn from_info(info: &SelectionInfo) -> Self {
+        match *info {
+            SelectionInfo::Edge { edge, bytes } => SelectionImage::Edge {
+                src: edge.src.index(),
+                tgt: edge.tgt.index(),
+                bytes,
+            },
+            SelectionInfo::StaleLevel(level) => SelectionImage::StaleLevel(level),
+        }
+    }
+
+    /// Rebuilds the [`SelectionInfo`].
+    pub fn to_info(&self) -> SelectionInfo {
+        match *self {
+            SelectionImage::Edge { src, tgt, bytes } => SelectionInfo::Edge {
+                edge: crate::edge_table::EdgeKey::new(
+                    lp_heap::ClassId::from_index(src),
+                    lp_heap::ClassId::from_index(tgt),
+                ),
+                bytes,
+            },
+            SelectionImage::StaleLevel(level) => SelectionInfo::StaleLevel(level),
+        }
+    }
+}
+
+/// The pruning engine's mutable state (see `Pruner::image` for what is
+/// omitted and why). Census and edge rows are sorted by `(src, tgt)`, so
+/// equal pruner states produce byte-equal images regardless of hash-map
+/// iteration order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PrunerImage {
+    /// Figure-2 state name (`INACTIVE`/`OBSERVE`/`SELECT`/`PRUNE`).
+    pub state: String,
+    /// Whether an allocation ever failed after a full collection.
+    pub exhausted_once: bool,
+    /// Whether the current SELECT/PRUNE episode is restricted to
+    /// statically-covered edges.
+    pub select_static_only: bool,
+    /// The deferred out-of-memory error, once pruning has engaged.
+    pub averted_oom: Option<OomImage>,
+    /// The active selection awaiting its PRUNE collection, if any.
+    pub selection: Option<SelectionImage>,
+    /// Per-edge pruned-reference counts, sorted by `(src, tgt)`.
+    pub pruned_census: Vec<(u32, u32, u64)>,
+    /// Total references poisoned over the runtime's lifetime.
+    pub total_pruned_refs: u64,
+    /// The staleness clock (collections between which the mutator ran).
+    pub stale_clock: u64,
+    /// SELECT collections performed (drives `max_stale_use` decay).
+    pub select_collections: u64,
+    /// Edge-table rows as `(src, tgt, max_stale_use)`, sorted. `bytes_used`
+    /// windows are zero at every quiescent point and are not captured.
+    pub edges: Vec<(u32, u32, u8)>,
+}
+
+/// One serialized [`GcRecord`](crate::GcRecord): durations flattened to
+/// nanoseconds, class ids to raw indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcRecordImage {
+    /// Collection index.
+    pub gc_index: u64,
+    /// State the collection was performed in (Figure-2 name).
+    pub state: String,
+    /// Live bytes after the sweep.
+    pub live_bytes_after: u64,
+    /// Live objects after the sweep.
+    pub live_objects_after: u64,
+    /// Bytes reclaimed.
+    pub freed_bytes: u64,
+    /// Objects reclaimed.
+    pub freed_objects: u64,
+    /// References poisoned (PRUNE collections).
+    pub pruned_refs: u64,
+    /// The selection committed (SELECT collections).
+    pub selected: Option<SelectionImage>,
+    /// Mark-phase wall time in nanoseconds.
+    pub mark_nanos: u64,
+    /// Sweep-phase wall time in nanoseconds.
+    pub sweep_nanos: u64,
+    /// Final-flush pause of an incremental collection, if one.
+    pub flush_nanos: Option<u64>,
+}
+
+/// The complete serializable state of a [`Runtime`](crate::Runtime) at a
+/// quiescent point. See the [module docs](self) for capture/omission rules.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RuntimeImage {
+    /// Class names in registration order — re-registering them in order
+    /// reproduces every `ClassId` the heap image's raw indices refer to.
+    pub classes: Vec<String>,
+    /// The heap: every slot, free-list and nursery order, byte accounting.
+    pub heap: lp_heap::HeapImage,
+    /// The root set (statics, frames, register file).
+    pub roots: lp_heap::RootImage,
+    /// Full-heap collections performed; restored gc indices continue the
+    /// pre-crash sequence.
+    pub gc_count: u64,
+    /// Mutator instrumentation counters.
+    pub counters: crate::MutatorCounters,
+    /// Bytes allocated since the last collection (staleness-clock gate).
+    pub bytes_since_gc: u64,
+    /// Reference loads since the last collection (the other gate).
+    pub reads_since_gc: u64,
+    /// Heap usage at the end of the last full collection (generational
+    /// full-collection trigger).
+    pub used_at_last_full: u64,
+    /// Edge trigger for allocation-driven incremental cycles.
+    pub incremental_armed: bool,
+    /// The pruning engine's mutable state.
+    pub pruner: PrunerImage,
+    /// Per-collection history records.
+    pub history: Vec<GcRecordImage>,
+}
+
+/// Why a [`RuntimeImage`] was refused by
+/// [`Runtime::restore_from`](crate::Runtime::restore_from).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreImageError {
+    /// The heap image failed [`lp_heap::Heap::materialize`]'s validation.
+    Heap(lp_heap::RestoreError),
+    /// A raw class index in the image is not covered by its class list.
+    BadClassIndex(u32),
+    /// A state name is not one of the four Figure-2 names.
+    BadState(String),
+    /// The heap verifier found violations immediately after materializing —
+    /// the image encodes a structurally impossible runtime.
+    Verify(Vec<String>),
+}
+
+impl std::fmt::Display for RestoreImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreImageError::Heap(err) => write!(f, "heap image refused: {err}"),
+            RestoreImageError::BadClassIndex(index) => {
+                write!(f, "class index {index} outside the image's class list")
+            }
+            RestoreImageError::BadState(name) => write!(f, "unknown state name {name:?}"),
+            RestoreImageError::Verify(violations) => write!(
+                f,
+                "restored heap failed verification with {} violation(s): {}",
+                violations.len(),
+                violations.join("; ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreImageError {}
+
+impl From<lp_heap::RestoreError> for RestoreImageError {
+    fn from(err: lp_heap::RestoreError) -> Self {
+        RestoreImageError::Heap(err)
+    }
+}
+
+/// 64-bit FNV-1a, the fingerprint accumulator. Not cryptographic — the
+/// fingerprint detects replay divergence, not adversaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh accumulator at the FNV offset basis.
+    pub fn new() -> Self {
+        Fingerprint(Self::OFFSET)
+    }
+
+    /// Folds raw bytes into the accumulator.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a length-prefixed `u64` (fixed 8-byte little-endian encoding,
+    /// so field boundaries cannot alias).
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// Folds a length-prefixed string.
+    pub fn write_str(&mut self, value: &str) {
+        self.write_u64(value.len() as u64);
+        self.write(value.as_bytes());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Folds a [`RuntimeImage`]'s replay-relevant state into a fingerprint:
+/// classes, the full heap image (slots with tag bits and generations, free
+/// list, nursery, remembered set), roots, collection count and pruner
+/// state. History and counters are excluded — they carry wall-clock
+/// timings and diagnostics, not semantics.
+pub fn fingerprint_image(image: &RuntimeImage) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.write_u64(image.classes.len() as u64);
+    for name in &image.classes {
+        fp.write_str(name);
+    }
+    let heap = &image.heap;
+    fp.write_u64(heap.capacity);
+    fp.write_u64(heap.soft_budget.map_or(u64::MAX, |b| b));
+    fp.write_u64(heap.soft_budget.is_some() as u64);
+    fp.write_u64(u64::from(heap.slot_count));
+    fp.write_u64(heap.slots.len() as u64);
+    for slot in &heap.slots {
+        fp.write_u64(u64::from(slot.slot));
+        fp.write_u64(u64::from(slot.generation));
+        fp.write_u64(u64::from(slot.class.index()));
+        fp.write_u64(u64::from(slot.footprint));
+        fp.write_u64(slot.finalizable as u64);
+        fp.write_u64(u64::from(slot.stale));
+        fp.write_u64(slot.refs.len() as u64);
+        for &raw in &slot.refs {
+            fp.write_u64(u64::from(raw));
+        }
+        fp.write_u64(slot.data.len() as u64);
+        for &word in &slot.data {
+            fp.write_u64(word);
+        }
+    }
+    fp.write_u64(heap.free.len() as u64);
+    for &(slot, generation) in &heap.free {
+        fp.write_u64(u64::from(slot));
+        fp.write_u64(u64::from(generation));
+    }
+    fp.write_u64(heap.young.len() as u64);
+    for &slot in &heap.young {
+        fp.write_u64(u64::from(slot));
+    }
+    fp.write_u64(heap.remembered.len() as u64);
+    for &slot in &heap.remembered {
+        fp.write_u64(u64::from(slot));
+    }
+    let roots = &image.roots;
+    fp.write_u64(roots.statics.len() as u64);
+    for entry in &roots.statics {
+        fingerprint_root(&mut fp, entry.as_ref());
+    }
+    fp.write_u64(roots.frames.len() as u64);
+    for frame in &roots.frames {
+        match frame {
+            None => fp.write_u64(0),
+            Some(slots) => {
+                fp.write_u64(1);
+                fp.write_u64(slots.len() as u64);
+                for entry in slots {
+                    fingerprint_root(&mut fp, entry.as_ref());
+                }
+            }
+        }
+    }
+    fp.write_u64(roots.free_frames.len() as u64);
+    for &frame in &roots.free_frames {
+        fp.write_u64(u64::from(frame));
+    }
+    fp.write_u64(roots.registers.len() as u64);
+    for entry in &roots.registers {
+        fingerprint_root(&mut fp, Some(entry));
+    }
+    fp.write_u64(image.gc_count);
+    let pruner = &image.pruner;
+    fp.write_str(&pruner.state);
+    fp.write_u64(pruner.exhausted_once as u64);
+    fp.write_u64(pruner.select_static_only as u64);
+    match &pruner.averted_oom {
+        None => fp.write_u64(0),
+        Some(oom) => {
+            fp.write_u64(1);
+            fp.write_u64(oom.gc_index);
+            fp.write_u64(oom.used_bytes);
+            fp.write_u64(oom.capacity);
+        }
+    }
+    match &pruner.selection {
+        None => fp.write_u64(0),
+        Some(SelectionImage::Edge { src, tgt, bytes }) => {
+            fp.write_u64(1);
+            fp.write_u64(u64::from(*src));
+            fp.write_u64(u64::from(*tgt));
+            fp.write_u64(*bytes);
+        }
+        Some(SelectionImage::StaleLevel(level)) => {
+            fp.write_u64(2);
+            fp.write_u64(u64::from(*level));
+        }
+    }
+    fp.write_u64(pruner.pruned_census.len() as u64);
+    for &(src, tgt, refs) in &pruner.pruned_census {
+        fp.write_u64(u64::from(src));
+        fp.write_u64(u64::from(tgt));
+        fp.write_u64(refs);
+    }
+    fp.write_u64(pruner.total_pruned_refs);
+    fp.write_u64(pruner.stale_clock);
+    fp.write_u64(pruner.select_collections);
+    fp.write_u64(pruner.edges.len() as u64);
+    for &(src, tgt, max_stale_use) in &pruner.edges {
+        fp.write_u64(u64::from(src));
+        fp.write_u64(u64::from(tgt));
+        fp.write_u64(u64::from(max_stale_use));
+    }
+    fp.finish()
+}
+
+fn fingerprint_root(fp: &mut Fingerprint, entry: Option<&(u32, u32)>) {
+    match entry {
+        None => fp.write_u64(0),
+        Some(&(slot, generation)) => {
+            fp.write_u64(1);
+            fp.write_u64(u64::from(slot));
+            fp.write_u64(u64::from(generation));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vector() {
+        // Standard FNV-1a 64 test vector.
+        let mut fp = Fingerprint::new();
+        fp.write(b"a");
+        assert_eq!(fp.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn selection_image_roundtrip() {
+        let info = SelectionInfo::Edge {
+            edge: crate::edge_table::EdgeKey::new(
+                lp_heap::ClassId::from_index(3),
+                lp_heap::ClassId::from_index(7),
+            ),
+            bytes: 4096,
+        };
+        assert_eq!(SelectionImage::from_info(&info).to_info(), info);
+        let stale = SelectionInfo::StaleLevel(5);
+        assert_eq!(SelectionImage::from_info(&stale).to_info(), stale);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_field_boundaries() {
+        // "ab" then "c" must hash differently from "a" then "bc": the
+        // length prefix prevents boundary aliasing.
+        let mut a = Fingerprint::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fingerprint::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

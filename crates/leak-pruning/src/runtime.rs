@@ -265,6 +265,20 @@ impl Runtime {
         self.roots.static_ref(id)
     }
 
+    /// Re-derives the id of static slot `index` after a restore — slot
+    /// numbering survives [`Runtime::restore_from`] exactly, so a program
+    /// that added its statics in a known order reattaches them here. `None`
+    /// if no such slot exists.
+    pub fn static_id(&self, index: u32) -> Option<StaticId> {
+        self.roots.static_id(index)
+    }
+
+    /// Re-derives the id of live frame `index` after a restore (see
+    /// [`Runtime::static_id`]).
+    pub fn frame_id(&self, index: u32) -> Option<FrameId> {
+        self.roots.frame_id(index)
+    }
+
     /// Writes a static slot.
     pub fn set_static(&mut self, id: StaticId, value: Option<Handle>) {
         self.roots.set_static(id, value);
@@ -631,7 +645,8 @@ impl Runtime {
         let mut captured: Option<Capture> = None;
         let outcome = self.collector.collect_with(&mut self.heap, |heap| {
             let (capture, stats) =
-                HeapSnapshot::capture(heap, roots, classes, gc_index, Some(pruner_view));
+                HeapSnapshot::capture(heap, roots, classes, gc_index, Some(pruner_view))
+                    .expect("quiescent: incremental cycle closed above");
             captured = Some(capture);
             stats
         });
@@ -768,7 +783,8 @@ impl Runtime {
             &self.classes,
             gc_index,
             Some(pruner_view),
-        );
+        )
+        .expect("quiescent: incremental cycle closed above");
         PostmortemBundle {
             trigger: trigger.to_owned(),
             gc_index,
@@ -1372,6 +1388,206 @@ impl Runtime {
         &mut self.heap
     }
 
+    // ----- checkpoint / restore --------------------------------------------
+
+    /// Captures a diagnostic heap snapshot *without* collecting — the
+    /// checkpoint-side capture. Unlike [`Runtime::capture_snapshot`] this
+    /// performs no sweep and consumes no collection index, so a run that
+    /// checkpoints is observationally identical to one that never did: only
+    /// mark bits move, and those are excluded from images and fingerprints.
+    ///
+    /// An in-flight incremental cycle is still closed first (the quiescence
+    /// rule); with incremental marking disabled this method is entirely
+    /// non-perturbing.
+    pub fn snapshot_view(&mut self) -> Capture {
+        if self.pruner.incremental_active() {
+            self.finish_incremental_collection();
+        }
+        let gc_index = self.collector.collections();
+        let pruner_view = self.pruner_view();
+        // A fresh mark epoch, then the capture's own transitive closure —
+        // the same no-sweep discipline as `capture_postmortem`.
+        self.heap.begin_mark_epoch();
+        let (capture, _stats) = HeapSnapshot::capture(
+            &self.heap,
+            &self.roots,
+            &self.classes,
+            gc_index,
+            Some(pruner_view),
+        )
+        .expect("quiescent: incremental cycle closed above");
+        capture
+    }
+
+    /// Captures a complete serializable image of the runtime at a quiescent
+    /// point — the state side of a checkpoint (see [`crate::recovery`]).
+    ///
+    /// An in-flight incremental mark cycle is closed first (a full
+    /// collection, exactly as on any stop-the-world entry point), so the
+    /// image never contains a half-marked cycle and the SATB log is always
+    /// drained — the quiescence rule, enforced by construction.
+    pub fn image(&mut self) -> crate::recovery::RuntimeImage {
+        if self.pruner.incremental_active() {
+            self.finish_incremental_collection();
+        }
+        let state_name = |state: &State| state.name().to_owned();
+        crate::recovery::RuntimeImage {
+            classes: self
+                .classes
+                .iter()
+                .map(|(_, name)| name.to_owned())
+                .collect(),
+            heap: self.heap.image(),
+            roots: self.roots.image(),
+            gc_count: self.collector.collections(),
+            counters: self.counters,
+            bytes_since_gc: self.bytes_since_gc,
+            reads_since_gc: self.reads_since_gc,
+            used_at_last_full: self.used_at_last_full,
+            incremental_armed: self.incremental_armed,
+            pruner: self.pruner.image(),
+            history: self
+                .history
+                .iter()
+                .map(|record| crate::recovery::GcRecordImage {
+                    gc_index: record.gc_index,
+                    state: state_name(&record.state),
+                    live_bytes_after: record.live_bytes_after,
+                    live_objects_after: record.live_objects_after,
+                    freed_bytes: record.freed_bytes,
+                    freed_objects: record.freed_objects,
+                    pruned_refs: record.pruned_refs,
+                    selected: record
+                        .selected
+                        .as_ref()
+                        .map(crate::recovery::SelectionImage::from_info),
+                    mark_nanos: record.mark_time.as_nanos() as u64,
+                    sweep_nanos: record.sweep_time.as_nanos() as u64,
+                    flush_nanos: record.flush_time.map(|d| d.as_nanos() as u64),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a runtime from an image captured by [`Runtime::image`].
+    ///
+    /// The configuration is an argument, not part of the image: policy,
+    /// thresholds and barrier mode always come from `config`, so a restored
+    /// tenant runs under exactly the configuration its host supplies. The
+    /// heap is materialized slot by slot (tag bits — poison included — and
+    /// generations exact), classes re-registered in order so every raw
+    /// class index in the image resolves to the same id, and the pruner's
+    /// state machine, edge table and deferred out-of-memory error
+    /// reinstated. The restored heap runs the full invariant verifier
+    /// before this returns; on success an [`Event::Restore`] goes out on
+    /// the new runtime's bus.
+    ///
+    /// # Errors
+    ///
+    /// Refuses images with invalid heap state, class indices outside the
+    /// image's class list, unknown state names, or verifier violations.
+    pub fn restore_from(
+        config: PruningConfig,
+        image: &crate::recovery::RuntimeImage,
+    ) -> Result<Runtime, crate::recovery::RestoreImageError> {
+        use crate::recovery::{RestoreImageError, SelectionImage};
+        let class_count = u32::try_from(image.classes.len()).unwrap_or(u32::MAX);
+        let check_class = |index: u32| {
+            if index < class_count {
+                Ok(())
+            } else {
+                Err(RestoreImageError::BadClassIndex(index))
+            }
+        };
+        for slot in &image.heap.slots {
+            check_class(slot.class.index())?;
+        }
+        for &(src, tgt, _) in &image.pruner.edges {
+            check_class(src)?;
+            check_class(tgt)?;
+        }
+        for &(src, tgt, _) in &image.pruner.pruned_census {
+            check_class(src)?;
+            check_class(tgt)?;
+        }
+        if let Some(SelectionImage::Edge { src, tgt, .. }) = image.pruner.selection {
+            check_class(src)?;
+            check_class(tgt)?;
+        }
+
+        let mut rt = Runtime::new(config);
+        // Re-registration in order reproduces every ClassId and reinstalls
+        // static liveness verdicts through the normal `note_class` path.
+        for name in &image.classes {
+            rt.register_class(name);
+        }
+        let mut heap = Heap::materialize(&image.heap)?;
+        heap.set_telemetry(rt.telemetry.clone());
+        rt.heap = heap;
+        rt.roots = RootSet::from_image(&image.roots);
+        rt.collector.restore_collections(image.gc_count);
+        rt.pruner
+            .restore_image(&image.pruner)
+            .map_err(RestoreImageError::BadState)?;
+        rt.counters = image.counters;
+        // Deltas emitted after restore cover only post-restore activity;
+        // the pre-crash trace already carries the rest.
+        rt.counters_at_last_emit = image.counters;
+        rt.bytes_since_gc = image.bytes_since_gc;
+        rt.reads_since_gc = image.reads_since_gc;
+        rt.used_at_last_full = image.used_at_last_full;
+        rt.incremental_armed = image.incremental_armed;
+        rt.history = image
+            .history
+            .iter()
+            .map(|record| {
+                Ok(GcRecord {
+                    gc_index: record.gc_index,
+                    state: State::from_name(&record.state)
+                        .ok_or_else(|| RestoreImageError::BadState(record.state.clone()))?,
+                    live_bytes_after: record.live_bytes_after,
+                    live_objects_after: record.live_objects_after,
+                    freed_bytes: record.freed_bytes,
+                    freed_objects: record.freed_objects,
+                    pruned_refs: record.pruned_refs,
+                    selected: record.selected.as_ref().map(|s| s.to_info()),
+                    mark_time: std::time::Duration::from_nanos(record.mark_nanos),
+                    sweep_time: std::time::Duration::from_nanos(record.sweep_nanos),
+                    flush_time: record.flush_nanos.map(std::time::Duration::from_nanos),
+                })
+            })
+            .collect::<Result<Vec<_>, RestoreImageError>>()?;
+
+        // The restore event is a liveness proof: it goes out only once the
+        // full invariant sanitizer has passed on the materialized heap.
+        let violations = rt.verify_heap();
+        if !violations.is_empty() {
+            return Err(RestoreImageError::Verify(
+                violations.iter().map(|v| v.to_string()).collect(),
+            ));
+        }
+        let (gc_index, objects, bytes) = (image.gc_count, rt.live_objects(), rt.used_bytes());
+        rt.telemetry.emit(|| Event::Restore {
+            gc_index,
+            objects,
+            bytes,
+        });
+        Ok(rt)
+    }
+
+    /// A 64-bit fingerprint of the runtime's replay-relevant state: heap
+    /// graph with tag bits and generations, free/young/remembered order,
+    /// roots, class registry, collection count and pruner state. Wall-clock
+    /// timings and telemetry are excluded, so a checkpointed-and-restored
+    /// runtime fingerprints identically to one that never stopped (see
+    /// [`crate::recovery::fingerprint_image`]).
+    ///
+    /// Closes any in-flight incremental cycle (the fingerprint is defined
+    /// only at quiescent points, like the image it hashes).
+    pub fn fingerprint(&mut self) -> u64 {
+        crate::recovery::fingerprint_image(&self.image())
+    }
+
     /// Builds the end-of-run report (§3.2's optional diagnostics).
     pub fn prune_report(&self) -> PruneReport {
         let mut pruned_edges: Vec<PrunedEdge> = self
@@ -1578,6 +1794,92 @@ mod tests {
             let got = rt.read_field(h, 0).expect("blob is never pruned");
             assert_eq!(got, Some(b));
         }
+    }
+
+    #[test]
+    fn image_restore_is_exact_after_pruning() {
+        // Run the list leak until references are poisoned, then image and
+        // restore: the heap graph (poison bits included), pruner state and
+        // fingerprint must survive exactly, and the restored runtime must
+        // pass the full invariant sanitizer.
+        let config = PruningConfig::builder(256 * KB).build();
+        let (mut rt, _, err) = run_list_leak(config.clone(), 2000);
+        assert!(err.is_none());
+        assert!(rt.prune_report().total_pruned_refs > 0);
+
+        let image = rt.image();
+        let fingerprint = rt.fingerprint();
+        let mut restored = Runtime::restore_from(config, &image).expect("image restores");
+        assert!(restored.verify_heap().is_empty());
+        assert_eq!(restored.fingerprint(), fingerprint);
+        assert_eq!(restored.image(), image, "image round-trips exactly");
+        assert_eq!(restored.gc_count(), rt.gc_count());
+        assert_eq!(restored.used_bytes(), rt.used_bytes());
+        assert_eq!(restored.state(), rt.state());
+        assert_eq!(restored.history().len(), rt.history().len());
+        assert_eq!(
+            restored.averted_oom().map(|e| e.gc_index()),
+            rt.averted_oom().map(|e| e.gc_index())
+        );
+        assert_eq!(
+            restored.prune_report().pruned_edges,
+            rt.prune_report().pruned_edges
+        );
+    }
+
+    #[test]
+    fn restored_runtime_replays_identically() {
+        // Deterministic replay: continuing the original and the restored
+        // runtime through the same request suffix must keep their
+        // fingerprints in lock step — allocation order, collection points
+        // and pruning decisions all included.
+        let config = PruningConfig::builder(256 * KB).build();
+        let (mut original, _, err) = run_list_leak(config.clone(), 1500);
+        assert!(err.is_none());
+
+        let image = original.image();
+        let mut restored = Runtime::restore_from(config, &image).expect("image restores");
+        // Class ids were re-registered in order; resolve by name.
+        let node = restored.classes().lookup("Node").unwrap();
+        let scratch = restored.classes().lookup("Scratch").unwrap();
+        // The list head is static slot 0 in `run_list_leak`; slot numbering
+        // survives restore, so the reattach hook re-derives it.
+        let head = restored.static_id(0).expect("static slot 0 restored");
+
+        for _ in 0..500 {
+            for rt in [&mut original, &mut restored] {
+                let n = rt.alloc(node, &AllocSpec::new(1, 0, 512)).unwrap();
+                rt.write_field(n, 0, rt.static_ref(head));
+                rt.set_static(head, Some(n));
+                rt.alloc(scratch, &AllocSpec::leaf(2048)).unwrap();
+            }
+        }
+        assert_eq!(original.gc_count(), restored.gc_count());
+        assert_eq!(original.fingerprint(), restored.fingerprint());
+        assert!(restored.verify_heap().is_empty());
+    }
+
+    #[test]
+    fn restore_refuses_bad_class_indices_and_states() {
+        let config = PruningConfig::builder(256 * KB).build();
+        let (mut rt, _, _) = run_list_leak(config.clone(), 200);
+        let image = rt.image();
+
+        let mut bad_edge = image.clone();
+        bad_edge.pruner.edges.push((99, 0, 3));
+        assert_eq!(
+            Runtime::restore_from(config.clone(), &bad_edge).err(),
+            Some(crate::recovery::RestoreImageError::BadClassIndex(99))
+        );
+
+        let mut bad_state = image.clone();
+        bad_state.pruner.state = "LIMBO".to_owned();
+        assert_eq!(
+            Runtime::restore_from(config, &bad_state).err(),
+            Some(crate::recovery::RestoreImageError::BadState(
+                "LIMBO".to_owned()
+            ))
+        );
     }
 
     #[test]

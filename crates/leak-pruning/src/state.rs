@@ -54,6 +54,18 @@ impl State {
             State::Prune => "PRUNE",
         }
     }
+
+    /// Parses a [`State::name`] back into a state (checkpoint restore and
+    /// trace tooling). `None` for anything outside the four Figure-2 names.
+    pub fn from_name(name: &str) -> Option<State> {
+        match name {
+            "INACTIVE" => Some(State::Inactive),
+            "OBSERVE" => Some(State::Observe),
+            "SELECT" => Some(State::Select),
+            "PRUNE" => Some(State::Prune),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for State {

@@ -94,8 +94,49 @@ fn scrape(addr: std::net::SocketAddr, target: &str) -> Option<String> {
     response.split_once("\r\n\r\n").map(|(_, b)| b.to_string())
 }
 
-fn listen_mode(port_file: &str) -> ExitCode {
-    let (cfg, tenants) = fleet();
+/// The crash-recovery fleet: the same four tenant names (so `load_gen`
+/// can drive it) but **arbiter-neutral** — host limit far above the
+/// fleet's reach, high-water at 1.0, storm threshold out of range — so
+/// each tenant's heap history is a pure function of its served-request
+/// count. That purity is what makes the recovery smoke check meaningful:
+/// a crashed-and-recovered run must produce byte-identical per-tenant
+/// history files to an uninterrupted run fed the same requests.
+fn recovery_fleet(recovery_dir: &Path, recover: bool) -> (HostConfig, Vec<TenantSpec>) {
+    let cfg = HostConfig::new(1 << 30)
+        .high_water(1.0)
+        .storm_threshold(u64::MAX / 2)
+        .seed(42)
+        .ops("127.0.0.1:0");
+    let spec = |name: &str, leaky: bool| {
+        let service: Box<dyn lp_workloads::Service> = if leaky {
+            Box::new(LeakyService::new())
+        } else {
+            Box::new(HealthyService::new())
+        };
+        TenantSpec::new(name, service)
+            .heap_capacity(256 * KB)
+            .byte_budget(256 * KB)
+            .arrival_rate(0)
+            .service_rate(16)
+            .queue_capacity(64)
+            .recovery_dir(recovery_dir.to_path_buf())
+            .history_every(25)
+            .recover(recover)
+    };
+    let tenants = vec![
+        spec("leaky", true),
+        spec("healthy-a", false),
+        spec("healthy-b", false),
+        spec("healthy-c", false),
+    ];
+    (cfg, tenants)
+}
+
+fn listen_mode(port_file: &str, recovery_dir: Option<&Path>, recover: bool) -> ExitCode {
+    let (cfg, tenants) = match recovery_dir {
+        Some(dir) => recovery_fleet(dir, recover),
+        None => fleet(),
+    };
     // External load only: the load generator owns the schedule.
     let tenants = tenants
         .into_iter()
@@ -386,12 +427,40 @@ fn deterministic_run(trace_dir: Option<&Path>) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    const USAGE: &str =
+        "usage: serve_smoke [--listen PORT_FILE [--recovery-dir DIR] [--recover] | --trace TRACE_DIR]";
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
         Some("--listen") => match args.get(2) {
-            Some(port_file) => listen_mode(port_file),
+            Some(port_file) => {
+                let mut recovery_dir = None;
+                let mut recover = false;
+                let mut rest = args[3..].iter();
+                while let Some(flag) = rest.next() {
+                    match flag.as_str() {
+                        "--recovery-dir" => match rest.next() {
+                            Some(dir) => recovery_dir = Some(Path::new(dir).to_path_buf()),
+                            None => {
+                                eprintln!("{USAGE}");
+                                return ExitCode::FAILURE;
+                            }
+                        },
+                        "--recover" => recover = true,
+                        other => {
+                            eprintln!("serve_smoke: unknown argument {other}");
+                            eprintln!("{USAGE}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                if recover && recovery_dir.is_none() {
+                    eprintln!("serve_smoke: --recover requires --recovery-dir");
+                    return ExitCode::FAILURE;
+                }
+                listen_mode(port_file, recovery_dir.as_deref(), recover)
+            }
             None => {
-                eprintln!("usage: serve_smoke [--listen PORT_FILE]");
+                eprintln!("{USAGE}");
                 ExitCode::FAILURE
             }
         },
@@ -404,7 +473,7 @@ fn main() -> ExitCode {
         },
         Some(other) => {
             eprintln!("serve_smoke: unknown argument {other}");
-            eprintln!("usage: serve_smoke [--listen PORT_FILE | --trace TRACE_DIR]");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
         None => deterministic_run(None),

@@ -10,6 +10,12 @@
 //!
 //! Produce a trace with the `telemetry_smoke` binary, or by attaching a
 //! [`lp_telemetry::JsonlSink`] to any runtime's bus.
+//!
+//! Tenant **request journals** (`<tenant>.journal`, written by
+//! recovery-enabled `lp-server` tenants) share the JSONL framing and
+//! are accepted too: a file whose first line is a
+//! `{"k":"journal",...}` header is summarised — tenant name, entry
+//! count, torn-tail status — instead of replayed as a trace.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -53,6 +59,35 @@ fn main() -> ExitCode {
             }
         }
     };
+    // A request journal shares the JSONL framing but tells a different
+    // story: summarise it rather than replaying it as a trace.
+    if text
+        .lines()
+        .next()
+        .is_some_and(|line| line.contains("\"k\":\"journal\""))
+    {
+        return match lp_recovery::read_journal_text(&text) {
+            Ok(journal) => {
+                println!("journal: {path}");
+                println!("  tenant      {}", journal.tenant);
+                println!("  entries     {}", journal.entries);
+                println!(
+                    "  torn tail   {}",
+                    if journal.torn_tail {
+                        "yes (crash mid-append; dropped on reopen)"
+                    } else {
+                        "no"
+                    }
+                );
+                println!("  valid bytes {}", journal.valid_bytes);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("trace_replay: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let trace = match Trace::parse(&text) {
         Ok(trace) => trace,
         Err(e) => {

@@ -386,6 +386,19 @@ mod tests {
     }
 
     #[test]
+    fn torn_journal_fixture_reads_as_a_journal_not_a_trace() {
+        // The committed journal fixture shares the JSONL framing with
+        // traces (trace_replay summarises it instead of replaying it):
+        // 40 intact entries, then the torn final line a kill -9
+        // mid-append leaves behind.
+        let text = include_str!("../fixtures/leaky_journal_torn.jsonl");
+        let read = lp_recovery::read_journal_text(text).expect("fixture is a valid journal");
+        assert_eq!(read.tenant, "leaky");
+        assert_eq!(read.entries, 40);
+        assert!(read.torn_tail, "fixture must end in a torn line");
+    }
+
+    #[test]
     fn unbalanced_fixture_parses_but_fails_the_span_check() {
         // The committed fixture is syntactically valid JSONL — only the
         // span discipline is broken (the round span ends while its

@@ -1,0 +1,31 @@
+//! Lint fixture: host-side code that rebuilds tenant heaps from raw
+//! slot images. A `HeapImage` carries exact field words — tag bits,
+//! poison included — so a host that can assemble one and call
+//! `materialize` can forge arbitrary heap state without ever touching
+//! the barrier APIs the other rules guard. Checkpoint bytes are opaque
+//! outside `lp-heap`, `leak-pruning`, and `lp-recovery`; the sanctioned
+//! path is `Checkpoint::restore`. `lp-check` must flag every image
+//! token here under R7.
+
+use lp_heap::{Heap, HeapImage, SlotImage};
+
+/// "Patches" a tenant by editing its checkpointed slots in place — raw
+/// image construction in host code (R7).
+pub fn patch_slot(image: &mut HeapImage, slot: u32) {
+    image.slots.push(SlotImage {
+        slot,
+        generation: 1,
+        class: Default::default(),
+        footprint: 64,
+        finalizable: false,
+        stale: 0,
+        refs: vec![0],
+        data: vec![0xdead],
+    });
+}
+
+/// Rebuilds a live heap straight from the edited image, skipping
+/// `Checkpoint::restore` and every invariant it re-verifies (R7).
+pub fn rebuild(image: &HeapImage) -> Option<Heap> {
+    Heap::materialize(image).ok()
+}

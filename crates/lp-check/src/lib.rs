@@ -201,6 +201,16 @@ mod tests {
     }
 
     #[test]
+    fn server_materialize_fixture_is_flagged() {
+        let found = lint_fixture("server_materialize.rs");
+        let r7 = found.iter().filter(|f| f.rule == "R7").count();
+        assert!(
+            r7 >= 3,
+            "expected image-token R7 findings (HeapImage, SlotImage, materialize), got {found:?}"
+        );
+    }
+
+    #[test]
     fn leak_list_growth_fixture_is_flagged_l1() {
         let found = lint_fixture("leak_list_growth.rs");
         assert!(

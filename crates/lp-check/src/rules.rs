@@ -8,11 +8,12 @@
 //! | R4   | `Telemetry::emit` calls must pass a lazy closure, never an eagerly built event; runtime-crate span guards must not be held across `collect_until_fits` |
 //! | R5   | every crate root keeps `#![forbid(unsafe_code)]` |
 //! | R6   | liveness confinement: building or mutating static liveness verdict tables (`insert_summary`, `install_verdict`) only inside `leak-pruning` and `lp-liveness` |
+//! | R7   | materializer confinement: raw slot images (`SlotImage`, `HeapImage`, `materialize`) only inside `lp-heap`, `leak-pruning`, and `lp-recovery` |
 //! | L1   | leak pattern: a static-rooted spine grows (`write_field(new, _, static_ref(..))` + `set_static(.., Some(..))`) and the file never reads a field back |
 //! | L2   | leak pattern: a registry spine inserts but no path ever clears its static (`set_static(.., None)`) — entries can only accumulate |
 //! | L3   | leak pattern: the file names a window/bound yet keeps a growing spine it never clears — the bound is not enforced on the spine |
 //!
-//! Rules R1–R4, R6, and L1–L3 skip `#[cfg(test)]` items; R5 is a
+//! Rules R1–R4, R6, R7, and L1–L3 skip `#[cfg(test)]` items; R5 is a
 //! whole-file property of crate roots. L1–L3 are rCanary-style heuristic
 //! *shape* lints: they flag code shaped like the paper's leaking programs,
 //! so the deliberate leak reproductions in `lp-workloads` carry waivers.
@@ -26,7 +27,7 @@ use crate::lexer::Scrubbed;
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule ID (`"R1"` … `"R5"`).
+    /// Rule ID (`"R1"` … `"R7"`, `"L1"` … `"L3"`).
     pub rule: &'static str,
     /// Workspace-relative path with forward slashes.
     pub path: String,
@@ -148,6 +149,22 @@ const R6_TOKENS: &[&str] = &["insert_summary", "install_verdict"];
 
 /// The only crates allowed to construct or install liveness verdicts.
 const LIVENESS_SCOPE: &[&str] = &["crates/leak-pruning/src/", "crates/lp-liveness/src/"];
+
+/// Tokens that build or materialize raw slot images (R7). A `HeapImage`
+/// carries exact field words — tag bits, poison included — so code that
+/// constructs one, or calls `materialize` to turn one into a live heap,
+/// can forge arbitrary heap state without ever tripping the barrier
+/// rules. Only the heap that defines the image format, the runtime that
+/// restores from it, and the checkpoint codec may touch these;
+/// everywhere else a checkpoint is an opaque file.
+const R7_TOKENS: &[&str] = &["materialize", "SlotImage", "HeapImage"];
+
+/// The only crates allowed to build or materialize raw slot images.
+const MATERIALIZE_SCOPE: &[&str] = &[
+    "crates/lp-heap/src/",
+    "crates/leak-pruning/src/",
+    "crates/lp-recovery/src/",
+];
 
 fn in_prefix_list(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| path.starts_with(p))
@@ -387,6 +404,18 @@ pub fn check_file(path: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
                     ),
                 });
             }
+        }
+        if R7_TOKENS.contains(&ident) && !in_prefix_list(path, MATERIALIZE_SCOPE) {
+            findings.push(Finding {
+                rule: "R7",
+                path: path.to_owned(),
+                line,
+                message: format!(
+                    "`{ident}` builds or materializes a raw slot image — checkpoint state is \
+                     opaque outside lp-heap, leak-pruning, and lp-recovery; restore through \
+                     Checkpoint::restore"
+                ),
+            });
         }
         if R6_TOKENS.contains(&ident) && !in_prefix_list(path, LIVENESS_SCOPE) {
             findings.push(Finding {
@@ -702,6 +731,25 @@ mod tests {
         // The analyzer builds tables and the engine installs them.
         assert_eq!(check("crates/lp-liveness/src/x.rs", src), Vec::new());
         assert_eq!(check("crates/leak-pruning/src/x.rs", install), Vec::new());
+    }
+
+    #[test]
+    fn slot_image_materialization_outside_scope_is_r7() {
+        let src =
+            "fn f(image: &HeapImage) -> Heap { Heap::materialize(image).unwrap_or_default() }";
+        let found = check("crates/lp-server/src/x.rs", src);
+        assert_eq!(rules(&found), vec!["R7", "R7"]);
+        assert!(found[0].message.contains("Checkpoint::restore"));
+        let build = "fn g() -> SlotImage { SlotImage { slot: 0, ..Default::default() } }";
+        assert_eq!(
+            rules(&check("crates/lp-bench/src/x.rs", build)),
+            vec!["R7", "R7"]
+        );
+        // The heap defines the format, the runtime restores from it, and
+        // the checkpoint codec reads and writes it.
+        assert_eq!(check("crates/lp-heap/src/x.rs", src), Vec::new());
+        assert_eq!(check("crates/leak-pruning/src/x.rs", src), Vec::new());
+        assert_eq!(check("crates/lp-recovery/src/x.rs", build), Vec::new());
     }
 
     #[test]

@@ -45,6 +45,6 @@ pub use diff::{ClassDelta, DeltaKind, DominatorDelta, SnapshotDiff};
 pub use postmortem::{render_postmortem, PostmortemBundle, PostmortemContext, BUNDLE_VERSION};
 pub use report::{fmt_bytes, render_report, render_retained_gauges, EdgeSummary};
 pub use snapshot::{
-    Capture, HeapSnapshot, PrunedEdgeMeta, PrunerView, Reachability, SelectedPrune, SnapshotObject,
-    SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION,
+    Capture, HeapSnapshot, PrunedEdgeMeta, PrunerView, Reachability, SelectedPrune, SnapshotError,
+    SnapshotObject, SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION,
 };

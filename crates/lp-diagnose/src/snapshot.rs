@@ -24,6 +24,7 @@
 //! ```
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
 use std::time::Instant;
 
 use lp_gc::{trace, EdgeAction, EdgeVisitor, TraceStats};
@@ -185,6 +186,33 @@ pub struct Capture {
     pub record_nanos: u64,
 }
 
+/// Why [`HeapSnapshot::capture`] refused to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// An incremental mark cycle is in flight: the SATB log is active, the
+    /// nursery watermark is cycle-relative, and mark bits describe a
+    /// half-finished closure. A capture now would record stale `young`
+    /// flags and misclassify reachability; close the cycle first.
+    MidCycle {
+        /// References pending in the SATB log at refusal time.
+        pending: usize,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::MidCycle { pending } => write!(
+                f,
+                "snapshot capture refused mid-incremental-cycle \
+                 ({pending} SATB entries pending); close the cycle first"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
 /// Marks everything reachable without tracing through poisoned
 /// references, mirroring how the pruning closures treat them (§4.3:
 /// poisoned references are never dereferenced).
@@ -227,13 +255,27 @@ impl HeapSnapshot {
     ///
     /// Returns the capture and the closure's [`TraceStats`], which an
     /// enclosing `collect_with` mark callback should return.
+    ///
+    /// # Errors
+    ///
+    /// Refuses with [`SnapshotError::MidCycle`] while an incremental mark
+    /// cycle is in flight (the heap's SATB log is active): the nursery
+    /// watermark and mark bits are then cycle-relative, so a capture would
+    /// record stale `young` flags and misclassify reachability. Callers
+    /// must close the cycle (a full collection) first — every runtime
+    /// entry point does.
     pub fn capture(
         heap: &Heap,
         roots: &RootSet,
         classes: &ClassRegistry,
         gc_index: u64,
         pruner: Option<PrunerView>,
-    ) -> (Capture, TraceStats) {
+    ) -> Result<(Capture, TraceStats), SnapshotError> {
+        if heap.satb_active() {
+            return Err(SnapshotError::MidCycle {
+                pending: heap.satb_len(),
+            });
+        }
         let trace_start = Instant::now();
         let stats = trace(heap, roots.iter(), &mut LiveGraph);
         let trace_nanos = elapsed_nanos(trace_start);
@@ -305,14 +347,14 @@ impl HeapSnapshot {
         };
         let record_nanos = elapsed_nanos(record_start);
 
-        (
+        Ok((
             Capture {
                 snapshot,
                 trace_nanos,
                 record_nanos,
             },
             stats,
-        )
+        ))
     }
 
     /// Number of objects in the snapshot.
@@ -912,7 +954,8 @@ mod tests {
         roots.set_static(s, Some(a));
 
         heap.begin_mark_epoch();
-        let (capture, stats) = HeapSnapshot::capture(&heap, &roots, &classes, 1, None);
+        let (capture, stats) =
+            HeapSnapshot::capture(&heap, &roots, &classes, 1, None).expect("quiescent heap");
         assert_eq!(stats.objects_marked, 2);
         let snapshot = capture.snapshot;
         // v2 records the garbage object too, classified floating.
@@ -945,6 +988,35 @@ mod tests {
     }
 
     #[test]
+    fn capture_refuses_mid_incremental_cycle() {
+        let mut classes = ClassRegistry::new();
+        let node = classes.register("Node");
+        let mut heap = Heap::new(1 << 20);
+        let mut roots = RootSet::new();
+
+        let a = heap.alloc(node, &AllocSpec::with_refs(1)).unwrap();
+        let s = roots.add_static();
+        roots.set_static(s, Some(a));
+
+        // An incremental cycle is in flight: the SATB log is live, so the
+        // young watermark and mark bits are not trustworthy — capture must
+        // refuse rather than record a torn heap.
+        heap.begin_mark_epoch();
+        heap.satb_begin();
+        let b = heap.alloc(node, &AllocSpec::leaf(32)).unwrap();
+        heap.object(a).store_ref(0, TaggedRef::from_handle(b));
+        let err = HeapSnapshot::capture(&heap, &roots, &classes, 1, None)
+            .expect_err("capture mid-cycle must refuse");
+        assert!(matches!(err, SnapshotError::MidCycle { .. }));
+        assert!(err.to_string().contains("incremental"));
+
+        // Once the cycle is closed the same heap captures fine.
+        heap.satb_drain();
+        heap.satb_end();
+        HeapSnapshot::capture(&heap, &roots, &classes, 1, None).expect("quiescent heap");
+    }
+
+    #[test]
     fn capture_classifies_dead_but_reachable() {
         let mut classes = ClassRegistry::new();
         let node = classes.register("Node");
@@ -964,7 +1036,8 @@ mod tests {
         roots.set_static(s, Some(a));
 
         heap.begin_mark_epoch();
-        let (capture, stats) = HeapSnapshot::capture(&heap, &roots, &classes, 1, None);
+        let (capture, stats) =
+            HeapSnapshot::capture(&heap, &roots, &classes, 1, None).expect("quiescent heap");
         assert_eq!(stats.objects_marked, 1);
         let snapshot = capture.snapshot;
         let reach_of = |slot: u32| {
@@ -1016,7 +1089,8 @@ mod tests {
             }],
         };
         heap.begin_mark_epoch();
-        let (capture, _) = HeapSnapshot::capture(&heap, &roots, &classes, 1, Some(census));
+        let (capture, _) = HeapSnapshot::capture(&heap, &roots, &classes, 1, Some(census))
+            .expect("quiescent heap");
         let snapshot = capture.snapshot;
         let floater = snapshot.objects.iter().find(|o| o.id == sc.slot()).unwrap();
         assert_eq!(floater.reach, Reachability::Floating);
@@ -1083,7 +1157,8 @@ mod tests {
                 }
 
                 heap.begin_mark_epoch();
-                let (capture, _) = HeapSnapshot::capture(&heap, &roots, &classes, 1, None);
+                let (capture, _) = HeapSnapshot::capture(&heap, &roots, &classes, 1, None)
+                    .expect("quiescent heap");
                 let snapshot = capture.snapshot;
 
                 // Exact occupancy: same count, same slots, same bytes.

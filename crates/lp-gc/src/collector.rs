@@ -112,6 +112,16 @@ impl Collector {
         self.gc_count + 1
     }
 
+    /// Restores the collection counter from a checkpoint, so gc indices
+    /// continue the pre-crash sequence instead of restarting at 1 — the
+    /// staleness clock's logarithmic tick rule (`gc_index % 2^k`) and every
+    /// recorded history line key on this numbering. Statistics are not
+    /// restored; like heap statistics, they are telemetry, not program
+    /// state.
+    pub fn restore_collections(&mut self, gc_count: u64) {
+        self.gc_count = gc_count;
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &GcStats {
         &self.stats

@@ -11,6 +11,8 @@ use std::time::{Duration, Instant};
 
 use lp_telemetry::{Event, Telemetry};
 
+pub mod restore;
+
 use crate::class::ClassId;
 use crate::error::AllocError;
 use crate::finalizer::FinalizeLog;

@@ -1,0 +1,486 @@
+//! Checkpoint images and heap materialization.
+//!
+//! This module is the **only** place allowed to rebuild raw slot state —
+//! occupied slots with exact tag bits (including poison), the free list,
+//! slot generations, nursery membership — from serialized form. Everything
+//! else in the workspace reaches restored heaps through
+//! [`Heap::materialize`]; constructing slots any other way would bypass the
+//! allocator's invariants (lp-check rule R7 enforces the confinement).
+//!
+//! An image deliberately omits state that is *equivalent under restart*
+//! rather than part of program state:
+//!
+//! * **mark words and the epoch** — a materialized heap starts at epoch 0
+//!   with zeroed mark words, exactly like a fresh heap. The next
+//!   `begin_mark_epoch` moves to epoch 1 and every object is unmarked, which
+//!   is indistinguishable from the original heap's next collection.
+//! * **allocation statistics** ([`crate::HeapStats`]) — cumulative
+//!   telemetry, not program state.
+//! * **SATB state** — checkpoints are only taken at quiescent points with no
+//!   incremental cycle in flight, so there is nothing to record.
+//!
+//! Everything the mutator or the pruner can observe *is* recorded: exact
+//! field words (a restored poison bit must survive byte-for-byte), slot
+//! generations (a stale pre-crash handle must still miss), free-list order
+//! and nursery order (the allocator must hand out the same slots in the
+//! same order after restore as it would have without the crash).
+
+use std::fmt;
+
+use super::{ChunkSummary, Heap, CHUNK_SLOTS};
+use crate::class::ClassId;
+use crate::object::Object;
+use crate::stats::HeapStats;
+use lp_telemetry::Telemetry;
+
+/// Serialized form of one occupied slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotImage {
+    /// Slab index of the slot.
+    pub slot: u32,
+    /// The slot's current generation (stale handles must keep missing).
+    pub generation: u32,
+    /// Class of the object.
+    pub class: ClassId,
+    /// Simulated footprint in bytes.
+    pub footprint: u32,
+    /// Whether the object carries a finalizer.
+    pub finalizable: bool,
+    /// The 3-bit stale counter.
+    pub stale: u8,
+    /// Raw reference-field words, tag bits included.
+    pub refs: Vec<u32>,
+    /// Scalar payload words.
+    pub data: Vec<u64>,
+}
+
+/// Serialized form of an entire heap, sufficient to rebuild it exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HeapImage {
+    /// Heap capacity in simulated bytes.
+    pub capacity: u64,
+    /// Advisory soft budget, if one was registered.
+    pub soft_budget: Option<u64>,
+    /// Total slab size (occupied + free slots).
+    pub slot_count: u32,
+    /// Every occupied slot, in ascending slot order.
+    pub slots: Vec<SlotImage>,
+    /// The free list in its exact order (most-recently-freed last), as
+    /// `(slot, generation)` pairs — free slots carry generations too, so a
+    /// handle into a reclaimed slot keeps missing after restore.
+    pub free: Vec<(u32, u32)>,
+    /// Nursery slots in allocation order.
+    pub young: Vec<u32>,
+    /// The remembered set (old slots storing young references), duplicates
+    /// preserved.
+    pub remembered: Vec<u32>,
+}
+
+/// Why a [`Heap::materialize`] call refused an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// A slot index is outside the declared slab size.
+    SlotOutOfRange(u32),
+    /// The same slot appears twice (occupied twice, freed twice, or both).
+    DuplicateSlot(u32),
+    /// A slot is neither occupied nor on the free list — the slab would
+    /// have a hole the allocator can never fill.
+    UnaccountedSlot(u32),
+    /// The live footprints sum past the declared capacity, which no
+    /// allocation sequence can produce.
+    CapacityExceeded {
+        /// Sum of live object footprints in the image.
+        used: u64,
+        /// The declared capacity.
+        capacity: u64,
+    },
+    /// A nursery entry names an empty or duplicated slot.
+    BadNurseryEntry(u32),
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::SlotOutOfRange(slot) => {
+                write!(f, "image references slot {slot} outside the declared slab")
+            }
+            RestoreError::DuplicateSlot(slot) => {
+                write!(f, "slot {slot} appears more than once in the image")
+            }
+            RestoreError::UnaccountedSlot(slot) => {
+                write!(f, "slot {slot} is neither occupied nor on the free list")
+            }
+            RestoreError::CapacityExceeded { used, capacity } => {
+                write!(
+                    f,
+                    "image uses {used} bytes but declares capacity {capacity}"
+                )
+            }
+            RestoreError::BadNurseryEntry(slot) => {
+                write!(f, "nursery entry {slot} is empty or duplicated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl Heap {
+    /// Captures a complete image of this heap.
+    ///
+    /// Must be called at a quiescent point: no marker or sweep threads
+    /// running and no incremental mark cycle active (the SATB log would be
+    /// lost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an incremental mark cycle is active.
+    pub fn image(&self) -> HeapImage {
+        assert!(
+            !self.satb_active,
+            "heap image during an active incremental mark cycle"
+        );
+        let slots = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let object = slot.as_ref()?;
+                Some(SlotImage {
+                    slot: i as u32,
+                    generation: self.generations[i],
+                    class: object.class(),
+                    footprint: object.footprint(),
+                    finalizable: object.is_finalizable(),
+                    stale: object.stale(),
+                    refs: (0..object.ref_count())
+                        .map(|f| object.load_ref(f).raw())
+                        .collect(),
+                    data: (0..object.data_count())
+                        .map(|w| object.load_word(w))
+                        .collect(),
+                })
+            })
+            .collect();
+        HeapImage {
+            capacity: self.capacity,
+            soft_budget: self.soft_budget,
+            slot_count: u32::try_from(self.slots.len()).expect("slab fits u32"),
+            slots,
+            free: self
+                .free
+                .iter()
+                .map(|&slot| (slot, self.generations[slot as usize]))
+                .collect(),
+            young: self.young.clone(),
+            remembered: self.remembered.clone(),
+        }
+    }
+
+    /// Rebuilds a heap from an image, restoring every slot exactly:
+    /// occupied slots with their raw field words (tag bits, poison
+    /// included), the free list in order, per-slot generations, chunk
+    /// occupancy summaries, byte accounting, and the nursery.
+    ///
+    /// The result starts at mark epoch 0 with all mark words clear and no
+    /// SATB cycle — the same collection-facing state as a fresh heap, which
+    /// behaves identically from the next `begin_mark_epoch` on. It passes
+    /// [`Heap::verify`] by construction (the image is validated against the
+    /// same invariants first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RestoreError`] if the image is internally inconsistent:
+    /// out-of-range or duplicated slots, slab holes, nursery entries naming
+    /// empty slots, or footprints exceeding the declared capacity.
+    pub fn materialize(image: &HeapImage) -> Result<Heap, RestoreError> {
+        let slot_count = image.slot_count as usize;
+        let mut slots: Vec<Option<Object>> = Vec::with_capacity(slot_count);
+        slots.resize_with(slot_count, || None);
+        let mut generations = vec![0u32; slot_count];
+        let mut seen = vec![false; slot_count];
+
+        let mut used_bytes = 0u64;
+        let mut live_objects = 0u64;
+        let chunk_count = slot_count.div_ceil(CHUNK_SLOTS);
+        let mut chunks: Vec<ChunkSummary> = (0..chunk_count).map(|_| ChunkSummary::new()).collect();
+
+        for slot_image in &image.slots {
+            let i = slot_image.slot as usize;
+            if i >= slot_count {
+                return Err(RestoreError::SlotOutOfRange(slot_image.slot));
+            }
+            if seen[i] {
+                return Err(RestoreError::DuplicateSlot(slot_image.slot));
+            }
+            seen[i] = true;
+            let object = Object::from_image(
+                slot_image.class,
+                slot_image.footprint,
+                slot_image.finalizable,
+                slot_image.stale,
+                &slot_image.refs,
+                &slot_image.data,
+            );
+            used_bytes += u64::from(object.footprint());
+            live_objects += 1;
+            chunks[i / CHUNK_SLOTS].occupied += 1;
+            slots[i] = Some(object);
+            generations[i] = slot_image.generation;
+        }
+
+        let mut free = Vec::with_capacity(image.free.len());
+        for &(slot, generation) in &image.free {
+            let i = slot as usize;
+            if i >= slot_count {
+                return Err(RestoreError::SlotOutOfRange(slot));
+            }
+            if seen[i] {
+                return Err(RestoreError::DuplicateSlot(slot));
+            }
+            seen[i] = true;
+            generations[i] = generation;
+            free.push(slot);
+        }
+
+        if let Some(hole) = seen.iter().position(|&s| !s) {
+            return Err(RestoreError::UnaccountedSlot(hole as u32));
+        }
+        if used_bytes > image.capacity {
+            return Err(RestoreError::CapacityExceeded {
+                used: used_bytes,
+                capacity: image.capacity,
+            });
+        }
+
+        let mut young_flags = vec![false; slot_count];
+        let mut young_bytes = 0u64;
+        for &slot in &image.young {
+            let i = slot as usize;
+            if i >= slot_count || young_flags[i] {
+                return Err(RestoreError::BadNurseryEntry(slot));
+            }
+            let Some(object) = slots[i].as_ref() else {
+                return Err(RestoreError::BadNurseryEntry(slot));
+            };
+            young_flags[i] = true;
+            young_bytes += u64::from(object.footprint());
+        }
+        for &slot in &image.remembered {
+            if slot as usize >= slot_count {
+                return Err(RestoreError::SlotOutOfRange(slot));
+            }
+        }
+
+        let marks = (0..slot_count)
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
+        Ok(Heap {
+            slots,
+            free,
+            marks,
+            generations,
+            epoch: 0,
+            used_bytes,
+            live_objects,
+            capacity: image.capacity,
+            soft_budget: image.soft_budget,
+            stats: HeapStats::default(),
+            young: image.young.clone(),
+            young_flags,
+            young_bytes,
+            remembered: image.remembered.clone(),
+            chunks,
+            satb: Vec::new(),
+            satb_active: false,
+            satb_overflow: 0,
+            satb_young_watermark: 0,
+            telemetry: Telemetry::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassRegistry;
+    use crate::layout::AllocSpec;
+    use crate::tagged::TaggedRef;
+
+    fn heap_with_class() -> (Heap, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let cls = reg.register("T");
+        (Heap::new(1 << 24), cls)
+    }
+
+    /// Builds a heap exercising every slot state: live objects with tagged
+    /// and poisoned references, a poisoned dangle into a reclaimed slot,
+    /// recycled slots with bumped generations, young objects, and a
+    /// remembered-set entry.
+    fn worked_heap() -> (Heap, ClassId) {
+        let (mut heap, cls) = heap_with_class();
+        let a = heap.alloc(cls, &AllocSpec::new(3, 2, 10)).unwrap();
+        let b = heap.alloc(cls, &AllocSpec::with_refs(1)).unwrap();
+        let dead = heap.alloc(cls, &AllocSpec::leaf(100)).unwrap();
+        let dead2 = heap.alloc(cls, &AllocSpec::leaf(50)).unwrap();
+        heap.object(a)
+            .store_ref(0, TaggedRef::from_handle(b).with_unlogged());
+        heap.object(a)
+            .store_ref(1, TaggedRef::from_handle(dead).with_poison());
+        heap.object(a).store_word(1, 0xfeed_face);
+        heap.object(b).set_stale(5);
+        heap.set_finalizable(b);
+
+        heap.begin_mark_epoch();
+        heap.try_mark(a.slot());
+        heap.try_mark(b.slot());
+        heap.sweep(); // `dead`/`dead2` reclaimed; a's poisoned field 1 dangles
+
+        // Young survivor (recycling dead2's slot at a bumped generation)
+        // plus a remembered-set entry. dead's slot 2 stays on the free list.
+        let young = heap.alloc(cls, &AllocSpec::leaf(8)).unwrap();
+        assert_eq!(young.slot(), dead2.slot(), "slot recycled");
+        assert_ne!(young, dead2, "generation bumped");
+        heap.object(b)
+            .store_ref(0, TaggedRef::from_handle(young).with_unlogged());
+        heap.note_old_to_young(b.slot());
+        (heap, cls)
+    }
+
+    #[test]
+    fn image_roundtrip_is_exact() {
+        let (heap, _) = worked_heap();
+        assert_eq!(heap.verify(), Vec::new(), "source heap healthy");
+        let image = heap.image();
+        let restored = Heap::materialize(&image).expect("image is valid");
+
+        assert_eq!(restored.verify(), Vec::new(), "restored heap healthy");
+        assert_eq!(restored.used_bytes(), heap.used_bytes());
+        assert_eq!(restored.live_objects(), heap.live_objects());
+        assert_eq!(restored.capacity(), heap.capacity());
+        assert_eq!(restored.free_slots(), heap.free_slots());
+        assert_eq!(restored.young_slots(), heap.young_slots());
+        assert_eq!(restored.young_bytes(), heap.young_bytes());
+        assert_eq!(restored.remembered_slots(), heap.remembered_slots());
+        // The second capture is bit-identical: image() ∘ materialize() is
+        // the identity on images.
+        assert_eq!(restored.image(), image);
+    }
+
+    #[test]
+    fn poison_and_generations_survive_restore() {
+        let (heap, _) = worked_heap();
+        let image = heap.image();
+        let restored = Heap::materialize(&image).expect("valid");
+        // Slot 0 field 1 was poisoned and dangles into reclaimed slot 2.
+        let a = restored.handle_at(0);
+        let poisoned = restored.object(a).load_ref(1);
+        assert!(poisoned.is_poisoned() && poisoned.is_unlogged());
+        assert_eq!(poisoned.slot(), Some(2));
+        // The reclaimed slot's generation was bumped; a stale handle
+        // fabricated at generation 0 must keep missing.
+        assert!(restored.object_by_slot(2).is_none());
+        assert_eq!(restored.object(a).load_word(1), 0xfeed_face);
+        assert_eq!(restored.object(restored.handle_at(1)).stale(), 5);
+        assert!(restored.object(restored.handle_at(1)).is_finalizable());
+    }
+
+    #[test]
+    fn allocation_after_restore_matches_original() {
+        let (mut heap, cls) = worked_heap();
+        let image = heap.image();
+        let mut restored = Heap::materialize(&image).expect("valid");
+        // The allocators are in lock-step: same slots, same generations.
+        for i in 0..6u32 {
+            let x = heap.alloc(cls, &AllocSpec::leaf(i * 8)).unwrap();
+            let y = restored.alloc(cls, &AllocSpec::leaf(i * 8)).unwrap();
+            assert_eq!(x, y, "allocation {i} diverged");
+        }
+        assert_eq!(heap.used_bytes(), restored.used_bytes());
+    }
+
+    #[test]
+    fn collection_after_restore_matches_original() {
+        let (mut heap, _) = worked_heap();
+        let mut restored = Heap::materialize(&heap.image()).expect("valid");
+        for h in [&mut heap, &mut restored] {
+            h.begin_mark_epoch();
+            h.try_mark(0);
+            h.try_mark(1);
+        }
+        let a = heap.sweep();
+        let b = restored.sweep();
+        assert_eq!(a, b, "sweep outcomes diverged");
+        assert_eq!(heap.free_slots(), restored.free_slots());
+    }
+
+    #[test]
+    fn out_of_range_slot_is_refused() {
+        let (heap, _) = worked_heap();
+        let mut image = heap.image();
+        image.slots[0].slot = image.slot_count + 7;
+        assert!(matches!(
+            Heap::materialize(&image),
+            Err(RestoreError::SlotOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_unaccounted_slots_are_refused() {
+        let (heap, _) = worked_heap();
+        let mut image = heap.image();
+        // Occupied slot also on the free list: duplicate.
+        image.free.push((image.slots[0].slot, 0));
+        assert!(matches!(
+            Heap::materialize(&image),
+            Err(RestoreError::DuplicateSlot(_))
+        ));
+
+        let mut image = heap.image();
+        // Drop a free-list entry: its slot becomes a hole.
+        let (hole, _) = image.free.pop().expect("worked heap has a free slot");
+        assert_eq!(
+            Heap::materialize(&image).err(),
+            Some(RestoreError::UnaccountedSlot(hole))
+        );
+    }
+
+    #[test]
+    fn capacity_overflow_is_refused() {
+        let (heap, _) = worked_heap();
+        let mut image = heap.image();
+        image.capacity = 4;
+        assert!(matches!(
+            Heap::materialize(&image),
+            Err(RestoreError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_nursery_entries_are_refused() {
+        let (heap, _) = worked_heap();
+        let mut image = heap.image();
+        let young = image.young[0];
+        image.young.push(young); // duplicate
+        assert_eq!(
+            Heap::materialize(&image).err(),
+            Some(RestoreError::BadNurseryEntry(young))
+        );
+
+        let mut image = heap.image();
+        image.young[0] = 2; // slot 2 is empty (reclaimed)
+        assert_eq!(
+            Heap::materialize(&image).err(),
+            Some(RestoreError::BadNurseryEntry(2))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "active incremental mark cycle")]
+    fn image_refuses_mid_cycle_capture() {
+        let (mut heap, _) = worked_heap();
+        heap.begin_mark_epoch();
+        heap.satb_begin();
+        let _ = heap.image();
+    }
+}

@@ -58,10 +58,11 @@ pub mod verify;
 pub use class::{ClassId, ClassRegistry};
 pub use error::AllocError;
 pub use finalizer::FinalizeLog;
+pub use heap::restore::{HeapImage, RestoreError, SlotImage};
 pub use heap::{Heap, SweepOutcome, CHUNK_SLOTS, SATB_LOG_CAP};
 pub use layout::{AllocSpec, HEADER_BYTES, REF_BYTES, WORD_BYTES};
 pub use object::{Object, STALE_MAX};
-pub use roots::{FrameId, RootSet, StaticId, REGISTER_FILE_SIZE};
+pub use roots::{FrameId, RootImage, RootSet, StaticId, REGISTER_FILE_SIZE};
 pub use stats::HeapStats;
 pub use tagged::{Handle, TaggedRef};
 pub use verify::Violation;

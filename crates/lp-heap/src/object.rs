@@ -51,6 +51,30 @@ impl Object {
         }
     }
 
+    /// Rebuilds an object from checkpointed raw parts: the exact field
+    /// words (tag bits included — a restored poison bit must survive
+    /// byte-for-byte), scalar payload, and header state. Only the restore
+    /// path ([`crate::heap::restore`]) constructs objects this way; normal
+    /// allocation goes through [`Object::new`], which starts every field
+    /// null.
+    pub(crate) fn from_image(
+        class: ClassId,
+        footprint: u32,
+        finalizable: bool,
+        stale: u8,
+        refs: &[u32],
+        data: &[u64],
+    ) -> Self {
+        Object {
+            class,
+            footprint,
+            finalizable,
+            stale: AtomicU8::new(stale.min(STALE_MAX)),
+            refs: refs.iter().map(|&raw| FieldWord::new(raw)).collect(),
+            data: data.iter().map(|&word| AtomicU64::new(word)).collect(),
+        }
+    }
+
     /// The object's class.
     pub fn class(&self) -> ClassId {
         self.class

@@ -89,6 +89,23 @@ impl RootSet {
         self.statics.len()
     }
 
+    /// Reconstructs the id of static slot `index` — the reattach hook a
+    /// restored program uses to re-derive ids it held before a checkpoint
+    /// ([`RootSet::from_image`] preserves slot numbering exactly). `None`
+    /// if no such slot exists.
+    pub fn static_id(&self, index: u32) -> Option<StaticId> {
+        ((index as usize) < self.statics.len()).then_some(StaticId(index))
+    }
+
+    /// Reconstructs the id of frame `index` if that frame is live — the
+    /// frame-side reattach hook. `None` for popped or never-pushed frames.
+    pub fn frame_id(&self, index: u32) -> Option<FrameId> {
+        match self.frames.get(index as usize) {
+            Some(Some(_)) => Some(FrameId(index)),
+            _ => None,
+        }
+    }
+
     /// Pushes a stack frame with `slots` local reference slots (all null),
     /// e.g. when the program spawns a thread or enters a tracked scope.
     pub fn push_frame(&mut self, slots: usize) -> FrameId {
@@ -172,6 +189,70 @@ impl RootSet {
             .flat_map(|f| f.iter().copied().flatten());
         statics.chain(frames).chain(self.registers.iter().copied())
     }
+
+    /// Captures a complete serializable image of the root set, preserving
+    /// slot numbering: every [`StaticId`] and [`FrameId`] handed out before
+    /// the capture keeps designating the same slot after
+    /// [`RootSet::from_image`].
+    pub fn image(&self) -> RootImage {
+        let pair = |h: &Handle| (h.slot(), h.generation());
+        RootImage {
+            statics: self.statics.iter().map(|s| s.as_ref().map(pair)).collect(),
+            frames: self
+                .frames
+                .iter()
+                .map(|f| {
+                    f.as_ref()
+                        .map(|slots| slots.iter().map(|s| s.as_ref().map(pair)).collect())
+                })
+                .collect(),
+            free_frames: self.free_frames.clone(),
+            registers: self.registers.iter().map(pair).collect(),
+        }
+    }
+
+    /// Rebuilds a root set from an image. Handles are reconstructed with
+    /// their recorded generations, so roots into since-reclaimed slots (if
+    /// an image were doctored to contain any) still miss rather than alias.
+    pub fn from_image(image: &RootImage) -> RootSet {
+        let handle = |&(slot, generation): &(u32, u32)| Handle::from_parts(slot, generation);
+        RootSet {
+            statics: image
+                .statics
+                .iter()
+                .map(|s| s.as_ref().map(handle))
+                .collect(),
+            frames: image
+                .frames
+                .iter()
+                .map(|f| {
+                    f.as_ref()
+                        .map(|slots| slots.iter().map(|s| s.as_ref().map(handle)).collect())
+                })
+                .collect(),
+            free_frames: image.free_frames.clone(),
+            registers: image.registers.iter().map(handle).collect(),
+        }
+    }
+}
+
+/// One frame's slots in a [`RootImage`]: `(slot, generation)` pairs,
+/// `None` = null slot.
+pub type FrameImage = Vec<Option<(u32, u32)>>;
+
+/// Serialized form of a [`RootSet`]: handles flattened to
+/// `(slot, generation)` pairs, structure (static numbering, frame slots,
+/// recycled-frame list, register order) preserved exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RootImage {
+    /// Static slots in id order (`None` = null slot).
+    pub statics: Vec<Option<(u32, u32)>>,
+    /// Frames in id order; `None` marks a popped frame awaiting reuse.
+    pub frames: Vec<Option<FrameImage>>,
+    /// Popped frame ids available for reuse, in recycling order.
+    pub free_frames: Vec<u32>,
+    /// The register file, oldest first.
+    pub registers: Vec<(u32, u32)>,
 }
 
 #[cfg(test)]

@@ -1,0 +1,448 @@
+//! The per-tenant request journal: an append-only, write-ahead JSONL log.
+//!
+//! One line per served request, written and (periodically) fsynced *before*
+//! the request runs — so after a crash the journal is a superset of the
+//! requests whose effects reached the heap, never a subset. Replaying the
+//! journal suffix past a checkpoint's watermark therefore reconstructs the
+//! pre-crash state exactly; re-serving a request whose effects were lost
+//! with the dirty heap is safe because service handlers are deterministic
+//! functions of `(state, seq)`.
+//!
+//! The format is two line shapes:
+//!
+//! ```text
+//! {"k": "journal", "v": 1, "tenant": "leaky"}
+//! {"k": "req", "seq": 1}
+//! {"k": "req", "seq": 2}
+//! ```
+//!
+//! Sequence numbers are 1-based and contiguous. The reader tolerates
+//! exactly one *torn final line* — what a `kill -9` mid-append leaves —
+//! and reports its byte offset so a recovering writer can truncate it
+//! away; any other malformation is an error, not a tolerated tail.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+
+use lp_telemetry::json::{self, JsonValue};
+
+/// Current journal format version.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Append-side handle to a tenant's journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    next_seq: u64,
+    fsync_every: u64,
+    unsynced: u64,
+}
+
+impl Journal {
+    /// Creates (or truncates) a journal at `path`, writing and fsyncing the
+    /// header line. The first [`Journal::append`] will return seq 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path, tenant: &str) -> std::io::Result<Journal> {
+        let mut file = File::create(path)?;
+        let header = JsonValue::Obj(vec![
+            ("k".to_owned(), JsonValue::Str("journal".to_owned())),
+            ("v".to_owned(), JsonValue::from_u64(JOURNAL_VERSION)),
+            ("tenant".to_owned(), JsonValue::Str(tenant.to_owned())),
+        ]);
+        file.write_all(format!("{header}\n").as_bytes())?;
+        file.sync_all()?;
+        Ok(Journal {
+            file,
+            next_seq: 1,
+            fsync_every: 1,
+            unsynced: 0,
+        })
+    }
+
+    /// Reopens an existing journal for appending after recovery: validates
+    /// it with [`read_journal`], truncates a torn tail if the crash left
+    /// one, and positions the writer after the last intact entry.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError`] if the existing file is malformed beyond a torn
+    /// tail; filesystem errors as [`JournalError::Io`].
+    pub fn reopen(path: &Path) -> Result<Journal, JournalError> {
+        let read = read_journal(path)?;
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| JournalError::Io(e.to_string()))?;
+        // Drop the torn tail (if any) so the next append starts on a clean
+        // line boundary.
+        file.set_len(read.valid_bytes)
+            .map_err(|e| JournalError::Io(e.to_string()))?;
+        let mut journal = Journal {
+            file,
+            next_seq: read.entries + 1,
+            fsync_every: 1,
+            unsynced: 0,
+        };
+        use std::io::Seek as _;
+        journal
+            .file
+            .seek(std::io::SeekFrom::End(0))
+            .map_err(|e| JournalError::Io(e.to_string()))?;
+        Ok(journal)
+    }
+
+    /// Sets the fsync cadence: the file is fsynced after every `n` appends
+    /// (and always on [`Journal::sync`]). `n = 1` (the default) makes every
+    /// entry durable before its request is served; larger `n` trades the
+    /// last `n - 1` requests' durability for throughput. `n = 0` is treated
+    /// as 1.
+    pub fn set_fsync_every(&mut self, n: u64) {
+        self.fsync_every = n.max(1);
+    }
+
+    /// Appends the next entry — write-ahead, so call this *before* serving
+    /// the request — and returns its sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; on error the entry must be considered
+    /// not durable and the request must not be served.
+    pub fn append(&mut self) -> std::io::Result<u64> {
+        let seq = self.next_seq;
+        let line = JsonValue::Obj(vec![
+            ("k".to_owned(), JsonValue::Str("req".to_owned())),
+            ("seq".to_owned(), JsonValue::from_u64(seq)),
+        ]);
+        self.file.write_all(format!("{line}\n").as_bytes())?;
+        self.unsynced += 1;
+        if self.unsynced >= self.fsync_every {
+            self.file.sync_all()?;
+            self.unsynced = 0;
+        }
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Forces an fsync of everything appended so far.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_all()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// The last sequence number appended (0 if none yet).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+}
+
+/// The validated contents of a journal file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRead {
+    /// Tenant name from the header.
+    pub tenant: String,
+    /// Number of intact entries; their sequence numbers are `1..=entries`
+    /// (contiguity is validated).
+    pub entries: u64,
+    /// Whether the file ended in a torn final line (a crash mid-append).
+    pub torn_tail: bool,
+    /// Byte length of the intact prefix — what a recovering writer
+    /// truncates the file to before appending again.
+    pub valid_bytes: u64,
+}
+
+/// Why a journal file was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The file could not be read.
+    Io(String),
+    /// The file is empty or its first line is not a journal header.
+    NotAJournal,
+    /// The header's version is unsupported.
+    Version(u64),
+    /// A non-final line is malformed — torn-tail tolerance covers only the
+    /// last line, anything else is corruption.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Entry sequence numbers are not contiguous from 1.
+    Gap {
+        /// The sequence number expected at this line.
+        expected: u64,
+        /// The sequence number found.
+        found: u64,
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(reason) => write!(f, "journal io: {reason}"),
+            JournalError::NotAJournal => write!(f, "file is not a request journal"),
+            JournalError::Version(v) => write!(f, "unsupported journal version {v}"),
+            JournalError::Malformed { line, reason } => {
+                write!(f, "journal line {line}: {reason}")
+            }
+            JournalError::Gap {
+                expected,
+                found,
+                line,
+            } => write!(
+                f,
+                "journal line {line}: expected seq {expected}, found {found} — \
+                 entries must be contiguous"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Reads and validates a journal file, tolerating exactly one torn final
+/// line (the mark of a crash mid-append).
+///
+/// # Errors
+///
+/// See [`JournalError`].
+pub fn read_journal(path: &Path) -> Result<JournalRead, JournalError> {
+    let text = std::fs::read_to_string(path).map_err(|e| JournalError::Io(e.to_string()))?;
+    read_journal_text(&text)
+}
+
+/// [`read_journal`] over in-memory text (the reader is pure; the file
+/// variant just adds I/O).
+///
+/// # Errors
+///
+/// See [`JournalError`].
+pub fn read_journal_text(text: &str) -> Result<JournalRead, JournalError> {
+    // Split manually so byte offsets are exact: a final chunk without a
+    // trailing '\n' is by definition an unfinished append.
+    let mut offset = 0usize;
+    let mut lines: Vec<(usize, usize, &str, bool)> = Vec::new(); // (line_no, start, text, complete)
+    let mut line_no = 0usize;
+    let bytes = text.as_bytes();
+    while offset < bytes.len() {
+        line_no += 1;
+        let rest = &text[offset..];
+        match rest.find('\n') {
+            Some(nl) => {
+                lines.push((line_no, offset, &rest[..nl], true));
+                offset += nl + 1;
+            }
+            None => {
+                lines.push((line_no, offset, rest, false));
+                offset = bytes.len();
+            }
+        }
+    }
+
+    let Some(&(_, _, header_raw, header_complete)) = lines.first() else {
+        return Err(JournalError::NotAJournal);
+    };
+    if !header_complete {
+        // Even the header never finished writing: an empty journal.
+        return Err(JournalError::NotAJournal);
+    }
+    let header = json::parse(header_raw).map_err(|_| JournalError::NotAJournal)?;
+    if header.get("k").and_then(JsonValue::as_str) != Some("journal") {
+        return Err(JournalError::NotAJournal);
+    }
+    let version = header
+        .get("v")
+        .and_then(JsonValue::as_u64)
+        .ok_or(JournalError::NotAJournal)?;
+    if version != JOURNAL_VERSION {
+        return Err(JournalError::Version(version));
+    }
+    let tenant = header
+        .get("tenant")
+        .and_then(JsonValue::as_str)
+        .ok_or(JournalError::NotAJournal)?
+        .to_owned();
+
+    let mut entries = 0u64;
+    let mut torn_tail = false;
+    let mut valid_bytes = lines[0].1 as u64 + header_raw.len() as u64 + 1;
+    let last_index = lines.len() - 1;
+    for (index, &(line_no, start, raw, complete)) in lines.iter().enumerate().skip(1) {
+        let is_last = index == last_index;
+        let entry = (|| -> Result<u64, String> {
+            if !complete {
+                return Err("line has no terminating newline".to_owned());
+            }
+            let value = json::parse(raw).map_err(|e| e.to_string())?;
+            if value.get("k").and_then(JsonValue::as_str) != Some("req") {
+                return Err("not a \"req\" line".to_owned());
+            }
+            value
+                .get("seq")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| "missing seq".to_owned())
+        })();
+        match entry {
+            Ok(seq) => {
+                if seq != entries + 1 {
+                    return Err(JournalError::Gap {
+                        expected: entries + 1,
+                        found: seq,
+                        line: line_no,
+                    });
+                }
+                entries = seq;
+                valid_bytes = start as u64 + raw.len() as u64 + 1;
+            }
+            Err(reason) if is_last => {
+                // The torn tail a kill -9 mid-append leaves behind; the
+                // recovering writer truncates to `valid_bytes`.
+                let _ = reason;
+                torn_tail = true;
+            }
+            Err(reason) => {
+                return Err(JournalError::Malformed {
+                    line: line_no,
+                    reason,
+                });
+            }
+        }
+    }
+    Ok(JournalRead {
+        tenant,
+        entries,
+        torn_tail,
+        valid_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tempfile(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lp-recovery-journal-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("tempdir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let path = tempfile("clean.journal");
+        let mut journal = Journal::create(&path, "leaky").expect("create");
+        journal.set_fsync_every(8);
+        for expected in 1..=20u64 {
+            assert_eq!(journal.append().expect("append"), expected);
+        }
+        journal.sync().expect("sync");
+        assert_eq!(journal.last_seq(), 20);
+
+        let read = read_journal(&path).expect("read");
+        assert_eq!(read.tenant, "leaky");
+        assert_eq!(read.entries, 20);
+        assert!(!read.torn_tail);
+        assert_eq!(
+            read.valid_bytes,
+            fs::metadata(&path).expect("meta").len(),
+            "clean file is valid to the last byte"
+        );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_and_truncated_on_reopen() {
+        let path = tempfile("torn.journal");
+        let mut journal = Journal::create(&path, "t").expect("create");
+        for _ in 0..5 {
+            journal.append().expect("append");
+        }
+        drop(journal);
+        let intact = fs::metadata(&path).expect("meta").len();
+        // Simulate kill -9 mid-append: half an entry, no newline.
+        let mut text = fs::read_to_string(&path).expect("read");
+        text.push_str("{\"k\": \"req\", \"se");
+        fs::write(&path, &text).expect("write torn");
+
+        let read = read_journal(&path).expect("torn tail tolerated");
+        assert_eq!(read.entries, 5);
+        assert!(read.torn_tail);
+        assert_eq!(read.valid_bytes, intact);
+
+        // Reopen truncates the tail and continues the sequence.
+        let mut journal = Journal::reopen(&path).expect("reopen");
+        assert_eq!(journal.append().expect("append"), 6);
+        drop(journal);
+        let read = read_journal(&path).expect("clean again");
+        assert_eq!(read.entries, 6);
+        assert!(!read.torn_tail);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_complete_line_with_newline_is_also_tolerated() {
+        // A torn write can still land the newline (e.g. truncated JSON
+        // followed by the next buffered byte being '\n').
+        let text = "{\"k\": \"journal\", \"v\": 1, \"tenant\": \"t\"}\n\
+                    {\"k\": \"req\", \"seq\": 1}\n\
+                    {\"k\": \"req\", \"se\n";
+        let read = read_journal_text(text).expect("tolerated");
+        assert_eq!(read.entries, 1);
+        assert!(read.torn_tail);
+    }
+
+    #[test]
+    fn malformed_middle_lines_are_errors() {
+        let text = "{\"k\": \"journal\", \"v\": 1, \"tenant\": \"t\"}\n\
+                    {\"k\": \"req\", \"se\n\
+                    {\"k\": \"req\", \"seq\": 2}\n";
+        assert!(matches!(
+            read_journal_text(text).unwrap_err(),
+            JournalError::Malformed { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn sequence_gaps_are_errors() {
+        let text = "{\"k\": \"journal\", \"v\": 1, \"tenant\": \"t\"}\n\
+                    {\"k\": \"req\", \"seq\": 1}\n\
+                    {\"k\": \"req\", \"seq\": 3}\n";
+        assert_eq!(
+            read_journal_text(text).unwrap_err(),
+            JournalError::Gap {
+                expected: 2,
+                found: 3,
+                line: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn non_journals_are_refused() {
+        assert_eq!(
+            read_journal_text("").unwrap_err(),
+            JournalError::NotAJournal
+        );
+        assert_eq!(
+            read_journal_text("{\"k\": \"checkpoint\", \"v\": 1}\n").unwrap_err(),
+            JournalError::NotAJournal
+        );
+        assert_eq!(
+            read_journal_text("{\"k\": \"journal\", \"v\": 9, \"tenant\": \"t\"}\n").unwrap_err(),
+            JournalError::Version(9)
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests for the checkpoint/restore round-trip: random object
+//! graphs driven through collections and prunes must survive
+//! checkpoint → serialize → parse → restore with a clean heap verifier and
+//! an identical fingerprint — the whole-file analogue of
+//! `Heap::materialize`'s image-identity tests.
+
+use leak_pruning::{PruningConfig, Runtime, RuntimeError};
+use lp_heap::AllocSpec;
+use lp_recovery::{Checkpoint, CheckpointError};
+use proptest::prelude::*;
+
+const KB: u64 = 1024;
+
+/// Drives a runtime through a random op sequence: spine-growing linked
+/// allocations (the leak shape that provokes pruning), leaf garbage,
+/// read-backs (staleness clock), register releases, forced collections,
+/// frame push/pop, and occasional static clears. Small heap, so sweeps and
+/// prune storms happen naturally.
+fn drive(ops: &[u8]) -> Runtime {
+    let mut rt = Runtime::new(PruningConfig::builder(64 * KB).build());
+    let node = rt.register_class("prop.Node");
+    let leaf = rt.register_class("prop.Leaf");
+    let head = rt.add_static();
+    let mut frames = Vec::new();
+    for (i, &op) in ops.iter().enumerate() {
+        let step = || -> Result<(), RuntimeError> {
+            match op % 8 {
+                0 | 1 => {
+                    // Grow the static-rooted spine: the prunable shape.
+                    let n = rt.alloc(node, &AllocSpec::new(2, 1, 256))?;
+                    rt.write_field(n, 0, rt.static_ref(head));
+                    rt.write_word(n, 0, i as u64);
+                    rt.set_static(head, Some(n));
+                }
+                2 => {
+                    // Leaf garbage that the next sweep reclaims.
+                    rt.alloc(leaf, &AllocSpec::leaf(512 + (i as u32 % 7) * 64))?;
+                }
+                3 => {
+                    // Read the spine head back (advances staleness uses).
+                    if let Some(h) = rt.static_ref(head) {
+                        let _ = rt.read_field(h, 0)?;
+                    }
+                }
+                4 => rt.release_registers(),
+                5 => {
+                    let _ = rt.force_gc();
+                }
+                6 => {
+                    // A frame root holding a fresh allocation.
+                    let f = rt.push_frame(1);
+                    let n = rt.alloc(leaf, &AllocSpec::leaf(64))?;
+                    rt.set_frame_ref(f, 0, Some(n));
+                    frames.push(f);
+                }
+                _ => {
+                    if i % 3 == 0 {
+                        if let Some(f) = frames.pop() {
+                            rt.pop_frame(f);
+                        }
+                    } else {
+                        rt.set_static(head, None);
+                    }
+                }
+            }
+            Ok(())
+        }();
+        match step {
+            // Pruned-access throws and deferred OOM are normal outcomes of
+            // leaking into a 64 KB heap; the graph that remains is exactly
+            // the poisoned/dead-but-reachable state the round-trip must
+            // preserve.
+            Ok(()) | Err(RuntimeError::PrunedAccess(_)) | Err(RuntimeError::OutOfMemory(_)) => {}
+        }
+    }
+    rt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Checkpoint → JSONL → parse → restore is the identity on
+    /// fingerprints, and the restored heap passes the full sanitizer.
+    #[test]
+    fn restore_fingerprint_identity(ops in proptest::collection::vec(any::<u8>(), 1..400)) {
+        let mut rt = drive(&ops);
+        let fingerprint = rt.fingerprint();
+        let checkpoint = Checkpoint::capture(&mut rt, ops.len() as u64);
+        prop_assert_eq!(checkpoint.fingerprint, fingerprint,
+            "capture is non-perturbing");
+
+        let parsed = match Checkpoint::parse(&checkpoint.to_jsonl()) {
+            Ok(parsed) => parsed,
+            Err(err) => panic!("parse failed: {err}"),
+        };
+        prop_assert_eq!(&parsed, &checkpoint, "file round-trip is lossless");
+
+        let config = PruningConfig::builder(64 * KB).build();
+        let mut restored = match parsed.restore(config) {
+            Ok(rt) => rt,
+            Err(err) => panic!("restore failed: {err}"),
+        };
+        prop_assert_eq!(restored.verify_heap(), Vec::new());
+        prop_assert_eq!(restored.fingerprint(), fingerprint);
+        prop_assert_eq!(restored.gc_count(), rt.gc_count());
+        prop_assert_eq!(restored.used_bytes(), rt.used_bytes());
+    }
+
+    /// Continuing the original and the restored runtime through the same
+    /// op suffix keeps them in lock step: state is a pure function of the
+    /// op sequence, which is what journal replay relies on.
+    #[test]
+    fn replay_after_restore_stays_in_lock_step(
+        prefix in proptest::collection::vec(any::<u8>(), 1..200),
+        suffix in proptest::collection::vec(any::<u8>(), 1..100),
+    ) {
+        let mut original = drive(&prefix);
+        let checkpoint = Checkpoint::capture(&mut original, prefix.len() as u64);
+        let mut restored = match checkpoint.restore(PruningConfig::builder(64 * KB).build()) {
+            Ok(rt) => rt,
+            Err(err) => panic!("restore failed: {err}"),
+        };
+
+        // Reattach by name and slot index, as a recovered service would.
+        let node = restored.classes().lookup("prop.Node").expect("class survives");
+        let head = restored.static_id(0).expect("static slot 0 survives");
+        let node_orig = original.classes().lookup("prop.Node").expect("class");
+        let head_orig = original.static_id(0).expect("static");
+        prop_assert_eq!(node, node_orig);
+        prop_assert_eq!(head, head_orig);
+
+        for (i, &op) in suffix.iter().enumerate() {
+            for rt in [&mut original, &mut restored] {
+                let step = || -> Result<(), RuntimeError> {
+                    match op % 3 {
+                        0 => {
+                            let n = rt.alloc(node, &AllocSpec::new(2, 1, 256))?;
+                            rt.write_field(n, 0, rt.static_ref(head));
+                            rt.write_word(n, 0, i as u64);
+                            rt.set_static(head, Some(n));
+                        }
+                        1 => {
+                            if let Some(h) = rt.static_ref(head) {
+                                let _ = rt.read_field(h, 0)?;
+                            }
+                        }
+                        _ => rt.release_registers(),
+                    }
+                    Ok(())
+                }();
+                match step {
+                    Ok(())
+                    | Err(RuntimeError::PrunedAccess(_))
+                    | Err(RuntimeError::OutOfMemory(_)) => {}
+                }
+            }
+        }
+        prop_assert_eq!(original.fingerprint(), restored.fingerprint());
+        prop_assert_eq!(original.gc_count(), restored.gc_count());
+    }
+}
+
+/// A v1 snapshot file — the oldest diagnostic format still parsed by
+/// `lp-diagnose` — must be refused for restore with the typed error, not
+/// misread as a checkpoint.
+#[test]
+fn v1_snapshot_is_refused_for_restore() {
+    let v1 = concat!(
+        "{\"v\": 1, \"gc\": 3, \"capacity\": 1024, \"classes\": [\"A\"], \"roots\": [0]}\n",
+        "{\"id\": 0, \"class\": 0, \"bytes\": 64, \"stale\": 0, \"refs\": []}\n",
+    );
+    // Sanity: lp-diagnose itself still accepts the v1 file.
+    lp_diagnose::HeapSnapshot::parse(v1).expect("v1 snapshot parses as a snapshot");
+    assert_eq!(
+        Checkpoint::parse(v1).unwrap_err(),
+        CheckpointError::NotACheckpoint {
+            snapshot_version: Some(1),
+        }
+    );
+}

@@ -23,6 +23,10 @@ pub struct TenantSpec {
     pub(crate) incremental_mark: Option<usize>,
     pub(crate) trace_path: Option<std::path::PathBuf>,
     pub(crate) postmortem_dir: Option<std::path::PathBuf>,
+    pub(crate) recovery_dir: Option<std::path::PathBuf>,
+    pub(crate) fsync_every: u64,
+    pub(crate) history_every: u64,
+    pub(crate) recover: bool,
     pub(crate) service: Box<dyn Service>,
 }
 
@@ -45,6 +49,10 @@ impl TenantSpec {
             incremental_mark: None,
             trace_path: None,
             postmortem_dir: None,
+            recovery_dir: None,
+            fsync_every: 1,
+            history_every: 50,
+            recover: false,
             service,
         }
     }
@@ -122,6 +130,42 @@ impl TenantSpec {
     /// context) into `dir`.
     pub fn postmortem_dir(mut self, dir: impl Into<std::path::PathBuf>) -> TenantSpec {
         self.postmortem_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables crash recovery for this tenant: a write-ahead request
+    /// journal (`<dir>/<name>.journal`), checkpoint files
+    /// (`<dir>/<name>.ckpt`, written on `POST /checkpoint` and
+    /// `POST /migrate`), and a fleet-history file (`<dir>/<name>.history`)
+    /// with one fingerprint line every [`TenantSpec::history_every`]
+    /// requests. With [`TenantSpec::recover`] set, the worker restores
+    /// from the checkpoint at boot and replays the journal suffix.
+    pub fn recovery_dir(mut self, dir: impl Into<std::path::PathBuf>) -> TenantSpec {
+        self.recovery_dir = Some(dir.into());
+        self
+    }
+
+    /// Journal durability knob: fsync the write-ahead journal every `n`
+    /// appends (default 1, every request). Raising it trades the last
+    /// few admitted requests on a crash for throughput.
+    pub fn fsync_every(mut self, n: u64) -> TenantSpec {
+        self.fsync_every = n.max(1);
+        self
+    }
+
+    /// How many requests between fleet-history fingerprint lines
+    /// (default 50).
+    pub fn history_every(mut self, requests: u64) -> TenantSpec {
+        self.history_every = requests.max(1);
+        self
+    }
+
+    /// Recover at boot: if a checkpoint exists in the recovery
+    /// directory, restore from it and replay the journal suffix past its
+    /// watermark; if only a journal exists, replay it from a fresh
+    /// runtime. No-op without [`TenantSpec::recovery_dir`].
+    pub fn recover(mut self, enabled: bool) -> TenantSpec {
+        self.recover = enabled;
         self
     }
 

@@ -427,6 +427,24 @@ impl Host {
             }
         }
 
+        // Recovery dispatch: operator-requested checkpoints and
+        // migrations run at the barrier, where the worker is between
+        // requests — the quiescent point the checkpoint format requires.
+        for index in 0..self.workers.len() {
+            if self.ops_state.tenants[index].take_checkpoint_request() {
+                let w = &mut self.workers[index];
+                if w.send(Command::Checkpoint) {
+                    w.wait();
+                }
+            }
+            if self.ops_state.tenants[index].take_migrate_request() {
+                let w = &mut self.workers[index];
+                if w.send(Command::Migrate) {
+                    w.wait();
+                }
+            }
+        }
+
         // Phase 4: publication (after postmortem dispatch, so a bundle
         // written this round is visible on the ops plane this round).
         self.publish();
@@ -454,6 +472,11 @@ impl Host {
             ops.set_postmortems(
                 w.last_report.postmortem_count,
                 w.last_report.postmortem_path.clone(),
+            );
+            ops.set_recovery(
+                w.last_report.replayed,
+                w.last_report.last_checkpoint.clone(),
+                w.last_report.restored_from.clone(),
             );
         }
     }

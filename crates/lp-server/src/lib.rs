@@ -54,6 +54,7 @@ pub mod config;
 pub mod host;
 pub mod loadgen;
 pub mod ops;
+mod recovery;
 mod tenant;
 
 pub use admission::{RejectReason, TenantCounters};

@@ -20,6 +20,12 @@
 //! - `POST /postmortem?tenant=NAME` — asks the named tenant's worker to
 //!   write a postmortem bundle at the next round barrier (202; the
 //!   bundle lands asynchronously, visible via `GET /postmortems`).
+//! - `POST /checkpoint?tenant=NAME` — asks a recovery-enabled tenant to
+//!   write a checkpoint file at the next round barrier (a quiescent
+//!   point); the path appears as `last_checkpoint` on `GET /tenants`.
+//! - `POST /migrate?tenant=NAME` — live migration: checkpoint, restore
+//!   the file into a fresh runtime, replay the journal suffix, swap.
+//!   The source checkpoint appears as `restored_from` on `GET /tenants`.
 //! - `POST /shutdown` — asks the host to stop serving.
 //!
 //! The server is deliberately minimal: one accept loop, blocking reads
@@ -98,6 +104,11 @@ pub(crate) struct TenantOps {
     postmortems: AtomicU64,
     last_postmortem: Mutex<Option<String>>,
     postmortem_requested: AtomicBool,
+    replayed: AtomicU64,
+    last_checkpoint: Mutex<Option<String>>,
+    restored_from: Mutex<Option<String>>,
+    checkpoint_requested: AtomicBool,
+    migrate_requested: AtomicBool,
 }
 
 impl TenantOps {
@@ -126,6 +137,11 @@ impl TenantOps {
             postmortems: AtomicU64::new(0),
             last_postmortem: Mutex::new(None),
             postmortem_requested: AtomicBool::new(false),
+            replayed: AtomicU64::new(0),
+            last_checkpoint: Mutex::new(None),
+            restored_from: Mutex::new(None),
+            checkpoint_requested: AtomicBool::new(false),
+            migrate_requested: AtomicBool::new(false),
         }
     }
 
@@ -176,6 +192,62 @@ impl TenantOps {
     /// Takes (and clears) the operator-requested postmortem flag.
     pub fn take_postmortem_request(&self) -> bool {
         self.postmortem_requested.swap(false, Ordering::Relaxed)
+    }
+
+    /// Publishes the tenant's recovery tally from the worker's last
+    /// report: boot-replay count, latest checkpoint path, and the
+    /// checkpoint this runtime was restored from (if any). Paths stick
+    /// once known, like the postmortem path.
+    pub fn set_recovery(
+        &self,
+        replayed: u64,
+        last_checkpoint: Option<String>,
+        restored_from: Option<String>,
+    ) {
+        self.replayed.store(replayed, Ordering::Relaxed);
+        if last_checkpoint.is_some() {
+            if let Ok(mut last) = self.last_checkpoint.lock() {
+                *last = last_checkpoint;
+            }
+        }
+        if restored_from.is_some() {
+            if let Ok(mut from) = self.restored_from.lock() {
+                *from = restored_from;
+            }
+        }
+    }
+
+    pub fn replayed(&self) -> u64 {
+        self.replayed.load(Ordering::Relaxed)
+    }
+
+    pub fn last_checkpoint_path(&self) -> Option<String> {
+        self.last_checkpoint.lock().ok().and_then(|p| p.clone())
+    }
+
+    pub fn restored_from_path(&self) -> Option<String> {
+        self.restored_from.lock().ok().and_then(|p| p.clone())
+    }
+
+    /// Arms the operator-requested checkpoint flag (`POST /checkpoint`);
+    /// the round loop drains it at the next barrier — a quiescent point.
+    pub fn request_checkpoint(&self) {
+        self.checkpoint_requested.store(true, Ordering::Relaxed);
+    }
+
+    /// Takes (and clears) the operator-requested checkpoint flag.
+    pub fn take_checkpoint_request(&self) -> bool {
+        self.checkpoint_requested.swap(false, Ordering::Relaxed)
+    }
+
+    /// Arms the operator-requested migration flag (`POST /migrate`).
+    pub fn request_migrate(&self) {
+        self.migrate_requested.store(true, Ordering::Relaxed);
+    }
+
+    /// Takes (and clears) the operator-requested migration flag.
+    pub fn take_migrate_request(&self) -> bool {
+        self.migrate_requested.swap(false, Ordering::Relaxed)
     }
 }
 
@@ -390,6 +462,17 @@ impl OpsState {
                         t.last_postmortem_path()
                             .map_or(JsonValue::Null, JsonValue::Str),
                     ),
+                    ("replayed".into(), JsonValue::from_u64(t.replayed())),
+                    (
+                        "last_checkpoint".into(),
+                        t.last_checkpoint_path()
+                            .map_or(JsonValue::Null, JsonValue::Str),
+                    ),
+                    (
+                        "restored_from".into(),
+                        t.restored_from_path()
+                            .map_or(JsonValue::Null, JsonValue::Str),
+                    ),
                 ])
             })
             .collect();
@@ -499,6 +582,30 @@ impl OpsState {
         match self.tenants.iter().find(|t| t.name == name) {
             Some(tenant) => {
                 tenant.request_postmortem();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Handles `POST /checkpoint`: arms the named tenant's checkpoint
+    /// flag. Returns `false` for an unknown tenant.
+    fn request_checkpoint(&self, name: &str) -> bool {
+        match self.tenants.iter().find(|t| t.name == name) {
+            Some(tenant) => {
+                tenant.request_checkpoint();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Handles `POST /migrate`: arms the named tenant's migration flag.
+    /// Returns `false` for an unknown tenant.
+    fn request_migrate(&self, name: &str) -> bool {
+        match self.tenants.iter().find(|t| t.name == name) {
+            Some(tenant) => {
+                tenant.request_migrate();
                 true
             }
             None => false,
@@ -646,6 +753,42 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<OpsState>) {
         ("POST", "/postmortem") => {
             let name = query_param(query, "tenant").unwrap_or("");
             if state.request_postmortem(name) {
+                respond(
+                    &mut stream,
+                    "202 Accepted",
+                    "application/json",
+                    "{\"requested\":true}",
+                );
+            } else {
+                respond(
+                    &mut stream,
+                    "404 Not Found",
+                    "text/plain",
+                    "unknown tenant\n",
+                );
+            }
+        }
+        ("POST", "/checkpoint") => {
+            let name = query_param(query, "tenant").unwrap_or("");
+            if state.request_checkpoint(name) {
+                respond(
+                    &mut stream,
+                    "202 Accepted",
+                    "application/json",
+                    "{\"requested\":true}",
+                );
+            } else {
+                respond(
+                    &mut stream,
+                    "404 Not Found",
+                    "text/plain",
+                    "unknown tenant\n",
+                );
+            }
+        }
+        ("POST", "/migrate") => {
+            let name = query_param(query, "tenant").unwrap_or("");
+            if state.request_migrate(name) {
                 respond(
                     &mut stream,
                     "202 Accepted",

@@ -1,0 +1,358 @@
+//! Worker-side crash recovery: per-tenant journal, checkpoint and
+//! fleet-history plumbing.
+//!
+//! A recovery-enabled tenant (see
+//! [`TenantSpec::recovery_dir`](crate::TenantSpec::recovery_dir)) keeps
+//! three files in its recovery directory:
+//!
+//! - `<name>.journal` — the write-ahead request journal. The worker
+//!   appends the request's sequence number *before* handing it to the
+//!   service, so every request that might have touched the heap is on
+//!   disk first (modulo the `fsync_every` durability knob).
+//! - `<name>.ckpt` — the latest [`Checkpoint`] file, written at a round
+//!   barrier (a quiescent point: no request in flight, journal synced)
+//!   on `POST /checkpoint` and as the first half of `POST /migrate`.
+//! - `<name>.history` — the fleet history: one JSON line every
+//!   `history_every` requests carrying the runtime fingerprint at that
+//!   request count. Because a tenant's state is a pure function of the
+//!   request sequence it has served, the history of a crashed-and-
+//!   recovered run is byte-identical to an uninterrupted run of the same
+//!   requests — which is exactly what the crash-recovery smoke check
+//!   diffs.
+//!
+//! Recovery at boot restores the checkpoint (if any), reattaches the
+//! service by name, truncates the history back to the checkpoint's
+//! watermark, and replays the journal suffix through the same service
+//! code — regenerating the truncated history lines on the way.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use leak_pruning::{PruningConfig, Runtime};
+use lp_recovery::{read_journal, Checkpoint, Journal};
+use lp_telemetry::{Event, PauseHistogram, PrometheusSink, TimeSeries};
+use lp_workloads::Service;
+
+/// How a worker builds its runtime — kept for the lifetime of the
+/// worker so `POST /migrate` can rebuild an identically-configured
+/// runtime from the checkpoint file and re-attach the same shared
+/// sinks.
+pub(crate) struct RuntimeFactory {
+    pub heap_capacity: u64,
+    pub byte_budget: u64,
+    pub pruning: bool,
+    pub incremental_mark: Option<usize>,
+    pub postmortem_dir: Option<PathBuf>,
+    pub sink: PrometheusSink,
+    pub pauses: PauseHistogram,
+    pub series: TimeSeries,
+    /// The tenant's JSONL trace sink, attached to the *first* runtime
+    /// built (before the service registers classes, so the trace stays
+    /// self-describing). A file sink cannot be cloned, so a migrated
+    /// runtime continues without one; the pre-migration trace flushes
+    /// when the old runtime drops.
+    pub trace: Option<crate::tenant::TraceSink>,
+}
+
+impl RuntimeFactory {
+    /// The tenant's pruning configuration, identical on every build.
+    pub fn config(&self) -> PruningConfig {
+        let mut builder = PruningConfig::builder(self.heap_capacity).pruning(self.pruning);
+        if let Some(budget) = self.incremental_mark {
+            builder = builder.incremental_mark(budget);
+        }
+        if let Some(dir) = &self.postmortem_dir {
+            builder = builder.postmortem_on(dir.clone());
+        }
+        builder.build()
+    }
+
+    /// A fresh runtime with the tenant's budget and sinks attached.
+    pub fn build(&mut self) -> Runtime {
+        let mut rt = Runtime::new(self.config());
+        self.attach(&mut rt);
+        rt
+    }
+
+    /// Attaches the tenant's budget and shared sink handles to `rt`,
+    /// plus the trace sink if it has not been claimed yet.
+    pub fn attach(&mut self, rt: &mut Runtime) {
+        rt.set_byte_budget(Some(self.byte_budget));
+        rt.telemetry().add_sink(Box::new(self.sink.clone()));
+        rt.telemetry().add_sink(Box::new(self.pauses.clone()));
+        rt.telemetry().add_sink(Box::new(self.series.clone()));
+        if let Some(sink) = self.trace.take() {
+            rt.telemetry().add_sink(Box::new(sink));
+        }
+    }
+}
+
+/// The recovery knobs handed to the worker thread.
+pub(crate) struct RecoverySpec {
+    pub name: String,
+    pub dir: PathBuf,
+    pub fsync_every: u64,
+    pub history_every: u64,
+    pub recover: bool,
+}
+
+/// Live recovery state owned by the worker thread.
+pub(crate) struct Recovery {
+    name: String,
+    journal: Journal,
+    journal_path: PathBuf,
+    checkpoint_path: PathBuf,
+    history: File,
+    history_every: u64,
+    /// Path of the most recent checkpoint written by this worker.
+    pub last_checkpoint: Option<String>,
+    /// Checkpoint this runtime was restored from (boot recovery or
+    /// migration), if any.
+    pub restored_from: Option<String>,
+}
+
+/// A recovery-enabled tenant's boot outcome: the (possibly restored)
+/// runtime, the live recovery state, and where the request sequence
+/// resumes.
+pub(crate) struct Boot {
+    pub rt: Runtime,
+    pub recovery: Recovery,
+    pub request_seq: u64,
+    pub replayed: u64,
+}
+
+/// Boots a recovery-enabled tenant: restore from the checkpoint if one
+/// exists (and `recover` is set), replay the journal suffix, and leave
+/// journal + history open for appending.
+pub(crate) fn boot(
+    spec: &RecoverySpec,
+    factory: &mut RuntimeFactory,
+    service: &mut Box<dyn Service>,
+) -> Result<Boot, String> {
+    std::fs::create_dir_all(&spec.dir)
+        .map_err(|e| format!("cannot create {}: {e}", spec.dir.display()))?;
+    let journal_path = spec.dir.join(format!("{}.journal", spec.name));
+    let checkpoint_path = spec.dir.join(format!("{}.ckpt", spec.name));
+    let history_path = spec.dir.join(format!("{}.history", spec.name));
+
+    // 1. The runtime: restored from the checkpoint, or fresh.
+    let restoring = spec.recover && checkpoint_path.exists();
+    let (mut rt, watermark, restored_from) = if restoring {
+        let checkpoint = Checkpoint::read(&checkpoint_path)
+            .map_err(|e| format!("checkpoint {}: {e}", checkpoint_path.display()))?;
+        let mut rt = checkpoint
+            .restore(factory.config())
+            .map_err(|e| format!("restore {}: {e}", checkpoint_path.display()))?;
+        factory.attach(&mut rt);
+        emit_restore(&rt, checkpoint.gc_index);
+        if !service.reattach(&rt) {
+            return Err(format!(
+                "checkpoint {} does not contain this service's classes/roots",
+                checkpoint_path.display()
+            ));
+        }
+        let path = checkpoint_path.display().to_string();
+        (rt, checkpoint.watermark, Some(path))
+    } else {
+        let mut rt = factory.build();
+        service.setup(&mut rt).map_err(|e| format!("setup: {e}"))?;
+        rt.release_registers();
+        (rt, 0, None)
+    };
+
+    // 2. The journal: reopen (tolerating one torn tail) when recovering,
+    // start fresh otherwise.
+    let (journal, entries) = if spec.recover && journal_path.exists() {
+        let read = read_journal(&journal_path)
+            .map_err(|e| format!("journal {}: {e}", journal_path.display()))?;
+        if read.entries < watermark {
+            return Err(format!(
+                "journal {} has {} entries but the checkpoint watermark is {watermark}",
+                journal_path.display(),
+                read.entries
+            ));
+        }
+        let journal = Journal::reopen(&journal_path)
+            .map_err(|e| format!("journal {}: {e}", journal_path.display()))?;
+        (journal, read.entries)
+    } else {
+        if watermark > 0 {
+            return Err(format!(
+                "checkpoint watermark is {watermark} but journal {} is missing",
+                journal_path.display()
+            ));
+        }
+        let journal = Journal::create(&journal_path, &spec.name)
+            .map_err(|e| format!("journal {}: {e}", journal_path.display()))?;
+        (journal, 0)
+    };
+
+    // 3. The history: drop everything past the watermark (replay
+    // regenerates it), keep everything at or before it.
+    let history = truncate_history(&history_path, watermark)?;
+
+    let mut recovery = Recovery {
+        name: spec.name.clone(),
+        journal,
+        journal_path,
+        checkpoint_path,
+        history,
+        history_every: spec.history_every,
+        last_checkpoint: None,
+        restored_from,
+    };
+    recovery.journal.set_fsync_every(spec.fsync_every);
+
+    // 4. Replay the journal suffix through the live service code. Journal
+    // entry k (1-based) is request number k-1.
+    for seq in watermark..entries {
+        service
+            .handle(&mut rt, seq)
+            .map_err(|e| format!("replay request {seq}: {e}"))?;
+        rt.release_registers();
+        recovery.note_served(&mut rt, seq + 1)?;
+    }
+
+    Ok(Boot {
+        rt,
+        recovery,
+        request_seq: entries,
+        replayed: entries - watermark,
+    })
+}
+
+impl Recovery {
+    /// Write-ahead step: journals the next request before the service
+    /// sees it.
+    pub fn note_admitted(&mut self) -> Result<u64, String> {
+        self.journal
+            .append()
+            .map_err(|e| format!("journal append: {e}"))
+    }
+
+    /// Called after request number `served - 1` completed (`served` =
+    /// total requests served): appends a fleet-history line every
+    /// `history_every` requests. The line is a pure function of `served`
+    /// and the runtime state, which is itself a pure function of the
+    /// request sequence — so histories diff clean across crash recovery.
+    pub fn note_served(&mut self, rt: &mut Runtime, served: u64) -> Result<(), String> {
+        if !served.is_multiple_of(self.history_every) {
+            return Ok(());
+        }
+        let line = format!(
+            "{{\"k\":\"hist\",\"tenant\":\"{}\",\"seq\":{served},\"fingerprint\":\"{:016x}\",\"gc\":{},\"used\":{},\"objects\":{}}}\n",
+            self.name,
+            rt.fingerprint(),
+            rt.gc_count(),
+            rt.used_bytes(),
+            rt.live_objects(),
+        );
+        self.history
+            .write_all(line.as_bytes())
+            .and_then(|()| self.history.flush())
+            .map_err(|e| format!("history append: {e}"))
+    }
+
+    /// Checkpoints the tenant at a quiescent point: syncs the journal
+    /// and history first (so the watermark is durable before the state
+    /// that depends on it), then captures and atomically writes the
+    /// checkpoint file.
+    pub fn checkpoint(&mut self, rt: &mut Runtime, request_seq: u64) -> Result<(), String> {
+        self.journal
+            .sync()
+            .map_err(|e| format!("journal sync: {e}"))?;
+        self.history
+            .sync_all()
+            .map_err(|e| format!("history sync: {e}"))?;
+        let checkpoint = Checkpoint::capture(rt, request_seq);
+        checkpoint
+            .write(&self.checkpoint_path)
+            .map_err(|e| format!("checkpoint write {}: {e}", self.checkpoint_path.display()))?;
+        self.last_checkpoint = Some(self.checkpoint_path.display().to_string());
+        Ok(())
+    }
+
+    /// Live migration at a round barrier: checkpoint, restore the file
+    /// into a fresh runtime, reattach the service, replay any journal
+    /// suffix past the watermark, and return the new runtime for the
+    /// worker to swap in. At a quiescent barrier the suffix is empty, so
+    /// the swap is exact; the replay loop still runs for generality.
+    pub fn migrate(
+        &mut self,
+        rt: &mut Runtime,
+        request_seq: u64,
+        factory: &mut RuntimeFactory,
+        service: &mut Box<dyn Service>,
+    ) -> Result<Runtime, String> {
+        self.checkpoint(rt, request_seq)?;
+        let checkpoint = Checkpoint::read(&self.checkpoint_path)
+            .map_err(|e| format!("checkpoint {}: {e}", self.checkpoint_path.display()))?;
+        let mut fresh = checkpoint
+            .restore(factory.config())
+            .map_err(|e| format!("restore {}: {e}", self.checkpoint_path.display()))?;
+        factory.attach(&mut fresh);
+        emit_restore(&fresh, checkpoint.gc_index);
+        if !service.reattach(&fresh) {
+            return Err("restored runtime does not contain this service's classes/roots".into());
+        }
+        let read = read_journal(&self.journal_path)
+            .map_err(|e| format!("journal {}: {e}", self.journal_path.display()))?;
+        for seq in checkpoint.watermark..read.entries {
+            service
+                .handle(&mut fresh, seq)
+                .map_err(|e| format!("replay request {seq}: {e}"))?;
+            fresh.release_registers();
+        }
+        self.restored_from = Some(self.checkpoint_path.display().to_string());
+        Ok(fresh)
+    }
+}
+
+/// Emits the restore span and event on the (sink-attached) runtime's
+/// own bus, so a restore is visible in the tenant's trace exactly like
+/// a checkpoint is.
+fn emit_restore(rt: &Runtime, gc_index: u64) {
+    let objects = rt.live_objects();
+    let bytes = rt.used_bytes();
+    let telemetry = rt.telemetry();
+    let span = telemetry.span("restore", gc_index);
+    telemetry.emit(|| Event::Restore {
+        gc_index,
+        objects,
+        bytes,
+    });
+    drop(span);
+}
+
+/// Rewrites the history file keeping only lines with `seq <=
+/// watermark`, then returns an append handle. Missing file = empty
+/// history.
+fn truncate_history(path: &Path, watermark: u64) -> Result<File, String> {
+    let kept = match std::fs::read_to_string(path) {
+        Ok(text) => text
+            .lines()
+            .filter(|line| history_seq(line).is_some_and(|seq| seq <= watermark))
+            .fold(String::new(), |mut out, line| {
+                out.push_str(line);
+                out.push('\n');
+                out
+            }),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(format!("history {}: {e}", path.display())),
+    };
+    std::fs::write(path, kept).map_err(|e| format!("history {}: {e}", path.display()))?;
+    OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("history {}: {e}", path.display()))
+}
+
+/// The `seq` field of one history line, if it parses as one.
+fn history_seq(line: &str) -> Option<u64> {
+    let value = lp_telemetry::json::parse(line).ok()?;
+    if value.get("k")?.as_str()? != "hist" {
+        return None;
+    }
+    value.get("seq")?.as_u64()
+}

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use leak_pruning::{PruningConfig, Runtime};
+use leak_pruning::Runtime;
 use lp_diagnose::PostmortemContext;
 use lp_telemetry::json::JsonValue;
 use lp_telemetry::{JsonlSink, PauseHistogram, PrometheusSink, TimeSeries};
@@ -21,6 +21,10 @@ use lp_workloads::Service;
 
 use crate::admission::TenantCounters;
 use crate::config::TenantSpec;
+use crate::recovery::{self, Recovery, RecoverySpec, RuntimeFactory};
+
+/// The tenant trace sink's concrete type (a buffered JSONL file).
+pub(crate) type TraceSink = JsonlSink<std::io::BufWriter<std::fs::File>>;
 
 /// Heap-trend bucket width for each tenant's [`TimeSeries`]. Small
 /// enough that a short deterministic run spreads across several buckets,
@@ -55,6 +59,13 @@ pub(crate) enum Command {
         /// Host-plane context stamped into the bundle, if any.
         context: Option<JsonValue>,
     },
+    /// Checkpoint the tenant now (round barrier = quiescent point).
+    /// No-op for tenants without a recovery directory.
+    Checkpoint,
+    /// Live-migrate the tenant: checkpoint, restore the file into a
+    /// fresh runtime, replay any journal suffix, swap. No-op for
+    /// tenants without a recovery directory.
+    Migrate,
     /// Exit the worker loop after a final report.
     Shutdown,
 }
@@ -79,6 +90,13 @@ pub(crate) struct Report {
     pub postmortem_count: u64,
     /// Path of the most recent postmortem bundle, if any.
     pub postmortem_path: Option<String>,
+    /// Path of the most recent checkpoint written by this worker.
+    pub last_checkpoint: Option<String>,
+    /// Checkpoint this runtime was restored from (boot recovery or
+    /// migration), if any.
+    pub restored_from: Option<String>,
+    /// Requests replayed from the journal during boot recovery.
+    pub replayed: u64,
 }
 
 /// Host-side handle to one worker thread plus its shared state.
@@ -146,6 +164,10 @@ impl TenantWorker {
             incremental_mark,
             trace_path,
             postmortem_dir,
+            recovery_dir,
+            fsync_every,
+            history_every,
+            recover,
             service,
         } = spec;
         // Created on the host thread so a bad path fails `spawn` loudly
@@ -172,26 +194,33 @@ impl TenantWorker {
         // worker when it stamps the heap-trend window into a bundle.
         let window_series = series.clone();
         let worker_used = Arc::clone(&used_bytes);
+        let recovery_spec = recovery_dir.map(|dir| RecoverySpec {
+            name: name.clone(),
+            dir,
+            fsync_every,
+            history_every,
+            recover,
+        });
         let thread = std::thread::Builder::new()
             .name(format!("tenant-{name}"))
             .spawn(move || {
-                let mut builder = PruningConfig::builder(heap_capacity).pruning(pruning);
-                if let Some(budget) = incremental_mark {
-                    builder = builder.incremental_mark(budget);
-                }
-                if let Some(dir) = postmortem_dir {
-                    builder = builder.postmortem_on(dir);
-                }
-                let mut rt = Runtime::new(builder.build());
-                rt.set_byte_budget(Some(byte_budget));
-                rt.telemetry().add_sink(Box::new(worker_sink));
-                rt.telemetry().add_sink(Box::new(worker_pauses));
-                rt.telemetry().add_sink(Box::new(worker_series));
-                if let Some(sink) = trace_sink {
-                    rt.telemetry().add_sink(Box::new(sink));
-                }
+                // The factory outlives any single runtime: boot recovery
+                // and `Command::Migrate` rebuild an identically-configured
+                // runtime and re-attach the same shared sink handles.
+                let factory = RuntimeFactory {
+                    heap_capacity,
+                    byte_budget,
+                    pruning,
+                    incremental_mark,
+                    postmortem_dir,
+                    sink: worker_sink,
+                    pauses: worker_pauses,
+                    series: worker_series,
+                    trace: trace_sink,
+                };
                 worker_main(
-                    rt,
+                    factory,
+                    recovery_spec,
                     service,
                     queue_rx,
                     command_rx,
@@ -299,7 +328,13 @@ fn prune_stats(rt: &Runtime) -> (u64, u64) {
     (events, refs)
 }
 
-fn report_of(rt: &Runtime, processed: u64, failed: Option<String>) -> Report {
+fn report_of(
+    rt: &Runtime,
+    processed: u64,
+    failed: Option<String>,
+    recovery: Option<&Recovery>,
+    replayed: u64,
+) -> Report {
     let (prune_events, pruned_refs) = prune_stats(rt);
     Report {
         processed,
@@ -310,6 +345,9 @@ fn report_of(rt: &Runtime, processed: u64, failed: Option<String>) -> Report {
         failed,
         postmortem_count: rt.postmortem_count(),
         postmortem_path: rt.postmortem_latest().map(|p| p.display().to_string()),
+        last_checkpoint: recovery.and_then(|r| r.last_checkpoint.clone()),
+        restored_from: recovery.and_then(|r| r.restored_from.clone()),
+        replayed,
     }
 }
 
@@ -345,7 +383,8 @@ fn series_window_json(series: &TimeSeries) -> JsonValue {
 
 #[allow(clippy::too_many_arguments)]
 fn worker_main(
-    mut rt: Runtime,
+    mut factory: RuntimeFactory,
+    recovery_spec: Option<RecoverySpec>,
     mut service: Box<dyn Service>,
     requests: Receiver<()>,
     commands: Receiver<Command>,
@@ -356,11 +395,33 @@ fn worker_main(
     used_bytes: Arc<AtomicU64>,
 ) {
     let mut failed: Option<String> = None;
-    if let Err(error) = service.setup(&mut rt) {
-        failed = Some(format!("setup: {error}"));
-    }
-    rt.release_registers();
+    let mut recovery: Option<Recovery> = None;
     let mut request_seq: u64 = 0;
+    let mut replayed: u64 = 0;
+    let mut rt = match &recovery_spec {
+        // Recovery-enabled boot: restore from the checkpoint (if asked
+        // and present), reattach the service, replay the journal suffix.
+        Some(spec) => match recovery::boot(spec, &mut factory, &mut service) {
+            Ok(boot) => {
+                recovery = Some(boot.recovery);
+                request_seq = boot.request_seq;
+                replayed = boot.replayed;
+                boot.rt
+            }
+            Err(message) => {
+                failed = Some(format!("recovery: {message}"));
+                factory.build()
+            }
+        },
+        None => {
+            let mut rt = factory.build();
+            if let Err(error) = service.setup(&mut rt) {
+                failed = Some(format!("setup: {error}"));
+            }
+            rt.release_registers();
+            rt
+        }
+    };
 
     while let Ok(command) = commands.recv() {
         let mut processed = 0;
@@ -369,6 +430,16 @@ fn worker_main(
                 while failed.is_none() && processed < max_requests {
                     if requests.try_recv().is_err() {
                         break;
+                    }
+                    // Write-ahead: the request's sequence number hits
+                    // the journal before the service can touch the heap,
+                    // so replay after a crash covers every request that
+                    // might have mutated state.
+                    if let Some(rec) = recovery.as_mut() {
+                        if let Err(message) = rec.note_admitted() {
+                            failed = Some(message);
+                            break;
+                        }
                     }
                     // The span goes out on the *worker* bus, so any GC,
                     // prune or cycle spans the request provokes nest
@@ -386,15 +457,22 @@ fn worker_main(
                             request_seq += 1;
                             processed += 1;
                             counters.note_processed();
+                            // An idle register file before the history
+                            // fingerprint, so the recorded state is the
+                            // same pure function of `request_seq` that
+                            // replay recomputes.
+                            rt.release_registers();
+                            if let Some(rec) = recovery.as_mut() {
+                                if let Err(message) = rec.note_served(&mut rt, request_seq) {
+                                    failed = Some(message);
+                                }
+                            }
                         }
                         Err(error) => {
                             failed = Some(format!("request {request_seq}: {error}"));
+                            rt.release_registers();
                         }
                     }
-                    // An idle register file between requests: only data
-                    // the service rooted explicitly stays live, so
-                    // arbiter-forced collections see the true live set.
-                    rt.release_registers();
                 }
                 // Marking progresses even when the queue is empty: a few
                 // quanta per round keep an in-flight incremental cycle
@@ -415,14 +493,31 @@ fn worker_main(
                 };
                 rt.write_postmortem_with(&trigger, &ctx);
             }
+            Command::Checkpoint => {
+                if let Some(rec) = recovery.as_mut() {
+                    if let Err(message) = rec.checkpoint(&mut rt, request_seq) {
+                        failed.get_or_insert(format!("checkpoint: {message}"));
+                    }
+                }
+            }
+            Command::Migrate => {
+                if let Some(rec) = recovery.as_mut() {
+                    match rec.migrate(&mut rt, request_seq, &mut factory, &mut service) {
+                        Ok(fresh) => rt = fresh,
+                        Err(message) => {
+                            failed.get_or_insert(format!("migrate: {message}"));
+                        }
+                    }
+                }
+            }
             Command::Shutdown => {
-                let report = report_of(&rt, 0, failed.clone());
+                let report = report_of(&rt, 0, failed.clone(), recovery.as_ref(), replayed);
                 used_bytes.store(report.used_bytes, Ordering::Relaxed);
                 let _ = reports.send(report);
                 break;
             }
         }
-        let report = report_of(&rt, processed, failed.clone());
+        let report = report_of(&rt, processed, failed.clone(), recovery.as_ref(), replayed);
         used_bytes.store(report.used_bytes, Ordering::Relaxed);
         if reports.send(report).is_err() {
             break;
@@ -486,6 +581,91 @@ mod tests {
         assert!(processed > 0);
         assert!(report.gc_count > 0, "collections ran incrementally");
         worker.join();
+    }
+
+    #[test]
+    fn checkpoint_then_recover_replays_to_identical_history() {
+        let dir = std::env::temp_dir().join(format!("lp-server-recovery-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let spec_for = |recover: bool| {
+            TenantSpec::new("t", Box::new(LeakyService::new()))
+                .queue_capacity(256)
+                .recovery_dir(dir.clone())
+                .history_every(16)
+                .recover(recover)
+        };
+
+        let mut worker = TenantWorker::spawn(spec_for(false)).unwrap();
+        let serve_rounds = |worker: &mut TenantWorker, rounds: usize| {
+            for _ in 0..rounds {
+                for _ in 0..64 {
+                    let _ = offer(&worker.queue, &worker.counters, false);
+                }
+                worker.send(Command::Round { max_requests: 64 });
+                worker.wait().unwrap();
+            }
+        };
+        serve_rounds(&mut worker, 3);
+        worker.send(Command::Checkpoint);
+        let report = worker.wait().unwrap();
+        assert!(report.failed.is_none(), "{report:?}");
+        let checkpoint = report.last_checkpoint.clone().expect("checkpoint path");
+        assert!(std::path::Path::new(&checkpoint).exists());
+        serve_rounds(&mut worker, 3);
+        worker.join();
+        let before = std::fs::read_to_string(dir.join("t.history")).expect("history");
+        assert!(!before.is_empty());
+
+        // "Crash" recovery: a fresh worker restores the checkpoint,
+        // replays the 192-request journal suffix through a fresh
+        // service, and regenerates byte-identical history.
+        let mut worker = TenantWorker::spawn(spec_for(true)).unwrap();
+        worker.send(Command::ForceCollect);
+        let report = worker.wait().unwrap();
+        assert!(report.failed.is_none(), "{report:?}");
+        assert_eq!(report.replayed, 192);
+        assert_eq!(report.restored_from.as_deref(), Some(checkpoint.as_str()));
+        worker.join();
+        let after = std::fs::read_to_string(dir.join("t.history")).expect("history");
+        assert_eq!(before, after);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn migrate_swaps_in_a_restored_runtime_without_losing_state() {
+        let dir = std::env::temp_dir().join(format!("lp-server-migrate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let spec = TenantSpec::new("t", Box::new(LeakyService::new()))
+            .queue_capacity(256)
+            .recovery_dir(dir.clone())
+            .history_every(16);
+
+        let mut worker = TenantWorker::spawn(spec).unwrap();
+        for _ in 0..3 {
+            for _ in 0..64 {
+                let _ = offer(&worker.queue, &worker.counters, false);
+            }
+            worker.send(Command::Round { max_requests: 64 });
+            worker.wait().unwrap();
+        }
+        let used_before = worker.last_report.used_bytes;
+        worker.send(Command::Migrate);
+        let report = worker.wait().unwrap();
+        assert!(report.failed.is_none(), "{report:?}");
+        assert!(report.restored_from.is_some(), "migration never ran");
+        assert_eq!(report.used_bytes, used_before);
+        // The migrated runtime keeps serving.
+        for _ in 0..64 {
+            let _ = offer(&worker.queue, &worker.counters, false);
+        }
+        worker.send(Command::Round { max_requests: 64 });
+        let report = worker.wait().unwrap();
+        assert!(report.failed.is_none(), "{report:?}");
+        assert_eq!(report.processed, 64);
+        worker.join();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

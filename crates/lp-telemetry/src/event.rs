@@ -422,6 +422,35 @@ pub enum Event {
         /// Collection index stamped into the bundle's snapshot.
         gc_index: u64,
     },
+    /// A checkpoint capture started. Emitted only at quiescent points (no
+    /// incremental cycle in flight, SATB log drained), so a trace proves
+    /// every checkpoint honoured the quiescence rule.
+    CheckpointBegin {
+        /// Collection index at capture time.
+        gc_index: u64,
+    },
+    /// A checkpoint file is durable on disk. The replay watermark names the
+    /// last journal entry whose effects the checkpoint already contains;
+    /// recovery replays strictly newer entries.
+    CheckpointEnd {
+        /// Collection index stamped into the checkpoint.
+        gc_index: u64,
+        /// Total JSONL lines written (validated by the trailer on read).
+        lines: u64,
+        /// Journal replay watermark captured with the image.
+        watermark: u64,
+    },
+    /// A runtime was rebuilt from a checkpoint. Emitted after `verify_heap`
+    /// passed on the materialized heap, so the event is a liveness proof,
+    /// not just an attempt record.
+    Restore {
+        /// Collection index the restored runtime resumes from.
+        gc_index: u64,
+        /// Live objects materialized.
+        objects: u64,
+        /// Live bytes materialized.
+        bytes: u64,
+    },
 }
 
 impl Event {
@@ -456,6 +485,9 @@ impl Event {
             Event::SpanEnd { .. } => "span_end",
             Event::LeakSuspected { .. } => "leak_suspected",
             Event::PostmortemWritten { .. } => "postmortem_written",
+            Event::CheckpointBegin { .. } => "checkpoint_begin",
+            Event::CheckpointEnd { .. } => "checkpoint_end",
+            Event::Restore { .. } => "restore",
         }
     }
 }
@@ -812,6 +844,27 @@ impl TraceLine {
                 field("path", JsonValue::Str(path.clone()));
                 field("gc", JsonValue::from_u64(*gc_index));
             }
+            Event::CheckpointBegin { gc_index } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+            }
+            Event::CheckpointEnd {
+                gc_index,
+                lines,
+                watermark,
+            } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+                field("lines", JsonValue::from_u64(*lines));
+                field("watermark", JsonValue::from_u64(*watermark));
+            }
+            Event::Restore {
+                gc_index,
+                objects,
+                bytes,
+            } => {
+                field("gc", JsonValue::from_u64(*gc_index));
+                field("objects", JsonValue::from_u64(*objects));
+                field("bytes", JsonValue::from_u64(*bytes));
+            }
         }
         JsonValue::Obj(obj).to_string()
     }
@@ -1031,6 +1084,19 @@ impl TraceLine {
                 path: need_str(&value, "path")?.to_owned(),
                 gc_index: need_u64(&value, "gc")?,
             },
+            "checkpoint_begin" => Event::CheckpointBegin {
+                gc_index: need_u64(&value, "gc")?,
+            },
+            "checkpoint_end" => Event::CheckpointEnd {
+                gc_index: need_u64(&value, "gc")?,
+                lines: need_u64(&value, "lines")?,
+                watermark: need_u64(&value, "watermark")?,
+            },
+            "restore" => Event::Restore {
+                gc_index: need_u64(&value, "gc")?,
+                objects: need_u64(&value, "objects")?,
+                bytes: need_u64(&value, "bytes")?,
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok(TraceLine {
@@ -1104,8 +1170,9 @@ fn arbiter_action_name(name: &str) -> Result<&'static str, String> {
 /// Interns a span name against the closed span taxonomy (see
 /// [`Event::SpanBegin`]): GC work (`collection`, `cycle`, `quantum`,
 /// `flush`, `mark`, `sweep`, `snapshot`), pruning decisions (`state`,
-/// `select`, `prune`), allocation stalls (`collect_until_fits`) and host
-/// serving (`round`, `service`, `request`). A closed set keeps traces
+/// `select`, `prune`), allocation stalls (`collect_until_fits`), host
+/// serving (`round`, `service`, `request`) and recovery work
+/// (`checkpoint`, `restore`). A closed set keeps traces
 /// self-describing and lets exporters special-case names safely.
 ///
 /// # Errors
@@ -1127,6 +1194,8 @@ pub fn span_name(name: &str) -> Result<&'static str, String> {
         "round" => Ok("round"),
         "service" => Ok("service"),
         "request" => Ok("request"),
+        "checkpoint" => Ok("checkpoint"),
+        "restore" => Ok("restore"),
         other => Err(format!("unknown span name {other:?}")),
     }
 }
@@ -1379,6 +1448,29 @@ mod tests {
             trigger: "exhaustion".to_owned(),
             path: "out/postmortem-exhaustion-gc12.jsonl".to_owned(),
             gc_index: 12,
+        });
+        round_trip(Event::CheckpointBegin { gc_index: 19 });
+        round_trip(Event::CheckpointEnd {
+            gc_index: 19,
+            lines: 4_321,
+            watermark: 1_500,
+        });
+        round_trip(Event::Restore {
+            gc_index: 19,
+            objects: 5_000,
+            bytes: 1_600_000,
+        });
+        round_trip(Event::SpanBegin {
+            id: 3,
+            parent: None,
+            name: "checkpoint",
+            arg: 19,
+        });
+        round_trip(Event::SpanBegin {
+            id: 4,
+            parent: None,
+            name: "restore",
+            arg: 19,
         });
     }
 

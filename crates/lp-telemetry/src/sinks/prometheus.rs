@@ -542,7 +542,10 @@ impl Sink for PrometheusSink {
             | Event::SpanBegin { .. }
             | Event::SpanEnd { .. }
             | Event::LeakSuspected { .. }
-            | Event::PostmortemWritten { .. } => {}
+            | Event::PostmortemWritten { .. }
+            | Event::CheckpointBegin { .. }
+            | Event::CheckpointEnd { .. }
+            | Event::Restore { .. } => {}
         }
     }
 }

@@ -37,6 +37,20 @@ pub trait Service: Send {
     ///
     /// Propagates runtime errors; the host marks the tenant failed.
     fn handle(&mut self, rt: &mut Runtime, request: u64) -> Result<(), RuntimeError>;
+
+    /// Rebinds this service to a runtime restored from a checkpoint.
+    ///
+    /// After a restore the classes and root slots this service created in
+    /// [`Service::setup`] already exist in the image — running `setup`
+    /// again would register duplicates and orphan the live structures. A
+    /// service instead re-derives its handles here: classes by name, root
+    /// slots by the (stable) order `setup` created them in.
+    ///
+    /// Returns `false` when the runtime does not contain this service's
+    /// classes or roots — i.e. the checkpoint belongs to a different
+    /// service — leaving the service unusable; the host treats that as a
+    /// failed recovery.
+    fn reattach(&mut self, rt: &Runtime) -> bool;
 }
 
 /// A service that leaks a session record per request: each record is
@@ -106,6 +120,14 @@ impl Service for LeakyService {
         // Transient working set, dead as soon as the request finishes.
         rt.alloc(scratch, &AllocSpec::leaf(self.scratch_bytes))?;
         Ok(())
+    }
+
+    fn reattach(&mut self, rt: &Runtime) -> bool {
+        self.record = rt.classes().lookup("session.Record");
+        self.scratch = rt.classes().lookup("request.Scratch");
+        // Setup's only add_static call, so the registry head is slot 0.
+        self.head = rt.static_id(0);
+        self.record.is_some() && self.scratch.is_some() && self.head.is_some()
     }
 }
 
@@ -183,6 +205,14 @@ impl Service for HealthyService {
         let neighbour = (slot + 1) % self.window as usize;
         let _ = rt.read_field(table, neighbour)?;
         Ok(())
+    }
+
+    fn reattach(&mut self, rt: &Runtime) -> bool {
+        self.session = rt.classes().lookup("session.Session");
+        self.table_class = rt.classes().lookup("session.Table");
+        // Setup's only add_static call, so the table root is slot 0.
+        self.table = rt.static_id(0);
+        self.session.is_some() && self.table_class.is_some() && self.table.is_some()
     }
 }
 
@@ -286,6 +316,19 @@ impl Service for WindowedLeakService {
         }
         Ok(())
     }
+
+    fn reattach(&mut self, rt: &Runtime) -> bool {
+        self.record = rt.classes().lookup("session.Record");
+        self.scratch = rt.classes().lookup("request.Scratch");
+        self.window_class = rt.classes().lookup("cache.Window");
+        // Setup added the spine head first, then the window table root.
+        self.head = rt.static_id(0);
+        self.table = rt.static_id(1);
+        self.record.is_some()
+            && self.window_class.is_some()
+            && self.head.is_some()
+            && self.table.is_some()
+    }
 }
 
 /// Adapts a [`Service`] to the iteration [`Workload`] driver: iteration
@@ -362,6 +405,23 @@ mod tests {
         assert_eq!(pruned.termination, Termination::ReachedCap);
         assert!(pruned.report.total_pruned_refs > 0);
         assert!(pruned.iterations > base.iterations);
+    }
+
+    #[test]
+    fn reattach_rebinds_handles_and_refuses_foreign_runtimes() {
+        let mut rt = Runtime::new(leak_pruning::PruningConfig::base(1 << 20));
+        let mut svc = WindowedLeakService::new();
+        svc.setup(&mut rt).unwrap();
+        // A fresh instance rebinds by name and slot index, then serves
+        // through the rebound handles.
+        let mut fresh = WindowedLeakService::new();
+        assert!(fresh.reattach(&rt));
+        fresh.handle(&mut rt, 0).unwrap();
+        // A runtime that never ran this service's setup is refused.
+        let empty = Runtime::new(leak_pruning::PruningConfig::base(1 << 20));
+        assert!(!LeakyService::new().reattach(&empty));
+        assert!(!HealthyService::new().reattach(&empty));
+        assert!(!WindowedLeakService::new().reattach(&empty));
     }
 
     #[test]

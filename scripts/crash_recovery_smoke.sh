@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke check: kill -9 a serving host after a checkpoint
+# and prove the recovered fleet's history is byte-identical to an
+# uninterrupted run fed the same per-tenant load.
+#
+# Both runs boot the arbiter-neutral recovery fleet (`serve_smoke
+# --listen PORT_FILE --recovery-dir DIR`), where every tenant's heap
+# history is a pure function of its served-request count, and drive each
+# tenant to TARGET_SEQ served requests (observed via the per-tenant
+# `<name>.history` files, one line every 25 requests):
+#
+#   run A: serve to TARGET_SEQ uninterrupted, shut down cleanly.
+#   run B: serve to MID_SEQ, POST /checkpoint for every tenant, inject
+#          more load, kill -9 the host mid-flight, restart with
+#          --recover (checkpoint restore + journal-suffix replay),
+#          POST /migrate one tenant (checkpoint -> fresh runtime ->
+#          replay -> swap), then serve on to TARGET_SEQ.
+#
+# The per-tenant histories up to TARGET_SEQ must diff empty: the crash,
+# the recovery boot, and the live migration are all invisible in the
+# fleet's observable state. Every restore re-runs the full heap
+# sanitizer (`verify_heap`) before serving, so a corrupt restore fails
+# the boot — and with it this script.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SERVE_SMOKE="${SERVE_SMOKE:-$ROOT/target/release/serve_smoke}"
+CURL="curl -sS --max-time 10"
+TENANTS=(leaky healthy-a healthy-b healthy-c)
+TARGET_SEQ=500
+MID_SEQ=250
+HISTORY_EVERY=25
+
+WORK="$(mktemp -d)"
+HOST_PID=""
+cleanup() {
+    [ -n "$HOST_PID" ] && kill -9 "$HOST_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "crash_recovery_smoke: FAILED: $*" >&2
+    exit 1
+}
+
+# start_host DIR PORT_FILE [--recover] -> sets HOST_PID and ADDR
+start_host() {
+    local dir="$1" port_file="$2"
+    shift 2
+    : >"$port_file"
+    "$SERVE_SMOKE" --listen "$port_file" --recovery-dir "$dir" "$@" \
+        2>>"$WORK/host.log" &
+    HOST_PID=$!
+    local deadline=$((SECONDS + 30))
+    ADDR=""
+    while [ -z "$ADDR" ]; do
+        [ "$SECONDS" -lt "$deadline" ] || fail "host never wrote $port_file"
+        kill -0 "$HOST_PID" 2>/dev/null || fail "host exited at boot (see $WORK/host.log)"
+        ADDR="$(cat "$port_file" 2>/dev/null || true)"
+        [ -n "$ADDR" ] || sleep 0.05
+    done
+}
+
+inject() { # inject TENANT N
+    $CURL -X POST "http://$ADDR/inject?tenant=$1&n=$2" >/dev/null || true
+}
+
+# Highest history seq recorded for a tenant (0 if none yet).
+last_seq() { # last_seq DIR TENANT
+    local file="$1/$2.history" seq=""
+    if [ -f "$file" ]; then
+        seq="$(sed -n 's/.*"seq":\([0-9]*\).*/\1/p' "$file" | tail -1)"
+    fi
+    echo "${seq:-0}"
+}
+
+# Injects load round-robin until every tenant's history reaches SEQ.
+drive_to() { # drive_to DIR SEQ
+    local dir="$1" seq="$2" deadline=$((SECONDS + 120)) done_count t
+    while :; do
+        [ "$SECONDS" -lt "$deadline" ] || fail "fleet never reached seq $seq in $dir"
+        kill -0 "$HOST_PID" 2>/dev/null || fail "host died while serving (see $WORK/host.log)"
+        done_count=0
+        for t in "${TENANTS[@]}"; do
+            if [ "$(last_seq "$dir" "$t")" -ge "$seq" ]; then
+                done_count=$((done_count + 1))
+            else
+                inject "$t" 25
+            fi
+        done
+        [ "$done_count" -eq "${#TENANTS[@]}" ] && return
+        sleep 0.05
+    done
+}
+
+# Extracts each tenant's history up to TARGET_SEQ (serving continues
+# past the last injection we observed, so both runs may record a few
+# extra trailing lines — the comparable prefix is what determinism
+# promises).
+extract() { # extract DIR OUT
+    local dir="$1" out="$2" t
+    : >"$out"
+    for t in "${TENANTS[@]}"; do
+        awk -v limit="$TARGET_SEQ" '
+            match($0, /"seq":[0-9]+/) {
+                seq = substr($0, RSTART + 6, RLENGTH - 6) + 0
+                if (seq <= limit) print
+            }' "$dir/$t.history" >>"$out"
+    done
+}
+
+[ -x "$SERVE_SMOKE" ] || fail "$SERVE_SMOKE not built (cargo build --release -p lp-bench)"
+
+echo "== run A: uninterrupted reference run"
+mkdir -p "$WORK/a"
+start_host "$WORK/a" "$WORK/port_a"
+drive_to "$WORK/a" "$TARGET_SEQ"
+$CURL -X POST "http://$ADDR/shutdown" >/dev/null
+wait "$HOST_PID" || true
+HOST_PID=""
+
+echo "== run B: checkpoint, kill -9, recover, migrate"
+mkdir -p "$WORK/b"
+start_host "$WORK/b" "$WORK/port_b1"
+drive_to "$WORK/b" "$MID_SEQ"
+for t in "${TENANTS[@]}"; do
+    $CURL -X POST "http://$ADDR/checkpoint?tenant=$t" | grep -q '"requested":true' \
+        || fail "POST /checkpoint?tenant=$t not accepted"
+done
+deadline=$((SECONDS + 30))
+until ! $CURL "http://$ADDR/tenants" | grep -q '"last_checkpoint":null'; do
+    [ "$SECONDS" -lt "$deadline" ] || fail "checkpoints never landed"
+    sleep 0.1
+done
+for t in "${TENANTS[@]}"; do
+    [ -f "$WORK/b/$t.ckpt" ] || fail "missing $t.ckpt"
+done
+# Journal more work past the watermark, then kill the host mid-flight:
+# the replay suffix is what recovery must re-serve.
+for t in "${TENANTS[@]}"; do inject "$t" 50; done
+kill -9 "$HOST_PID"
+wait "$HOST_PID" 2>/dev/null || true
+echo "   killed pid $HOST_PID after checkpoint"
+
+start_host "$WORK/b" "$WORK/port_b2" --recover
+$CURL "http://$ADDR/tenants" | grep -q '"restored_from":"' \
+    || fail "/tenants shows no restored_from after --recover"
+$CURL -X POST "http://$ADDR/migrate?tenant=leaky" | grep -q '"requested":true' \
+    || fail "POST /migrate not accepted"
+drive_to "$WORK/b" "$TARGET_SEQ"
+$CURL -X POST "http://$ADDR/shutdown" >/dev/null
+wait "$HOST_PID" || true
+HOST_PID=""
+
+extract "$WORK/a" "$WORK/history_a.txt"
+extract "$WORK/b" "$WORK/history_b.txt"
+[ -s "$WORK/history_a.txt" ] || fail "run A recorded no history"
+expected=$((TARGET_SEQ / HISTORY_EVERY * ${#TENANTS[@]}))
+lines=$(wc -l <"$WORK/history_a.txt")
+[ "$lines" -eq "$expected" ] || fail "run A recorded $lines history lines, expected $expected"
+diff -u "$WORK/history_a.txt" "$WORK/history_b.txt" \
+    || fail "recovered fleet history diverged from the uninterrupted run"
+
+echo "crash_recovery_smoke: OK ($lines identical history lines across crash + recovery + migration)"
